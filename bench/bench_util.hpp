@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench binaries.
+ *
+ * Every bench prints the rows/series of one paper table or figure.  The
+ * full parameter grids can take minutes; set SNAILQC_QUICK=1 (or pass
+ * --quick) to run a reduced grid with the same shape.
+ */
+
+#ifndef SNAILQC_BENCH_BENCH_UTIL_HPP
+#define SNAILQC_BENCH_BENCH_UTIL_HPP
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace snail_bench
+{
+
+/** True when a reduced grid was requested. */
+inline bool
+quickMode(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            return true;
+        }
+    }
+    const char *env = std::getenv("SNAILQC_QUICK");
+    return env != nullptr && std::string(env) != "0";
+}
+
+/** Inclusive integer range with a stride. */
+inline std::vector<int>
+range(int lo, int hi, int step)
+{
+    std::vector<int> out;
+    for (int v = lo; v <= hi; v += step) {
+        out.push_back(v);
+    }
+    return out;
+}
+
+} // namespace snail_bench
+
+#endif // SNAILQC_BENCH_BENCH_UTIL_HPP

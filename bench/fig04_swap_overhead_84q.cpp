@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Reproduces Fig. 4: total and critical-path SWAP gates required for
+ * circuits of growing width on the 84-qubit baseline topologies
+ * (Heavy-Hex, Hex-Lattice, Square-Lattice, Lattice+AltDiagonals,
+ * Hypercube), across the six benchmarks.
+ *
+ * The count of induced SWAPs is independent of the basis gate and
+ * measures topology efficiency under placement and routing (paper
+ * Sec. 3.2).  Expected shape: the lattices need the most SWAPs, the
+ * hypercube the fewest, with the gap widening as circuits grow.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "codesign/experiment.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace snail;
+    const bool quick = snail_bench::quickMode(argc, argv);
+
+    SweepOptions opts;
+    opts.widths = quick ? snail_bench::range(16, 64, 24)
+                        : snail_bench::range(8, 80, 8);
+    opts.stochastic_trials = quick ? 4 : 10;
+    opts.verbose = false;
+
+    const std::vector<std::string> topologies = {
+        "heavy-hex-84", "hex-84", "square-84", "lattice-altdiag-84",
+        "hypercube-84"};
+    const auto series = swapSweep(allBenchmarks(), topologies, opts);
+
+    printSeriesTables(std::cout, series, metricSwapsTotal,
+                      "Fig. 4 (top): Total SWAP count, 84q baselines");
+    printSeriesTables(std::cout, series, metricSwapsCritical,
+                      "Fig. 4 (bottom): Critical-path SWAPs, 84q baselines");
+    return 0;
+}

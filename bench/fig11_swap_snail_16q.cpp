@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Reproduces Fig. 11: total and critical-path SWAP gates for 16-20 qubit
+ * implementations of the proposed SNAIL topologies (Tree, Tree-RR,
+ * Corral_{1,1}, Corral_{1,2}) against Square-Lattice and Hypercube.
+ *
+ * Expected shape: the corrals are the best performers, with Corral_{1,1}
+ * often needing zero SWAPs thanks to its rich local cliques.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "codesign/experiment.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace snail;
+    const bool quick = snail_bench::quickMode(argc, argv);
+
+    SweepOptions opts;
+    opts.widths = quick ? snail_bench::range(6, 14, 4)
+                        : snail_bench::range(4, 16, 2);
+    opts.stochastic_trials = quick ? 4 : 10;
+
+    const std::vector<std::string> topologies = {
+        "square-16",   "hypercube-16", "tree-20",
+        "tree-rr-20",  "corral11-16",  "corral12-16"};
+    const auto series = swapSweep(allBenchmarks(), topologies, opts);
+
+    printSeriesTables(std::cout, series, metricSwapsTotal,
+                      "Fig. 11 (top): Total SWAP count, SNAIL topologies");
+    printSeriesTables(
+        std::cout, series, metricSwapsCritical,
+        "Fig. 11 (bottom): Critical-path SWAPs, SNAIL topologies");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reproduces Fig. 12: total and critical-path SWAP gates at 84 qubits,
+ * comparing the scaled SNAIL topologies (Tree, Tree-RR) and the
+ * hypercube against Heavy-Hex and Square-Lattice.
+ *
+ * Expected shape (paper Sec. 6.1): for an 80-qubit QV circuit, Heavy-Hex
+ * to Tree is a ~54% total-SWAP / ~80% critical-path-SWAP reduction, and
+ * the hypercube cuts a further ~42% / ~54% from the Tree.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "codesign/experiment.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace snail;
+    const bool quick = snail_bench::quickMode(argc, argv);
+
+    SweepOptions opts;
+    opts.widths = quick ? snail_bench::range(16, 64, 24)
+                        : snail_bench::range(8, 80, 8);
+    opts.stochastic_trials = quick ? 4 : 10;
+
+    const std::vector<std::string> topologies = {
+        "heavy-hex-84", "square-84", "tree-84", "tree-rr-84",
+        "hypercube-84"};
+    const auto series = swapSweep(allBenchmarks(), topologies, opts);
+
+    printSeriesTables(std::cout, series, metricSwapsTotal,
+                      "Fig. 12 (top): Total SWAP count, scaled SNAIL");
+    printSeriesTables(std::cout, series, metricSwapsCritical,
+                      "Fig. 12 (bottom): Critical-path SWAPs, scaled SNAIL");
+
+    // The Sec. 6.1 QV-80 waypoints.
+    double hh_tot = 0, hh_crit = 0, tr_tot = 0, tr_crit = 0, hc_tot = 0,
+           hc_crit = 0;
+    for (const Series &s : series) {
+        if (s.benchmark != std::string("Quantum Volume") ||
+            s.points.empty()) {
+            continue;
+        }
+        const SeriesPoint &last = s.points.back();
+        if (s.machine == "heavy-hex-84") {
+            hh_tot = metricSwapsTotal(last.metrics);
+            hh_crit = metricSwapsCritical(last.metrics);
+        } else if (s.machine == "tree-84") {
+            tr_tot = metricSwapsTotal(last.metrics);
+            tr_crit = metricSwapsCritical(last.metrics);
+        } else if (s.machine == "hypercube-84") {
+            hc_tot = metricSwapsTotal(last.metrics);
+            hc_crit = metricSwapsCritical(last.metrics);
+        }
+    }
+    if (hh_tot > 0 && tr_tot > 0 && hc_tot > 0) {
+        std::cout << "\nLargest-QV waypoints (paper Sec. 6.1, QV-80: "
+                     "-54.3% total / -79.8% critical Heavy-Hex->Tree; "
+                     "-42.5% / -54.3% Tree->Hypercube):\n";
+        std::cout << "  Heavy-Hex -> Tree: "
+                  << 100.0 * (1.0 - tr_tot / hh_tot) << "% total, "
+                  << 100.0 * (1.0 - tr_crit / hh_crit) << "% critical\n";
+        std::cout << "  Tree -> Hypercube: "
+                  << 100.0 * (1.0 - hc_tot / tr_tot) << "% total, "
+                  << 100.0 * (1.0 - hc_crit / tr_crit) << "% critical\n";
+    }
+    return 0;
+}

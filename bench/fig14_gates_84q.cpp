@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Reproduces Fig. 14: total native 2Q gate counts and critical-path pulse
+ * durations after basis decomposition for the 84-qubit co-designed
+ * machines (Heavy-Hex+CX, Square-Lattice+SYC, Tree/Tree-RR/Hypercube with
+ * sqrt(iSWAP)).
+ *
+ * Expected shape: Heavy-Hex scales worst for QV and best for QFT;
+ * Tree-RR scales worst for QFT and best for GHZ; the hypercube is among
+ * the best everywhere (paper Sec. 6.2).
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "codesign/experiment.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace snail;
+    const bool quick = snail_bench::quickMode(argc, argv);
+
+    SweepOptions opts;
+    opts.widths = quick ? snail_bench::range(16, 64, 24)
+                        : snail_bench::range(8, 80, 8);
+    opts.stochastic_trials = quick ? 4 : 10;
+
+    const auto series = codesignSweep(allBenchmarks(), fig14Backends(), opts);
+
+    printSeriesTables(std::cout, series, metricBasis2qTotal,
+                      "Fig. 14 (top): Total 2Q count, 84q co-designs");
+    printSeriesTables(std::cout, series, metricDurationCritical,
+                      "Fig. 14 (bottom): Pulse duration, 84q co-designs");
+    return 0;
+}

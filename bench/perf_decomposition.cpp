@@ -1,0 +1,72 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the decomposition stack: Weyl
+ * coordinates, full KAK, and the NuOp template optimizer.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "decomp/kak.hpp"
+#include "decomp/nuop.hpp"
+#include "linalg/random_unitary.hpp"
+#include "weyl/basis_counts.hpp"
+
+namespace
+{
+
+using namespace snail;
+
+void
+BM_WeylCoordinates(benchmark::State &state)
+{
+    Rng rng(7);
+    const Matrix u = haarUnitary(4, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(weylCoordinates(u));
+    }
+}
+BENCHMARK(BM_WeylCoordinates);
+
+void
+BM_KakDecompose(benchmark::State &state)
+{
+    Rng rng(8);
+    const Matrix u = haarUnitary(4, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(kakDecompose(u));
+    }
+}
+BENCHMARK(BM_KakDecompose);
+
+void
+BM_BasisCount(benchmark::State &state)
+{
+    Rng rng(9);
+    const Matrix u = haarUnitary(4, rng);
+    const BasisSpec basis{BasisKind::SqISwap};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(basisCount(basis, weylCoordinates(u)));
+    }
+}
+BENCHMARK(BM_BasisCount);
+
+void
+BM_NuOpSqiswap(benchmark::State &state)
+{
+    Rng rng(10);
+    const Matrix u = haarUnitary(4, rng);
+    const int k = static_cast<int>(state.range(0));
+    NuOpOptions opts;
+    opts.restarts = 2;
+    opts.max_iterations = 400;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            nuopDecompose(u, gates::sqiswap(), k, opts).infidelity);
+    }
+}
+BENCHMARK(BM_NuOpSqiswap)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the transpiler: layout, the three
+ * routers, and the end-to-end pipeline on paper-sized inputs.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "circuits/circuits.hpp"
+#include "topology/registry.hpp"
+#include "transpiler/pipeline.hpp"
+
+namespace
+{
+
+using namespace snail;
+
+void
+BM_DenseLayout84(benchmark::State &state)
+{
+    const CouplingGraph g = namedTopology("hypercube-84");
+    const Circuit c = quantumVolume(static_cast<int>(state.range(0)), 0, 3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(denseLayout(c, g));
+    }
+}
+BENCHMARK(BM_DenseLayout84)->Arg(16)->Arg(48)->Arg(80);
+
+void
+routerBench(benchmark::State &state, RouterKind kind)
+{
+    const CouplingGraph g = namedTopology("heavy-hex-84");
+    const int width = static_cast<int>(state.range(0));
+    const Circuit c = quantumVolume(width, 0, 3);
+    const Layout init = denseLayout(c, g);
+    std::unique_ptr<Router> router;
+    switch (kind) {
+      case RouterKind::Basic:
+        router = std::make_unique<BasicRouter>();
+        break;
+      case RouterKind::Stochastic:
+        router = std::make_unique<StochasticSwapRouter>(10);
+        break;
+      case RouterKind::Sabre:
+        router = std::make_unique<SabreRouter>();
+        break;
+    }
+    std::size_t swaps = 0;
+    for (auto _ : state) {
+        Rng rng(42);
+        const RoutingResult r = router->route(c, g, init, rng);
+        swaps = r.swaps_added;
+        benchmark::DoNotOptimize(r.circuit.size());
+    }
+    state.counters["swaps"] = static_cast<double>(swaps);
+}
+
+void
+BM_BasicRouter(benchmark::State &state)
+{
+    routerBench(state, RouterKind::Basic);
+}
+BENCHMARK(BM_BasicRouter)->Arg(24)->Arg(48);
+
+void
+BM_StochasticRouter(benchmark::State &state)
+{
+    routerBench(state, RouterKind::Stochastic);
+}
+BENCHMARK(BM_StochasticRouter)->Arg(24)->Arg(48);
+
+void
+BM_SabreRouter(benchmark::State &state)
+{
+    routerBench(state, RouterKind::Sabre);
+}
+BENCHMARK(BM_SabreRouter)->Arg(24)->Arg(48);
+
+void
+BM_PipelineQv(benchmark::State &state)
+{
+    const CouplingGraph g = namedTopology("hypercube-84");
+    const Circuit c = quantumVolume(static_cast<int>(state.range(0)), 0, 3);
+    TranspileOptions opts;
+    opts.basis = BasisSpec{BasisKind::SqISwap};
+    opts.stochastic_trials = 10;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(transpile(c, g, opts).metrics.basis_2q_total);
+    }
+}
+BENCHMARK(BM_PipelineQv)->Arg(24)->Arg(48)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Example: end-to-end fidelity study of two co-designed machines with
+ * the Monte-Carlo noise substrate.
+ *
+ * Transpiles the same Quantum Volume workload onto (a) IBM-style
+ * heavy-hex + CNOT and (b) SNAIL hypercube + sqrt(iSWAP), calibrates a
+ * stochastic Pauli model per native pulse, and compares the simulated
+ * state fidelities — the paper's Sec. 3.1 surrogates turned into one
+ * number per machine.
+ *
+ * Run: ./noise_study
+ */
+
+#include <iostream>
+
+#include "circuits/circuits.hpp"
+#include "common/rng.hpp"
+#include "fidelity/codesign_noise.hpp"
+#include "topology/registry.hpp"
+#include "transpiler/pipeline.hpp"
+
+int
+main()
+{
+    using namespace snail;
+
+    const Circuit workload = quantumVolume(8, 8, 42);
+    const double pulse_error = 0.004; // 99.6% fidelity per native pulse
+    const double idle_error = 0.002;  // dephasing per pulse-duration unit
+    const int trials = 300;
+
+    struct MachineSpec
+    {
+        const char *topology;
+        BasisKind basis;
+    };
+    const MachineSpec machines[] = {
+        {"heavy-hex-20", BasisKind::CNOT},
+        {"hypercube-16", BasisKind::SqISwap},
+    };
+
+    std::cout << "Workload: " << workload.name() << " ("
+              << workload.countTwoQubit() << " 2Q blocks)\n"
+              << "Noise: pulse error " << pulse_error << ", idle error "
+              << idle_error << " per duration unit, " << trials
+              << " trajectories\n\n";
+
+    for (const MachineSpec &machine : machines) {
+        const CouplingGraph device = namedTopology(machine.topology);
+        TranspileOptions options;
+        options.basis = BasisSpec{machine.basis};
+        options.seed = 7;
+        const TranspileResult r = transpile(workload, device, options);
+
+        Rng rng(1234);
+        const NoiseEstimate est =
+            codesignNoiseEstimate(r.routed, options.basis, pulse_error,
+                                  idle_error, trials, rng);
+
+        std::cout << device.name() << " + " << options.basis.name()
+                  << ":\n"
+                  << "  native pulses        " << r.metrics.basis_2q_total
+                  << "\n  critical duration    "
+                  << r.metrics.duration_critical
+                  << "\n  P(no error) bound    " << est.no_error_prob
+                  << "\n  simulated fidelity   " << est.mean_fidelity
+                  << " +- " << est.standard_error << "\n\n";
+    }
+
+    std::cout << "The SNAIL co-design needs fewer, shorter pulses, and "
+                 "the trajectory simulation shows that advantage as a "
+                 "directly higher end-to-end fidelity.\n";
+    return 0;
+}

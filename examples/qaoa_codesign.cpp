@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Co-design shoot-out on a QAOA workload: the same Sherrington-Kirkpatrick
+ * QAOA circuit is transpiled onto the three modulator ecosystems the
+ * paper compares — CR/CNOT on Heavy-Hex (IBM), FSIM/SYC on Square-Lattice
+ * (Google), and SNAIL/sqrt(iSWAP) on Corral and Hypercube — and the
+ * resulting cost metrics are ranked.
+ *
+ * Run: ./qaoa_codesign [width]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "circuits/circuits.hpp"
+#include "codesign/backend.hpp"
+#include "common/table.hpp"
+#include "transpiler/pipeline.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace snail;
+    const int width = (argc > 1) ? std::atoi(argv[1]) : 12;
+
+    const Circuit circuit = qaoaVanilla(width, 3);
+    std::cout << "QAOA (SK model) on " << width << " qubits: "
+              << circuit.countTwoQubit() << " ZZ interactions\n";
+
+    const Backend machines[] = {
+        makeBackend("heavy-hex-20", BasisKind::CNOT),
+        makeBackend("square-16", BasisKind::Sycamore),
+        makeBackend("corral11-16", BasisKind::SqISwap),
+        makeBackend("hypercube-16", BasisKind::SqISwap),
+    };
+
+    printBanner(std::cout, "Co-design comparison");
+    TableWriter table({"machine", "SWAPs", "2Q pulses", "pulse duration"});
+    std::string best_name;
+    double best_duration = 1e300;
+    for (const Backend &machine : machines) {
+        if (width > machine.topology.numQubits()) {
+            continue;
+        }
+        TranspileOptions options;
+        options.basis = machine.basis;
+        options.seed = 11;
+        const TranspileResult r =
+            transpile(circuit, machine.topology, options);
+        table.addRow({machine.name,
+                      std::to_string(r.metrics.swaps_total),
+                      std::to_string(r.metrics.basis_2q_total),
+                      TableWriter::num(r.metrics.duration_critical, 1)});
+        if (r.metrics.duration_critical < best_duration) {
+            best_duration = r.metrics.duration_critical;
+            best_name = machine.name;
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nShortest schedule: " << best_name
+              << " — rich SNAIL connectivity avoids SWAPs and the "
+                 "half-length sqrt(iSWAP) pulse halves the clock.\n";
+    return 0;
+}

@@ -1,0 +1,73 @@
+#include "circuits/circuits.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+/** MAJ block of the CDKM adder (Cuccaro et al. 2004). */
+void
+maj(Circuit &c, int carry, int b, int a)
+{
+    c.cx(a, b);
+    c.cx(a, carry);
+    c.ccxDecomposed(carry, b, a);
+}
+
+/** UMA (2-CNOT variant) block of the CDKM adder. */
+void
+uma(Circuit &c, int carry, int b, int a)
+{
+    c.ccxDecomposed(carry, b, a);
+    c.cx(a, carry);
+    c.cx(carry, b);
+}
+
+} // namespace
+
+Circuit
+cdkmAdder(int num_qubits, unsigned long long seed)
+{
+    SNAIL_REQUIRE(num_qubits >= 4, "CDKM adder needs >= 4 qubits");
+    // Layout: [cin, a_0..a_{m-1}, b_0..b_{m-1}, cout]; any leftover qubit
+    // (odd widths) idles, matching how the paper sweeps sizes.
+    const int m = (num_qubits - 2) / 2;
+    std::ostringstream name;
+    name << "adder-" << num_qubits;
+    Circuit c(num_qubits, name.str());
+
+    const int cin = 0;
+    auto qa = [&](int i) { return 1 + i; };
+    auto qb = [&](int i) { return 1 + m + i; };
+    const int cout = 1 + 2 * m;
+
+    // Random classical input preparation keeps the circuit non-trivial.
+    Rng rng(seed);
+    for (int i = 0; i < m; ++i) {
+        if (rng.uniform() < 0.5) {
+            c.x(qa(i));
+        }
+        if (rng.uniform() < 0.5) {
+            c.x(qb(i));
+        }
+    }
+
+    maj(c, cin, qb(0), qa(0));
+    for (int i = 1; i < m; ++i) {
+        maj(c, qa(i - 1), qb(i), qa(i));
+    }
+    c.cx(qa(m - 1), cout);
+    for (int i = m - 1; i >= 1; --i) {
+        uma(c, qa(i - 1), qb(i), qa(i));
+    }
+    uma(c, cin, qb(0), qa(0));
+    return c;
+}
+
+} // namespace snail

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Bernstein-Vazirani circuit generator.
+ *
+ * The oracle for hidden string s couples every data qubit with s_i = 1
+ * to a single shared ancilla, making BV a stress test of one-to-many
+ * connectivity: on a star-friendly topology (Tree router qubits, Corral
+ * SNAIL neighborhoods) it routes cheaply, on sparse lattices the ancilla
+ * has to be shuttled around.
+ */
+
+#include "circuits/circuits.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace snail
+{
+
+Circuit
+bernsteinVazirani(int num_qubits, unsigned long long seed)
+{
+    SNAIL_REQUIRE(num_qubits >= 2,
+                  "Bernstein-Vazirani needs >= 2 qubits, got "
+                      << num_qubits);
+    Circuit c(num_qubits, "bv-" + std::to_string(num_qubits));
+    const int ancilla = num_qubits - 1;
+    const int data = num_qubits - 1;
+
+    Rng rng(seed);
+    std::vector<bool> secret(data);
+    bool any = false;
+    for (int i = 0; i < data; ++i) {
+        secret[i] = rng.index(2) == 1;
+        any = any || secret[i];
+    }
+    if (!any) {
+        secret[0] = true; // all-zero secrets make a trivial circuit
+    }
+
+    // Prepare |+>^data and |-> on the ancilla.
+    for (int i = 0; i < data; ++i) {
+        c.h(i);
+    }
+    c.x(ancilla);
+    c.h(ancilla);
+
+    // Oracle: phase kickback per set bit.
+    for (int i = 0; i < data; ++i) {
+        if (secret[i]) {
+            c.cx(i, ancilla);
+        }
+    }
+
+    // Uncompute the superposition; data register now reads s.
+    for (int i = 0; i < data; ++i) {
+        c.h(i);
+    }
+    return c;
+}
+
+} // namespace snail

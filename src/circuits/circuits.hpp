@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Parameterized benchmark circuit generators (paper Sec. 5).
+ *
+ * The paper evaluates QuantumVolume, QFT and CDKMRippleCarryAdder (from
+ * Qiskit) plus QAOA VanillaProxy, HamiltonianSimulation (TIM) and GHZ
+ * (from SuperMarQ), all parameterized by qubit count so they can be swept
+ * across machine sizes.  These generators reproduce those constructions.
+ */
+
+#ifndef SNAILQC_CIRCUITS_CIRCUITS_HPP
+#define SNAILQC_CIRCUITS_CIRCUITS_HPP
+
+#include "ir/circuit.hpp"
+
+namespace snail
+{
+
+/**
+ * QuantumVolume model circuit: `depth` layers, each pairing a random
+ * permutation of the qubits and applying a Haar-random SU(4) block to
+ * every pair.  depth <= 0 selects the square case depth = width.
+ */
+Circuit quantumVolume(int num_qubits, int depth = 0,
+                      unsigned long long seed = 7);
+
+/**
+ * Quantum Fourier Transform with the standard controlled-phase ladder and
+ * the final reversal SWAPs (Qiskit's do_swaps=true default).
+ */
+Circuit qft(int num_qubits);
+
+/**
+ * QAOA "vanilla proxy" (SuperMarQ): one level of the
+ * Sherrington-Kirkpatrick model — Hadamards, ZZ(gamma * w_ij) on every
+ * qubit pair with random +-1 weights, then the RX mixer.
+ */
+Circuit qaoaVanilla(int num_qubits, unsigned long long seed = 11);
+
+/**
+ * Transverse-field Ising model Hamiltonian simulation (SuperMarQ): first-
+ * order Trotter steps of nearest-neighbor ZZ on a chain plus an RX field.
+ */
+Circuit timHamiltonian(int num_qubits, int trotter_steps = 1);
+
+/**
+ * CDKM ripple-carry adder over two (n-2)/2-bit registers with carry-in
+ * and carry-out qubits; Toffolis are emitted in their standard 6-CNOT
+ * decomposition.  @pre num_qubits >= 4.
+ */
+Circuit cdkmAdder(int num_qubits, unsigned long long seed = 13);
+
+/** GHZ state preparation: Hadamard plus a CNOT chain. */
+Circuit ghz(int num_qubits);
+
+/**
+ * Bernstein-Vazirani oracle circuit: n-1 data qubits, one ancilla, with
+ * the hidden bitstring drawn deterministically from `seed`.  A single
+ * run reads out the whole string, so the circuit is a standard test of
+ * one-to-many connectivity (every set bit couples its data qubit to the
+ * same ancilla).  @pre num_qubits >= 2.
+ */
+Circuit bernsteinVazirani(int num_qubits, unsigned long long seed = 17);
+
+/**
+ * Hardware-efficient VQE ansatz (SuperMarQ's VQE proxy): `layers`
+ * repetitions of per-qubit RY/RZ rotations with pseudo-random angles
+ * followed by a linear CX entangling ladder, and a final rotation
+ * layer.  @pre num_qubits >= 2, layers >= 1.
+ */
+Circuit vqeAnsatz(int num_qubits, int layers = 2,
+                  unsigned long long seed = 19);
+
+/**
+ * W-state preparation |W_n> = (|10...0> + |01...0> + ... + |0...01>) /
+ * sqrt(n) via the standard linear cascade of controlled rotations.
+ * @pre num_qubits >= 2.
+ */
+Circuit wState(int num_qubits);
+
+} // namespace snail
+
+#endif // SNAILQC_CIRCUITS_CIRCUITS_HPP

@@ -1,0 +1,24 @@
+#include "circuits/circuits.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+Circuit
+ghz(int num_qubits)
+{
+    SNAIL_REQUIRE(num_qubits >= 2, "GHZ needs >= 2 qubits");
+    std::ostringstream name;
+    name << "ghz-" << num_qubits;
+    Circuit c(num_qubits, name.str());
+    c.h(0);
+    for (int q = 0; q + 1 < num_qubits; ++q) {
+        c.cx(q, q + 1);
+    }
+    return c;
+}
+
+} // namespace snail

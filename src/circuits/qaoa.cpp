@@ -1,0 +1,40 @@
+#include "circuits/circuits.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace snail
+{
+
+Circuit
+qaoaVanilla(int num_qubits, unsigned long long seed)
+{
+    SNAIL_REQUIRE(num_qubits >= 2, "QAOA needs >= 2 qubits");
+    std::ostringstream name;
+    name << "qaoa-" << num_qubits;
+    Circuit c(num_qubits, name.str());
+    Rng rng(seed);
+
+    // SuperMarQ's vanilla proxy: p = 1 QAOA on the fully connected
+    // Sherrington-Kirkpatrick model with random +-1 couplings.
+    const double gamma = 0.4;
+    const double beta = 0.8;
+
+    for (int q = 0; q < num_qubits; ++q) {
+        c.h(q);
+    }
+    for (int i = 0; i < num_qubits; ++i) {
+        for (int j = i + 1; j < num_qubits; ++j) {
+            const double w = (rng.uniform() < 0.5) ? -1.0 : 1.0;
+            c.rzz(2.0 * gamma * w, i, j);
+        }
+    }
+    for (int q = 0; q < num_qubits; ++q) {
+        c.rx(2.0 * beta, q);
+    }
+    return c;
+}
+
+} // namespace snail

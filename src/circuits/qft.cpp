@@ -1,0 +1,31 @@
+#include "circuits/circuits.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+Circuit
+qft(int num_qubits)
+{
+    SNAIL_REQUIRE(num_qubits >= 1, "QFT needs >= 1 qubit");
+    std::ostringstream name;
+    name << "qft-" << num_qubits;
+    Circuit c(num_qubits, name.str());
+    for (int i = num_qubits - 1; i >= 0; --i) {
+        c.h(i);
+        for (int j = i - 1; j >= 0; --j) {
+            c.cp(M_PI / std::pow(2.0, i - j), j, i);
+        }
+    }
+    // Bit-reversal SWAPs (Qiskit default do_swaps=true).
+    for (int i = 0; i < num_qubits / 2; ++i) {
+        c.swap(i, num_qubits - 1 - i);
+    }
+    return c;
+}
+
+} // namespace snail

@@ -1,0 +1,38 @@
+#include "circuits/circuits.hpp"
+
+#include <numeric>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/random_unitary.hpp"
+
+namespace snail
+{
+
+Circuit
+quantumVolume(int num_qubits, int depth, unsigned long long seed)
+{
+    SNAIL_REQUIRE(num_qubits >= 2, "QuantumVolume needs >= 2 qubits");
+    if (depth <= 0) {
+        depth = num_qubits;
+    }
+    std::ostringstream name;
+    name << "qv-" << num_qubits << "x" << depth;
+    Circuit c(num_qubits, name.str());
+    Rng rng(seed);
+
+    std::vector<int> order(static_cast<std::size_t>(num_qubits));
+    std::iota(order.begin(), order.end(), 0);
+    for (int layer = 0; layer < depth; ++layer) {
+        rng.shuffle(order);
+        for (int pair = 0; pair + 1 < num_qubits; pair += 2) {
+            const Matrix su4 = haarSpecialUnitary(4, rng);
+            c.unitary4(su4, order[static_cast<std::size_t>(pair)],
+                       order[static_cast<std::size_t>(pair + 1)]);
+        }
+    }
+    return c;
+}
+
+} // namespace snail

@@ -1,0 +1,120 @@
+#include "circuits/registry.hpp"
+
+#include "circuits/circuits.hpp"
+#include "common/error.hpp"
+
+namespace snail
+{
+
+const char *
+benchmarkName(BenchmarkKind kind)
+{
+    switch (kind) {
+      case BenchmarkKind::QuantumVolume:
+        return "qv";
+      case BenchmarkKind::Qft:
+        return "qft";
+      case BenchmarkKind::QaoaVanilla:
+        return "qaoa";
+      case BenchmarkKind::TimHamiltonian:
+        return "tim";
+      case BenchmarkKind::Adder:
+        return "adder";
+      case BenchmarkKind::Ghz:
+        return "ghz";
+      case BenchmarkKind::BernsteinVazirani:
+        return "bv";
+      case BenchmarkKind::VqeAnsatz:
+        return "vqe";
+      case BenchmarkKind::WState:
+        return "wstate";
+    }
+    SNAIL_ASSERT(false, "unhandled benchmark kind");
+    return "";
+}
+
+const char *
+benchmarkLabel(BenchmarkKind kind)
+{
+    switch (kind) {
+      case BenchmarkKind::QuantumVolume:
+        return "Quantum Volume";
+      case BenchmarkKind::Qft:
+        return "QFT";
+      case BenchmarkKind::QaoaVanilla:
+        return "QAOA Vanilla";
+      case BenchmarkKind::TimHamiltonian:
+        return "TIM Hamiltonian";
+      case BenchmarkKind::Adder:
+        return "Adder";
+      case BenchmarkKind::Ghz:
+        return "GHZ";
+      case BenchmarkKind::BernsteinVazirani:
+        return "Bernstein-Vazirani";
+      case BenchmarkKind::VqeAnsatz:
+        return "VQE Ansatz";
+      case BenchmarkKind::WState:
+        return "W State";
+    }
+    SNAIL_ASSERT(false, "unhandled benchmark kind");
+    return "";
+}
+
+std::vector<BenchmarkKind>
+allBenchmarks()
+{
+    return {BenchmarkKind::QuantumVolume, BenchmarkKind::Qft,
+            BenchmarkKind::QaoaVanilla,   BenchmarkKind::TimHamiltonian,
+            BenchmarkKind::Adder,         BenchmarkKind::Ghz};
+}
+
+std::vector<BenchmarkKind>
+extendedBenchmarks()
+{
+    std::vector<BenchmarkKind> kinds = allBenchmarks();
+    kinds.push_back(BenchmarkKind::BernsteinVazirani);
+    kinds.push_back(BenchmarkKind::VqeAnsatz);
+    kinds.push_back(BenchmarkKind::WState);
+    return kinds;
+}
+
+Circuit
+makeBenchmark(BenchmarkKind kind, int num_qubits, unsigned long long seed)
+{
+    switch (kind) {
+      case BenchmarkKind::QuantumVolume:
+        return quantumVolume(num_qubits, 0, seed);
+      case BenchmarkKind::Qft:
+        return qft(num_qubits);
+      case BenchmarkKind::QaoaVanilla:
+        return qaoaVanilla(num_qubits, seed);
+      case BenchmarkKind::TimHamiltonian:
+        return timHamiltonian(num_qubits);
+      case BenchmarkKind::Adder:
+        return cdkmAdder(num_qubits, seed);
+      case BenchmarkKind::Ghz:
+        return ghz(num_qubits);
+      case BenchmarkKind::BernsteinVazirani:
+        return bernsteinVazirani(num_qubits, seed);
+      case BenchmarkKind::VqeAnsatz:
+        return vqeAnsatz(num_qubits, 2, seed);
+      case BenchmarkKind::WState:
+        return wState(num_qubits);
+    }
+    SNAIL_ASSERT(false, "unhandled benchmark kind");
+    return Circuit(1);
+}
+
+Circuit
+makeBenchmark(const std::string &name, int num_qubits,
+              unsigned long long seed)
+{
+    for (BenchmarkKind kind : extendedBenchmarks()) {
+        if (name == benchmarkName(kind)) {
+            return makeBenchmark(kind, num_qubits, seed);
+        }
+    }
+    SNAIL_THROW("unknown benchmark name: " << name);
+}
+
+} // namespace snail

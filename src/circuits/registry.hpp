@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Benchmark registry: build any of the paper's six benchmarks by name.
+ */
+
+#ifndef SNAILQC_CIRCUITS_REGISTRY_HPP
+#define SNAILQC_CIRCUITS_REGISTRY_HPP
+
+#include <string>
+#include <vector>
+
+#include "ir/circuit.hpp"
+
+namespace snail
+{
+
+/**
+ * Benchmark families: the paper's six plus three extended workloads
+ * (Bernstein-Vazirani, a hardware-efficient VQE ansatz, W state) that
+ * exercise one-to-many, nearest-neighbor, and chain connectivity.
+ */
+enum class BenchmarkKind
+{
+    QuantumVolume,
+    Qft,
+    QaoaVanilla,
+    TimHamiltonian,
+    Adder,
+    Ghz,
+    BernsteinVazirani,
+    VqeAnsatz,
+    WState,
+};
+
+/** Short name ("qv", "qft", "qaoa", "tim", "adder", "ghz", "bv",
+ *  "vqe", "wstate"). */
+const char *benchmarkName(BenchmarkKind kind);
+
+/** Display label matching the paper's figure captions. */
+const char *benchmarkLabel(BenchmarkKind kind);
+
+/** The paper's six benchmark kinds, in its figure order. */
+std::vector<BenchmarkKind> allBenchmarks();
+
+/** The paper's six plus the extended workloads. */
+std::vector<BenchmarkKind> extendedBenchmarks();
+
+/** Build a benchmark at the given width with a deterministic seed. */
+Circuit makeBenchmark(BenchmarkKind kind, int num_qubits,
+                      unsigned long long seed = 7);
+
+/** Build a benchmark by short name. @throws SnailError for unknown names. */
+Circuit makeBenchmark(const std::string &name, int num_qubits,
+                      unsigned long long seed = 7);
+
+} // namespace snail
+
+#endif // SNAILQC_CIRCUITS_REGISTRY_HPP

@@ -1,0 +1,39 @@
+#include "circuits/circuits.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+Circuit
+timHamiltonian(int num_qubits, int trotter_steps)
+{
+    SNAIL_REQUIRE(num_qubits >= 2, "TIM needs >= 2 qubits");
+    SNAIL_REQUIRE(trotter_steps >= 1, "TIM needs >= 1 Trotter step");
+    std::ostringstream name;
+    name << "tim-" << num_qubits;
+    Circuit c(num_qubits, name.str());
+
+    // First-order Trotterization of H = -J sum ZZ - h sum X on a chain
+    // (SuperMarQ HamiltonianSimulation defaults: J = h = 1, dt = 0.2).
+    const double j_coupling = 1.0;
+    const double field = 1.0;
+    const double dt = 0.2;
+
+    for (int q = 0; q < num_qubits; ++q) {
+        c.h(q);
+    }
+    for (int step = 0; step < trotter_steps; ++step) {
+        for (int q = 0; q + 1 < num_qubits; ++q) {
+            c.rzz(-2.0 * j_coupling * dt, q, q + 1);
+        }
+        for (int q = 0; q < num_qubits; ++q) {
+            c.rx(-2.0 * field * dt, q);
+        }
+    }
+    return c;
+}
+
+} // namespace snail

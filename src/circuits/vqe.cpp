@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Hardware-efficient VQE ansatz generator (SuperMarQ's VQE proxy).
+ *
+ * The ansatz alternates a rotation layer (RY, RZ on every qubit) with a
+ * linear CX entangling ladder.  Angles are pseudo-random but seed-
+ * deterministic — for transpilation studies only the structure matters,
+ * and the linear ladder makes it a nearest-neighbor-friendly contrast
+ * to QAOA's all-to-all couplings.
+ */
+
+#include "circuits/circuits.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace snail
+{
+
+Circuit
+vqeAnsatz(int num_qubits, int layers, unsigned long long seed)
+{
+    SNAIL_REQUIRE(num_qubits >= 2,
+                  "VQE ansatz needs >= 2 qubits, got " << num_qubits);
+    SNAIL_REQUIRE(layers >= 1, "VQE ansatz needs >= 1 layer, got "
+                                   << layers);
+    Circuit c(num_qubits, "vqe-" + std::to_string(num_qubits));
+    Rng rng(seed);
+
+    auto rotation_layer = [&]() {
+        for (int q = 0; q < num_qubits; ++q) {
+            c.ry(rng.uniform(-M_PI, M_PI), q);
+            c.rz(rng.uniform(-M_PI, M_PI), q);
+        }
+    };
+
+    for (int layer = 0; layer < layers; ++layer) {
+        rotation_layer();
+        for (int q = 0; q + 1 < num_qubits; ++q) {
+            c.cx(q, q + 1);
+        }
+    }
+    rotation_layer();
+    return c;
+}
+
+} // namespace snail

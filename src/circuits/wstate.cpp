@@ -1,0 +1,45 @@
+/**
+ * @file
+ * W-state preparation circuit.
+ *
+ * Linear cascade construction: qubit 0 starts in |1>; each step moves a
+ * calibrated share of the excitation one qubit down the chain with a
+ * controlled rotation (RY conjugated CZ) followed by a CX that erases
+ * the control's amplitude in the transferred branch.  Produces
+ * (|100...> + |010...> + ... + |0...01>)/sqrt(n) exactly; the
+ * statevector test checks every amplitude.
+ */
+
+#include "circuits/circuits.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+Circuit
+wState(int num_qubits)
+{
+    SNAIL_REQUIRE(num_qubits >= 2,
+                  "W state needs >= 2 qubits, got " << num_qubits);
+    const int n = num_qubits;
+    Circuit c(n, "wstate-" + std::to_string(n));
+
+    c.x(0);
+    for (int k = 1; k < n; ++k) {
+        // Split 1/(n-k+1) of the remaining excitation from qubit k-1
+        // onto qubit k: controlled-RY via the RY/CZ/RY conjugation.
+        const double theta =
+            std::acos(std::sqrt(1.0 / static_cast<double>(n - k + 1)));
+        c.ry(-theta, k);
+        c.cz(k - 1, k);
+        c.ry(theta, k);
+        c.cx(k, k - 1);
+    }
+    return c;
+}
+
+} // namespace snail

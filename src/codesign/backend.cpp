@@ -1,0 +1,41 @@
+#include "codesign/backend.hpp"
+
+namespace snail
+{
+
+Backend
+makeBackend(const std::string &topology_name, BasisKind basis)
+{
+    BasisSpec spec;
+    spec.kind = basis;
+    Backend backend{topology_name + "-" + spec.name(),
+                    namedTopology(topology_name), spec};
+    return backend;
+}
+
+std::vector<Backend>
+fig13Backends()
+{
+    return {
+        makeBackend("heavy-hex-20", BasisKind::CNOT),
+        makeBackend("square-16", BasisKind::Sycamore),
+        makeBackend("tree-20", BasisKind::SqISwap),
+        makeBackend("tree-rr-20", BasisKind::SqISwap),
+        makeBackend("hypercube-16", BasisKind::SqISwap),
+        makeBackend("corral11-16", BasisKind::SqISwap),
+    };
+}
+
+std::vector<Backend>
+fig14Backends()
+{
+    return {
+        makeBackend("heavy-hex-84", BasisKind::CNOT),
+        makeBackend("square-84", BasisKind::Sycamore),
+        makeBackend("tree-84", BasisKind::SqISwap),
+        makeBackend("tree-rr-84", BasisKind::SqISwap),
+        makeBackend("hypercube-84", BasisKind::SqISwap),
+    };
+}
+
+} // namespace snail

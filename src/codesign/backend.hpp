@@ -1,0 +1,43 @@
+/**
+ * @file
+ * A Backend is the paper's unit of co-design: a qubit coupling topology
+ * paired with the native basis gate its modulator provides.
+ *
+ *   CR modulator (IBM)      -> CNOT on Heavy-Hex
+ *   FSIM modulator (Google) -> SYC on Square-Lattice
+ *   SNAIL modulator         -> sqrt(iSWAP) on Tree / Tree-RR / Corral /
+ *                              Hypercube
+ */
+
+#ifndef SNAILQC_CODESIGN_BACKEND_HPP
+#define SNAILQC_CODESIGN_BACKEND_HPP
+
+#include <string>
+#include <vector>
+
+#include "topology/registry.hpp"
+#include "weyl/basis_counts.hpp"
+
+namespace snail
+{
+
+/** Topology + native basis gate. */
+struct Backend
+{
+    std::string name;       //!< display label, e.g. "Tree-sqiswap"
+    CouplingGraph topology;
+    BasisSpec basis;
+};
+
+/** Build a backend from a registered topology name and a basis kind. */
+Backend makeBackend(const std::string &topology_name, BasisKind basis);
+
+/** The co-designed machines of Fig. 13 (16-20 qubits). */
+std::vector<Backend> fig13Backends();
+
+/** The co-designed machines of Fig. 14 (84 qubits). */
+std::vector<Backend> fig14Backends();
+
+} // namespace snail
+
+#endif // SNAILQC_CODESIGN_BACKEND_HPP

@@ -1,0 +1,175 @@
+#include "codesign/experiment.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+/** Shared sweep driver: `machines` provides topology + basis + label. */
+struct MachineRef
+{
+    std::string label;
+    const CouplingGraph *topology;
+    BasisSpec basis;
+};
+
+std::vector<Series>
+runSweep(const std::vector<BenchmarkKind> &benchmarks,
+         const std::vector<MachineRef> &machines, const SweepOptions &options)
+{
+    std::vector<Series> out;
+    for (BenchmarkKind bench : benchmarks) {
+        for (const MachineRef &machine : machines) {
+            Series series;
+            series.benchmark = benchmarkLabel(bench);
+            series.machine = machine.label;
+            for (int width : options.widths) {
+                if (width < 2 || width > machine.topology->numQubits()) {
+                    continue;
+                }
+                const Circuit circuit =
+                    makeBenchmark(bench, width, options.seed);
+                TranspileOptions topts;
+                topts.layout = options.layout;
+                topts.router = options.router;
+                topts.stochastic_trials = options.stochastic_trials;
+                topts.basis = machine.basis;
+                // Derive a per-cell seed so runs are independent yet
+                // reproducible.
+                topts.seed = options.seed ^
+                             (static_cast<unsigned long long>(width) << 32) ^
+                             std::hash<std::string>{}(machine.label) ^
+                             static_cast<unsigned long long>(bench);
+                if (options.verbose) {
+                    std::cerr << "  [sweep] " << series.benchmark << " w="
+                              << width << " on " << machine.label << "\n";
+                }
+                const TranspileResult r =
+                    transpile(circuit, *machine.topology, topts);
+                series.points.push_back(SeriesPoint{width, r.metrics});
+            }
+            out.push_back(std::move(series));
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<Series>
+swapSweep(const std::vector<BenchmarkKind> &benchmarks,
+          const std::vector<std::string> &topologies,
+          const SweepOptions &options)
+{
+    // Keep graphs alive for the duration of the sweep.
+    std::vector<CouplingGraph> graphs;
+    graphs.reserve(topologies.size());
+    for (const auto &name : topologies) {
+        graphs.push_back(namedTopology(name));
+    }
+    std::vector<MachineRef> machines;
+    for (std::size_t i = 0; i < topologies.size(); ++i) {
+        machines.push_back(
+            MachineRef{topologies[i], &graphs[i], BasisSpec{BasisKind::CNOT}});
+    }
+    return runSweep(benchmarks, machines, options);
+}
+
+std::vector<Series>
+codesignSweep(const std::vector<BenchmarkKind> &benchmarks,
+              const std::vector<Backend> &backends,
+              const SweepOptions &options)
+{
+    std::vector<MachineRef> machines;
+    machines.reserve(backends.size());
+    for (const Backend &b : backends) {
+        machines.push_back(MachineRef{b.name, &b.topology, b.basis});
+    }
+    return runSweep(benchmarks, machines, options);
+}
+
+double
+metricSwapsTotal(const TranspileMetrics &m)
+{
+    return static_cast<double>(m.swaps_total);
+}
+
+double
+metricSwapsCritical(const TranspileMetrics &m)
+{
+    return m.swaps_critical;
+}
+
+double
+metricBasis2qTotal(const TranspileMetrics &m)
+{
+    return static_cast<double>(m.basis_2q_total);
+}
+
+double
+metricDurationCritical(const TranspileMetrics &m)
+{
+    return m.duration_critical;
+}
+
+void
+printSeriesTables(std::ostream &os, const std::vector<Series> &series,
+                  MetricSelector metric, const std::string &title)
+{
+    // Group series by benchmark, preserving insertion order.
+    std::vector<std::string> bench_order;
+    std::map<std::string, std::vector<const Series *>> grouped;
+    for (const Series &s : series) {
+        if (grouped.find(s.benchmark) == grouped.end()) {
+            bench_order.push_back(s.benchmark);
+        }
+        grouped[s.benchmark].push_back(&s);
+    }
+
+    for (const std::string &bench : bench_order) {
+        const auto &group = grouped[bench];
+        printBanner(os, title + " -- " + bench);
+
+        // Collect the union of widths.
+        std::vector<int> widths;
+        for (const Series *s : group) {
+            for (const auto &p : s->points) {
+                if (std::find(widths.begin(), widths.end(), p.width) ==
+                    widths.end()) {
+                    widths.push_back(p.width);
+                }
+            }
+        }
+        std::sort(widths.begin(), widths.end());
+
+        std::vector<std::string> headers{"width"};
+        for (const Series *s : group) {
+            headers.push_back(s->machine);
+        }
+        TableWriter table(headers);
+        for (int w : widths) {
+            std::vector<std::string> row{std::to_string(w)};
+            for (const Series *s : group) {
+                const auto it = std::find_if(
+                    s->points.begin(), s->points.end(),
+                    [w](const SeriesPoint &p) { return p.width == w; });
+                row.push_back(it == s->points.end()
+                                  ? std::string("-")
+                                  : TableWriter::num(metric(it->metrics), 1));
+            }
+            table.addRow(std::move(row));
+        }
+        table.print(os);
+    }
+}
+
+} // namespace snail

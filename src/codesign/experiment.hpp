@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Experiment runner: benchmark x machine sweeps producing the series the
+ * paper plots (Figs. 4, 11, 12, 13, 14).
+ *
+ * A sweep transpiles each benchmark at each width onto each machine and
+ * records the Fig. 10 metrics.  SWAP studies (Figs. 4/11/12) are basis
+ * agnostic; co-design studies (Figs. 13/14) additionally score the basis
+ * translation.
+ */
+
+#ifndef SNAILQC_CODESIGN_EXPERIMENT_HPP
+#define SNAILQC_CODESIGN_EXPERIMENT_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "circuits/registry.hpp"
+#include "codesign/backend.hpp"
+#include "transpiler/pipeline.hpp"
+
+namespace snail
+{
+
+/** Sweep configuration. */
+struct SweepOptions
+{
+    std::vector<int> widths;          //!< circuit sizes (x axis)
+    LayoutKind layout = LayoutKind::Dense;
+    RouterKind router = RouterKind::Stochastic;
+    int stochastic_trials = 10;
+    unsigned long long seed = 0xBEEF5EEDULL;
+    bool verbose = false;             //!< progress notes to stderr
+};
+
+/** One (width, metrics) sample of a series. */
+struct SeriesPoint
+{
+    int width = 0;
+    TranspileMetrics metrics;
+};
+
+/** One curve of a paper figure: a benchmark on a machine. */
+struct Series
+{
+    std::string benchmark; //!< paper label, e.g. "Quantum Volume"
+    std::string machine;   //!< topology or backend label
+    std::vector<SeriesPoint> points;
+};
+
+/**
+ * Gate-agnostic SWAP study over plain topologies (Figs. 4, 11, 12);
+ * widths exceeding a topology's size are skipped for that machine.
+ */
+std::vector<Series> swapSweep(const std::vector<BenchmarkKind> &benchmarks,
+                              const std::vector<std::string> &topologies,
+                              const SweepOptions &options);
+
+/** Full co-design study over backends (Figs. 13, 14). */
+std::vector<Series> codesignSweep(
+    const std::vector<BenchmarkKind> &benchmarks,
+    const std::vector<Backend> &backends, const SweepOptions &options);
+
+/** Selector for printing one metric of a series. */
+using MetricSelector = double (*)(const TranspileMetrics &);
+
+/** @name Metric selectors matching the paper's y axes. */
+/** @{ */
+double metricSwapsTotal(const TranspileMetrics &m);
+double metricSwapsCritical(const TranspileMetrics &m);
+double metricBasis2qTotal(const TranspileMetrics &m);
+double metricDurationCritical(const TranspileMetrics &m);
+/** @} */
+
+/**
+ * Print a figure-style block: one table per benchmark with a width column
+ * and one column per machine, in both aligned and CSV form.
+ */
+void printSeriesTables(std::ostream &os, const std::vector<Series> &series,
+                       MetricSelector metric, const std::string &title);
+
+} // namespace snail
+
+#endif // SNAILQC_CODESIGN_EXPERIMENT_HPP

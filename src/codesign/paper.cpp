@@ -1,0 +1,91 @@
+#include "codesign/paper.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/statistics.hpp"
+
+namespace snail
+{
+
+HeadlineRatios
+headlineRatios(const Backend &baseline, const Backend &challenger,
+               const std::vector<int> &widths, const SweepOptions &options)
+{
+    SweepOptions opts = options;
+    opts.widths = widths;
+    const std::vector<Series> series =
+        codesignSweep({BenchmarkKind::QuantumVolume},
+                      {baseline, challenger}, opts);
+    SNAIL_ASSERT(series.size() == 2, "expected exactly two series");
+    const Series &base = series[0];
+    const Series &chal = series[1];
+
+    std::vector<double> r_swaps;
+    std::vector<double> r_swapsc;
+    std::vector<double> r_2q;
+    std::vector<double> r_dur;
+    for (const SeriesPoint &bp : base.points) {
+        const auto it = std::find_if(
+            chal.points.begin(), chal.points.end(),
+            [&](const SeriesPoint &cp) { return cp.width == bp.width; });
+        if (it == chal.points.end()) {
+            continue;
+        }
+        auto ratio = [](double a, double b) {
+            // Guard zero denominators (e.g. zero SWAPs on rich graphs)
+            // with a half-count floor so the geometric mean stays finite.
+            return std::max(a, 0.5) / std::max(b, 0.5);
+        };
+        r_swaps.push_back(
+            ratio(metricSwapsTotal(bp.metrics), metricSwapsTotal(it->metrics)));
+        r_swapsc.push_back(ratio(metricSwapsCritical(bp.metrics),
+                                 metricSwapsCritical(it->metrics)));
+        r_2q.push_back(ratio(metricBasis2qTotal(bp.metrics),
+                             metricBasis2qTotal(it->metrics)));
+        r_dur.push_back(ratio(metricDurationCritical(bp.metrics),
+                              metricDurationCritical(it->metrics)));
+    }
+    SNAIL_REQUIRE(!r_swaps.empty(), "no overlapping widths in the sweep");
+
+    HeadlineRatios out;
+    out.swaps_total = geometricMean(r_swaps);
+    out.swaps_critical = geometricMean(r_swapsc);
+    out.basis_2q_total = geometricMean(r_2q);
+    out.duration_critical = geometricMean(r_dur);
+    return out;
+}
+
+HeadlineRatios
+hypercubeVsHeavyHex(const SweepOptions &options)
+{
+    const Backend heavy_hex = makeBackend("heavy-hex-84", BasisKind::CNOT);
+    const Backend hypercube = makeBackend("hypercube-84", BasisKind::SqISwap);
+    std::vector<int> widths;
+    for (int w = 16; w <= 80; w += 8) {
+        widths.push_back(w);
+    }
+    return headlineRatios(heavy_hex, hypercube, widths, options);
+}
+
+double
+infidelityReduction(const NRootStudyResult &study, double root_a,
+                    double root_b, double f_iswap)
+{
+    const auto &roots = study.roots();
+    const auto index_of = [&](double root) {
+        for (std::size_t i = 0; i < roots.size(); ++i) {
+            if (std::abs(roots[i] - root) < 1e-9) {
+                return i;
+            }
+        }
+        SNAIL_THROW("root " << root << " not part of the study");
+    };
+    const double ft_a =
+        study.averageTotalFidelity(index_of(root_a), f_iswap);
+    const double ft_b =
+        study.averageTotalFidelity(index_of(root_b), f_iswap);
+    return 1.0 - (1.0 - ft_b) / (1.0 - ft_a);
+}
+
+} // namespace snail

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The paper's headline quantitative claims, computed from our pipeline.
+ *
+ * Abstract / Sec. 6:
+ *  - On QV circuits from 16 to 80 qubits, Hypercube (sqrt-iSWAP) vs
+ *    Heavy-Hex (CNOT): 2.57x fewer total SWAPs, 5.63x fewer critical-path
+ *    SWAPs, 3.16x fewer total 2Q gates, 6.11x less 2Q pulse duration.
+ *  - For a 99%-fidelity iSWAP basis, the 4th root of iSWAP reduces average
+ *    infidelity by ~25% relative to sqrt(iSWAP) (Fig. 15).
+ */
+
+#ifndef SNAILQC_CODESIGN_PAPER_HPP
+#define SNAILQC_CODESIGN_PAPER_HPP
+
+#include "codesign/experiment.hpp"
+#include "fidelity/nroot_study.hpp"
+
+namespace snail
+{
+
+/** Geometric-mean advantage ratios of machine B over machine A. */
+struct HeadlineRatios
+{
+    double swaps_total = 0.0;      //!< paper: 2.57x
+    double swaps_critical = 0.0;   //!< paper: 5.63x
+    double basis_2q_total = 0.0;   //!< paper: 3.16x
+    double duration_critical = 0.0;//!< paper: 6.11x
+};
+
+/**
+ * Run QV at the given widths on two backends and report the geometric
+ * mean of baseline/challenger metric ratios (values > 1 favor the
+ * challenger).
+ */
+HeadlineRatios headlineRatios(const Backend &baseline,
+                              const Backend &challenger,
+                              const std::vector<int> &widths,
+                              const SweepOptions &options);
+
+/** The paper's QV-16..80 Hypercube-vs-Heavy-Hex comparison. */
+HeadlineRatios hypercubeVsHeavyHex(const SweepOptions &options);
+
+/**
+ * Relative infidelity reduction of root_b vs root_a at base iSWAP
+ * fidelity f_iswap: 1 - (1 - Ft_b) / (1 - Ft_a).  Paper: ~0.25 for
+ * 4th root vs sqrt at f_iswap = 0.99.
+ */
+double infidelityReduction(const NRootStudyResult &study, double root_a,
+                           double root_b, double f_iswap);
+
+} // namespace snail
+
+#endif // SNAILQC_CODESIGN_PAPER_HPP

@@ -1,0 +1,22 @@
+#include "common/error.hpp"
+
+namespace snail
+{
+namespace detail
+{
+
+void
+assertFailed(const char *expr, const char *file, int line,
+             const std::string &msg)
+{
+    std::ostringstream oss;
+    oss << "internal assertion failed: (" << expr << ") at " << file << ":"
+        << line;
+    if (!msg.empty()) {
+        oss << " -- " << msg;
+    }
+    throw InternalError(oss.str());
+}
+
+} // namespace detail
+} // namespace snail

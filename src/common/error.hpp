@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Error handling primitives for snailqc.
+ *
+ * Two kinds of failure are distinguished, following the gem5 fatal/panic
+ * convention:
+ *  - SnailError: user-facing errors (bad arguments, impossible requests).
+ *    Thrown as exceptions so callers and tests can react.
+ *  - SNAIL_ASSERT: internal invariant violations (library bugs).  These
+ *    abort in debug builds and throw in release builds so that test
+ *    harnesses can still observe them.
+ */
+
+#ifndef SNAILQC_COMMON_ERROR_HPP
+#define SNAILQC_COMMON_ERROR_HPP
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace snail
+{
+
+/** Exception type for user-level errors (invalid configuration or input). */
+class SnailError : public std::runtime_error
+{
+  public:
+    explicit SnailError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Exception type for internal invariant violations (library bugs). */
+class InternalError : public std::logic_error
+{
+  public:
+    explicit InternalError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+namespace detail
+{
+
+/** Build the assertion message and throw InternalError. @param expr text. */
+[[noreturn]] void assertFailed(const char *expr, const char *file, int line,
+                               const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Throw SnailError with a streamed message:
+ *   SNAIL_THROW("qubit " << q << " out of range");
+ */
+#define SNAIL_THROW(msg_stream)                                               \
+    do {                                                                      \
+        std::ostringstream snail_oss_;                                        \
+        snail_oss_ << msg_stream;                                             \
+        throw ::snail::SnailError(snail_oss_.str());                          \
+    } while (0)
+
+/** Check a user-level precondition; throws SnailError when violated. */
+#define SNAIL_REQUIRE(cond, msg_stream)                                       \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            SNAIL_THROW(msg_stream);                                          \
+        }                                                                     \
+    } while (0)
+
+/** Check an internal invariant; throws InternalError when violated. */
+#define SNAIL_ASSERT(cond, msg_stream)                                        \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            std::ostringstream snail_oss_;                                    \
+            snail_oss_ << msg_stream;                                         \
+            ::snail::detail::assertFailed(#cond, __FILE__, __LINE__,          \
+                                          snail_oss_.str());                  \
+        }                                                                     \
+    } while (0)
+
+} // namespace snail
+
+#endif // SNAILQC_COMMON_ERROR_HPP

@@ -1,0 +1,115 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+/** SplitMix64 step used for seeding. */
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : _state) {
+        word = splitMix64(s);
+    }
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(_state[1] * 5, 7) * 9;
+    const std::uint64_t t = _state[1] << 17;
+    _state[2] ^= _state[0];
+    _state[3] ^= _state[1];
+    _state[1] ^= _state[2];
+    _state[0] ^= _state[3];
+    _state[2] ^= t;
+    _state[3] = rotl(_state[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::size_t
+Rng::index(std::size_t n)
+{
+    SNAIL_ASSERT(n > 0, "Rng::index needs a non-empty range");
+    // Rejection-free multiply-shift; bias is negligible for n << 2^64.
+    return static_cast<std::size_t>(
+        (static_cast<unsigned __int128>(next()) * n) >> 64);
+}
+
+long
+Rng::intRange(long lo, long hi)
+{
+    SNAIL_ASSERT(lo <= hi, "Rng::intRange empty interval");
+    const auto span = static_cast<std::size_t>(hi - lo) + 1;
+    return lo + static_cast<long>(index(span));
+}
+
+double
+Rng::normal()
+{
+    if (_hasCachedNormal) {
+        _hasCachedNormal = false;
+        return _cachedNormal;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    _cachedNormal = r * std::sin(theta);
+    _hasCachedNormal = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0xd3adb33f12345678ULL);
+}
+
+} // namespace snail

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deterministic random number generation for snailqc.
+ *
+ * All stochastic components of the library (StochasticSwap trials, Haar
+ * sampling, QuantumVolume generation, NuOp restarts) draw from an Rng
+ * instance that is explicitly seeded, so that every experiment in the
+ * reproduction is bit-for-bit repeatable.  The engine is xoshiro256**,
+ * seeded through SplitMix64 as its authors recommend.
+ */
+
+#ifndef SNAILQC_COMMON_RNG_HPP
+#define SNAILQC_COMMON_RNG_HPP
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace snail
+{
+
+/** Deterministic, explicitly seeded pseudo random number generator. */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x5ea11c0de5ULL);
+
+    /** UniformRandomBitGenerator interface. */
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type(0); }
+    result_type operator()() { return next(); }
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @pre n > 0. */
+    std::size_t index(std::size_t n);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    long intRange(long lo, long hi);
+
+    /** Standard normal draw (Box-Muller, cached pair). */
+    double normal();
+
+    /** Normal draw with given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::swap(v[i - 1], v[index(i)]);
+        }
+    }
+
+    /** A fresh generator deterministically derived from this one. */
+    Rng split();
+
+  private:
+    std::array<std::uint64_t, 4> _state;
+    bool _hasCachedNormal = false;
+    double _cachedNormal = 0.0;
+};
+
+} // namespace snail
+
+#endif // SNAILQC_COMMON_RNG_HPP

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Small statistics helpers used by the experiment harness.
+ */
+
+#ifndef SNAILQC_COMMON_STATISTICS_HPP
+#define SNAILQC_COMMON_STATISTICS_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace snail
+{
+
+/** Streaming mean/variance/min/max accumulator (Welford's algorithm). */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    std::size_t count() const { return _n; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const { return _mean; }
+
+    /** Unbiased sample variance (0 when fewer than two samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation (+inf when empty). */
+    double min() const { return _min; }
+
+    /** Largest observation (-inf when empty). */
+    double max() const { return _max; }
+
+    /** Sum of all observations. */
+    double sum() const { return _mean * static_cast<double>(_n); }
+
+  private:
+    std::size_t _n = 0;
+    double _mean = 0.0;
+    double _m2 = 0.0;
+    double _min;
+    double _max;
+
+  public:
+    RunningStats();
+};
+
+/** Geometric mean of a vector of positive values. @pre all values > 0. */
+double geometricMean(const std::vector<double> &values);
+
+/** Arithmetic mean (0 for empty input). */
+double arithmeticMean(const std::vector<double> &values);
+
+/** Median (0 for empty input); averages the middle pair for even sizes. */
+double median(std::vector<double> values);
+
+} // namespace snail
+
+#endif // SNAILQC_COMMON_STATISTICS_HPP

@@ -1,0 +1,101 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : _headers(std::move(headers))
+{
+    SNAIL_REQUIRE(!_headers.empty(), "table needs at least one column");
+}
+
+void
+TableWriter::addRow(std::vector<std::string> cells)
+{
+    SNAIL_REQUIRE(cells.size() == _headers.size(),
+                  "row has " << cells.size() << " cells, table has "
+                             << _headers.size() << " columns");
+    _rows.push_back(std::move(cells));
+}
+
+std::string
+TableWriter::num(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+std::string
+TableWriter::count(double v)
+{
+    std::ostringstream oss;
+    oss << static_cast<long long>(std::llround(v));
+    return oss.str();
+}
+
+void
+TableWriter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(_headers.size());
+    for (std::size_t c = 0; c < _headers.size(); ++c) {
+        widths[c] = _headers[c].size();
+    }
+    for (const auto &row : _rows) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << cells[c];
+        }
+        os << '\n';
+    };
+
+    emit_row(_headers);
+    std::size_t total = 0;
+    for (auto w : widths) {
+        total += w + 2;
+    }
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : _rows) {
+        emit_row(row);
+    }
+}
+
+void
+TableWriter::printCsv(std::ostream &os) const
+{
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c > 0) {
+                os << ',';
+            }
+            os << cells[c];
+        }
+        os << '\n';
+    };
+    emit_row(_headers);
+    for (const auto &row : _rows) {
+        emit_row(row);
+    }
+}
+
+void
+printBanner(std::ostream &os, const std::string &title)
+{
+    os << "\n== " << title << " ==\n";
+}
+
+} // namespace snail

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * ASCII table / CSV emitters used by the reproduction benches.
+ *
+ * Every bench prints the same rows or series that the corresponding paper
+ * table/figure reports.  TableWriter collects rows of heterogeneous cells
+ * and renders them with aligned columns (and optionally as CSV so results
+ * can be re-plotted).
+ */
+
+#ifndef SNAILQC_COMMON_TABLE_HPP
+#define SNAILQC_COMMON_TABLE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace snail
+{
+
+/** Column-aligned table printer for bench output. */
+class TableWriter
+{
+  public:
+    /** Construct with column headers. */
+    explicit TableWriter(std::vector<std::string> headers);
+
+    /** Append one row; cell count must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Convenience: format an integer-valued count. */
+    static std::string count(double v);
+
+    /** Render with aligned columns to the stream. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no alignment padding). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> _headers;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+/** Print a section banner ("== title ==") used between bench sections. */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace snail
+
+#endif // SNAILQC_COMMON_TABLE_HPP

@@ -1,0 +1,83 @@
+#include "decomp/empirical_counts.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+EmpiricalBasisModel::EmpiricalBasisModel(Gate basis, double pulse_duration,
+                                         int k_max, double tolerance,
+                                         NuOpOptions optimizer)
+    : _basis(std::move(basis)),
+      _pulseDuration(pulse_duration),
+      _kMax(k_max),
+      _tolerance(tolerance),
+      _optimizer(optimizer)
+{
+    SNAIL_REQUIRE(_basis.isTwoQubit(), "basis gate must be 2Q");
+    SNAIL_REQUIRE(pulse_duration > 0.0, "pulse duration must be positive");
+    SNAIL_REQUIRE(k_max >= 1, "k_max must be >= 1");
+}
+
+int
+EmpiricalBasisModel::count(const WeylCoords &coords) const
+{
+    // Class cache key with 1e-9 rounding; canonical coords are stable at
+    // that precision.
+    std::ostringstream key;
+    key << static_cast<long long>(std::llround(coords.a * 1e9)) << ':'
+        << static_cast<long long>(std::llround(coords.b * 1e9)) << ':'
+        << static_cast<long long>(std::llround(coords.c * 1e9));
+    const auto it = _cache.find(key.str());
+    if (it != _cache.end()) {
+        return it->second;
+    }
+
+    int result = -1;
+    if (coords.isClose(WeylCoords{0.0, 0.0, 0.0})) {
+        result = 0;
+    } else {
+        // Synthesize the canonical representative of the class; counts
+        // are invariant under local dressing.
+        const Matrix target =
+            gates::canonical(coords.a, coords.b, coords.c).matrix();
+        NuOpOptions opts = _optimizer;
+        opts.tolerance = std::min(opts.tolerance, _tolerance * 0.1);
+        const NuOpResult r =
+            nuopDecomposeAdaptive(target, _basis, 1, _kMax, opts);
+        SNAIL_REQUIRE(r.infidelity < _tolerance,
+                      "no template of size <= " << _kMax
+                          << " implements the class; best infidelity "
+                          << r.infidelity);
+        result = r.k;
+    }
+    _cache.emplace(key.str(), result);
+    return result;
+}
+
+int
+EmpiricalBasisModel::count(const Matrix &u) const
+{
+    return count(weylCoordinates(u));
+}
+
+double
+EmpiricalBasisModel::duration(const WeylCoords &coords) const
+{
+    return static_cast<double>(count(coords)) * _pulseDuration;
+}
+
+EmpiricalBasisModel
+nrootIswapModel(double n, int k_max)
+{
+    NuOpOptions opts;
+    opts.restarts = 6;
+    opts.max_iterations = 700;
+    return EmpiricalBasisModel(gates::nrootIswap(n), 1.0 / n, k_max, 1e-7,
+                               opts);
+}
+
+} // namespace snail

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Empirical basis-count model for arbitrary 2Q basis gates.
+ *
+ * The analytic count rules (weyl/basis_counts.hpp) cover CNOT, iSWAP,
+ * sqrt(iSWAP) and SYC.  The paper's future-work direction — transpiling
+ * whole circuits to deeper fractional roots n-root-iSWAP (n > 2), where
+ * no analytic decomposition is known — needs counts anyway, so this model
+ * measures them: for a Weyl class (a, b, c) it synthesizes the canonical
+ * representative CAN(a, b, c) with the NuOp engine, increasing the
+ * template size until the decomposition is numerically exact, and caches
+ * the result per class.  Local equivalence guarantees the count is a
+ * class property.
+ */
+
+#ifndef SNAILQC_DECOMP_EMPIRICAL_COUNTS_HPP
+#define SNAILQC_DECOMP_EMPIRICAL_COUNTS_HPP
+
+#include <string>
+#include <unordered_map>
+
+#include "decomp/nuop.hpp"
+#include "weyl/coordinates.hpp"
+
+namespace snail
+{
+
+/** Measured (NuOp-backed) basis-count oracle for one basis gate. */
+class EmpiricalBasisModel
+{
+  public:
+    /**
+     * @param basis the native 2Q gate (e.g. gates::nrootIswap(3)).
+     * @param pulse_duration time of one native pulse in normalized units.
+     * @param k_max template-size search ceiling.
+     * @param tolerance infidelity below which a template counts as exact.
+     */
+    EmpiricalBasisModel(Gate basis, double pulse_duration, int k_max = 10,
+                        double tolerance = 1e-7,
+                        NuOpOptions optimizer = NuOpOptions());
+
+    const Gate &basis() const { return _basis; }
+    double pulseDuration() const { return _pulseDuration; }
+
+    /** Minimal template size implementing the class (cached). */
+    int count(const WeylCoords &coords) const;
+
+    /** Count for a concrete unitary. */
+    int count(const Matrix &u) const;
+
+    /** Time cost of the class: count x pulse duration. */
+    double duration(const WeylCoords &coords) const;
+
+    /** Number of distinct classes measured so far. */
+    std::size_t cacheSize() const { return _cache.size(); }
+
+  private:
+    Gate _basis;
+    double _pulseDuration;
+    int _kMax;
+    double _tolerance;
+    NuOpOptions _optimizer;
+    mutable std::unordered_map<std::string, int> _cache;
+};
+
+/** The natural model for the n-th root of iSWAP: pulse duration 1/n. */
+EmpiricalBasisModel nrootIswapModel(double n, int k_max = 10);
+
+} // namespace snail
+
+#endif // SNAILQC_DECOMP_EMPIRICAL_COUNTS_HPP

@@ -1,0 +1,46 @@
+#include "decomp/kak.hpp"
+
+#include "common/error.hpp"
+#include "linalg/kron_factor.hpp"
+
+namespace snail
+{
+
+KakDecomposition
+kakDecompose(const Matrix &u)
+{
+    const MagicDecomposition md = magicDecompose(u);
+
+    const KronFactors k1 = factorKronecker(md.k1);
+    const KronFactors k2 = factorKronecker(md.k2);
+    SNAIL_ASSERT(k1.residual < 1e-6 && k2.residual < 1e-6,
+                 "KAK local factors must be tensor products (residuals "
+                     << k1.residual << ", " << k2.residual << ")");
+
+    KakDecomposition out;
+    out.after0 = k1.left;
+    out.after1 = k1.right;
+    out.before0 = k2.left;
+    out.before1 = k2.right;
+    out.a = md.a_rep;
+    out.b = md.b_rep;
+    out.c = md.c_rep;
+    out.phase = md.phase;
+    return out;
+}
+
+Circuit
+kakToCircuit(const KakDecomposition &kak)
+{
+    Circuit c(2, "kak");
+    // The circuit acts with qubit 1 as the "first"/high tensor factor so
+    // that circuitUnitary() reproduces the 4x4 matrix convention.
+    c.unitary2(kak.before0, 1);
+    c.unitary2(kak.before1, 0);
+    c.append(gates::canonical(kak.a, kak.b, kak.c), {1, 0});
+    c.unitary2(kak.after0, 1);
+    c.unitary2(kak.after1, 0);
+    return c;
+}
+
+} // namespace snail

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Full Cartan (KAK) decomposition with explicit one-qubit factors.
+ *
+ * magicDecompose() (weyl/coordinates.hpp) produces the 4x4 local factors;
+ * here they are split into their 2x2 tensor components so the result can
+ * be emitted as a circuit:  U = e^{i phase} (after0 (x) after1) *
+ * CAN(a,b,c) * (before0 (x) before1).
+ */
+
+#ifndef SNAILQC_DECOMP_KAK_HPP
+#define SNAILQC_DECOMP_KAK_HPP
+
+#include "ir/circuit.hpp"
+#include "weyl/coordinates.hpp"
+
+namespace snail
+{
+
+/** KAK factorization with 2x2 local factors. */
+struct KakDecomposition
+{
+    Matrix before0;  //!< applied first on the first (high) qubit
+    Matrix before1;  //!< applied first on the second (low) qubit
+    Matrix after0;   //!< applied last on the first qubit
+    Matrix after1;   //!< applied last on the second qubit
+    double a = 0.0;  //!< canonical-interaction representative
+    double b = 0.0;
+    double c = 0.0;
+    double phase = 0.0;
+
+    /** Canonical Weyl coordinates of the class. */
+    WeylCoords coordinates() const { return canonicalize(a, b, c); }
+};
+
+/** Compute the KAK decomposition of a 4x4 unitary. */
+KakDecomposition kakDecompose(const Matrix &u);
+
+/**
+ * Emit the decomposition as a 2-qubit circuit
+ *   [unitary2 before] [canonical(a,b,c)] [unitary2 after]
+ * exactly reproducing u up to global phase.
+ */
+Circuit kakToCircuit(const KakDecomposition &kak);
+
+} // namespace snail
+
+#endif // SNAILQC_DECOMP_KAK_HPP

@@ -1,0 +1,384 @@
+#include "decomp/nuop.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+/**
+ * Hot-loop kernels on fixed-size 4x4 matrices (std::array) — the Adam
+ * iteration runs millions of 4x4 products, so we avoid heap-allocating
+ * Matrix temporaries here.
+ */
+using M4 = std::array<Complex, 16>;
+using M2 = std::array<Complex, 4>;
+
+M4
+toM4(const Matrix &m)
+{
+    M4 out;
+    for (std::size_t i = 0; i < 4; ++i) {
+        for (std::size_t j = 0; j < 4; ++j) {
+            out[i * 4 + j] = m(i, j);
+        }
+    }
+    return out;
+}
+
+Matrix
+fromM4(const M4 &m)
+{
+    Matrix out(4, 4);
+    for (std::size_t i = 0; i < 4; ++i) {
+        for (std::size_t j = 0; j < 4; ++j) {
+            out(i, j) = m[i * 4 + j];
+        }
+    }
+    return out;
+}
+
+M4
+identity4()
+{
+    M4 out{};
+    out[0] = out[5] = out[10] = out[15] = Complex(1.0, 0.0);
+    return out;
+}
+
+M4
+mul4(const M4 &a, const M4 &b)
+{
+    M4 out{};
+    for (std::size_t i = 0; i < 4; ++i) {
+        for (std::size_t k = 0; k < 4; ++k) {
+            const Complex aik = a[i * 4 + k];
+            for (std::size_t j = 0; j < 4; ++j) {
+                out[i * 4 + j] += aik * b[k * 4 + j];
+            }
+        }
+    }
+    return out;
+}
+
+M4
+kron22(const M2 &a, const M2 &b)
+{
+    M4 out;
+    for (std::size_t i = 0; i < 2; ++i) {
+        for (std::size_t j = 0; j < 2; ++j) {
+            const Complex aij = a[i * 2 + j];
+            for (std::size_t k = 0; k < 2; ++k) {
+                for (std::size_t l = 0; l < 2; ++l) {
+                    out[(i * 2 + k) * 4 + (j * 2 + l)] = aij * b[k * 2 + l];
+                }
+            }
+        }
+    }
+    return out;
+}
+
+/** Tr(f * g) for 4x4. */
+Complex
+traceProduct(const M4 &f, const M4 &g)
+{
+    Complex acc(0.0, 0.0);
+    for (std::size_t r = 0; r < 4; ++r) {
+        for (std::size_t c = 0; c < 4; ++c) {
+            acc += f[r * 4 + c] * g[c * 4 + r];
+        }
+    }
+    return acc;
+}
+
+/** U3 matrix and its three parameter derivatives. */
+void
+u3WithGrad(double theta, double phi, double lam, M2 &u, M2 &dth, M2 &dph,
+           M2 &dlm)
+{
+    const double c = std::cos(theta / 2.0);
+    const double s = std::sin(theta / 2.0);
+    const Complex eil = std::polar(1.0, lam);
+    const Complex eip = std::polar(1.0, phi);
+    const Complex eipl = std::polar(1.0, phi + lam);
+    const Complex i1(0.0, 1.0);
+
+    u = {Complex(c, 0.0), -eil * s, eip * s, eipl * c};
+    dth = {Complex(-s / 2.0, 0.0), -eil * (c / 2.0), eip * (c / 2.0),
+           -eipl * (s / 2.0)};
+    dph = {Complex(0.0, 0.0), Complex(0.0, 0.0), i1 * eip * s, i1 * eipl * c};
+    dlm = {Complex(0.0, 0.0), -i1 * eil * s, Complex(0.0, 0.0),
+           i1 * eipl * c};
+}
+
+/** The template state for one evaluation: layers, prefixes, suffixes. */
+struct TemplateEval
+{
+    double infidelity;
+    std::vector<double> grad;
+    M4 achieved;
+};
+
+/**
+ * Evaluate objective 1 - |Tr(T^dagger C)|/4 and its gradient.
+ *
+ * C = L_k B L_{k-1} B ... B L_0, with L_i = u3(a_i) (x) u3(b_i).
+ * params layout: [layer i][qubit 0/1][theta, phi, lam].
+ */
+TemplateEval
+evaluate(const M4 &target_dag, const M4 &basis,
+         const std::vector<double> &params, int k)
+{
+    const int layers = k + 1;
+    std::vector<M2> u_hi(layers), u_lo(layers);
+    std::vector<std::array<M2, 3>> du_hi(layers), du_lo(layers);
+    for (int i = 0; i < layers; ++i) {
+        const double *p = &params[static_cast<std::size_t>(i) * 6];
+        u3WithGrad(p[0], p[1], p[2], u_hi[i], du_hi[i][0], du_hi[i][1],
+                   du_hi[i][2]);
+        u3WithGrad(p[3], p[4], p[5], u_lo[i], du_lo[i][0], du_lo[i][1],
+                   du_lo[i][2]);
+    }
+
+    std::vector<M4> layer(layers);
+    for (int i = 0; i < layers; ++i) {
+        layer[i] = kron22(u_hi[i], u_lo[i]);
+    }
+
+    // below[i] = B L_{i-1} B ... L_0 (everything applied before layer i).
+    std::vector<M4> below(layers);
+    below[0] = identity4();
+    M4 acc = layer[0];
+    for (int i = 1; i < layers; ++i) {
+        below[i] = mul4(basis, acc);
+        acc = mul4(layer[i], below[i]);
+    }
+    const M4 circuit = acc;
+
+    // above[i] = L_k B ... B (everything applied after layer i).
+    std::vector<M4> above(layers);
+    above[layers - 1] = identity4();
+    M4 up = identity4();
+    for (int i = layers - 2; i >= 0; --i) {
+        up = mul4(mul4(up, layer[i + 1]), basis);
+        above[i] = up;
+    }
+
+    const Complex g = traceProduct(target_dag, circuit) * 0.25;
+    const double mag = std::abs(g);
+    TemplateEval out;
+    out.infidelity = 1.0 - mag;
+    out.achieved = circuit;
+    out.grad.assign(params.size(), 0.0);
+    if (mag < 1e-15) {
+        return out; // gradient direction undefined at exactly zero
+    }
+    const Complex phase = std::conj(g) / mag;
+
+    for (int i = 0; i < layers; ++i) {
+        // dg/dp = Tr(F dL)/4 with F = below * T^dagger * above.
+        const M4 f = mul4(below[i], mul4(target_dag, above[i]));
+        for (int comp = 0; comp < 3; ++comp) {
+            const M4 dl_hi = kron22(du_hi[i][static_cast<std::size_t>(comp)],
+                                    u_lo[i]);
+            const M4 dl_lo = kron22(u_hi[i],
+                                    du_lo[i][static_cast<std::size_t>(comp)]);
+            const Complex dg_hi = traceProduct(f, dl_hi) * 0.25;
+            const Complex dg_lo = traceProduct(f, dl_lo) * 0.25;
+            // d(1-|g|)/dp = -Re(conj(g)/|g| dg/dp)
+            out.grad[static_cast<std::size_t>(i) * 6 +
+                     static_cast<std::size_t>(comp)] =
+                -(phase * dg_hi).real();
+            out.grad[static_cast<std::size_t>(i) * 6 + 3 +
+                     static_cast<std::size_t>(comp)] =
+                -(phase * dg_lo).real();
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+NuOpResult
+nuopDecompose(const Matrix &target, const Gate &basis, int k,
+              const NuOpOptions &options)
+{
+    SNAIL_REQUIRE(target.rows() == 4 && target.cols() == 4,
+                  "nuopDecompose needs a 4x4 target");
+    SNAIL_REQUIRE(k >= 0, "nuopDecompose needs k >= 0");
+    SNAIL_REQUIRE(basis.isTwoQubit(), "basis gate must be a 2Q gate");
+
+    const M4 target_dag = toM4(target.dagger());
+    const M4 basis_m = toM4(basis.matrix());
+    const int layers = k + 1;
+    const std::size_t num_params = static_cast<std::size_t>(layers) * 6;
+
+    Rng rng(options.seed);
+    NuOpResult best;
+    best.k = k;
+    best.infidelity = 2.0;
+
+    for (int restart = 0; restart < options.restarts; ++restart) {
+        std::vector<double> params(num_params);
+        for (auto &p : params) {
+            p = rng.uniform(-M_PI, M_PI);
+        }
+        // Adam state.
+        std::vector<double> m(num_params, 0.0);
+        std::vector<double> v(num_params, 0.0);
+        const double beta1 = 0.9;
+        const double beta2 = 0.999;
+        const double eps = 1e-9;
+
+        // Phase 1: Adam finds the basin.
+        TemplateEval eval = evaluate(target_dag, basis_m, params, k);
+        for (int iter = 1; iter <= options.max_iterations; ++iter) {
+            if (eval.infidelity < 1e-5) {
+                break;
+            }
+            const double b1t = 1.0 - std::pow(beta1, iter);
+            const double b2t = 1.0 - std::pow(beta2, iter);
+            for (std::size_t i = 0; i < num_params; ++i) {
+                m[i] = beta1 * m[i] + (1.0 - beta1) * eval.grad[i];
+                v[i] = beta2 * v[i] +
+                       (1.0 - beta2) * eval.grad[i] * eval.grad[i];
+                params[i] -= options.learning_rate * (m[i] / b1t) /
+                             (std::sqrt(v[i] / b2t) + eps);
+            }
+            eval = evaluate(target_dag, basis_m, params, k);
+        }
+
+        // Phase 2: Polak-Ribiere conjugate gradient with a backtracking
+        // line search polishes to machine precision inside the basin
+        // (Adam's normalized steps stall at ~1e-7, and plain gradient
+        // descent crawls because the template parameterization has gauge
+        // redundancy and an ill-conditioned Hessian).
+        std::vector<double> dir(num_params);
+        std::vector<double> prev_grad = eval.grad;
+        for (std::size_t i = 0; i < num_params; ++i) {
+            dir[i] = -eval.grad[i];
+        }
+        double step = 1.0;
+        for (int iter = 0; iter < 800 && eval.infidelity > options.tolerance;
+             ++iter) {
+            std::vector<double> trial(num_params);
+            TemplateEval trial_eval;
+            bool accepted = false;
+            for (int bt = 0; bt < 48; ++bt) {
+                for (std::size_t i = 0; i < num_params; ++i) {
+                    trial[i] = params[i] + step * dir[i];
+                }
+                trial_eval = evaluate(target_dag, basis_m, trial, k);
+                if (trial_eval.infidelity < eval.infidelity) {
+                    accepted = true;
+                    break;
+                }
+                step *= 0.5;
+                if (step < 1e-16) {
+                    break;
+                }
+            }
+            if (!accepted) {
+                // Restart along steepest descent once before giving up.
+                bool was_steepest = true;
+                for (std::size_t i = 0; i < num_params; ++i) {
+                    if (std::abs(dir[i] + eval.grad[i]) > 1e-18) {
+                        was_steepest = false;
+                        break;
+                    }
+                }
+                if (was_steepest) {
+                    break;
+                }
+                for (std::size_t i = 0; i < num_params; ++i) {
+                    dir[i] = -eval.grad[i];
+                }
+                step = 1.0;
+                continue;
+            }
+            params.swap(trial);
+            prev_grad.swap(eval.grad);
+            eval = trial_eval;
+            step *= 2.0;
+
+            // Polak-Ribiere update with automatic restart.
+            double num = 0.0;
+            double den = 0.0;
+            for (std::size_t i = 0; i < num_params; ++i) {
+                num += eval.grad[i] * (eval.grad[i] - prev_grad[i]);
+                den += prev_grad[i] * prev_grad[i];
+            }
+            const double beta = (den > 0.0) ? std::max(0.0, num / den) : 0.0;
+            double descent = 0.0;
+            for (std::size_t i = 0; i < num_params; ++i) {
+                dir[i] = -eval.grad[i] + beta * dir[i];
+                descent += dir[i] * eval.grad[i];
+            }
+            if (descent >= 0.0) {
+                for (std::size_t i = 0; i < num_params; ++i) {
+                    dir[i] = -eval.grad[i];
+                }
+            }
+        }
+
+        if (eval.infidelity < best.infidelity) {
+            best.params = params;
+            best.infidelity = eval.infidelity;
+            best.achieved = fromM4(eval.achieved);
+        }
+        if (best.infidelity < options.tolerance) {
+            break;
+        }
+    }
+    return best;
+}
+
+NuOpResult
+nuopDecomposeAdaptive(const Matrix &target, const Gate &basis, int k_min,
+                      int k_max, const NuOpOptions &options)
+{
+    SNAIL_REQUIRE(k_min >= 0 && k_max >= k_min,
+                  "invalid k range for adaptive decomposition");
+    // A template is accepted as "exact" at this threshold; the optimizer's
+    // own tolerance may be stricter without forcing extra k.
+    const double accept = std::max(options.tolerance, 1e-8);
+    NuOpResult best;
+    best.infidelity = 2.0;
+    for (int k = k_min; k <= k_max; ++k) {
+        NuOpResult r = nuopDecompose(target, basis, k, options);
+        if (r.infidelity < best.infidelity) {
+            best = r;
+        }
+        if (best.infidelity < accept) {
+            break;
+        }
+    }
+    return best;
+}
+
+Circuit
+nuopToCircuit(const NuOpResult &result, const Gate &basis)
+{
+    Circuit c(2, "nuop");
+    const int layers = result.k + 1;
+    SNAIL_REQUIRE(result.params.size() ==
+                      static_cast<std::size_t>(layers) * 6,
+                  "result parameter vector has the wrong size");
+    for (int i = 0; i < layers; ++i) {
+        if (i > 0) {
+            c.append(basis, {1, 0});
+        }
+        const double *p = &result.params[static_cast<std::size_t>(i) * 6];
+        c.u3(p[0], p[1], p[2], 1);
+        c.u3(p[3], p[4], p[5], 0);
+    }
+    return c;
+}
+
+} // namespace snail

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * NuOp-style approximate decomposition (paper Sec. 6.3, Eq. 10).
+ *
+ * A target 2Q unitary is approximated by the template
+ *     (u_k (x) v_k) B (u_{k-1} (x) v_{k-1}) B ... B (u_0 (x) v_0)
+ * with B a fixed basis gate (typically an n-th root of iSWAP) and u_i,
+ * v_i parameterized as U3 gates.  The 6(k+1) angles are optimized with an
+ * analytic-gradient Adam loop under random restarts; the objective is the
+ * Hilbert-Schmidt fidelity of Eq. 11,
+ *     Fd = |Tr(Ud^dagger Ut)| / dim.
+ *
+ * This reproduces the engine behind Fig. 15 and doubles as an exact
+ * synthesizer: when k matches the analytic basis count the optimizer
+ * converges to machine precision.
+ */
+
+#ifndef SNAILQC_DECOMP_NUOP_HPP
+#define SNAILQC_DECOMP_NUOP_HPP
+
+#include <vector>
+
+#include "gates/gate.hpp"
+#include "ir/circuit.hpp"
+#include "linalg/matrix.hpp"
+
+namespace snail
+{
+
+/** Optimizer configuration for the template search. */
+struct NuOpOptions
+{
+    int max_iterations = 1000;   //!< Adam steps per restart
+    int restarts = 6;            //!< random restarts before giving up
+    double tolerance = 1e-10;    //!< stop when infidelity drops below this
+    double learning_rate = 0.08; //!< Adam step size
+    unsigned long long seed = 0x5eedULL;
+};
+
+/** Result of a template optimization. */
+struct NuOpResult
+{
+    /** U3 angles, layout [layer][qubit][theta, phi, lam]. */
+    std::vector<double> params;
+    double infidelity = 1.0; //!< 1 - Fd at the optimum
+    int k = 0;               //!< number of basis-gate applications
+    Matrix achieved;         //!< the template's unitary at the optimum
+};
+
+/**
+ * Optimize a k-application template of `basis` toward `target`.
+ * @param target 4x4 unitary to approximate.
+ * @param basis the fixed 2Q basis gate B.
+ * @param k number of B applications in the template (k >= 0).
+ */
+NuOpResult nuopDecompose(const Matrix &target, const Gate &basis, int k,
+                         const NuOpOptions &options = NuOpOptions());
+
+/**
+ * Increase k until the template reaches `tolerance`, starting from k_min.
+ * Returns the first result that converged (or the best attempt at k_max).
+ */
+NuOpResult nuopDecomposeAdaptive(const Matrix &target, const Gate &basis,
+                                 int k_min, int k_max,
+                                 const NuOpOptions &options = NuOpOptions());
+
+/**
+ * Render a result as a 2-qubit circuit: U3 layers interleaved with the
+ * basis gate, acting with qubit 1 as the high tensor factor.
+ */
+Circuit nuopToCircuit(const NuOpResult &result, const Gate &basis);
+
+} // namespace snail
+
+#endif // SNAILQC_DECOMP_NUOP_HPP

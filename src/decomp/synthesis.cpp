@@ -1,0 +1,73 @@
+#include "decomp/synthesis.hpp"
+
+#include "common/error.hpp"
+#include "linalg/kron_factor.hpp"
+#include "linalg/su2.hpp"
+
+namespace snail
+{
+
+Gate
+basisSpecGate(const BasisSpec &basis)
+{
+    switch (basis.kind) {
+      case BasisKind::CNOT:
+        return gates::cx();
+      case BasisKind::SqISwap:
+        return gates::sqiswap();
+      case BasisKind::ISwap:
+        return gates::iswap();
+      case BasisKind::Sycamore:
+        return gates::sycamore();
+    }
+    SNAIL_ASSERT(false, "unhandled basis kind");
+    return gates::cx();
+}
+
+Circuit
+synthesizeLocal(const Matrix &u)
+{
+    const KronFactors f = factorKronecker(u);
+    SNAIL_REQUIRE(f.residual < 1e-7,
+                  "synthesizeLocal needs a tensor-product input (residual "
+                      << f.residual << ")");
+    const ZyzAngles hi = zyzDecompose(f.left);
+    const ZyzAngles lo = zyzDecompose(f.right);
+    Circuit c(2, "local");
+    // u3(theta, phi, lam) = e^{i(phi+lam)/2} Rz(phi) Ry(theta) Rz(lam);
+    // global phases are dropped.
+    c.u3(hi.theta, hi.phi, hi.lam, 1);
+    c.u3(lo.theta, lo.phi, lo.lam, 0);
+    return c;
+}
+
+SynthesisResult
+synthesizeInBasis(const Matrix &u, const BasisSpec &basis,
+                  const NuOpOptions &options, double tolerance)
+{
+    const WeylCoords coords = weylCoordinates(u);
+    int k = basisCount(basis, coords);
+    const Gate basis_gate = basisSpecGate(basis);
+
+    if (k == 0) {
+        SynthesisResult out{synthesizeLocal(u), 0, 0.0};
+        return out;
+    }
+
+    // The analytic count is an existence guarantee; allow one escalation
+    // step as a numerical safety valve.
+    NuOpOptions opts = options;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        const NuOpResult r = nuopDecompose(u, basis_gate, k, opts);
+        if (r.infidelity <= tolerance) {
+            SynthesisResult out{nuopToCircuit(r, basis_gate), k,
+                                r.infidelity};
+            return out;
+        }
+        ++k;
+        opts.restarts += 4;
+    }
+    SNAIL_THROW("synthesis failed to converge for basis " << basis.name());
+}
+
+} // namespace snail

@@ -1,0 +1,48 @@
+#include "fidelity/codesign_noise.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+std::vector<PerOpNoise>
+basisPerOpNoise(const Circuit &routed, const BasisSpec &basis,
+                double pulse_error, double pulse_error_1q)
+{
+    SNAIL_REQUIRE(pulse_error >= 0.0 && pulse_error < 1.0,
+                  "pulse error must be in [0, 1), got " << pulse_error);
+    const std::vector<int> counts =
+        basisCountsPerInstruction(routed, basis);
+    const double pulse = basis.pulseDuration();
+
+    std::vector<PerOpNoise> per_op;
+    per_op.reserve(routed.size());
+    for (std::size_t i = 0; i < routed.size(); ++i) {
+        PerOpNoise noise;
+        if (routed.instructions()[i].numQubits() == 1) {
+            noise.p_error = pulse_error_1q;
+            noise.duration = 0.0;
+        } else {
+            const int k = counts[i];
+            noise.p_error = 1.0 - std::pow(1.0 - pulse_error, k);
+            noise.duration = static_cast<double>(k) * pulse;
+        }
+        per_op.push_back(noise);
+    }
+    return per_op;
+}
+
+NoiseEstimate
+codesignNoiseEstimate(const Circuit &routed, const BasisSpec &basis,
+                      double pulse_error, double idle_error, int trials,
+                      Rng &rng)
+{
+    const std::vector<PerOpNoise> per_op =
+        basisPerOpNoise(routed, basis, pulse_error);
+    return estimateCircuitFidelity(routed, per_op, idle_error, trials,
+                                   rng);
+}
+
+} // namespace snail

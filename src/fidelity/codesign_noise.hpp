@@ -1,0 +1,51 @@
+/**
+ * @file
+ * End-to-end Monte-Carlo fidelity of a co-designed machine.
+ *
+ * Bridges the basis-translation scoring (counts and pulse durations per
+ * routed operation) to the stochastic Pauli trajectory simulator: a 2Q
+ * operation that translates to k native pulses suffers an error with
+ * probability 1 - (1 - pulse_error)^k and occupies its pair for
+ * k x pulseDuration time units of dephasing exposure.
+ *
+ * This turns the paper's two surrogate metrics (total pulses for the
+ * gate-limited regime, critical-path duration for the time-limited
+ * regime) into a single simulated figure: the expected state fidelity
+ * of the transpiled circuit on that (topology, basis) machine.
+ */
+
+#ifndef SNAILQC_FIDELITY_CODESIGN_NOISE_HPP
+#define SNAILQC_FIDELITY_CODESIGN_NOISE_HPP
+
+#include <vector>
+
+#include "sim/noise.hpp"
+#include "transpiler/basis_translation.hpp"
+
+namespace snail
+{
+
+/**
+ * Per-instruction noise parameters of a routed circuit in a basis:
+ * error probability 1-(1-pulse_error)^count, duration count x pulse.
+ * 1Q gates carry pulse_error_1q and zero duration (the paper treats
+ * them as free).
+ */
+std::vector<PerOpNoise> basisPerOpNoise(const Circuit &routed,
+                                        const BasisSpec &basis,
+                                        double pulse_error,
+                                        double pulse_error_1q = 0.0);
+
+/**
+ * Monte-Carlo fidelity of the routed circuit on a machine whose native
+ * pulses have error probability `pulse_error` and whose qubits dephase
+ * with probability `idle_error` per normalized duration unit.
+ */
+NoiseEstimate codesignNoiseEstimate(const Circuit &routed,
+                                    const BasisSpec &basis,
+                                    double pulse_error, double idle_error,
+                                    int trials, Rng &rng);
+
+} // namespace snail
+
+#endif // SNAILQC_FIDELITY_CODESIGN_NOISE_HPP

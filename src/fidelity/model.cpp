@@ -1,0 +1,46 @@
+#include "fidelity/model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+double
+scaledBasisFidelity(double f_iswap, double root)
+{
+    SNAIL_REQUIRE(f_iswap >= 0.0 && f_iswap <= 1.0,
+                  "basis fidelity must lie in [0, 1]");
+    SNAIL_REQUIRE(root >= 1.0, "root must be >= 1");
+    return 1.0 - (1.0 - f_iswap) / root;
+}
+
+double
+totalFidelity(double decomposition_fidelity, double basis_fidelity, int k)
+{
+    SNAIL_REQUIRE(k >= 0, "negative gate count");
+    return decomposition_fidelity * std::pow(basis_fidelity, k);
+}
+
+double
+bestTotalFidelity(const std::vector<DecompositionPoint> &profile,
+                  double basis_fidelity, int *best_k)
+{
+    double best = 0.0;
+    int winner = 0;
+    for (const auto &point : profile) {
+        const double ft =
+            totalFidelity(point.fidelity, basis_fidelity, point.k);
+        if (ft > best) {
+            best = ft;
+            winner = point.k;
+        }
+    }
+    if (best_k != nullptr) {
+        *best_k = winner;
+    }
+    return best;
+}
+
+} // namespace snail

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Decoherence-scaled fidelity model (paper Sec. 6.3, Eqs. 12 and 13).
+ *
+ * The SNAIL realizes the n-th root of iSWAP with a pulse 1/n as long as a
+ * full iSWAP, and decoherence-driven infidelity is approximated as linear
+ * in time:  Fb(n-root iSWAP) = 1 - (1 - Fb(iSWAP)) / n   (Eq. 12).
+ * A k-application approximate decomposition with Hilbert-Schmidt fidelity
+ * Fd then achieves total fidelity  Ft = Fd * Fb^k, and the best template
+ * size maximizes it:  Ft = max_k Fd(k) Fb^k   (Eq. 13).
+ */
+
+#ifndef SNAILQC_FIDELITY_MODEL_HPP
+#define SNAILQC_FIDELITY_MODEL_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace snail
+{
+
+/** Eq. 12: per-pulse fidelity of the n-th root of iSWAP. */
+double scaledBasisFidelity(double f_iswap, double root);
+
+/** Ft for one template: decomposition fidelity times Fb^k. */
+double totalFidelity(double decomposition_fidelity, double basis_fidelity,
+                     int k);
+
+/** One (k, Fd) point of a decomposition-fidelity profile. */
+struct DecompositionPoint
+{
+    int k = 0;         //!< basis-gate applications
+    double fidelity = 0.0; //!< achieved Hilbert-Schmidt fidelity Fd
+};
+
+/**
+ * Eq. 13: pick the template size maximizing Fd(k) * Fb^k.
+ * @return the winning point's total fidelity (0 for an empty profile).
+ */
+double bestTotalFidelity(const std::vector<DecompositionPoint> &profile,
+                         double basis_fidelity, int *best_k = nullptr);
+
+} // namespace snail
+
+#endif // SNAILQC_FIDELITY_MODEL_HPP

@@ -1,0 +1,119 @@
+#include "fidelity/nroot_study.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/random_unitary.hpp"
+
+namespace snail
+{
+
+NRootStudyResult::NRootStudyResult(std::vector<double> roots, int k_min,
+                                   int k_max, int samples)
+    : _roots(std::move(roots)), _kMin(k_min), _kMax(k_max), _samples(samples)
+{
+    SNAIL_REQUIRE(!_roots.empty() && k_min >= 0 && k_max >= k_min &&
+                      samples > 0,
+                  "invalid study dimensions");
+    _data.assign(_roots.size(),
+                 std::vector<std::vector<double>>(
+                     static_cast<std::size_t>(k_max - k_min + 1),
+                     std::vector<double>(static_cast<std::size_t>(samples),
+                                         1.0)));
+}
+
+void
+NRootStudyResult::setInfidelity(std::size_t root_index, int k, int sample,
+                                double infidelity)
+{
+    _data.at(root_index)
+        .at(static_cast<std::size_t>(k - _kMin))
+        .at(static_cast<std::size_t>(sample)) = infidelity;
+}
+
+double
+NRootStudyResult::infidelity(std::size_t root_index, int k, int sample) const
+{
+    return _data.at(root_index)
+        .at(static_cast<std::size_t>(k - _kMin))
+        .at(static_cast<std::size_t>(sample));
+}
+
+double
+NRootStudyResult::averageInfidelity(std::size_t root_index, int k) const
+{
+    const auto &row = _data.at(root_index)
+                          .at(static_cast<std::size_t>(k - _kMin));
+    double total = 0.0;
+    for (double v : row) {
+        total += v;
+    }
+    return total / static_cast<double>(row.size());
+}
+
+double
+NRootStudyResult::pulseDuration(std::size_t root_index, int k) const
+{
+    return static_cast<double>(k) / _roots.at(root_index);
+}
+
+int
+NRootStudyResult::minimalK(std::size_t root_index, double threshold) const
+{
+    for (int k = _kMin; k <= _kMax; ++k) {
+        if (averageInfidelity(root_index, k) < threshold) {
+            return k;
+        }
+    }
+    return -1;
+}
+
+double
+NRootStudyResult::averageTotalFidelity(std::size_t root_index,
+                                       double f_iswap) const
+{
+    // Eq. 12: the per-pulse fidelity of this fractional root.
+    const double fb = scaledBasisFidelity(f_iswap, _roots.at(root_index));
+    double total = 0.0;
+    for (int s = 0; s < _samples; ++s) {
+        std::vector<DecompositionPoint> profile;
+        profile.reserve(static_cast<std::size_t>(_kMax - _kMin + 1));
+        for (int k = _kMin; k <= _kMax; ++k) {
+            profile.push_back(
+                DecompositionPoint{k, 1.0 - infidelity(root_index, k, s)});
+        }
+        total += bestTotalFidelity(profile, fb);
+    }
+    return total / static_cast<double>(_samples);
+}
+
+NRootStudyResult
+runNRootStudy(const NRootStudyOptions &options)
+{
+    NRootStudyResult result(options.roots, options.k_min, options.k_max,
+                            options.samples);
+    Rng rng(options.seed);
+
+    // Draw the Haar targets once so every (root, k) cell sees the same
+    // unitaries, as in the paper's per-sample Eq. 13 maximization.
+    std::vector<Matrix> targets;
+    targets.reserve(static_cast<std::size_t>(options.samples));
+    for (int s = 0; s < options.samples; ++s) {
+        targets.push_back(haarUnitary(4, rng));
+    }
+
+    for (std::size_t ri = 0; ri < options.roots.size(); ++ri) {
+        const Gate basis = gates::nrootIswap(options.roots[ri]);
+        for (int k = options.k_min; k <= options.k_max; ++k) {
+            for (int s = 0; s < options.samples; ++s) {
+                NuOpOptions opts = options.optimizer;
+                opts.seed = rng.next();
+                const NuOpResult r = nuopDecompose(
+                    targets[static_cast<std::size_t>(s)], basis, k, opts);
+                result.setInfidelity(ri, k, s, r.infidelity);
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace snail

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The n-th-root-of-iSWAP pulse-duration sensitivity study (paper Fig. 15).
+ *
+ * For each root n and template size k, NuOp decompositions of Haar-random
+ * 2Q unitaries measure the average approximation infidelity 1 - Fd.  The
+ * decoherence model (Eq. 12/13) then converts per-sample (k, Fd) profiles
+ * into total-fidelity curves as a function of the base iSWAP fidelity,
+ * reproducing all three panels of Fig. 15.
+ */
+
+#ifndef SNAILQC_FIDELITY_NROOT_STUDY_HPP
+#define SNAILQC_FIDELITY_NROOT_STUDY_HPP
+
+#include <vector>
+
+#include "decomp/nuop.hpp"
+#include "fidelity/model.hpp"
+
+namespace snail
+{
+
+/** Configuration of the Fig. 15 study. */
+struct NRootStudyOptions
+{
+    std::vector<double> roots = {2, 3, 4, 5, 6, 7}; //!< n values
+    int k_min = 2;
+    int k_max = 8;
+    int samples = 50;          //!< Haar-random targets (paper N = 50)
+    unsigned long long seed = 0xF15ULL;
+    NuOpOptions optimizer;     //!< inner NuOp settings
+};
+
+/** Study output: infidelity data per (root, k, sample). */
+class NRootStudyResult
+{
+  public:
+    NRootStudyResult(std::vector<double> roots, int k_min, int k_max,
+                     int samples);
+
+    const std::vector<double> &roots() const { return _roots; }
+    int kMin() const { return _kMin; }
+    int kMax() const { return _kMax; }
+    int samples() const { return _samples; }
+
+    /** Mutable access used by the runner. */
+    void setInfidelity(std::size_t root_index, int k, int sample,
+                       double infidelity);
+
+    /** Infidelity 1 - Fd of one optimization. */
+    double infidelity(std::size_t root_index, int k, int sample) const;
+
+    /** Fig. 15 top-left: mean infidelity for (root, k). */
+    double averageInfidelity(std::size_t root_index, int k) const;
+
+    /** Normalized pulse duration of a (root, k) template: k / n. */
+    double pulseDuration(std::size_t root_index, int k) const;
+
+    /** Smallest k whose mean infidelity is below `threshold` (or -1). */
+    int minimalK(std::size_t root_index, double threshold = 1e-6) const;
+
+    /**
+     * Fig. 15 bottom: mean over samples of the Eq. 13 best total
+     * fidelity at base iSWAP fidelity `f_iswap`.
+     */
+    double averageTotalFidelity(std::size_t root_index,
+                                double f_iswap) const;
+
+  private:
+    std::vector<double> _roots;
+    int _kMin;
+    int _kMax;
+    int _samples;
+    /** [root][k - k_min][sample] -> infidelity. */
+    std::vector<std::vector<std::vector<double>>> _data;
+};
+
+/** Run the full study (deterministic under options.seed). */
+NRootStudyResult runNRootStudy(const NRootStudyOptions &options);
+
+} // namespace snail
+
+#endif // SNAILQC_FIDELITY_NROOT_STUDY_HPP

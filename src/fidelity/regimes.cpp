@@ -1,0 +1,36 @@
+#include "fidelity/regimes.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+double
+gateLimitedFidelity(const TranspileMetrics &metrics, double error_per_pulse)
+{
+    SNAIL_REQUIRE(error_per_pulse >= 0.0 && error_per_pulse < 1.0,
+                  "per-pulse error must lie in [0, 1)");
+    return std::pow(1.0 - error_per_pulse,
+                    static_cast<double>(metrics.basis_2q_total));
+}
+
+double
+timeLimitedFidelity(const TranspileMetrics &metrics,
+                    double coherence_in_pulses)
+{
+    SNAIL_REQUIRE(coherence_in_pulses > 0.0,
+                  "coherence time must be positive");
+    return std::exp(-metrics.duration_critical / coherence_in_pulses);
+}
+
+double
+combinedFidelity(const TranspileMetrics &metrics, double error_per_pulse,
+                 double coherence_in_pulses)
+{
+    return gateLimitedFidelity(metrics, error_per_pulse) *
+           timeLimitedFidelity(metrics, coherence_in_pulses);
+}
+
+} // namespace snail

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Error-regime figures of merit (paper Sec. 3.1).
+ *
+ * The paper keeps two parallel datasets because NISQ infidelity has two
+ * very different sources: control imperfections, which accumulate per
+ * *gate*, and decoherence, which accumulates per unit of *time*.  This
+ * module turns the transpile metrics into estimated circuit success
+ * probabilities under each regime:
+ *
+ *   gate-limited:  F = (1 - eps)^(total native 2Q pulses)
+ *   time-limited:  F = exp(-critical pulse duration / T)
+ *
+ * and finds the per-pulse-error / coherence-time combinations where one
+ * co-design overtakes another.
+ */
+
+#ifndef SNAILQC_FIDELITY_REGIMES_HPP
+#define SNAILQC_FIDELITY_REGIMES_HPP
+
+#include "transpiler/pipeline.hpp"
+
+namespace snail
+{
+
+/** Gate-limited regime: every native pulse fails independently. */
+double gateLimitedFidelity(const TranspileMetrics &metrics,
+                           double error_per_pulse);
+
+/** Time-limited regime: exponential decay over the critical schedule.
+ *  @param coherence_in_pulses T expressed in normalized pulse units. */
+double timeLimitedFidelity(const TranspileMetrics &metrics,
+                           double coherence_in_pulses);
+
+/** Combined model: both mechanisms act simultaneously. */
+double combinedFidelity(const TranspileMetrics &metrics,
+                        double error_per_pulse,
+                        double coherence_in_pulses);
+
+} // namespace snail
+
+#endif // SNAILQC_FIDELITY_REGIMES_HPP

@@ -1,0 +1,237 @@
+#include "gates/gate.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+const GateInfo &
+gateInfo(GateKind kind)
+{
+    static const GateInfo table[] = {
+        {"id", 1, 0},      {"x", 1, 0},        {"y", 1, 0},
+        {"z", 1, 0},       {"h", 1, 0},        {"s", 1, 0},
+        {"sdg", 1, 0},     {"t", 1, 0},        {"tdg", 1, 0},
+        {"sx", 1, 0},      {"rx", 1, 1},       {"ry", 1, 1},
+        {"rz", 1, 1},      {"p", 1, 1},        {"u3", 1, 3},
+        {"unitary2", 1, 0},
+        {"cx", 2, 0},      {"cz", 2, 0},       {"cp", 2, 1},
+        {"rzz", 2, 1},     {"swap", 2, 0},     {"iswap", 2, 0},
+        {"sqiswap", 2, 0}, {"nroot_iswap", 2, 1},
+        {"fsim", 2, 2},    {"syc", 2, 0},      {"zx", 2, 1},
+        {"b", 2, 0},       {"can", 2, 3},      {"unitary4", 2, 0},
+    };
+    return table[static_cast<int>(kind)];
+}
+
+Gate::Gate(GateKind kind) : _kind(kind)
+{
+    SNAIL_REQUIRE(gateInfo(kind).num_params == 0,
+                  "gate " << gateInfo(kind).name << " needs parameters");
+    SNAIL_REQUIRE(kind != GateKind::Unitary2 && kind != GateKind::Unitary4,
+                  "opaque unitary gates need an explicit matrix");
+}
+
+Gate::Gate(GateKind kind, std::vector<double> params)
+    : _kind(kind), _params(std::move(params))
+{
+    SNAIL_REQUIRE(static_cast<int>(_params.size()) ==
+                      gateInfo(kind).num_params,
+                  "gate " << gateInfo(kind).name << " expects "
+                          << gateInfo(kind).num_params << " parameters, got "
+                          << _params.size());
+}
+
+Gate::Gate(GateKind kind, Matrix matrix)
+    : _kind(kind), _matrix(std::make_shared<const Matrix>(std::move(matrix)))
+{
+    SNAIL_REQUIRE(kind == GateKind::Unitary2 || kind == GateKind::Unitary4,
+                  "explicit matrices are only for opaque unitary gates");
+    const std::size_t dim = (kind == GateKind::Unitary2) ? 2 : 4;
+    SNAIL_REQUIRE(_matrix->rows() == dim && _matrix->cols() == dim,
+                  "opaque unitary has wrong dimension");
+}
+
+std::string
+Gate::name() const
+{
+    return gateInfo(_kind).name;
+}
+
+bool
+Gate::cacheable() const
+{
+    return _kind != GateKind::Unitary2 && _kind != GateKind::Unitary4;
+}
+
+std::string
+Gate::cacheKey() const
+{
+    std::ostringstream oss;
+    oss << gateInfo(_kind).name;
+    for (double p : _params) {
+        // Round to 1e-12 so cache keys are stable against formatting noise.
+        oss << ':' << static_cast<long long>(std::llround(p * 1e12));
+    }
+    return oss.str();
+}
+
+Matrix
+Gate::matrix() const
+{
+    using std::cos;
+    using std::sin;
+    const Complex i1(0.0, 1.0);
+    switch (_kind) {
+      case GateKind::I:
+        return Matrix::identity(2);
+      case GateKind::X:
+        return Matrix{{0, 1}, {1, 0}};
+      case GateKind::Y:
+        return Matrix{{0, -i1}, {i1, 0}};
+      case GateKind::Z:
+        return Matrix{{1, 0}, {0, -1}};
+      case GateKind::H: {
+        const double r = 1.0 / std::sqrt(2.0);
+        return Matrix{{r, r}, {r, -r}};
+      }
+      case GateKind::S:
+        return Matrix{{1, 0}, {0, i1}};
+      case GateKind::Sdg:
+        return Matrix{{1, 0}, {0, -i1}};
+      case GateKind::T:
+        return Matrix{{1, 0}, {0, std::polar(1.0, M_PI / 4.0)}};
+      case GateKind::Tdg:
+        return Matrix{{1, 0}, {0, std::polar(1.0, -M_PI / 4.0)}};
+      case GateKind::SX: {
+        const Complex p = Complex(0.5, 0.5);
+        const Complex m = Complex(0.5, -0.5);
+        return Matrix{{p, m}, {m, p}};
+      }
+      case GateKind::RX: {
+        const double c = cos(_params[0] / 2.0);
+        const double s = sin(_params[0] / 2.0);
+        return Matrix{{Complex(c, 0.0), Complex(0.0, -s)},
+                      {Complex(0.0, -s), Complex(c, 0.0)}};
+      }
+      case GateKind::RY: {
+        const double c = cos(_params[0] / 2.0);
+        const double s = sin(_params[0] / 2.0);
+        return Matrix{{c, -s}, {s, c}};
+      }
+      case GateKind::RZ:
+        return Matrix{{std::polar(1.0, -_params[0] / 2.0), 0.0},
+                      {0.0, std::polar(1.0, _params[0] / 2.0)}};
+      case GateKind::Phase:
+        return Matrix{{1, 0}, {0, std::polar(1.0, _params[0])}};
+      case GateKind::U3: {
+        const double c = cos(_params[0] / 2.0);
+        const double s = sin(_params[0] / 2.0);
+        return Matrix{{Complex(c, 0.0), -std::polar(s, _params[2])},
+                      {std::polar(s, _params[1]),
+                       std::polar(c, _params[1] + _params[2])}};
+      }
+      case GateKind::Unitary2:
+      case GateKind::Unitary4:
+        return *_matrix;
+      case GateKind::CX:
+        return Matrix{{1, 0, 0, 0},
+                      {0, 1, 0, 0},
+                      {0, 0, 0, 1},
+                      {0, 0, 1, 0}};
+      case GateKind::CZ:
+        return Matrix{{1, 0, 0, 0},
+                      {0, 1, 0, 0},
+                      {0, 0, 1, 0},
+                      {0, 0, 0, -1}};
+      case GateKind::CPhase:
+        return Matrix{{1, 0, 0, 0},
+                      {0, 1, 0, 0},
+                      {0, 0, 1, 0},
+                      {0, 0, 0, std::polar(1.0, _params[0])}};
+      case GateKind::RZZ: {
+        const Complex em = std::polar(1.0, -_params[0] / 2.0);
+        const Complex ep = std::polar(1.0, _params[0] / 2.0);
+        return Matrix{{em, 0, 0, 0},
+                      {0, ep, 0, 0},
+                      {0, 0, ep, 0},
+                      {0, 0, 0, em}};
+      }
+      case GateKind::Swap:
+        return Matrix{{1, 0, 0, 0},
+                      {0, 0, 1, 0},
+                      {0, 1, 0, 0},
+                      {0, 0, 0, 1}};
+      case GateKind::ISwap:
+        return gates::nrootIswap(1.0).matrix();
+      case GateKind::SqISwap:
+        return gates::nrootIswap(2.0).matrix();
+      case GateKind::NRootISwap: {
+        // Eq. 2 of the paper.
+        const double n = _params[0];
+        SNAIL_REQUIRE(n >= 1.0, "nroot_iswap order must be >= 1");
+        const double c = cos(M_PI / (2.0 * n));
+        const double s = sin(M_PI / (2.0 * n));
+        return Matrix{{1, 0, 0, 0},
+                      {0, Complex(c, 0.0), Complex(0.0, s), 0},
+                      {0, Complex(0.0, s), Complex(c, 0.0), 0},
+                      {0, 0, 0, 1}};
+      }
+      case GateKind::FSim: {
+        // Eq. 6 of the paper.
+        const double theta = _params[0];
+        const double phi = _params[1];
+        const double c = cos(theta);
+        const double s = sin(theta);
+        return Matrix{{1, 0, 0, 0},
+                      {0, Complex(c, 0.0), Complex(0.0, -s), 0},
+                      {0, Complex(0.0, -s), Complex(c, 0.0), 0},
+                      {0, 0, 0, std::polar(1.0, -phi)}};
+      }
+      case GateKind::Sycamore:
+        return gates::fsim(M_PI / 2.0, M_PI / 6.0).matrix();
+      case GateKind::CrossRes: {
+        // Eq. 4 of the paper: ZX(theta).
+        const double c = cos(_params[0] / 2.0);
+        const double s = sin(_params[0] / 2.0);
+        return Matrix{{Complex(c, 0.0), 0, Complex(0.0, -s), 0},
+                      {0, Complex(c, 0.0), 0, Complex(0.0, s)},
+                      {Complex(0.0, -s), 0, Complex(c, 0.0), 0},
+                      {0, Complex(0.0, s), 0, Complex(c, 0.0)}};
+      }
+      case GateKind::BGate:
+        // Berkeley gate: canonical coordinates (pi/4, pi/8, 0).
+        return gates::canonical(M_PI / 4.0, M_PI / 8.0, 0.0).matrix();
+      case GateKind::Canonical: {
+        // exp(i (a XX + b YY + c ZZ)); XX, YY, ZZ commute, so the matrix
+        // splits into closed-form 2x2 blocks on {|00>,|11>} and
+        // {|01>,|10>}.
+        const double a = _params[0];
+        const double b = _params[1];
+        const double c = _params[2];
+        const Complex outer_phase = std::polar(1.0, c);
+        const Complex inner_phase = std::polar(1.0, -c);
+        const double co = cos(a - b);
+        const double so = sin(a - b);
+        const double ci = cos(a + b);
+        const double si = sin(a + b);
+        Matrix m(4, 4);
+        m(0, 0) = outer_phase * Complex(co, 0.0);
+        m(0, 3) = outer_phase * Complex(0.0, so);
+        m(3, 0) = outer_phase * Complex(0.0, so);
+        m(3, 3) = outer_phase * Complex(co, 0.0);
+        m(1, 1) = inner_phase * Complex(ci, 0.0);
+        m(1, 2) = inner_phase * Complex(0.0, si);
+        m(2, 1) = inner_phase * Complex(0.0, si);
+        m(2, 2) = inner_phase * Complex(ci, 0.0);
+        return m;
+      }
+    }
+    SNAIL_ASSERT(false, "unhandled gate kind");
+    return Matrix();
+}
+
+} // namespace snail

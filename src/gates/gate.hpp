@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Gate kinds and the Gate value type.
+ *
+ * A Gate is a kind plus real parameters (rotation angles, fractional-root
+ * order, ...) and, for opaque Haar-random blocks, an explicit matrix.  The
+ * set of kinds covers every gate the paper touches: the CR/ZX family (IBM),
+ * the FSIM/SYC family (Google), the n-th-root-of-iSWAP family (SNAIL), the
+ * canonical CAN(a,b,c) interaction, and the usual 1Q/2Q circuit gates.
+ */
+
+#ifndef SNAILQC_GATES_GATE_HPP
+#define SNAILQC_GATES_GATE_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace snail
+{
+
+/** Every gate kind known to the library. */
+enum class GateKind
+{
+    // 1Q
+    I,
+    X,
+    Y,
+    Z,
+    H,
+    S,
+    Sdg,
+    T,
+    Tdg,
+    SX,
+    RX,
+    RY,
+    RZ,
+    Phase,
+    U3,
+    Unitary2,
+    // 2Q
+    CX,
+    CZ,
+    CPhase,
+    RZZ,
+    Swap,
+    ISwap,
+    SqISwap,
+    NRootISwap,
+    FSim,
+    Sycamore,
+    CrossRes,
+    BGate,
+    Canonical,
+    Unitary4,
+};
+
+/** Static metadata for a gate kind. */
+struct GateInfo
+{
+    const char *name;      //!< mnemonic, e.g. "cx"
+    int num_qubits;        //!< 1 or 2
+    int num_params;        //!< expected parameter count
+};
+
+/** Metadata lookup. */
+const GateInfo &gateInfo(GateKind kind);
+
+/** A concrete gate: kind + parameters (+ explicit matrix for opaque 2Q). */
+class Gate
+{
+  public:
+    /** Parameterless gate. */
+    explicit Gate(GateKind kind);
+
+    /** Parameterized gate. */
+    Gate(GateKind kind, std::vector<double> params);
+
+    /** Opaque gate carrying an explicit unitary (Unitary2 / Unitary4). */
+    Gate(GateKind kind, Matrix matrix);
+
+    GateKind kind() const { return _kind; }
+    const std::vector<double> &params() const { return _params; }
+    int numQubits() const { return gateInfo(_kind).num_qubits; }
+    std::string name() const;
+
+    /** The unitary matrix of this gate (2x2 or 4x4). */
+    Matrix matrix() const;
+
+    /** True for any two-qubit kind. */
+    bool isTwoQubit() const { return numQubits() == 2; }
+
+    /**
+     * A stable key identifying the gate's unitary for caching Weyl
+     * coordinates (kind tag plus rounded parameters); opaque unitaries are
+     * never cached.
+     */
+    bool cacheable() const;
+    std::string cacheKey() const;
+
+  private:
+    GateKind _kind;
+    std::vector<double> _params;
+    std::shared_ptr<const Matrix> _matrix; //!< only for Unitary2/4
+};
+
+/** Named constructors for every gate kind. */
+namespace gates
+{
+
+Gate i();
+Gate x();
+Gate y();
+Gate z();
+Gate h();
+Gate s();
+Gate sdg();
+Gate t();
+Gate tdg();
+Gate sx();
+Gate rx(double theta);
+Gate ry(double theta);
+Gate rz(double theta);
+Gate phase(double theta);
+Gate u3(double theta, double phi, double lam);
+Gate unitary2(const Matrix &m);
+
+Gate cx();
+Gate cz();
+Gate cphase(double theta);
+Gate rzz(double theta);
+Gate swapGate();
+Gate iswap();
+Gate sqiswap();
+/** n-th root of iSWAP (Eq. 2 of the paper); n = 1 is iSWAP itself. */
+Gate nrootIswap(double n);
+Gate fsim(double theta, double phi);
+Gate sycamore();
+/** Cross-resonance ZX(theta) (Eq. 4 of the paper). */
+Gate crossRes(double theta);
+Gate bgate();
+/** Canonical interaction exp(i (a XX + b YY + c ZZ)). */
+Gate canonical(double a, double b, double c);
+Gate unitary4(const Matrix &m);
+
+} // namespace gates
+
+} // namespace snail
+
+#endif // SNAILQC_GATES_GATE_HPP

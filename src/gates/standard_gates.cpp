@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Named constructors for the standard gate set (declared in gate.hpp).
+ */
+
+#include "gates/gate.hpp"
+
+namespace snail
+{
+namespace gates
+{
+
+Gate i() { return Gate(GateKind::I); }
+Gate x() { return Gate(GateKind::X); }
+Gate y() { return Gate(GateKind::Y); }
+Gate z() { return Gate(GateKind::Z); }
+Gate h() { return Gate(GateKind::H); }
+Gate s() { return Gate(GateKind::S); }
+Gate sdg() { return Gate(GateKind::Sdg); }
+Gate t() { return Gate(GateKind::T); }
+Gate tdg() { return Gate(GateKind::Tdg); }
+Gate sx() { return Gate(GateKind::SX); }
+Gate rx(double theta) { return Gate(GateKind::RX, {theta}); }
+Gate ry(double theta) { return Gate(GateKind::RY, {theta}); }
+Gate rz(double theta) { return Gate(GateKind::RZ, {theta}); }
+Gate phase(double theta) { return Gate(GateKind::Phase, {theta}); }
+
+Gate
+u3(double theta, double phi, double lam)
+{
+    return Gate(GateKind::U3, {theta, phi, lam});
+}
+
+Gate unitary2(const Matrix &m) { return Gate(GateKind::Unitary2, m); }
+
+Gate cx() { return Gate(GateKind::CX); }
+Gate cz() { return Gate(GateKind::CZ); }
+Gate cphase(double theta) { return Gate(GateKind::CPhase, {theta}); }
+Gate rzz(double theta) { return Gate(GateKind::RZZ, {theta}); }
+Gate swapGate() { return Gate(GateKind::Swap); }
+Gate iswap() { return Gate(GateKind::ISwap); }
+Gate sqiswap() { return Gate(GateKind::SqISwap); }
+Gate nrootIswap(double n) { return Gate(GateKind::NRootISwap, {n}); }
+
+Gate
+fsim(double theta, double phi)
+{
+    return Gate(GateKind::FSim, std::vector<double>{theta, phi});
+}
+
+Gate sycamore() { return Gate(GateKind::Sycamore); }
+Gate crossRes(double theta) { return Gate(GateKind::CrossRes, {theta}); }
+Gate bgate() { return Gate(GateKind::BGate); }
+
+Gate
+canonical(double a, double b, double c)
+{
+    return Gate(GateKind::Canonical, {a, b, c});
+}
+
+Gate unitary4(const Matrix &m) { return Gate(GateKind::Unitary4, m); }
+
+} // namespace gates
+} // namespace snail

@@ -1,0 +1,198 @@
+#include "ir/circuit.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+Circuit::Circuit(int num_qubits, std::string name)
+    : _numQubits(num_qubits), _name(std::move(name))
+{
+    // Zero-qubit circuits are permitted as empty containers (e.g. the
+    // result of parsing a QASM program with no qreg); appending any
+    // instruction to one fails the operand range check.
+    SNAIL_REQUIRE(num_qubits >= 0, "circuit qubit count must be >= 0");
+}
+
+void
+Circuit::append(Instruction inst)
+{
+    for (Qubit q : inst.qubits()) {
+        SNAIL_REQUIRE(q >= 0 && q < _numQubits,
+                      "qubit q" << q << " out of range for " << _numQubits
+                                << "-qubit circuit");
+    }
+    _ops.push_back(std::move(inst));
+}
+
+void
+Circuit::append(const Gate &gate, const std::vector<Qubit> &qubits)
+{
+    append(Instruction(gate, qubits));
+}
+
+void Circuit::i(Qubit q) { append(gates::i(), {q}); }
+void Circuit::x(Qubit q) { append(gates::x(), {q}); }
+void Circuit::y(Qubit q) { append(gates::y(), {q}); }
+void Circuit::z(Qubit q) { append(gates::z(), {q}); }
+void Circuit::h(Qubit q) { append(gates::h(), {q}); }
+void Circuit::s(Qubit q) { append(gates::s(), {q}); }
+void Circuit::sdg(Qubit q) { append(gates::sdg(), {q}); }
+void Circuit::t(Qubit q) { append(gates::t(), {q}); }
+void Circuit::tdg(Qubit q) { append(gates::tdg(), {q}); }
+void Circuit::sx(Qubit q) { append(gates::sx(), {q}); }
+void Circuit::rx(double theta, Qubit q) { append(gates::rx(theta), {q}); }
+void Circuit::ry(double theta, Qubit q) { append(gates::ry(theta), {q}); }
+void Circuit::rz(double theta, Qubit q) { append(gates::rz(theta), {q}); }
+void Circuit::p(double theta, Qubit q) { append(gates::phase(theta), {q}); }
+
+void
+Circuit::u3(double theta, double phi, double lam, Qubit q)
+{
+    append(gates::u3(theta, phi, lam), {q});
+}
+
+void
+Circuit::unitary2(const Matrix &m, Qubit q)
+{
+    append(gates::unitary2(m), {q});
+}
+
+void Circuit::cx(Qubit c, Qubit t) { append(gates::cx(), {c, t}); }
+void Circuit::cz(Qubit a, Qubit b) { append(gates::cz(), {a, b}); }
+
+void
+Circuit::cp(double theta, Qubit a, Qubit b)
+{
+    append(gates::cphase(theta), {a, b});
+}
+
+void
+Circuit::rzz(double theta, Qubit a, Qubit b)
+{
+    append(gates::rzz(theta), {a, b});
+}
+
+void Circuit::swap(Qubit a, Qubit b) { append(gates::swapGate(), {a, b}); }
+void Circuit::iswap(Qubit a, Qubit b) { append(gates::iswap(), {a, b}); }
+
+void
+Circuit::sqiswap(Qubit a, Qubit b)
+{
+    append(gates::sqiswap(), {a, b});
+}
+
+void
+Circuit::unitary4(const Matrix &m, Qubit a, Qubit b)
+{
+    append(gates::unitary4(m), {a, b});
+}
+
+void
+Circuit::ccxDecomposed(Qubit a, Qubit b, Qubit target)
+{
+    // Standard 6-CNOT Toffoli (Nielsen & Chuang Fig. 4.9).
+    h(target);
+    cx(b, target);
+    tdg(target);
+    cx(a, target);
+    t(target);
+    cx(b, target);
+    tdg(target);
+    cx(a, target);
+    t(b);
+    t(target);
+    h(target);
+    cx(a, b);
+    t(a);
+    tdg(b);
+    cx(a, b);
+}
+
+void
+Circuit::extend(const Circuit &other)
+{
+    SNAIL_REQUIRE(other.numQubits() <= _numQubits,
+                  "cannot extend a " << _numQubits
+                                     << "-qubit circuit with a wider one");
+    for (const auto &inst : other.instructions()) {
+        append(inst);
+    }
+}
+
+std::size_t
+Circuit::countTwoQubit() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(_ops.begin(), _ops.end(),
+                      [](const Instruction &op) { return op.isTwoQubit(); }));
+}
+
+std::size_t
+Circuit::countKind(GateKind kind) const
+{
+    return static_cast<std::size_t>(
+        std::count_if(_ops.begin(), _ops.end(), [&](const Instruction &op) {
+            return op.gate().kind() == kind;
+        }));
+}
+
+std::vector<Qubit>
+Circuit::activeQubits() const
+{
+    std::vector<bool> used(static_cast<std::size_t>(_numQubits), false);
+    for (const auto &op : _ops) {
+        for (Qubit q : op.qubits()) {
+            used[static_cast<std::size_t>(q)] = true;
+        }
+    }
+    std::vector<Qubit> out;
+    for (int q = 0; q < _numQubits; ++q) {
+        if (used[static_cast<std::size_t>(q)]) {
+            out.push_back(q);
+        }
+    }
+    return out;
+}
+
+double
+Circuit::weightedCriticalPath(
+    const std::function<double(const Instruction &)> &weight) const
+{
+    std::vector<double> qubit_time(static_cast<std::size_t>(_numQubits), 0.0);
+    double longest = 0.0;
+    for (const auto &op : _ops) {
+        double start = 0.0;
+        for (Qubit q : op.qubits()) {
+            start = std::max(start, qubit_time[static_cast<std::size_t>(q)]);
+        }
+        const double finish = start + weight(op);
+        for (Qubit q : op.qubits()) {
+            qubit_time[static_cast<std::size_t>(q)] = finish;
+        }
+        longest = std::max(longest, finish);
+    }
+    return longest;
+}
+
+double
+Circuit::twoQubitDepth() const
+{
+    return weightedCriticalPath(
+        [](const Instruction &op) { return op.isTwoQubit() ? 1.0 : 0.0; });
+}
+
+void
+Circuit::dump(std::ostream &os) const
+{
+    os << _name << " (" << _numQubits << " qubits, " << _ops.size()
+       << " ops)\n";
+    for (const auto &op : _ops) {
+        os << "  " << op.toString() << '\n';
+    }
+}
+
+} // namespace snail

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The quantum circuit container.
+ *
+ * A Circuit is an ordered list of instructions over a fixed number of
+ * qubits.  It provides convenience appenders for the standard gate set,
+ * basic gate statistics, and is the unit of work for the transpiler
+ * (layout, routing, basis translation) and the simulator.
+ */
+
+#ifndef SNAILQC_IR_CIRCUIT_HPP
+#define SNAILQC_IR_CIRCUIT_HPP
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ir/instruction.hpp"
+
+namespace snail
+{
+
+/** Ordered list of gates over a fixed register of qubits. */
+class Circuit
+{
+  public:
+    /** Empty circuit over num_qubits qubits. */
+    explicit Circuit(int num_qubits, std::string name = "circuit");
+
+    int numQubits() const { return _numQubits; }
+    const std::string &name() const { return _name; }
+    void setName(std::string name) { _name = std::move(name); }
+
+    const std::vector<Instruction> &instructions() const { return _ops; }
+    std::size_t size() const { return _ops.size(); }
+    bool empty() const { return _ops.empty(); }
+
+    /** Append a prebuilt instruction. */
+    void append(Instruction inst);
+
+    /** Append a gate on explicit qubits. */
+    void append(const Gate &gate, const std::vector<Qubit> &qubits);
+
+    /** @name Convenience appenders for the standard gate set. */
+    /** @{ */
+    void i(Qubit q);
+    void x(Qubit q);
+    void y(Qubit q);
+    void z(Qubit q);
+    void h(Qubit q);
+    void s(Qubit q);
+    void sdg(Qubit q);
+    void t(Qubit q);
+    void tdg(Qubit q);
+    void sx(Qubit q);
+    void rx(double theta, Qubit q);
+    void ry(double theta, Qubit q);
+    void rz(double theta, Qubit q);
+    void p(double theta, Qubit q);
+    void u3(double theta, double phi, double lam, Qubit q);
+    void unitary2(const Matrix &m, Qubit q);
+    void cx(Qubit control, Qubit target);
+    void cz(Qubit a, Qubit b);
+    void cp(double theta, Qubit a, Qubit b);
+    void rzz(double theta, Qubit a, Qubit b);
+    void swap(Qubit a, Qubit b);
+    void iswap(Qubit a, Qubit b);
+    void sqiswap(Qubit a, Qubit b);
+    void unitary4(const Matrix &m, Qubit a, Qubit b);
+    /** @} */
+
+    /**
+     * Append a Toffoli (CCX) as its standard 6-CNOT + 1Q decomposition so
+     * the circuit stays within the 1Q/2Q instruction set the transpiler
+     * understands.
+     */
+    void ccxDecomposed(Qubit a, Qubit b, Qubit target);
+
+    /** Append every instruction of another circuit (same width or less). */
+    void extend(const Circuit &other);
+
+    /** Total number of two-qubit instructions. */
+    std::size_t countTwoQubit() const;
+
+    /** Number of instructions of a given kind. */
+    std::size_t countKind(GateKind kind) const;
+
+    /** Set of qubits actually used by at least one instruction. */
+    std::vector<Qubit> activeQubits() const;
+
+    /**
+     * Longest dependency chain where each instruction contributes
+     * weight(inst); 1Q gates may be given weight 0 to reflect the paper's
+     * "1Q gates are negligible" normalization.
+     */
+    double weightedCriticalPath(
+        const std::function<double(const Instruction &)> &weight) const;
+
+    /** Critical path counting every 2Q gate as 1 (1Q gates free). */
+    double twoQubitDepth() const;
+
+    /** Human-readable listing. */
+    void dump(std::ostream &os) const;
+
+  private:
+    int _numQubits;
+    std::string _name;
+    std::vector<Instruction> _ops;
+};
+
+} // namespace snail
+
+#endif // SNAILQC_IR_CIRCUIT_HPP

@@ -1,0 +1,116 @@
+#include "ir/dag.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+std::vector<std::size_t>
+asapLayers(const Circuit &circuit)
+{
+    std::vector<std::size_t> qubit_level(
+        static_cast<std::size_t>(circuit.numQubits()), 0);
+    std::vector<std::size_t> layers;
+    layers.reserve(circuit.size());
+    for (const auto &op : circuit.instructions()) {
+        std::size_t level = 0;
+        for (Qubit q : op.qubits()) {
+            level = std::max(level, qubit_level[static_cast<std::size_t>(q)]);
+        }
+        layers.push_back(level);
+        for (Qubit q : op.qubits()) {
+            qubit_level[static_cast<std::size_t>(q)] = level + 1;
+        }
+    }
+    return layers;
+}
+
+std::vector<std::vector<std::size_t>>
+layeredSchedule(const Circuit &circuit)
+{
+    const auto layers = asapLayers(circuit);
+    std::size_t depth = 0;
+    for (auto l : layers) {
+        depth = std::max(depth, l + 1);
+    }
+    std::vector<std::vector<std::size_t>> grouped(depth);
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        grouped[layers[i]].push_back(i);
+    }
+    return grouped;
+}
+
+DependencyFrontier::DependencyFrontier(const Circuit &circuit)
+    : _circuit(circuit),
+      _pending(circuit.size(), 0),
+      _successors(circuit.size()),
+      _remaining(circuit.size())
+{
+    // Wire qubit chains: the previous instruction touching a qubit is a
+    // predecessor of the next instruction touching it.
+    std::vector<long> last(static_cast<std::size_t>(circuit.numQubits()), -1);
+    for (std::size_t i = 0; i < circuit.size(); ++i) {
+        for (Qubit q : circuit.instructions()[i].qubits()) {
+            const long prev = last[static_cast<std::size_t>(q)];
+            if (prev >= 0) {
+                _successors[static_cast<std::size_t>(prev)].push_back(i);
+                ++_pending[i];
+            }
+            last[static_cast<std::size_t>(q)] = static_cast<long>(i);
+        }
+    }
+    for (std::size_t i = 0; i < circuit.size(); ++i) {
+        if (_pending[i] == 0) {
+            _ready.push_back(i);
+        }
+    }
+}
+
+void
+DependencyFrontier::consume(std::size_t instruction_index)
+{
+    auto it = std::find(_ready.begin(), _ready.end(), instruction_index);
+    SNAIL_ASSERT(it != _ready.end(),
+                 "consume() of instruction " << instruction_index
+                                             << " that is not ready");
+    _ready.erase(it);
+    --_remaining;
+    for (std::size_t succ : _successors[instruction_index]) {
+        if (--_pending[succ] == 0) {
+            _ready.push_back(succ);
+        }
+    }
+}
+
+std::vector<std::size_t>
+DependencyFrontier::lookahead(std::size_t horizon) const
+{
+    // Breadth-first walk over successors, bounded by `horizon` total ops.
+    std::vector<std::size_t> out;
+    std::vector<std::size_t> frontier = _ready;
+    std::vector<bool> seen(_circuit.size(), false);
+    for (auto idx : frontier) {
+        seen[idx] = true;
+    }
+    while (!frontier.empty() && out.size() < horizon) {
+        std::vector<std::size_t> next;
+        for (std::size_t idx : frontier) {
+            for (std::size_t succ : _successors[idx]) {
+                if (!seen[succ]) {
+                    seen[succ] = true;
+                    next.push_back(succ);
+                    out.push_back(succ);
+                    if (out.size() >= horizon) {
+                        return out;
+                    }
+                }
+            }
+        }
+        frontier = std::move(next);
+    }
+    return out;
+}
+
+} // namespace snail

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * DAG-style views of a circuit: ASAP layering and front-layer iteration.
+ *
+ * The routers consume circuits as a sequence of "front layers" (maximal
+ * sets of instructions whose qubit dependencies are satisfied), mirroring
+ * how Qiskit's StochasticSwap and SABRE walk the DAG.
+ */
+
+#ifndef SNAILQC_IR_DAG_HPP
+#define SNAILQC_IR_DAG_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "ir/circuit.hpp"
+
+namespace snail
+{
+
+/**
+ * Assign each instruction an ASAP layer index (all gates weight 1) and
+ * return the layer of every instruction, in circuit order.
+ */
+std::vector<std::size_t> asapLayers(const Circuit &circuit);
+
+/** Group instruction indices by ASAP layer. */
+std::vector<std::vector<std::size_t>> layeredSchedule(const Circuit &circuit);
+
+/**
+ * Iterator over the data-dependency frontier of a circuit.
+ *
+ * The frontier contains the earliest not-yet-consumed instruction per
+ * qubit chain; consuming instructions advances the frontier.  Routers pull
+ * executable gates from the frontier and insert SWAPs when the frontier's
+ * 2Q gates are not adjacent on the device.
+ */
+class DependencyFrontier
+{
+  public:
+    explicit DependencyFrontier(const Circuit &circuit);
+
+    /** Indices of instructions currently ready (all predecessors done). */
+    const std::vector<std::size_t> &ready() const { return _ready; }
+
+    /** True when every instruction has been consumed. */
+    bool done() const { return _remaining == 0; }
+
+    /** Mark one ready instruction as executed and advance the frontier. */
+    void consume(std::size_t instruction_index);
+
+    /**
+     * Successor instructions of the current frontier, up to `horizon` per
+     * qubit chain — the "extended set" used by lookahead routers.
+     */
+    std::vector<std::size_t> lookahead(std::size_t horizon) const;
+
+  private:
+    const Circuit &_circuit;
+    /** For each instruction, number of unfinished predecessors. */
+    std::vector<int> _pending;
+    /** For each instruction, its qubit-chain successors. */
+    std::vector<std::vector<std::size_t>> _successors;
+    std::vector<std::size_t> _ready;
+    std::size_t _remaining;
+};
+
+} // namespace snail
+
+#endif // SNAILQC_IR_DAG_HPP

@@ -1,0 +1,69 @@
+#include "ir/instruction.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+Instruction::Instruction(Gate gate, std::vector<Qubit> qubits)
+    : _gate(std::move(gate)), _qubits(std::move(qubits))
+{
+    SNAIL_REQUIRE(static_cast<int>(_qubits.size()) == _gate.numQubits(),
+                  "gate " << _gate.name() << " expects "
+                          << _gate.numQubits() << " qubits, got "
+                          << _qubits.size());
+    if (_qubits.size() == 2) {
+        SNAIL_REQUIRE(_qubits[0] != _qubits[1],
+                      "two-qubit gate with identical operands q"
+                          << _qubits[0]);
+    }
+}
+
+Qubit
+Instruction::q0() const
+{
+    SNAIL_ASSERT(!_qubits.empty(), "instruction has no operands");
+    return _qubits[0];
+}
+
+Qubit
+Instruction::q1() const
+{
+    SNAIL_ASSERT(_qubits.size() >= 2, "instruction has fewer than 2 operands");
+    return _qubits[1];
+}
+
+Instruction
+Instruction::remapped(const std::vector<Qubit> &new_qubits) const
+{
+    return Instruction(_gate, new_qubits);
+}
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream oss;
+    oss << _gate.name();
+    if (!_gate.params().empty()) {
+        oss << '(';
+        for (std::size_t i = 0; i < _gate.params().size(); ++i) {
+            if (i > 0) {
+                oss << ", ";
+            }
+            oss << _gate.params()[i];
+        }
+        oss << ')';
+    }
+    oss << ' ';
+    for (std::size_t i = 0; i < _qubits.size(); ++i) {
+        if (i > 0) {
+            oss << ", ";
+        }
+        oss << 'q' << _qubits[i];
+    }
+    return oss.str();
+}
+
+} // namespace snail

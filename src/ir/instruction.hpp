@@ -1,0 +1,52 @@
+/**
+ * @file
+ * A single circuit instruction: a gate applied to specific qubits.
+ */
+
+#ifndef SNAILQC_IR_INSTRUCTION_HPP
+#define SNAILQC_IR_INSTRUCTION_HPP
+
+#include <string>
+#include <vector>
+
+#include "gates/gate.hpp"
+
+namespace snail
+{
+
+/** Index of a qubit within a circuit or device. */
+using Qubit = int;
+
+/** A gate bound to its operand qubits. */
+class Instruction
+{
+  public:
+    Instruction(Gate gate, std::vector<Qubit> qubits);
+
+    const Gate &gate() const { return _gate; }
+    const std::vector<Qubit> &qubits() const { return _qubits; }
+
+    /** Operand count (1 or 2). */
+    int numQubits() const { return static_cast<int>(_qubits.size()); }
+
+    bool isTwoQubit() const { return _qubits.size() == 2; }
+    bool isSwap() const { return _gate.kind() == GateKind::Swap; }
+
+    /** First / second operand (asserts the arity). */
+    Qubit q0() const;
+    Qubit q1() const;
+
+    /** Rebind the instruction onto new qubits (used by layout/routing). */
+    Instruction remapped(const std::vector<Qubit> &new_qubits) const;
+
+    /** Human-readable rendering, e.g. "cx q3, q7". */
+    std::string toString() const;
+
+  private:
+    Gate _gate;
+    std::vector<Qubit> _qubits;
+};
+
+} // namespace snail
+
+#endif // SNAILQC_IR_INSTRUCTION_HPP

@@ -1,0 +1,125 @@
+#include "ir/qasm.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+/** QASM gate name for an exportable kind; nullptr when not exportable. */
+const char *
+qasmName(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::I:
+        return "id";
+      case GateKind::X:
+        return "x";
+      case GateKind::Y:
+        return "y";
+      case GateKind::Z:
+        return "z";
+      case GateKind::H:
+        return "h";
+      case GateKind::S:
+        return "s";
+      case GateKind::Sdg:
+        return "sdg";
+      case GateKind::T:
+        return "t";
+      case GateKind::Tdg:
+        return "tdg";
+      case GateKind::SX:
+        return "sx";
+      case GateKind::RX:
+        return "rx";
+      case GateKind::RY:
+        return "ry";
+      case GateKind::RZ:
+        return "rz";
+      case GateKind::Phase:
+        return "p";
+      case GateKind::U3:
+        return "u3";
+      case GateKind::CX:
+        return "cx";
+      case GateKind::CZ:
+        return "cz";
+      case GateKind::CPhase:
+        return "cp";
+      case GateKind::RZZ:
+        return "rzz";
+      case GateKind::Swap:
+        return "swap";
+      default:
+        return nullptr;
+    }
+}
+
+} // namespace
+
+bool
+isQasmExportable(const Circuit &circuit)
+{
+    for (const auto &op : circuit.instructions()) {
+        if (qasmName(op.gate().kind()) == nullptr) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+writeQasm(std::ostream &os, const Circuit &circuit)
+{
+    os << "OPENQASM 2.0;\n"
+       << "include \"qelib1.inc\";\n"
+       << "// " << circuit.name() << "\n"
+       << "qreg q[" << circuit.numQubits() << "];\n";
+    os << std::setprecision(17);
+    for (const auto &op : circuit.instructions()) {
+        const char *name = qasmName(op.gate().kind());
+        SNAIL_REQUIRE(name != nullptr,
+                      "gate kind '" << op.gate().name()
+                                    << "' is not expressible in OpenQASM 2; "
+                                       "lower the circuit with "
+                                       "expandToBasis() first");
+        os << name;
+        const auto &params = op.gate().params();
+        if (!params.empty()) {
+            os << '(';
+            for (std::size_t i = 0; i < params.size(); ++i) {
+                if (i > 0) {
+                    os << ", ";
+                }
+                os << params[i];
+            }
+            os << ')';
+        }
+        os << ' ';
+        const auto &qubits = op.qubits();
+        for (std::size_t i = 0; i < qubits.size(); ++i) {
+            if (i > 0) {
+                os << ", ";
+            }
+            os << "q[" << qubits[i] << ']';
+        }
+        os << ";\n";
+    }
+}
+
+std::string
+toQasm(const Circuit &circuit)
+{
+    std::ostringstream oss;
+    writeQasm(oss, circuit);
+    return oss.str();
+}
+
+} // namespace snail

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * OpenQASM 2.0 export.
+ *
+ * Lets a downstream user cross-check any snailqc circuit against Qiskit
+ * (the paper's original toolchain).  The exporter covers the gate kinds
+ * OpenQASM 2 can express directly (qelib1 1Q gates, cx/cz/cp/rzz/swap);
+ * exotic kinds (iSWAP family, FSIM, CR, canonical, opaque SU(4)) should
+ * first be lowered with expandToBasis() to the CNOT basis, after which
+ * every circuit exports.
+ */
+
+#ifndef SNAILQC_IR_QASM_HPP
+#define SNAILQC_IR_QASM_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "ir/circuit.hpp"
+
+namespace snail
+{
+
+/** True when every instruction of the circuit is QASM-expressible. */
+bool isQasmExportable(const Circuit &circuit);
+
+/**
+ * Emit OpenQASM 2.0 for the circuit.
+ * @throws SnailError when the circuit contains a non-exportable kind
+ *         (lower it with expandToBasis(circuit, BasisSpec{CNOT}) first).
+ */
+void writeQasm(std::ostream &os, const Circuit &circuit);
+
+/** Convenience string form of writeQasm. */
+std::string toQasm(const Circuit &circuit);
+
+} // namespace snail
+
+#endif // SNAILQC_IR_QASM_HPP

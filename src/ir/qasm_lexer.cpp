@@ -1,0 +1,320 @@
+#include "ir/qasm_lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+const char *
+qasmTokenKindName(QasmTokenKind kind)
+{
+    switch (kind) {
+      case QasmTokenKind::Identifier:
+        return "identifier";
+      case QasmTokenKind::Real:
+        return "real literal";
+      case QasmTokenKind::Integer:
+        return "integer literal";
+      case QasmTokenKind::String:
+        return "string literal";
+      case QasmTokenKind::LParen:
+        return "'('";
+      case QasmTokenKind::RParen:
+        return "')'";
+      case QasmTokenKind::LBracket:
+        return "'['";
+      case QasmTokenKind::RBracket:
+        return "']'";
+      case QasmTokenKind::LBrace:
+        return "'{'";
+      case QasmTokenKind::RBrace:
+        return "'}'";
+      case QasmTokenKind::Semicolon:
+        return "';'";
+      case QasmTokenKind::Comma:
+        return "','";
+      case QasmTokenKind::Arrow:
+        return "'->'";
+      case QasmTokenKind::EqualEqual:
+        return "'=='";
+      case QasmTokenKind::Plus:
+        return "'+'";
+      case QasmTokenKind::Minus:
+        return "'-'";
+      case QasmTokenKind::Star:
+        return "'*'";
+      case QasmTokenKind::Slash:
+        return "'/'";
+      case QasmTokenKind::Caret:
+        return "'^'";
+      case QasmTokenKind::EndOfFile:
+        return "end of file";
+    }
+    return "unknown";
+}
+
+QasmLexer::QasmLexer(std::string source, std::string filename)
+    : _source(std::move(source)), _filename(std::move(filename))
+{
+}
+
+void
+QasmLexer::advance()
+{
+    if (atEnd()) {
+        return;
+    }
+    if (current() == '\n') {
+        ++_line;
+        _column = 1;
+    } else {
+        ++_column;
+    }
+    ++_pos;
+}
+
+void
+QasmLexer::fail(const std::string &msg) const
+{
+    SNAIL_THROW(_filename << ':' << _line << ':' << _column << ": " << msg);
+}
+
+void
+QasmLexer::skipTrivia()
+{
+    while (!atEnd()) {
+        char c = current();
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            advance();
+        } else if (c == '/' && _pos + 1 < _source.size() &&
+                   _source[_pos + 1] == '/') {
+            while (!atEnd() && current() != '\n') {
+                advance();
+            }
+        } else if (c == '/' && _pos + 1 < _source.size() &&
+                   _source[_pos + 1] == '*') {
+            int start_line = _line;
+            advance();
+            advance();
+            while (true) {
+                if (atEnd()) {
+                    SNAIL_THROW(_filename << ':' << start_line
+                                          << ": unterminated block comment");
+                }
+                if (current() == '*' && _pos + 1 < _source.size() &&
+                    _source[_pos + 1] == '/') {
+                    advance();
+                    advance();
+                    break;
+                }
+                advance();
+            }
+        } else {
+            break;
+        }
+    }
+}
+
+QasmToken
+QasmLexer::make(QasmTokenKind kind, std::string text)
+{
+    QasmToken tok;
+    tok.kind = kind;
+    tok.text = std::move(text);
+    tok.line = _line;
+    tok.column = _column;
+    return tok;
+}
+
+QasmToken
+QasmLexer::lexNumber()
+{
+    QasmToken tok = make(QasmTokenKind::Integer, "");
+    std::size_t start = _pos;
+    bool is_real = false;
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(current()))) {
+        advance();
+    }
+    if (!atEnd() && current() == '.') {
+        is_real = true;
+        advance();
+        while (!atEnd() &&
+               std::isdigit(static_cast<unsigned char>(current()))) {
+            advance();
+        }
+    }
+    if (!atEnd() && (current() == 'e' || current() == 'E')) {
+        std::size_t mark = _pos;
+        advance();
+        if (!atEnd() && (current() == '+' || current() == '-')) {
+            advance();
+        }
+        if (!atEnd() && std::isdigit(static_cast<unsigned char>(current()))) {
+            is_real = true;
+            while (!atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(current()))) {
+                advance();
+            }
+        } else {
+            // 'e' was the start of an identifier, not an exponent.
+            _pos = mark;
+        }
+    }
+    tok.text = _source.substr(start, _pos - start);
+    tok.real_value = std::strtod(tok.text.c_str(), nullptr);
+    if (is_real) {
+        tok.kind = QasmTokenKind::Real;
+    } else {
+        tok.kind = QasmTokenKind::Integer;
+        tok.int_value = std::strtol(tok.text.c_str(), nullptr, 10);
+    }
+    return tok;
+}
+
+QasmToken
+QasmLexer::lexIdentifier()
+{
+    QasmToken tok = make(QasmTokenKind::Identifier, "");
+    std::size_t start = _pos;
+    while (!atEnd() &&
+           (std::isalnum(static_cast<unsigned char>(current())) ||
+            current() == '_')) {
+        advance();
+    }
+    tok.text = _source.substr(start, _pos - start);
+    return tok;
+}
+
+QasmToken
+QasmLexer::lexString()
+{
+    QasmToken tok = make(QasmTokenKind::String, "");
+    advance(); // opening quote
+    std::size_t start = _pos;
+    while (!atEnd() && current() != '"') {
+        if (current() == '\n') {
+            fail("unterminated string literal");
+        }
+        advance();
+    }
+    if (atEnd()) {
+        fail("unterminated string literal");
+    }
+    tok.text = _source.substr(start, _pos - start);
+    advance(); // closing quote
+    return tok;
+}
+
+QasmToken
+QasmLexer::next()
+{
+    if (_hasLookahead) {
+        _hasLookahead = false;
+        return _lookahead;
+    }
+    skipTrivia();
+    if (atEnd()) {
+        return make(QasmTokenKind::EndOfFile, "");
+    }
+    char c = current();
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+        return lexNumber();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        return lexIdentifier();
+    }
+    if (c == '"') {
+        return lexString();
+    }
+
+    QasmToken tok = make(QasmTokenKind::EndOfFile, std::string(1, c));
+    switch (c) {
+      case '(':
+        tok.kind = QasmTokenKind::LParen;
+        break;
+      case ')':
+        tok.kind = QasmTokenKind::RParen;
+        break;
+      case '[':
+        tok.kind = QasmTokenKind::LBracket;
+        break;
+      case ']':
+        tok.kind = QasmTokenKind::RBracket;
+        break;
+      case '{':
+        tok.kind = QasmTokenKind::LBrace;
+        break;
+      case '}':
+        tok.kind = QasmTokenKind::RBrace;
+        break;
+      case ';':
+        tok.kind = QasmTokenKind::Semicolon;
+        break;
+      case ',':
+        tok.kind = QasmTokenKind::Comma;
+        break;
+      case '+':
+        tok.kind = QasmTokenKind::Plus;
+        break;
+      case '*':
+        tok.kind = QasmTokenKind::Star;
+        break;
+      case '/':
+        tok.kind = QasmTokenKind::Slash;
+        break;
+      case '^':
+        tok.kind = QasmTokenKind::Caret;
+        break;
+      case '-':
+        if (_pos + 1 < _source.size() && _source[_pos + 1] == '>') {
+            advance();
+            tok.kind = QasmTokenKind::Arrow;
+            tok.text = "->";
+        } else {
+            tok.kind = QasmTokenKind::Minus;
+        }
+        break;
+      case '=':
+        if (_pos + 1 < _source.size() && _source[_pos + 1] == '=') {
+            advance();
+            tok.kind = QasmTokenKind::EqualEqual;
+            tok.text = "==";
+        } else {
+            fail("stray '=' (did you mean '==')");
+        }
+        break;
+      default:
+        fail("unexpected character '" + std::string(1, c) + "'");
+    }
+    advance();
+    return tok;
+}
+
+const QasmToken &
+QasmLexer::peek()
+{
+    if (!_hasLookahead) {
+        _lookahead = next();
+        _hasLookahead = true;
+    }
+    return _lookahead;
+}
+
+std::vector<QasmToken>
+QasmLexer::tokenizeAll()
+{
+    std::vector<QasmToken> out;
+    while (true) {
+        out.push_back(next());
+        if (out.back().kind == QasmTokenKind::EndOfFile) {
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace snail

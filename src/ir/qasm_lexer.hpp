@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tokenizer for OpenQASM 2.0 source text.
+ *
+ * The lexer is exposed separately from the parser so that tests can
+ * exercise tokenization edge cases (numeric literals, comments, string
+ * literals) directly, and so that future QASM 3 support can reuse it.
+ */
+
+#ifndef SNAILQC_IR_QASM_LEXER_HPP
+#define SNAILQC_IR_QASM_LEXER_HPP
+
+#include <string>
+#include <vector>
+
+namespace snail
+{
+
+/** Lexical category of a QASM token. */
+enum class QasmTokenKind
+{
+    Identifier,   //!< gate / register / parameter names, keywords
+    Real,         //!< floating literal (has a '.', 'e', or both)
+    Integer,      //!< non-negative integer literal
+    String,       //!< double-quoted string (include filenames)
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Semicolon,
+    Comma,
+    Arrow,        //!< "->" in measure statements
+    EqualEqual,   //!< "==" in if statements
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Caret,        //!< exponentiation in parameter expressions
+    EndOfFile,
+};
+
+/** Printable name of a token kind (for diagnostics). */
+const char *qasmTokenKindName(QasmTokenKind kind);
+
+/** One lexed token with its source position (1-based line/column). */
+struct QasmToken
+{
+    QasmTokenKind kind = QasmTokenKind::EndOfFile;
+    std::string text;        //!< identifier / string payload
+    double real_value = 0.0; //!< valid for Real and Integer
+    long int_value = 0;      //!< valid for Integer
+    int line = 0;
+    int column = 0;
+};
+
+/**
+ * Streaming tokenizer over a QASM 2.0 source buffer.
+ *
+ * Skips whitespace, line comments ("// ..."), and block comments.
+ * Throws SnailError (with line/column) on characters outside the QASM
+ * grammar.
+ */
+class QasmLexer
+{
+  public:
+    /** @param source full program text; @param filename for diagnostics. */
+    explicit QasmLexer(std::string source, std::string filename = "<qasm>");
+
+    /** Consume and return the next token. */
+    QasmToken next();
+
+    /** Look at the upcoming token without consuming it. */
+    const QasmToken &peek();
+
+    /** Name used in error messages. */
+    const std::string &filename() const { return _filename; }
+
+    /** Tokenize the whole buffer (testing convenience). */
+    std::vector<QasmToken> tokenizeAll();
+
+  private:
+    void skipTrivia();
+    QasmToken lexNumber();
+    QasmToken lexIdentifier();
+    QasmToken lexString();
+    QasmToken make(QasmTokenKind kind, std::string text);
+    [[noreturn]] void fail(const std::string &msg) const;
+
+    char current() const { return _source[_pos]; }
+    bool atEnd() const { return _pos >= _source.size(); }
+    void advance();
+
+    std::string _source;
+    std::string _filename;
+    std::size_t _pos = 0;
+    int _line = 1;
+    int _column = 1;
+    QasmToken _lookahead;
+    bool _hasLookahead = false;
+};
+
+} // namespace snail
+
+#endif // SNAILQC_IR_QASM_LEXER_HPP

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * OpenQASM 2.0 import.
+ *
+ * Parses QASM 2.0 source (the interchange format of the paper's original
+ * Qiskit toolchain) into a snail::Circuit so that externally generated
+ * benchmark circuits can be transpiled onto the SNAIL topologies.
+ *
+ * Coverage:
+ *  - the full statement grammar: OPENQASM, include, qreg/creg, gate
+ *    definitions, opaque declarations, barrier, measure, and gate
+ *    application with register broadcasting;
+ *  - parameter expressions (+ - * / ^, unary minus, pi, sin/cos/tan/
+ *    exp/ln/sqrt) evaluated to doubles at parse time;
+ *  - `include "qelib1.inc"` resolves to an embedded copy of the standard
+ *    library, so parsing is hermetic (no filesystem access needed);
+ *  - gates with native snailqc kinds (h, cx, rz, cp, rzz, swap, iswap,
+ *    ...) map directly onto those kinds; everything else (ccx, crz, cu3,
+ *    rxx, ...) is expanded through its definition body, so any qelib1
+ *    circuit lowers to the 1Q/2Q instruction set the transpiler handles.
+ *
+ * Out of scope (rejected with a clear error): reset and classically
+ * controlled operations (`if (c==n) ...`), which have no meaning in the
+ * unitary-circuit IR; measure statements are recorded in the parse
+ * result but do not become instructions.
+ */
+
+#ifndef SNAILQC_IR_QASM_PARSER_HPP
+#define SNAILQC_IR_QASM_PARSER_HPP
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/circuit.hpp"
+
+namespace snail
+{
+
+/** A declared qreg/creg: contiguous block [offset, offset+size). */
+struct QasmRegister
+{
+    std::string name;
+    int offset = 0;
+    int size = 0;
+};
+
+/** Everything recovered from a QASM 2.0 program. */
+struct QasmParseResult
+{
+    /** The unitary part of the program (measurements excluded). */
+    Circuit circuit{0};
+
+    /** Quantum registers in declaration order (flattened indexing). */
+    std::vector<QasmRegister> qregs;
+
+    /** Classical registers in declaration order. */
+    std::vector<QasmRegister> cregs;
+
+    /** measure statements as (flat qubit index, flat clbit index). */
+    std::vector<std::pair<int, int>> measurements;
+
+    /** Number of barrier statements encountered (all ignored). */
+    int barriers = 0;
+};
+
+/**
+ * Parse QASM 2.0 source text.
+ * @param source   the program text.
+ * @param filename name used in error messages.
+ * @throws SnailError with file:line:column context on any lexical,
+ *         syntactic, or semantic error.
+ */
+QasmParseResult parseQasm(const std::string &source,
+                          const std::string &filename = "<qasm>");
+
+/** Parse a QASM 2.0 file from disk. */
+QasmParseResult parseQasmFile(const std::string &path);
+
+} // namespace snail
+
+#endif // SNAILQC_IR_QASM_PARSER_HPP

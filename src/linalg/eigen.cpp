@@ -1,0 +1,321 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+RealMatrix::RealMatrix(std::size_t n) : _n(n), _data(n * n, 0.0) {}
+
+RealMatrix
+RealMatrix::identity(std::size_t n)
+{
+    RealMatrix m(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        m(i, i) = 1.0;
+    }
+    return m;
+}
+
+double &
+RealMatrix::operator()(std::size_t r, std::size_t c)
+{
+    SNAIL_ASSERT(r < _n && c < _n, "real matrix index out of range");
+    return _data[r * _n + c];
+}
+
+double
+RealMatrix::operator()(std::size_t r, std::size_t c) const
+{
+    SNAIL_ASSERT(r < _n && c < _n, "real matrix index out of range");
+    return _data[r * _n + c];
+}
+
+RealMatrix
+RealMatrix::operator*(const RealMatrix &other) const
+{
+    SNAIL_REQUIRE(_n == other._n, "real matrix shape mismatch");
+    RealMatrix out(_n);
+    for (std::size_t i = 0; i < _n; ++i) {
+        for (std::size_t k = 0; k < _n; ++k) {
+            const double aik = (*this)(i, k);
+            if (aik == 0.0) {
+                continue;
+            }
+            for (std::size_t j = 0; j < _n; ++j) {
+                out(i, j) += aik * other(k, j);
+            }
+        }
+    }
+    return out;
+}
+
+RealMatrix
+RealMatrix::transpose() const
+{
+    RealMatrix out(_n);
+    for (std::size_t i = 0; i < _n; ++i) {
+        for (std::size_t j = 0; j < _n; ++j) {
+            out(j, i) = (*this)(i, j);
+        }
+    }
+    return out;
+}
+
+double
+RealMatrix::maxOffDiagonal() const
+{
+    double best = 0.0;
+    for (std::size_t i = 0; i < _n; ++i) {
+        for (std::size_t j = 0; j < _n; ++j) {
+            if (i != j) {
+                best = std::max(best, std::abs((*this)(i, j)));
+            }
+        }
+    }
+    return best;
+}
+
+bool
+RealMatrix::isSymmetric(double tol) const
+{
+    for (std::size_t i = 0; i < _n; ++i) {
+        for (std::size_t j = i + 1; j < _n; ++j) {
+            if (std::abs((*this)(i, j) - (*this)(j, i)) > tol) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+double
+RealMatrix::determinant() const
+{
+    RealMatrix lu = *this;
+    double det = 1.0;
+    const std::size_t n = _n;
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t pivot = col;
+        double best = std::abs(lu(col, col));
+        for (std::size_t r = col + 1; r < n; ++r) {
+            if (std::abs(lu(r, col)) > best) {
+                best = std::abs(lu(r, col));
+                pivot = r;
+            }
+        }
+        if (best == 0.0) {
+            return 0.0;
+        }
+        if (pivot != col) {
+            for (std::size_t c = 0; c < n; ++c) {
+                std::swap(lu(col, c), lu(pivot, c));
+            }
+            det = -det;
+        }
+        det *= lu(col, col);
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double factor = lu(r, col) / lu(col, col);
+            for (std::size_t c = col; c < n; ++c) {
+                lu(r, c) -= factor * lu(col, c);
+            }
+        }
+    }
+    return det;
+}
+
+namespace
+{
+
+/** One Jacobi rotation zeroing (p, q); accumulates into V. */
+void
+jacobiRotate(RealMatrix &a, RealMatrix &v, std::size_t p, std::size_t q)
+{
+    const double apq = a(p, q);
+    if (apq == 0.0) {
+        return;
+    }
+    const double app = a(p, p);
+    const double aqq = a(q, q);
+    const double tau = (aqq - app) / (2.0 * apq);
+    // Choose the smaller-magnitude root for numerical stability.
+    const double t = (tau >= 0.0)
+        ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+        : 1.0 / (tau - std::sqrt(1.0 + tau * tau));
+    const double c = 1.0 / std::sqrt(1.0 + t * t);
+    const double s = t * c;
+
+    const std::size_t n = a.size();
+    for (std::size_t k = 0; k < n; ++k) {
+        const double akp = a(k, p);
+        const double akq = a(k, q);
+        a(k, p) = c * akp - s * akq;
+        a(k, q) = s * akp + c * akq;
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+        const double apk = a(p, k);
+        const double aqk = a(q, k);
+        a(p, k) = c * apk - s * aqk;
+        a(q, k) = s * apk + c * aqk;
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+        const double vkp = v(k, p);
+        const double vkq = v(k, q);
+        v(k, p) = c * vkp - s * vkq;
+        v(k, q) = s * vkp + c * vkq;
+    }
+}
+
+} // namespace
+
+SymmetricEigen
+eigSymmetric(const RealMatrix &a, double tol)
+{
+    SNAIL_REQUIRE(a.isSymmetric(1e-8),
+                  "eigSymmetric expects a symmetric matrix");
+    const std::size_t n = a.size();
+    RealMatrix work = a;
+    RealMatrix v = RealMatrix::identity(n);
+
+    constexpr int max_sweeps = 100;
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        if (work.maxOffDiagonal() <= tol) {
+            break;
+        }
+        for (std::size_t p = 0; p < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                if (std::abs(work(p, q)) > tol) {
+                    jacobiRotate(work, v, p, q);
+                }
+            }
+        }
+    }
+    SNAIL_ASSERT(work.maxOffDiagonal() <= 1e-10,
+                 "Jacobi iteration failed to converge");
+
+    // Sort eigenpairs ascending by eigenvalue.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+        return work(x, x) < work(y, y);
+    });
+
+    SymmetricEigen out;
+    out.values.resize(n);
+    out.vectors = RealMatrix(n);
+    for (std::size_t j = 0; j < n; ++j) {
+        out.values[j] = work(order[j], order[j]);
+        for (std::size_t i = 0; i < n; ++i) {
+            out.vectors(i, j) = v(i, order[j]);
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+/** One clustering attempt of the joint diagonalization; returns P. */
+RealMatrix
+jointDiagonalizeAttempt(const RealMatrix &a, const RealMatrix &b,
+                        const SymmetricEigen &ea, double degeneracy_tol)
+{
+    const std::size_t n = a.size();
+    RealMatrix p = ea.vectors;
+
+    // Rotate b into a's eigenbasis and re-diagonalize inside each
+    // degenerate eigenvalue cluster of a.
+    RealMatrix b_rot = p.transpose() * b * p;
+    std::size_t start = 0;
+    while (start < n) {
+        std::size_t end = start + 1;
+        while (end < n &&
+               std::abs(ea.values[end] - ea.values[start]) < degeneracy_tol) {
+            ++end;
+        }
+        const std::size_t block = end - start;
+        if (block > 1) {
+            RealMatrix sub(block);
+            for (std::size_t i = 0; i < block; ++i) {
+                for (std::size_t j = 0; j < block; ++j) {
+                    sub(i, j) = b_rot(start + i, start + j);
+                }
+            }
+            // The restriction of b to an eigenspace of a is symmetric
+            // because the two commute; symmetrize away rounding noise.
+            for (std::size_t i = 0; i < block; ++i) {
+                for (std::size_t j = i + 1; j < block; ++j) {
+                    const double avg = 0.5 * (sub(i, j) + sub(j, i));
+                    sub(i, j) = avg;
+                    sub(j, i) = avg;
+                }
+            }
+            const SymmetricEigen eb = eigSymmetric(sub);
+            // Apply the block rotation to the columns of p.
+            RealMatrix p_new = p;
+            for (std::size_t col = 0; col < block; ++col) {
+                for (std::size_t row = 0; row < n; ++row) {
+                    double acc = 0.0;
+                    for (std::size_t k = 0; k < block; ++k) {
+                        acc += p(row, start + k) * eb.vectors(k, col);
+                    }
+                    p_new(row, start + col) = acc;
+                }
+            }
+            p = p_new;
+        }
+        start = end;
+    }
+    return p;
+}
+
+} // namespace
+
+RealMatrix
+jointDiagonalize(const RealMatrix &a, const RealMatrix &b,
+                 double degeneracy_tol)
+{
+    const std::size_t n = a.size();
+    SNAIL_REQUIRE(b.size() == n, "jointDiagonalize shape mismatch");
+
+    const SymmetricEigen ea = eigSymmetric(a);
+
+    // Near-degenerate eigenvalues of `a` make the right clustering
+    // tolerance input-dependent, so escalate until both matrices come out
+    // diagonal.
+    const double tols[] = {degeneracy_tol, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2};
+    RealMatrix best_p;
+    double best_residual = 1e300;
+    for (double tol : tols) {
+        RealMatrix p = jointDiagonalizeAttempt(a, b, ea, tol);
+        const RealMatrix da = p.transpose() * a * p;
+        const RealMatrix db = p.transpose() * b * p;
+        const double residual =
+            std::max(da.maxOffDiagonal(), db.maxOffDiagonal());
+        if (residual < best_residual) {
+            best_residual = residual;
+            best_p = p;
+        }
+        if (residual < 1e-9) {
+            break;
+        }
+    }
+    SNAIL_ASSERT(best_residual < 1e-7,
+                 "joint diagonalization failed; matrices may not commute "
+                 "(residual " << best_residual << ")");
+
+    // Normalize to a proper rotation so downstream SU(2) factors exist.
+    RealMatrix p = best_p;
+    if (p.determinant() < 0.0) {
+        for (std::size_t i = 0; i < n; ++i) {
+            p(i, 0) = -p(i, 0);
+        }
+    }
+    return p;
+}
+
+} // namespace snail

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Real-symmetric eigensolvers used by the Weyl/KAK machinery.
+ *
+ * The magic-basis decomposition needs the joint diagonalization of the
+ * commuting real symmetric pair (Re M2, Im M2) where M2 = Up^T Up is a
+ * complex symmetric unitary.  A cyclic Jacobi sweep is exact enough and
+ * robust for the small (4x4) matrices involved; the joint routine handles
+ * degenerate eigenspaces by re-diagonalizing the second matrix inside each
+ * eigenvalue cluster of the first.
+ */
+
+#ifndef SNAILQC_LINALG_EIGEN_HPP
+#define SNAILQC_LINALG_EIGEN_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace snail
+{
+
+/** Minimal dense real matrix used by the symmetric eigensolvers. */
+class RealMatrix
+{
+  public:
+    RealMatrix() = default;
+
+    /** Zero-initialized n x n matrix. */
+    explicit RealMatrix(std::size_t n);
+
+    static RealMatrix identity(std::size_t n);
+
+    std::size_t size() const { return _n; }
+
+    double &operator()(std::size_t r, std::size_t c);
+    double operator()(std::size_t r, std::size_t c) const;
+
+    RealMatrix operator*(const RealMatrix &other) const;
+    RealMatrix transpose() const;
+
+    /** Largest absolute off-diagonal entry. */
+    double maxOffDiagonal() const;
+
+    /** True when symmetric within tol. */
+    bool isSymmetric(double tol = 1e-9) const;
+
+    /** Determinant (for orthogonal matrices this is +-1). */
+    double determinant() const;
+
+  private:
+    std::size_t _n = 0;
+    std::vector<double> _data;
+};
+
+/** Result of a symmetric eigendecomposition A = V diag(w) V^T. */
+struct SymmetricEigen
+{
+    std::vector<double> values;  //!< eigenvalues, ascending
+    RealMatrix vectors;          //!< columns are eigenvectors
+};
+
+/**
+ * Cyclic Jacobi eigendecomposition of a real symmetric matrix.
+ *
+ * @param a symmetric matrix.
+ * @param tol sweep convergence threshold on off-diagonal magnitude.
+ * @return eigenvalues (ascending) and orthonormal eigenvectors.
+ */
+SymmetricEigen eigSymmetric(const RealMatrix &a, double tol = 1e-13);
+
+/**
+ * Jointly diagonalize a commuting pair of real symmetric matrices.
+ *
+ * @param a first symmetric matrix.
+ * @param b second symmetric matrix; must commute with a.
+ * @param degeneracy_tol eigenvalues of a closer than this are treated as a
+ *        cluster, inside which b is diagonalized.
+ * @return orthogonal P with determinant +1 such that P^T a P and P^T b P
+ *         are both diagonal.
+ * @throws InternalError when the pair fails to diagonalize (non-commuting).
+ */
+RealMatrix jointDiagonalize(const RealMatrix &a, const RealMatrix &b,
+                            double degeneracy_tol = 1e-7);
+
+} // namespace snail
+
+#endif // SNAILQC_LINALG_EIGEN_HPP

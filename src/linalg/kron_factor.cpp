@@ -1,0 +1,80 @@
+#include "linalg/kron_factor.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+KronFactors
+factorKronecker(const Matrix &m)
+{
+    SNAIL_REQUIRE(m.rows() == 4 && m.cols() == 4,
+                  "factorKronecker needs a 4x4 matrix");
+
+    // Reshuffle: R[(a,c), (b,d)] = M[(a,b), (c,d)], indices in {0,1}.
+    Matrix r(4, 4);
+    for (std::size_t a = 0; a < 2; ++a) {
+        for (std::size_t b = 0; b < 2; ++b) {
+            for (std::size_t c = 0; c < 2; ++c) {
+                for (std::size_t d = 0; d < 2; ++d) {
+                    r(a * 2 + c, b * 2 + d) = m(a * 2 + b, c * 2 + d);
+                }
+            }
+        }
+    }
+
+    // Pivot on the largest entry for numerical stability.
+    std::size_t pr = 0;
+    std::size_t pc = 0;
+    double best = 0.0;
+    for (std::size_t i = 0; i < 4; ++i) {
+        for (std::size_t j = 0; j < 4; ++j) {
+            if (std::abs(r(i, j)) > best) {
+                best = std::abs(r(i, j));
+                pr = i;
+                pc = j;
+            }
+        }
+    }
+    SNAIL_REQUIRE(best > 1e-12, "cannot factor the zero matrix");
+
+    // R = u v^T with u = column pc scaled, v = row pr.
+    std::vector<Complex> u(4);
+    std::vector<Complex> v(4);
+    for (std::size_t j = 0; j < 4; ++j) {
+        v[j] = r(pr, j);
+    }
+    for (std::size_t i = 0; i < 4; ++i) {
+        u[i] = r(i, pc) / v[pc];
+    }
+
+    Matrix left(2, 2);
+    Matrix right(2, 2);
+    left(0, 0) = u[0];
+    left(0, 1) = u[1];
+    left(1, 0) = u[2];
+    left(1, 1) = u[3];
+    right(0, 0) = v[0];
+    right(0, 1) = v[1];
+    right(1, 0) = v[2];
+    right(1, 1) = v[3];
+
+    // Balance the scale between the factors without changing the product:
+    // for unitary inputs each factor should have Frobenius norm sqrt(2).
+    const double ln = left.frobeniusNorm();
+    const double rn = right.frobeniusNorm();
+    SNAIL_REQUIRE(ln > 1e-12 && rn > 1e-12, "degenerate Kronecker factor");
+    const double s = std::sqrt(2.0) / ln;
+    Matrix left_bal = left * Complex(s, 0.0);
+    Matrix right_bal = right * Complex(1.0 / s, 0.0);
+
+    KronFactors out;
+    out.left = left_bal;
+    out.right = right_bal;
+    out.residual = (kron(out.left, out.right) - m).frobeniusNorm();
+    return out;
+}
+
+} // namespace snail

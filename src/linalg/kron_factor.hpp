@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Nearest-Kronecker factorization of 4x4 matrices.
+ *
+ * The local factors produced by the KAK decomposition are elements of
+ * SU(2) (x) SU(2) represented as 4x4 matrices; this routine recovers the
+ * two 2x2 tensor factors.  It uses the reshuffling trick: the map
+ * M[(a,b),(c,d)] -> R[(a,c),(b,d)] sends A (x) B to the rank-1 matrix
+ * vec(A) vec(B)^T, from which both factors are read off a pivot row and
+ * column.
+ */
+
+#ifndef SNAILQC_LINALG_KRON_FACTOR_HPP
+#define SNAILQC_LINALG_KRON_FACTOR_HPP
+
+#include <utility>
+
+#include "linalg/matrix.hpp"
+
+namespace snail
+{
+
+/** Result of a Kronecker factorization m ~= kron(left, right). */
+struct KronFactors
+{
+    Matrix left;     //!< 2x2 factor acting on the first (high) qubit
+    Matrix right;    //!< 2x2 factor acting on the second (low) qubit
+    double residual; //!< Frobenius distance between kron(left,right) and m
+};
+
+/**
+ * Factor a 4x4 matrix into a Kronecker product of two 2x2 matrices.
+ *
+ * When the input is an exact tensor product of unitaries, the returned
+ * factors are unitary (each normalized, with the phase split evenly) and
+ * residual is at rounding level.  For non-product inputs the residual
+ * reports how far the best pivot-based rank-1 fit is from m.
+ */
+KronFactors factorKronecker(const Matrix &m);
+
+} // namespace snail
+
+#endif // SNAILQC_LINALG_KRON_FACTOR_HPP

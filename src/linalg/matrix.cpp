@@ -1,0 +1,355 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : _rows(rows), _cols(cols), _data(rows * cols, Complex(0.0, 0.0))
+{
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<Complex>> rows)
+{
+    _rows = rows.size();
+    _cols = _rows == 0 ? 0 : rows.begin()->size();
+    _data.reserve(_rows * _cols);
+    for (const auto &row : rows) {
+        SNAIL_REQUIRE(row.size() == _cols, "ragged matrix initializer");
+        _data.insert(_data.end(), row.begin(), row.end());
+    }
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        m(i, i) = Complex(1.0, 0.0);
+    }
+    return m;
+}
+
+Matrix
+Matrix::zero(std::size_t rows, std::size_t cols)
+{
+    return Matrix(rows, cols);
+}
+
+Complex &
+Matrix::operator()(std::size_t r, std::size_t c)
+{
+    SNAIL_ASSERT(r < _rows && c < _cols, "matrix index out of range");
+    return _data[r * _cols + c];
+}
+
+const Complex &
+Matrix::operator()(std::size_t r, std::size_t c) const
+{
+    SNAIL_ASSERT(r < _rows && c < _cols, "matrix index out of range");
+    return _data[r * _cols + c];
+}
+
+Matrix
+Matrix::operator+(const Matrix &other) const
+{
+    SNAIL_REQUIRE(_rows == other._rows && _cols == other._cols,
+                  "matrix shape mismatch in addition");
+    Matrix out(_rows, _cols);
+    for (std::size_t i = 0; i < _data.size(); ++i) {
+        out._data[i] = _data[i] + other._data[i];
+    }
+    return out;
+}
+
+Matrix
+Matrix::operator-(const Matrix &other) const
+{
+    SNAIL_REQUIRE(_rows == other._rows && _cols == other._cols,
+                  "matrix shape mismatch in subtraction");
+    Matrix out(_rows, _cols);
+    for (std::size_t i = 0; i < _data.size(); ++i) {
+        out._data[i] = _data[i] - other._data[i];
+    }
+    return out;
+}
+
+Matrix
+Matrix::operator*(const Matrix &other) const
+{
+    SNAIL_REQUIRE(_cols == other._rows, "matrix shape mismatch in product: "
+                                            << _rows << "x" << _cols << " * "
+                                            << other._rows << "x"
+                                            << other._cols);
+    Matrix out(_rows, other._cols);
+    for (std::size_t i = 0; i < _rows; ++i) {
+        for (std::size_t k = 0; k < _cols; ++k) {
+            const Complex aik = _data[i * _cols + k];
+            if (aik == Complex(0.0, 0.0)) {
+                continue;
+            }
+            const Complex *brow = &other._data[k * other._cols];
+            Complex *orow = &out._data[i * other._cols];
+            for (std::size_t j = 0; j < other._cols; ++j) {
+                orow[j] += aik * brow[j];
+            }
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::operator*(const Complex &scalar) const
+{
+    Matrix out = *this;
+    out *= scalar;
+    return out;
+}
+
+Matrix &
+Matrix::operator*=(const Complex &scalar)
+{
+    for (auto &v : _data) {
+        v *= scalar;
+    }
+    return *this;
+}
+
+Matrix
+Matrix::dagger() const
+{
+    Matrix out(_cols, _rows);
+    for (std::size_t i = 0; i < _rows; ++i) {
+        for (std::size_t j = 0; j < _cols; ++j) {
+            out(j, i) = std::conj((*this)(i, j));
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::transpose() const
+{
+    Matrix out(_cols, _rows);
+    for (std::size_t i = 0; i < _rows; ++i) {
+        for (std::size_t j = 0; j < _cols; ++j) {
+            out(j, i) = (*this)(i, j);
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::conjugate() const
+{
+    Matrix out = *this;
+    for (auto &v : out._data) {
+        v = std::conj(v);
+    }
+    return out;
+}
+
+Complex
+Matrix::trace() const
+{
+    SNAIL_REQUIRE(isSquare(), "trace of non-square matrix");
+    Complex t(0.0, 0.0);
+    for (std::size_t i = 0; i < _rows; ++i) {
+        t += (*this)(i, i);
+    }
+    return t;
+}
+
+Complex
+Matrix::determinant() const
+{
+    SNAIL_REQUIRE(isSquare(), "determinant of non-square matrix");
+    const std::size_t n = _rows;
+    Matrix lu = *this;
+    Complex det(1.0, 0.0);
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivot on the largest remaining magnitude.
+        std::size_t pivot = col;
+        double best = std::abs(lu(col, col));
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double mag = std::abs(lu(r, col));
+            if (mag > best) {
+                best = mag;
+                pivot = r;
+            }
+        }
+        if (best == 0.0) {
+            return Complex(0.0, 0.0);
+        }
+        if (pivot != col) {
+            for (std::size_t c = 0; c < n; ++c) {
+                std::swap(lu(col, c), lu(pivot, c));
+            }
+            det = -det;
+        }
+        det *= lu(col, col);
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const Complex factor = lu(r, col) / lu(col, col);
+            for (std::size_t c = col; c < n; ++c) {
+                lu(r, c) -= factor * lu(col, c);
+            }
+        }
+    }
+    return det;
+}
+
+double
+Matrix::frobeniusNorm() const
+{
+    double sum = 0.0;
+    for (const auto &v : _data) {
+        sum += std::norm(v);
+    }
+    return std::sqrt(sum);
+}
+
+double
+Matrix::maxAbs() const
+{
+    double best = 0.0;
+    for (const auto &v : _data) {
+        best = std::max(best, std::abs(v));
+    }
+    return best;
+}
+
+bool
+Matrix::isUnitary(double tol) const
+{
+    if (!isSquare()) {
+        return false;
+    }
+    return allClose((*this) * dagger(), identity(_rows), tol);
+}
+
+bool
+Matrix::isHermitian(double tol) const
+{
+    if (!isSquare()) {
+        return false;
+    }
+    return allClose(*this, dagger(), tol);
+}
+
+bool
+Matrix::isReal(double tol) const
+{
+    for (const auto &v : _data) {
+        if (std::abs(v.imag()) > tol) {
+            return false;
+        }
+    }
+    return true;
+}
+
+Matrix
+kron(const Matrix &a, const Matrix &b)
+{
+    Matrix out(a.rows() * b.rows(), a.cols() * b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t j = 0; j < a.cols(); ++j) {
+            const Complex aij = a(i, j);
+            for (std::size_t k = 0; k < b.rows(); ++k) {
+                for (std::size_t l = 0; l < b.cols(); ++l) {
+                    out(i * b.rows() + k, j * b.cols() + l) = aij * b(k, l);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Complex
+hsInner(const Matrix &a, const Matrix &b)
+{
+    SNAIL_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+                  "shape mismatch in Hilbert-Schmidt inner product");
+    Complex sum(0.0, 0.0);
+    for (std::size_t i = 0; i < a.data().size(); ++i) {
+        sum += std::conj(a.data()[i]) * b.data()[i];
+    }
+    return sum;
+}
+
+bool
+allClose(const Matrix &a, const Matrix &b, double tol)
+{
+    if (a.rows() != b.rows() || a.cols() != b.cols()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < a.data().size(); ++i) {
+        if (std::abs(a.data()[i] - b.data()[i]) > tol) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+equalUpToGlobalPhase(const Matrix &a, const Matrix &b, double tol)
+{
+    if (a.rows() != b.rows() || a.cols() != b.cols()) {
+        return false;
+    }
+    // Align phases on the largest entry of b to avoid dividing by noise.
+    std::size_t best = 0;
+    double best_mag = 0.0;
+    for (std::size_t i = 0; i < b.data().size(); ++i) {
+        const double mag = std::abs(b.data()[i]);
+        if (mag > best_mag) {
+            best_mag = mag;
+            best = i;
+        }
+    }
+    if (best_mag < tol) {
+        return allClose(a, b, tol);
+    }
+    if (std::abs(a.data()[best]) < tol) {
+        return false;
+    }
+    const Complex phase = a.data()[best] / b.data()[best];
+    if (std::abs(std::abs(phase) - 1.0) > tol) {
+        return false;
+    }
+    return allClose(a, b * phase, tol);
+}
+
+double
+traceFidelity(const Matrix &a, const Matrix &b)
+{
+    SNAIL_REQUIRE(a.isSquare() && a.rows() == b.rows(),
+                  "traceFidelity needs same-dimension square matrices");
+    return std::abs(hsInner(a, b)) / static_cast<double>(a.rows());
+}
+
+std::ostream &
+operator<<(std::ostream &os, const Matrix &m)
+{
+    os << std::fixed << std::setprecision(4);
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+        os << (i == 0 ? "[[" : " [");
+        for (std::size_t j = 0; j < m.cols(); ++j) {
+            const Complex v = m(i, j);
+            os << std::setw(8) << v.real() << (v.imag() < 0 ? "-" : "+")
+               << std::setw(7) << std::abs(v.imag()) << "i";
+            if (j + 1 < m.cols()) {
+                os << ", ";
+            }
+        }
+        os << (i + 1 == m.rows() ? "]]" : "],") << '\n';
+    }
+    return os;
+}
+
+} // namespace snail

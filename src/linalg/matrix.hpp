@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Dense complex matrices for snailqc.
+ *
+ * The library works almost exclusively with 2x2 and 4x4 unitaries plus the
+ * occasional 2^n x 2^n unitary built from small circuits, so a simple
+ * row-major dense matrix with value semantics is the right tool.  Hot loops
+ * (the NuOp optimizer) use their own fixed-size kernels and only touch this
+ * class at their boundaries.
+ */
+
+#ifndef SNAILQC_LINALG_MATRIX_HPP
+#define SNAILQC_LINALG_MATRIX_HPP
+
+#include <complex>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+namespace snail
+{
+
+using Complex = std::complex<double>;
+
+/** Numerical tolerance used for matrix predicates by default. */
+constexpr double kDefaultTol = 1e-9;
+
+/** Row-major dense complex matrix with value semantics. */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** Zero-initialized rows x cols matrix. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    /** Build from nested initializer lists (rows of cells). */
+    Matrix(std::initializer_list<std::initializer_list<Complex>> rows);
+
+    /** n x n identity. */
+    static Matrix identity(std::size_t n);
+
+    /** rows x cols zero matrix. */
+    static Matrix zero(std::size_t rows, std::size_t cols);
+
+    std::size_t rows() const { return _rows; }
+    std::size_t cols() const { return _cols; }
+    bool isSquare() const { return _rows == _cols; }
+
+    /** Element access (row, col). */
+    Complex &operator()(std::size_t r, std::size_t c);
+    const Complex &operator()(std::size_t r, std::size_t c) const;
+
+    /** Raw storage (row-major). */
+    const std::vector<Complex> &data() const { return _data; }
+    std::vector<Complex> &data() { return _data; }
+
+    Matrix operator+(const Matrix &other) const;
+    Matrix operator-(const Matrix &other) const;
+    Matrix operator*(const Matrix &other) const;
+    Matrix operator*(const Complex &scalar) const;
+    Matrix &operator*=(const Complex &scalar);
+
+    /** Conjugate transpose. */
+    Matrix dagger() const;
+
+    /** Transpose without conjugation. */
+    Matrix transpose() const;
+
+    /** Elementwise conjugate. */
+    Matrix conjugate() const;
+
+    /** Sum of diagonal entries. @pre square. */
+    Complex trace() const;
+
+    /** Determinant via LU with partial pivoting. @pre square. */
+    Complex determinant() const;
+
+    /** Frobenius norm. */
+    double frobeniusNorm() const;
+
+    /** Largest absolute entry. */
+    double maxAbs() const;
+
+    /** True when U U^dagger == I within tol. @pre square. */
+    bool isUnitary(double tol = kDefaultTol) const;
+
+    /** True when A == A^dagger within tol. @pre square. */
+    bool isHermitian(double tol = kDefaultTol) const;
+
+    /** True when all imaginary parts vanish within tol. */
+    bool isReal(double tol = kDefaultTol) const;
+
+  private:
+    std::size_t _rows = 0;
+    std::size_t _cols = 0;
+    std::vector<Complex> _data;
+};
+
+/** Kronecker (tensor) product a (x) b. */
+Matrix kron(const Matrix &a, const Matrix &b);
+
+/** Hilbert-Schmidt inner product Tr(a^dagger b). */
+Complex hsInner(const Matrix &a, const Matrix &b);
+
+/** Entrywise closeness within tol. */
+bool allClose(const Matrix &a, const Matrix &b, double tol = kDefaultTol);
+
+/**
+ * Closeness up to a global phase: exists phi with a == e^{i phi} b.
+ * The witness phase is aligned on the largest entry of b.
+ */
+bool equalUpToGlobalPhase(const Matrix &a, const Matrix &b,
+                          double tol = kDefaultTol);
+
+/**
+ * Average-gate-style process match between two same-dimension unitaries:
+ * |Tr(a^dagger b)| / dim, which is 1 exactly when a == b up to global phase.
+ */
+double traceFidelity(const Matrix &a, const Matrix &b);
+
+/** Stream a matrix in a readable aligned format (for debugging). */
+std::ostream &operator<<(std::ostream &os, const Matrix &m);
+
+} // namespace snail
+
+#endif // SNAILQC_LINALG_MATRIX_HPP

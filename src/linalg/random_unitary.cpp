@@ -1,0 +1,63 @@
+#include "linalg/random_unitary.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+Matrix
+haarUnitary(std::size_t n, Rng &rng)
+{
+    SNAIL_REQUIRE(n > 0, "haarUnitary needs n > 0");
+    // Ginibre ensemble.
+    Matrix z(n, n);
+    for (auto &v : z.data()) {
+        v = Complex(rng.normal(), rng.normal());
+    }
+
+    // Modified Gram-Schmidt QR; columns of q become orthonormal.
+    Matrix q = z;
+    std::vector<Complex> r_diag(n);
+    for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t k = 0; k < j; ++k) {
+            Complex proj(0.0, 0.0);
+            for (std::size_t i = 0; i < n; ++i) {
+                proj += std::conj(q(i, k)) * q(i, j);
+            }
+            for (std::size_t i = 0; i < n; ++i) {
+                q(i, j) -= proj * q(i, k);
+            }
+        }
+        double norm = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            norm += std::norm(q(i, j));
+        }
+        norm = std::sqrt(norm);
+        SNAIL_ASSERT(norm > 1e-12, "rank-deficient Ginibre draw");
+        for (std::size_t i = 0; i < n; ++i) {
+            q(i, j) /= norm;
+        }
+        r_diag[j] = Complex(norm, 0.0);
+    }
+
+    // Gram-Schmidt produces the canonical QR with a real positive R
+    // diagonal; for a Ginibre draw that canonical Q is exactly Haar
+    // distributed, so no further phase correction is needed.
+    (void)r_diag;
+    return q;
+}
+
+Matrix
+haarSpecialUnitary(std::size_t n, Rng &rng)
+{
+    Matrix u = haarUnitary(n, rng);
+    const Complex det = u.determinant();
+    // Remove the determinant phase by an n-th root.
+    const double angle = std::arg(det) / static_cast<double>(n);
+    const Complex correction = std::polar(1.0, -angle);
+    return u * correction;
+}
+
+} // namespace snail

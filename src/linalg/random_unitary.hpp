@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Haar-random unitary sampling.
+ *
+ * The fidelity study of the paper (Fig. 15) averages over Haar-random 2Q
+ * unitaries, and QuantumVolume layers apply Haar-random SU(4) blocks.  We
+ * sample via the standard Ginibre + QR construction with the phase fix of
+ * Mezzadri, which yields exactly Haar-distributed matrices.
+ */
+
+#ifndef SNAILQC_LINALG_RANDOM_UNITARY_HPP
+#define SNAILQC_LINALG_RANDOM_UNITARY_HPP
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace snail
+{
+
+/** Haar-random n x n unitary. */
+Matrix haarUnitary(std::size_t n, Rng &rng);
+
+/** Haar-random unitary normalized to determinant one (SU(n)). */
+Matrix haarSpecialUnitary(std::size_t n, Rng &rng);
+
+} // namespace snail
+
+#endif // SNAILQC_LINALG_RANDOM_UNITARY_HPP

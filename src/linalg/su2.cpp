@@ -1,0 +1,91 @@
+#include "linalg/su2.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+Matrix
+rzMatrix(double angle)
+{
+    return Matrix{{std::polar(1.0, -angle / 2.0), 0.0},
+                  {0.0, std::polar(1.0, angle / 2.0)}};
+}
+
+Matrix
+ryMatrix(double angle)
+{
+    const double c = std::cos(angle / 2.0);
+    const double s = std::sin(angle / 2.0);
+    return Matrix{{c, -s}, {s, c}};
+}
+
+Matrix
+rxMatrix(double angle)
+{
+    const double c = std::cos(angle / 2.0);
+    const double s = std::sin(angle / 2.0);
+    return Matrix{{Complex(c, 0.0), Complex(0.0, -s)},
+                  {Complex(0.0, -s), Complex(c, 0.0)}};
+}
+
+Matrix
+u3Matrix(double theta, double phi, double lam)
+{
+    const double c = std::cos(theta / 2.0);
+    const double s = std::sin(theta / 2.0);
+    return Matrix{
+        {Complex(c, 0.0), -std::polar(s, lam)},
+        {std::polar(s, phi), std::polar(c, phi + lam)}};
+}
+
+ZyzAngles
+zyzDecompose(const Matrix &u, double tol)
+{
+    SNAIL_REQUIRE(u.rows() == 2 && u.cols() == 2,
+                  "zyzDecompose needs a 2x2 matrix");
+    SNAIL_REQUIRE(u.isUnitary(1e-7), "zyzDecompose needs a unitary matrix");
+
+    // Pull out the determinant phase to land in SU(2).
+    const Complex det = u.determinant();
+    const double alpha = 0.5 * std::arg(det);
+    const Matrix v = u * std::polar(1.0, -alpha);
+
+    // v = [[ e^{-i(phi+lam)/2} c, -e^{-i(phi-lam)/2} s ],
+    //      [ e^{+i(phi-lam)/2} s,  e^{+i(phi+lam)/2} c ]]
+    const double c_mag = std::abs(v(0, 0));
+    const double s_mag = std::abs(v(1, 0));
+    const double theta = 2.0 * std::atan2(s_mag, c_mag);
+
+    double phi = 0.0;
+    double lam = 0.0;
+    if (s_mag < tol) {
+        // Diagonal gate: only phi + lam is defined; put it all in lam.
+        const double sum = 2.0 * std::arg(v(1, 1));
+        phi = 0.0;
+        lam = sum;
+    } else if (c_mag < tol) {
+        // Anti-diagonal gate: only phi - lam is defined.
+        const double diff = 2.0 * std::arg(v(1, 0));
+        phi = diff;
+        lam = 0.0;
+    } else {
+        const double sum = 2.0 * std::arg(v(1, 1));
+        const double diff = 2.0 * std::arg(v(1, 0));
+        phi = 0.5 * (sum + diff);
+        lam = 0.5 * (sum - diff);
+    }
+    return ZyzAngles{alpha, theta, phi, lam};
+}
+
+Matrix
+zyzMatrix(const ZyzAngles &angles)
+{
+    Matrix m = rzMatrix(angles.phi) * ryMatrix(angles.theta) *
+               rzMatrix(angles.lam);
+    return m * std::polar(1.0, angles.alpha);
+}
+
+} // namespace snail

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Euler-angle extraction for 2x2 unitaries.
+ *
+ * Every 1Q unitary can be written U = e^{i alpha} Rz(phi) Ry(theta) Rz(lam).
+ * The KAK synthesizer and the NuOp template both express their interleaved
+ * 1Q layers in these angles (equivalently, U3 parameters).
+ */
+
+#ifndef SNAILQC_LINALG_SU2_HPP
+#define SNAILQC_LINALG_SU2_HPP
+
+#include "linalg/matrix.hpp"
+
+namespace snail
+{
+
+/** ZYZ Euler angles with global phase: U = e^{i alpha} Rz(phi) Ry(theta)
+ *  Rz(lam). */
+struct ZyzAngles
+{
+    double alpha; //!< global phase
+    double theta; //!< Ry angle
+    double phi;   //!< leading Rz angle
+    double lam;   //!< trailing Rz angle
+};
+
+/** Rz(angle) = diag(e^{-i angle/2}, e^{+i angle/2}). */
+Matrix rzMatrix(double angle);
+
+/** Ry(angle) rotation matrix. */
+Matrix ryMatrix(double angle);
+
+/** Rx(angle) rotation matrix. */
+Matrix rxMatrix(double angle);
+
+/** U3(theta, phi, lam) in the Qiskit convention (det e^{i(phi+lam)}). */
+Matrix u3Matrix(double theta, double phi, double lam);
+
+/**
+ * Decompose an arbitrary 2x2 unitary into ZYZ Euler angles.
+ * @throws SnailError when u is not unitary.
+ */
+ZyzAngles zyzDecompose(const Matrix &u, double tol = 1e-9);
+
+/** Rebuild the 2x2 matrix from ZYZ angles (for verification). */
+Matrix zyzMatrix(const ZyzAngles &angles);
+
+} // namespace snail
+
+#endif // SNAILQC_LINALG_SU2_HPP

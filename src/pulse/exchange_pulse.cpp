@@ -1,0 +1,152 @@
+#include "pulse/exchange_pulse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+double
+PulseEnvelope::value(double t, double duration) const
+{
+    if (t < 0.0 || t > duration) {
+        return 0.0;
+    }
+    if (kind == EnvelopeKind::Square) {
+        return 1.0;
+    }
+    const double r = std::min(rise_time, duration / 2.0);
+    if (r <= 0.0) {
+        return 1.0;
+    }
+    if (t < r) {
+        return 0.5 * (1.0 - std::cos(M_PI * t / r));
+    }
+    if (t > duration - r) {
+        return 0.5 * (1.0 - std::cos(M_PI * (duration - t) / r));
+    }
+    return 1.0;
+}
+
+double
+PulseEnvelope::area(double duration) const
+{
+    if (kind == EnvelopeKind::Square) {
+        return duration;
+    }
+    const double r = std::min(rise_time, duration / 2.0);
+    // Each cosine ramp integrates to r/2; the flat middle is full.
+    return duration - r;
+}
+
+namespace
+{
+
+/** RK4 step count resolving the fastest frequency in the pulse. */
+int
+defaultSteps(const ExchangePulse &pulse, double duration)
+{
+    const double fastest =
+        std::max({std::abs(pulse.detuning),
+                  std::abs(2.0 * pulse.qubit_delta - pulse.detuning),
+                  pulse.coupling, 1.0});
+    const double steps = duration * fastest * 400.0;
+    return std::max(2000, static_cast<int>(std::ceil(steps)));
+}
+
+} // namespace
+
+Matrix
+drivenExchangePropagator(const ExchangePulse &pulse, double duration,
+                         int steps)
+{
+    SNAIL_REQUIRE(duration >= 0.0, "negative pulse duration");
+    if (steps <= 0) {
+        steps = defaultSteps(pulse, duration);
+    }
+    const double g = pulse.coupling;
+    const double delta = pulse.detuning;
+    const double counter = 2.0 * pulse.qubit_delta - pulse.detuning;
+    const bool rwa_only = pulse.qubit_delta == 0.0;
+    const PulseEnvelope env = pulse.envelope;
+
+    TimeDependentHamiltonian h = [=](double t) {
+        Matrix m(2, 2);
+        Complex phase = std::exp(Complex{0.0, delta * t});
+        if (!rwa_only) {
+            phase += std::exp(Complex{0.0, counter * t});
+        }
+        const Complex coupling = g * env.value(t, duration) * phase;
+        m(0, 1) = coupling;
+        m(1, 0) = std::conj(coupling);
+        return m;
+    };
+    return evolvePropagator(h, 2, 0.0, duration, steps);
+}
+
+double
+simulatedSwapProbability(const ExchangePulse &pulse, double duration)
+{
+    const Matrix u = drivenExchangePropagator(pulse, duration);
+    // Column 0 is the evolution of |10>; row 1 is the |01> amplitude.
+    return std::norm(u(1, 0));
+}
+
+std::vector<double>
+simulatedChevronRow(const ExchangePulse &pulse,
+                    const std::vector<double> &times)
+{
+    std::vector<double> row;
+    row.reserve(times.size());
+    for (double t : times) {
+        row.push_back(simulatedSwapProbability(pulse, t));
+    }
+    return row;
+}
+
+double
+rwaError(double coupling, double qubit_delta, double duration)
+{
+    ExchangePulse pulse;
+    pulse.coupling = coupling;
+    pulse.qubit_delta = qubit_delta;
+    const Matrix u = drivenExchangePropagator(pulse, duration);
+
+    // RWA closed form for the same Hamiltonian sign convention:
+    // U = exp(-i g t sigma_x).
+    const double angle = coupling * duration;
+    Matrix rwa(2, 2);
+    rwa(0, 0) = rwa(1, 1) = Complex{std::cos(angle), 0.0};
+    rwa(0, 1) = rwa(1, 0) = Complex{0.0, -std::sin(angle)};
+
+    double worst = 0.0;
+    for (std::size_t r = 0; r < 2; ++r) {
+        for (std::size_t c = 0; c < 2; ++c) {
+            worst = std::max(worst, std::abs(u(r, c) - rwa(r, c)));
+        }
+    }
+    return worst;
+}
+
+double
+calibrateFlattopDuration(const PulseEnvelope &envelope,
+                         double square_duration)
+{
+    SNAIL_REQUIRE(square_duration > 0.0, "pulse area must be positive");
+    if (envelope.kind == EnvelopeKind::Square) {
+        return square_duration;
+    }
+    // area(d) = d - min(rise, d/2); invert for d.
+    const double r = envelope.rise_time;
+    const double with_full_ramps = square_duration + r;
+    if (with_full_ramps / 2.0 >= r) {
+        return with_full_ramps;
+    }
+    // Ramps overlap (d < 2r): area = d/2, so d = 2 * area.
+    return 2.0 * square_duration;
+}
+
+} // namespace snail

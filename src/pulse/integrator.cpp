@@ -1,0 +1,107 @@
+#include "pulse/integrator.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+/** y' = -i H(t) y evaluated into `out`. */
+void
+derivative(const Matrix &h, const std::vector<Complex> &y,
+           std::vector<Complex> &out)
+{
+    const std::size_t n = y.size();
+    const Complex minus_i{0.0, -1.0};
+    for (std::size_t r = 0; r < n; ++r) {
+        Complex acc{0.0, 0.0};
+        for (std::size_t c = 0; c < n; ++c) {
+            acc += h(r, c) * y[c];
+        }
+        out[r] = minus_i * acc;
+    }
+}
+
+} // namespace
+
+std::vector<Complex>
+evolveState(const TimeDependentHamiltonian &h, std::vector<Complex> psi0,
+            double t0, double t1, int steps)
+{
+    SNAIL_REQUIRE(steps >= 1, "integration needs >= 1 step, got " << steps);
+    const std::size_t n = psi0.size();
+    SNAIL_REQUIRE(n > 0, "empty state");
+
+    const double dt = (t1 - t0) / steps;
+    std::vector<Complex> y = std::move(psi0);
+    std::vector<Complex> k1(n), k2(n), k3(n), k4(n), tmp(n);
+
+    for (int s = 0; s < steps; ++s) {
+        const double t = t0 + s * dt;
+
+        const Matrix h1 = h(t);
+        SNAIL_REQUIRE(h1.rows() == n && h1.cols() == n,
+                      "H(t) size mismatch at t = " << t);
+        derivative(h1, y, k1);
+
+        const Matrix h2 = h(t + 0.5 * dt);
+        for (std::size_t i = 0; i < n; ++i) {
+            tmp[i] = y[i] + 0.5 * dt * k1[i];
+        }
+        derivative(h2, tmp, k2);
+
+        for (std::size_t i = 0; i < n; ++i) {
+            tmp[i] = y[i] + 0.5 * dt * k2[i];
+        }
+        derivative(h2, tmp, k3);
+
+        const Matrix h4 = h(t + dt);
+        for (std::size_t i = 0; i < n; ++i) {
+            tmp[i] = y[i] + dt * k3[i];
+        }
+        derivative(h4, tmp, k4);
+
+        for (std::size_t i = 0; i < n; ++i) {
+            y[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+    }
+    return y;
+}
+
+Matrix
+evolvePropagator(const TimeDependentHamiltonian &h, std::size_t dim,
+                 double t0, double t1, int steps)
+{
+    Matrix u(dim, dim);
+    for (std::size_t col = 0; col < dim; ++col) {
+        std::vector<Complex> e(dim, Complex{0.0, 0.0});
+        e[col] = Complex{1.0, 0.0};
+        const std::vector<Complex> final_state =
+            evolveState(h, std::move(e), t0, t1, steps);
+        for (std::size_t row = 0; row < dim; ++row) {
+            u(row, col) = final_state[row];
+        }
+    }
+    return u;
+}
+
+double
+unitarityError(const Matrix &u)
+{
+    const Matrix product = u.dagger() * u;
+    double worst = 0.0;
+    for (std::size_t r = 0; r < product.rows(); ++r) {
+        for (std::size_t c = 0; c < product.cols(); ++c) {
+            const Complex want =
+                r == c ? Complex{1.0, 0.0} : Complex{0.0, 0.0};
+            worst = std::max(worst, std::abs(product(r, c) - want));
+        }
+    }
+    return worst;
+}
+
+} // namespace snail

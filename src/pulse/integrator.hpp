@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fixed-step RK4 integrator for the time-dependent Schroedinger
+ * equation, i dpsi/dt = H(t) psi (hbar = 1).
+ *
+ * The closed-form exchange results in sim/parametric_exchange.hpp are
+ * rotating-wave solutions; this integrator evolves the full time-
+ * dependent Hamiltonian (pulse envelopes, counter-rotating terms), so
+ * the library can quantify when the closed forms are trustworthy
+ * instead of assuming them.
+ */
+
+#ifndef SNAILQC_PULSE_INTEGRATOR_HPP
+#define SNAILQC_PULSE_INTEGRATOR_HPP
+
+#include <functional>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace snail
+{
+
+/** Callback producing H(t) (square, Hermitian) at a given time. */
+using TimeDependentHamiltonian = std::function<Matrix(double)>;
+
+/**
+ * Evolve a state under i dpsi/dt = H(t) psi from t0 to t1 with `steps`
+ * RK4 steps.
+ * @pre steps >= 1; H(t) must stay the size of psi0.
+ */
+std::vector<Complex> evolveState(const TimeDependentHamiltonian &h,
+                                 std::vector<Complex> psi0, double t0,
+                                 double t1, int steps);
+
+/**
+ * Propagator U(t1, t0) of the same equation, integrated column by
+ * column.  Unitary to integration accuracy — callers can check
+ * deviation via unitarityError().
+ */
+Matrix evolvePropagator(const TimeDependentHamiltonian &h, std::size_t dim,
+                        double t0, double t1, int steps);
+
+/** Max-norm of U dagger U - I: integration-quality diagnostic. */
+double unitarityError(const Matrix &u);
+
+} // namespace snail
+
+#endif // SNAILQC_PULSE_INTEGRATOR_HPP

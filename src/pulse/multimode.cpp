@@ -1,0 +1,88 @@
+#include "pulse/multimode.hpp"
+
+#include <cmath>
+#include <complex>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+MultiModeDrive::MultiModeDrive(int num_modes) : _numModes(num_modes)
+{
+    SNAIL_REQUIRE(num_modes >= 2,
+                  "a SNAIL neighborhood needs >= 2 modes, got "
+                      << num_modes);
+}
+
+void
+MultiModeDrive::addDrive(const PairDrive &drive)
+{
+    SNAIL_REQUIRE(drive.mode_a >= 0 && drive.mode_a < _numModes &&
+                      drive.mode_b >= 0 && drive.mode_b < _numModes,
+                  "drive modes (" << drive.mode_a << ", " << drive.mode_b
+                                  << ") out of range");
+    SNAIL_REQUIRE(drive.mode_a != drive.mode_b,
+                  "drive needs two distinct modes");
+    SNAIL_REQUIRE(drive.coupling > 0.0, "drive coupling must be positive");
+    _drives.push_back(drive);
+}
+
+Matrix
+MultiModeDrive::propagator(double duration, int steps) const
+{
+    SNAIL_REQUIRE(duration >= 0.0, "negative drive duration");
+    if (steps <= 0) {
+        double fastest = 1.0;
+        for (const auto &drive : _drives) {
+            fastest = std::max({fastest, drive.coupling,
+                                std::abs(drive.detuning)});
+        }
+        steps = std::max(2000,
+                         static_cast<int>(
+                             std::ceil(duration * fastest * 400.0)));
+    }
+    const int n = _numModes;
+    const std::vector<PairDrive> drives = _drives;
+
+    TimeDependentHamiltonian h = [n, drives](double t) {
+        Matrix m(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+        for (const auto &drive : drives) {
+            const Complex term =
+                drive.coupling *
+                std::exp(Complex{0.0, drive.detuning * t});
+            m(static_cast<std::size_t>(drive.mode_a),
+              static_cast<std::size_t>(drive.mode_b)) += term;
+            m(static_cast<std::size_t>(drive.mode_b),
+              static_cast<std::size_t>(drive.mode_a)) +=
+                std::conj(term);
+        }
+        return m;
+    };
+    return evolvePropagator(h, static_cast<std::size_t>(n), 0.0, duration,
+                            steps);
+}
+
+std::vector<double>
+MultiModeDrive::excitationDistribution(int initial, double duration) const
+{
+    SNAIL_REQUIRE(initial >= 0 && initial < _numModes,
+                  "initial mode " << initial << " out of range");
+    const Matrix u = propagator(duration);
+    std::vector<double> dist(static_cast<std::size_t>(_numModes));
+    for (int i = 0; i < _numModes; ++i) {
+        dist[static_cast<std::size_t>(i)] =
+            std::norm(u(static_cast<std::size_t>(i),
+                        static_cast<std::size_t>(initial)));
+    }
+    return dist;
+}
+
+double
+threeModeTransferTime(double coupling)
+{
+    SNAIL_REQUIRE(coupling > 0.0, "coupling must be positive");
+    return M_PI / (2.0 * std::sqrt(2.0) * coupling);
+}
+
+} // namespace snail

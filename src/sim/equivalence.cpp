@@ -1,0 +1,85 @@
+#include "sim/equivalence.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/random_unitary.hpp"
+#include "sim/statevector.hpp"
+#include "sim/unitary_builder.hpp"
+
+namespace snail
+{
+
+bool
+circuitsEquivalent(const Circuit &a, const Circuit &b, double tol)
+{
+    SNAIL_REQUIRE(a.numQubits() == b.numQubits(),
+                  "circuitsEquivalent width mismatch");
+    const Matrix ua = circuitUnitary(a);
+    const Matrix ub = circuitUnitary(b);
+    return std::abs(traceFidelity(ua, ub) - 1.0) < tol;
+}
+
+bool
+routedCircuitEquivalent(const Circuit &original, const Circuit &routed,
+                        const std::vector<int> &initial_v2p,
+                        const std::vector<int> &final_v2p, int trials,
+                        Rng &rng, double tol)
+{
+    const int nv = original.numQubits();
+    const int np = routed.numQubits();
+    SNAIL_REQUIRE(static_cast<int>(initial_v2p.size()) == nv &&
+                      static_cast<int>(final_v2p.size()) == nv,
+                  "layout size must match the virtual register");
+    SNAIL_REQUIRE(np <= 20, "equivalence check limited to 20 physical "
+                            "qubits");
+
+    for (int trial = 0; trial < trials; ++trial) {
+        // Random product input state, one Haar 1Q state per virtual qubit.
+        std::vector<Matrix> prep(static_cast<std::size_t>(nv));
+        for (int v = 0; v < nv; ++v) {
+            prep[static_cast<std::size_t>(v)] = haarUnitary(2, rng);
+        }
+
+        // Virtual-side reference evolution.
+        Statevector ref(nv);
+        for (int v = 0; v < nv; ++v) {
+            ref.applyOneQubit(prep[static_cast<std::size_t>(v)], v);
+        }
+        ref.run(original);
+
+        // Physical-side evolution with the same preparation placed at the
+        // initial layout.
+        Statevector phys(np);
+        for (int v = 0; v < nv; ++v) {
+            phys.applyOneQubit(prep[static_cast<std::size_t>(v)],
+                               initial_v2p[static_cast<std::size_t>(v)]);
+        }
+        phys.run(routed);
+
+        // Expected physical state: reference amplitudes rearranged onto the
+        // final layout, spectators in |0>.
+        Statevector expect(np);
+        std::vector<Complex> &amps = expect.amplitudes();
+        amps.assign(amps.size(), Complex(0.0, 0.0));
+        const std::size_t vdim = std::size_t(1) << nv;
+        for (std::size_t vidx = 0; vidx < vdim; ++vidx) {
+            std::size_t pidx = 0;
+            for (int v = 0; v < nv; ++v) {
+                if ((vidx >> v) & 1) {
+                    pidx |= std::size_t(1)
+                            << final_v2p[static_cast<std::size_t>(v)];
+                }
+            }
+            amps[pidx] = ref.amplitudes()[vidx];
+        }
+
+        const double overlap = std::abs(phys.inner(expect));
+        if (std::abs(overlap - 1.0) > tol) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace snail

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Circuit equivalence checks used to validate the transpiler.
+ *
+ * A routed circuit acts on physical qubits and generally ends with its
+ * virtual qubits living at different physical locations than they started
+ * (SWAPs move data).  routedCircuitEquivalent() checks, by simulation,
+ * that the routed circuit implements the original computation under the
+ * transpiler's reported initial and final layouts.
+ */
+
+#ifndef SNAILQC_SIM_EQUIVALENCE_HPP
+#define SNAILQC_SIM_EQUIVALENCE_HPP
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ir/circuit.hpp"
+
+namespace snail
+{
+
+/** True when the two circuits implement the same unitary up to a global
+ *  phase.  @pre both circuits are at most 10 qubits wide. */
+bool circuitsEquivalent(const Circuit &a, const Circuit &b,
+                        double tol = 1e-7);
+
+/**
+ * Verify that `routed` (over physical qubits) implements `original` (over
+ * virtual qubits) given the virtual-to-physical maps before and after
+ * routing.  Physical qubits not hosting a virtual qubit must start in and
+ * act as |0> spectators.
+ *
+ * The check simulates `trials` random product-state inputs; any routing
+ * bug that changes the computation shows up as an inner-product deviation.
+ *
+ * @param original the pre-routing circuit on n_virtual qubits.
+ * @param routed the post-routing circuit on n_physical qubits.
+ * @param initial_v2p virtual -> physical map at circuit start.
+ * @param final_v2p virtual -> physical map at circuit end.
+ */
+bool routedCircuitEquivalent(const Circuit &original, const Circuit &routed,
+                             const std::vector<int> &initial_v2p,
+                             const std::vector<int> &final_v2p, int trials,
+                             Rng &rng, double tol = 1e-7);
+
+} // namespace snail
+
+#endif // SNAILQC_SIM_EQUIVALENCE_HPP

@@ -1,0 +1,55 @@
+#include "sim/parametric_exchange.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+double
+excitationSwapProbability(const ExchangeDrive &drive, double time)
+{
+    SNAIL_REQUIRE(drive.coupling > 0.0, "coupling must be positive");
+    const double g2 = drive.coupling * drive.coupling;
+    const double omega2 = g2 + 0.25 * drive.detuning * drive.detuning;
+    const double omega = std::sqrt(omega2);
+    const double s = std::sin(omega * time);
+    return (g2 / omega2) * s * s;
+}
+
+Matrix
+resonantExchangeUnitary(double coupling, double time)
+{
+    SNAIL_REQUIRE(coupling > 0.0, "coupling must be positive");
+    // Eq. 9: U(t) = exp(i H t) with H = g (a1^dag a2 + a1 a2^dag)
+    // restricted to the two-level manifold.
+    const double gt = coupling * time;
+    const double c = std::cos(gt);
+    const double s = std::sin(gt);
+    return Matrix{{1, 0, 0, 0},
+                  {0, Complex(c, 0.0), Complex(0.0, s), 0},
+                  {0, Complex(0.0, s), Complex(c, 0.0), 0},
+                  {0, 0, 0, 1}};
+}
+
+double
+pulseLengthForRoot(double coupling, double root)
+{
+    SNAIL_REQUIRE(coupling > 0.0 && root >= 1.0,
+                  "need positive coupling and root >= 1");
+    return M_PI / (2.0 * root * coupling);
+}
+
+std::vector<double>
+chevronRow(const ExchangeDrive &drive, const std::vector<double> &times)
+{
+    std::vector<double> out;
+    out.reserve(times.size());
+    for (double t : times) {
+        out.push_back(excitationSwapProbability(drive, t));
+    }
+    return out;
+}
+
+} // namespace snail

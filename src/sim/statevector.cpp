@@ -1,0 +1,123 @@
+#include "sim/statevector.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+Statevector::Statevector(int num_qubits) : Statevector(num_qubits, 0) {}
+
+Statevector::Statevector(int num_qubits, std::size_t basis_index)
+    : _numQubits(num_qubits)
+{
+    SNAIL_REQUIRE(num_qubits > 0 && num_qubits <= 24,
+                  "statevector supports 1..24 qubits, got " << num_qubits);
+    const std::size_t dim = std::size_t(1) << num_qubits;
+    SNAIL_REQUIRE(basis_index < dim, "basis index out of range");
+    _amps.assign(dim, Complex(0.0, 0.0));
+    _amps[basis_index] = Complex(1.0, 0.0);
+}
+
+void
+Statevector::applyOneQubit(const Matrix &u, Qubit q)
+{
+    SNAIL_REQUIRE(u.rows() == 2 && u.cols() == 2, "expected a 2x2 matrix");
+    SNAIL_REQUIRE(q >= 0 && q < _numQubits, "qubit out of range");
+    const std::size_t bit = std::size_t(1) << q;
+    const std::size_t dim = _amps.size();
+    const Complex u00 = u(0, 0);
+    const Complex u01 = u(0, 1);
+    const Complex u10 = u(1, 0);
+    const Complex u11 = u(1, 1);
+    for (std::size_t base = 0; base < dim; ++base) {
+        if (base & bit) {
+            continue;
+        }
+        const Complex a0 = _amps[base];
+        const Complex a1 = _amps[base | bit];
+        _amps[base] = u00 * a0 + u01 * a1;
+        _amps[base | bit] = u10 * a0 + u11 * a1;
+    }
+}
+
+void
+Statevector::applyTwoQubit(const Matrix &u, Qubit high, Qubit low)
+{
+    SNAIL_REQUIRE(u.rows() == 4 && u.cols() == 4, "expected a 4x4 matrix");
+    SNAIL_REQUIRE(high != low, "two-qubit gate needs distinct qubits");
+    SNAIL_REQUIRE(high >= 0 && high < _numQubits && low >= 0 &&
+                      low < _numQubits,
+                  "qubit out of range");
+    const std::size_t hbit = std::size_t(1) << high;
+    const std::size_t lbit = std::size_t(1) << low;
+    const std::size_t dim = _amps.size();
+    for (std::size_t base = 0; base < dim; ++base) {
+        if (base & (hbit | lbit)) {
+            continue;
+        }
+        // Gather in |high low> order.
+        const std::size_t i00 = base;
+        const std::size_t i01 = base | lbit;
+        const std::size_t i10 = base | hbit;
+        const std::size_t i11 = base | hbit | lbit;
+        const Complex a00 = _amps[i00];
+        const Complex a01 = _amps[i01];
+        const Complex a10 = _amps[i10];
+        const Complex a11 = _amps[i11];
+        _amps[i00] = u(0, 0) * a00 + u(0, 1) * a01 + u(0, 2) * a10 +
+                     u(0, 3) * a11;
+        _amps[i01] = u(1, 0) * a00 + u(1, 1) * a01 + u(1, 2) * a10 +
+                     u(1, 3) * a11;
+        _amps[i10] = u(2, 0) * a00 + u(2, 1) * a01 + u(2, 2) * a10 +
+                     u(2, 3) * a11;
+        _amps[i11] = u(3, 0) * a00 + u(3, 1) * a01 + u(3, 2) * a10 +
+                     u(3, 3) * a11;
+    }
+}
+
+void
+Statevector::apply(const Instruction &inst)
+{
+    const Matrix m = inst.gate().matrix();
+    if (inst.numQubits() == 1) {
+        applyOneQubit(m, inst.q0());
+    } else {
+        applyTwoQubit(m, inst.q0(), inst.q1());
+    }
+}
+
+void
+Statevector::run(const Circuit &circuit)
+{
+    SNAIL_REQUIRE(circuit.numQubits() <= _numQubits,
+                  "circuit wider than the statevector");
+    for (const auto &inst : circuit.instructions()) {
+        apply(inst);
+    }
+}
+
+double
+Statevector::normSquared() const
+{
+    double sum = 0.0;
+    for (const auto &a : _amps) {
+        sum += std::norm(a);
+    }
+    return sum;
+}
+
+Complex
+Statevector::inner(const Statevector &other) const
+{
+    SNAIL_REQUIRE(_amps.size() == other._amps.size(),
+                  "statevector dimension mismatch");
+    Complex acc(0.0, 0.0);
+    for (std::size_t i = 0; i < _amps.size(); ++i) {
+        acc += std::conj(_amps[i]) * other._amps[i];
+    }
+    return acc;
+}
+
+} // namespace snail

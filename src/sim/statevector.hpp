@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Dense statevector simulator.
+ *
+ * Used by the test suite to verify that routed circuits are equivalent to
+ * their originals (up to the tracked qubit permutation) and that the KAK /
+ * NuOp synthesis engines reproduce their target unitaries.  Supports any
+ * 1Q/2Q gate in the library, including opaque Haar-random blocks.
+ *
+ * Bit convention: qubit q is bit q of the amplitude index (qubit 0 is the
+ * least significant bit).  Two-qubit gate matrices act in the basis
+ * |q_first q_second> with the *first* operand as the high-order bit, which
+ * matches the matrices in gates/gate.cpp.
+ */
+
+#ifndef SNAILQC_SIM_STATEVECTOR_HPP
+#define SNAILQC_SIM_STATEVECTOR_HPP
+
+#include <vector>
+
+#include "ir/circuit.hpp"
+#include "linalg/matrix.hpp"
+
+namespace snail
+{
+
+/** Dense 2^n statevector with gate application. */
+class Statevector
+{
+  public:
+    /** |0...0> over num_qubits qubits. @pre num_qubits <= 24. */
+    explicit Statevector(int num_qubits);
+
+    /** Computational basis state |index>. */
+    Statevector(int num_qubits, std::size_t basis_index);
+
+    int numQubits() const { return _numQubits; }
+    const std::vector<Complex> &amplitudes() const { return _amps; }
+    std::vector<Complex> &amplitudes() { return _amps; }
+
+    /** Apply a 2x2 unitary to one qubit. */
+    void applyOneQubit(const Matrix &u, Qubit q);
+
+    /** Apply a 4x4 unitary to (high, low) qubits. */
+    void applyTwoQubit(const Matrix &u, Qubit high, Qubit low);
+
+    /** Apply one instruction. */
+    void apply(const Instruction &inst);
+
+    /** Run a whole circuit. */
+    void run(const Circuit &circuit);
+
+    /** Squared norm (should stay 1 under unitary evolution). */
+    double normSquared() const;
+
+    /** Inner product <this | other>. */
+    Complex inner(const Statevector &other) const;
+
+  private:
+    int _numQubits;
+    std::vector<Complex> _amps;
+};
+
+} // namespace snail
+
+#endif // SNAILQC_SIM_STATEVECTOR_HPP

@@ -1,0 +1,26 @@
+#include "sim/unitary_builder.hpp"
+
+#include "common/error.hpp"
+#include "sim/statevector.hpp"
+
+namespace snail
+{
+
+Matrix
+circuitUnitary(const Circuit &circuit)
+{
+    const int n = circuit.numQubits();
+    SNAIL_REQUIRE(n <= 10, "circuitUnitary limited to 10 qubits, got " << n);
+    const std::size_t dim = std::size_t(1) << n;
+    Matrix u(dim, dim);
+    for (std::size_t col = 0; col < dim; ++col) {
+        Statevector sv(n, col);
+        sv.run(circuit);
+        for (std::size_t row = 0; row < dim; ++row) {
+            u(row, col) = sv.amplitudes()[row];
+        }
+    }
+    return u;
+}
+
+} // namespace snail

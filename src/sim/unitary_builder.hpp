@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Build the full unitary of a small circuit (column-by-column simulation).
+ */
+
+#ifndef SNAILQC_SIM_UNITARY_BUILDER_HPP
+#define SNAILQC_SIM_UNITARY_BUILDER_HPP
+
+#include "ir/circuit.hpp"
+#include "linalg/matrix.hpp"
+
+namespace snail
+{
+
+/**
+ * The 2^n x 2^n unitary implemented by a circuit.
+ * @pre circuit.numQubits() <= 10 (the matrix gets large quickly).
+ */
+Matrix circuitUnitary(const Circuit &circuit);
+
+} // namespace snail
+
+#endif // SNAILQC_SIM_UNITARY_BUILDER_HPP

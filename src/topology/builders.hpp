@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Parametric topology generators (paper Secs. 2.4.4 and 4.3).
+ *
+ * Baseline lattices (Square, Hex, Heavy-Hex, Lattice+AltDiagonals), the
+ * hypercube family, and the SNAIL-enabled modular topologies (4-ary Tree,
+ * Round-Robin Tree, and Corral).  Named paper-sized instances live in
+ * topology/registry.hpp.
+ */
+
+#ifndef SNAILQC_TOPOLOGY_BUILDERS_HPP
+#define SNAILQC_TOPOLOGY_BUILDERS_HPP
+
+#include "topology/coupling_graph.hpp"
+
+namespace snail
+{
+
+/** rows x cols grid with nearest-neighbor couplings. */
+CouplingGraph squareLattice(int rows, int cols);
+
+/**
+ * Square lattice plus both diagonals on alternating (checkerboard) tiles —
+ * IBM's early "Penguin" connectivity (paper Fig. 2c).
+ */
+CouplingGraph latticeWithAltDiagonals(int rows, int cols);
+
+/**
+ * Honeycomb lattice in brick-wall coordinates: all horizontal couplings,
+ * vertical couplings where (row + col) is even (paper Fig. 2d).
+ */
+CouplingGraph hexLattice(int rows, int cols);
+
+/**
+ * Heavy-hex lattice: the hex lattice with an extra qubit inserted on every
+ * coupling (qubits live on vertices and edges, paper Fig. 2b).
+ */
+CouplingGraph heavyHexLattice(int rows, int cols);
+
+/**
+ * IBM Falcon 27-qubit heavy-hex coupling map (the published
+ * ibmq_montreal/mumbai layout) — the real-hardware reference for the
+ * heavy-hex family.
+ */
+CouplingGraph ibmFalconHeavyHex();
+
+/** Complete binary hypercube on 2^dimensions nodes (paper Fig. 3). */
+CouplingGraph hypercube(int dimensions);
+
+/**
+ * Incomplete hypercube on exactly num_qubits nodes: vertices 0..n-1 of the
+ * enclosing 2^ceil(log2 n) cube, edges between ids differing in one bit.
+ * For n = 84 this reproduces Table 2 exactly (AvgC 6.0, diameter 7).
+ */
+CouplingGraph incompleteHypercube(int num_qubits);
+
+/**
+ * Modular 4-ary tree of SNAIL modules (paper Figs. 7a, 8).  Level 1 is the
+ * four router qubits W1..W4 fully coupled through the central SNAIL; every
+ * node above the last level heads a module of four children, coupled
+ * all-to-all with its children through the module SNAIL.
+ * Total qubits: 4 + 16 + ... + 4^levels.
+ */
+CouplingGraph modularTree(int levels);
+
+/**
+ * Round-robin 4-ary tree (paper Fig. 7b): children of a sibling group form
+ * a module clique among themselves and couple round-robin across the four
+ * routers of the parent group, removing the single-router bottleneck.
+ */
+CouplingGraph modularTreeRoundRobin(int levels);
+
+/**
+ * Corral of SNAIL fence posts (paper Fig. 9): `posts` SNAILs in a ring and
+ * two fences of qubits; fence-A qubit i spans posts (i, i+stride_a), fence-B
+ * qubit i spans posts (i, i+stride_b).  Qubits sharing a post are coupled
+ * (through that post's SNAIL).  Corral(8,1,1) and Corral(8,1,2) are the
+ * paper's 16-qubit Corral_{1,1} and Corral_{1,2}.
+ */
+CouplingGraph corral(int posts, int stride_a, int stride_b);
+
+} // namespace snail
+
+#endif // SNAILQC_TOPOLOGY_BUILDERS_HPP

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Corral topologies (paper Sec. 4.3, Fig. 9).
+ *
+ * A Corral is a ring of SNAIL "fence posts" with two levels of qubit
+ * "fences".  Fence-A qubit i spans posts (i, i + stride_a); fence-B qubit
+ * i spans posts (i, i + stride_b), indices mod the post count.  Every
+ * qubit couples, through the SNAIL at each post it touches, to every
+ * other qubit touching that post.  Corral(8,1,1) groups four qubits
+ * all-to-all at each post; Corral(8,1,2) stretches the second fence to
+ * the second-nearest post, cutting the average distance (Table 1).
+ */
+
+#include "topology/builders.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+CouplingGraph
+corral(int posts, int stride_a, int stride_b)
+{
+    SNAIL_REQUIRE(posts >= 3, "corral needs at least 3 posts");
+    SNAIL_REQUIRE(stride_a >= 1 && stride_a < posts && stride_b >= 1 &&
+                      stride_b < posts,
+                  "corral strides must be in [1, posts)");
+    const int n = 2 * posts;
+    std::ostringstream name;
+    name << "corral" << stride_a << "," << stride_b << "-" << n;
+    CouplingGraph g(n, name.str());
+
+    // Qubit ids: fence A = 0..posts-1, fence B = posts..2*posts-1.
+    // posts_of[q] = the two posts the qubit couples to.
+    std::vector<std::vector<int>> at_post(static_cast<std::size_t>(posts));
+    for (int i = 0; i < posts; ++i) {
+        at_post[static_cast<std::size_t>(i)].push_back(i);
+        at_post[static_cast<std::size_t>((i + stride_a) % posts)].push_back(i);
+        at_post[static_cast<std::size_t>(i)].push_back(posts + i);
+        at_post[static_cast<std::size_t>((i + stride_b) % posts)]
+            .push_back(posts + i);
+    }
+    for (const auto &members : at_post) {
+        for (std::size_t a = 0; a < members.size(); ++a) {
+            for (std::size_t b = a + 1; b < members.size(); ++b) {
+                if (members[a] != members[b]) {
+                    g.addEdge(members[a], members[b]);
+                }
+            }
+        }
+    }
+    return g;
+}
+
+} // namespace snail

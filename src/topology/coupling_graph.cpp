@@ -1,0 +1,240 @@
+#include "topology/coupling_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+CouplingGraph::CouplingGraph(int num_qubits, std::string name)
+    : _numQubits(num_qubits),
+      _name(std::move(name)),
+      _adjacency(static_cast<std::size_t>(num_qubits))
+{
+    SNAIL_REQUIRE(num_qubits > 0, "coupling graph needs at least one qubit");
+}
+
+void
+CouplingGraph::addEdge(int a, int b)
+{
+    SNAIL_REQUIRE(a >= 0 && a < _numQubits && b >= 0 && b < _numQubits,
+                  "edge endpoint out of range: (" << a << ", " << b << ")");
+    SNAIL_REQUIRE(a != b, "self-loop on qubit " << a);
+    auto &na = _adjacency[static_cast<std::size_t>(a)];
+    if (std::find(na.begin(), na.end(), b) != na.end()) {
+        return;
+    }
+    na.insert(std::lower_bound(na.begin(), na.end(), b), b);
+    auto &nb = _adjacency[static_cast<std::size_t>(b)];
+    nb.insert(std::lower_bound(nb.begin(), nb.end(), a), a);
+    _dist.clear();
+}
+
+bool
+CouplingGraph::hasEdge(int a, int b) const
+{
+    if (a < 0 || a >= _numQubits || b < 0 || b >= _numQubits || a == b) {
+        return false;
+    }
+    const auto &na = _adjacency[static_cast<std::size_t>(a)];
+    return std::binary_search(na.begin(), na.end(), b);
+}
+
+const std::vector<int> &
+CouplingGraph::neighbors(int q) const
+{
+    SNAIL_REQUIRE(q >= 0 && q < _numQubits, "qubit out of range");
+    return _adjacency[static_cast<std::size_t>(q)];
+}
+
+int
+CouplingGraph::degree(int q) const
+{
+    return static_cast<int>(neighbors(q).size());
+}
+
+std::size_t
+CouplingGraph::edgeCount() const
+{
+    std::size_t total = 0;
+    for (const auto &adj : _adjacency) {
+        total += adj.size();
+    }
+    return total / 2;
+}
+
+std::vector<std::pair<int, int>>
+CouplingGraph::edges() const
+{
+    std::vector<std::pair<int, int>> out;
+    out.reserve(edgeCount());
+    for (int a = 0; a < _numQubits; ++a) {
+        for (int b : _adjacency[static_cast<std::size_t>(a)]) {
+            if (a < b) {
+                out.emplace_back(a, b);
+            }
+        }
+    }
+    return out;
+}
+
+void
+CouplingGraph::ensureDistances() const
+{
+    if (!_dist.empty()) {
+        return;
+    }
+    const auto n = static_cast<std::size_t>(_numQubits);
+    _dist.assign(n, std::vector<int>(n, -1));
+    for (std::size_t src = 0; src < n; ++src) {
+        auto &row = _dist[src];
+        row[src] = 0;
+        std::deque<int> queue{static_cast<int>(src)};
+        while (!queue.empty()) {
+            const int cur = queue.front();
+            queue.pop_front();
+            for (int nb : _adjacency[static_cast<std::size_t>(cur)]) {
+                if (row[static_cast<std::size_t>(nb)] < 0) {
+                    row[static_cast<std::size_t>(nb)] =
+                        row[static_cast<std::size_t>(cur)] + 1;
+                    queue.push_back(nb);
+                }
+            }
+        }
+    }
+}
+
+int
+CouplingGraph::distance(int a, int b) const
+{
+    SNAIL_REQUIRE(a >= 0 && a < _numQubits && b >= 0 && b < _numQubits,
+                  "qubit out of range");
+    ensureDistances();
+    const int d = _dist[static_cast<std::size_t>(a)]
+                       [static_cast<std::size_t>(b)];
+    SNAIL_REQUIRE(d >= 0, "qubits " << a << " and " << b
+                                    << " are disconnected");
+    return d;
+}
+
+bool
+CouplingGraph::isConnected() const
+{
+    ensureDistances();
+    for (int q = 1; q < _numQubits; ++q) {
+        if (_dist[0][static_cast<std::size_t>(q)] < 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+CouplingGraph::diameter() const
+{
+    ensureDistances();
+    int best = 0;
+    for (int a = 0; a < _numQubits; ++a) {
+        for (int b = a + 1; b < _numQubits; ++b) {
+            const int d = distance(a, b);
+            best = std::max(best, d);
+        }
+    }
+    return best;
+}
+
+double
+CouplingGraph::averageDistance() const
+{
+    // Paper convention (Tables 1 and 2): average over all ordered pairs
+    // including self-pairs (which contribute distance 0), i.e. the distance
+    // sum normalized by n^2.  With this normalization the paper's reported
+    // values for square/hypercube/tree/corral are reproduced exactly.
+    ensureDistances();
+    double total = 0.0;
+    for (int a = 0; a < _numQubits; ++a) {
+        for (int b = a + 1; b < _numQubits; ++b) {
+            total += static_cast<double>(distance(a, b));
+        }
+    }
+    const double n = static_cast<double>(_numQubits);
+    return 2.0 * total / (n * n);
+}
+
+double
+CouplingGraph::averageDegree() const
+{
+    return 2.0 * static_cast<double>(edgeCount()) /
+           static_cast<double>(_numQubits);
+}
+
+std::vector<int>
+CouplingGraph::shortestPath(int a, int b) const
+{
+    SNAIL_REQUIRE(a >= 0 && a < _numQubits && b >= 0 && b < _numQubits,
+                  "qubit out of range");
+    ensureDistances();
+    // Walk from b back toward a following strictly decreasing distance.
+    std::vector<int> path{a};
+    int cur = a;
+    while (cur != b) {
+        const int d = distance(cur, b);
+        int next = -1;
+        for (int nb : neighbors(cur)) {
+            if (distance(nb, b) == d - 1) {
+                next = nb;
+                break;
+            }
+        }
+        SNAIL_ASSERT(next >= 0, "shortest path walk failed");
+        path.push_back(next);
+        cur = next;
+    }
+    return path;
+}
+
+CouplingGraph
+CouplingGraph::trimToSize(int n, int root) const
+{
+    SNAIL_REQUIRE(n > 0 && n <= _numQubits,
+                  "cannot trim " << _numQubits << "-qubit graph to " << n);
+    // BFS order from root.
+    std::vector<int> order;
+    std::vector<bool> seen(static_cast<std::size_t>(_numQubits), false);
+    std::deque<int> queue{root};
+    seen[static_cast<std::size_t>(root)] = true;
+    while (!queue.empty() && static_cast<int>(order.size()) < n) {
+        const int cur = queue.front();
+        queue.pop_front();
+        order.push_back(cur);
+        for (int nb : neighbors(cur)) {
+            if (!seen[static_cast<std::size_t>(nb)]) {
+                seen[static_cast<std::size_t>(nb)] = true;
+                queue.push_back(nb);
+            }
+        }
+    }
+    SNAIL_REQUIRE(static_cast<int>(order.size()) == n,
+                  "graph has fewer than " << n << " reachable qubits");
+
+    std::vector<int> relabel(static_cast<std::size_t>(_numQubits), -1);
+    for (int i = 0; i < n; ++i) {
+        relabel[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] =
+            i;
+    }
+    CouplingGraph out(n, _name);
+    for (int i = 0; i < n; ++i) {
+        const int orig = order[static_cast<std::size_t>(i)];
+        for (int nb : neighbors(orig)) {
+            const int mapped = relabel[static_cast<std::size_t>(nb)];
+            if (mapped >= 0 && mapped > i) {
+                out.addEdge(i, mapped);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace snail

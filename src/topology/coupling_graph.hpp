@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Qubit coupling topology as an undirected graph (paper Sec. 2.4).
+ *
+ * Vertices are physical qubits; an edge means the hardware can perform a
+ * 2Q gate between the pair.  The graph exposes the structural metrics of
+ * the paper's Tables 1 and 2 — diameter, average distance, average
+ * connectivity — plus the all-pairs shortest-path distances the layout
+ * and routing passes consume.
+ */
+
+#ifndef SNAILQC_TOPOLOGY_COUPLING_GRAPH_HPP
+#define SNAILQC_TOPOLOGY_COUPLING_GRAPH_HPP
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace snail
+{
+
+/** Undirected coupling graph over physical qubits 0..n-1. */
+class CouplingGraph
+{
+  public:
+    /** Edgeless graph over num_qubits qubits. */
+    explicit CouplingGraph(int num_qubits, std::string name = "graph");
+
+    int numQubits() const { return _numQubits; }
+    const std::string &name() const { return _name; }
+    void setName(std::string name) { _name = std::move(name); }
+
+    /** Add an undirected edge (idempotent). */
+    void addEdge(int a, int b);
+
+    /** True when (a, b) can host a 2Q gate directly. */
+    bool hasEdge(int a, int b) const;
+
+    /** Sorted neighbor list of q. */
+    const std::vector<int> &neighbors(int q) const;
+
+    /** Degree of q. */
+    int degree(int q) const;
+
+    /** Number of undirected edges. */
+    std::size_t edgeCount() const;
+
+    /** All edges as (a, b) with a < b. */
+    std::vector<std::pair<int, int>> edges() const;
+
+    /** Hop distance between two qubits (throws when disconnected). */
+    int distance(int a, int b) const;
+
+    /** True when every qubit can reach every other. */
+    bool isConnected() const;
+
+    /** Longest shortest path (paper "Dia."). */
+    int diameter() const;
+
+    /** Mean pairwise shortest-path distance (paper "AvgD"). */
+    double averageDistance() const;
+
+    /** Mean degree (paper "AvgC"). */
+    double averageDegree() const;
+
+    /** Shortest path between two qubits, inclusive of endpoints. */
+    std::vector<int> shortestPath(int a, int b) const;
+
+    /**
+     * Keep the first `n` vertices in breadth-first order from `root`,
+     * relabel them 0..n-1, and return the induced subgraph.  Used to carve
+     * paper-sized instances out of parametric lattices.
+     */
+    CouplingGraph trimToSize(int n, int root = 0) const;
+
+  private:
+    /** Compute and cache all-pairs shortest paths (BFS per vertex). */
+    void ensureDistances() const;
+
+    int _numQubits;
+    std::string _name;
+    std::vector<std::vector<int>> _adjacency;
+    mutable std::vector<std::vector<int>> _dist; //!< lazy APSP cache
+};
+
+} // namespace snail
+
+#endif // SNAILQC_TOPOLOGY_COUPLING_GRAPH_HPP

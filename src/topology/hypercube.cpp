@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Hypercube-family generators.
+ */
+
+#include "topology/builders.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+CouplingGraph
+hypercube(int dimensions)
+{
+    SNAIL_REQUIRE(dimensions >= 1 && dimensions <= 16,
+                  "hypercube dimension out of range");
+    const int n = 1 << dimensions;
+    std::ostringstream name;
+    name << "hypercube-" << dimensions << "d";
+    CouplingGraph g(n, name.str());
+    for (int v = 0; v < n; ++v) {
+        for (int bit = 0; bit < dimensions; ++bit) {
+            const int w = v ^ (1 << bit);
+            if (w > v) {
+                g.addEdge(v, w);
+            }
+        }
+    }
+    return g;
+}
+
+CouplingGraph
+incompleteHypercube(int num_qubits)
+{
+    SNAIL_REQUIRE(num_qubits >= 2, "incomplete hypercube needs >= 2 qubits");
+    int dims = 0;
+    while ((1 << dims) < num_qubits) {
+        ++dims;
+    }
+    std::ostringstream name;
+    name << "hypercube-" << num_qubits;
+    CouplingGraph g(num_qubits, name.str());
+    for (int v = 0; v < num_qubits; ++v) {
+        for (int bit = 0; bit < dims; ++bit) {
+            const int w = v ^ (1 << bit);
+            if (w > v && w < num_qubits) {
+                g.addEdge(v, w);
+            }
+        }
+    }
+    return g;
+}
+
+} // namespace snail

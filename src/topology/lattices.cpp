@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Lattice-family generators: square, alternating-diagonal, hex (brick
+ * wall), and heavy-hex.
+ */
+
+#include "topology/builders.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+int
+gridIndex(int r, int c, int cols)
+{
+    return r * cols + c;
+}
+
+} // namespace
+
+CouplingGraph
+squareLattice(int rows, int cols)
+{
+    SNAIL_REQUIRE(rows > 0 && cols > 0, "lattice needs positive dimensions");
+    std::ostringstream name;
+    name << "square-" << rows << "x" << cols;
+    CouplingGraph g(rows * cols, name.str());
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            if (c + 1 < cols) {
+                g.addEdge(gridIndex(r, c, cols), gridIndex(r, c + 1, cols));
+            }
+            if (r + 1 < rows) {
+                g.addEdge(gridIndex(r, c, cols), gridIndex(r + 1, c, cols));
+            }
+        }
+    }
+    return g;
+}
+
+CouplingGraph
+latticeWithAltDiagonals(int rows, int cols)
+{
+    SNAIL_REQUIRE(rows > 1 && cols > 1,
+                  "diagonal lattice needs at least 2x2");
+    CouplingGraph g = squareLattice(rows, cols);
+    std::ostringstream name;
+    name << "lattice-altdiag-" << rows << "x" << cols;
+    g.setName(name.str());
+    // Both diagonals on checkerboard-alternating tiles.
+    for (int r = 0; r + 1 < rows; ++r) {
+        for (int c = 0; c + 1 < cols; ++c) {
+            if ((r + c) % 2 == 0) {
+                g.addEdge(gridIndex(r, c, cols),
+                          gridIndex(r + 1, c + 1, cols));
+                g.addEdge(gridIndex(r, c + 1, cols),
+                          gridIndex(r + 1, c, cols));
+            }
+        }
+    }
+    return g;
+}
+
+CouplingGraph
+hexLattice(int rows, int cols)
+{
+    SNAIL_REQUIRE(rows > 0 && cols > 0, "lattice needs positive dimensions");
+    std::ostringstream name;
+    name << "hex-" << rows << "x" << cols;
+    CouplingGraph g(rows * cols, name.str());
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            if (c + 1 < cols) {
+                g.addEdge(gridIndex(r, c, cols), gridIndex(r, c + 1, cols));
+            }
+            // Brick-wall verticals: alternate columns per row so every
+            // vertex has degree at most 3 (honeycomb).
+            if (r + 1 < rows && (r + c) % 2 == 0) {
+                g.addEdge(gridIndex(r, c, cols), gridIndex(r + 1, c, cols));
+            }
+        }
+    }
+    return g;
+}
+
+CouplingGraph
+ibmFalconHeavyHex()
+{
+    CouplingGraph g(27, "ibm-falcon-27");
+    static const int kEdges[][2] = {
+        {0, 1},   {1, 2},   {2, 3},   {3, 5},   {1, 4},   {4, 7},
+        {5, 8},   {6, 7},   {7, 10},  {8, 9},   {8, 11},  {10, 12},
+        {11, 14}, {12, 13}, {12, 15}, {13, 14}, {14, 16}, {15, 18},
+        {16, 19}, {17, 18}, {18, 21}, {19, 20}, {19, 22}, {21, 23},
+        {22, 25}, {23, 24}, {24, 25}, {25, 26}};
+    for (const auto &e : kEdges) {
+        g.addEdge(e[0], e[1]);
+    }
+    return g;
+}
+
+CouplingGraph
+heavyHexLattice(int rows, int cols)
+{
+    // Build the hex skeleton, then subdivide every edge with a "heavy"
+    // qubit, which is how IBM's heavy-hex places qubits on both vertices
+    // and couplings.
+    const CouplingGraph hex = hexLattice(rows, cols);
+    const auto skeleton_edges = hex.edges();
+    const int n_vertices = hex.numQubits();
+    const int n_total = n_vertices + static_cast<int>(skeleton_edges.size());
+
+    std::ostringstream name;
+    name << "heavy-hex-" << rows << "x" << cols;
+    CouplingGraph g(n_total, name.str());
+    int next = n_vertices;
+    for (const auto &[a, b] : skeleton_edges) {
+        g.addEdge(a, next);
+        g.addEdge(next, b);
+        ++next;
+    }
+    return g;
+}
+
+} // namespace snail

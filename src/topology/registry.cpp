@@ -1,0 +1,127 @@
+#include "topology/registry.hpp"
+
+#include "common/error.hpp"
+#include "topology/builders.hpp"
+
+namespace snail
+{
+
+CouplingGraph
+namedTopology(const std::string &name)
+{
+    // --- Table 1 instances (16-20 qubits) ---
+    if (name == "heavy-hex-20") {
+        // A 20-qubit slice of IBM's published Falcon-27 heavy-hex map.
+        CouplingGraph g = ibmFalconHeavyHex().trimToSize(20);
+        g.setName(name);
+        return g;
+    }
+    if (name == "ibm-falcon-27") {
+        return ibmFalconHeavyHex();
+    }
+    if (name == "hex-20") {
+        CouplingGraph g = hexLattice(4, 5);
+        g.setName(name);
+        return g;
+    }
+    if (name == "square-16") {
+        CouplingGraph g = squareLattice(4, 4);
+        g.setName(name);
+        return g;
+    }
+    if (name == "tree-20") {
+        CouplingGraph g = modularTree(2);
+        g.setName(name);
+        return g;
+    }
+    if (name == "tree-rr-20") {
+        CouplingGraph g = modularTreeRoundRobin(2);
+        g.setName(name);
+        return g;
+    }
+    if (name == "corral11-16") {
+        CouplingGraph g = corral(8, 1, 1);
+        g.setName(name);
+        return g;
+    }
+    if (name == "corral12-16") {
+        CouplingGraph g = corral(8, 1, 2);
+        g.setName(name);
+        return g;
+    }
+    if (name == "hypercube-16") {
+        CouplingGraph g = hypercube(4);
+        g.setName(name);
+        return g;
+    }
+
+    // --- Table 2 instances (84 qubits) ---
+    if (name == "heavy-hex-84") {
+        // Heavy version of a 5x8 brick-wall hex (91 qubits) trimmed to 84.
+        CouplingGraph g = heavyHexLattice(5, 8).trimToSize(84);
+        g.setName(name);
+        return g;
+    }
+    if (name == "hex-84") {
+        CouplingGraph g = hexLattice(7, 12);
+        g.setName(name);
+        return g;
+    }
+    if (name == "square-84") {
+        // 7x12 grid: matches Table 2 exactly (Dia 17, AvgC 3.55).
+        CouplingGraph g = squareLattice(7, 12);
+        g.setName(name);
+        return g;
+    }
+    if (name == "lattice-altdiag-84") {
+        // 7x12 grid + checkerboard diagonals: AvgC 5.12 as in Table 2.
+        CouplingGraph g = latticeWithAltDiagonals(7, 12);
+        g.setName(name);
+        return g;
+    }
+    if (name == "tree-84") {
+        CouplingGraph g = modularTree(3);
+        g.setName(name);
+        return g;
+    }
+    if (name == "tree-rr-84") {
+        CouplingGraph g = modularTreeRoundRobin(3);
+        g.setName(name);
+        return g;
+    }
+    if (name == "hypercube-84") {
+        // Incomplete 7-cube on ids 0..83: AvgC 6.0, diameter 7 (Table 2).
+        CouplingGraph g = incompleteHypercube(84);
+        g.setName(name);
+        return g;
+    }
+
+    SNAIL_THROW("unknown topology name: " << name);
+}
+
+std::vector<std::string>
+topologyNames()
+{
+    std::vector<std::string> names = table1Names();
+    for (const auto &n : table2Names()) {
+        names.push_back(n);
+    }
+    return names;
+}
+
+std::vector<std::string>
+table1Names()
+{
+    return {"heavy-hex-20", "hex-20",      "square-16",   "tree-20",
+            "tree-rr-20",   "corral11-16", "corral12-16", "hypercube-16"};
+}
+
+std::vector<std::string>
+table2Names()
+{
+    return {"heavy-hex-84",       "hex-84",     "square-84",
+            "lattice-altdiag-84", "tree-84",    "tree-rr-84",
+            "hypercube-84"};
+}
+
+} // namespace snail

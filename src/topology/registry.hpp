@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Named paper-sized topology instances (Tables 1 and 2).
+ *
+ * The registry maps the names used throughout the benches to concrete
+ * graphs:
+ *
+ *   16-20 qubit (Table 1):  heavy-hex-20, hex-20, square-16, tree-20,
+ *     tree-rr-20, corral11-16, corral12-16, hypercube-16
+ *   84 qubit (Table 2):  heavy-hex-84, hex-84, square-84,
+ *     lattice-altdiag-84, tree-84, tree-rr-84, hypercube-84
+ */
+
+#ifndef SNAILQC_TOPOLOGY_REGISTRY_HPP
+#define SNAILQC_TOPOLOGY_REGISTRY_HPP
+
+#include <string>
+#include <vector>
+
+#include "topology/coupling_graph.hpp"
+
+namespace snail
+{
+
+/** Build a named paper topology. @throws SnailError for unknown names. */
+CouplingGraph namedTopology(const std::string &name);
+
+/** All registered topology names. */
+std::vector<std::string> topologyNames();
+
+/** The Table 1 (16-20 qubit) topology names in paper order. */
+std::vector<std::string> table1Names();
+
+/** The Table 2 (84 qubit) topology names in paper order. */
+std::vector<std::string> table2Names();
+
+} // namespace snail
+
+#endif // SNAILQC_TOPOLOGY_REGISTRY_HPP

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Modular 4-ary tree topologies (paper Sec. 4.3, Figs. 7 and 8).
+ *
+ * Node numbering is breadth-first: level-1 routers are 0..3, their
+ * children 4..19, and so on; level l holds 4^l nodes.  In the standard
+ * Tree every parent couples all-to-all with its four children (the module
+ * SNAIL links all five), and the four level-1 routers couple all-to-all
+ * through the central router SNAIL.  In the Round-Robin variant a sibling
+ * group still forms a module clique, but its members fan out to the four
+ * routers of the parent group, one each, eliminating the single-router
+ * bottleneck.
+ */
+
+#include "topology/builders.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+/** First node index of level l (1-based): 4 + 16 + ... + 4^(l-1). */
+int
+levelStart(int l)
+{
+    int start = 0;
+    for (int i = 1; i < l; ++i) {
+        start += 1 << (2 * i); // 4^i
+    }
+    return start;
+}
+
+int
+totalNodes(int levels)
+{
+    return levelStart(levels + 1);
+}
+
+} // namespace
+
+CouplingGraph
+modularTree(int levels)
+{
+    SNAIL_REQUIRE(levels >= 1 && levels <= 5, "tree levels out of range");
+    std::ostringstream name;
+    name << "tree-" << totalNodes(levels);
+    CouplingGraph g(totalNodes(levels), name.str());
+
+    // Central router SNAIL: level-1 clique.
+    for (int a = 0; a < 4; ++a) {
+        for (int b = a + 1; b < 4; ++b) {
+            g.addEdge(a, b);
+        }
+    }
+
+    // Each non-leaf node heads a module with its four children: the module
+    // SNAIL couples all five members pairwise.
+    for (int l = 1; l < levels; ++l) {
+        const int start = levelStart(l);
+        const int count = 1 << (2 * l);
+        const int child_start = levelStart(l + 1);
+        for (int i = 0; i < count; ++i) {
+            const int parent = start + i;
+            std::vector<int> module{parent};
+            for (int j = 0; j < 4; ++j) {
+                module.push_back(child_start + 4 * i + j);
+            }
+            for (std::size_t a = 0; a < module.size(); ++a) {
+                for (std::size_t b = a + 1; b < module.size(); ++b) {
+                    g.addEdge(module[a], module[b]);
+                }
+            }
+        }
+    }
+    return g;
+}
+
+CouplingGraph
+modularTreeRoundRobin(int levels)
+{
+    SNAIL_REQUIRE(levels >= 1 && levels <= 5, "tree levels out of range");
+    std::ostringstream name;
+    name << "tree-rr-" << totalNodes(levels);
+    CouplingGraph g(totalNodes(levels), name.str());
+
+    // Central router SNAIL: level-1 clique.
+    for (int a = 0; a < 4; ++a) {
+        for (int b = a + 1; b < 4; ++b) {
+            g.addEdge(a, b);
+        }
+    }
+
+    // Children group i at level l+1 forms its own module clique; child j
+    // couples to router ((i + j) mod 4) of the parent sibling group, so
+    // each parent-group router receives exactly one uplink per module.
+    for (int l = 1; l < levels; ++l) {
+        const int start = levelStart(l);
+        const int count = 1 << (2 * l);
+        const int child_start = levelStart(l + 1);
+        for (int i = 0; i < count; ++i) {
+            // Parent sibling group: the four nodes sharing i's parent
+            // module (for level 1 this is the router quartet itself).
+            const int group_base = start + (i / 4) * 4;
+            std::vector<int> module;
+            for (int j = 0; j < 4; ++j) {
+                module.push_back(child_start + 4 * i + j);
+            }
+            for (std::size_t a = 0; a < module.size(); ++a) {
+                for (std::size_t b = a + 1; b < module.size(); ++b) {
+                    g.addEdge(module[a], module[b]);
+                }
+            }
+            for (int j = 0; j < 4; ++j) {
+                g.addEdge(module[static_cast<std::size_t>(j)],
+                          group_base + (i + j) % 4);
+            }
+        }
+    }
+    return g;
+}
+
+} // namespace snail

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Greedy shortest-path router: for each blocked 2Q gate, walk one operand
+ * along a shortest path until the pair is adjacent.  Simple, deterministic
+ * baseline for the smarter routers.
+ */
+
+#include "common/error.hpp"
+#include "transpiler/routing.hpp"
+
+namespace snail
+{
+
+RoutingResult
+BasicRouter::route(const Circuit &circuit, const CouplingGraph &graph,
+                   const Layout &initial, Rng &rng) const
+{
+    (void)rng; // deterministic pass
+    SNAIL_REQUIRE(initial.isComplete(), "routing needs a complete layout");
+    Circuit out(graph.numQubits(), circuit.name() + "-routed");
+    Layout layout = initial;
+    std::size_t swaps = 0;
+
+    for (const auto &op : circuit.instructions()) {
+        if (op.numQubits() == 1) {
+            out.append(op.gate(), {layout.physical(op.q0())});
+            continue;
+        }
+        int p0 = layout.physical(op.q0());
+        int p1 = layout.physical(op.q1());
+        if (!graph.hasEdge(p0, p1)) {
+            const std::vector<int> path = graph.shortestPath(p0, p1);
+            // Walk the first operand down the path until adjacent.
+            for (std::size_t step = 0; step + 2 < path.size(); ++step) {
+                out.swap(path[step], path[step + 1]);
+                layout.swapPhysical(path[step], path[step + 1]);
+                ++swaps;
+            }
+            p0 = layout.physical(op.q0());
+            p1 = layout.physical(op.q1());
+            SNAIL_ASSERT(graph.hasEdge(p0, p1),
+                         "path walk failed to make the pair adjacent");
+        }
+        out.append(op.gate(), {p0, p1});
+    }
+
+    RoutingResult result(std::move(out), initial, layout);
+    result.swaps_added = swaps;
+    return result;
+}
+
+} // namespace snail

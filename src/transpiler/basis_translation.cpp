@@ -1,0 +1,93 @@
+#include "transpiler/basis_translation.hpp"
+
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "decomp/synthesis.hpp"
+#include "weyl/coordinates.hpp"
+
+namespace snail
+{
+
+std::vector<int>
+basisCountsPerInstruction(const Circuit &circuit, const BasisSpec &basis)
+{
+    std::unordered_map<std::string, int> cache;
+    std::vector<int> counts;
+    counts.reserve(circuit.size());
+    for (const auto &op : circuit.instructions()) {
+        if (!op.isTwoQubit()) {
+            counts.push_back(0);
+            continue;
+        }
+        const Gate &g = op.gate();
+        if (g.cacheable()) {
+            const std::string key = g.cacheKey();
+            auto it = cache.find(key);
+            if (it == cache.end()) {
+                it = cache.emplace(key,
+                                   basisCount(basis, weylCoordinates(g)))
+                         .first;
+            }
+            counts.push_back(it->second);
+        } else {
+            counts.push_back(basisCount(basis, weylCoordinates(g.matrix())));
+        }
+    }
+    return counts;
+}
+
+TranslationStats
+translationStats(const Circuit &circuit, const BasisSpec &basis)
+{
+    const std::vector<int> counts =
+        basisCountsPerInstruction(circuit, basis);
+    const double pulse = basis.pulseDuration();
+
+    TranslationStats stats;
+    for (int c : counts) {
+        stats.total_2q += static_cast<std::size_t>(c);
+    }
+    stats.total_duration = static_cast<double>(stats.total_2q) * pulse;
+
+    // Critical paths with per-instruction weights; a k-count operation
+    // occupies its pair for k sequential native pulses.
+    std::size_t index = 0;
+    stats.critical_2q = circuit.weightedCriticalPath(
+        [&counts, &index](const Instruction &) {
+            return static_cast<double>(counts[index++]);
+        });
+    index = 0;
+    stats.critical_duration = circuit.weightedCriticalPath(
+        [&counts, &index, pulse](const Instruction &) {
+            return static_cast<double>(counts[index++]) * pulse;
+        });
+    return stats;
+}
+
+Circuit
+expandToBasis(const Circuit &circuit, const BasisSpec &basis)
+{
+    Circuit out(circuit.numQubits(), circuit.name() + "-" + basis.name());
+    for (const auto &op : circuit.instructions()) {
+        if (!op.isTwoQubit()) {
+            out.append(op);
+            continue;
+        }
+        const SynthesisResult synth =
+            synthesizeInBasis(op.gate().matrix(), basis);
+        // Splice the 2-qubit synthesized circuit onto the operands: its
+        // qubit 1 (the high tensor factor) is the instruction's first
+        // operand.
+        for (const auto &inner : synth.circuit.instructions()) {
+            std::vector<Qubit> mapped;
+            for (Qubit q : inner.qubits()) {
+                mapped.push_back(q == 1 ? op.q0() : op.q1());
+            }
+            out.append(inner.gate(), mapped);
+        }
+    }
+    return out;
+}
+
+} // namespace snail

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Basis translation: score or expand a routed circuit in a native basis.
+ *
+ * The paper's data collection (Fig. 10) counts, after basis translation,
+ * the total 2Q basis gates and the critical-path 2Q gates / pulse
+ * duration.  Those quantities depend only on each operation's Weyl class,
+ * so the default path *weights* operations by their analytic basis count
+ * instead of materializing the decomposed circuit; expandToBasis()
+ * produces the explicit circuit when one is needed (tests, examples).
+ */
+
+#ifndef SNAILQC_TRANSPILER_BASIS_TRANSLATION_HPP
+#define SNAILQC_TRANSPILER_BASIS_TRANSLATION_HPP
+
+#include "ir/circuit.hpp"
+#include "weyl/basis_counts.hpp"
+
+namespace snail
+{
+
+/** Post-translation 2Q statistics (paper Figs. 13 and 14). */
+struct TranslationStats
+{
+    std::size_t total_2q = 0;      //!< total native 2Q gates
+    double critical_2q = 0.0;      //!< native 2Q gates on the critical path
+    double total_duration = 0.0;   //!< total pulse time, normalized units
+    double critical_duration = 0.0;//!< critical-path pulse time
+};
+
+/**
+ * Analytic basis counts per instruction (1Q gates count 0).  Weyl
+ * coordinates of parameterized standard gates are cached by gate kind and
+ * rounded parameters; opaque Unitary4 blocks are decomposed individually.
+ */
+std::vector<int> basisCountsPerInstruction(const Circuit &circuit,
+                                           const BasisSpec &basis);
+
+/** Compute the paper's post-translation statistics for a circuit. */
+TranslationStats translationStats(const Circuit &circuit,
+                                  const BasisSpec &basis);
+
+/**
+ * Materialize the circuit in the native basis: every 2Q operation is
+ * replaced by its synthesized 1Q + basis-gate sequence.  Intended for
+ * small circuits (synthesis solves a numerical problem per unique 2Q op).
+ */
+Circuit expandToBasis(const Circuit &circuit, const BasisSpec &basis);
+
+} // namespace snail
+
+#endif // SNAILQC_TRANSPILER_BASIS_TRANSLATION_HPP

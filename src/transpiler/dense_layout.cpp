@@ -1,0 +1,161 @@
+/**
+ * @file
+ * DenseLayout: map the circuit onto the densest device region.
+ *
+ * Mirrors Qiskit's DenseLayout pass, which the paper uses for initial
+ * qubit mapping: for each seed qubit, grow a breadth-first region of the
+ * circuit's width, preferring candidates with more links back into the
+ * region; keep the region with the most internal couplings.  Virtual
+ * qubits with heavier 2Q interaction loads land on the better-connected
+ * physical qubits of the winning region.
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "ir/circuit.hpp"
+#include "transpiler/layout.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+/** Internal edge count of a vertex subset. */
+int
+internalEdges(const CouplingGraph &graph, const std::vector<int> &subset)
+{
+    std::vector<bool> in(static_cast<std::size_t>(graph.numQubits()), false);
+    for (int q : subset) {
+        in[static_cast<std::size_t>(q)] = true;
+    }
+    int count = 0;
+    for (int q : subset) {
+        for (int nb : graph.neighbors(q)) {
+            if (nb > q && in[static_cast<std::size_t>(nb)]) {
+                ++count;
+            }
+        }
+    }
+    return count;
+}
+
+/** Grow an n-qubit region from seed, greedily maximizing back-links. */
+std::vector<int>
+growRegion(const CouplingGraph &graph, int seed, int n)
+{
+    std::vector<bool> in(static_cast<std::size_t>(graph.numQubits()), false);
+    std::vector<int> region{seed};
+    in[static_cast<std::size_t>(seed)] = true;
+
+    while (static_cast<int>(region.size()) < n) {
+        // Candidate frontier: neighbors of the region.
+        int best = -1;
+        int best_links = -1;
+        for (int q : region) {
+            for (int nb : graph.neighbors(q)) {
+                if (in[static_cast<std::size_t>(nb)]) {
+                    continue;
+                }
+                int links = 0;
+                for (int nn : graph.neighbors(nb)) {
+                    if (in[static_cast<std::size_t>(nn)]) {
+                        ++links;
+                    }
+                }
+                // Deterministic tie-break on the smaller index.
+                if (links > best_links ||
+                    (links == best_links && nb < best)) {
+                    best_links = links;
+                    best = nb;
+                }
+            }
+        }
+        if (best < 0) {
+            break; // disconnected device; caller validates size
+        }
+        region.push_back(best);
+        in[static_cast<std::size_t>(best)] = true;
+    }
+    return region;
+}
+
+} // namespace
+
+Layout
+denseLayout(const Circuit &circuit, const CouplingGraph &graph)
+{
+    const int n = circuit.numQubits();
+    SNAIL_REQUIRE(n <= graph.numQubits(),
+                  "circuit needs " << n << " qubits, device has "
+                                   << graph.numQubits());
+
+    // Pick the densest n-qubit region over all seeds.
+    std::vector<int> best_region;
+    int best_edges = -1;
+    for (int seed = 0; seed < graph.numQubits(); ++seed) {
+        const std::vector<int> region = growRegion(graph, seed, n);
+        if (static_cast<int>(region.size()) < n) {
+            continue;
+        }
+        const int e = internalEdges(graph, region);
+        if (e > best_edges) {
+            best_edges = e;
+            best_region = region;
+        }
+    }
+    SNAIL_REQUIRE(!best_region.empty(),
+                  "device cannot host a connected " << n << "-qubit region");
+
+    // Virtual interaction load: number of 2Q gates touching each qubit.
+    std::vector<std::pair<int, int>> load(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) {
+        load[static_cast<std::size_t>(v)] = {0, v};
+    }
+    for (const auto &op : circuit.instructions()) {
+        if (op.isTwoQubit()) {
+            ++load[static_cast<std::size_t>(op.q0())].first;
+            ++load[static_cast<std::size_t>(op.q1())].first;
+        }
+    }
+    std::sort(load.begin(), load.end(), [](const auto &a, const auto &b) {
+        if (a.first != b.first) {
+            return a.first > b.first;
+        }
+        return a.second < b.second;
+    });
+
+    // Physical ranking: degree within the chosen region.
+    std::vector<bool> in(static_cast<std::size_t>(graph.numQubits()), false);
+    for (int q : best_region) {
+        in[static_cast<std::size_t>(q)] = true;
+    }
+    std::vector<std::pair<int, int>> rank;
+    rank.reserve(best_region.size());
+    for (int q : best_region) {
+        int deg = 0;
+        for (int nb : graph.neighbors(q)) {
+            if (in[static_cast<std::size_t>(nb)]) {
+                ++deg;
+            }
+        }
+        rank.emplace_back(deg, q);
+    }
+    std::sort(rank.begin(), rank.end(), [](const auto &a, const auto &b) {
+        if (a.first != b.first) {
+            return a.first > b.first;
+        }
+        return a.second < b.second;
+    });
+
+    Layout layout(n, graph.numQubits());
+    for (int i = 0; i < n; ++i) {
+        layout.assign(load[static_cast<std::size_t>(i)].second,
+                      rank[static_cast<std::size_t>(i)].second);
+    }
+    return layout;
+}
+
+} // namespace snail

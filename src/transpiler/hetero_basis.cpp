@@ -1,0 +1,117 @@
+#include "transpiler/hetero_basis.hpp"
+
+#include <string>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "weyl/coordinates.hpp"
+
+namespace snail
+{
+
+HeterogeneousBasis::HeterogeneousBasis(const CouplingGraph &graph,
+                                       BasisSpec fallback)
+    : _graph(graph), _fallback(fallback)
+{
+}
+
+std::pair<int, int>
+HeterogeneousBasis::canonical(int a, int b)
+{
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+void
+HeterogeneousBasis::setEdgeBasis(int a, int b, const BasisSpec &spec)
+{
+    SNAIL_REQUIRE(_graph.hasEdge(a, b),
+                  "no coupling between qubits " << a << " and " << b
+                                                << " on " << _graph.name());
+    _assigned[canonical(a, b)] = spec;
+}
+
+std::size_t
+HeterogeneousBasis::setWhere(
+    const std::function<bool(int a, int b)> &predicate,
+    const BasisSpec &spec)
+{
+    std::size_t assigned = 0;
+    for (const auto &[a, b] : _graph.edges()) {
+        if (predicate(a, b)) {
+            _assigned[canonical(a, b)] = spec;
+            ++assigned;
+        }
+    }
+    return assigned;
+}
+
+const BasisSpec &
+HeterogeneousBasis::edgeBasis(int a, int b) const
+{
+    auto it = _assigned.find(canonical(a, b));
+    return it == _assigned.end() ? _fallback : it->second;
+}
+
+TranslationStats
+heterogeneousTranslationStats(const Circuit &routed,
+                              const HeterogeneousBasis &bases)
+{
+    // Per-instruction (count, duration) under the edge-local basis.
+    // Weyl coordinates are cached per gate; counts depend on the edge's
+    // basis kind, so the cache key also carries the basis name.
+    std::unordered_map<std::string, int> count_cache;
+    std::vector<int> counts;
+    std::vector<double> durations;
+    counts.reserve(routed.size());
+    durations.reserve(routed.size());
+
+    for (const auto &op : routed.instructions()) {
+        if (!op.isTwoQubit()) {
+            counts.push_back(0);
+            durations.push_back(0.0);
+            continue;
+        }
+        const BasisSpec &spec = bases.edgeBasis(op.q0(), op.q1());
+        SNAIL_REQUIRE(bases.graph().hasEdge(op.q0(), op.q1()),
+                      "2Q op on uncoupled pair (" << op.q0() << ", "
+                                                  << op.q1()
+                                                  << "); route first");
+        const Gate &g = op.gate();
+        int count = 0;
+        if (g.cacheable()) {
+            const std::string key = spec.name() + '|' + g.cacheKey();
+            auto it = count_cache.find(key);
+            if (it == count_cache.end()) {
+                it = count_cache
+                         .emplace(key,
+                                  basisCount(spec, weylCoordinates(g)))
+                         .first;
+            }
+            count = it->second;
+        } else {
+            count = basisCount(spec, weylCoordinates(g.matrix()));
+        }
+        counts.push_back(count);
+        durations.push_back(static_cast<double>(count) *
+                            spec.pulseDuration());
+    }
+
+    TranslationStats stats;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        stats.total_2q += static_cast<std::size_t>(counts[i]);
+        stats.total_duration += durations[i];
+    }
+    std::size_t index = 0;
+    stats.critical_2q = routed.weightedCriticalPath(
+        [&counts, &index](const Instruction &) {
+            return static_cast<double>(counts[index++]);
+        });
+    index = 0;
+    stats.critical_duration = routed.weightedCriticalPath(
+        [&durations, &index](const Instruction &) {
+            return durations[index++];
+        });
+    return stats;
+}
+
+} // namespace snail

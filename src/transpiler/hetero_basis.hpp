@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Heterogeneous (per-edge) basis gates.
+ *
+ * The paper closes by naming "exploration of heterogeneous basis gates
+ * to further reduce pulse time" as future work: a SNAIL machine is not
+ * obliged to calibrate the same n-root-iSWAP pulse on every coupling,
+ * and a chiplet machine may mix modulator families entirely.  This
+ * module scores a routed circuit against a device whose couplings carry
+ * individually assigned BasisSpecs.
+ *
+ * Scoring mirrors transpiler/basis_translation.hpp: each 2Q operation
+ * contributes the analytic basis count of the basis installed on the
+ * edge it executes on, and pulse durations use that basis's per-pulse
+ * normalization (1/n for the n-root iSWAP family).
+ */
+
+#ifndef SNAILQC_TRANSPILER_HETERO_BASIS_HPP
+#define SNAILQC_TRANSPILER_HETERO_BASIS_HPP
+
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "topology/coupling_graph.hpp"
+#include "transpiler/basis_translation.hpp"
+
+namespace snail
+{
+
+/** A per-edge basis assignment over a device's coupling graph. */
+class HeterogeneousBasis
+{
+  public:
+    /**
+     * @param graph the device (edges define assignable couplings).
+     * @param fallback basis used by edges without an explicit entry.
+     */
+    HeterogeneousBasis(const CouplingGraph &graph, BasisSpec fallback);
+
+    /** Install a basis on one edge. @throws SnailError when no edge. */
+    void setEdgeBasis(int a, int b, const BasisSpec &spec);
+
+    /**
+     * Install a basis on every edge selected by a predicate; returns
+     * the number of edges assigned.
+     */
+    std::size_t setWhere(
+        const std::function<bool(int a, int b)> &predicate,
+        const BasisSpec &spec);
+
+    /** Basis installed on (a, b) (the fallback when unset). */
+    const BasisSpec &edgeBasis(int a, int b) const;
+
+    const BasisSpec &fallback() const { return _fallback; }
+    const CouplingGraph &graph() const { return _graph; }
+
+    /** Number of edges with an explicit (non-fallback) assignment. */
+    std::size_t assignedEdges() const { return _assigned.size(); }
+
+  private:
+    static std::pair<int, int> canonical(int a, int b);
+
+    const CouplingGraph &_graph;
+    BasisSpec _fallback;
+    std::map<std::pair<int, int>, BasisSpec> _assigned;
+};
+
+/**
+ * Post-translation statistics of a routed (physical-qubit) circuit on a
+ * heterogeneous-basis device.  Every 2Q instruction must act on a
+ * coupled pair.
+ */
+TranslationStats heterogeneousTranslationStats(
+    const Circuit &routed, const HeterogeneousBasis &bases);
+
+} // namespace snail
+
+#endif // SNAILQC_TRANSPILER_HETERO_BASIS_HPP

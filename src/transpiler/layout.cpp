@@ -1,0 +1,106 @@
+#include "transpiler/layout.hpp"
+
+#include "common/error.hpp"
+#include "ir/circuit.hpp"
+
+namespace snail
+{
+
+Layout::Layout(int num_virtual, int num_physical)
+    : _numVirtual(num_virtual),
+      _numPhysical(num_physical),
+      _v2p(static_cast<std::size_t>(num_virtual), -1),
+      _p2v(static_cast<std::size_t>(num_physical), -1)
+{
+    SNAIL_REQUIRE(num_virtual > 0, "layout needs at least one virtual qubit");
+    SNAIL_REQUIRE(num_physical >= num_virtual,
+                  "device has " << num_physical
+                                << " qubits, circuit needs "
+                                << num_virtual);
+}
+
+Layout
+Layout::identity(int num_virtual, int num_physical)
+{
+    Layout l(num_virtual, num_physical);
+    for (int v = 0; v < num_virtual; ++v) {
+        l.assign(v, v);
+    }
+    return l;
+}
+
+void
+Layout::assign(int v, int p)
+{
+    SNAIL_REQUIRE(v >= 0 && v < _numVirtual, "virtual qubit out of range");
+    SNAIL_REQUIRE(p >= 0 && p < _numPhysical, "physical qubit out of range");
+    SNAIL_REQUIRE(_p2v[static_cast<std::size_t>(p)] < 0,
+                  "physical qubit " << p << " already occupied");
+    SNAIL_REQUIRE(_v2p[static_cast<std::size_t>(v)] < 0,
+                  "virtual qubit " << v << " already placed");
+    _v2p[static_cast<std::size_t>(v)] = p;
+    _p2v[static_cast<std::size_t>(p)] = v;
+}
+
+int
+Layout::physical(int v) const
+{
+    SNAIL_REQUIRE(v >= 0 && v < _numVirtual, "virtual qubit out of range");
+    const int p = _v2p[static_cast<std::size_t>(v)];
+    SNAIL_REQUIRE(p >= 0, "virtual qubit " << v << " is unassigned");
+    return p;
+}
+
+int
+Layout::virtualAt(int p) const
+{
+    SNAIL_REQUIRE(p >= 0 && p < _numPhysical, "physical qubit out of range");
+    return _p2v[static_cast<std::size_t>(p)];
+}
+
+bool
+Layout::isComplete() const
+{
+    for (int v = 0; v < _numVirtual; ++v) {
+        if (_v2p[static_cast<std::size_t>(v)] < 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+Layout::swapPhysical(int p1, int p2)
+{
+    SNAIL_REQUIRE(p1 >= 0 && p1 < _numPhysical && p2 >= 0 &&
+                      p2 < _numPhysical && p1 != p2,
+                  "invalid physical swap (" << p1 << ", " << p2 << ")");
+    const int v1 = _p2v[static_cast<std::size_t>(p1)];
+    const int v2 = _p2v[static_cast<std::size_t>(p2)];
+    _p2v[static_cast<std::size_t>(p1)] = v2;
+    _p2v[static_cast<std::size_t>(p2)] = v1;
+    if (v1 >= 0) {
+        _v2p[static_cast<std::size_t>(v1)] = p2;
+    }
+    if (v2 >= 0) {
+        _v2p[static_cast<std::size_t>(v2)] = p1;
+    }
+}
+
+std::vector<int>
+Layout::v2p() const
+{
+    for (int v = 0; v < _numVirtual; ++v) {
+        SNAIL_REQUIRE(_v2p[static_cast<std::size_t>(v)] >= 0,
+                      "virtual qubit " << v << " is unassigned");
+    }
+    return _v2p;
+}
+
+Layout
+trivialLayout(const Circuit &circuit, const CouplingGraph &graph)
+{
+    return Layout::identity(circuit.numQubits(), graph.numQubits());
+}
+
+} // namespace snail

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Virtual-to-physical qubit layouts.
+ *
+ * A Layout is an injective map from a circuit's virtual qubits onto a
+ * device's physical qubits.  Routing updates the map as SWAPs move
+ * virtual qubits around; the pre- and post-routing layouts together
+ * certify what the routed circuit computes (see sim/equivalence.hpp).
+ */
+
+#ifndef SNAILQC_TRANSPILER_LAYOUT_HPP
+#define SNAILQC_TRANSPILER_LAYOUT_HPP
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "topology/coupling_graph.hpp"
+
+namespace snail
+{
+
+class Circuit;
+
+/** Injective virtual -> physical qubit assignment. */
+class Layout
+{
+  public:
+    /** Unassigned layout for num_virtual qubits on num_physical qubits. */
+    Layout(int num_virtual, int num_physical);
+
+    /** The identity embedding v -> v. */
+    static Layout identity(int num_virtual, int num_physical);
+
+    int numVirtual() const { return _numVirtual; }
+    int numPhysical() const { return _numPhysical; }
+
+    /** Assign virtual qubit v to physical qubit p. */
+    void assign(int v, int p);
+
+    /** Physical qubit hosting v (throws when unassigned). */
+    int physical(int v) const;
+
+    /** Virtual qubit at physical p, or -1 when p is a spectator. */
+    int virtualAt(int p) const;
+
+    /** True when every virtual qubit has a physical home. */
+    bool isComplete() const;
+
+    /** Exchange the virtual occupants of two physical qubits (a SWAP). */
+    void swapPhysical(int p1, int p2);
+
+    /** The virtual -> physical vector (all assigned). */
+    std::vector<int> v2p() const;
+
+  private:
+    int _numVirtual;
+    int _numPhysical;
+    std::vector<int> _v2p;
+    std::vector<int> _p2v;
+};
+
+/** The identity layout used as a baseline (Qiskit TrivialLayout). */
+Layout trivialLayout(const Circuit &circuit, const CouplingGraph &graph);
+
+/**
+ * Qiskit-style DenseLayout: pick the `n`-qubit subset of the device with
+ * the most internal couplings (grown breadth-first from each seed qubit)
+ * and map the most interaction-heavy virtual qubits onto the
+ * best-connected physical qubits of that subset.
+ */
+Layout denseLayout(const Circuit &circuit, const CouplingGraph &graph);
+
+/**
+ * SABRE-style layout refinement: alternate forward and reverse routing
+ * passes from a dense seed placement; the surviving layout serves both
+ * ends of the circuit and usually needs fewer SWAPs than DenseLayout
+ * alone.
+ */
+Layout sabreLayout(const Circuit &circuit, const CouplingGraph &graph,
+                   int iterations, Rng &rng);
+
+} // namespace snail
+
+#endif // SNAILQC_TRANSPILER_LAYOUT_HPP

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Lookahead router: breadth-limited tree search over SWAP sequences
+ * (the approach of Qiskit's LookaheadSwap).  Compared to SABRE's
+ * single-step greedy scoring, the tree search can see that two SWAPs
+ * which individually look neutral jointly unblock a front gate.
+ */
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "ir/dag.hpp"
+#include "transpiler/routing.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+/** One candidate SWAP sequence under evaluation. */
+struct SearchNode
+{
+    Layout layout;
+    std::pair<int, int> first_swap{-1, -1};
+    double cost = 0.0;
+
+    SearchNode(Layout l) : layout(std::move(l)) {}
+};
+
+} // namespace
+
+RoutingResult
+LookaheadRouter::route(const Circuit &circuit, const CouplingGraph &graph,
+                       const Layout &initial, Rng &rng) const
+{
+    SNAIL_REQUIRE(initial.isComplete(), "routing needs a complete layout");
+    Circuit out(graph.numQubits(), circuit.name() + "-routed");
+    Layout layout = initial;
+    std::size_t swaps = 0;
+
+    DependencyFrontier frontier(circuit);
+    const auto &ops = circuit.instructions();
+    int since_progress = 0;
+
+    // Distance-sum cost of a layout over front gates plus a discounted
+    // window of upcoming 2Q gates.
+    auto evaluate = [&](const Layout &probe,
+                        const std::vector<const Instruction *> &front,
+                        const std::vector<const Instruction *> &window) {
+        double cost = 0.0;
+        for (const Instruction *op : front) {
+            cost += graph.distance(probe.physical(op->q0()),
+                                   probe.physical(op->q1()));
+        }
+        double discount = 0.5;
+        for (const Instruction *op : window) {
+            cost += discount * graph.distance(probe.physical(op->q0()),
+                                              probe.physical(op->q1()));
+            discount *= 0.9;
+        }
+        return cost;
+    };
+
+    while (!frontier.done()) {
+        // Drain everything executable under the current layout.
+        bool progressed = true;
+        while (progressed) {
+            progressed = false;
+            for (std::size_t idx : frontier.ready()) {
+                const Instruction &op = ops[idx];
+                if (op.numQubits() == 1) {
+                    out.append(op.gate(), {layout.physical(op.q0())});
+                    frontier.consume(idx);
+                    progressed = true;
+                    break;
+                }
+                const int p0 = layout.physical(op.q0());
+                const int p1 = layout.physical(op.q1());
+                if (graph.hasEdge(p0, p1)) {
+                    out.append(op.gate(), {p0, p1});
+                    frontier.consume(idx);
+                    progressed = true;
+                    break;
+                }
+            }
+            if (progressed) {
+                since_progress = 0;
+            }
+        }
+        if (frontier.done()) {
+            break;
+        }
+
+        // Safety valve: if the search thrashes without executing a
+        // gate, deterministically walk the first blocked pair together
+        // along a shortest path (the BasicRouter strategy).
+        if (since_progress > 4 * graph.numQubits() + 32) {
+            const Instruction *blocked = nullptr;
+            for (std::size_t idx : frontier.ready()) {
+                if (ops[idx].isTwoQubit()) {
+                    blocked = &ops[idx];
+                    break;
+                }
+            }
+            SNAIL_ASSERT(blocked != nullptr, "no blocked 2Q gate");
+            const std::vector<int> path =
+                graph.shortestPath(layout.physical(blocked->q0()),
+                                   layout.physical(blocked->q1()));
+            for (std::size_t step = 0; step + 2 < path.size(); ++step) {
+                out.swap(path[step], path[step + 1]);
+                layout.swapPhysical(path[step], path[step + 1]);
+                ++swaps;
+            }
+            since_progress = 0;
+            continue;
+        }
+
+        std::vector<const Instruction *> front;
+        for (std::size_t idx : frontier.ready()) {
+            front.push_back(&ops[idx]);
+        }
+        std::vector<const Instruction *> window;
+        for (std::size_t idx :
+             frontier.lookahead(static_cast<std::size_t>(_window))) {
+            if (ops[idx].isTwoQubit()) {
+                window.push_back(&ops[idx]);
+            }
+        }
+
+        // Candidate SWAPs at a node: device edges touching the mapped
+        // operands of blocked front gates.
+        auto candidates = [&](const Layout &probe) {
+            std::vector<std::pair<int, int>> edges;
+            for (const Instruction *op : front) {
+                for (int pq : {probe.physical(op->q0()),
+                               probe.physical(op->q1())}) {
+                    for (int nb : graph.neighbors(pq)) {
+                        edges.emplace_back(pq, nb);
+                    }
+                }
+            }
+            return edges;
+        };
+
+        // Beam search over SWAP sequences of length <= _searchDepth.
+        std::vector<SearchNode> beam;
+        beam.emplace_back(layout);
+        beam.back().cost = evaluate(layout, front, window);
+        SearchNode best = beam.front();
+        bool best_is_root = true;
+
+        for (int depth = 0; depth < _searchDepth; ++depth) {
+            std::vector<SearchNode> next;
+            for (const SearchNode &node : beam) {
+                for (auto [a, b] : candidates(node.layout)) {
+                    SearchNode child(node.layout);
+                    child.layout.swapPhysical(a, b);
+                    child.first_swap = node.first_swap.first < 0
+                                           ? std::make_pair(a, b)
+                                           : node.first_swap;
+                    child.cost = evaluate(child.layout, front, window) +
+                                 1e-9 * rng.uniform();
+                    next.push_back(std::move(child));
+                }
+            }
+            if (next.empty()) {
+                break;
+            }
+            std::sort(next.begin(), next.end(),
+                      [](const SearchNode &x, const SearchNode &y) {
+                          return x.cost < y.cost;
+                      });
+            if (static_cast<int>(next.size()) > _beamWidth) {
+                next.erase(next.begin() + _beamWidth, next.end());
+            }
+            beam = std::move(next);
+            if (beam.front().cost < best.cost || best_is_root) {
+                best = beam.front();
+                best_is_root = false;
+            }
+        }
+
+        SNAIL_ASSERT(best.first_swap.first >= 0,
+                     "lookahead search found no swap");
+        out.swap(best.first_swap.first, best.first_swap.second);
+        layout.swapPhysical(best.first_swap.first, best.first_swap.second);
+        ++swaps;
+        ++since_progress;
+    }
+
+    RoutingResult result(std::move(out), initial, layout);
+    result.swaps_added = swaps;
+    return result;
+}
+
+} // namespace snail

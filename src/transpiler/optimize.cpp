@@ -1,0 +1,282 @@
+#include "transpiler/optimize.hpp"
+
+#include <cmath>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "linalg/su2.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+/** True when m is the identity times a unit phase, within tol. */
+bool
+isIdentityUpToPhase(const Matrix &m, double tol)
+{
+    const std::size_t n = m.rows();
+    const Complex phase = m(0, 0);
+    if (std::abs(std::abs(phase) - 1.0) > tol) {
+        return false;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) {
+            const Complex want = r == c ? phase : Complex{0.0, 0.0};
+            if (std::abs(m(r, c) - want) > tol) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+/** Angle folded into (-pi, pi]; used to detect 2pi wraps. */
+double
+foldAngle(double theta)
+{
+    double t = std::remainder(theta, 2.0 * M_PI);
+    return t;
+}
+
+/** Rebuild `circuit` from `ops`, preserving width and name. */
+void
+rebuild(Circuit &circuit, std::vector<Instruction> ops)
+{
+    Circuit fresh(circuit.numQubits(), circuit.name());
+    for (auto &op : ops) {
+        fresh.append(std::move(op));
+    }
+    circuit = std::move(fresh);
+}
+
+} // namespace
+
+OptimizeStats
+removeIdentities(Circuit &circuit, double tol)
+{
+    OptimizeStats stats;
+    std::vector<Instruction> kept;
+    kept.reserve(circuit.size());
+    for (const auto &op : circuit.instructions()) {
+        if (isIdentityUpToPhase(op.gate().matrix(), tol)) {
+            ++stats.removed_identities;
+        } else {
+            kept.push_back(op);
+        }
+    }
+    if (stats.removed_identities > 0) {
+        rebuild(circuit, std::move(kept));
+    }
+    return stats;
+}
+
+OptimizeStats
+fuseSingleQubitGates(Circuit &circuit, double tol)
+{
+    OptimizeStats stats;
+    const int n = circuit.numQubits();
+
+    // Per-qubit run of pending 1Q instructions awaiting a flush.
+    std::vector<std::vector<Instruction>> pending(n);
+    std::vector<Instruction> out;
+    out.reserve(circuit.size());
+
+    auto flush = [&](int q) {
+        auto &run = pending[q];
+        if (run.empty()) {
+            return;
+        }
+        if (run.size() == 1) {
+            // Leave singletons alone: 'h' should stay 'h'.
+            out.push_back(run.front());
+            run.clear();
+            return;
+        }
+        Matrix product = Matrix::identity(2);
+        for (const auto &op : run) {
+            product = op.gate().matrix() * product;
+        }
+        if (isIdentityUpToPhase(product, tol)) {
+            stats.fused_1q += run.size();
+        } else {
+            const ZyzAngles angles = zyzDecompose(product);
+            out.push_back(Instruction(
+                Gate(GateKind::U3,
+                     {angles.theta, angles.phi, angles.lam}),
+                {q}));
+            stats.fused_1q += run.size() - 1;
+        }
+        run.clear();
+    };
+
+    for (const auto &op : circuit.instructions()) {
+        if (op.numQubits() == 1) {
+            pending[op.q0()].push_back(op);
+        } else {
+            flush(op.q0());
+            flush(op.q1());
+            out.push_back(op);
+        }
+    }
+    for (int q = 0; q < n; ++q) {
+        flush(q);
+    }
+    if (stats.fused_1q > 0) {
+        rebuild(circuit, std::move(out));
+    }
+    return stats;
+}
+
+OptimizeStats
+cancelTwoQubitGates(Circuit &circuit, double tol)
+{
+    OptimizeStats stats;
+    std::vector<Instruction> out;
+    out.reserve(circuit.size());
+
+    // Index into `out` of the last op touching each qubit (-1 = none).
+    std::vector<long> last_touch(circuit.numQubits(), -1);
+    // Marks ops in `out` scheduled for deletion.
+    std::vector<bool> dead;
+
+    auto touch = [&](const Instruction &op) {
+        for (Qubit q : op.qubits()) {
+            last_touch[q] = static_cast<long>(out.size());
+        }
+        out.push_back(op);
+        dead.push_back(false);
+    };
+
+    for (const auto &op : circuit.instructions()) {
+        if (op.numQubits() != 2) {
+            touch(op);
+            continue;
+        }
+        const Qubit a = op.q0();
+        const Qubit b = op.q1();
+        const long k = last_touch[a];
+        std::optional<Instruction> merged;
+        bool cancel = false;
+
+        if (k >= 0 && k == last_touch[b] && !dead[k] &&
+            out[k].numQubits() == 2) {
+            const Instruction &prev = out[k];
+            const GateKind kind = op.gate().kind();
+            const GateKind pkind = prev.gate().kind();
+            const bool same_pair_ordered =
+                prev.q0() == a && prev.q1() == b;
+            const bool same_pair = same_pair_ordered ||
+                                   (prev.q0() == b && prev.q1() == a);
+
+            if (kind == pkind && same_pair) {
+                switch (kind) {
+                  case GateKind::CX:
+                    cancel = same_pair_ordered;
+                    break;
+                  case GateKind::CZ:
+                  case GateKind::Swap:
+                    cancel = true; // symmetric gates
+                    break;
+                  case GateKind::CPhase:
+                  case GateKind::RZZ: {
+                    const double sum = op.gate().params()[0] +
+                                       prev.gate().params()[0];
+                    if (std::abs(foldAngle(sum)) <= tol) {
+                        cancel = true;
+                    } else {
+                        merged = Instruction(
+                            Gate(kind, {foldAngle(sum)}),
+                            {prev.q0(), prev.q1()});
+                    }
+                    break;
+                  }
+                  default:
+                    break;
+                }
+            }
+        }
+
+        if (cancel) {
+            dead[k] = true;
+            stats.cancelled_2q += 2;
+            // Re-expose whatever preceded the cancelled pair: rebuild
+            // the touch indices for a and b by scanning backwards.
+            for (Qubit q : {a, b}) {
+                last_touch[q] = -1;
+                for (long i = static_cast<long>(out.size()) - 1; i >= 0;
+                     --i) {
+                    if (dead[i]) {
+                        continue;
+                    }
+                    const auto &qs = out[i].qubits();
+                    bool touches = false;
+                    for (Qubit oq : qs) {
+                        if (oq == q) {
+                            touches = true;
+                            break;
+                        }
+                    }
+                    if (touches) {
+                        last_touch[q] = i;
+                        break;
+                    }
+                }
+            }
+        } else if (merged) {
+            out[k] = *merged;
+            ++stats.merged_2q;
+            // last_touch already points at k for both qubits.
+        } else {
+            touch(op);
+        }
+    }
+
+    if (stats.cancelled_2q + stats.merged_2q > 0) {
+        std::vector<Instruction> kept;
+        kept.reserve(out.size());
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            if (!dead[i]) {
+                kept.push_back(std::move(out[i]));
+            }
+        }
+        rebuild(circuit, std::move(kept));
+    }
+    return stats;
+}
+
+OptimizeStats
+optimizeCircuit(Circuit &circuit, int level, double tol)
+{
+    OptimizeStats total;
+    if (level <= 0) {
+        return total;
+    }
+    constexpr int kMaxRounds = 16;
+    for (int round = 0; round < kMaxRounds; ++round) {
+        OptimizeStats step;
+        const OptimizeStats ident = removeIdentities(circuit, tol);
+        step.removed_identities = ident.removed_identities;
+        const OptimizeStats cancel = cancelTwoQubitGates(circuit, tol);
+        step.cancelled_2q = cancel.cancelled_2q;
+        step.merged_2q = cancel.merged_2q;
+        if (level >= 2) {
+            const OptimizeStats fuse = fuseSingleQubitGates(circuit, tol);
+            step.fused_1q = fuse.fused_1q;
+        }
+        total.removed_identities += step.removed_identities;
+        total.cancelled_2q += step.cancelled_2q;
+        total.merged_2q += step.merged_2q;
+        total.fused_1q += step.fused_1q;
+        ++total.iterations;
+        if (step.total() == 0) {
+            break;
+        }
+    }
+    return total;
+}
+
+} // namespace snail

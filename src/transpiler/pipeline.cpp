@@ -1,0 +1,77 @@
+#include "transpiler/pipeline.hpp"
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "transpiler/optimize.hpp"
+#include "transpiler/vf2_layout.hpp"
+
+namespace snail
+{
+
+TranspileResult
+transpile(const Circuit &input, const CouplingGraph &graph,
+          const TranspileOptions &options)
+{
+    Circuit circuit = input;
+    if (options.optimization_level > 0) {
+        optimizeCircuit(circuit, options.optimization_level);
+    }
+
+    // Placement.
+    Layout initial = trivialLayout(circuit, graph);
+    if (options.layout == LayoutKind::Dense) {
+        initial = denseLayout(circuit, graph);
+    } else if (options.layout == LayoutKind::Sabre) {
+        Rng layout_rng(options.seed ^ 0xAB5EULL);
+        initial = sabreLayout(circuit, graph, 2, layout_rng);
+    } else if (options.layout == LayoutKind::Vf2OrDense) {
+        if (auto perfect = vf2Layout(circuit, graph)) {
+            initial = std::move(*perfect);
+        } else {
+            initial = denseLayout(circuit, graph);
+        }
+    }
+
+    // Routing.
+    std::unique_ptr<Router> router;
+    switch (options.router) {
+      case RouterKind::Basic:
+        router = std::make_unique<BasicRouter>();
+        break;
+      case RouterKind::Stochastic:
+        router =
+            std::make_unique<StochasticSwapRouter>(options.stochastic_trials);
+        break;
+      case RouterKind::Sabre:
+        router = std::make_unique<SabreRouter>();
+        break;
+      case RouterKind::Lookahead:
+        router = std::make_unique<LookaheadRouter>();
+        break;
+    }
+    Rng rng(options.seed);
+    RoutingResult routed = router->route(circuit, graph, initial, rng);
+    if (options.elide_trailing_swaps) {
+        elideTrailingSwaps(routed);
+    }
+
+    // Metrics, mirroring Fig. 10's collection points.
+    TranspileResult result(std::move(routed.circuit),
+                           std::move(routed.initial_layout),
+                           std::move(routed.final_layout));
+    result.metrics.swaps_total = result.routed.countKind(GateKind::Swap);
+    result.metrics.swaps_critical = result.routed.weightedCriticalPath(
+        [](const Instruction &op) { return op.isSwap() ? 1.0 : 0.0; });
+    result.metrics.ops_2q_pre = result.routed.countTwoQubit();
+
+    const TranslationStats stats =
+        translationStats(result.routed, options.basis);
+    result.metrics.basis_2q_total = stats.total_2q;
+    result.metrics.basis_2q_critical = stats.critical_2q;
+    result.metrics.duration_total = stats.total_duration;
+    result.metrics.duration_critical = stats.critical_duration;
+    return result;
+}
+
+} // namespace snail

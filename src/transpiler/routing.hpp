@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Routing passes: make every 2Q gate nearest-neighbor by inserting SWAPs.
+ *
+ * Three routers are provided:
+ *  - BasicRouter: greedy shortest-path swapping, no reordering (baseline).
+ *  - StochasticSwapRouter: the paper's router (Qiskit StochasticSwap) —
+ *    randomized trials choose SWAP sequences that make the current front
+ *    layer executable, keeping the best trial.
+ *  - SabreRouter: lookahead heuristic router (ablation comparison).
+ *
+ * All routers emit a physical-qubit circuit whose 2Q gates act only on
+ * coupled pairs, and report the final layout so the computation can be
+ * verified (sim/equivalence.hpp).
+ */
+
+#ifndef SNAILQC_TRANSPILER_ROUTING_HPP
+#define SNAILQC_TRANSPILER_ROUTING_HPP
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "ir/circuit.hpp"
+#include "topology/coupling_graph.hpp"
+#include "transpiler/layout.hpp"
+
+namespace snail
+{
+
+/** Output of a routing pass. */
+struct RoutingResult
+{
+    Circuit circuit;        //!< physical circuit (SWAPs inserted)
+    Layout initial_layout;  //!< virtual -> physical before the circuit
+    Layout final_layout;    //!< virtual -> physical after the circuit
+    std::size_t swaps_added = 0;
+
+    RoutingResult(Circuit c, Layout init, Layout fin)
+        : circuit(std::move(c)),
+          initial_layout(std::move(init)),
+          final_layout(std::move(fin))
+    {
+    }
+};
+
+/** Interface shared by the routing passes. */
+class Router
+{
+  public:
+    virtual ~Router() = default;
+
+    /** Route `circuit` onto `graph` starting from `initial`. */
+    virtual RoutingResult route(const Circuit &circuit,
+                                const CouplingGraph &graph,
+                                const Layout &initial, Rng &rng) const = 0;
+
+    /** Human-readable pass name. */
+    virtual const char *name() const = 0;
+};
+
+/** Greedy shortest-path router (no gate reordering). */
+class BasicRouter : public Router
+{
+  public:
+    RoutingResult route(const Circuit &circuit, const CouplingGraph &graph,
+                        const Layout &initial, Rng &rng) const override;
+    const char *name() const override { return "basic"; }
+};
+
+/** Qiskit-StochasticSwap-style randomized layer router. */
+class StochasticSwapRouter : public Router
+{
+  public:
+    /** @param trials randomized attempts per blocked layer. */
+    explicit StochasticSwapRouter(int trials = 20) : _trials(trials) {}
+
+    RoutingResult route(const Circuit &circuit, const CouplingGraph &graph,
+                        const Layout &initial, Rng &rng) const override;
+    const char *name() const override { return "stochastic"; }
+
+  private:
+    int _trials;
+};
+
+/** SABRE-style lookahead router. */
+class SabreRouter : public Router
+{
+  public:
+    /**
+     * @param extended_size lookahead window size.
+     * @param extended_weight weight of the lookahead term.
+     * @param decay_factor per-swap decay discouraging qubit ping-pong.
+     */
+    SabreRouter(int extended_size = 20, double extended_weight = 0.5,
+                double decay_factor = 0.001)
+        : _extendedSize(extended_size),
+          _extendedWeight(extended_weight),
+          _decayFactor(decay_factor)
+    {
+    }
+
+    RoutingResult route(const Circuit &circuit, const CouplingGraph &graph,
+                        const Layout &initial, Rng &rng) const override;
+    const char *name() const override { return "sabre"; }
+
+  private:
+    int _extendedSize;
+    double _extendedWeight;
+    double _decayFactor;
+};
+
+/**
+ * Qiskit-LookaheadSwap-style router: breadth-limited tree search over
+ * SWAP sequences.  Each blocked step expands candidate SWAPs to a fixed
+ * depth, keeping the best `beam_width` partial sequences by a cost that
+ * sums mapped distances over the front gates plus a discounted window
+ * of upcoming 2Q gates, then commits the first SWAP of the winner.
+ */
+class LookaheadRouter : public Router
+{
+  public:
+    /**
+     * @param search_depth SWAP-sequence lookahead depth.
+     * @param beam_width surviving candidates per expansion level.
+     * @param window upcoming 2Q gates included in the cost.
+     */
+    LookaheadRouter(int search_depth = 3, int beam_width = 4,
+                    int window = 16)
+        : _searchDepth(search_depth),
+          _beamWidth(beam_width),
+          _window(window)
+    {
+    }
+
+    RoutingResult route(const Circuit &circuit, const CouplingGraph &graph,
+                        const Layout &initial, Rng &rng) const override;
+    const char *name() const override { return "lookahead"; }
+
+  private:
+    int _searchDepth;
+    int _beamWidth;
+    int _window;
+};
+
+/**
+ * Remove trailing SWAPs from a routed circuit.
+ *
+ * A SWAP whose qubits are never touched again by any non-elided
+ * instruction only permutes the output wiring; deleting it and folding
+ * the permutation into the final layout leaves the computation
+ * unchanged (the classical readout map absorbs it).  Returns the
+ * number of SWAPs elided; `result.final_layout` and
+ * `result.swaps_added` are updated in place.
+ */
+std::size_t elideTrailingSwaps(RoutingResult &result);
+
+} // namespace snail
+
+#endif // SNAILQC_TRANSPILER_ROUTING_HPP

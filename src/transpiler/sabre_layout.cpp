@@ -1,0 +1,45 @@
+/**
+ * @file
+ * SABRE-style layout refinement (Li, Ding, Xie — ASPLOS'19).
+ *
+ * The initial placement is improved by routing the circuit forward, then
+ * routing its reverse starting from the final layout, alternating a few
+ * rounds.  Each pass drags the layout toward a fixed point that serves
+ * both ends of the circuit, typically beating a one-shot dense placement
+ * on SWAP count.  Provided as an ablation alternative to DenseLayout.
+ */
+
+#include "common/error.hpp"
+#include "ir/circuit.hpp"
+#include "transpiler/layout.hpp"
+#include "transpiler/routing.hpp"
+
+namespace snail
+{
+
+Layout
+sabreLayout(const Circuit &circuit, const CouplingGraph &graph,
+            int iterations, Rng &rng)
+{
+    SNAIL_REQUIRE(iterations >= 1, "sabreLayout needs >= 1 iteration");
+
+    // Reversed-instruction view of the circuit (gate identity does not
+    // matter for layout search, only the interaction pattern).
+    Circuit reversed(circuit.numQubits(), circuit.name() + "-rev");
+    for (auto it = circuit.instructions().rbegin();
+         it != circuit.instructions().rend(); ++it) {
+        reversed.append(*it);
+    }
+
+    const SabreRouter router;
+    Layout layout = denseLayout(circuit, graph);
+    for (int round = 0; round < iterations; ++round) {
+        const RoutingResult fwd = router.route(circuit, graph, layout, rng);
+        const RoutingResult bwd =
+            router.route(reversed, graph, fwd.final_layout, rng);
+        layout = bwd.final_layout;
+    }
+    return layout;
+}
+
+} // namespace snail

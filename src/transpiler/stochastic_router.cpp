@@ -1,0 +1,180 @@
+/**
+ * @file
+ * StochasticSwap-style router (the paper's routing pass).
+ *
+ * The circuit is consumed front layer by front layer.  Ready 1Q gates and
+ * executable 2Q gates are emitted immediately.  When every ready 2Q gate
+ * is blocked, the router runs several randomized trials: each trial
+ * greedily applies the SWAP that most reduces a noise-perturbed sum of
+ * distances between the blocked pairs, until some gate becomes
+ * executable.  The trial needing the fewest SWAPs wins and its SWAP
+ * sequence is committed.  Randomness is drawn from the caller's seeded
+ * Rng, so routing is reproducible.
+ */
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "ir/dag.hpp"
+#include "transpiler/routing.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+/** Sum of device distances for the blocked gate list under a layout. */
+int
+totalDistance(const CouplingGraph &graph, const Layout &layout,
+              const std::vector<const Instruction *> &blocked)
+{
+    int total = 0;
+    for (const Instruction *op : blocked) {
+        total += graph.distance(layout.physical(op->q0()),
+                                layout.physical(op->q1()));
+    }
+    return total;
+}
+
+/** One randomized trial: SWAP sequence that unblocks at least one gate. */
+struct Trial
+{
+    std::vector<std::pair<int, int>> swaps;
+    bool success = false;
+};
+
+Trial
+runTrial(const CouplingGraph &graph, Layout layout,
+         const std::vector<const Instruction *> &blocked, Rng &rng,
+         std::size_t swap_budget)
+{
+    Trial trial;
+    auto executable = [&]() {
+        for (const Instruction *op : blocked) {
+            if (graph.hasEdge(layout.physical(op->q0()),
+                              layout.physical(op->q1()))) {
+                return true;
+            }
+        }
+        return false;
+    };
+
+    while (!executable()) {
+        if (trial.swaps.size() >= swap_budget) {
+            return trial; // failed
+        }
+        // Candidate swaps: edges touching any blocked qubit.
+        int best_cost = std::numeric_limits<int>::max();
+        double best_noisy = std::numeric_limits<double>::max();
+        std::pair<int, int> best_edge{-1, -1};
+        for (const Instruction *op : blocked) {
+            for (int pq : {layout.physical(op->q0()),
+                           layout.physical(op->q1())}) {
+                for (int nb : graph.neighbors(pq)) {
+                    Layout probe = layout;
+                    probe.swapPhysical(pq, nb);
+                    const int cost = totalDistance(graph, probe, blocked);
+                    // Multiplicative noise makes trials explore different
+                    // tie-breaks and near-optimal moves.
+                    const double noisy =
+                        static_cast<double>(cost) *
+                        (1.0 + 0.1 * std::abs(rng.normal()));
+                    if (noisy < best_noisy) {
+                        best_noisy = noisy;
+                        best_cost = cost;
+                        best_edge = {pq, nb};
+                    }
+                }
+            }
+        }
+        SNAIL_ASSERT(best_edge.first >= 0, "no candidate swap found");
+        (void)best_cost;
+        layout.swapPhysical(best_edge.first, best_edge.second);
+        trial.swaps.push_back(best_edge);
+    }
+    trial.success = true;
+    return trial;
+}
+
+} // namespace
+
+RoutingResult
+StochasticSwapRouter::route(const Circuit &circuit,
+                            const CouplingGraph &graph,
+                            const Layout &initial, Rng &rng) const
+{
+    SNAIL_REQUIRE(initial.isComplete(), "routing needs a complete layout");
+    Circuit out(graph.numQubits(), circuit.name() + "-routed");
+    Layout layout = initial;
+    std::size_t swaps = 0;
+
+    DependencyFrontier frontier(circuit);
+    const auto &ops = circuit.instructions();
+    const std::size_t swap_budget =
+        4 * static_cast<std::size_t>(graph.numQubits()) + 16;
+
+    while (!frontier.done()) {
+        // Emit everything executable in the current frontier.
+        bool progressed = true;
+        while (progressed) {
+            progressed = false;
+            const std::vector<std::size_t> ready = frontier.ready();
+            for (std::size_t idx : ready) {
+                const Instruction &op = ops[idx];
+                if (op.numQubits() == 1) {
+                    out.append(op.gate(), {layout.physical(op.q0())});
+                    frontier.consume(idx);
+                    progressed = true;
+                } else {
+                    const int p0 = layout.physical(op.q0());
+                    const int p1 = layout.physical(op.q1());
+                    if (graph.hasEdge(p0, p1)) {
+                        out.append(op.gate(), {p0, p1});
+                        frontier.consume(idx);
+                        progressed = true;
+                    }
+                }
+            }
+        }
+        if (frontier.done()) {
+            break;
+        }
+
+        // Everything ready is a blocked 2Q gate; pick the best SWAP
+        // sequence over randomized trials.
+        std::vector<const Instruction *> blocked;
+        for (std::size_t idx : frontier.ready()) {
+            blocked.push_back(&ops[idx]);
+        }
+        SNAIL_ASSERT(!blocked.empty(), "router stalled with no ready gates");
+
+        Trial best;
+        bool have_best = false;
+        for (int t = 0; t < _trials; ++t) {
+            Trial trial = runTrial(graph, layout, blocked, rng, swap_budget);
+            if (!trial.success) {
+                continue;
+            }
+            if (!have_best || trial.swaps.size() < best.swaps.size()) {
+                best = std::move(trial);
+                have_best = true;
+            }
+        }
+        SNAIL_REQUIRE(have_best,
+                      "stochastic routing failed on " << graph.name());
+
+        for (const auto &[a, b] : best.swaps) {
+            out.swap(a, b);
+            layout.swapPhysical(a, b);
+            ++swaps;
+        }
+    }
+
+    RoutingResult result(std::move(out), initial, layout);
+    result.swaps_added = swaps;
+    return result;
+}
+
+} // namespace snail

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Trailing-SWAP elision (see routing.hpp).
+ *
+ * Scans the routed circuit backward: while a qubit has not yet been
+ * touched by a kept instruction, SWAPs on it are pure output
+ * permutations and can be folded into the final layout.
+ */
+
+#include <vector>
+
+#include "transpiler/routing.hpp"
+
+namespace snail
+{
+
+std::size_t
+elideTrailingSwaps(RoutingResult &result)
+{
+    const Circuit &circuit = result.circuit;
+    const int n = circuit.numQubits();
+
+    // clean[p]: no kept instruction after the scan point touches p.
+    std::vector<bool> clean(static_cast<std::size_t>(n), true);
+    std::vector<bool> elide(circuit.size(), false);
+    std::size_t elided = 0;
+
+    for (std::size_t i = circuit.size(); i-- > 0;) {
+        const Instruction &op = circuit.instructions()[i];
+        if (op.isSwap() &&
+            clean[static_cast<std::size_t>(op.q0())] &&
+            clean[static_cast<std::size_t>(op.q1())]) {
+            elide[i] = true;
+            ++elided;
+            continue;
+        }
+        for (Qubit q : op.qubits()) {
+            clean[static_cast<std::size_t>(q)] = false;
+        }
+    }
+    if (elided == 0) {
+        return 0;
+    }
+
+    // Fold the removed permutation into the final layout.  Un-applying
+    // the trailing SWAPs from last to first restores where the data
+    // actually sits without them.
+    for (std::size_t i = circuit.size(); i-- > 0;) {
+        if (elide[i]) {
+            const Instruction &op = circuit.instructions()[i];
+            result.final_layout.swapPhysical(op.q0(), op.q1());
+        }
+    }
+
+    Circuit kept(circuit.numQubits(), circuit.name());
+    for (std::size_t i = 0; i < circuit.size(); ++i) {
+        if (!elide[i]) {
+            kept.append(circuit.instructions()[i]);
+        }
+    }
+    result.circuit = std::move(kept);
+    result.swaps_added -= elided;
+    return elided;
+}
+
+} // namespace snail

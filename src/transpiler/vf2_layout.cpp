@@ -1,0 +1,219 @@
+#include "transpiler/vf2_layout.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "ir/circuit.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+/** Adjacency-matrix view of the circuit's interaction graph. */
+struct InteractionGraph
+{
+    int n = 0;
+    std::vector<std::vector<bool>> adj;
+    std::vector<std::vector<int>> neighbors;
+    std::vector<int> degree;
+
+    explicit InteractionGraph(const Circuit &circuit)
+        : n(circuit.numQubits()),
+          adj(n, std::vector<bool>(n, false)),
+          neighbors(n),
+          degree(n, 0)
+    {
+        for (const auto &op : circuit.instructions()) {
+            if (op.numQubits() != 2) {
+                continue;
+            }
+            const int a = op.q0();
+            const int b = op.q1();
+            if (!adj[a][b]) {
+                adj[a][b] = adj[b][a] = true;
+                neighbors[a].push_back(b);
+                neighbors[b].push_back(a);
+                ++degree[a];
+                ++degree[b];
+            }
+        }
+    }
+};
+
+/** Depth-first VF2-style matcher with a node budget. */
+class Matcher
+{
+  public:
+    Matcher(const InteractionGraph &ig, const CouplingGraph &graph,
+            std::size_t max_nodes)
+        : _ig(ig),
+          _graph(graph),
+          _budget(max_nodes),
+          _v2p(ig.n, -1),
+          _used(graph.numQubits(), false)
+    {
+        buildOrder();
+    }
+
+    bool
+    run()
+    {
+        return place(0);
+    }
+
+    const std::vector<int> &v2p() const { return _v2p; }
+
+  private:
+    /**
+     * Most-constrained-first ordering: highest-degree seed, then always
+     * the unplaced vertex with the most already-placed neighbors
+     * (ties: higher interaction degree).
+     */
+    void
+    buildOrder()
+    {
+        const int n = _ig.n;
+        std::vector<bool> chosen(n, false);
+        std::vector<int> placed_neighbors(n, 0);
+        for (int step = 0; step < n; ++step) {
+            int best = -1;
+            for (int v = 0; v < n; ++v) {
+                if (chosen[v]) {
+                    continue;
+                }
+                if (best < 0 ||
+                    placed_neighbors[v] > placed_neighbors[best] ||
+                    (placed_neighbors[v] == placed_neighbors[best] &&
+                     _ig.degree[v] > _ig.degree[best])) {
+                    best = v;
+                }
+            }
+            chosen[best] = true;
+            _order.push_back(best);
+            for (int nb : _ig.neighbors[best]) {
+                ++placed_neighbors[nb];
+            }
+        }
+    }
+
+    /** Try to place _order[depth]; true when all vertices placed. */
+    bool
+    place(std::size_t depth)
+    {
+        if (depth == _order.size()) {
+            return true;
+        }
+        const int v = _order[depth];
+
+        // Candidate physical homes: neighbors of an already-placed
+        // interaction neighbor when one exists (connectivity pruning),
+        // otherwise every unused physical qubit.
+        std::vector<int> candidates;
+        int anchor = -1;
+        for (int nb : _ig.neighbors[v]) {
+            if (_v2p[nb] >= 0) {
+                anchor = _v2p[nb];
+                break;
+            }
+        }
+        if (anchor >= 0) {
+            candidates = _graph.neighbors(anchor);
+        } else {
+            candidates.reserve(_used.size());
+            for (int p = 0; p < _graph.numQubits(); ++p) {
+                candidates.push_back(p);
+            }
+        }
+
+        for (int p : candidates) {
+            if (_used[p]) {
+                continue;
+            }
+            if (_budget == 0) {
+                return false;
+            }
+            --_budget;
+            if (_graph.degree(p) < _ig.degree[v]) {
+                continue;
+            }
+            bool consistent = true;
+            for (int nb : _ig.neighbors[v]) {
+                if (_v2p[nb] >= 0 && !_graph.hasEdge(p, _v2p[nb])) {
+                    consistent = false;
+                    break;
+                }
+            }
+            if (!consistent) {
+                continue;
+            }
+            _v2p[v] = p;
+            _used[p] = true;
+            if (place(depth + 1)) {
+                return true;
+            }
+            _v2p[v] = -1;
+            _used[p] = false;
+            if (_budget == 0) {
+                return false;
+            }
+        }
+        return false;
+    }
+
+    const InteractionGraph &_ig;
+    const CouplingGraph &_graph;
+    std::size_t _budget;
+    std::vector<int> _v2p;
+    std::vector<bool> _used;
+    std::vector<int> _order;
+};
+
+} // namespace
+
+std::optional<Layout>
+vf2Layout(const Circuit &circuit, const CouplingGraph &graph,
+          std::size_t max_nodes)
+{
+    SNAIL_REQUIRE(circuit.numQubits() <= graph.numQubits(),
+                  "circuit is wider (" << circuit.numQubits()
+                                       << ") than the device ("
+                                       << graph.numQubits() << ")");
+    const InteractionGraph ig(circuit);
+
+    // Quick necessary-condition rejections before the search.
+    if (static_cast<std::size_t>(
+            std::count_if(ig.degree.begin(), ig.degree.end(),
+                          [](int d) { return d > 0; })) >
+        static_cast<std::size_t>(graph.numQubits())) {
+        return std::nullopt;
+    }
+    const int max_virtual_degree =
+        ig.degree.empty() ? 0
+                          : *std::max_element(ig.degree.begin(),
+                                              ig.degree.end());
+    int max_physical_degree = 0;
+    for (int p = 0; p < graph.numQubits(); ++p) {
+        max_physical_degree = std::max(max_physical_degree,
+                                       graph.degree(p));
+    }
+    if (max_virtual_degree > max_physical_degree) {
+        return std::nullopt;
+    }
+
+    Matcher matcher(ig, graph, max_nodes);
+    if (!matcher.run()) {
+        return std::nullopt;
+    }
+
+    Layout layout(circuit.numQubits(), graph.numQubits());
+    for (int v = 0; v < circuit.numQubits(); ++v) {
+        layout.assign(v, matcher.v2p()[v]);
+    }
+    SNAIL_ASSERT(layout.isComplete(), "vf2 produced a partial layout");
+    return layout;
+}
+
+} // namespace snail

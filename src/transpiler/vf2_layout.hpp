@@ -1,0 +1,46 @@
+/**
+ * @file
+ * VF2-style perfect layout search.
+ *
+ * Attempts to embed the circuit's interaction graph (virtual qubits,
+ * edges = pairs that share a 2Q gate) into the device coupling graph as
+ * a subgraph, so that routing needs zero SWAPs.  The paper observes that
+ * its transpiler "manages to find an initial mapping that often requires
+ * zero SWAP gates for Corral 1,1" — this pass makes that observation an
+ * explicit, testable guarantee whenever an embedding exists and is found
+ * within the node budget.
+ *
+ * The search is a depth-first backtracking match in the VF2 family:
+ * virtual qubits are ordered by connectivity to the already-matched
+ * region (most-constrained first), candidates are pruned by degree and
+ * by adjacency consistency with every matched neighbor.
+ */
+
+#ifndef SNAILQC_TRANSPILER_VF2_LAYOUT_HPP
+#define SNAILQC_TRANSPILER_VF2_LAYOUT_HPP
+
+#include <cstddef>
+#include <optional>
+
+#include "transpiler/layout.hpp"
+
+namespace snail
+{
+
+/**
+ * Search for a zero-SWAP embedding of `circuit`'s interaction graph in
+ * `graph`.
+ *
+ * @param max_nodes backtracking budget (candidate placements tried);
+ *        the search gives up and returns nullopt when exhausted.
+ * @return a complete Layout under which every 2Q gate of the circuit
+ *         acts on coupled qubits, or nullopt when no embedding was
+ *         found (none exists, or the budget ran out).
+ */
+std::optional<Layout> vf2Layout(const Circuit &circuit,
+                                const CouplingGraph &graph,
+                                std::size_t max_nodes = 200000);
+
+} // namespace snail
+
+#endif // SNAILQC_TRANSPILER_VF2_LAYOUT_HPP

@@ -1,0 +1,163 @@
+#include "weyl/basis_counts.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/random_unitary.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+constexpr double kQuarterPi = M_PI / 4.0;
+constexpr double kEighthPi = M_PI / 8.0;
+
+bool
+isIdentityClass(const WeylCoords &w, double tol)
+{
+    return w.isClose(WeylCoords{0.0, 0.0, 0.0}, tol);
+}
+
+} // namespace
+
+std::string
+BasisSpec::name() const
+{
+    switch (kind) {
+      case BasisKind::CNOT:
+        return "cx";
+      case BasisKind::SqISwap:
+        return "sqiswap";
+      case BasisKind::ISwap:
+        return "iswap";
+      case BasisKind::Sycamore:
+        return "syc";
+    }
+    SNAIL_ASSERT(false, "unhandled basis kind");
+    return {};
+}
+
+double
+BasisSpec::pulseDuration() const
+{
+    switch (kind) {
+      case BasisKind::CNOT:
+        return 1.0;
+      case BasisKind::SqISwap:
+        // Half of a full iSWAP exchange pulse (paper Sec. 6.3).
+        return 0.5;
+      case BasisKind::ISwap:
+        return 1.0;
+      case BasisKind::Sycamore:
+        return 1.0;
+    }
+    SNAIL_ASSERT(false, "unhandled basis kind");
+    return 1.0;
+}
+
+int
+cnotCount(const WeylCoords &w, double tol)
+{
+    if (isIdentityClass(w, tol)) {
+        return 0;
+    }
+    if (w.isClose(WeylCoords{kQuarterPi, 0.0, 0.0}, tol)) {
+        return 1;
+    }
+    // Two CNOTs cover exactly the c == 0 face of the chamber.
+    if (std::abs(w.c) <= tol) {
+        return 2;
+    }
+    return 3;
+}
+
+int
+sqiswapCount(const WeylCoords &w, double tol)
+{
+    if (isIdentityClass(w, tol)) {
+        return 0;
+    }
+    if (w.isClose(WeylCoords{kEighthPi, kEighthPi, 0.0}, tol)) {
+        return 1;
+    }
+    // Huang et al. W region: reachable with two sqrt(iSWAP) iff
+    // a >= b + |c|.
+    if (w.a + tol >= w.b + std::abs(w.c)) {
+        return 2;
+    }
+    return 3;
+}
+
+int
+iswapCount(const WeylCoords &w, double tol)
+{
+    if (isIdentityClass(w, tol)) {
+        return 0;
+    }
+    if (w.isClose(WeylCoords{kQuarterPi, kQuarterPi, 0.0}, tol)) {
+        return 1;
+    }
+    if (std::abs(w.c) <= tol) {
+        return 2;
+    }
+    return 3;
+}
+
+int
+sycamoreCount(const WeylCoords &w, bool optimistic, double tol)
+{
+    if (isIdentityClass(w, tol)) {
+        return 0;
+    }
+    static const WeylCoords syc_class =
+        weylCoordinates(gates::sycamore().matrix());
+    if (w.isClose(syc_class, tol)) {
+        return 1;
+    }
+    return optimistic ? 3 : 4;
+}
+
+int
+basisCount(const BasisSpec &basis, const WeylCoords &w)
+{
+    switch (basis.kind) {
+      case BasisKind::CNOT:
+        return cnotCount(w);
+      case BasisKind::SqISwap:
+        return sqiswapCount(w);
+      case BasisKind::ISwap:
+        return iswapCount(w);
+      case BasisKind::Sycamore:
+        return sycamoreCount(w, basis.optimistic_syc);
+    }
+    SNAIL_ASSERT(false, "unhandled basis kind");
+    return 0;
+}
+
+double
+basisDuration(const BasisSpec &basis, const WeylCoords &w)
+{
+    return static_cast<double>(basisCount(basis, w)) *
+           basis.pulseDuration();
+}
+
+double
+haarFractionWithin(const BasisSpec &basis, int k, int samples,
+                   unsigned long long seed)
+{
+    SNAIL_REQUIRE(samples > 0, "haarFractionWithin needs samples > 0");
+    Rng rng(seed);
+    int hits = 0;
+    for (int s = 0; s < samples; ++s) {
+        const Matrix u = haarUnitary(4, rng);
+        if (basisCount(basis, weylCoordinates(u)) <= k) {
+            ++hits;
+        }
+    }
+    return static_cast<double>(hits) / static_cast<double>(samples);
+}
+
+} // namespace snail

@@ -1,0 +1,280 @@
+#include "weyl/coordinates.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "weyl/magic.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+constexpr double kPi = M_PI;
+constexpr double kHalfPi = M_PI / 2.0;
+constexpr double kQuarterPi = M_PI / 4.0;
+
+/** Reduce x into [0, pi/2). */
+double
+modHalfPi(double x)
+{
+    double r = std::fmod(x, kHalfPi);
+    if (r < 0.0) {
+        r += kHalfPi;
+    }
+    // Snap values that are numerically pi/2 back to 0.
+    if (kHalfPi - r < 1e-12) {
+        r = 0.0;
+    }
+    return r;
+}
+
+/** Solve the 4x4 linear system m x = rhs by Gaussian elimination. */
+std::array<double, 4>
+solve4(std::array<std::array<double, 4>, 4> m, std::array<double, 4> rhs)
+{
+    for (int col = 0; col < 4; ++col) {
+        int pivot = col;
+        for (int r = col + 1; r < 4; ++r) {
+            if (std::abs(m[r][col]) > std::abs(m[pivot][col])) {
+                pivot = r;
+            }
+        }
+        SNAIL_ASSERT(std::abs(m[pivot][col]) > 1e-12,
+                     "singular system in Weyl coordinate solve");
+        std::swap(m[col], m[pivot]);
+        std::swap(rhs[col], rhs[pivot]);
+        for (int r = 0; r < 4; ++r) {
+            if (r == col) {
+                continue;
+            }
+            const double f = m[r][col] / m[col][col];
+            for (int c = col; c < 4; ++c) {
+                m[r][c] -= f * m[col][c];
+            }
+            rhs[r] -= f * rhs[col];
+        }
+    }
+    std::array<double, 4> x;
+    for (int i = 0; i < 4; ++i) {
+        x[i] = rhs[i] / m[i][i];
+    }
+    return x;
+}
+
+} // namespace
+
+double
+WeylCoords::distance(const WeylCoords &other) const
+{
+    return std::max({std::abs(a - other.a), std::abs(b - other.b),
+                     std::abs(c - other.c)});
+}
+
+bool
+WeylCoords::isClose(const WeylCoords &other, double tol) const
+{
+    return distance(other) <= tol;
+}
+
+MagicDecomposition
+magicDecompose(const Matrix &u)
+{
+    SNAIL_REQUIRE(u.rows() == 4 && u.cols() == 4,
+                  "magicDecompose needs a 4x4 matrix");
+    SNAIL_REQUIRE(u.isUnitary(1e-7), "magicDecompose needs a unitary");
+
+    // Land in SU(4), remembering the removed phase.
+    const Complex det = u.determinant();
+    const double det_phase = std::arg(det) / 4.0;
+    const Matrix u_su = u * std::polar(1.0, -det_phase);
+
+    const Matrix up = toMagicBasis(u_su);
+    const Matrix m2 = up.transpose() * up;
+
+    // M2 is complex symmetric unitary: its real and imaginary parts are
+    // commuting real symmetric matrices.
+    RealMatrix re(4);
+    RealMatrix im(4);
+    for (std::size_t i = 0; i < 4; ++i) {
+        for (std::size_t j = 0; j < 4; ++j) {
+            re(i, j) = m2(i, j).real();
+            im(i, j) = m2(i, j).imag();
+        }
+    }
+    const RealMatrix p = jointDiagonalize(re, im);
+
+    // Eigenphases: lambda_j = exp(2 i theta_j).
+    const RealMatrix dre = p.transpose() * re * p;
+    const RealMatrix dim = p.transpose() * im * p;
+    std::array<double, 4> theta;
+    for (std::size_t j = 0; j < 4; ++j) {
+        const Complex lambda(dre(j, j), dim(j, j));
+        SNAIL_ASSERT(std::abs(std::abs(lambda) - 1.0) < 1e-7,
+                     "eigenvalue of M2 must be unimodular");
+        theta[j] = 0.5 * std::arg(lambda);
+    }
+
+    // Fix square-root branches so sum(theta) == 0 (det of the canonical
+    // diagonal must be 1).  Each branch flip subtracts pi from one theta.
+    double sum = theta[0] + theta[1] + theta[2] + theta[3];
+    int flips = static_cast<int>(std::llround(sum / kPi));
+    // Flip the largest angles first to keep values small.
+    std::array<int, 4> order = {0, 1, 2, 3};
+    std::sort(order.begin(), order.end(),
+              [&](int x, int y) { return theta[x] > theta[y]; });
+    for (int f = 0; f < flips; ++f) {
+        theta[order[static_cast<std::size_t>(f % 4)]] -= kPi;
+    }
+    for (int f = 0; f > flips; --f) {
+        theta[order[static_cast<std::size_t>(3 + f % 4)]] += kPi;
+    }
+    sum = theta[0] + theta[1] + theta[2] + theta[3];
+    SNAIL_ASSERT(std::abs(sum) < 1e-6,
+                 "theta branch fixing failed, residual sum " << sum);
+
+    // Up = O1 * Delta * O2 with O2 = P^T, Delta = diag(e^{i theta}).
+    Matrix delta_inv(4, 4);
+    for (std::size_t j = 0; j < 4; ++j) {
+        delta_inv(j, j) = std::polar(1.0, -theta[j]);
+    }
+    const Matrix pc = realToComplex(p);
+    const Matrix o2 = pc.transpose();
+    const Matrix o1 = up * pc * delta_inv;
+    SNAIL_ASSERT(o1.isReal(1e-6),
+                 "O1 must be real orthogonal (residual imag "
+                     << o1.maxAbs() << ")");
+
+    // Solve theta_j = t + a x_j + b y_j + c z_j for (t, a, b, c).
+    const MagicDiagonals &d = magicDiagonals();
+    std::array<std::array<double, 4>, 4> sys;
+    for (int j = 0; j < 4; ++j) {
+        sys[static_cast<std::size_t>(j)] = {1.0, d.xx[static_cast<std::size_t>(j)],
+                                            d.yy[static_cast<std::size_t>(j)],
+                                            d.zz[static_cast<std::size_t>(j)]};
+    }
+    const std::array<double, 4> sol = solve4(sys, theta);
+
+    MagicDecomposition out;
+    out.phase = sol[0] + det_phase;
+    out.a_rep = sol[1];
+    out.b_rep = sol[2];
+    out.c_rep = sol[3];
+    out.k1 = fromMagicBasis(o1);
+    out.k2 = fromMagicBasis(o2);
+    return out;
+}
+
+WeylCoords
+canonicalize(double a, double b, double c)
+{
+    // Enumerate the finite orbit of (a, b, c) under the Weyl group:
+    //  - even sign flips (flipping two coordinates is a local operation),
+    //  - shifts by pi/2 on any single coordinate,
+    //  - coordinate permutations,
+    // and keep the representative inside pi/4 >= a >= b >= |c|.
+    static const std::array<std::array<double, 3>, 4> kSigns = {{
+        {+1.0, +1.0, +1.0},
+        {+1.0, -1.0, -1.0},
+        {-1.0, +1.0, -1.0},
+        {-1.0, -1.0, +1.0},
+    }};
+
+    WeylCoords best;
+    bool found = false;
+    auto consider = [&](double x, double y, double z) {
+        // Sort descending by value; the negative candidate (if any) has
+        // magnitude below pi/4 and lands last.
+        std::array<double, 3> v = {x, y, z};
+        std::sort(v.begin(), v.end(), std::greater<double>());
+        const double eps = 1e-9;
+        if (v[0] > kQuarterPi + eps) {
+            return;
+        }
+        if (v[2] < -kQuarterPi - eps) {
+            return;
+        }
+        if (v[1] < std::abs(v[2]) - eps) {
+            return;
+        }
+        if (v[1] < -eps) {
+            return;
+        }
+        const WeylCoords cand{v[0], v[1], v[2]};
+        if (!found) {
+            best = cand;
+            found = true;
+            return;
+        }
+        // Prefer the non-negative-c representative on chamber boundaries.
+        const auto key = [](const WeylCoords &w) {
+            return std::array<double, 3>{w.a, w.b, w.c};
+        };
+        if (key(cand) > key(best)) {
+            best = cand;
+        }
+    };
+
+    for (const auto &sign : kSigns) {
+        const double x = modHalfPi(sign[0] * a);
+        const double y = modHalfPi(sign[1] * b);
+        const double z = modHalfPi(sign[2] * c);
+        // Each coordinate may additionally be shifted down by pi/2 to a
+        // negative value of smaller magnitude.
+        const std::array<double, 2> xs = {x, x - kHalfPi};
+        const std::array<double, 2> ys = {y, y - kHalfPi};
+        const std::array<double, 2> zs = {z, z - kHalfPi};
+        for (double xv : xs) {
+            for (double yv : ys) {
+                for (double zv : zs) {
+                    consider(xv, yv, zv);
+                }
+            }
+        }
+    }
+    SNAIL_ASSERT(found, "no canonical Weyl representative found for ("
+                            << a << ", " << b << ", " << c << ")");
+
+    // Snap numerically tiny values for stable class comparisons.
+    auto snap = [](double v) {
+        if (std::abs(v) < 1e-11) {
+            return 0.0;
+        }
+        if (std::abs(v - kQuarterPi) < 1e-11) {
+            return kQuarterPi;
+        }
+        if (std::abs(v + kQuarterPi) < 1e-11) {
+            return -kQuarterPi;
+        }
+        return v;
+    };
+    best.a = snap(best.a);
+    best.b = snap(best.b);
+    best.c = snap(best.c);
+    return best;
+}
+
+WeylCoords
+weylCoordinates(const Matrix &u)
+{
+    const MagicDecomposition d = magicDecompose(u);
+    return canonicalize(d.a_rep, d.b_rep, d.c_rep);
+}
+
+WeylCoords
+weylCoordinates(const Gate &gate)
+{
+    SNAIL_REQUIRE(gate.isTwoQubit(),
+                  "Weyl coordinates are defined for 2Q gates only");
+    return weylCoordinates(gate.matrix());
+}
+
+bool
+locallyEquivalent(const Matrix &u, const Matrix &v, double tol)
+{
+    return weylCoordinates(u).isClose(weylCoordinates(v), tol);
+}
+
+} // namespace snail

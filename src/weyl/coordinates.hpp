@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Weyl-chamber coordinates of two-qubit unitaries.
+ *
+ * Every 2Q unitary U factors (Cartan/KAK) as
+ *     U = e^{i t} (K1) exp(i (a XX + b YY + c ZZ)) (K2)
+ * with K1, K2 in SU(2) (x) SU(2).  The triple (a, b, c), canonicalized
+ * into the Weyl chamber pi/4 >= a >= b >= |c|, labels the local-equivalence
+ * class of U and determines how many uses of a given basis gate are needed
+ * to implement it — the quantity the paper's evaluation counts.
+ *
+ * Reference points (this normalization):
+ *   identity (0,0,0)          CNOT/CZ (pi/4, 0, 0)
+ *   iSWAP (pi/4, pi/4, 0)     SWAP (pi/4, pi/4, pi/4)
+ *   n-root-iSWAP (pi/4n, pi/4n, 0)   B gate (pi/4, pi/8, 0)
+ */
+
+#ifndef SNAILQC_WEYL_COORDINATES_HPP
+#define SNAILQC_WEYL_COORDINATES_HPP
+
+#include <array>
+
+#include "gates/gate.hpp"
+#include "linalg/matrix.hpp"
+
+namespace snail
+{
+
+/** Canonical Weyl-chamber coordinates. */
+struct WeylCoords
+{
+    double a = 0.0;
+    double b = 0.0;
+    double c = 0.0;
+
+    /** Largest coordinate-wise distance to another triple. */
+    double distance(const WeylCoords &other) const;
+
+    /** True when within tol of another triple. */
+    bool isClose(const WeylCoords &other, double tol = 1e-8) const;
+};
+
+/**
+ * Raw magic-basis (Cartan) decomposition of a 4x4 unitary:
+ *   U = e^{i phase} K1 * CAN(a_rep, b_rep, c_rep) * K2
+ * where K1/K2 are local (tensor-product) unitaries and (a_rep, b_rep,
+ * c_rep) is a not-necessarily-canonical representative of the class.
+ */
+struct MagicDecomposition
+{
+    Matrix k1;             //!< local factor applied last (4x4 tensor product)
+    Matrix k2;             //!< local factor applied first
+    double a_rep;          //!< canonical-interaction representative
+    double b_rep;
+    double c_rep;
+    double phase;          //!< global phase t
+};
+
+/** Compute the raw Cartan decomposition. @pre u is a 4x4 unitary. */
+MagicDecomposition magicDecompose(const Matrix &u);
+
+/** Canonical Weyl coordinates of a 4x4 unitary. */
+WeylCoords weylCoordinates(const Matrix &u);
+
+/** Canonical Weyl coordinates of a 2Q gate. */
+WeylCoords weylCoordinates(const Gate &gate);
+
+/**
+ * Canonicalize any coordinate representative into the Weyl chamber
+ * pi/4 >= a >= b >= |c| (c may be negative for mirror classes; the +c
+ * representative is chosen on the a = pi/4 boundary where both signs are
+ * equivalent).
+ */
+WeylCoords canonicalize(double a, double b, double c);
+
+/** True when the two unitaries are locally equivalent (same class). */
+bool locallyEquivalent(const Matrix &u, const Matrix &v, double tol = 1e-7);
+
+} // namespace snail
+
+#endif // SNAILQC_WEYL_COORDINATES_HPP

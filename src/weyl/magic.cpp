@@ -1,0 +1,81 @@
+#include "weyl/magic.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "gates/gate.hpp"
+
+namespace snail
+{
+
+const Matrix &
+magicBasis()
+{
+    static const Matrix m = [] {
+        const double r = 1.0 / std::sqrt(2.0);
+        const Complex i1(0.0, 1.0);
+        Matrix out{{r, 0, 0, r * i1},
+                   {0, r * i1, r, 0},
+                   {0, r * i1, -r, 0},
+                   {r, 0, 0, -r * i1}};
+        SNAIL_ASSERT(out.isUnitary(1e-12), "magic basis must be unitary");
+        return out;
+    }();
+    return m;
+}
+
+Matrix
+toMagicBasis(const Matrix &u)
+{
+    return magicBasis().dagger() * u * magicBasis();
+}
+
+Matrix
+fromMagicBasis(const Matrix &u)
+{
+    return magicBasis() * u * magicBasis().dagger();
+}
+
+const MagicDiagonals &
+magicDiagonals()
+{
+    static const MagicDiagonals diag = [] {
+        MagicDiagonals out;
+        const Matrix x = gates::x().matrix();
+        const Matrix y = gates::y().matrix();
+        const Matrix z = gates::z().matrix();
+        const Matrix pairs[3] = {kron(x, x), kron(y, y), kron(z, z)};
+        std::array<double, 4> *slots[3] = {&out.xx, &out.yy, &out.zz};
+        for (int p = 0; p < 3; ++p) {
+            const Matrix d = toMagicBasis(pairs[p]);
+            for (std::size_t i = 0; i < 4; ++i) {
+                for (std::size_t j = 0; j < 4; ++j) {
+                    if (i != j) {
+                        SNAIL_ASSERT(std::abs(d(i, j)) < 1e-12,
+                                     "XX/YY/ZZ must be diagonal in the "
+                                     "magic basis");
+                    }
+                }
+                SNAIL_ASSERT(std::abs(d(i, i).imag()) < 1e-12,
+                             "magic diagonal must be real");
+                (*slots[p])[i] = d(i, i).real();
+            }
+        }
+        return out;
+    }();
+    return diag;
+}
+
+Matrix
+realToComplex(const RealMatrix &m)
+{
+    Matrix out(m.size(), m.size());
+    for (std::size_t i = 0; i < m.size(); ++i) {
+        for (std::size_t j = 0; j < m.size(); ++j) {
+            out(i, j) = Complex(m(i, j), 0.0);
+        }
+    }
+    return out;
+}
+
+} // namespace snail

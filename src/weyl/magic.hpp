@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The magic (Bell-phase) basis.
+ *
+ * Conjugating by the magic basis matrix M sends SU(2) (x) SU(2) to SO(4)
+ * and diagonalizes the canonical interactions XX, YY, ZZ.  Everything in
+ * the Weyl-chamber machinery is built on these two facts.
+ */
+
+#ifndef SNAILQC_WEYL_MAGIC_HPP
+#define SNAILQC_WEYL_MAGIC_HPP
+
+#include <array>
+
+#include "linalg/eigen.hpp"
+#include "linalg/matrix.hpp"
+
+namespace snail
+{
+
+/** The magic basis matrix M (unitary). */
+const Matrix &magicBasis();
+
+/** M^dagger u M. */
+Matrix toMagicBasis(const Matrix &u);
+
+/** M u M^dagger. */
+Matrix fromMagicBasis(const Matrix &u);
+
+/**
+ * Diagonal of M^dagger (P (x) P) M for P in {XX, YY, ZZ}; each entry is
+ * +-1.  Used to convert magic-basis eigenphases into canonical (a, b, c)
+ * coordinates.
+ */
+struct MagicDiagonals
+{
+    std::array<double, 4> xx;
+    std::array<double, 4> yy;
+    std::array<double, 4> zz;
+};
+
+/** The cached XX/YY/ZZ magic-basis diagonals. */
+const MagicDiagonals &magicDiagonals();
+
+/** Convert a real orthogonal 4x4 to a complex Matrix. */
+Matrix realToComplex(const RealMatrix &m);
+
+} // namespace snail
+
+#endif // SNAILQC_WEYL_MAGIC_HPP

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests for the benchmark generators: structural gate counts,
+ * functional correctness by simulation (QFT, GHZ, adder), determinism,
+ * and registry behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/circuits.hpp"
+#include "circuits/registry.hpp"
+#include "common/error.hpp"
+#include "sim/statevector.hpp"
+
+namespace snail
+{
+namespace
+{
+
+TEST(QuantumVolume, LayerAndGateCounts)
+{
+    const Circuit c = quantumVolume(6, 6, 3);
+    // 6 layers x 3 pairs of SU(4) blocks.
+    EXPECT_EQ(c.countTwoQubit(), 18u);
+    EXPECT_EQ(c.countKind(GateKind::Unitary4), 18u);
+}
+
+TEST(QuantumVolume, OddWidthLeavesOneIdlePerLayer)
+{
+    const Circuit c = quantumVolume(5, 5, 3);
+    EXPECT_EQ(c.countTwoQubit(), 10u); // floor(5/2) = 2 pairs x 5 layers
+}
+
+TEST(QuantumVolume, DeterministicBySeed)
+{
+    const Circuit a = quantumVolume(4, 4, 9);
+    const Circuit b = quantumVolume(4, 4, 9);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.instructions()[i].qubits(), b.instructions()[i].qubits());
+    }
+}
+
+TEST(Qft, GateCounts)
+{
+    const int n = 6;
+    const Circuit c = qft(n);
+    EXPECT_EQ(c.countKind(GateKind::H), static_cast<std::size_t>(n));
+    EXPECT_EQ(c.countKind(GateKind::CPhase),
+              static_cast<std::size_t>(n * (n - 1) / 2));
+    EXPECT_EQ(c.countKind(GateKind::Swap), static_cast<std::size_t>(n / 2));
+}
+
+TEST(Qft, TransformsBasisStateToFourierAmplitudes)
+{
+    // QFT|0> = uniform superposition with zero phases.
+    const int n = 4;
+    Statevector sv(n);
+    sv.run(qft(n));
+    const double expected = 1.0 / std::sqrt(16.0);
+    for (const auto &amp : sv.amplitudes()) {
+        EXPECT_NEAR(std::abs(amp), expected, 1e-10);
+        EXPECT_NEAR(amp.imag(), 0.0, 1e-10);
+    }
+
+    // QFT|1> has amplitudes exp(2 pi i k / 16) / 4 (with our bit order,
+    // |1> = q0 set, the least significant bit of the transform input).
+    Statevector sv1(n, 1);
+    sv1.run(qft(n));
+    for (std::size_t k = 0; k < 16; ++k) {
+        const Complex expect =
+            std::polar(0.25, 2.0 * M_PI * static_cast<double>(k) / 16.0);
+        EXPECT_NEAR(std::abs(sv1.amplitudes()[k] - expect), 0.0, 1e-9)
+            << "k = " << k;
+    }
+}
+
+TEST(Qaoa, StructureMatchesSkModel)
+{
+    const int n = 6;
+    const Circuit c = qaoaVanilla(n, 3);
+    EXPECT_EQ(c.countKind(GateKind::RZZ),
+              static_cast<std::size_t>(n * (n - 1) / 2));
+    EXPECT_EQ(c.countKind(GateKind::H), static_cast<std::size_t>(n));
+    EXPECT_EQ(c.countKind(GateKind::RX), static_cast<std::size_t>(n));
+}
+
+TEST(Tim, ChainStructure)
+{
+    const int n = 8;
+    const Circuit c = timHamiltonian(n, 2);
+    EXPECT_EQ(c.countKind(GateKind::RZZ),
+              static_cast<std::size_t>(2 * (n - 1)));
+    // Every ZZ acts on chain neighbors.
+    for (const auto &op : c.instructions()) {
+        if (op.gate().kind() == GateKind::RZZ) {
+            EXPECT_EQ(std::abs(op.q0() - op.q1()), 1);
+        }
+    }
+}
+
+TEST(Adder, AddsCorrectly)
+{
+    // 8 qubits: m = 3 bits per register.  Build the adder without random
+    // preparation by driving the registers ourselves.
+    const int n = 8;
+    const int m = 3;
+    for (int a_val : {0, 3, 5}) {
+        for (int b_val : {0, 2, 7}) {
+            Circuit c(n, "adder-test");
+            for (int i = 0; i < m; ++i) {
+                if ((a_val >> i) & 1) {
+                    c.x(1 + i);
+                }
+                if ((b_val >> i) & 1) {
+                    c.x(1 + m + i);
+                }
+            }
+            // Splice in the adder body (seed irrelevant: skip its random
+            // preparation by building on a fresh circuit and dropping X
+            // gates up front).
+            const Circuit full = cdkmAdder(n, 1);
+            bool past_prep = false;
+            for (const auto &op : full.instructions()) {
+                if (!past_prep && op.gate().kind() == GateKind::X) {
+                    continue; // skip the random input preparation
+                }
+                past_prep = true;
+                c.append(op);
+            }
+            Statevector sv(n);
+            sv.run(c);
+            // Find the dominant basis state.
+            std::size_t best = 0;
+            double best_mag = 0.0;
+            for (std::size_t i = 0; i < sv.amplitudes().size(); ++i) {
+                if (std::abs(sv.amplitudes()[i]) > best_mag) {
+                    best_mag = std::abs(sv.amplitudes()[i]);
+                    best = i;
+                }
+            }
+            EXPECT_NEAR(best_mag, 1.0, 1e-9);
+            // CDKM: b <- a + b, a unchanged, cout = carry.
+            const int a_out = static_cast<int>((best >> 1) & 0x7);
+            const int b_out = static_cast<int>((best >> 4) & 0x7);
+            const int cout = static_cast<int>((best >> 7) & 0x1);
+            EXPECT_EQ(a_out, a_val);
+            EXPECT_EQ(b_out, (a_val + b_val) & 0x7);
+            EXPECT_EQ(cout, (a_val + b_val) >> 3);
+        }
+    }
+}
+
+TEST(Ghz, PreparesGhzState)
+{
+    const int n = 5;
+    Statevector sv(n);
+    sv.run(ghz(n));
+    const double r = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(std::abs(sv.amplitudes()[0]), r, 1e-10);
+    EXPECT_NEAR(std::abs(sv.amplitudes()[(1u << n) - 1]), r, 1e-10);
+    double other = 0.0;
+    for (std::size_t i = 1; i + 1 < sv.amplitudes().size(); ++i) {
+        other += std::norm(sv.amplitudes()[i]);
+    }
+    EXPECT_NEAR(other, 0.0, 1e-12);
+}
+
+TEST(Registry, NamesRoundTrip)
+{
+    for (BenchmarkKind kind : allBenchmarks()) {
+        const Circuit c = makeBenchmark(benchmarkName(kind), 6, 3);
+        EXPECT_EQ(c.numQubits(), 6);
+        EXPECT_GT(c.size(), 0u);
+    }
+    EXPECT_THROW(makeBenchmark("nope", 6), SnailError);
+}
+
+TEST(Registry, WidthSweepsScale)
+{
+    // Every benchmark must scale its 2Q count with width.
+    for (BenchmarkKind kind : allBenchmarks()) {
+        const std::size_t small = makeBenchmark(kind, 6, 3).countTwoQubit();
+        const std::size_t large = makeBenchmark(kind, 12, 3).countTwoQubit();
+        EXPECT_GT(large, small) << benchmarkName(kind);
+    }
+}
+
+} // namespace
+} // namespace snail

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Integration tests for the co-design layer: backends, sweep plumbing,
+ * and small-scale versions of the paper's comparative results — richer
+ * SNAIL topologies beat Heavy-Hex on SWAPs, and the sqrt(iSWAP) basis
+ * beats CNOT on pulse duration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "codesign/backend.hpp"
+#include "codesign/experiment.hpp"
+#include "codesign/paper.hpp"
+#include "common/error.hpp"
+
+namespace snail
+{
+namespace
+{
+
+SweepOptions
+quickOptions(std::vector<int> widths)
+{
+    SweepOptions opts;
+    opts.widths = std::move(widths);
+    opts.stochastic_trials = 6;
+    opts.seed = 1234;
+    return opts;
+}
+
+TEST(Backend, MakeBackendNames)
+{
+    const Backend b = makeBackend("tree-20", BasisKind::SqISwap);
+    EXPECT_EQ(b.name, "tree-20-sqiswap");
+    EXPECT_EQ(b.topology.numQubits(), 20);
+    EXPECT_EQ(b.basis.kind, BasisKind::SqISwap);
+    EXPECT_THROW(makeBackend("bogus", BasisKind::CNOT), SnailError);
+}
+
+TEST(Backend, PaperBackendSets)
+{
+    EXPECT_EQ(fig13Backends().size(), 6u);
+    EXPECT_EQ(fig14Backends().size(), 5u);
+    for (const Backend &b : fig14Backends()) {
+        EXPECT_EQ(b.topology.numQubits(), 84) << b.name;
+    }
+}
+
+TEST(Sweep, SkipsWidthsBeyondTopology)
+{
+    const auto series = swapSweep({BenchmarkKind::Ghz},
+                                  {"square-16", "tree-20"},
+                                  quickOptions({8, 20}));
+    ASSERT_EQ(series.size(), 2u);
+    // square-16 cannot host width 20.
+    EXPECT_EQ(series[0].points.size(), 1u);
+    EXPECT_EQ(series[1].points.size(), 2u);
+}
+
+TEST(Sweep, MetricsPopulated)
+{
+    const auto series = swapSweep({BenchmarkKind::Qft}, {"square-16"},
+                                  quickOptions({8}));
+    ASSERT_EQ(series.size(), 1u);
+    ASSERT_EQ(series[0].points.size(), 1u);
+    const TranspileMetrics &m = series[0].points[0].metrics;
+    EXPECT_GT(m.ops_2q_pre, 0u);
+    EXPECT_GE(m.swaps_total, 1u); // QFT-8 on a 4x4 grid must route
+}
+
+TEST(Sweep, RicherTopologyNeedsFewerSwapsThanHeavyHex)
+{
+    // Small-scale Fig. 11/12 shape: hypercube and corral beat heavy-hex.
+    const auto series = swapSweep(
+        {BenchmarkKind::QuantumVolume},
+        {"heavy-hex-20", "hypercube-16", "corral11-16"},
+        quickOptions({12}));
+    ASSERT_EQ(series.size(), 3u);
+    const double hh = metricSwapsTotal(series[0].points[0].metrics);
+    const double hc = metricSwapsTotal(series[1].points[0].metrics);
+    const double co = metricSwapsTotal(series[2].points[0].metrics);
+    EXPECT_LT(hc, hh);
+    EXPECT_LT(co, hh);
+}
+
+TEST(Sweep, SqiswapDurationBeatsCnotOnSameTopology)
+{
+    // Same topology, different modulator: the sqrt(iSWAP) half-pulse
+    // should cut the critical-path duration roughly in half.
+    const Backend cx = makeBackend("hypercube-16", BasisKind::CNOT);
+    const Backend sq = makeBackend("hypercube-16", BasisKind::SqISwap);
+    const auto series = codesignSweep({BenchmarkKind::QuantumVolume},
+                                      {cx, sq}, quickOptions({12}));
+    ASSERT_EQ(series.size(), 2u);
+    const double dur_cx =
+        metricDurationCritical(series[0].points[0].metrics);
+    const double dur_sq =
+        metricDurationCritical(series[1].points[0].metrics);
+    EXPECT_LT(dur_sq, dur_cx);
+}
+
+TEST(Sweep, SycamorePaysGateCountPenalty)
+{
+    // Observation 1: the 4-SYC generic decomposition inflates 2Q totals
+    // over CNOT's 3 on the same topology.
+    const Backend cx = makeBackend("square-16", BasisKind::CNOT);
+    const Backend syc = makeBackend("square-16", BasisKind::Sycamore);
+    const auto series = codesignSweep({BenchmarkKind::QuantumVolume},
+                                      {cx, syc}, quickOptions({10}));
+    const double cx_total = metricBasis2qTotal(series[0].points[0].metrics);
+    const double syc_total = metricBasis2qTotal(series[1].points[0].metrics);
+    EXPECT_GT(syc_total, cx_total);
+}
+
+TEST(Sweep, TablePrintingIncludesAllMachines)
+{
+    const auto series = swapSweep({BenchmarkKind::Ghz},
+                                  {"square-16", "hypercube-16"},
+                                  quickOptions({6, 10}));
+    std::ostringstream oss;
+    printSeriesTables(oss, series, metricSwapsTotal, "Total SWAPs");
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("square-16"), std::string::npos);
+    EXPECT_NE(out.find("hypercube-16"), std::string::npos);
+    EXPECT_NE(out.find("GHZ"), std::string::npos);
+    EXPECT_NE(out.find("Total SWAPs"), std::string::npos);
+}
+
+TEST(Headline, HypercubeBeatsHeavyHexAtModerateScale)
+{
+    // Scaled-down version of the abstract's QV study (widths kept small
+    // so the test stays fast); all four advantage ratios must exceed 1.
+    const Backend heavy_hex = makeBackend("heavy-hex-84", BasisKind::CNOT);
+    const Backend hypercube =
+        makeBackend("hypercube-84", BasisKind::SqISwap);
+    SweepOptions opts = quickOptions({});
+    const HeadlineRatios r =
+        headlineRatios(heavy_hex, hypercube, {16, 24}, opts);
+    EXPECT_GT(r.swaps_total, 1.0);
+    EXPECT_GT(r.swaps_critical, 1.0);
+    EXPECT_GT(r.basis_2q_total, 1.0);
+    EXPECT_GT(r.duration_critical, 1.0);
+    // Duration advantage should outpace the gate-count advantage (the
+    // half-pulse effect).
+    EXPECT_GT(r.duration_critical, r.basis_2q_total);
+}
+
+} // namespace
+} // namespace snail

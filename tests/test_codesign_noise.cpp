@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the codesign noise bridge (basis counts -> per-op noise).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "circuits/circuits.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "fidelity/codesign_noise.hpp"
+#include "topology/registry.hpp"
+#include "transpiler/pipeline.hpp"
+
+namespace snail
+{
+namespace
+{
+
+TEST(CodesignNoise, OneQubitGatesAreFreeByDefault)
+{
+    Circuit c(2);
+    c.h(0);
+    c.cx(0, 1);
+    c.rz(0.3, 1);
+    const auto per_op =
+        basisPerOpNoise(c, BasisSpec{BasisKind::CNOT}, 0.01);
+    ASSERT_EQ(per_op.size(), 3u);
+    EXPECT_DOUBLE_EQ(per_op[0].p_error, 0.0);
+    EXPECT_DOUBLE_EQ(per_op[2].p_error, 0.0);
+    // A CX in the CNOT basis is one pulse.
+    EXPECT_NEAR(per_op[1].p_error, 0.01, 1e-12);
+    EXPECT_DOUBLE_EQ(per_op[1].duration, 1.0);
+}
+
+TEST(CodesignNoise, CountsCompoundErrorProbability)
+{
+    // A SWAP needs 3 CNOT pulses: p = 1 - (1-p0)^3.
+    Circuit c(2);
+    c.swap(0, 1);
+    const double p0 = 0.02;
+    const auto per_op = basisPerOpNoise(c, BasisSpec{BasisKind::CNOT}, p0);
+    EXPECT_NEAR(per_op[0].p_error, 1.0 - std::pow(1.0 - p0, 3), 1e-12);
+    EXPECT_DOUBLE_EQ(per_op[0].duration, 3.0);
+}
+
+TEST(CodesignNoise, SqiswapHalvesDurations)
+{
+    Circuit c(2);
+    c.swap(0, 1); // 3 pulses in either basis
+    const auto cnot =
+        basisPerOpNoise(c, BasisSpec{BasisKind::CNOT}, 0.01);
+    const auto snail =
+        basisPerOpNoise(c, BasisSpec{BasisKind::SqISwap}, 0.01);
+    EXPECT_DOUBLE_EQ(cnot[0].duration, 3.0);
+    EXPECT_DOUBLE_EQ(snail[0].duration, 1.5); // 3 pulses x 1/2 unit
+}
+
+TEST(CodesignNoise, OneQubitErrorsOptIn)
+{
+    Circuit c(1);
+    c.h(0);
+    const auto per_op = basisPerOpNoise(c, BasisSpec{BasisKind::CNOT},
+                                        0.01, 0.002);
+    EXPECT_DOUBLE_EQ(per_op[0].p_error, 0.002);
+}
+
+TEST(CodesignNoise, RejectsBadPulseError)
+{
+    Circuit c(2);
+    c.cx(0, 1);
+    EXPECT_THROW(basisPerOpNoise(c, BasisSpec{BasisKind::CNOT}, 1.0),
+                 SnailError);
+    EXPECT_THROW(basisPerOpNoise(c, BasisSpec{BasisKind::CNOT}, -0.1),
+                 SnailError);
+}
+
+TEST(CodesignNoise, EstimateOrdersCoDesignsLikeSurrogates)
+{
+    // At matched pulse error, the design with fewer/shorter pulses
+    // must win the simulated fidelity (statistically).
+    const Circuit workload = quantumVolume(6, 6, 5);
+    const double pulse_error = 0.01;
+
+    auto fidelity_on = [&](const char *topo, BasisKind basis) {
+        const CouplingGraph device = namedTopology(topo);
+        TranspileOptions opts;
+        opts.basis = BasisSpec{basis};
+        opts.seed = 3;
+        const TranspileResult r = transpile(workload, device, opts);
+        Rng rng(99);
+        return codesignNoiseEstimate(r.routed, opts.basis, pulse_error,
+                                     0.0, 80, rng);
+    };
+
+    // 16-qubit devices keep the statevectors cheap.
+    const NoiseEstimate lattice = fidelity_on("square-16",
+                                              BasisKind::CNOT);
+    const NoiseEstimate corral = fidelity_on("corral11-16",
+                                             BasisKind::SqISwap);
+    EXPECT_GT(corral.mean_fidelity,
+              lattice.mean_fidelity - 2 * (corral.standard_error +
+                                           lattice.standard_error));
+    EXPECT_GT(corral.no_error_prob, lattice.no_error_prob);
+}
+
+TEST(CodesignNoise, ZeroErrorIsPerfect)
+{
+    const Circuit workload = ghz(5);
+    const CouplingGraph device = namedTopology("corral11-16");
+    TranspileOptions opts;
+    opts.basis = BasisSpec{BasisKind::SqISwap};
+    const TranspileResult r = transpile(workload, device, opts);
+    Rng rng(1);
+    const NoiseEstimate est =
+        codesignNoiseEstimate(r.routed, opts.basis, 0.0, 0.0, 10, rng);
+    EXPECT_NEAR(est.mean_fidelity, 1.0, 1e-10);
+    EXPECT_DOUBLE_EQ(est.no_error_prob, 1.0);
+}
+
+} // namespace
+} // namespace snail

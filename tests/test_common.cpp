@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit tests for the common substrate: RNG determinism and distribution
+ * sanity, statistics accumulators, table rendering, and error machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/statistics.hpp"
+#include "common/table.hpp"
+
+namespace snail
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next(), b.next());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next()) {
+            ++same;
+        }
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        sum += rng.uniform();
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, IndexCoversRangeUniformly)
+{
+    Rng rng(3);
+    std::vector<int> hits(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        ++hits[rng.index(10)];
+    }
+    for (int h : hits) {
+        EXPECT_NEAR(static_cast<double>(h) / n, 0.1, 0.02);
+    }
+}
+
+TEST(Rng, IntRangeInclusive)
+{
+    Rng rng(5);
+    std::set<long> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const long v = rng.intRange(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng rng(13);
+    RunningStats stats;
+    for (int i = 0; i < 200000; ++i) {
+        stats.add(rng.normal());
+    }
+    EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+    EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(17);
+    std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7};
+    rng.shuffle(v);
+    std::set<int> s(v.begin(), v.end());
+    EXPECT_EQ(s.size(), 8u);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng a(99);
+    Rng b = a.split();
+    // The split stream must not just replay the parent.
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next()) {
+            ++same;
+        }
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(RunningStats, BasicMoments)
+{
+    RunningStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+        s.add(v);
+    }
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsSafe)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Statistics, GeometricMean)
+{
+    EXPECT_NEAR(geometricMean({1.0, 4.0, 16.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_THROW(geometricMean({1.0, -1.0}), SnailError);
+}
+
+TEST(Statistics, MedianEvenOdd)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+    EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Table, AlignedOutputContainsCells)
+{
+    TableWriter t({"Topology", "Dia", "AvgC"});
+    t.addRow({"hypercube", "4", "4.00"});
+    t.addRow({"heavy-hex", "8", "2.10"});
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string s = oss.str();
+    EXPECT_NE(s.find("hypercube"), std::string::npos);
+    EXPECT_NE(s.find("2.10"), std::string::npos);
+    EXPECT_NE(s.find("Topology"), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    TableWriter t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_EQ(oss.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowWidthMismatchThrows)
+{
+    TableWriter t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), SnailError);
+}
+
+TEST(Error, RequireThrowsWithMessage)
+{
+    try {
+        SNAIL_REQUIRE(false, "bad thing " << 42);
+        FAIL() << "should have thrown";
+    } catch (const SnailError &e) {
+        EXPECT_NE(std::string(e.what()).find("bad thing 42"),
+                  std::string::npos);
+    }
+}
+
+TEST(Error, AssertThrowsInternalError)
+{
+    EXPECT_THROW(SNAIL_ASSERT(1 == 2, "impossible"), InternalError);
+}
+
+} // namespace
+} // namespace snail

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit tests for the decomposition engines: full KAK with explicit local
+ * factors, NuOp template optimization (Eq. 10/11 of the paper), and
+ * analytic-count basis synthesis verified by simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "decomp/kak.hpp"
+#include "decomp/nuop.hpp"
+#include "decomp/synthesis.hpp"
+#include "linalg/random_unitary.hpp"
+#include "sim/unitary_builder.hpp"
+
+namespace snail
+{
+namespace
+{
+
+TEST(Kak, ReconstructsRandomUnitaries)
+{
+    Rng rng(50);
+    for (int i = 0; i < 20; ++i) {
+        const Matrix u = haarUnitary(4, rng);
+        const KakDecomposition kak = kakDecompose(u);
+        const Matrix rebuilt =
+            (kron(kak.after0, kak.after1) *
+             gates::canonical(kak.a, kak.b, kak.c).matrix() *
+             kron(kak.before0, kak.before1));
+        EXPECT_TRUE(equalUpToGlobalPhase(rebuilt, u, 1e-6))
+            << "iteration " << i;
+    }
+}
+
+TEST(Kak, LocalFactorsAreUnitary)
+{
+    Rng rng(51);
+    const Matrix u = haarUnitary(4, rng);
+    const KakDecomposition kak = kakDecompose(u);
+    EXPECT_TRUE(kak.before0.isUnitary(1e-7));
+    EXPECT_TRUE(kak.before1.isUnitary(1e-7));
+    EXPECT_TRUE(kak.after0.isUnitary(1e-7));
+    EXPECT_TRUE(kak.after1.isUnitary(1e-7));
+}
+
+TEST(Kak, CircuitMatchesUnitary)
+{
+    Rng rng(52);
+    for (int i = 0; i < 10; ++i) {
+        const Matrix u = haarUnitary(4, rng);
+        const Circuit c = kakToCircuit(kakDecompose(u));
+        EXPECT_TRUE(equalUpToGlobalPhase(circuitUnitary(c), u, 1e-6));
+    }
+}
+
+TEST(Kak, CnotHasCnotClassCoordinates)
+{
+    const KakDecomposition kak = kakDecompose(gates::cx().matrix());
+    const WeylCoords w = kak.coordinates();
+    EXPECT_NEAR(w.a, M_PI / 4.0, 1e-8);
+    EXPECT_NEAR(w.b, 0.0, 1e-8);
+    EXPECT_NEAR(w.c, 0.0, 1e-8);
+}
+
+TEST(NuOp, ZeroLayerReproducesLocals)
+{
+    Rng rng(53);
+    const Matrix u = kron(haarUnitary(2, rng), haarUnitary(2, rng));
+    const NuOpResult r = nuopDecompose(u, gates::sqiswap(), 0);
+    EXPECT_LT(r.infidelity, 1e-9);
+}
+
+TEST(NuOp, CnotNeedsTwoSqiswap)
+{
+    // k = 1 cannot represent CNOT; k = 2 is exact (Observation 1).
+    NuOpOptions opts;
+    opts.restarts = 4;
+    const Matrix cx = gates::cx().matrix();
+    const NuOpResult r1 = nuopDecompose(cx, gates::sqiswap(), 1, opts);
+    EXPECT_GT(r1.infidelity, 1e-3);
+    const NuOpResult r2 = nuopDecompose(cx, gates::sqiswap(), 2, opts);
+    EXPECT_LT(r2.infidelity, 1e-8);
+}
+
+TEST(NuOp, SwapNeedsThreeSqiswap)
+{
+    NuOpOptions opts;
+    opts.restarts = 4;
+    const Matrix sw = gates::swapGate().matrix();
+    const NuOpResult r2 = nuopDecompose(sw, gates::sqiswap(), 2, opts);
+    EXPECT_GT(r2.infidelity, 1e-3);
+    const NuOpResult r3 = nuopDecompose(sw, gates::sqiswap(), 3, opts);
+    EXPECT_LT(r3.infidelity, 1e-8);
+}
+
+TEST(NuOp, HaarTargetsConvergeAtAnalyticCount)
+{
+    Rng rng(54);
+    NuOpOptions opts;
+    opts.restarts = 6;
+    for (int i = 0; i < 5; ++i) {
+        const Matrix u = haarUnitary(4, rng);
+        const int k = sqiswapCount(weylCoordinates(u));
+        opts.seed = 1000 + static_cast<unsigned long long>(i);
+        const NuOpResult r = nuopDecompose(u, gates::sqiswap(), k, opts);
+        EXPECT_LT(r.infidelity, 1e-7) << "iteration " << i << " k=" << k;
+    }
+}
+
+TEST(NuOp, CircuitMatchesAchievedUnitary)
+{
+    Rng rng(55);
+    const Matrix u = haarUnitary(4, rng);
+    const int k = sqiswapCount(weylCoordinates(u));
+    const NuOpResult r = nuopDecompose(u, gates::sqiswap(), k);
+    const Circuit c = nuopToCircuit(r, gates::sqiswap());
+    EXPECT_EQ(c.countKind(GateKind::SqISwap), static_cast<std::size_t>(k));
+    const Matrix cu = circuitUnitary(c);
+    // infidelity f allows entrywise deviation ~sqrt(8 f), so compare by
+    // trace fidelity rather than entrywise closeness.
+    EXPECT_GT(traceFidelity(cu, u), 1.0 - 1e-6);
+}
+
+TEST(NuOp, AdaptiveFindsMinimalK)
+{
+    const Matrix cx = gates::cx().matrix();
+    NuOpOptions opts;
+    opts.restarts = 4;
+    const NuOpResult r = nuopDecomposeAdaptive(cx, gates::sqiswap(), 1, 3,
+                                               opts);
+    EXPECT_EQ(r.k, 2);
+    EXPECT_LT(r.infidelity, 1e-8);
+}
+
+TEST(NuOp, FractionalRootTemplateNeedsMoreApplications)
+{
+    // 3rd-root iSWAP: CNOT cannot be reached with 2 applications (total
+    // interaction strength too small) but converges by k = 4.
+    NuOpOptions opts;
+    opts.restarts = 6;
+    const Matrix cx = gates::cx().matrix();
+    const NuOpResult r2 = nuopDecompose(cx, gates::nrootIswap(3.0), 2, opts);
+    EXPECT_GT(r2.infidelity, 1e-3);
+    const NuOpResult r4 = nuopDecompose(cx, gates::nrootIswap(3.0), 4, opts);
+    EXPECT_LT(r4.infidelity, 1e-7);
+}
+
+TEST(Synthesis, LocalTargets)
+{
+    Rng rng(56);
+    const Matrix u = kron(haarUnitary(2, rng), haarUnitary(2, rng));
+    const Circuit c = synthesizeLocal(u);
+    EXPECT_EQ(c.countTwoQubit(), 0u);
+    EXPECT_TRUE(equalUpToGlobalPhase(circuitUnitary(c), u, 1e-7));
+}
+
+TEST(Synthesis, CnotBasisUsesAnalyticCounts)
+{
+    const BasisSpec cx_basis{BasisKind::CNOT};
+    // SWAP: exactly 3 CNOTs.
+    const SynthesisResult sw =
+        synthesizeInBasis(gates::swapGate().matrix(), cx_basis);
+    EXPECT_EQ(sw.basis_uses, 3);
+    EXPECT_GT(traceFidelity(circuitUnitary(sw.circuit),
+                            gates::swapGate().matrix()),
+              1.0 - 1e-6);
+    // CPhase: 2 CNOTs.
+    const SynthesisResult cp =
+        synthesizeInBasis(gates::cphase(0.7).matrix(), cx_basis);
+    EXPECT_EQ(cp.basis_uses, 2);
+    EXPECT_GT(traceFidelity(circuitUnitary(cp.circuit),
+                            gates::cphase(0.7).matrix()),
+              1.0 - 1e-6);
+}
+
+TEST(Synthesis, SqiswapBasisRoundTrip)
+{
+    Rng rng(57);
+    const BasisSpec sq{BasisKind::SqISwap};
+    const Matrix u = haarUnitary(4, rng);
+    const SynthesisResult r = synthesizeInBasis(u, sq);
+    EXPECT_LE(r.basis_uses, 3);
+    EXPECT_GT(traceFidelity(circuitUnitary(r.circuit), u), 1.0 - 1e-6);
+}
+
+TEST(Synthesis, IdentityClassNeedsNoBasisGates)
+{
+    Rng rng(58);
+    const Matrix local = kron(haarUnitary(2, rng), haarUnitary(2, rng));
+    const SynthesisResult r =
+        synthesizeInBasis(local, BasisSpec{BasisKind::CNOT});
+    EXPECT_EQ(r.basis_uses, 0);
+}
+
+} // namespace
+} // namespace snail

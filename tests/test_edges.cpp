@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Boundary-condition and failure-injection tests across modules: empty
+ * and degenerate inputs, invalid construction parameters, and limits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuits/circuits.hpp"
+#include "common/error.hpp"
+#include "ir/dag.hpp"
+#include "sim/statevector.hpp"
+#include "topology/builders.hpp"
+#include "transpiler/pipeline.hpp"
+
+namespace snail
+{
+namespace
+{
+
+TEST(Edges, EmptyCircuitMetricsAreZero)
+{
+    Circuit c(3, "empty");
+    EXPECT_EQ(c.countTwoQubit(), 0u);
+    EXPECT_DOUBLE_EQ(c.twoQubitDepth(), 0.0);
+    EXPECT_TRUE(c.activeQubits().empty());
+    const auto layers = asapLayers(c);
+    EXPECT_TRUE(layers.empty());
+}
+
+TEST(Edges, FrontierOnEmptyCircuitIsDone)
+{
+    Circuit c(2);
+    DependencyFrontier frontier(c);
+    EXPECT_TRUE(frontier.done());
+    EXPECT_TRUE(frontier.ready().empty());
+    EXPECT_TRUE(frontier.lookahead(5).empty());
+}
+
+TEST(Edges, LookaheadZeroHorizon)
+{
+    Circuit c(2);
+    c.cx(0, 1);
+    c.cx(0, 1);
+    DependencyFrontier frontier(c);
+    EXPECT_TRUE(frontier.lookahead(0).empty());
+}
+
+TEST(Edges, SingleQubitCircuitRejectsTwoQubitGates)
+{
+    Circuit c(1);
+    c.h(0);
+    EXPECT_THROW(c.cx(0, 0), SnailError);
+}
+
+TEST(Edges, StatevectorBounds)
+{
+    EXPECT_THROW(Statevector(0), SnailError);
+    EXPECT_THROW(Statevector(25), SnailError);
+    EXPECT_THROW(Statevector(2, 4), SnailError);
+    Statevector sv(2);
+    EXPECT_THROW(sv.applyOneQubit(Matrix::identity(2), 2), SnailError);
+    EXPECT_THROW(sv.applyTwoQubit(Matrix::identity(4), 0, 0), SnailError);
+}
+
+TEST(Edges, CorralParameterValidation)
+{
+    EXPECT_THROW(corral(2, 1, 1), SnailError);
+    EXPECT_THROW(corral(8, 0, 1), SnailError);
+    EXPECT_THROW(corral(8, 1, 8), SnailError);
+    EXPECT_NO_THROW(corral(3, 1, 2));
+}
+
+TEST(Edges, TrimValidation)
+{
+    const CouplingGraph g = squareLattice(3, 3);
+    EXPECT_THROW(g.trimToSize(0), SnailError);
+    EXPECT_THROW(g.trimToSize(10), SnailError);
+    // Trimming a disconnected graph beyond the reachable component fails.
+    CouplingGraph disc(4);
+    disc.addEdge(0, 1);
+    disc.addEdge(2, 3);
+    EXPECT_THROW(disc.trimToSize(3, 0), SnailError);
+    EXPECT_NO_THROW(disc.trimToSize(2, 0));
+}
+
+TEST(Edges, TreeLevelBounds)
+{
+    EXPECT_THROW(modularTree(0), SnailError);
+    EXPECT_THROW(modularTree(6), SnailError);
+    EXPECT_EQ(modularTree(1).numQubits(), 4);
+}
+
+TEST(Edges, HypercubeBounds)
+{
+    EXPECT_THROW(hypercube(0), SnailError);
+    EXPECT_THROW(incompleteHypercube(1), SnailError);
+    EXPECT_EQ(incompleteHypercube(2).numQubits(), 2);
+    EXPECT_EQ(incompleteHypercube(2).edgeCount(), 1u);
+}
+
+TEST(Edges, BenchmarkWidthValidation)
+{
+    EXPECT_THROW(quantumVolume(1), SnailError);
+    EXPECT_THROW(ghz(1), SnailError);
+    EXPECT_THROW(cdkmAdder(3), SnailError);
+    EXPECT_THROW(timHamiltonian(4, 0), SnailError);
+}
+
+TEST(Edges, TranspileRejectsOversizedCircuit)
+{
+    const Circuit c = ghz(20);
+    const CouplingGraph g = squareLattice(4, 4);
+    TranspileOptions opts;
+    EXPECT_THROW(transpile(c, g, opts), SnailError);
+}
+
+TEST(Edges, MinimalTwoQubitTranspile)
+{
+    // Smallest interesting case: 2-qubit circuit on a 2-qubit device.
+    Circuit c(2);
+    c.h(0);
+    c.cx(0, 1);
+    CouplingGraph g(2, "pair");
+    g.addEdge(0, 1);
+    TranspileOptions opts;
+    const TranspileResult r = transpile(c, g, opts);
+    EXPECT_EQ(r.metrics.swaps_total, 0u);
+    EXPECT_EQ(r.metrics.basis_2q_total, 1u);
+}
+
+} // namespace
+} // namespace snail

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the empirical (NuOp-measured) basis-count model: agreement
+ * with the analytic rules where those exist (n = 1, 2), sensible counts
+ * for deeper roots, caching, and failure behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "decomp/empirical_counts.hpp"
+#include "linalg/random_unitary.hpp"
+#include "weyl/basis_counts.hpp"
+
+namespace snail
+{
+namespace
+{
+
+constexpr double kQ = M_PI / 4.0;
+constexpr double kE = M_PI / 8.0;
+
+TEST(Empirical, MatchesAnalyticSqiswapOnReferenceClasses)
+{
+    const EmpiricalBasisModel model = nrootIswapModel(2.0);
+    const WeylCoords cases[] = {
+        {0, 0, 0},         // identity
+        {kE, kE, 0},       // sqiswap itself
+        {kQ, 0, 0},        // CNOT class
+        {kQ, kQ, 0},       // iSWAP class
+        {kQ, kQ, kQ},      // SWAP class
+    };
+    for (const WeylCoords &w : cases) {
+        EXPECT_EQ(model.count(w), sqiswapCount(w))
+            << "(" << w.a << "," << w.b << "," << w.c << ")";
+    }
+}
+
+TEST(Empirical, MatchesAnalyticIswapOnReferenceClasses)
+{
+    const EmpiricalBasisModel model = nrootIswapModel(1.0);
+    EXPECT_EQ(model.count(WeylCoords{0, 0, 0}), iswapCount({0, 0, 0}));
+    EXPECT_EQ(model.count(WeylCoords{kQ, kQ, 0}), 1);
+    EXPECT_EQ(model.count(WeylCoords{kQ, 0, 0}), 2);
+    EXPECT_EQ(model.count(WeylCoords{kQ, kQ, kQ}), 3);
+}
+
+TEST(Empirical, ThirdRootCountsAreConsistent)
+{
+    const EmpiricalBasisModel model = nrootIswapModel(3.0);
+    // The 3rd root itself: one pulse.
+    const double v = M_PI / 12.0;
+    EXPECT_EQ(model.count(WeylCoords{v, v, 0}), 1);
+    // CNOT class: at least 3 pulses are needed (interaction strength),
+    // and NuOp finds a template by k = 4.
+    const int cx_count = model.count(WeylCoords{kQ, 0, 0});
+    EXPECT_GE(cx_count, 3);
+    EXPECT_LE(cx_count, 4);
+    // SWAP needs at least as many as CNOT.
+    EXPECT_GE(model.count(WeylCoords{kQ, kQ, kQ}), cx_count);
+}
+
+TEST(Empirical, DurationScalesInverselyWithRoot)
+{
+    const WeylCoords swap_class{kQ, kQ, kQ};
+    const EmpiricalBasisModel m2 = nrootIswapModel(2.0);
+    // SWAP: 3 pulses x 0.5 = 1.5 iSWAP units.
+    EXPECT_DOUBLE_EQ(m2.duration(swap_class), 1.5);
+}
+
+TEST(Empirical, CountsAreCached)
+{
+    const EmpiricalBasisModel model = nrootIswapModel(2.0);
+    EXPECT_EQ(model.cacheSize(), 0u);
+    model.count(WeylCoords{kQ, 0, 0});
+    EXPECT_EQ(model.cacheSize(), 1u);
+    model.count(WeylCoords{kQ, 0, 0});
+    EXPECT_EQ(model.cacheSize(), 1u);
+    model.count(WeylCoords{kQ, kQ, 0});
+    EXPECT_EQ(model.cacheSize(), 2u);
+}
+
+TEST(Empirical, AgreesWithAnalyticOnHaarSamples)
+{
+    const EmpiricalBasisModel model = nrootIswapModel(2.0);
+    Rng rng(71);
+    for (int i = 0; i < 4; ++i) {
+        const Matrix u = haarUnitary(4, rng);
+        EXPECT_EQ(model.count(u), sqiswapCount(weylCoordinates(u)))
+            << "sample " << i;
+    }
+}
+
+TEST(Empirical, RejectsBadConstruction)
+{
+    EXPECT_THROW(EmpiricalBasisModel(gates::h(), 1.0), SnailError);
+    EXPECT_THROW(EmpiricalBasisModel(gates::cx(), 0.0), SnailError);
+    EXPECT_THROW(EmpiricalBasisModel(gates::cx(), 1.0, 0), SnailError);
+}
+
+} // namespace
+} // namespace snail

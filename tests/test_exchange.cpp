@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the parametric-exchange model behind the simulated Fig. 6:
+ * Rabi-formula limits, chevron symmetry, and the Eq. 9 identity between
+ * resonant pulse lengths and the n-root-iSWAP gate family.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "gates/gate.hpp"
+#include "sim/parametric_exchange.hpp"
+
+namespace snail
+{
+namespace
+{
+
+TEST(Exchange, FullSwapOnResonance)
+{
+    const ExchangeDrive drive{1.0, 0.0};
+    // g t = pi/2 completes the excitation transfer.
+    EXPECT_NEAR(excitationSwapProbability(drive, M_PI / 2.0), 1.0, 1e-12);
+    EXPECT_NEAR(excitationSwapProbability(drive, 0.0), 0.0, 1e-12);
+    // And returns at g t = pi.
+    EXPECT_NEAR(excitationSwapProbability(drive, M_PI), 0.0, 1e-12);
+}
+
+TEST(Exchange, DetuningReducesContrastAndSpeedsFringes)
+{
+    const ExchangeDrive off{1.0, 2.0};
+    // Max transfer off resonance is g^2 / (g^2 + delta^2/4) = 0.5.
+    double best = 0.0;
+    for (double t = 0.0; t < 10.0; t += 0.001) {
+        best = std::max(best, excitationSwapProbability(off, t));
+    }
+    EXPECT_NEAR(best, 0.5, 1e-3);
+    // Oscillation frequency grows with detuning: first maximum earlier.
+    const double t_on = M_PI / 2.0;
+    const double omega_off = std::sqrt(1.0 + 1.0);
+    const double t_off = (M_PI / 2.0) / omega_off;
+    EXPECT_LT(t_off, t_on);
+    EXPECT_NEAR(excitationSwapProbability(off, t_off), 0.5, 1e-9);
+}
+
+TEST(Exchange, ChevronIsSymmetricInDetuning)
+{
+    std::vector<double> times;
+    for (int i = 0; i <= 20; ++i) {
+        times.push_back(0.2 * i);
+    }
+    const auto plus = chevronRow(ExchangeDrive{1.0, 1.3}, times);
+    const auto minus = chevronRow(ExchangeDrive{1.0, -1.3}, times);
+    ASSERT_EQ(plus.size(), minus.size());
+    for (std::size_t i = 0; i < plus.size(); ++i) {
+        EXPECT_NEAR(plus[i], minus[i], 1e-12);
+    }
+}
+
+TEST(Exchange, Eq9GeneratesTheRootFamily)
+{
+    // The resonant exchange at g t = pi/(2n) IS the n-th root of iSWAP.
+    for (double n : {1.0, 2.0, 3.0, 5.0, 7.0}) {
+        const double t = pulseLengthForRoot(1.0, n);
+        EXPECT_TRUE(allClose(resonantExchangeUnitary(1.0, t),
+                             gates::nrootIswap(n).matrix(), 1e-12))
+            << "n = " << n;
+    }
+}
+
+TEST(Exchange, PulseLengthScalesInverselyWithRootAndCoupling)
+{
+    // Stronger coupling -> faster gate (paper Sec. 4.1).
+    EXPECT_NEAR(pulseLengthForRoot(2.0, 1.0),
+                0.5 * pulseLengthForRoot(1.0, 1.0), 1e-12);
+    // The n-th root is n times shorter — the decoherence win of Fig. 15.
+    EXPECT_NEAR(pulseLengthForRoot(1.0, 4.0),
+                0.25 * pulseLengthForRoot(1.0, 1.0), 1e-12);
+}
+
+TEST(Exchange, ValidatesInputs)
+{
+    EXPECT_THROW(excitationSwapProbability(ExchangeDrive{0.0, 0.0}, 1.0),
+                 SnailError);
+    EXPECT_THROW(resonantExchangeUnitary(-1.0, 1.0), SnailError);
+    EXPECT_THROW(pulseLengthForRoot(1.0, 0.5), SnailError);
+}
+
+} // namespace
+} // namespace snail

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the extended benchmark circuits (Bernstein-Vazirani, VQE
+ * ansatz, W state) and their registry integration.
+ *
+ * BV and W state have analytically known output states, so those are
+ * verified amplitude-by-amplitude with the statevector simulator.
+ */
+
+#include <cmath>
+#include <complex>
+
+#include <gtest/gtest.h>
+
+#include "circuits/circuits.hpp"
+#include "circuits/registry.hpp"
+#include "common/error.hpp"
+#include "sim/statevector.hpp"
+
+namespace snail
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Bernstein-Vazirani
+// ---------------------------------------------------------------------
+
+TEST(BernsteinVazirani, OutputsSecretDeterministically)
+{
+    // After the circuit, the data register holds the secret exactly and
+    // the ancilla is |->: each computational amplitude is supported on
+    // a single data pattern.
+    const int n = 6;
+    Circuit c = bernsteinVazirani(n, 31);
+    Statevector sv(n);
+    sv.run(c);
+
+    // Find the (unique) data pattern with nonzero probability.
+    const int data_bits = n - 1;
+    std::vector<double> prob(1u << data_bits, 0.0);
+    for (std::size_t idx = 0; idx < sv.amplitudes().size(); ++idx) {
+        const std::size_t data = idx & ((1u << data_bits) - 1);
+        prob[data] += std::norm(sv.amplitudes()[idx]);
+    }
+    int support = 0;
+    for (double p : prob) {
+        if (p > 1e-9) {
+            ++support;
+            EXPECT_NEAR(p, 1.0, 1e-9);
+        }
+    }
+    EXPECT_EQ(support, 1);
+}
+
+TEST(BernsteinVazirani, SecretMatchesOracleStructure)
+{
+    // The measured pattern must equal the set of data qubits the oracle
+    // coupled to the ancilla.
+    const int n = 7;
+    Circuit c = bernsteinVazirani(n, 123);
+    std::size_t oracle_mask = 0;
+    for (const auto &op : c.instructions()) {
+        if (op.gate().kind() == GateKind::CX) {
+            oracle_mask |= 1ull << op.q0();
+        }
+    }
+    Statevector sv(n);
+    sv.run(c);
+    const std::size_t data_mask = (1ull << (n - 1)) - 1;
+    for (std::size_t idx = 0; idx < sv.amplitudes().size(); ++idx) {
+        if (std::norm(sv.amplitudes()[idx]) > 1e-9) {
+            EXPECT_EQ(idx & data_mask, oracle_mask);
+        }
+    }
+}
+
+TEST(BernsteinVazirani, SeedChangesSecret)
+{
+    Circuit a = bernsteinVazirani(10, 1);
+    Circuit b = bernsteinVazirani(10, 2);
+    // Different secrets -> different CX counts with high probability;
+    // at minimum the circuits must be valid and nonempty.
+    EXPECT_GE(a.countKind(GateKind::CX), 1u);
+    EXPECT_GE(b.countKind(GateKind::CX), 1u);
+}
+
+TEST(BernsteinVazirani, AllCxShareTheAncilla)
+{
+    const int n = 9;
+    Circuit c = bernsteinVazirani(n, 77);
+    for (const auto &op : c.instructions()) {
+        if (op.gate().kind() == GateKind::CX) {
+            EXPECT_EQ(op.q1(), n - 1);
+        }
+    }
+}
+
+TEST(BernsteinVazirani, RejectsTooFewQubits)
+{
+    EXPECT_THROW(bernsteinVazirani(1), SnailError);
+}
+
+// ---------------------------------------------------------------------
+// W state
+// ---------------------------------------------------------------------
+
+class WStateWidth : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(WStateWidth, ExactAmplitudes)
+{
+    const int n = GetParam();
+    Circuit c = wState(n);
+    Statevector sv(n);
+    sv.run(c);
+
+    const double want = 1.0 / std::sqrt(static_cast<double>(n));
+    for (std::size_t idx = 0; idx < sv.amplitudes().size(); ++idx) {
+        const double mag = std::abs(sv.amplitudes()[idx]);
+        const bool one_hot = idx != 0 && (idx & (idx - 1)) == 0;
+        if (one_hot) {
+            EXPECT_NEAR(mag, want, 1e-10) << "idx " << idx;
+        } else {
+            EXPECT_NEAR(mag, 0.0, 1e-10) << "idx " << idx;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WStateWidth,
+                         ::testing::Values(2, 3, 4, 5, 7, 10));
+
+TEST(WState, GateCountIsLinear)
+{
+    const Circuit c = wState(12);
+    // 1 X + (n-1) blocks of {ry, cz, ry, cx}.
+    EXPECT_EQ(c.size(), 1u + 4u * 11u);
+    EXPECT_EQ(c.countTwoQubit(), 2u * 11u);
+}
+
+TEST(WState, RejectsTooFewQubits)
+{
+    EXPECT_THROW(wState(1), SnailError);
+}
+
+// ---------------------------------------------------------------------
+// VQE ansatz
+// ---------------------------------------------------------------------
+
+TEST(VqeAnsatz, StructureMatchesLayers)
+{
+    const int n = 6;
+    const int layers = 3;
+    Circuit c = vqeAnsatz(n, layers, 5);
+    // (layers+1) rotation layers of 2n gates + layers ladders of n-1 CX.
+    EXPECT_EQ(c.size(), static_cast<std::size_t>((layers + 1) * 2 * n +
+                                                 layers * (n - 1)));
+    EXPECT_EQ(c.countKind(GateKind::CX),
+              static_cast<std::size_t>(layers * (n - 1)));
+}
+
+TEST(VqeAnsatz, LadderIsNearestNeighbor)
+{
+    Circuit c = vqeAnsatz(8, 2, 5);
+    for (const auto &op : c.instructions()) {
+        if (op.isTwoQubit()) {
+            EXPECT_EQ(op.q1() - op.q0(), 1);
+        }
+    }
+}
+
+TEST(VqeAnsatz, SeedDeterminism)
+{
+    Circuit a = vqeAnsatz(5, 2, 42);
+    Circuit b = vqeAnsatz(5, 2, 42);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.instructions()[i].gate().params(),
+                  b.instructions()[i].gate().params());
+    }
+}
+
+TEST(VqeAnsatz, RejectsBadArguments)
+{
+    EXPECT_THROW(vqeAnsatz(1, 2), SnailError);
+    EXPECT_THROW(vqeAnsatz(4, 0), SnailError);
+}
+
+// ---------------------------------------------------------------------
+// Registry integration
+// ---------------------------------------------------------------------
+
+TEST(ExtendedRegistry, ByNameAndByKindAgree)
+{
+    for (const char *name : {"bv", "vqe", "wstate"}) {
+        Circuit c = makeBenchmark(name, 8);
+        EXPECT_EQ(c.numQubits(), 8) << name;
+        EXPECT_GT(c.size(), 0u) << name;
+    }
+}
+
+TEST(ExtendedRegistry, ExtendedSupersetOfPaperSet)
+{
+    const auto paper = allBenchmarks();
+    const auto extended = extendedBenchmarks();
+    EXPECT_EQ(paper.size(), 6u);
+    EXPECT_EQ(extended.size(), 9u);
+    for (std::size_t i = 0; i < paper.size(); ++i) {
+        EXPECT_EQ(paper[i], extended[i]);
+    }
+}
+
+TEST(ExtendedRegistry, LabelsAndNamesDefined)
+{
+    for (BenchmarkKind kind : extendedBenchmarks()) {
+        EXPECT_GT(std::string(benchmarkName(kind)).size(), 0u);
+        EXPECT_GT(std::string(benchmarkLabel(kind)).size(), 0u);
+    }
+}
+
+} // namespace
+} // namespace snail

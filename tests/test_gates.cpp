@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Unit tests for the gate library: matrix identities the paper relies on
+ * (Eqs. 1, 2, 4, 6), unitarity of every kind, and family relationships
+ * such as (n-root iSWAP)^n == iSWAP.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "gates/gate.hpp"
+#include "linalg/matrix.hpp"
+
+namespace snail
+{
+namespace
+{
+
+TEST(Gates, CnotMatrixMatchesEq1)
+{
+    const Matrix m = gates::cx().matrix();
+    const Matrix expected{{1, 0, 0, 0},
+                          {0, 1, 0, 0},
+                          {0, 0, 0, 1},
+                          {0, 0, 1, 0}};
+    EXPECT_TRUE(allClose(m, expected, 1e-12));
+}
+
+TEST(Gates, NRootIswapMatchesEq2)
+{
+    for (double n : {1.0, 2.0, 3.0, 4.0, 7.0}) {
+        const Matrix m = gates::nrootIswap(n).matrix();
+        const double c = std::cos(M_PI / (2.0 * n));
+        const double s = std::sin(M_PI / (2.0 * n));
+        EXPECT_NEAR(m(1, 1).real(), c, 1e-12);
+        EXPECT_NEAR(m(1, 2).imag(), s, 1e-12);
+        EXPECT_NEAR(std::abs(m(0, 0) - Complex(1, 0)), 0.0, 1e-12);
+        EXPECT_NEAR(std::abs(m(3, 3) - Complex(1, 0)), 0.0, 1e-12);
+        EXPECT_TRUE(m.isUnitary(1e-12));
+    }
+}
+
+TEST(Gates, IswapIsFirstRoot)
+{
+    EXPECT_TRUE(allClose(gates::iswap().matrix(),
+                         gates::nrootIswap(1.0).matrix(), 1e-12));
+    // iSWAP exchanges |01> and |10> with a factor i.
+    const Matrix m = gates::iswap().matrix();
+    EXPECT_NEAR(std::abs(m(1, 2) - Complex(0, 1)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(m(2, 1) - Complex(0, 1)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(m(1, 1)), 0.0, 1e-12);
+}
+
+TEST(Gates, NthRootComposesToIswap)
+{
+    for (double n : {2.0, 3.0, 5.0}) {
+        const Matrix root = gates::nrootIswap(n).matrix();
+        Matrix acc = Matrix::identity(4);
+        for (int k = 0; k < static_cast<int>(n); ++k) {
+            acc = acc * root;
+        }
+        EXPECT_TRUE(allClose(acc, gates::iswap().matrix(), 1e-10))
+            << "n = " << n;
+    }
+}
+
+TEST(Gates, SqIswapEqualsFsimConvention)
+{
+    // Paper Sec. 2.4.2: sqrt(iSWAP) is FSIM(theta = -pi/4, phi = 0).
+    EXPECT_TRUE(allClose(gates::sqiswap().matrix(),
+                         gates::fsim(-M_PI / 4.0, 0.0).matrix(), 1e-12));
+}
+
+TEST(Gates, FsimMatchesEq6)
+{
+    const double theta = 0.4;
+    const double phi = 1.2;
+    const Matrix m = gates::fsim(theta, phi).matrix();
+    EXPECT_NEAR(m(1, 1).real(), std::cos(theta), 1e-12);
+    EXPECT_NEAR(m(1, 2).imag(), -std::sin(theta), 1e-12);
+    EXPECT_NEAR(std::abs(m(3, 3) - std::polar(1.0, -phi)), 0.0, 1e-12);
+    EXPECT_TRUE(m.isUnitary(1e-12));
+}
+
+TEST(Gates, SycamoreIsFsimHalfPiSixth)
+{
+    EXPECT_TRUE(allClose(gates::sycamore().matrix(),
+                         gates::fsim(M_PI / 2.0, M_PI / 6.0).matrix(),
+                         1e-12));
+}
+
+TEST(Gates, CrossResonanceMatchesEq4)
+{
+    const double theta = 0.9;
+    const Matrix m = gates::crossRes(theta).matrix();
+    const double c = std::cos(theta / 2.0);
+    const double s = std::sin(theta / 2.0);
+    EXPECT_NEAR(m(0, 0).real(), c, 1e-12);
+    EXPECT_NEAR(m(0, 2).imag(), -s, 1e-12);
+    EXPECT_NEAR(m(1, 3).imag(), s, 1e-12);
+    EXPECT_TRUE(m.isUnitary(1e-12));
+}
+
+TEST(Gates, CanonicalReproducesIswapFamily)
+{
+    // CAN(pi/4n, pi/4n, 0) equals nrootIswap(n) exactly (no phase).
+    for (double n : {1.0, 2.0, 3.0}) {
+        const double v = M_PI / (4.0 * n);
+        EXPECT_TRUE(allClose(gates::canonical(v, v, 0.0).matrix(),
+                             gates::nrootIswap(n).matrix(), 1e-12))
+            << "n = " << n;
+    }
+}
+
+TEST(Gates, CanonicalIsUnitaryForRandomAngles)
+{
+    for (double a : {-0.7, 0.3}) {
+        for (double b : {0.1, 1.9}) {
+            for (double c : {-1.2, 0.5}) {
+                EXPECT_TRUE(
+                    gates::canonical(a, b, c).matrix().isUnitary(1e-12));
+            }
+        }
+    }
+}
+
+TEST(Gates, AllParameterlessKindsAreUnitary)
+{
+    const Gate all[] = {gates::i(),   gates::x(),        gates::y(),
+                        gates::z(),   gates::h(),        gates::s(),
+                        gates::sdg(), gates::t(),        gates::tdg(),
+                        gates::sx(),  gates::cx(),       gates::cz(),
+                        gates::swapGate(), gates::iswap(),
+                        gates::sqiswap(),  gates::sycamore(),
+                        gates::bgate()};
+    for (const Gate &g : all) {
+        EXPECT_TRUE(g.matrix().isUnitary(1e-12)) << g.name();
+    }
+}
+
+TEST(Gates, ParameterizedKindsAreUnitary)
+{
+    EXPECT_TRUE(gates::rx(0.3).matrix().isUnitary(1e-12));
+    EXPECT_TRUE(gates::ry(-1.1).matrix().isUnitary(1e-12));
+    EXPECT_TRUE(gates::rz(2.2).matrix().isUnitary(1e-12));
+    EXPECT_TRUE(gates::phase(0.8).matrix().isUnitary(1e-12));
+    EXPECT_TRUE(gates::u3(1.0, 2.0, 3.0).matrix().isUnitary(1e-12));
+    EXPECT_TRUE(gates::cphase(0.6).matrix().isUnitary(1e-12));
+    EXPECT_TRUE(gates::rzz(0.6).matrix().isUnitary(1e-12));
+    EXPECT_TRUE(gates::crossRes(1.3).matrix().isUnitary(1e-12));
+    EXPECT_TRUE(gates::nrootIswap(6.0).matrix().isUnitary(1e-12));
+}
+
+TEST(Gates, SqiswapSquaredIsIswap)
+{
+    const Matrix sq = gates::sqiswap().matrix();
+    EXPECT_TRUE(allClose(sq * sq, gates::iswap().matrix(), 1e-12));
+}
+
+TEST(Gates, SwapDecomposesIntoThreeCnots)
+{
+    const Matrix cx01 = gates::cx().matrix();
+    // CX with control on the low qubit = (H x H) CX (H x H).
+    const Matrix h = gates::h().matrix();
+    const Matrix hh = kron(h, h);
+    const Matrix cx10 = hh * cx01 * hh;
+    EXPECT_TRUE(
+        allClose(cx01 * cx10 * cx01, gates::swapGate().matrix(), 1e-10));
+}
+
+TEST(Gates, CzFromCnotWithHadamards)
+{
+    const Matrix h = gates::h().matrix();
+    const Matrix ih = kron(Matrix::identity(2), h);
+    EXPECT_TRUE(allClose(ih * gates::cx().matrix() * ih,
+                         gates::cz().matrix(), 1e-12));
+}
+
+TEST(Gates, ArityAndNames)
+{
+    EXPECT_EQ(gates::h().numQubits(), 1);
+    EXPECT_EQ(gates::cx().numQubits(), 2);
+    EXPECT_EQ(gates::cx().name(), "cx");
+    EXPECT_EQ(gates::sqiswap().name(), "sqiswap");
+    EXPECT_EQ(gates::nrootIswap(4.0).name(), "nroot_iswap");
+}
+
+TEST(Gates, CacheKeysDistinguishParameters)
+{
+    EXPECT_NE(gates::rz(0.1).cacheKey(), gates::rz(0.2).cacheKey());
+    EXPECT_EQ(gates::rz(0.1).cacheKey(), gates::rz(0.1).cacheKey());
+    EXPECT_NE(gates::rz(0.1).cacheKey(), gates::rx(0.1).cacheKey());
+    EXPECT_FALSE(gates::unitary4(Matrix::identity(4)).cacheable());
+}
+
+TEST(Gates, ParameterCountValidation)
+{
+    EXPECT_THROW((void)Gate(GateKind::RZ), SnailError);
+    EXPECT_THROW((void)Gate(GateKind::RZ, std::vector<double>{0.1, 0.2}),
+                 SnailError);
+    EXPECT_THROW((void)Gate(GateKind::Unitary4), SnailError);
+    EXPECT_THROW((void)Gate(GateKind::Unitary4, Matrix::identity(2)),
+                 SnailError);
+}
+
+} // namespace
+} // namespace snail

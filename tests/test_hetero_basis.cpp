@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the heterogeneous (per-edge) basis-gate scoring.
+ *
+ * Invariants: a heterogeneous device whose edges all carry the fallback
+ * basis must score exactly like the homogeneous translationStats; edge
+ * assignments are orientation-independent; mixed assignments bound the
+ * homogeneous extremes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuits/circuits.hpp"
+#include "common/error.hpp"
+#include "topology/registry.hpp"
+#include "transpiler/hetero_basis.hpp"
+#include "transpiler/pipeline.hpp"
+
+namespace snail
+{
+namespace
+{
+
+/** A routed physical circuit on the given device. */
+Circuit
+routedCircuit(const CouplingGraph &device, int width)
+{
+    const Circuit c = quantumVolume(width, width, 7);
+    TranspileOptions opts;
+    opts.seed = 11;
+    return transpile(c, device, opts).routed;
+}
+
+TEST(HeteroBasis, FallbackMatchesHomogeneous)
+{
+    const CouplingGraph device = namedTopology("square-16");
+    const Circuit routed = routedCircuit(device, 8);
+    for (BasisKind kind : {BasisKind::CNOT, BasisKind::SqISwap,
+                           BasisKind::ISwap, BasisKind::Sycamore}) {
+        const BasisSpec spec{kind};
+        HeterogeneousBasis bases(device, spec);
+        const TranslationStats hetero =
+            heterogeneousTranslationStats(routed, bases);
+        const TranslationStats homo = translationStats(routed, spec);
+        EXPECT_EQ(hetero.total_2q, homo.total_2q);
+        EXPECT_DOUBLE_EQ(hetero.critical_2q, homo.critical_2q);
+        EXPECT_DOUBLE_EQ(hetero.total_duration, homo.total_duration);
+        EXPECT_DOUBLE_EQ(hetero.critical_duration,
+                         homo.critical_duration);
+    }
+}
+
+TEST(HeteroBasis, AllEdgesAssignedMatchesHomogeneous)
+{
+    // Assigning CNOT explicitly on every edge over a SqISwap fallback
+    // must equal the homogeneous CNOT result.
+    const CouplingGraph device = namedTopology("tree-20");
+    const Circuit routed = routedCircuit(device, 10);
+    HeterogeneousBasis bases(device, BasisSpec{BasisKind::SqISwap});
+    const std::size_t assigned = bases.setWhere(
+        [](int, int) { return true; }, BasisSpec{BasisKind::CNOT});
+    EXPECT_EQ(assigned, device.edgeCount());
+    const TranslationStats hetero =
+        heterogeneousTranslationStats(routed, bases);
+    const TranslationStats homo =
+        translationStats(routed, BasisSpec{BasisKind::CNOT});
+    EXPECT_EQ(hetero.total_2q, homo.total_2q);
+    EXPECT_DOUBLE_EQ(hetero.critical_duration, homo.critical_duration);
+}
+
+TEST(HeteroBasis, OrientationIndependent)
+{
+    const CouplingGraph device = namedTopology("square-16");
+    HeterogeneousBasis bases(device, BasisSpec{BasisKind::SqISwap});
+    const auto edge = device.edges().front();
+    bases.setEdgeBasis(edge.second, edge.first,
+                       BasisSpec{BasisKind::CNOT});
+    EXPECT_EQ(bases.edgeBasis(edge.first, edge.second).kind,
+              BasisKind::CNOT);
+    EXPECT_EQ(bases.edgeBasis(edge.second, edge.first).kind,
+              BasisKind::CNOT);
+    EXPECT_EQ(bases.assignedEdges(), 1u);
+}
+
+TEST(HeteroBasis, RejectsNonEdges)
+{
+    const CouplingGraph device = namedTopology("square-16");
+    HeterogeneousBasis bases(device, BasisSpec{BasisKind::SqISwap});
+    // Find a non-adjacent pair.
+    int a = 0, b = -1;
+    for (int q = 1; q < device.numQubits(); ++q) {
+        if (!device.hasEdge(0, q)) {
+            b = q;
+            break;
+        }
+    }
+    ASSERT_GE(b, 0);
+    EXPECT_THROW(bases.setEdgeBasis(a, b, BasisSpec{BasisKind::CNOT}),
+                 SnailError);
+}
+
+TEST(HeteroBasis, MixedDurationBoundedByExtremes)
+{
+    const CouplingGraph device = namedTopology("tree-20");
+    const Circuit routed = routedCircuit(device, 12);
+
+    const TranslationStats all_snail =
+        translationStats(routed, BasisSpec{BasisKind::SqISwap});
+    const TranslationStats all_cr =
+        translationStats(routed, BasisSpec{BasisKind::CNOT});
+
+    HeterogeneousBasis mixed(device, BasisSpec{BasisKind::SqISwap});
+    mixed.setWhere([](int a, int b) { return (a + b) % 2 == 0; },
+                   BasisSpec{BasisKind::CNOT});
+    const TranslationStats stats =
+        heterogeneousTranslationStats(routed, mixed);
+
+    const double lo = std::min(all_snail.total_duration,
+                               all_cr.total_duration);
+    const double hi = std::max(all_snail.total_duration,
+                               all_cr.total_duration);
+    EXPECT_GE(stats.total_duration, lo - 1e-9);
+    EXPECT_LE(stats.total_duration, hi + 1e-9);
+}
+
+TEST(HeteroBasis, UnroutedCircuitRejected)
+{
+    // A logical circuit with a 2Q op on an uncoupled pair must throw.
+    const CouplingGraph device = namedTopology("square-16");
+    Circuit c(device.numQubits());
+    int far = -1;
+    for (int q = 1; q < device.numQubits(); ++q) {
+        if (!device.hasEdge(0, q)) {
+            far = q;
+            break;
+        }
+    }
+    ASSERT_GE(far, 0);
+    c.cx(0, far);
+    HeterogeneousBasis bases(device, BasisSpec{BasisKind::SqISwap});
+    EXPECT_THROW(heterogeneousTranslationStats(c, bases), SnailError);
+}
+
+} // namespace
+} // namespace snail

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit tests for the circuit IR: instruction validation, appenders, gate
+ * statistics, weighted critical paths, ASAP layering, and the dependency
+ * frontier the routers consume.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "ir/circuit.hpp"
+#include "ir/dag.hpp"
+
+namespace snail
+{
+namespace
+{
+
+TEST(Instruction, ValidatesArity)
+{
+    EXPECT_THROW(Instruction(gates::cx(), {0}), SnailError);
+    EXPECT_THROW(Instruction(gates::h(), {0, 1}), SnailError);
+    EXPECT_THROW(Instruction(gates::cx(), {2, 2}), SnailError);
+}
+
+TEST(Instruction, ToStringIsReadable)
+{
+    const Instruction inst(gates::cx(), {3, 7});
+    EXPECT_EQ(inst.toString(), "cx q3, q7");
+    const Instruction rz(gates::rz(0.5), {1});
+    EXPECT_NE(rz.toString().find("rz(0.5)"), std::string::npos);
+}
+
+TEST(Instruction, RemapPreservesGate)
+{
+    const Instruction inst(gates::cx(), {0, 1});
+    const Instruction moved = inst.remapped({5, 9});
+    EXPECT_EQ(moved.q0(), 5);
+    EXPECT_EQ(moved.q1(), 9);
+    EXPECT_EQ(moved.gate().kind(), GateKind::CX);
+}
+
+TEST(Circuit, RejectsOutOfRangeQubits)
+{
+    Circuit c(3);
+    EXPECT_THROW(c.h(3), SnailError);
+    EXPECT_THROW(c.cx(0, 5), SnailError);
+    EXPECT_NO_THROW(c.cx(0, 2));
+}
+
+TEST(Circuit, CountsKindsAndTwoQubit)
+{
+    Circuit c(4);
+    c.h(0);
+    c.cx(0, 1);
+    c.cx(1, 2);
+    c.swap(2, 3);
+    c.rz(0.3, 3);
+    EXPECT_EQ(c.size(), 5u);
+    EXPECT_EQ(c.countTwoQubit(), 3u);
+    EXPECT_EQ(c.countKind(GateKind::CX), 2u);
+    EXPECT_EQ(c.countKind(GateKind::Swap), 1u);
+    EXPECT_EQ(c.countKind(GateKind::H), 1u);
+}
+
+TEST(Circuit, ActiveQubits)
+{
+    Circuit c(5);
+    c.h(1);
+    c.cx(1, 3);
+    const auto active = c.activeQubits();
+    EXPECT_EQ(active, (std::vector<Qubit>{1, 3}));
+}
+
+TEST(Circuit, TwoQubitDepthSerialVsParallel)
+{
+    // Serial chain: depth equals count.
+    Circuit serial(3);
+    serial.cx(0, 1);
+    serial.cx(1, 2);
+    serial.cx(0, 1);
+    EXPECT_DOUBLE_EQ(serial.twoQubitDepth(), 3.0);
+
+    // Disjoint pairs run in parallel.
+    Circuit parallel(4);
+    parallel.cx(0, 1);
+    parallel.cx(2, 3);
+    EXPECT_DOUBLE_EQ(parallel.twoQubitDepth(), 1.0);
+}
+
+TEST(Circuit, OneQubitGatesAreFreeInDepth)
+{
+    Circuit c(2);
+    c.h(0);
+    c.h(0);
+    c.cx(0, 1);
+    c.h(1);
+    c.cx(0, 1);
+    EXPECT_DOUBLE_EQ(c.twoQubitDepth(), 2.0);
+}
+
+TEST(Circuit, WeightedCriticalPathSwapWeights)
+{
+    // Count only SWAPs along dependency chains.
+    Circuit c(3);
+    c.swap(0, 1);
+    c.cx(1, 2);
+    c.swap(1, 2);
+    c.swap(0, 2);  // depends on both previous swaps
+    const double swap_depth = c.weightedCriticalPath([](const Instruction &op) {
+        return op.isSwap() ? 1.0 : 0.0;
+    });
+    EXPECT_DOUBLE_EQ(swap_depth, 3.0);
+}
+
+TEST(Circuit, ExtendAppendsAll)
+{
+    Circuit a(3);
+    a.h(0);
+    Circuit b(2);
+    b.cx(0, 1);
+    a.extend(b);
+    EXPECT_EQ(a.size(), 2u);
+    Circuit wide(4);
+    EXPECT_THROW(b.extend(wide), SnailError);
+}
+
+TEST(Circuit, DumpListsInstructions)
+{
+    Circuit c(2, "bell");
+    c.h(0);
+    c.cx(0, 1);
+    std::ostringstream oss;
+    c.dump(oss);
+    EXPECT_NE(oss.str().find("bell"), std::string::npos);
+    EXPECT_NE(oss.str().find("cx q0, q1"), std::string::npos);
+}
+
+TEST(Dag, AsapLayersRespectDependencies)
+{
+    Circuit c(4);
+    c.cx(0, 1);  // layer 0
+    c.cx(2, 3);  // layer 0
+    c.cx(1, 2);  // layer 1 (waits on both)
+    c.cx(0, 3);  // layer 1 (waits on first two)
+    const auto layers = asapLayers(c);
+    EXPECT_EQ(layers, (std::vector<std::size_t>{0, 0, 1, 1}));
+}
+
+TEST(Dag, LayeredScheduleGroups)
+{
+    Circuit c(4);
+    c.cx(0, 1);
+    c.cx(2, 3);
+    c.cx(1, 2);
+    const auto grouped = layeredSchedule(c);
+    ASSERT_EQ(grouped.size(), 2u);
+    EXPECT_EQ(grouped[0].size(), 2u);
+    EXPECT_EQ(grouped[1].size(), 1u);
+}
+
+TEST(Dag, FrontierConsumptionAdvances)
+{
+    Circuit c(3);
+    c.cx(0, 1);  // idx 0
+    c.cx(1, 2);  // idx 1, depends on 0
+    c.h(0);      // idx 2, depends on 0
+    DependencyFrontier frontier(c);
+    EXPECT_EQ(frontier.ready(), (std::vector<std::size_t>{0}));
+    frontier.consume(0);
+    auto ready = frontier.ready();
+    std::sort(ready.begin(), ready.end());
+    EXPECT_EQ(ready, (std::vector<std::size_t>{1, 2}));
+    frontier.consume(1);
+    frontier.consume(2);
+    EXPECT_TRUE(frontier.done());
+}
+
+TEST(Dag, FrontierLookaheadSeesSuccessors)
+{
+    Circuit c(3);
+    c.cx(0, 1);
+    c.cx(1, 2);
+    c.cx(0, 2);
+    DependencyFrontier frontier(c);
+    const auto ahead = frontier.lookahead(10);
+    // Instructions 1 and 2 are successors of the frontier {0}.
+    EXPECT_EQ(ahead.size(), 2u);
+}
+
+TEST(Dag, ConsumeNotReadyAsserts)
+{
+    Circuit c(3);
+    c.cx(0, 1);
+    c.cx(1, 2);
+    DependencyFrontier frontier(c);
+    EXPECT_THROW(frontier.consume(1), InternalError);
+}
+
+} // namespace
+} // namespace snail

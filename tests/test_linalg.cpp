@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Unit tests for the linear-algebra substrate: matrix algebra, the Jacobi
+ * and joint eigensolvers, Haar sampling, ZYZ extraction, and Kronecker
+ * factorization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/kron_factor.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/random_unitary.hpp"
+#include "linalg/su2.hpp"
+
+namespace snail
+{
+namespace
+{
+
+TEST(Matrix, IdentityAndZero)
+{
+    const Matrix i3 = Matrix::identity(3);
+    EXPECT_EQ(i3.rows(), 3u);
+    EXPECT_EQ(i3(0, 0), Complex(1.0, 0.0));
+    EXPECT_EQ(i3(0, 1), Complex(0.0, 0.0));
+    const Matrix z = Matrix::zero(2, 4);
+    EXPECT_EQ(z.rows(), 2u);
+    EXPECT_EQ(z.cols(), 4u);
+    EXPECT_DOUBLE_EQ(z.frobeniusNorm(), 0.0);
+}
+
+TEST(Matrix, ProductAgainstHandComputed)
+{
+    const Matrix a{{1, 2}, {3, 4}};
+    const Matrix b{{5, 6}, {7, 8}};
+    const Matrix c = a * b;
+    EXPECT_EQ(c(0, 0), Complex(19.0, 0.0));
+    EXPECT_EQ(c(0, 1), Complex(22.0, 0.0));
+    EXPECT_EQ(c(1, 0), Complex(43.0, 0.0));
+    EXPECT_EQ(c(1, 1), Complex(50.0, 0.0));
+}
+
+TEST(Matrix, DaggerConjugatesAndTransposes)
+{
+    const Matrix a{{Complex(1, 2), Complex(3, 4)},
+                   {Complex(5, 6), Complex(7, 8)}};
+    const Matrix d = a.dagger();
+    EXPECT_EQ(d(0, 1), Complex(5, -6));
+    EXPECT_EQ(d(1, 0), Complex(3, -4));
+}
+
+TEST(Matrix, TraceAndDeterminant)
+{
+    const Matrix a{{2, 1}, {1, 3}};
+    EXPECT_EQ(a.trace(), Complex(5.0, 0.0));
+    EXPECT_NEAR(std::abs(a.determinant() - Complex(5.0, 0.0)), 0.0, 1e-12);
+
+    // Singular matrix.
+    const Matrix s{{1, 2}, {2, 4}};
+    EXPECT_NEAR(std::abs(s.determinant()), 0.0, 1e-12);
+}
+
+TEST(Matrix, DeterminantOfUnitaryIsUnimodular)
+{
+    Rng rng(1);
+    for (int i = 0; i < 20; ++i) {
+        const Matrix u = haarUnitary(4, rng);
+        EXPECT_NEAR(std::abs(u.determinant()), 1.0, 1e-9);
+    }
+}
+
+TEST(Matrix, KronBlockStructure)
+{
+    const Matrix a{{1, 2}, {3, 4}};
+    const Matrix b{{0, 1}, {1, 0}};
+    const Matrix k = kron(a, b);
+    EXPECT_EQ(k.rows(), 4u);
+    EXPECT_EQ(k(0, 1), Complex(1.0, 0.0));  // a00 * b01
+    EXPECT_EQ(k(0, 3), Complex(2.0, 0.0));  // a01 * b01
+    EXPECT_EQ(k(3, 2), Complex(4.0, 0.0));  // a11 * b10
+}
+
+TEST(Matrix, KronMixedProductProperty)
+{
+    Rng rng(2);
+    const Matrix a = haarUnitary(2, rng);
+    const Matrix b = haarUnitary(2, rng);
+    const Matrix c = haarUnitary(2, rng);
+    const Matrix d = haarUnitary(2, rng);
+    // (A x B)(C x D) == (AC) x (BD)
+    EXPECT_TRUE(allClose(kron(a, b) * kron(c, d), kron(a * c, b * d), 1e-10));
+}
+
+TEST(Matrix, GlobalPhaseComparison)
+{
+    Rng rng(3);
+    const Matrix u = haarUnitary(4, rng);
+    const Matrix v = u * std::polar(1.0, 1.234);
+    EXPECT_FALSE(allClose(u, v, 1e-9));
+    EXPECT_TRUE(equalUpToGlobalPhase(u, v, 1e-9));
+    EXPECT_NEAR(traceFidelity(u, v), 1.0, 1e-12);
+}
+
+TEST(Matrix, HsInnerMatchesTrace)
+{
+    Rng rng(4);
+    const Matrix a = haarUnitary(3, rng);
+    const Matrix b = haarUnitary(3, rng);
+    const Complex lhs = hsInner(a, b);
+    const Complex rhs = (a.dagger() * b).trace();
+    EXPECT_NEAR(std::abs(lhs - rhs), 0.0, 1e-10);
+}
+
+TEST(Eigen, JacobiDiagonalizesKnownMatrix)
+{
+    RealMatrix a(2);
+    a(0, 0) = 2.0;
+    a(0, 1) = 1.0;
+    a(1, 0) = 1.0;
+    a(1, 1) = 2.0;
+    const SymmetricEigen e = eigSymmetric(a);
+    EXPECT_NEAR(e.values[0], 1.0, 1e-10);
+    EXPECT_NEAR(e.values[1], 3.0, 1e-10);
+}
+
+TEST(Eigen, JacobiReconstructsRandomSymmetric)
+{
+    Rng rng(5);
+    const std::size_t n = 4;
+    RealMatrix a(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) {
+            const double v = rng.normal();
+            a(i, j) = v;
+            a(j, i) = v;
+        }
+    }
+    const SymmetricEigen e = eigSymmetric(a);
+    // Rebuild V diag(w) V^T.
+    RealMatrix d(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        d(i, i) = e.values[i];
+    }
+    const RealMatrix rebuilt = e.vectors * d * e.vectors.transpose();
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            EXPECT_NEAR(rebuilt(i, j), a(i, j), 1e-9);
+        }
+    }
+}
+
+TEST(Eigen, JointDiagonalizeCommutingPair)
+{
+    // Build commuting symmetric pair from a shared eigenbasis with a
+    // deliberately degenerate spectrum in `a`.
+    Rng rng(6);
+    const std::size_t n = 4;
+    RealMatrix g(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            g(i, j) = rng.normal();
+        }
+    }
+    // Orthogonalize g's columns (Gram-Schmidt).
+    for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t k = 0; k < j; ++k) {
+            double dot = 0.0;
+            for (std::size_t i = 0; i < n; ++i) {
+                dot += g(i, k) * g(i, j);
+            }
+            for (std::size_t i = 0; i < n; ++i) {
+                g(i, j) -= dot * g(i, k);
+            }
+        }
+        double norm = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            norm += g(i, j) * g(i, j);
+        }
+        norm = std::sqrt(norm);
+        for (std::size_t i = 0; i < n; ++i) {
+            g(i, j) /= norm;
+        }
+    }
+    const double wa[4] = {1.0, 1.0, 2.0, 2.0};  // degenerate pairs
+    const double wb[4] = {3.0, 4.0, 5.0, 6.0};  // splits the degeneracy
+    RealMatrix da(n);
+    RealMatrix db(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        da(i, i) = wa[i];
+        db(i, i) = wb[i];
+    }
+    const RealMatrix a = g * da * g.transpose();
+    const RealMatrix b = g * db * g.transpose();
+
+    const RealMatrix p = jointDiagonalize(a, b);
+    EXPECT_NEAR((p.transpose() * a * p).maxOffDiagonal(), 0.0, 1e-8);
+    EXPECT_NEAR((p.transpose() * b * p).maxOffDiagonal(), 0.0, 1e-8);
+    EXPECT_NEAR(std::abs(p.determinant()), 1.0, 1e-9);
+    EXPECT_GT(p.determinant(), 0.0);
+}
+
+TEST(RandomUnitary, HaarIsUnitary)
+{
+    Rng rng(7);
+    for (std::size_t n : {2, 3, 4}) {
+        const Matrix u = haarUnitary(n, rng);
+        EXPECT_TRUE(u.isUnitary(1e-9)) << "n = " << n;
+    }
+}
+
+TEST(RandomUnitary, SpecialUnitaryHasUnitDeterminant)
+{
+    Rng rng(8);
+    const Matrix u = haarSpecialUnitary(4, rng);
+    EXPECT_TRUE(u.isUnitary(1e-9));
+    EXPECT_NEAR(std::abs(u.determinant() - Complex(1.0, 0.0)), 0.0, 1e-8);
+}
+
+TEST(Su2, RotationMatricesAreUnitary)
+{
+    for (double angle : {-2.5, -0.3, 0.0, 0.7, 3.1}) {
+        EXPECT_TRUE(rzMatrix(angle).isUnitary(1e-12));
+        EXPECT_TRUE(ryMatrix(angle).isUnitary(1e-12));
+        EXPECT_TRUE(rxMatrix(angle).isUnitary(1e-12));
+    }
+}
+
+TEST(Su2, ZyzRoundTripsRandomUnitaries)
+{
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i) {
+        const Matrix u = haarUnitary(2, rng);
+        const ZyzAngles ang = zyzDecompose(u);
+        EXPECT_TRUE(allClose(zyzMatrix(ang), u, 1e-9)) << "iteration " << i;
+    }
+}
+
+TEST(Su2, ZyzHandlesDiagonalAndAntiDiagonal)
+{
+    // Diagonal: S gate.
+    const Matrix s{{1, 0}, {0, Complex(0, 1)}};
+    EXPECT_TRUE(allClose(zyzMatrix(zyzDecompose(s)), s, 1e-9));
+    // Anti-diagonal: X gate.
+    const Matrix x{{0, 1}, {1, 0}};
+    EXPECT_TRUE(allClose(zyzMatrix(zyzDecompose(x)), x, 1e-9));
+    // Y gate.
+    const Matrix y{{0, Complex(0, -1)}, {Complex(0, 1), 0}};
+    EXPECT_TRUE(allClose(zyzMatrix(zyzDecompose(y)), y, 1e-9));
+}
+
+TEST(Su2, U3MatchesZyzWithPhase)
+{
+    // U3(theta, phi, lam) = e^{i(phi+lam)/2} Rz(phi) Ry(theta) Rz(lam)
+    const double theta = 0.7;
+    const double phi = -1.1;
+    const double lam = 2.3;
+    const Matrix lhs = u3Matrix(theta, phi, lam);
+    const Matrix rhs = (rzMatrix(phi) * ryMatrix(theta) * rzMatrix(lam)) *
+                       std::polar(1.0, (phi + lam) / 2.0);
+    EXPECT_TRUE(allClose(lhs, rhs, 1e-12));
+}
+
+TEST(KronFactor, RecoversExactTensorProducts)
+{
+    Rng rng(10);
+    for (int i = 0; i < 50; ++i) {
+        const Matrix a = haarUnitary(2, rng);
+        const Matrix b = haarUnitary(2, rng);
+        const KronFactors f = factorKronecker(kron(a, b));
+        EXPECT_LT(f.residual, 1e-9) << "iteration " << i;
+        EXPECT_TRUE(f.left.isUnitary(1e-8));
+        EXPECT_TRUE(f.right.isUnitary(1e-8));
+        // Factors equal the originals up to opposite phases.
+        EXPECT_TRUE(equalUpToGlobalPhase(f.left, a, 1e-8));
+        EXPECT_TRUE(equalUpToGlobalPhase(f.right, b, 1e-8));
+    }
+}
+
+TEST(KronFactor, ReportsResidualForEntangledInput)
+{
+    // CNOT is not a tensor product; the residual must be large.
+    const Matrix cnot{{1, 0, 0, 0},
+                      {0, 1, 0, 0},
+                      {0, 0, 0, 1},
+                      {0, 0, 1, 0}};
+    const KronFactors f = factorKronecker(cnot);
+    EXPECT_GT(f.residual, 0.5);
+}
+
+} // namespace
+} // namespace snail

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for multi-mode parametric drives (paper Sec. 4.1's simultaneous
+ * SNAIL pumps).
+ *
+ * Analytic anchors: a single resonant pair reduces to the two-mode
+ * exchange; two drives on disjoint pairs factorize into parallel
+ * gates; the symmetric three-mode lambda system oscillates between the
+ * driven mode and the bright state at Rabi frequency g sqrt(2).
+ */
+
+#include <cmath>
+#include <complex>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "pulse/multimode.hpp"
+
+namespace snail
+{
+namespace
+{
+
+TEST(MultiMode, SinglePairReducesToTwoModeExchange)
+{
+    MultiModeDrive drive(2);
+    drive.addDrive(PairDrive{0, 1, 1.0, 0.0});
+    for (double t : {0.4, M_PI / 4.0, 1.3}) {
+        const auto dist = drive.excitationDistribution(0, t);
+        EXPECT_NEAR(dist[1], std::pow(std::sin(t), 2), 1e-7);
+        EXPECT_NEAR(dist[0] + dist[1], 1.0, 1e-8);
+    }
+}
+
+TEST(MultiMode, DetunedPairMatchesRabi)
+{
+    const double g = 0.7;
+    const double delta = 1.1;
+    MultiModeDrive drive(2);
+    drive.addDrive(PairDrive{0, 1, g, delta});
+    const double omega = std::sqrt(g * g + 0.25 * delta * delta);
+    for (double t : {0.5, 1.5}) {
+        const auto dist = drive.excitationDistribution(0, t);
+        EXPECT_NEAR(dist[1],
+                    g * g / (omega * omega) *
+                        std::pow(std::sin(omega * t), 2),
+                    1e-6);
+    }
+}
+
+TEST(MultiMode, DisjointPairsRunInParallel)
+{
+    // Drives on (0,1) and (2,3) must not interact: the four-mode
+    // propagator factorizes into two independent exchanges.  This is
+    // the paper's "multiple gates in parallel in the same
+    // neighborhood" claim in the single-excitation picture.
+    const double ga = 1.0;
+    const double gb = 0.6;
+    MultiModeDrive drive(4);
+    drive.addDrive(PairDrive{0, 1, ga, 0.0});
+    drive.addDrive(PairDrive{2, 3, gb, 0.0});
+    const double t = 0.9;
+    const auto from0 = drive.excitationDistribution(0, t);
+    EXPECT_NEAR(from0[1], std::pow(std::sin(ga * t), 2), 1e-7);
+    EXPECT_NEAR(from0[2], 0.0, 1e-10);
+    EXPECT_NEAR(from0[3], 0.0, 1e-10);
+    const auto from2 = drive.excitationDistribution(2, t);
+    EXPECT_NEAR(from2[3], std::pow(std::sin(gb * t), 2), 1e-7);
+    EXPECT_NEAR(from2[0], 0.0, 1e-10);
+}
+
+TEST(MultiMode, ThreeModeBrightStateOscillation)
+{
+    // Symmetric lambda system: P(stay on 0) = cos^2(sqrt(2) g t) and
+    // the transferred share splits evenly between modes 1 and 2.
+    const double g = 1.0;
+    MultiModeDrive drive(3);
+    drive.addDrive(PairDrive{0, 1, g, 0.0});
+    drive.addDrive(PairDrive{0, 2, g, 0.0});
+    for (double t : {0.3, 0.7, 1.2}) {
+        const auto dist = drive.excitationDistribution(0, t);
+        const double stay = std::pow(std::cos(std::sqrt(2.0) * g * t), 2);
+        EXPECT_NEAR(dist[0], stay, 1e-7) << "t = " << t;
+        EXPECT_NEAR(dist[1], (1.0 - stay) / 2.0, 1e-7);
+        EXPECT_NEAR(dist[2], (1.0 - stay) / 2.0, 1e-7);
+    }
+}
+
+TEST(MultiMode, ThreeModeTransferTimeIsExact)
+{
+    const double g = 0.8;
+    MultiModeDrive drive(3);
+    drive.addDrive(PairDrive{0, 1, g, 0.0});
+    drive.addDrive(PairDrive{0, 2, g, 0.0});
+    const double t_star = threeModeTransferTime(g);
+    const auto dist = drive.excitationDistribution(0, t_star);
+    EXPECT_NEAR(dist[0], 0.0, 1e-8);
+    EXPECT_NEAR(dist[1], 0.5, 1e-8);
+    EXPECT_NEAR(dist[2], 0.5, 1e-8);
+}
+
+TEST(MultiMode, WStateEngineering)
+{
+    // Partial three-mode transfer engineers a W-like distribution:
+    // choose t with cos^2(sqrt(2) t) = 1/3 so all three modes hold 1/3.
+    MultiModeDrive drive(3);
+    drive.addDrive(PairDrive{0, 1, 1.0, 0.0});
+    drive.addDrive(PairDrive{0, 2, 1.0, 0.0});
+    const double t =
+        std::acos(std::sqrt(1.0 / 3.0)) / std::sqrt(2.0);
+    const auto dist = drive.excitationDistribution(0, t);
+    EXPECT_NEAR(dist[0], 1.0 / 3.0, 1e-7);
+    EXPECT_NEAR(dist[1], 1.0 / 3.0, 1e-7);
+    EXPECT_NEAR(dist[2], 1.0 / 3.0, 1e-7);
+}
+
+TEST(MultiMode, PropagatorUnitary)
+{
+    MultiModeDrive drive(4);
+    drive.addDrive(PairDrive{0, 1, 1.0, 0.3});
+    drive.addDrive(PairDrive{1, 2, 0.5, -0.2});
+    drive.addDrive(PairDrive{2, 3, 0.8, 0.0});
+    const Matrix u = drive.propagator(2.0);
+    EXPECT_LT(unitarityError(u), 1e-7);
+}
+
+TEST(MultiMode, RejectsBadConfiguration)
+{
+    EXPECT_THROW(MultiModeDrive(1), SnailError);
+    MultiModeDrive drive(3);
+    EXPECT_THROW(drive.addDrive(PairDrive{0, 0, 1.0, 0.0}), SnailError);
+    EXPECT_THROW(drive.addDrive(PairDrive{0, 3, 1.0, 0.0}), SnailError);
+    EXPECT_THROW(drive.addDrive(PairDrive{0, 1, -1.0, 0.0}), SnailError);
+    EXPECT_THROW(drive.excitationDistribution(5, 1.0), SnailError);
+    EXPECT_THROW(threeModeTransferTime(0.0), SnailError);
+}
+
+} // namespace
+} // namespace snail

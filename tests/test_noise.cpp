@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the stochastic Pauli noise substrate.
+ *
+ * Directed limiting cases have exact answers (noiseless channel,
+ * certain errors on known states); statistical cases are checked
+ * against analytic expectations within generous Monte-Carlo bounds.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "circuits/circuits.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sim/noise.hpp"
+
+namespace snail
+{
+namespace
+{
+
+TEST(NoiseModel, FromFidelities)
+{
+    const PauliNoiseModel model = PauliNoiseModel::fromFidelities(0.999,
+                                                                  0.99);
+    EXPECT_NEAR(model.p1, 0.001, 1e-12);
+    EXPECT_NEAR(model.p2, 0.01, 1e-12);
+    EXPECT_FALSE(model.isNoiseless());
+    EXPECT_TRUE(PauliNoiseModel{}.isNoiseless());
+}
+
+TEST(NoiseTrajectory, NoiselessMatchesIdeal)
+{
+    Circuit c = ghz(5);
+    Rng rng(3);
+    const Statevector noisy =
+        runNoisyTrajectory(c, PauliNoiseModel{}, rng);
+    Statevector ideal(5);
+    ideal.run(c);
+    EXPECT_NEAR(std::norm(ideal.inner(noisy)), 1.0, 1e-12);
+}
+
+TEST(NoiseEstimate, NoiselessFidelityIsOne)
+{
+    Circuit c = qft(4);
+    Rng rng(5);
+    const NoiseEstimate est =
+        estimateCircuitFidelity(c, PauliNoiseModel{}, 5, rng);
+    EXPECT_NEAR(est.mean_fidelity, 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(est.no_error_prob, 1.0);
+    EXPECT_NEAR(est.standard_error, 0.0, 1e-12);
+}
+
+TEST(NoiseEstimate, CertainErrorOnGroundState)
+{
+    // A single identity gate on |0> with p1 = 1: the random Pauli is
+    // X, Y, or Z with equal probability; Z leaves |0> invariant, so
+    // E[F] = 1/3.
+    Circuit c(1);
+    c.i(0);
+    PauliNoiseModel model;
+    model.p1 = 1.0;
+    Rng rng(7);
+    const NoiseEstimate est =
+        estimateCircuitFidelity(c, model, 3000, rng);
+    EXPECT_NEAR(est.mean_fidelity, 1.0 / 3.0, 0.03);
+    EXPECT_NEAR(est.no_error_prob, 0.0, 1e-12);
+}
+
+TEST(NoiseEstimate, MeanAtLeastNoErrorProbability)
+{
+    // Surviving trajectories contribute 1; errored ones contribute
+    // >= 0, so E[F] >= P(no error) up to sampling error.
+    Circuit c = quantumVolume(4, 4, 3);
+    PauliNoiseModel model;
+    model.p1 = 0.002;
+    model.p2 = 0.02;
+    Rng rng(11);
+    const NoiseEstimate est = estimateCircuitFidelity(c, model, 400, rng);
+    EXPECT_GE(est.mean_fidelity,
+              est.no_error_prob - 4 * est.standard_error);
+    EXPECT_GT(est.no_error_prob, 0.0);
+    EXPECT_LT(est.no_error_prob, 1.0);
+}
+
+TEST(NoiseEstimate, NoErrorProbMatchesGateCount)
+{
+    Circuit c = ghz(6); // 1 H + 5 CX
+    PauliNoiseModel model;
+    model.p1 = 0.01;
+    model.p2 = 0.05;
+    Rng rng(13);
+    const NoiseEstimate est = estimateCircuitFidelity(c, model, 2, rng);
+    EXPECT_NEAR(est.no_error_prob,
+                std::pow(0.99, 1) * std::pow(0.95, 5), 1e-12);
+}
+
+TEST(NoiseEstimate, FidelityDecaysWithCircuitSize)
+{
+    PauliNoiseModel model;
+    model.p2 = 0.03;
+    Rng rng(17);
+    const NoiseEstimate small =
+        estimateCircuitFidelity(ghz(3), model, 600, rng);
+    const NoiseEstimate large =
+        estimateCircuitFidelity(ghz(8), model, 600, rng);
+    EXPECT_GT(small.mean_fidelity,
+              large.mean_fidelity - 4 * (small.standard_error +
+                                         large.standard_error));
+}
+
+TEST(NoiseEstimate, IdleDephasingHitsSpectators)
+{
+    // Two qubits entangled, a third in superposition idles the whole
+    // time: with p_idle = 1 its phase flips every unit, reducing
+    // fidelity even though no gate touches it after the H.
+    Circuit c(3);
+    c.h(2);
+    c.cx(0, 1);
+    PauliNoiseModel model;
+    model.p_idle = 1.0;
+    Rng rng(19);
+    const NoiseEstimate est = estimateCircuitFidelity(c, model, 50, rng);
+    // Z on |+> flips it to |->, orthogonal: fidelity collapses to 0.
+    EXPECT_NEAR(est.mean_fidelity, 0.0, 1e-9);
+}
+
+TEST(NoiseEstimate, GhzParityIsFragile)
+{
+    // GHZ states are maximally sensitive to single Z errors: any
+    // injected Z flips the superposition phase and zeroes fidelity;
+    // X errors on interior qubits also break the parity.  Mean
+    // fidelity under certain 2Q errors must drop far below 1/2.
+    Circuit c = ghz(5);
+    PauliNoiseModel model;
+    model.p2 = 1.0;
+    Rng rng(23);
+    const NoiseEstimate est = estimateCircuitFidelity(c, model, 500, rng);
+    EXPECT_LT(est.mean_fidelity, 0.3);
+}
+
+TEST(NoiseEstimate, RejectsZeroTrials)
+{
+    Circuit c = ghz(3);
+    Rng rng(1);
+    EXPECT_THROW(estimateCircuitFidelity(c, PauliNoiseModel{}, 0, rng),
+                 SnailError);
+}
+
+TEST(NoiseEstimate, DeterministicUnderSeed)
+{
+    Circuit c = qft(4);
+    PauliNoiseModel model;
+    model.p2 = 0.05;
+    Rng rng_a(42);
+    Rng rng_b(42);
+    const NoiseEstimate a = estimateCircuitFidelity(c, model, 50, rng_a);
+    const NoiseEstimate b = estimateCircuitFidelity(c, model, 50, rng_b);
+    EXPECT_DOUBLE_EQ(a.mean_fidelity, b.mean_fidelity);
+}
+
+/** Analytic cross-check sweep: E[F] tracks (1-p)^G for small p. */
+class NoiseSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(NoiseSweep, TracksGateCountSurrogate)
+{
+    const double p2 = GetParam();
+    Circuit c = quantumVolume(5, 5, 9);
+    PauliNoiseModel model;
+    model.p2 = p2;
+    Rng rng(29);
+    const NoiseEstimate est = estimateCircuitFidelity(c, model, 300, rng);
+    // The surrogate is a lower bound; for Haar-random blocks the
+    // surviving-fidelity excess is small, so the MC mean should sit in
+    // [no_error, no_error + 0.25] for these parameters.
+    EXPECT_GE(est.mean_fidelity,
+              est.no_error_prob - 4 * est.standard_error);
+    EXPECT_LE(est.mean_fidelity, est.no_error_prob + 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(ErrorRates, NoiseSweep,
+                         ::testing::Values(0.001, 0.005, 0.01, 0.03));
+
+} // namespace
+} // namespace snail

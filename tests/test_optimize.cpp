@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Tests for the peephole optimization passes.
+ *
+ * Every pass must preserve the circuit unitary up to global phase; the
+ * randomized suites check this by simulation on random circuits, and
+ * the directed suites check that specific rewrites fire (or don't).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ir/circuit.hpp"
+#include "sim/equivalence.hpp"
+#include "transpiler/optimize.hpp"
+
+namespace snail
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// removeIdentities
+// ---------------------------------------------------------------------
+
+TEST(RemoveIdentities, DropsExplicitIdentity)
+{
+    Circuit c(1);
+    c.i(0);
+    c.x(0);
+    c.i(0);
+    auto stats = removeIdentities(c);
+    EXPECT_EQ(stats.removed_identities, 2u);
+    EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(RemoveIdentities, DropsZeroAngleRotations)
+{
+    Circuit c(2);
+    c.rz(0.0, 0);
+    c.rx(0.0, 1);
+    c.cp(0.0, 0, 1);
+    c.h(0);
+    EXPECT_EQ(removeIdentities(c).removed_identities, 3u);
+    EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(RemoveIdentities, DropsTwoPiWraps)
+{
+    Circuit c(2);
+    c.rz(2.0 * M_PI, 0); // = -I, identity up to phase
+    c.rzz(2.0 * M_PI, 0, 1);
+    c.cp(2.0 * M_PI, 0, 1);
+    EXPECT_EQ(removeIdentities(c).removed_identities, 3u);
+    EXPECT_TRUE(c.empty());
+}
+
+TEST(RemoveIdentities, KeepsRealGates)
+{
+    Circuit c(2);
+    c.h(0);
+    c.rz(0.1, 0);
+    c.cx(0, 1);
+    EXPECT_EQ(removeIdentities(c).removed_identities, 0u);
+    EXPECT_EQ(c.size(), 3u);
+}
+
+// ---------------------------------------------------------------------
+// fuseSingleQubitGates
+// ---------------------------------------------------------------------
+
+TEST(Fuse1Q, MergesRunIntoU3)
+{
+    Circuit c(1);
+    c.h(0);
+    c.t(0);
+    c.rz(0.3, 0);
+    c.rx(0.7, 0);
+    Circuit original = c;
+    auto stats = fuseSingleQubitGates(c);
+    EXPECT_EQ(stats.fused_1q, 3u);
+    ASSERT_EQ(c.size(), 1u);
+    EXPECT_EQ(c.instructions()[0].gate().kind(), GateKind::U3);
+    EXPECT_TRUE(circuitsEquivalent(original, c));
+}
+
+TEST(Fuse1Q, LeavesSingletonsAlone)
+{
+    Circuit c(2);
+    c.h(0);
+    c.cx(0, 1);
+    c.h(1);
+    EXPECT_EQ(fuseSingleQubitGates(c).fused_1q, 0u);
+    EXPECT_EQ(c.instructions()[0].gate().kind(), GateKind::H);
+    EXPECT_EQ(c.instructions()[2].gate().kind(), GateKind::H);
+}
+
+TEST(Fuse1Q, InverseRunVanishes)
+{
+    Circuit c(1);
+    c.h(0);
+    c.h(0);
+    auto stats = fuseSingleQubitGates(c);
+    EXPECT_EQ(stats.fused_1q, 2u);
+    EXPECT_TRUE(c.empty());
+}
+
+TEST(Fuse1Q, TwoQubitGateBreaksRuns)
+{
+    Circuit c(2);
+    c.t(0);
+    c.cx(0, 1);
+    c.tdg(0);
+    Circuit original = c;
+    EXPECT_EQ(fuseSingleQubitGates(c).fused_1q, 0u);
+    EXPECT_EQ(c.size(), 3u);
+    EXPECT_TRUE(circuitsEquivalent(original, c));
+}
+
+TEST(Fuse1Q, IndependentQubitsFuseIndependently)
+{
+    Circuit c(2);
+    c.h(0);
+    c.t(0);
+    c.x(1);
+    c.z(1);
+    Circuit original = c;
+    auto stats = fuseSingleQubitGates(c);
+    EXPECT_EQ(stats.fused_1q, 2u);
+    EXPECT_EQ(c.size(), 2u);
+    EXPECT_TRUE(circuitsEquivalent(original, c));
+}
+
+// ---------------------------------------------------------------------
+// cancelTwoQubitGates
+// ---------------------------------------------------------------------
+
+TEST(Cancel2Q, AdjacentCxPairCancels)
+{
+    Circuit c(2);
+    c.cx(0, 1);
+    c.cx(0, 1);
+    auto stats = cancelTwoQubitGates(c);
+    EXPECT_EQ(stats.cancelled_2q, 2u);
+    EXPECT_TRUE(c.empty());
+}
+
+TEST(Cancel2Q, ReversedCxDoesNotCancel)
+{
+    Circuit c(2);
+    c.cx(0, 1);
+    c.cx(1, 0);
+    EXPECT_EQ(cancelTwoQubitGates(c).cancelled_2q, 0u);
+    EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(Cancel2Q, SymmetricGatesCancelEitherOrientation)
+{
+    Circuit c(2);
+    c.cz(0, 1);
+    c.cz(1, 0);
+    c.swap(0, 1);
+    c.swap(1, 0);
+    auto stats = cancelTwoQubitGates(c);
+    EXPECT_EQ(stats.cancelled_2q, 4u);
+    EXPECT_TRUE(c.empty());
+}
+
+TEST(Cancel2Q, InterveningGateBlocksCancellation)
+{
+    Circuit c(2);
+    c.cx(0, 1);
+    c.h(1);
+    c.cx(0, 1);
+    EXPECT_EQ(cancelTwoQubitGates(c).cancelled_2q, 0u);
+    EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(Cancel2Q, SpectatorGateDoesNotBlock)
+{
+    // An op on an unrelated qubit must not break the adjacency.
+    Circuit c(3);
+    c.cx(0, 1);
+    c.h(2);
+    c.cx(0, 1);
+    auto stats = cancelTwoQubitGates(c);
+    EXPECT_EQ(stats.cancelled_2q, 2u);
+    EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Cancel2Q, CPhaseAnglesMerge)
+{
+    Circuit c(2);
+    c.cp(0.3, 0, 1);
+    c.cp(0.4, 1, 0); // symmetric: orientation irrelevant
+    auto stats = cancelTwoQubitGates(c);
+    EXPECT_EQ(stats.merged_2q, 1u);
+    ASSERT_EQ(c.size(), 1u);
+    EXPECT_NEAR(c.instructions()[0].gate().params()[0], 0.7, 1e-12);
+}
+
+TEST(Cancel2Q, OppositeCPhaseAnglesCancel)
+{
+    Circuit c(2);
+    c.cp(0.9, 0, 1);
+    c.cp(-0.9, 0, 1);
+    auto stats = cancelTwoQubitGates(c);
+    EXPECT_EQ(stats.cancelled_2q, 2u);
+    EXPECT_TRUE(c.empty());
+}
+
+TEST(Cancel2Q, RzzAnglesMerge)
+{
+    Circuit c(2);
+    c.rzz(1.0, 0, 1);
+    c.rzz(0.5, 0, 1);
+    auto stats = cancelTwoQubitGates(c);
+    EXPECT_EQ(stats.merged_2q, 1u);
+    ASSERT_EQ(c.size(), 1u);
+    EXPECT_NEAR(c.instructions()[0].gate().params()[0], 1.5, 1e-12);
+}
+
+TEST(Cancel2Q, CascadeAfterCancellation)
+{
+    // Removing the middle pair must re-expose the outer pair.
+    Circuit c(2);
+    c.cx(0, 1);
+    c.cz(0, 1);
+    c.cz(0, 1);
+    c.cx(0, 1);
+    Circuit copy = c;
+    auto first = cancelTwoQubitGates(copy);
+    EXPECT_EQ(first.cancelled_2q, 4u);
+    EXPECT_TRUE(copy.empty());
+}
+
+TEST(Cancel2Q, ChainOfThreeLeavesOne)
+{
+    Circuit c(2);
+    c.cx(0, 1);
+    c.cx(0, 1);
+    c.cx(0, 1);
+    cancelTwoQubitGates(c);
+    EXPECT_EQ(c.size(), 1u);
+    EXPECT_EQ(c.instructions()[0].gate().kind(), GateKind::CX);
+}
+
+// ---------------------------------------------------------------------
+// optimizeCircuit (fixpoint driver)
+// ---------------------------------------------------------------------
+
+TEST(Optimize, LevelZeroIsNoOp)
+{
+    Circuit c(1);
+    c.i(0);
+    c.h(0);
+    c.h(0);
+    auto stats = optimizeCircuit(c, 0);
+    EXPECT_EQ(stats.total(), 0u);
+    EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(Optimize, FixpointCascades)
+{
+    // cp +0.5 / cp -0.5 merge to identity, re-exposing the cx pair;
+    // the h pair then fuses away at level 2.
+    Circuit c(2);
+    c.h(0);
+    c.h(0);
+    c.cx(0, 1);
+    c.cp(0.5, 0, 1);
+    c.cp(-0.5, 0, 1);
+    c.cx(0, 1);
+    auto stats = optimizeCircuit(c, 2);
+    EXPECT_TRUE(c.empty()) << "left " << c.size() << " ops";
+    EXPECT_GE(stats.iterations, 1);
+}
+
+TEST(Optimize, PreservesNontrivialCircuit)
+{
+    Circuit c(3);
+    c.h(0);
+    c.cx(0, 1);
+    c.cx(1, 2);
+    c.rz(0.4, 2);
+    Circuit original = c;
+    optimizeCircuit(c, 2);
+    EXPECT_TRUE(circuitsEquivalent(original, c));
+    EXPECT_EQ(c.countTwoQubit(), 2u);
+}
+
+/** Random circuits: optimization must never change the unitary. */
+class OptimizeProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+Circuit
+randomCircuit(unsigned seed, int n, int length)
+{
+    Rng rng(seed);
+    Circuit c(n);
+    for (int i = 0; i < length; ++i) {
+        const int choice = static_cast<int>(rng.index(10));
+        const int q = static_cast<int>(rng.index(n));
+        int r = static_cast<int>(rng.index(n));
+        while (r == q) {
+            r = static_cast<int>(rng.index(n));
+        }
+        switch (choice) {
+          case 0:
+            c.h(q);
+            break;
+          case 1:
+            c.t(q);
+            break;
+          case 2:
+            c.rz(rng.uniform() * 4 * M_PI - 2 * M_PI, q);
+            break;
+          case 3:
+            c.i(q);
+            break;
+          case 4:
+            c.cx(q, r);
+            break;
+          case 5:
+            c.cx(q, r); // doubled: raises the chance of cancellations
+            c.cx(q, r);
+            break;
+          case 6:
+            c.cz(q, r);
+            break;
+          case 7:
+            c.cp(rng.uniform() * 2 * M_PI - M_PI, q, r);
+            break;
+          case 8:
+            c.swap(q, r);
+            break;
+          default:
+            c.rz(0.0, q);
+            break;
+        }
+    }
+    return c;
+}
+
+TEST_P(OptimizeProperty, UnitaryPreservedLevel1)
+{
+    Circuit c = randomCircuit(GetParam(), 4, 60);
+    Circuit original = c;
+    optimizeCircuit(c, 1);
+    EXPECT_TRUE(circuitsEquivalent(original, c));
+}
+
+TEST_P(OptimizeProperty, UnitaryPreservedLevel2)
+{
+    Circuit c = randomCircuit(GetParam(), 4, 60);
+    Circuit original = c;
+    optimizeCircuit(c, 2);
+    EXPECT_TRUE(circuitsEquivalent(original, c));
+    EXPECT_LE(c.size(), original.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizeProperty,
+                         ::testing::Range(1u, 13u));
+
+} // namespace
+} // namespace snail

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shortest-path invariants over every registered topology (parameterized
+ * sweep): path endpoints, step adjacency, length-distance agreement, the
+ * triangle inequality, and distance symmetry.  The routers lean on these
+ * properties, so they are pinned for every graph we ship.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "topology/registry.hpp"
+
+namespace snail
+{
+namespace
+{
+
+class PathProperties : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(PathProperties, ShortestPathsAreValidAndTight)
+{
+    const CouplingGraph g = namedTopology(GetParam());
+    Rng rng(90);
+    for (int trial = 0; trial < 24; ++trial) {
+        const int a = static_cast<int>(rng.index(
+            static_cast<std::size_t>(g.numQubits())));
+        const int b = static_cast<int>(rng.index(
+            static_cast<std::size_t>(g.numQubits())));
+        const auto path = g.shortestPath(a, b);
+        ASSERT_FALSE(path.empty());
+        EXPECT_EQ(path.front(), a);
+        EXPECT_EQ(path.back(), b);
+        EXPECT_EQ(static_cast<int>(path.size()) - 1, g.distance(a, b));
+        for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+            EXPECT_TRUE(g.hasEdge(path[i], path[i + 1]))
+                << "broken step in " << GetParam();
+        }
+    }
+}
+
+TEST_P(PathProperties, DistanceIsAMetric)
+{
+    const CouplingGraph g = namedTopology(GetParam());
+    Rng rng(91);
+    for (int trial = 0; trial < 24; ++trial) {
+        const int a = static_cast<int>(rng.index(
+            static_cast<std::size_t>(g.numQubits())));
+        const int b = static_cast<int>(rng.index(
+            static_cast<std::size_t>(g.numQubits())));
+        const int c = static_cast<int>(rng.index(
+            static_cast<std::size_t>(g.numQubits())));
+        EXPECT_EQ(g.distance(a, b), g.distance(b, a));
+        EXPECT_LE(g.distance(a, c),
+                  g.distance(a, b) + g.distance(b, c));
+        EXPECT_EQ(g.distance(a, a), 0);
+        if (a != b) {
+            EXPECT_GE(g.distance(a, b), 1);
+        }
+    }
+}
+
+TEST_P(PathProperties, DegreeSumMatchesEdges)
+{
+    const CouplingGraph g = namedTopology(GetParam());
+    std::size_t degree_sum = 0;
+    for (int q = 0; q < g.numQubits(); ++q) {
+        degree_sum += static_cast<std::size_t>(g.degree(q));
+    }
+    EXPECT_EQ(degree_sum, 2 * g.edgeCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTopologies, PathProperties,
+    ::testing::ValuesIn(topologyNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string s = info.param;
+        for (auto &ch : s) {
+            if (ch == '-' || ch == ',') {
+                ch = '_';
+            }
+        }
+        return s;
+    });
+
+} // namespace
+} // namespace snail

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Integration tests for the transpile pipeline's extended options:
+ * peephole optimization levels, VF2-or-dense layout, trailing-SWAP
+ * elision, and the lookahead router — alone and combined.
+ *
+ * The oracle throughout is simulated equivalence of the routed circuit
+ * under the reported layouts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuits/circuits.hpp"
+#include "common/rng.hpp"
+#include "sim/equivalence.hpp"
+#include "topology/registry.hpp"
+#include "transpiler/pipeline.hpp"
+
+namespace snail
+{
+namespace
+{
+
+/** A workload with deliberate redundancy for the optimizer to find. */
+Circuit
+redundantWorkload(int n)
+{
+    Circuit c(n, "redundant");
+    for (int q = 0; q < n; ++q) {
+        c.h(q);
+        c.h(q); // cancels at level 2
+    }
+    c.extend(qft(n));
+    c.cx(0, 1);
+    c.cx(0, 1); // cancels at level 1
+    return c;
+}
+
+TEST(PipelineOptions, OptimizationReducesTwoQubitWork)
+{
+    const CouplingGraph device = namedTopology("square-16");
+    const Circuit workload = redundantWorkload(8);
+
+    TranspileOptions plain;
+    plain.seed = 5;
+    TranspileOptions optimized = plain;
+    optimized.optimization_level = 2;
+
+    const TranspileResult a = transpile(workload, device, plain);
+    const TranspileResult b = transpile(workload, device, optimized);
+    EXPECT_LE(b.metrics.ops_2q_pre, a.metrics.ops_2q_pre);
+    EXPECT_LE(b.metrics.basis_2q_total, a.metrics.basis_2q_total);
+}
+
+TEST(PipelineOptions, OptimizedRoutingStaysEquivalent)
+{
+    const CouplingGraph device = namedTopology("tree-20");
+    // Use a redundancy-free workload so the optimized circuit equals
+    // the input unitary trivially and the equivalence check applies.
+    const Circuit workload = qft(6);
+    TranspileOptions opts;
+    opts.optimization_level = 2;
+    opts.seed = 7;
+    const TranspileResult r = transpile(workload, device, opts);
+    Rng rng(3);
+    EXPECT_TRUE(routedCircuitEquivalent(workload, r.routed,
+                                        r.initial_layout.v2p(),
+                                        r.final_layout.v2p(), 3, rng));
+}
+
+TEST(PipelineOptions, AllExtensionsTogether)
+{
+    const CouplingGraph device = namedTopology("corral12-16");
+    const Circuit workload = quantumVolume(6, 6, 11);
+    TranspileOptions opts;
+    opts.layout = LayoutKind::Vf2OrDense;
+    opts.router = RouterKind::Lookahead;
+    opts.optimization_level = 2;
+    opts.elide_trailing_swaps = true;
+    opts.basis = BasisSpec{BasisKind::SqISwap};
+    opts.seed = 13;
+    const TranspileResult r = transpile(workload, device, opts);
+
+    for (const auto &op : r.routed.instructions()) {
+        if (op.numQubits() == 2) {
+            EXPECT_TRUE(device.hasEdge(op.q0(), op.q1()));
+        }
+    }
+    Rng rng(17);
+    EXPECT_TRUE(routedCircuitEquivalent(workload, r.routed,
+                                        r.initial_layout.v2p(),
+                                        r.final_layout.v2p(), 3, rng));
+}
+
+TEST(PipelineOptions, ElisionNeverIncreasesSwaps)
+{
+    for (const char *topo : {"square-16", "tree-20", "heavy-hex-20"}) {
+        const CouplingGraph device = namedTopology(topo);
+        const Circuit workload = qft(8);
+        TranspileOptions plain;
+        plain.seed = 19;
+        TranspileOptions elided = plain;
+        elided.elide_trailing_swaps = true;
+        const TranspileResult a = transpile(workload, device, plain);
+        const TranspileResult b = transpile(workload, device, elided);
+        EXPECT_LE(b.metrics.swaps_total, a.metrics.swaps_total) << topo;
+        EXPECT_LE(b.metrics.duration_critical,
+                  a.metrics.duration_critical + 1e-9)
+            << topo;
+    }
+}
+
+TEST(PipelineOptions, DefaultsReproducePaperFlow)
+{
+    // The default options must not silently enable any extension:
+    // transpiling twice with an explicit all-off config and with the
+    // defaults must agree bit for bit on the metrics.
+    const CouplingGraph device = namedTopology("hypercube-16");
+    const Circuit workload = qaoaVanilla(10, 3);
+
+    TranspileOptions defaults;
+    TranspileOptions explicit_off;
+    explicit_off.layout = LayoutKind::Dense;
+    explicit_off.router = RouterKind::Stochastic;
+    explicit_off.optimization_level = 0;
+    explicit_off.elide_trailing_swaps = false;
+
+    const TranspileResult a = transpile(workload, device, defaults);
+    const TranspileResult b = transpile(workload, device, explicit_off);
+    EXPECT_EQ(a.metrics.swaps_total, b.metrics.swaps_total);
+    EXPECT_EQ(a.metrics.basis_2q_total, b.metrics.basis_2q_total);
+    EXPECT_DOUBLE_EQ(a.metrics.duration_critical,
+                     b.metrics.duration_critical);
+}
+
+TEST(PipelineOptions, Vf2FallsBackGracefully)
+{
+    // A dense workload that cannot embed: Vf2OrDense must fall back to
+    // DenseLayout and still produce a valid result.
+    const CouplingGraph device = namedTopology("heavy-hex-20");
+    const Circuit workload = quantumVolume(12, 12, 23);
+    TranspileOptions opts;
+    opts.layout = LayoutKind::Vf2OrDense;
+    opts.seed = 29;
+    const TranspileResult r = transpile(workload, device, opts);
+    EXPECT_GT(r.metrics.swaps_total, 0u);
+    Rng rng(31);
+    EXPECT_TRUE(routedCircuitEquivalent(workload, r.routed,
+                                        r.initial_layout.v2p(),
+                                        r.final_layout.v2p(), 2, rng));
+}
+
+} // namespace
+} // namespace snail

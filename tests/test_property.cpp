@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Property-based integration sweeps (parameterized gtest):
+ *
+ *  - every (benchmark, topology) pair routes validly and deterministically;
+ *  - routed circuits of every benchmark are simulation-equivalent to the
+ *    originals at small width;
+ *  - Weyl coordinates behave correctly across continuous gate families
+ *    (FSIM sweep, CR sweep, RZZ sweep);
+ *  - metric monotonicity: richer topologies never lose to heavy-hex on
+ *    total SWAPs for the same workload at scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "circuits/registry.hpp"
+#include "sim/equivalence.hpp"
+#include "topology/registry.hpp"
+#include "transpiler/pipeline.hpp"
+#include "weyl/basis_counts.hpp"
+
+namespace snail
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Routing validity across the full benchmark x topology grid.
+// ---------------------------------------------------------------------
+
+using GridParam = std::tuple<BenchmarkKind, std::string>;
+
+class RoutingGrid : public ::testing::TestWithParam<GridParam>
+{
+};
+
+TEST_P(RoutingGrid, RoutesValidly)
+{
+    const auto [bench, topo_name] = GetParam();
+    const CouplingGraph g = namedTopology(topo_name);
+    const int width = std::min(12, g.numQubits() - 2);
+    const Circuit c = makeBenchmark(bench, width, 19);
+    TranspileOptions opts;
+    opts.stochastic_trials = 6;
+    opts.seed = 37;
+    const TranspileResult r = transpile(c, g, opts);
+    for (const auto &op : r.routed.instructions()) {
+        if (op.isTwoQubit()) {
+            ASSERT_TRUE(g.hasEdge(op.q0(), op.q1()))
+                << op.toString() << " on " << topo_name;
+        }
+    }
+    // Gate content is preserved: original 2Q ops + router-added SWAPs.
+    // (swaps_total counts all SWAPs in the routed circuit, including any
+    // the benchmark itself contains, e.g. QFT's bit reversal.)
+    EXPECT_EQ(r.routed.countTwoQubit(),
+              c.countTwoQubit() + r.metrics.swaps_total -
+                  c.countKind(GateKind::Swap));
+}
+
+TEST_P(RoutingGrid, DeterministicUnderSeed)
+{
+    const auto [bench, topo_name] = GetParam();
+    const CouplingGraph g = namedTopology(topo_name);
+    const int width = std::min(10, g.numQubits() - 2);
+    const Circuit c = makeBenchmark(bench, width, 19);
+    TranspileOptions opts;
+    opts.stochastic_trials = 4;
+    opts.seed = 41;
+    const TranspileResult a = transpile(c, g, opts);
+    const TranspileResult b = transpile(c, g, opts);
+    EXPECT_EQ(a.metrics.swaps_total, b.metrics.swaps_total);
+    EXPECT_EQ(a.metrics.basis_2q_total, b.metrics.basis_2q_total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BenchmarkByTopology, RoutingGrid,
+    ::testing::Combine(
+        ::testing::Values(BenchmarkKind::QuantumVolume, BenchmarkKind::Qft,
+                          BenchmarkKind::QaoaVanilla,
+                          BenchmarkKind::TimHamiltonian,
+                          BenchmarkKind::Adder, BenchmarkKind::Ghz),
+        ::testing::Values("square-16", "tree-20", "tree-rr-20",
+                          "corral11-16", "corral12-16", "hypercube-16",
+                          "heavy-hex-20")),
+    [](const ::testing::TestParamInfo<GridParam> &info) {
+        std::string s =
+            std::string(benchmarkName(std::get<0>(info.param))) + "_" +
+            std::get<1>(info.param);
+        for (auto &ch : s) {
+            if (ch == '-') {
+                ch = '_';
+            }
+        }
+        return s;
+    });
+
+// ---------------------------------------------------------------------
+// Simulated end-to-end equivalence per benchmark (small widths).
+// ---------------------------------------------------------------------
+
+class EquivalenceSweep : public ::testing::TestWithParam<BenchmarkKind>
+{
+};
+
+TEST_P(EquivalenceSweep, RoutedCircuitComputesTheBenchmark)
+{
+    const BenchmarkKind bench = GetParam();
+    const CouplingGraph g = namedTopology("corral11-16");
+    const int width = 6;
+    const Circuit c = makeBenchmark(bench, width, 23);
+    TranspileOptions opts;
+    opts.stochastic_trials = 6;
+    opts.seed = 43;
+    const TranspileResult r = transpile(c, g, opts);
+    Rng vrng(44);
+    EXPECT_TRUE(routedCircuitEquivalent(c, r.routed,
+                                        r.initial_layout.v2p(),
+                                        r.final_layout.v2p(), 2, vrng));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, EquivalenceSweep,
+    ::testing::Values(BenchmarkKind::QuantumVolume, BenchmarkKind::Qft,
+                      BenchmarkKind::QaoaVanilla,
+                      BenchmarkKind::TimHamiltonian, BenchmarkKind::Adder,
+                      BenchmarkKind::Ghz),
+    [](const ::testing::TestParamInfo<BenchmarkKind> &info) {
+        return benchmarkName(info.param);
+    });
+
+// ---------------------------------------------------------------------
+// Weyl coordinates across continuous gate families.
+// ---------------------------------------------------------------------
+
+class AngleSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(AngleSweep, FsimFamilyCoordinates)
+{
+    const double theta = GetParam();
+    // FSIM(theta, 0) is an iSWAP-type exchange: coordinates
+    // (|theta|/2, |theta|/2, 0) folded into the chamber.
+    const WeylCoords w =
+        weylCoordinates(gates::fsim(theta, 0.0).matrix());
+    const double expected = std::abs(theta) / 2.0;
+    if (expected <= M_PI / 4.0 + 1e-12) {
+        EXPECT_NEAR(w.a, expected, 1e-8);
+        EXPECT_NEAR(w.b, expected, 1e-8);
+        EXPECT_NEAR(w.c, 0.0, 1e-8);
+    } else {
+        // Folded back into the chamber.
+        EXPECT_LE(w.a, M_PI / 4.0 + 1e-9);
+    }
+}
+
+TEST_P(AngleSweep, CrossResonanceStaysOnCnotAxis)
+{
+    const double theta = GetParam();
+    const WeylCoords w =
+        weylCoordinates(gates::crossRes(theta).matrix());
+    EXPECT_NEAR(w.b, 0.0, 1e-8);
+    EXPECT_NEAR(w.c, 0.0, 1e-8);
+}
+
+TEST_P(AngleSweep, RzzMatchesCPhaseClass)
+{
+    const double theta = GetParam();
+    // RZZ(theta) and CPhase(2 theta... ) are locally equivalent up to
+    // angle convention: RZZ(t) ~ CPhase(-2t) classes coincide.
+    const WeylCoords zz = weylCoordinates(gates::rzz(theta).matrix());
+    const WeylCoords cp =
+        weylCoordinates(gates::cphase(2.0 * theta).matrix());
+    EXPECT_NEAR(zz.a, cp.a, 1e-8);
+    EXPECT_NEAR(zz.b, cp.b, 1e-8);
+    EXPECT_NEAR(zz.c, cp.c, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, AngleSweep,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.9, 1.2,
+                                           M_PI / 2.0, 2.2, 3.0),
+                         [](const ::testing::TestParamInfo<double> &info) {
+                             return "angle" +
+                                    std::to_string(info.index);
+                         });
+
+// ---------------------------------------------------------------------
+// Cross-topology SWAP ordering at 84 qubits.
+// ---------------------------------------------------------------------
+
+TEST(Ordering, HypercubeBeatsHeavyHexAtScale)
+{
+    const Circuit c = makeBenchmark(BenchmarkKind::QuantumVolume, 32, 29);
+    TranspileOptions opts;
+    opts.stochastic_trials = 6;
+    opts.seed = 47;
+    const auto hh = transpile(c, namedTopology("heavy-hex-84"), opts);
+    const auto hc = transpile(c, namedTopology("hypercube-84"), opts);
+    const auto tr = transpile(c, namedTopology("tree-84"), opts);
+    EXPECT_LT(hc.metrics.swaps_total, hh.metrics.swaps_total);
+    EXPECT_LT(tr.metrics.swaps_total, hh.metrics.swaps_total);
+}
+
+} // namespace
+} // namespace snail

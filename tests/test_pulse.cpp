@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Tests for the time-domain pulse substrate.
+ *
+ * The RK4 integrator is validated against closed-form solutions
+ * (constant Hamiltonians, Rabi oscillation); the driven-exchange model
+ * is validated against the rotating-wave results of
+ * sim/parametric_exchange.hpp in its regime of validity, and the
+ * counter-rotating corrections are checked to scale the right way.
+ */
+
+#include <cmath>
+#include <complex>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "pulse/exchange_pulse.hpp"
+#include "pulse/integrator.hpp"
+#include "sim/parametric_exchange.hpp"
+
+namespace snail
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Integrator
+// ---------------------------------------------------------------------
+
+TEST(Integrator, ConstantDiagonalPhaseEvolution)
+{
+    // H = diag(w): |psi(t)> = e^{-i w t} |psi(0)>.
+    const double w = 1.7;
+    TimeDependentHamiltonian h = [w](double) {
+        Matrix m(1, 1);
+        m(0, 0) = Complex{w, 0.0};
+        return m;
+    };
+    const auto psi = evolveState(h, {Complex{1.0, 0.0}}, 0.0, 2.0, 400);
+    const Complex want = std::exp(Complex{0.0, -w * 2.0});
+    EXPECT_NEAR(std::abs(psi[0] - want), 0.0, 1e-8);
+}
+
+TEST(Integrator, RabiOscillation)
+{
+    // H = g sigma_x: P(0 -> 1)(t) = sin^2(g t).
+    const double g = 0.9;
+    TimeDependentHamiltonian h = [g](double) {
+        Matrix m(2, 2);
+        m(0, 1) = m(1, 0) = Complex{g, 0.0};
+        return m;
+    };
+    for (double t : {0.3, 1.0, 2.4}) {
+        const auto psi = evolveState(
+            h, {Complex{1.0, 0.0}, Complex{0.0, 0.0}}, 0.0, t, 2000);
+        EXPECT_NEAR(std::norm(psi[1]), std::pow(std::sin(g * t), 2), 1e-8)
+            << "t = " << t;
+    }
+}
+
+TEST(Integrator, PropagatorIsUnitary)
+{
+    TimeDependentHamiltonian h = [](double t) {
+        Matrix m(2, 2);
+        m(0, 0) = Complex{0.4, 0.0};
+        m(1, 1) = Complex{-0.4, 0.0};
+        m(0, 1) = Complex{0.3 * std::cos(3.0 * t), 0.1};
+        m(1, 0) = std::conj(m(0, 1));
+        return m;
+    };
+    const Matrix u = evolvePropagator(h, 2, 0.0, 5.0, 4000);
+    EXPECT_LT(unitarityError(u), 1e-8);
+}
+
+TEST(Integrator, ConvergesWithStepCount)
+{
+    // Halving the step size must shrink the error (4th-order method).
+    const double g = 1.3;
+    TimeDependentHamiltonian h = [g](double) {
+        Matrix m(2, 2);
+        m(0, 1) = m(1, 0) = Complex{g, 0.0};
+        return m;
+    };
+    auto error_at = [&](int steps) {
+        const auto psi = evolveState(
+            h, {Complex{1.0, 0.0}, Complex{0.0, 0.0}}, 0.0, 1.0, steps);
+        return std::abs(std::norm(psi[1]) -
+                        std::pow(std::sin(g), 2));
+    };
+    const double coarse = error_at(16);
+    const double fine = error_at(32);
+    EXPECT_LT(fine, coarse);
+    EXPECT_LT(fine, coarse / 8.0); // ~16x for a clean 4th-order method
+}
+
+TEST(Integrator, RejectsBadArguments)
+{
+    TimeDependentHamiltonian h = [](double) { return Matrix(1, 1); };
+    EXPECT_THROW(evolveState(h, {Complex{1.0, 0.0}}, 0.0, 1.0, 0),
+                 SnailError);
+    EXPECT_THROW(evolveState(h, {}, 0.0, 1.0, 10), SnailError);
+}
+
+// ---------------------------------------------------------------------
+// Envelopes
+// ---------------------------------------------------------------------
+
+TEST(Envelope, SquareIsFlat)
+{
+    PulseEnvelope env;
+    EXPECT_DOUBLE_EQ(env.value(0.5, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(env.value(-0.1, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(env.value(1.1, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(env.area(3.0), 3.0);
+}
+
+TEST(Envelope, FlattopRampsAndArea)
+{
+    PulseEnvelope env;
+    env.kind = EnvelopeKind::Flattop;
+    env.rise_time = 1.0;
+    EXPECT_DOUBLE_EQ(env.value(0.0, 10.0), 0.0);
+    EXPECT_DOUBLE_EQ(env.value(0.5, 10.0), 0.5);
+    EXPECT_DOUBLE_EQ(env.value(5.0, 10.0), 1.0);
+    EXPECT_DOUBLE_EQ(env.value(9.5, 10.0), 0.5);
+    EXPECT_DOUBLE_EQ(env.value(10.0, 10.0), 0.0);
+    EXPECT_DOUBLE_EQ(env.area(10.0), 9.0);
+}
+
+TEST(Envelope, CalibrationRecoversArea)
+{
+    PulseEnvelope env;
+    env.kind = EnvelopeKind::Flattop;
+    env.rise_time = 0.8;
+    const double target_area = 2.5;
+    const double d = calibrateFlattopDuration(env, target_area);
+    EXPECT_NEAR(env.area(d), target_area, 1e-12);
+}
+
+// ---------------------------------------------------------------------
+// Driven exchange vs closed forms
+// ---------------------------------------------------------------------
+
+TEST(DrivenExchange, ResonantMatchesClosedFormRWA)
+{
+    // qubit_delta = 0 disables counter-rotation: the integration must
+    // reproduce P = sin^2(g t) exactly.
+    ExchangePulse pulse;
+    pulse.coupling = 1.0;
+    for (double t : {0.2, 0.785, 1.4}) {
+        EXPECT_NEAR(simulatedSwapProbability(pulse, t),
+                    std::pow(std::sin(t), 2), 1e-7)
+            << "t = " << t;
+    }
+}
+
+TEST(DrivenExchange, DetunedMatchesRabiFormula)
+{
+    // Compare against sim/parametric_exchange's chevron closed form.
+    ExchangePulse pulse;
+    pulse.coupling = 1.0;
+    pulse.detuning = 1.5;
+    ExchangeDrive drive;
+    drive.coupling = 1.0;
+    drive.detuning = 1.5;
+    for (double t : {0.3, 0.9, 1.7}) {
+        EXPECT_NEAR(simulatedSwapProbability(pulse, t),
+                    excitationSwapProbability(drive, t), 1e-6)
+            << "t = " << t;
+    }
+}
+
+TEST(DrivenExchange, ChevronRowMatchesClosedForm)
+{
+    const std::vector<double> times = {0.25, 0.5, 0.75, 1.0, 1.5, 2.0};
+    ExchangePulse pulse;
+    pulse.coupling = 0.8;
+    pulse.detuning = -0.6;
+    ExchangeDrive drive;
+    drive.coupling = 0.8;
+    drive.detuning = -0.6;
+    const auto simulated = simulatedChevronRow(pulse, times);
+    const auto closed = chevronRow(drive, times);
+    ASSERT_EQ(simulated.size(), closed.size());
+    for (std::size_t i = 0; i < times.size(); ++i) {
+        EXPECT_NEAR(simulated[i], closed[i], 1e-6) << "i = " << i;
+    }
+}
+
+TEST(DrivenExchange, CounterRotatingErrorScalesDown)
+{
+    // RWA error must shrink as the qubit splitting Delta grows
+    // relative to g (the SNAIL's design regime: GHz splittings, MHz
+    // couplings).
+    const double g = 1.0;
+    const double duration = M_PI / 2.0; // full iSWAP pulse
+    const double err_close = rwaError(g, 5.0, duration);
+    const double err_mid = rwaError(g, 20.0, duration);
+    const double err_far = rwaError(g, 80.0, duration);
+    EXPECT_GT(err_close, err_mid);
+    EXPECT_GT(err_mid, err_far);
+    EXPECT_LT(err_far, 0.02);
+}
+
+TEST(DrivenExchange, RwaErrorVanishesWithoutCounterTerm)
+{
+    EXPECT_NEAR(rwaError(1.0, 0.0, 1.0), 0.0, 1e-7);
+}
+
+TEST(DrivenExchange, CalibratedFlattopHitsRootISwapAngles)
+{
+    // A flattop pulse calibrated to the square-pulse area must realize
+    // the same n-root rotation (area theorem for resonant drive).
+    for (int n : {1, 2, 3, 4}) {
+        const double square_t = M_PI / (2.0 * n); // g = 1
+        PulseEnvelope env;
+        env.kind = EnvelopeKind::Flattop;
+        env.rise_time = 0.3;
+        ExchangePulse pulse;
+        pulse.coupling = 1.0;
+        pulse.envelope = env;
+        const double d = calibrateFlattopDuration(env, square_t);
+        const double want = std::pow(std::sin(square_t), 2);
+        EXPECT_NEAR(simulatedSwapProbability(pulse, d), want, 1e-6)
+            << "n = " << n;
+    }
+}
+
+TEST(DrivenExchange, PropagatorUnitary)
+{
+    ExchangePulse pulse;
+    pulse.coupling = 1.2;
+    pulse.detuning = 0.4;
+    pulse.qubit_delta = 30.0;
+    const Matrix u = drivenExchangePropagator(pulse, 2.0);
+    EXPECT_LT(unitarityError(u), 1e-7);
+}
+
+} // namespace
+} // namespace snail

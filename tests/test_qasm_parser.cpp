@@ -1,0 +1,660 @@
+/**
+ * @file
+ * Tests for the OpenQASM 2.0 lexer and parser.
+ *
+ * Coverage: tokenization edge cases, the statement grammar, parameter
+ * expression evaluation, qelib1 expansion, register broadcasting,
+ * error diagnostics, and export -> import round trips checked by
+ * statevector equivalence.
+ */
+
+#include <cmath>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "circuits/circuits.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ir/qasm.hpp"
+#include "ir/qasm_lexer.hpp"
+#include "ir/qasm_parser.hpp"
+#include "sim/equivalence.hpp"
+
+namespace snail
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+TEST(QasmLexer, TokenizesPunctuation)
+{
+    QasmLexer lexer("( ) [ ] { } ; , -> == + - * / ^");
+    auto tokens = lexer.tokenizeAll();
+    std::vector<QasmTokenKind> kinds;
+    for (const auto &tok : tokens) {
+        kinds.push_back(tok.kind);
+    }
+    std::vector<QasmTokenKind> expected = {
+        QasmTokenKind::LParen,    QasmTokenKind::RParen,
+        QasmTokenKind::LBracket,  QasmTokenKind::RBracket,
+        QasmTokenKind::LBrace,    QasmTokenKind::RBrace,
+        QasmTokenKind::Semicolon, QasmTokenKind::Comma,
+        QasmTokenKind::Arrow,     QasmTokenKind::EqualEqual,
+        QasmTokenKind::Plus,      QasmTokenKind::Minus,
+        QasmTokenKind::Star,      QasmTokenKind::Slash,
+        QasmTokenKind::Caret,     QasmTokenKind::EndOfFile,
+    };
+    EXPECT_EQ(kinds, expected);
+}
+
+TEST(QasmLexer, DistinguishesIntegerAndReal)
+{
+    QasmLexer lexer("42 3.5 0.25 1e3 2E-2 7.");
+    auto t0 = lexer.next();
+    EXPECT_EQ(t0.kind, QasmTokenKind::Integer);
+    EXPECT_EQ(t0.int_value, 42);
+    auto t1 = lexer.next();
+    EXPECT_EQ(t1.kind, QasmTokenKind::Real);
+    EXPECT_DOUBLE_EQ(t1.real_value, 3.5);
+    auto t2 = lexer.next();
+    EXPECT_DOUBLE_EQ(t2.real_value, 0.25);
+    auto t3 = lexer.next();
+    EXPECT_EQ(t3.kind, QasmTokenKind::Real);
+    EXPECT_DOUBLE_EQ(t3.real_value, 1000.0);
+    auto t4 = lexer.next();
+    EXPECT_EQ(t4.kind, QasmTokenKind::Real);
+    EXPECT_DOUBLE_EQ(t4.real_value, 0.02);
+    auto t5 = lexer.next();
+    EXPECT_EQ(t5.kind, QasmTokenKind::Real);
+    EXPECT_DOUBLE_EQ(t5.real_value, 7.0);
+}
+
+TEST(QasmLexer, IntegerFollowedByIdentifierStartingWithE)
+{
+    // "2 exp" must not fuse into a malformed exponent literal.
+    QasmLexer lexer("2 exp");
+    auto t0 = lexer.next();
+    EXPECT_EQ(t0.kind, QasmTokenKind::Integer);
+    auto t1 = lexer.next();
+    EXPECT_EQ(t1.kind, QasmTokenKind::Identifier);
+    EXPECT_EQ(t1.text, "exp");
+}
+
+TEST(QasmLexer, SkipsLineAndBlockComments)
+{
+    QasmLexer lexer("a // comment\n /* block\n comment */ b");
+    EXPECT_EQ(lexer.next().text, "a");
+    EXPECT_EQ(lexer.next().text, "b");
+    EXPECT_EQ(lexer.next().kind, QasmTokenKind::EndOfFile);
+}
+
+TEST(QasmLexer, TracksLineNumbers)
+{
+    QasmLexer lexer("a\nb\n  c");
+    EXPECT_EQ(lexer.next().line, 1);
+    EXPECT_EQ(lexer.next().line, 2);
+    auto c = lexer.next();
+    EXPECT_EQ(c.line, 3);
+    EXPECT_EQ(c.column, 3);
+}
+
+TEST(QasmLexer, StringLiteral)
+{
+    QasmLexer lexer("include \"qelib1.inc\";");
+    EXPECT_EQ(lexer.next().text, "include");
+    auto str = lexer.next();
+    EXPECT_EQ(str.kind, QasmTokenKind::String);
+    EXPECT_EQ(str.text, "qelib1.inc");
+}
+
+TEST(QasmLexer, RejectsUnterminatedString)
+{
+    QasmLexer lexer("include \"oops");
+    lexer.next();
+    EXPECT_THROW(lexer.next(), SnailError);
+}
+
+TEST(QasmLexer, RejectsUnterminatedBlockComment)
+{
+    QasmLexer lexer("/* never closed");
+    EXPECT_THROW(lexer.next(), SnailError);
+}
+
+TEST(QasmLexer, RejectsStrayCharacters)
+{
+    QasmLexer lexer("@");
+    EXPECT_THROW(lexer.next(), SnailError);
+}
+
+TEST(QasmLexer, PeekDoesNotConsume)
+{
+    QasmLexer lexer("x y");
+    EXPECT_EQ(lexer.peek().text, "x");
+    EXPECT_EQ(lexer.peek().text, "x");
+    EXPECT_EQ(lexer.next().text, "x");
+    EXPECT_EQ(lexer.next().text, "y");
+}
+
+// ---------------------------------------------------------------------
+// Parser: structure
+// ---------------------------------------------------------------------
+
+const char *kPrelude = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+
+Circuit
+parseBody(const std::string &body)
+{
+    return parseQasm(std::string(kPrelude) + body).circuit;
+}
+
+TEST(QasmParser, EmptyProgram)
+{
+    auto result = parseQasm("OPENQASM 2.0;");
+    EXPECT_EQ(result.circuit.numQubits(), 0);
+    EXPECT_TRUE(result.circuit.empty());
+}
+
+TEST(QasmParser, HeaderIsOptional)
+{
+    auto result = parseQasm("qreg q[2];");
+    EXPECT_EQ(result.circuit.numQubits(), 2);
+}
+
+TEST(QasmParser, RejectsQasm3)
+{
+    EXPECT_THROW(parseQasm("OPENQASM 3.0;"), SnailError);
+}
+
+TEST(QasmParser, MultipleQregsGetFlatOffsets)
+{
+    auto result = parseQasm("qreg a[2]; qreg b[3]; creg c[2];");
+    ASSERT_EQ(result.qregs.size(), 2u);
+    EXPECT_EQ(result.qregs[0].offset, 0);
+    EXPECT_EQ(result.qregs[1].offset, 2);
+    EXPECT_EQ(result.circuit.numQubits(), 5);
+    ASSERT_EQ(result.cregs.size(), 1u);
+    EXPECT_EQ(result.cregs[0].size, 2);
+}
+
+TEST(QasmParser, RejectsDuplicateRegister)
+{
+    EXPECT_THROW(parseQasm("qreg q[2]; qreg q[3];"), SnailError);
+    EXPECT_THROW(parseQasm("qreg q[2]; creg q[3];"), SnailError);
+}
+
+TEST(QasmParser, RejectsZeroSizeRegister)
+{
+    EXPECT_THROW(parseQasm("qreg q[0];"), SnailError);
+}
+
+TEST(QasmParser, SimpleGates)
+{
+    Circuit c = parseBody("qreg q[2]; h q[0]; cx q[0], q[1];");
+    ASSERT_EQ(c.size(), 2u);
+    EXPECT_EQ(c.instructions()[0].gate().kind(), GateKind::H);
+    EXPECT_EQ(c.instructions()[1].gate().kind(), GateKind::CX);
+    EXPECT_EQ(c.instructions()[1].q0(), 0);
+    EXPECT_EQ(c.instructions()[1].q1(), 1);
+}
+
+TEST(QasmParser, BuiltinUAndCXWorkWithoutInclude)
+{
+    auto result = parseQasm(
+        "qreg q[2]; U(0.1, 0.2, 0.3) q[0]; CX q[0], q[1];");
+    ASSERT_EQ(result.circuit.size(), 2u);
+    EXPECT_EQ(result.circuit.instructions()[0].gate().kind(), GateKind::U3);
+    EXPECT_EQ(result.circuit.instructions()[1].gate().kind(), GateKind::CX);
+}
+
+TEST(QasmParser, UnknownGateWithoutIncludeFails)
+{
+    EXPECT_THROW(parseQasm("qreg q[1]; mystery q[0];"), SnailError);
+}
+
+TEST(QasmParser, RegisterBroadcast1Q)
+{
+    Circuit c = parseBody("qreg q[4]; h q;");
+    EXPECT_EQ(c.size(), 4u);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(c.instructions()[i].q0(), i);
+    }
+}
+
+TEST(QasmParser, RegisterBroadcast2QFullFull)
+{
+    Circuit c = parseBody("qreg a[3]; qreg b[3]; cx a, b;");
+    ASSERT_EQ(c.size(), 3u);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(c.instructions()[i].q0(), i);
+        EXPECT_EQ(c.instructions()[i].q1(), 3 + i);
+    }
+}
+
+TEST(QasmParser, RegisterBroadcastScalarAgainstRegister)
+{
+    Circuit c = parseBody("qreg a[1]; qreg b[3]; cx a[0], b;");
+    ASSERT_EQ(c.size(), 3u);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(c.instructions()[i].q0(), 0);
+        EXPECT_EQ(c.instructions()[i].q1(), 1 + i);
+    }
+}
+
+TEST(QasmParser, BroadcastSizeMismatchFails)
+{
+    EXPECT_THROW(parseBody("qreg a[2]; qreg b[3]; cx a, b;"), SnailError);
+}
+
+TEST(QasmParser, DuplicateOperandFails)
+{
+    EXPECT_THROW(parseBody("qreg q[2]; cx q[0], q[0];"), SnailError);
+}
+
+TEST(QasmParser, IndexOutOfRangeFails)
+{
+    EXPECT_THROW(parseBody("qreg q[2]; h q[5];"), SnailError);
+}
+
+TEST(QasmParser, UnknownRegisterFails)
+{
+    EXPECT_THROW(parseBody("qreg q[2]; h r[0];"), SnailError);
+}
+
+TEST(QasmParser, MeasureRecordedNotEmitted)
+{
+    auto result = parseQasm(std::string(kPrelude) +
+                            "qreg q[2]; creg c[2]; h q[0]; measure q -> c;");
+    EXPECT_EQ(result.circuit.size(), 1u);
+    ASSERT_EQ(result.measurements.size(), 2u);
+    EXPECT_EQ(result.measurements[0], (std::pair<int, int>{0, 0}));
+    EXPECT_EQ(result.measurements[1], (std::pair<int, int>{1, 1}));
+}
+
+TEST(QasmParser, MeasureSizeMismatchFails)
+{
+    EXPECT_THROW(parseQasm(std::string(kPrelude) +
+                           "qreg q[2]; creg c[3]; measure q -> c;"),
+                 SnailError);
+}
+
+TEST(QasmParser, BarriersCountedAndIgnored)
+{
+    auto result = parseQasm(std::string(kPrelude) +
+                            "qreg q[3]; h q[0]; barrier q; h q[1]; "
+                            "barrier q[0], q[2];");
+    EXPECT_EQ(result.barriers, 2);
+    EXPECT_EQ(result.circuit.size(), 2u);
+}
+
+TEST(QasmParser, ResetRejected)
+{
+    EXPECT_THROW(parseBody("qreg q[1]; reset q[0];"), SnailError);
+}
+
+TEST(QasmParser, IfRejected)
+{
+    EXPECT_THROW(parseQasm(std::string(kPrelude) +
+                           "qreg q[1]; creg c[1]; if (c==1) x q[0];"),
+                 SnailError);
+}
+
+TEST(QasmParser, NonQelibIncludeRejected)
+{
+    EXPECT_THROW(parseQasm("include \"other.inc\";"), SnailError);
+}
+
+// ---------------------------------------------------------------------
+// Parser: expressions
+// ---------------------------------------------------------------------
+
+double
+firstParamOf(const std::string &expr)
+{
+    Circuit c = parseBody("qreg q[1]; rz(" + expr + ") q[0];");
+    return c.instructions()[0].gate().params()[0];
+}
+
+TEST(QasmParserExpr, Pi)
+{
+    EXPECT_DOUBLE_EQ(firstParamOf("pi"), M_PI);
+}
+
+TEST(QasmParserExpr, Arithmetic)
+{
+    EXPECT_DOUBLE_EQ(firstParamOf("1+2*3"), 7.0);
+    EXPECT_DOUBLE_EQ(firstParamOf("(1+2)*3"), 9.0);
+    EXPECT_DOUBLE_EQ(firstParamOf("7/2"), 3.5);
+    EXPECT_DOUBLE_EQ(firstParamOf("2^3"), 8.0);
+    EXPECT_DOUBLE_EQ(firstParamOf("-pi/2"), -M_PI / 2);
+    EXPECT_DOUBLE_EQ(firstParamOf("1-2-3"), -4.0);
+}
+
+TEST(QasmParserExpr, PowerIsRightAssociative)
+{
+    EXPECT_DOUBLE_EQ(firstParamOf("2^3^2"), 512.0);
+}
+
+TEST(QasmParserExpr, UnaryMinusStacksAndBinds)
+{
+    EXPECT_DOUBLE_EQ(firstParamOf("--1"), 1.0);
+    // Unary minus binds looser than '^': -2^2 = -(2^2).
+    EXPECT_DOUBLE_EQ(firstParamOf("-2^2"), -4.0);
+}
+
+TEST(QasmParserExpr, Functions)
+{
+    EXPECT_DOUBLE_EQ(firstParamOf("sin(pi/2)"), 1.0);
+    EXPECT_NEAR(firstParamOf("cos(0)"), 1.0, 1e-15);
+    EXPECT_NEAR(firstParamOf("tan(pi/4)"), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(firstParamOf("exp(0)"), 1.0);
+    EXPECT_DOUBLE_EQ(firstParamOf("ln(exp(1))"), 1.0);
+    EXPECT_DOUBLE_EQ(firstParamOf("sqrt(16)"), 4.0);
+}
+
+TEST(QasmParserExpr, ErrorsAreDiagnosed)
+{
+    EXPECT_THROW(firstParamOf("1/0"), SnailError);
+    EXPECT_THROW(firstParamOf("ln(0)"), SnailError);
+    EXPECT_THROW(firstParamOf("sqrt(-1)"), SnailError);
+    EXPECT_THROW(firstParamOf("frob(1)"), SnailError);
+    EXPECT_THROW(firstParamOf("undefined_name"), SnailError);
+    EXPECT_THROW(firstParamOf("1+"), SnailError);
+}
+
+// ---------------------------------------------------------------------
+// Parser: gate definitions and qelib1 expansion
+// ---------------------------------------------------------------------
+
+TEST(QasmParserGateDef, CustomGateExpands)
+{
+    Circuit c = parseBody("qreg q[2];\n"
+                          "gate bell a, b { h a; cx a, b; }\n"
+                          "bell q[0], q[1];");
+    ASSERT_EQ(c.size(), 2u);
+    EXPECT_EQ(c.instructions()[0].gate().kind(), GateKind::H);
+    EXPECT_EQ(c.instructions()[1].gate().kind(), GateKind::CX);
+}
+
+TEST(QasmParserGateDef, ParameterizedGateEvaluatesExpressions)
+{
+    Circuit c = parseBody("qreg q[1];\n"
+                          "gate tilt(theta) a { rz(theta/2) a; "
+                          "rx(-theta) a; }\n"
+                          "tilt(pi) q[0];");
+    ASSERT_EQ(c.size(), 2u);
+    EXPECT_DOUBLE_EQ(c.instructions()[0].gate().params()[0], M_PI / 2);
+    EXPECT_DOUBLE_EQ(c.instructions()[1].gate().params()[0], -M_PI);
+}
+
+TEST(QasmParserGateDef, NestedDefinitionsExpand)
+{
+    Circuit c = parseBody("qreg q[2];\n"
+                          "gate inner a { h a; }\n"
+                          "gate outer a, b { inner a; cx a, b; inner b; }\n"
+                          "outer q[0], q[1];");
+    ASSERT_EQ(c.size(), 3u);
+    EXPECT_EQ(c.countKind(GateKind::H), 2u);
+    EXPECT_EQ(c.countKind(GateKind::CX), 1u);
+}
+
+TEST(QasmParserGateDef, UserDefinitionOverridesNativeName)
+{
+    // Without qelib1, a user may define their own 'h'; it must be used.
+    auto result = parseQasm("qreg q[1];\n"
+                            "gate h a { U(0,0,pi) a; }\n"
+                            "h q[0];");
+    ASSERT_EQ(result.circuit.size(), 1u);
+    EXPECT_EQ(result.circuit.instructions()[0].gate().kind(), GateKind::U3);
+}
+
+TEST(QasmParserGateDef, RedefinitionFails)
+{
+    EXPECT_THROW(parseBody("gate foo a { h a; }\ngate foo a { x a; }"),
+                 SnailError);
+}
+
+TEST(QasmParserGateDef, UnknownBodyArgumentFails)
+{
+    EXPECT_THROW(parseBody("gate foo a { h b; }"), SnailError);
+}
+
+TEST(QasmParserGateDef, OpaqueDeclarationParsesButCannotApply)
+{
+    EXPECT_THROW(parseBody("qreg q[1]; opaque magic a; magic q[0];"),
+                 SnailError);
+}
+
+TEST(QasmParserGateDef, ArityMismatchFails)
+{
+    EXPECT_THROW(parseBody("qreg q[2]; gate foo a { h a; } foo q[0], q[1];"),
+                 SnailError);
+    EXPECT_THROW(parseBody("qreg q[1]; rz q[0];"), SnailError);
+    EXPECT_THROW(parseBody("qreg q[1]; rz(1,2) q[0];"), SnailError);
+}
+
+TEST(QasmParserGateDef, BarrierInsideBodyIgnored)
+{
+    Circuit c = parseBody("qreg q[1];\n"
+                          "gate foo a { h a; barrier a; h a; }\n"
+                          "foo q[0];");
+    EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(QasmParserQelib, CcxExpandsToNativeSet)
+{
+    Circuit c = parseBody("qreg q[3]; ccx q[0], q[1], q[2];");
+    EXPECT_GT(c.size(), 10u);
+    EXPECT_EQ(c.countKind(GateKind::CX), 6u);
+    // Expansion must stay within the native 1Q/2Q instruction set.
+    for (const auto &op : c.instructions()) {
+        EXPECT_LE(op.numQubits(), 2);
+    }
+}
+
+TEST(QasmParserQelib, CcxMatchesToffoliUnitary)
+{
+    Circuit parsed = parseBody("qreg q[3]; ccx q[0], q[1], q[2];");
+    Circuit reference(3);
+    reference.ccxDecomposed(0, 1, 2);
+    EXPECT_TRUE(circuitsEquivalent(parsed, reference));
+}
+
+TEST(QasmParserQelib, ControlledRotationsMatchDefinitions)
+{
+    // crz via qelib1 body vs the same circuit written out natively.
+    Circuit parsed = parseBody("qreg q[2]; crz(0.7) q[0], q[1];");
+    Circuit reference(2);
+    reference.rz(0.35, 1);
+    reference.cx(0, 1);
+    reference.rz(-0.35, 1);
+    reference.cx(0, 1);
+    EXPECT_TRUE(circuitsEquivalent(parsed, reference));
+}
+
+TEST(QasmParserQelib, NativeInterceptionKeepsCountsMeaningful)
+{
+    // 'h' must become one H instruction, not the u2 definition body.
+    Circuit c = parseBody("qreg q[1]; h q[0];");
+    ASSERT_EQ(c.size(), 1u);
+    EXPECT_EQ(c.instructions()[0].gate().kind(), GateKind::H);
+}
+
+TEST(QasmParserQelib, SwapAndIswapAreNative)
+{
+    Circuit c = parseBody("qreg q[2]; swap q[0], q[1]; iswap q[0], q[1];");
+    ASSERT_EQ(c.size(), 2u);
+    EXPECT_EQ(c.instructions()[0].gate().kind(), GateKind::Swap);
+    EXPECT_EQ(c.instructions()[1].gate().kind(), GateKind::ISwap);
+}
+
+TEST(QasmParserQelib, U2MapsToU3)
+{
+    Circuit via_u2 = parseBody("qreg q[1]; u2(0.3, 0.9) q[0];");
+    Circuit via_u3(1);
+    via_u3.u3(M_PI / 2, 0.3, 0.9, 0);
+    EXPECT_TRUE(circuitsEquivalent(via_u2, via_u3));
+}
+
+TEST(QasmParserQelib, CswapMatchesFredkin)
+{
+    Circuit parsed = parseBody("qreg q[3]; cswap q[0], q[1], q[2];");
+    // Fredkin reference: cx c,b ; ccx a,b,c ; cx c,b.
+    Circuit reference(3);
+    reference.cx(2, 1);
+    reference.ccxDecomposed(0, 1, 2);
+    reference.cx(2, 1);
+    EXPECT_TRUE(circuitsEquivalent(parsed, reference));
+}
+
+// ---------------------------------------------------------------------
+// Round trips: export -> parse -> equivalence
+// ---------------------------------------------------------------------
+
+class QasmRoundTrip : public ::testing::TestWithParam<const char *>
+{
+};
+
+Circuit
+makeNamedCircuit(const std::string &which)
+{
+    if (which == "qft") {
+        return qft(4);
+    }
+    if (which == "ghz") {
+        return ghz(5);
+    }
+    if (which == "qaoa") {
+        return qaoaVanilla(4);
+    }
+    if (which == "tim") {
+        return timHamiltonian(4);
+    }
+    if (which == "adder") {
+        return cdkmAdder(6);
+    }
+    SNAIL_THROW("unknown circuit " << which);
+}
+
+TEST_P(QasmRoundTrip, ExportParsePreservesUnitary)
+{
+    Circuit original = makeNamedCircuit(GetParam());
+    ASSERT_TRUE(isQasmExportable(original));
+    QasmParseResult reparsed = parseQasm(toQasm(original));
+    EXPECT_EQ(reparsed.circuit.numQubits(), original.numQubits());
+    EXPECT_EQ(reparsed.circuit.size(), original.size());
+    EXPECT_TRUE(circuitsEquivalent(original, reparsed.circuit));
+}
+
+TEST_P(QasmRoundTrip, ExportParsePreservesGateCounts)
+{
+    Circuit original = makeNamedCircuit(GetParam());
+    QasmParseResult reparsed = parseQasm(toQasm(original));
+    EXPECT_EQ(reparsed.circuit.countTwoQubit(), original.countTwoQubit());
+    EXPECT_EQ(reparsed.circuit.countKind(GateKind::CX),
+              original.countKind(GateKind::CX));
+    EXPECT_EQ(reparsed.circuit.countKind(GateKind::CPhase),
+              original.countKind(GateKind::CPhase));
+    EXPECT_EQ(reparsed.circuit.countKind(GateKind::Swap),
+              original.countKind(GateKind::Swap));
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, QasmRoundTrip,
+                         ::testing::Values("qft", "ghz", "qaoa", "tim",
+                                           "adder"));
+
+/** Randomized round trips over the full QASM-expressible gate set. */
+class QasmFuzzRoundTrip : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(QasmFuzzRoundTrip, RandomCircuitSurvives)
+{
+    Rng rng(GetParam());
+    const int n = 2 + static_cast<int>(rng.index(4));
+    Circuit c(n, "fuzz");
+    const int length = 20 + static_cast<int>(rng.index(30));
+    for (int i = 0; i < length; ++i) {
+        const int q = static_cast<int>(rng.index(n));
+        int r = static_cast<int>(rng.index(n));
+        while (r == q) {
+            r = static_cast<int>(rng.index(n));
+        }
+        switch (rng.index(12)) {
+          case 0:
+            c.h(q);
+            break;
+          case 1:
+            c.x(q);
+            break;
+          case 2:
+            c.sdg(q);
+            break;
+          case 3:
+            c.t(q);
+            break;
+          case 4:
+            c.sx(q);
+            break;
+          case 5:
+            c.rx(rng.uniform(-7.0, 7.0), q);
+            break;
+          case 6:
+            c.u3(rng.uniform(0.0, M_PI), rng.uniform(-M_PI, M_PI),
+                 rng.uniform(-M_PI, M_PI), q);
+            break;
+          case 7:
+            c.cx(q, r);
+            break;
+          case 8:
+            c.cz(q, r);
+            break;
+          case 9:
+            c.cp(rng.uniform(-M_PI, M_PI), q, r);
+            break;
+          case 10:
+            c.rzz(rng.uniform(-M_PI, M_PI), q, r);
+            break;
+          default:
+            c.swap(q, r);
+            break;
+        }
+    }
+    ASSERT_TRUE(isQasmExportable(c));
+    const QasmParseResult back = parseQasm(toQasm(c));
+    ASSERT_EQ(back.circuit.size(), c.size());
+    EXPECT_TRUE(circuitsEquivalent(c, back.circuit));
+    // Gate kinds survive exactly, instruction by instruction.
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        EXPECT_EQ(back.circuit.instructions()[i].gate().kind(),
+                  c.instructions()[i].gate().kind());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QasmFuzzRoundTrip,
+                         ::testing::Range(100u, 116u));
+
+TEST(QasmParserFile, MissingFileFails)
+{
+    EXPECT_THROW(parseQasmFile("/nonexistent/path.qasm"), SnailError);
+}
+
+TEST(QasmParserFile, WriteAndReadBack)
+{
+    Circuit original = ghz(3);
+    std::string path = ::testing::TempDir() + "/snail_ghz.qasm";
+    {
+        std::ofstream out(path);
+        out << toQasm(original);
+    }
+    QasmParseResult result = parseQasmFile(path);
+    EXPECT_TRUE(circuitsEquivalent(original, result.circuit));
+}
+
+} // namespace
+} // namespace snail

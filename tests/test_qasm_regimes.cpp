@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the OpenQASM 2.0 exporter and the Sec. 3.1 error-regime
+ * figures of merit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/circuits.hpp"
+#include "common/error.hpp"
+#include "ir/qasm.hpp"
+#include "fidelity/regimes.hpp"
+#include "transpiler/basis_translation.hpp"
+
+namespace snail
+{
+namespace
+{
+
+TEST(Qasm, ExportsStandardGates)
+{
+    Circuit c(3, "demo");
+    c.h(0);
+    c.rz(0.5, 1);
+    c.cx(0, 1);
+    c.cp(0.25, 1, 2);
+    c.swap(0, 2);
+    ASSERT_TRUE(isQasmExportable(c));
+    const std::string qasm = toQasm(c);
+    EXPECT_NE(qasm.find("OPENQASM 2.0;"), std::string::npos);
+    EXPECT_NE(qasm.find("qreg q[3];"), std::string::npos);
+    EXPECT_NE(qasm.find("h q[0];"), std::string::npos);
+    EXPECT_NE(qasm.find("rz(0.5) q[1];"), std::string::npos);
+    EXPECT_NE(qasm.find("cx q[0], q[1];"), std::string::npos);
+    EXPECT_NE(qasm.find("cp(0.25) q[1], q[2];"), std::string::npos);
+    EXPECT_NE(qasm.find("swap q[0], q[2];"), std::string::npos);
+}
+
+TEST(Qasm, RejectsExoticKindsUntilLowered)
+{
+    Circuit c(2);
+    c.sqiswap(0, 1);
+    EXPECT_FALSE(isQasmExportable(c));
+    EXPECT_THROW(toQasm(c), SnailError);
+    // Lowering to the CNOT basis makes everything exportable.
+    const Circuit lowered = expandToBasis(c, BasisSpec{BasisKind::CNOT});
+    EXPECT_TRUE(isQasmExportable(lowered));
+    EXPECT_NE(toQasm(lowered).find("u3("), std::string::npos);
+}
+
+TEST(Qasm, BenchmarksExportAfterLowering)
+{
+    for (const Circuit &c : {qft(5), ghz(5), timHamiltonian(5)}) {
+        const Circuit lowered =
+            expandToBasis(c, BasisSpec{BasisKind::CNOT});
+        EXPECT_TRUE(isQasmExportable(lowered)) << c.name();
+        const std::string qasm = toQasm(lowered);
+        EXPECT_NE(qasm.find("qreg q[5];"), std::string::npos) << c.name();
+    }
+}
+
+TEST(Qasm, GateAndQubitCountsSurvive)
+{
+    const Circuit c = ghz(4);
+    const std::string qasm = toQasm(c);
+    // One h line + three cx lines.
+    std::size_t cx_lines = 0;
+    std::size_t pos = 0;
+    while ((pos = qasm.find("cx q[", pos)) != std::string::npos) {
+        ++cx_lines;
+        ++pos;
+    }
+    EXPECT_EQ(cx_lines, 3u);
+}
+
+TEST(Regimes, GateLimitedMatchesClosedForm)
+{
+    TranspileMetrics m;
+    m.basis_2q_total = 100;
+    EXPECT_NEAR(gateLimitedFidelity(m, 0.001), std::pow(0.999, 100),
+                1e-12);
+    EXPECT_DOUBLE_EQ(gateLimitedFidelity(m, 0.0), 1.0);
+    EXPECT_THROW(gateLimitedFidelity(m, 1.5), SnailError);
+}
+
+TEST(Regimes, TimeLimitedMatchesClosedForm)
+{
+    TranspileMetrics m;
+    m.duration_critical = 50.0;
+    EXPECT_NEAR(timeLimitedFidelity(m, 1000.0), std::exp(-0.05), 1e-12);
+    EXPECT_THROW(timeLimitedFidelity(m, 0.0), SnailError);
+}
+
+TEST(Regimes, CombinedIsProduct)
+{
+    TranspileMetrics m;
+    m.basis_2q_total = 40;
+    m.duration_critical = 20.0;
+    EXPECT_NEAR(combinedFidelity(m, 0.002, 400.0),
+                gateLimitedFidelity(m, 0.002) *
+                    timeLimitedFidelity(m, 400.0),
+                1e-15);
+}
+
+TEST(Regimes, HalfPulseBasisWinsTimeRegime)
+{
+    // Two machines with equal gate counts but sqiswap's half-length
+    // pulses: identical in the gate-limited regime, better in the
+    // time-limited regime — the paper's core co-design argument.
+    TranspileMetrics cx;
+    cx.basis_2q_total = 60;
+    cx.duration_critical = 30.0;
+    TranspileMetrics sq = cx;
+    sq.duration_critical = 15.0;
+    EXPECT_DOUBLE_EQ(gateLimitedFidelity(cx, 0.003),
+                     gateLimitedFidelity(sq, 0.003));
+    EXPECT_GT(timeLimitedFidelity(sq, 200.0),
+              timeLimitedFidelity(cx, 200.0));
+}
+
+} // namespace
+} // namespace snail

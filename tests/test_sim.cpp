@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit tests for the statevector simulator: known state evolutions, the
+ * operand-ordering convention, unitary building, and the routed-circuit
+ * equivalence checker that later validates the transpiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/random_unitary.hpp"
+#include "sim/equivalence.hpp"
+#include "sim/statevector.hpp"
+#include "sim/unitary_builder.hpp"
+
+namespace snail
+{
+namespace
+{
+
+TEST(Statevector, StartsInGroundState)
+{
+    Statevector sv(3);
+    EXPECT_NEAR(std::abs(sv.amplitudes()[0] - Complex(1, 0)), 0.0, 1e-15);
+    EXPECT_NEAR(sv.normSquared(), 1.0, 1e-15);
+}
+
+TEST(Statevector, HadamardCreatesSuperposition)
+{
+    Circuit c(1);
+    c.h(0);
+    Statevector sv(1);
+    sv.run(c);
+    const double r = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(std::abs(sv.amplitudes()[0] - Complex(r, 0)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(sv.amplitudes()[1] - Complex(r, 0)), 0.0, 1e-12);
+}
+
+TEST(Statevector, BellState)
+{
+    Circuit c(2);
+    c.h(0);
+    c.cx(0, 1);
+    Statevector sv(2);
+    sv.run(c);
+    const double r = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(std::abs(sv.amplitudes()[0]), r, 1e-12);
+    EXPECT_NEAR(std::abs(sv.amplitudes()[3]), r, 1e-12);
+    EXPECT_NEAR(std::abs(sv.amplitudes()[1]), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(sv.amplitudes()[2]), 0.0, 1e-12);
+}
+
+TEST(Statevector, CnotOperandOrdering)
+{
+    // Control is the first operand: cx(0, 1) flips qubit 1 when qubit 0
+    // is |1>.
+    Circuit c(2);
+    c.x(0);
+    c.cx(0, 1);
+    Statevector sv(2);
+    sv.run(c);
+    // Expect |11> = index 3 (bit0 = qubit0, bit1 = qubit1).
+    EXPECT_NEAR(std::abs(sv.amplitudes()[3]), 1.0, 1e-12);
+
+    Circuit c2(2);
+    c2.x(1);
+    c2.cx(0, 1);  // control qubit 0 is |0>: nothing happens
+    Statevector sv2(2);
+    sv2.run(c2);
+    EXPECT_NEAR(std::abs(sv2.amplitudes()[2]), 1.0, 1e-12);
+}
+
+TEST(Statevector, SwapMovesAmplitude)
+{
+    Circuit c(3);
+    c.x(0);
+    c.swap(0, 2);
+    Statevector sv(3);
+    sv.run(c);
+    EXPECT_NEAR(std::abs(sv.amplitudes()[4]), 1.0, 1e-12);  // |100>
+}
+
+TEST(Statevector, NormPreservedUnderRandomCircuit)
+{
+    Rng rng(21);
+    Circuit c(4);
+    for (int i = 0; i < 30; ++i) {
+        const int a = static_cast<int>(rng.index(4));
+        int b = static_cast<int>(rng.index(4));
+        while (b == a) {
+            b = static_cast<int>(rng.index(4));
+        }
+        c.unitary4(haarUnitary(4, rng), a, b);
+    }
+    Statevector sv(4);
+    sv.run(c);
+    EXPECT_NEAR(sv.normSquared(), 1.0, 1e-10);
+}
+
+TEST(UnitaryBuilder, MatchesGateMatrixOnTwoQubits)
+{
+    // Circuit cx(1, 0): control = qubit 1 (high bit of the matrix basis is
+    // the first operand).
+    Circuit c(2);
+    c.cx(1, 0);
+    const Matrix u = circuitUnitary(c);
+    // In simulator index order (bit1 bit0): |10> -> |11>, i.e. columns 2
+    // and 3 swapped.
+    Matrix expected = Matrix::identity(4);
+    expected(2, 2) = 0;
+    expected(3, 3) = 0;
+    expected(2, 3) = 1;
+    expected(3, 2) = 1;
+    EXPECT_TRUE(allClose(u, expected, 1e-12));
+}
+
+TEST(UnitaryBuilder, ComposesSequentially)
+{
+    Rng rng(22);
+    const Matrix a = haarUnitary(4, rng);
+    const Matrix b = haarUnitary(4, rng);
+    Circuit c(2);
+    c.unitary4(a, 1, 0);
+    c.unitary4(b, 1, 0);
+    // With operands (1, 0) the gate matrix basis coincides with the
+    // simulator index basis, so the circuit unitary is b * a.
+    EXPECT_TRUE(allClose(circuitUnitary(c), b * a, 1e-10));
+}
+
+TEST(Equivalence, IdenticalCircuitsMatch)
+{
+    Circuit a(3);
+    a.h(0);
+    a.cx(0, 1);
+    a.cx(1, 2);
+    EXPECT_TRUE(circuitsEquivalent(a, a));
+}
+
+TEST(Equivalence, GlobalPhaseIgnored)
+{
+    Circuit a(1);
+    a.rz(1.0, 0);
+    Circuit b(1);
+    b.p(1.0, 0);  // p = rz up to global phase
+    EXPECT_TRUE(circuitsEquivalent(a, b));
+}
+
+TEST(Equivalence, DetectsDifference)
+{
+    Circuit a(2);
+    a.cx(0, 1);
+    Circuit b(2);
+    b.cx(1, 0);
+    EXPECT_FALSE(circuitsEquivalent(a, b));
+}
+
+TEST(Equivalence, CcxDecompositionIsToffoli)
+{
+    Circuit c(3);
+    c.ccxDecomposed(0, 1, 2);
+    const Matrix u = circuitUnitary(c);
+    // Toffoli in simulator ordering: flips bit 2 when bits 0 and 1 set.
+    Matrix expected = Matrix::identity(8);
+    expected(3, 3) = 0;
+    expected(7, 7) = 0;
+    expected(3, 7) = 1;
+    expected(7, 3) = 1;
+    EXPECT_TRUE(equalUpToGlobalPhase(u, expected, 1e-9));
+}
+
+TEST(Equivalence, RoutedIdentityLayout)
+{
+    // Trivial routing: same circuit, identity layouts.
+    Circuit orig(3);
+    orig.h(0);
+    orig.cx(0, 1);
+    orig.cx(1, 2);
+    Rng rng(30);
+    EXPECT_TRUE(routedCircuitEquivalent(orig, orig, {0, 1, 2}, {0, 1, 2}, 4,
+                                        rng));
+}
+
+TEST(Equivalence, RoutedWithManualSwap)
+{
+    // Original wants cx(0, 2); device is a line 0-1-2, so route with a
+    // swap: swap(0,1); cx(1,2).  Virtual 0 ends at physical 1.
+    Circuit orig(3);
+    orig.cx(0, 2);
+    Circuit routed(3);
+    routed.swap(0, 1);
+    routed.cx(1, 2);
+    Rng rng(31);
+    EXPECT_TRUE(routedCircuitEquivalent(orig, routed, {0, 1, 2}, {1, 0, 2},
+                                        4, rng));
+    // Wrong final layout must fail.
+    EXPECT_FALSE(routedCircuitEquivalent(orig, routed, {0, 1, 2}, {0, 1, 2},
+                                         4, rng));
+}
+
+TEST(Equivalence, RoutedWithSpectatorAncilla)
+{
+    // 2 virtual qubits on a 4-qubit device.
+    Circuit orig(2);
+    orig.h(0);
+    orig.cx(0, 1);
+    Circuit routed(4);
+    routed.h(1);
+    routed.cx(1, 3);
+    Rng rng(32);
+    EXPECT_TRUE(
+        routedCircuitEquivalent(orig, routed, {1, 3}, {1, 3}, 4, rng));
+}
+
+} // namespace
+} // namespace snail

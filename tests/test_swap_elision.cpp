@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for trailing-SWAP elision.
+ *
+ * The pass may only remove SWAPs that amount to an output relabeling;
+ * the simulation-based routed-circuit equivalence check (which consumes
+ * the final layout) is the oracle that the fold-in is correct.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuits/circuits.hpp"
+#include "common/rng.hpp"
+#include "sim/equivalence.hpp"
+#include "topology/registry.hpp"
+#include "transpiler/pipeline.hpp"
+
+namespace snail
+{
+namespace
+{
+
+/** Route a circuit on a line device with the deterministic router. */
+RoutingResult
+routeOnLine(const Circuit &circuit, int line_size)
+{
+    CouplingGraph line(line_size, "line");
+    for (int i = 0; i + 1 < line_size; ++i) {
+        line.addEdge(i, i + 1);
+    }
+    Rng rng(1);
+    return BasicRouter().route(circuit, line,
+                               Layout::identity(circuit.numQubits(),
+                                                line_size),
+                               rng);
+}
+
+TEST(SwapElision, PureTrailingSwapsVanish)
+{
+    // A circuit that ends in explicit SWAPs (QFT's reversal) routed on
+    // a line: the reversal SWAPs at the tail are pure output wiring.
+    Circuit c(3);
+    c.h(0);
+    c.cx(0, 1);
+    c.swap(1, 2);
+    c.swap(0, 1);
+    RoutingResult routed = routeOnLine(c, 3);
+    const Circuit original_routed = routed.circuit;
+    const Layout original_final = routed.final_layout;
+
+    const std::size_t elided = elideTrailingSwaps(routed);
+    EXPECT_GE(elided, 2u);
+    EXPECT_EQ(routed.circuit.countKind(GateKind::Swap),
+              original_routed.countKind(GateKind::Swap) - elided);
+
+    // The elided circuit with the updated final layout still computes
+    // the original circuit.
+    Rng rng(5);
+    EXPECT_TRUE(routedCircuitEquivalent(c, routed.circuit,
+                                        routed.initial_layout.v2p(),
+                                        routed.final_layout.v2p(), 4,
+                                        rng));
+    // And the layout actually changed (the permutation moved into it).
+    EXPECT_NE(routed.final_layout.v2p(), original_final.v2p());
+}
+
+TEST(SwapElision, InteriorSwapsSurvive)
+{
+    // SWAPs needed before later gates must not be touched.
+    Circuit c(3);
+    c.cx(0, 2); // forces routing SWAPs on a line
+    c.cx(0, 1); // touches the qubits afterwards
+    RoutingResult routed = routeOnLine(c, 3);
+    // Append nothing: any SWAP before the final cx is interior except
+    // possibly ones after the last gate.
+    const std::size_t swaps_before =
+        routed.circuit.countKind(GateKind::Swap);
+    ASSERT_GE(swaps_before, 1u);
+    elideTrailingSwaps(routed);
+    Rng rng(7);
+    EXPECT_TRUE(routedCircuitEquivalent(c, routed.circuit,
+                                        routed.initial_layout.v2p(),
+                                        routed.final_layout.v2p(), 4,
+                                        rng));
+}
+
+TEST(SwapElision, NoTrailingSwapsIsNoOp)
+{
+    Circuit c(2);
+    c.cx(0, 1);
+    RoutingResult routed = routeOnLine(c, 2);
+    const auto v2p = routed.final_layout.v2p();
+    EXPECT_EQ(elideTrailingSwaps(routed), 0u);
+    EXPECT_EQ(routed.final_layout.v2p(), v2p);
+}
+
+TEST(SwapElision, QftReversalOnEveryTopology)
+{
+    // QFT ends in a full register reversal: a large elision target.
+    for (const char *topo : {"square-16", "tree-20", "hypercube-16"}) {
+        const CouplingGraph device = namedTopology(topo);
+        const Circuit c = qft(8);
+        TranspileOptions plain;
+        plain.seed = 9;
+        TranspileOptions elide = plain;
+        elide.elide_trailing_swaps = true;
+
+        const TranspileResult with = transpile(c, device, plain);
+        const TranspileResult without = transpile(c, device, elide);
+        EXPECT_LT(without.metrics.swaps_total, with.metrics.swaps_total)
+            << topo;
+
+        Rng rng(11);
+        EXPECT_TRUE(routedCircuitEquivalent(
+            c, without.routed, without.initial_layout.v2p(),
+            without.final_layout.v2p(), 3, rng))
+            << topo;
+    }
+}
+
+TEST(SwapElision, EquivalenceOnRandomWorkloads)
+{
+    for (unsigned seed : {1u, 2u, 3u, 4u}) {
+        const Circuit c = quantumVolume(6, 6, seed);
+        const CouplingGraph device = namedTopology("square-16");
+        TranspileOptions opts;
+        opts.seed = seed;
+        opts.elide_trailing_swaps = true;
+        const TranspileResult r = transpile(c, device, opts);
+        Rng rng(seed);
+        EXPECT_TRUE(routedCircuitEquivalent(
+            c, r.routed, r.initial_layout.v2p(), r.final_layout.v2p(),
+            3, rng))
+            << "seed " << seed;
+    }
+}
+
+} // namespace
+} // namespace snail

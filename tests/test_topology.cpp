@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Unit tests for coupling graphs and the paper's topology zoo.
+ *
+ * The Table 1 / Table 2 assertions pin the *exact* values our generators
+ * produce.  Where our construction matches the paper's reported numbers
+ * exactly (square, hypercube, corral, tree distances, alt-diag, ...) the
+ * paper value is asserted; where the paper's construction is ambiguous
+ * (heavy-hex carvings, tree average connectivity) the nearby measured
+ * value is asserted and the deviation is recorded in EXPERIMENTS.md.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "topology/builders.hpp"
+#include "topology/registry.hpp"
+
+namespace snail
+{
+namespace
+{
+
+TEST(CouplingGraph, EdgeBasics)
+{
+    CouplingGraph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(0, 1);  // idempotent
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_TRUE(g.hasEdge(1, 0));
+    EXPECT_FALSE(g.hasEdge(0, 2));
+    EXPECT_EQ(g.edgeCount(), 2u);
+    EXPECT_EQ(g.degree(1), 2);
+    EXPECT_THROW(g.addEdge(0, 0), SnailError);
+    EXPECT_THROW(g.addEdge(0, 9), SnailError);
+}
+
+TEST(CouplingGraph, DistancesOnPath)
+{
+    CouplingGraph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 3);
+    EXPECT_EQ(g.distance(0, 3), 3);
+    EXPECT_EQ(g.distance(0, 0), 0);
+    EXPECT_EQ(g.diameter(), 3);
+    const auto path = g.shortestPath(0, 3);
+    EXPECT_EQ(path, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(CouplingGraph, DisconnectedDetected)
+{
+    CouplingGraph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(2, 3);
+    EXPECT_FALSE(g.isConnected());
+    EXPECT_THROW(g.distance(0, 3), SnailError);
+}
+
+TEST(CouplingGraph, AverageDistancePaperConvention)
+{
+    // Complete graph on 4 nodes: 12 ordered distinct pairs at distance 1,
+    // 4 self pairs at 0 -> 12/16 = 0.75.
+    CouplingGraph g(4);
+    for (int a = 0; a < 4; ++a) {
+        for (int b = a + 1; b < 4; ++b) {
+            g.addEdge(a, b);
+        }
+    }
+    EXPECT_NEAR(g.averageDistance(), 0.75, 1e-12);
+    EXPECT_NEAR(g.averageDegree(), 3.0, 1e-12);
+}
+
+TEST(CouplingGraph, TrimKeepsConnectivity)
+{
+    const CouplingGraph g = squareLattice(4, 4).trimToSize(10);
+    EXPECT_EQ(g.numQubits(), 10);
+    EXPECT_TRUE(g.isConnected());
+}
+
+TEST(Builders, SquareLatticeStructure)
+{
+    const CouplingGraph g = squareLattice(3, 4);
+    EXPECT_EQ(g.numQubits(), 12);
+    // Edges: 3 rows x 3 + 2 x 4 = 9 + 8 = 17.
+    EXPECT_EQ(g.edgeCount(), 17u);
+    EXPECT_EQ(g.degree(0), 2);   // corner
+    EXPECT_EQ(g.degree(5), 4);   // interior
+}
+
+TEST(Builders, AltDiagonalAddsBothDiagonalsOnHalfTheTiles)
+{
+    const CouplingGraph g = latticeWithAltDiagonals(3, 3);
+    // Base 3x3 grid: 12 edges; tiles: 4, alternating: 2 tiles x 2 = 4.
+    EXPECT_EQ(g.edgeCount(), 16u);
+    EXPECT_TRUE(g.hasEdge(0, 4));  // diagonal of tile (0,0)
+    EXPECT_TRUE(g.hasEdge(1, 3));
+    EXPECT_FALSE(g.hasEdge(1, 5)); // tile (0,1) is skipped
+}
+
+TEST(Builders, HexLatticeDegreeCap)
+{
+    const CouplingGraph g = hexLattice(4, 5);
+    for (int q = 0; q < g.numQubits(); ++q) {
+        EXPECT_LE(g.degree(q), 3) << "qubit " << q;
+    }
+    EXPECT_TRUE(g.isConnected());
+}
+
+TEST(Builders, HeavyHexSubdividesEveryEdge)
+{
+    const CouplingGraph hex = hexLattice(2, 3);
+    const CouplingGraph heavy = heavyHexLattice(2, 3);
+    EXPECT_EQ(heavy.numQubits(),
+              hex.numQubits() + static_cast<int>(hex.edgeCount()));
+    EXPECT_EQ(heavy.edgeCount(), 2 * hex.edgeCount());
+    // Heavy qubits (the subdividers) all have degree exactly 2.
+    for (int q = hex.numQubits(); q < heavy.numQubits(); ++q) {
+        EXPECT_EQ(heavy.degree(q), 2);
+    }
+}
+
+TEST(Builders, FalconMatchesPublishedShape)
+{
+    const CouplingGraph f = ibmFalconHeavyHex();
+    EXPECT_EQ(f.numQubits(), 27);
+    EXPECT_EQ(f.edgeCount(), 28u);
+    EXPECT_TRUE(f.isConnected());
+    // Heavy-hex degree profile: no vertex exceeds 3.
+    for (int q = 0; q < 27; ++q) {
+        EXPECT_LE(f.degree(q), 3);
+    }
+}
+
+TEST(Builders, HypercubeIsDistanceRegular)
+{
+    const CouplingGraph g = hypercube(4);
+    EXPECT_EQ(g.numQubits(), 16);
+    EXPECT_EQ(g.edgeCount(), 32u);
+    for (int q = 0; q < 16; ++q) {
+        EXPECT_EQ(g.degree(q), 4);
+    }
+    EXPECT_EQ(g.diameter(), 4);
+    // Distance equals Hamming distance.
+    EXPECT_EQ(g.distance(0, 15), 4);
+    EXPECT_EQ(g.distance(0b0101, 0b0110), 2);
+}
+
+TEST(Builders, IncompleteHypercube84MatchesTable2)
+{
+    const CouplingGraph g = incompleteHypercube(84);
+    EXPECT_EQ(g.numQubits(), 84);
+    EXPECT_EQ(g.edgeCount(), 252u);              // AvgC = 6.0 exactly
+    EXPECT_NEAR(g.averageDegree(), 6.0, 1e-12);  // Table 2
+    EXPECT_EQ(g.diameter(), 7);                  // Table 2
+    EXPECT_NEAR(g.averageDistance(), 3.32, 0.05); // Table 2: 3.32
+}
+
+TEST(Builders, TreeStructure20)
+{
+    const CouplingGraph g = modularTree(2);
+    EXPECT_EQ(g.numQubits(), 20);
+    // Module qubits: 3 siblings + router = degree 4; routers: 4 children
+    // + 3 routers = 7.
+    for (int w = 0; w < 4; ++w) {
+        EXPECT_EQ(g.degree(w), 7);
+    }
+    for (int q = 4; q < 20; ++q) {
+        EXPECT_EQ(g.degree(q), 4);
+    }
+}
+
+TEST(Builders, TreeRoundRobinSpreadsUplinks)
+{
+    const CouplingGraph g = modularTreeRoundRobin(2);
+    EXPECT_EQ(g.numQubits(), 20);
+    // Same degree profile as the standard tree (Table 1: AvgC 4.6)...
+    EXPECT_NEAR(g.averageDegree(), 4.6, 1e-12);
+    // ...but each module reaches all four routers (no bottleneck):
+    for (int module = 0; module < 4; ++module) {
+        std::vector<bool> reached(4, false);
+        for (int j = 0; j < 4; ++j) {
+            const int qubit = 4 + 4 * module + j;
+            for (int nb : g.neighbors(qubit)) {
+                if (nb < 4) {
+                    reached[static_cast<std::size_t>(nb)] = true;
+                }
+            }
+        }
+        for (int w = 0; w < 4; ++w) {
+            EXPECT_TRUE(reached[static_cast<std::size_t>(w)])
+                << "module " << module << " missing router " << w;
+        }
+    }
+}
+
+TEST(Builders, CorralDegrees)
+{
+    // Corral_{1,1}: every qubit couples to 5 others (Table 1: AvgC 5.0).
+    const CouplingGraph c11 = corral(8, 1, 1);
+    EXPECT_EQ(c11.numQubits(), 16);
+    for (int q = 0; q < 16; ++q) {
+        EXPECT_EQ(c11.degree(q), 5);
+    }
+    // Corral_{1,2}: degree 6 everywhere (Table 1: AvgC 6.0).
+    const CouplingGraph c12 = corral(8, 1, 2);
+    for (int q = 0; q < 16; ++q) {
+        EXPECT_EQ(c12.degree(q), 6);
+    }
+}
+
+/** Expected structural metrics for a named topology. */
+struct TopologyExpectation
+{
+    const char *name;
+    int qubits;
+    int diameter;
+    double avg_distance;
+    double avg_degree;
+    double tol_distance; //!< paper-exact entries use a tight tolerance
+};
+
+class PaperTables : public ::testing::TestWithParam<TopologyExpectation>
+{
+};
+
+TEST_P(PaperTables, MatchesExpectedMetrics)
+{
+    const auto &e = GetParam();
+    const CouplingGraph g = namedTopology(e.name);
+    EXPECT_EQ(g.numQubits(), e.qubits);
+    EXPECT_TRUE(g.isConnected());
+    EXPECT_EQ(g.diameter(), e.diameter);
+    EXPECT_NEAR(g.averageDistance(), e.avg_distance, e.tol_distance);
+    EXPECT_NEAR(g.averageDegree(), e.avg_degree, 0.005);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1And2, PaperTables,
+    ::testing::Values(
+        // --- Table 1 (paper values reproduced exactly) ---
+        TopologyExpectation{"square-16", 16, 6, 2.5, 3.0, 0.01},
+        TopologyExpectation{"hypercube-16", 16, 4, 2.0, 4.0, 0.01},
+        TopologyExpectation{"tree-20", 20, 3, 2.15, 4.6, 0.01},
+        TopologyExpectation{"tree-rr-20", 20, 3, 2.03, 4.6, 0.01},
+        TopologyExpectation{"corral11-16", 16, 4, 2.06, 5.0, 0.01},
+        // Paper reports 2.0/1.5; our post-sharing construction gives
+        // diameter 3 and AvgD 1.53 (documented deviation).
+        TopologyExpectation{"corral12-16", 16, 3, 1.53, 6.0, 0.01},
+        // Paper: Dia 7, AvgD 3.37, AvgC 2.45 on an unspecified carving.
+        TopologyExpectation{"hex-20", 20, 7, 3.27, 2.4, 0.01},
+        // Paper: Dia 8, AvgD 3.77, AvgC 2.1 (Falcon slice comes close).
+        TopologyExpectation{"heavy-hex-20", 20, 9, 4.03, 2.0, 0.01},
+        // --- Table 2 (paper values reproduced exactly where noted) ---
+        TopologyExpectation{"square-84", 84, 17, 6.26, 3.55, 0.01},
+        TopologyExpectation{"lattice-altdiag-84", 84, 11, 4.62, 5.12, 0.01},
+        TopologyExpectation{"hypercube-84", 84, 7, 3.32, 6.0, 0.01},
+        TopologyExpectation{"tree-84", 84, 5, 3.85, 4.90, 0.01},
+        TopologyExpectation{"tree-rr-84", 84, 5, 3.65, 4.90, 0.01},
+        // Paper: Dia 17, AvgD 6.95, AvgC 2.71.
+        TopologyExpectation{"hex-84", 84, 17, 6.86, 2.69, 0.01},
+        // Paper: Dia 21, AvgD 8.47, AvgC 2.26.
+        TopologyExpectation{"heavy-hex-84", 84, 22, 8.68, 2.24, 0.01}),
+    [](const ::testing::TestParamInfo<TopologyExpectation> &info) {
+        std::string s = info.param.name;
+        for (auto &ch : s) {
+            if (ch == '-' || ch == ',') {
+                ch = '_';
+            }
+        }
+        return s;
+    });
+
+TEST(Registry, AllNamesBuildAndConnect)
+{
+    for (const auto &name : topologyNames()) {
+        const CouplingGraph g = namedTopology(name);
+        EXPECT_TRUE(g.isConnected()) << name;
+        EXPECT_GE(g.numQubits(), 16) << name;
+    }
+}
+
+TEST(Registry, UnknownNameThrows)
+{
+    EXPECT_THROW(namedTopology("no-such-topology"), SnailError);
+}
+
+TEST(Registry, TableListsAreRegistered)
+{
+    for (const auto &name : table1Names()) {
+        EXPECT_NO_THROW(namedTopology(name)) << name;
+    }
+    for (const auto &name : table2Names()) {
+        EXPECT_NO_THROW(namedTopology(name)) << name;
+    }
+}
+
+} // namespace
+} // namespace snail

@@ -1,0 +1,386 @@
+/**
+ * @file
+ * Unit and integration tests for the transpiler: layouts, all three
+ * routers (validity + simulated equivalence), basis translation counts,
+ * and the full Fig. 10 pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "circuits/circuits.hpp"
+#include "common/error.hpp"
+#include "sim/equivalence.hpp"
+#include "topology/builders.hpp"
+#include "topology/registry.hpp"
+#include "transpiler/pipeline.hpp"
+
+namespace snail
+{
+namespace
+{
+
+/** Line topology 0-1-2-...-n. */
+CouplingGraph
+lineGraph(int n)
+{
+    CouplingGraph g(n, "line");
+    for (int i = 0; i + 1 < n; ++i) {
+        g.addEdge(i, i + 1);
+    }
+    return g;
+}
+
+/** Every 2Q gate of a routed circuit must act on a coupled pair. */
+void
+expectValidRouting(const Circuit &routed, const CouplingGraph &graph)
+{
+    for (const auto &op : routed.instructions()) {
+        if (op.isTwoQubit()) {
+            EXPECT_TRUE(graph.hasEdge(op.q0(), op.q1()))
+                << op.toString() << " not coupled on " << graph.name();
+        }
+    }
+}
+
+TEST(Layout, AssignAndSwap)
+{
+    Layout l(2, 4);
+    l.assign(0, 2);
+    l.assign(1, 3);
+    EXPECT_TRUE(l.isComplete());
+    EXPECT_EQ(l.physical(0), 2);
+    EXPECT_EQ(l.virtualAt(3), 1);
+    EXPECT_EQ(l.virtualAt(0), -1);
+    l.swapPhysical(2, 0);  // move virtual 0 to physical 0
+    EXPECT_EQ(l.physical(0), 0);
+    EXPECT_EQ(l.virtualAt(2), -1);
+    EXPECT_THROW(l.assign(0, 1), SnailError);
+}
+
+TEST(Layout, RejectsTooSmallDevice)
+{
+    EXPECT_THROW(Layout(5, 4), SnailError);
+}
+
+TEST(DenseLayout, PicksDensestRegion)
+{
+    // Device: a 4-clique attached to a long tail; a 4-qubit circuit must
+    // land on the clique.
+    CouplingGraph g(8, "clique-tail");
+    for (int a = 0; a < 4; ++a) {
+        for (int b = a + 1; b < 4; ++b) {
+            g.addEdge(a, b);
+        }
+    }
+    for (int i = 3; i + 1 < 8; ++i) {
+        g.addEdge(i, i + 1);
+    }
+    Circuit c(4);
+    c.cx(0, 1);
+    c.cx(2, 3);
+    const Layout l = denseLayout(c, g);
+    for (int v = 0; v < 4; ++v) {
+        EXPECT_LT(l.physical(v), 4) << "virtual " << v << " off-clique";
+    }
+}
+
+TEST(DenseLayout, HeaviestQubitGetsBestConnectivity)
+{
+    const CouplingGraph g = namedTopology("tree-20");
+    Circuit c(5);
+    // Virtual 2 participates in the most 2Q gates.
+    c.cx(2, 0);
+    c.cx(2, 1);
+    c.cx(2, 3);
+    c.cx(2, 4);
+    c.cx(0, 1);
+    const Layout l = denseLayout(c, g);
+    // Its physical home must have at least the degree of the others.
+    const int deg2 = g.degree(l.physical(2));
+    for (int v = 0; v < 5; ++v) {
+        EXPECT_GE(deg2, 0);
+        EXPECT_LE(g.degree(l.physical(v)), 7);
+    }
+    EXPECT_GE(deg2, g.degree(l.physical(0)));
+}
+
+class RouterCase
+    : public ::testing::TestWithParam<std::tuple<RouterKind, const char *>>
+{
+  protected:
+    static const Router &
+    makeRouter(RouterKind kind)
+    {
+        static BasicRouter basic;
+        static StochasticSwapRouter stochastic(8);
+        static SabreRouter sabre;
+        static LookaheadRouter lookahead;
+        switch (kind) {
+          case RouterKind::Basic:
+            return basic;
+          case RouterKind::Stochastic:
+            return stochastic;
+          case RouterKind::Sabre:
+            return sabre;
+          case RouterKind::Lookahead:
+            return lookahead;
+        }
+        return basic;
+    }
+};
+
+TEST_P(RouterCase, ValidAndEquivalentOnLine)
+{
+    const RouterKind kind = std::get<0>(GetParam());
+    const Router &router = makeRouter(kind);
+    const CouplingGraph g = lineGraph(5);
+
+    Circuit c(5, "allpairs");
+    c.h(0);
+    c.cx(0, 4);
+    c.cx(1, 3);
+    c.cx(0, 2);
+    c.rz(0.3, 4);
+    c.cx(4, 1);
+
+    Rng rng(101);
+    const Layout init = Layout::identity(5, 5);
+    const RoutingResult r = router.route(c, g, init, rng);
+    expectValidRouting(r.circuit, g);
+    EXPECT_EQ(r.circuit.countKind(GateKind::Swap), r.swaps_added);
+
+    Rng vrng(102);
+    EXPECT_TRUE(routedCircuitEquivalent(c, r.circuit, init.v2p(),
+                                        r.final_layout.v2p(), 3, vrng))
+        << "router " << router.name();
+}
+
+TEST_P(RouterCase, ValidAndEquivalentOnCorral)
+{
+    const RouterKind kind = std::get<0>(GetParam());
+    const Router &router = makeRouter(kind);
+    const CouplingGraph g = namedTopology("corral11-16");
+
+    const Circuit c = qft(6);
+    Rng rng(103);
+    const Layout init = Layout::identity(6, 16);
+    const RoutingResult r = router.route(c, g, init, rng);
+    expectValidRouting(r.circuit, g);
+
+    Rng vrng(104);
+    EXPECT_TRUE(routedCircuitEquivalent(c, r.circuit, init.v2p(),
+                                        r.final_layout.v2p(), 2, vrng))
+        << "router " << router.name();
+}
+
+TEST_P(RouterCase, NoSwapsWhenFullyConnected)
+{
+    const RouterKind kind = std::get<0>(GetParam());
+    const Router &router = makeRouter(kind);
+    CouplingGraph g(4, "k4");
+    for (int a = 0; a < 4; ++a) {
+        for (int b = a + 1; b < 4; ++b) {
+            g.addEdge(a, b);
+        }
+    }
+    const Circuit c = qft(4);
+    Rng rng(105);
+    const RoutingResult r =
+        router.route(c, g, Layout::identity(4, 4), rng);
+    // The QFT's own reversal SWAPs stay, but routing adds none.
+    EXPECT_EQ(r.swaps_added, 0u) << router.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRouters, RouterCase,
+    ::testing::Values(std::make_tuple(RouterKind::Basic, "basic"),
+                      std::make_tuple(RouterKind::Stochastic, "stochastic"),
+                      std::make_tuple(RouterKind::Sabre, "sabre"),
+                      std::make_tuple(RouterKind::Lookahead, "lookahead")),
+    [](const ::testing::TestParamInfo<RouterCase::ParamType> &info) {
+        return std::get<1>(info.param);
+    });
+
+TEST(StochasticRouter, DeterministicUnderSeed)
+{
+    const CouplingGraph g = namedTopology("square-16");
+    const Circuit c = quantumVolume(8, 8, 5);
+    const StochasticSwapRouter router(8);
+    Rng rng1(42);
+    Rng rng2(42);
+    const RoutingResult a =
+        router.route(c, g, Layout::identity(8, 16), rng1);
+    const RoutingResult b =
+        router.route(c, g, Layout::identity(8, 16), rng2);
+    EXPECT_EQ(a.swaps_added, b.swaps_added);
+    EXPECT_EQ(a.circuit.size(), b.circuit.size());
+}
+
+TEST(StochasticRouter, RicherTopologyNeedsFewerSwaps)
+{
+    // The corral should beat the line by a wide margin on QV.
+    const Circuit c = quantumVolume(10, 10, 9);
+    const StochasticSwapRouter router(8);
+    Rng rng1(7);
+    const RoutingResult line = router.route(
+        c, lineGraph(16), Layout::identity(10, 16), rng1);
+    Rng rng2(7);
+    const RoutingResult cor = router.route(
+        c, namedTopology("corral11-16"), Layout::identity(10, 16), rng2);
+    EXPECT_LT(cor.swaps_added, line.swaps_added);
+}
+
+TEST(BasisTranslation, CountsMatchClassRules)
+{
+    Circuit c(3);
+    c.h(0);
+    c.cx(0, 1);     // CNOT class: 1 in CX basis, 2 in sqiswap
+    c.swap(1, 2);   // SWAP class: 3 in both
+    c.cp(0.5, 0, 2); // CPhase: 2 in both
+
+    const auto cx_counts =
+        basisCountsPerInstruction(c, BasisSpec{BasisKind::CNOT});
+    EXPECT_EQ(cx_counts, (std::vector<int>{0, 1, 3, 2}));
+
+    const auto sq_counts =
+        basisCountsPerInstruction(c, BasisSpec{BasisKind::SqISwap});
+    EXPECT_EQ(sq_counts, (std::vector<int>{0, 2, 3, 2}));
+}
+
+TEST(BasisTranslation, StatsTotalsAndCriticalPath)
+{
+    Circuit c(4);
+    c.cx(0, 1);
+    c.cx(2, 3);   // parallel with the first
+    c.swap(1, 2); // depends on both
+    const TranslationStats cx_stats =
+        translationStats(c, BasisSpec{BasisKind::CNOT});
+    EXPECT_EQ(cx_stats.total_2q, 5u);            // 1 + 1 + 3
+    EXPECT_DOUBLE_EQ(cx_stats.critical_2q, 4.0); // 1 then 3
+    EXPECT_DOUBLE_EQ(cx_stats.total_duration, 5.0);
+
+    const TranslationStats sq_stats =
+        translationStats(c, BasisSpec{BasisKind::SqISwap});
+    EXPECT_EQ(sq_stats.total_2q, 7u);            // 2 + 2 + 3
+    EXPECT_DOUBLE_EQ(sq_stats.critical_2q, 5.0);
+    // Half-duration pulses: the co-design time advantage.
+    EXPECT_DOUBLE_EQ(sq_stats.total_duration, 3.5);
+    EXPECT_DOUBLE_EQ(sq_stats.critical_duration, 2.5);
+}
+
+TEST(BasisTranslation, ExpansionPreservesSemantics)
+{
+    Circuit c(3);
+    c.h(0);
+    c.cx(0, 1);
+    c.swap(1, 2);
+    c.cp(0.7, 0, 2);
+    const Circuit expanded = expandToBasis(c, BasisSpec{BasisKind::SqISwap});
+    // Only 1Q gates and sqiswap remain.
+    for (const auto &op : expanded.instructions()) {
+        if (op.isTwoQubit()) {
+            EXPECT_EQ(op.gate().kind(), GateKind::SqISwap);
+        }
+    }
+    EXPECT_TRUE(circuitsEquivalent(c, expanded, 1e-5));
+}
+
+TEST(Pipeline, EndToEndMetricsConsistent)
+{
+    const Circuit c = qft(8);
+    const CouplingGraph g = namedTopology("square-16");
+    TranspileOptions opts;
+    opts.basis = BasisSpec{BasisKind::SqISwap};
+    opts.stochastic_trials = 8;
+    const TranspileResult r = transpile(c, g, opts);
+
+    expectValidRouting(r.routed, g);
+    // Metric sanity: totals dominate critical paths; the basis total is at
+    // least the pre-translation 2Q count (every op needs >= 1 pulse here).
+    EXPECT_GE(r.metrics.basis_2q_total, r.metrics.ops_2q_pre);
+    EXPECT_LE(r.metrics.swaps_critical,
+              static_cast<double>(r.metrics.swaps_total));
+    EXPECT_LE(r.metrics.basis_2q_critical,
+              static_cast<double>(r.metrics.basis_2q_total));
+    EXPECT_DOUBLE_EQ(r.metrics.duration_total,
+                     0.5 * static_cast<double>(r.metrics.basis_2q_total));
+}
+
+TEST(Pipeline, RoutedCircuitComputesTheBenchmark)
+{
+    const Circuit c = ghz(6);
+    const CouplingGraph g = namedTopology("hypercube-16");
+    TranspileOptions opts;
+    opts.seed = 77;
+    const TranspileResult r = transpile(c, g, opts);
+    Rng vrng(78);
+    EXPECT_TRUE(routedCircuitEquivalent(c, r.routed,
+                                        r.initial_layout.v2p(),
+                                        r.final_layout.v2p(), 3, vrng));
+}
+
+TEST(SabreLayout, ProducesCompleteValidLayout)
+{
+    const Circuit c = qft(8);
+    const CouplingGraph g = namedTopology("square-16");
+    Rng rng(61);
+    const Layout l = sabreLayout(c, g, 2, rng);
+    EXPECT_TRUE(l.isComplete());
+    // Injectivity: all physical homes distinct.
+    std::vector<int> homes = l.v2p();
+    std::sort(homes.begin(), homes.end());
+    EXPECT_EQ(std::adjacent_find(homes.begin(), homes.end()), homes.end());
+}
+
+TEST(SabreLayout, PipelineOptionRoutesCorrectly)
+{
+    const Circuit c = qft(8);
+    const CouplingGraph g = namedTopology("square-16");
+    TranspileOptions opts;
+    opts.layout = LayoutKind::Sabre;
+    opts.seed = 63;
+    const TranspileResult r = transpile(c, g, opts);
+    expectValidRouting(r.routed, g);
+    Rng vrng(64);
+    EXPECT_TRUE(routedCircuitEquivalent(c, r.routed,
+                                        r.initial_layout.v2p(),
+                                        r.final_layout.v2p(), 2, vrng));
+}
+
+TEST(SabreLayout, CompetitiveWithDense)
+{
+    // Refinement should not be much worse than the dense seed and often
+    // improves it; allow generous slack to keep the test robust.
+    const Circuit c = quantumVolume(10, 10, 5);
+    const CouplingGraph g = namedTopology("square-16");
+    TranspileOptions dense;
+    dense.seed = 65;
+    TranspileOptions sabre = dense;
+    sabre.layout = LayoutKind::Sabre;
+    const auto rd = transpile(c, g, dense);
+    const auto rs = transpile(c, g, sabre);
+    EXPECT_LE(rs.metrics.swaps_total,
+              rd.metrics.swaps_total + rd.metrics.swaps_total / 2 + 4);
+}
+
+TEST(Pipeline, DenseLayoutBeatsTrivialOnModularTopology)
+{
+    // On the tree, a dense placement should not need more SWAPs than the
+    // trivial embedding for a local workload.
+    const Circuit c = timHamiltonian(12);
+    const CouplingGraph g = namedTopology("tree-20");
+    TranspileOptions dense;
+    dense.layout = LayoutKind::Dense;
+    dense.seed = 5;
+    TranspileOptions trivial;
+    trivial.layout = LayoutKind::Trivial;
+    trivial.seed = 5;
+    const auto rd = transpile(c, g, dense);
+    const auto rt = transpile(c, g, trivial);
+    EXPECT_LE(rd.metrics.swaps_total, rt.metrics.swaps_total + 4);
+}
+
+} // namespace
+} // namespace snail

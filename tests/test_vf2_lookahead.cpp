@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests for the VF2 perfect-layout pass and the lookahead router.
+ *
+ * VF2 claims: when it returns a layout, every 2Q gate of the circuit is
+ * directly executable (zero SWAPs); when the interaction graph cannot
+ * embed, it returns nullopt.  The lookahead router must produce
+ * verified-equivalent routed circuits on every topology.
+ */
+
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "circuits/circuits.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sim/equivalence.hpp"
+#include "topology/builders.hpp"
+#include "topology/registry.hpp"
+#include "transpiler/pipeline.hpp"
+#include "transpiler/vf2_layout.hpp"
+
+namespace snail
+{
+namespace
+{
+
+/** Every 2Q gate lands on an edge under the layout. */
+bool
+layoutIsPerfect(const Circuit &circuit, const CouplingGraph &graph,
+                const Layout &layout)
+{
+    for (const auto &op : circuit.instructions()) {
+        if (op.numQubits() == 2 &&
+            !graph.hasEdge(layout.physical(op.q0()),
+                           layout.physical(op.q1()))) {
+            return false;
+        }
+    }
+    return true;
+}
+
+TEST(Vf2Layout, LineIntoLine)
+{
+    // A GHZ chain embeds into any connected device.
+    Circuit c = ghz(5);
+    CouplingGraph line(5, "line");
+    for (int i = 0; i + 1 < 5; ++i) {
+        line.addEdge(i, i + 1);
+    }
+    auto layout = vf2Layout(c, line);
+    ASSERT_TRUE(layout.has_value());
+    EXPECT_TRUE(layoutIsPerfect(c, line, *layout));
+}
+
+TEST(Vf2Layout, StarIntoLineImpossible)
+{
+    // A degree-4 star cannot embed into a path (max degree 2).
+    Circuit c(5);
+    for (int i = 1; i < 5; ++i) {
+        c.cx(0, i);
+    }
+    CouplingGraph line(5, "line");
+    for (int i = 0; i + 1 < 5; ++i) {
+        line.addEdge(i, i + 1);
+    }
+    EXPECT_FALSE(vf2Layout(c, line).has_value());
+}
+
+TEST(Vf2Layout, TriangleIntoBipartiteImpossible)
+{
+    // A 3-cycle cannot embed into any cycle-free or bipartite graph;
+    // use a 2x2 grid (4-cycle, bipartite).
+    Circuit c(3);
+    c.cx(0, 1);
+    c.cx(1, 2);
+    c.cx(2, 0);
+    CouplingGraph grid(4, "grid2x2");
+    grid.addEdge(0, 1);
+    grid.addEdge(1, 3);
+    grid.addEdge(3, 2);
+    grid.addEdge(2, 0);
+    EXPECT_FALSE(vf2Layout(c, grid).has_value());
+}
+
+TEST(Vf2Layout, IsolatedQubitsGetHomes)
+{
+    Circuit c(4);
+    c.cx(0, 1); // qubits 2, 3 never interact
+    CouplingGraph line(4, "line");
+    for (int i = 0; i + 1 < 4; ++i) {
+        line.addEdge(i, i + 1);
+    }
+    auto layout = vf2Layout(c, line);
+    ASSERT_TRUE(layout.has_value());
+    EXPECT_TRUE(layout->isComplete());
+    EXPECT_TRUE(layoutIsPerfect(c, line, *layout));
+}
+
+TEST(Vf2Layout, WiderCircuitThanDeviceThrows)
+{
+    Circuit c(5);
+    c.cx(0, 1);
+    CouplingGraph small(3, "small");
+    small.addEdge(0, 1);
+    EXPECT_THROW(vf2Layout(c, small), SnailError);
+}
+
+TEST(Vf2Layout, BudgetExhaustionReturnsNullopt)
+{
+    // A hard instance with a tiny budget must give up, not hang.
+    Circuit c = quantumVolume(14, 14, 3);
+    const CouplingGraph device = namedTopology("heavy-hex-20");
+    auto layout = vf2Layout(c, device, 5);
+    EXPECT_FALSE(layout.has_value());
+}
+
+TEST(Vf2Layout, Corral11HostsCliqueCircuits)
+{
+    // The paper's Corral 1,1 observation: its 4-qubit all-to-all module
+    // structure hosts 4Q dense circuits with zero SWAPs.
+    const CouplingGraph corral = namedTopology("corral11-16");
+    Circuit c = quantumVolume(4, 4, 7);
+    auto layout = vf2Layout(c, corral);
+    ASSERT_TRUE(layout.has_value());
+    EXPECT_TRUE(layoutIsPerfect(c, corral, *layout));
+}
+
+TEST(Vf2Layout, GhzEmbedsInEveryNamedTopology)
+{
+    for (const auto &name : topologyNames()) {
+        const CouplingGraph device = namedTopology(name);
+        const int width = std::min(8, device.numQubits());
+        Circuit c = ghz(width);
+        auto layout = vf2Layout(c, device);
+        ASSERT_TRUE(layout.has_value()) << name;
+        EXPECT_TRUE(layoutIsPerfect(c, device, *layout)) << name;
+    }
+}
+
+TEST(Vf2Layout, PipelineVf2ProducesZeroSwaps)
+{
+    const CouplingGraph corral = namedTopology("corral11-16");
+    Circuit c = quantumVolume(4, 4, 21);
+    TranspileOptions options;
+    options.layout = LayoutKind::Vf2OrDense;
+    const TranspileResult r = transpile(c, corral, options);
+    EXPECT_EQ(r.metrics.swaps_total, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Lookahead router
+// ---------------------------------------------------------------------
+
+class LookaheadRouting : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(LookaheadRouting, RoutedCircuitIsEquivalent)
+{
+    const CouplingGraph device = namedTopology(GetParam());
+    const int width = std::min(7, device.numQubits());
+    Circuit c = quantumVolume(width, width, 5);
+
+    Layout initial = denseLayout(c, device);
+    LookaheadRouter router;
+    Rng rng(99);
+    RoutingResult result = router.route(c, device, initial, rng);
+
+    // All 2Q gates in the routed circuit respect the coupling map.
+    for (const auto &op : result.circuit.instructions()) {
+        if (op.numQubits() == 2) {
+            EXPECT_TRUE(device.hasEdge(op.q0(), op.q1()));
+        }
+    }
+    EXPECT_TRUE(routedCircuitEquivalent(
+        c, result.circuit, result.initial_layout.v2p(),
+        result.final_layout.v2p(), 3, rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, LookaheadRouting,
+                         ::testing::Values("square-16", "tree-20",
+                                           "corral12-16", "hypercube-16",
+                                           "heavy-hex-20"));
+
+TEST(LookaheadRouting, NoSwapsWhenAllAdjacent)
+{
+    CouplingGraph line(3, "line");
+    line.addEdge(0, 1);
+    line.addEdge(1, 2);
+    Circuit c(3);
+    c.cx(0, 1);
+    c.cx(1, 2);
+    LookaheadRouter router;
+    Rng rng(1);
+    RoutingResult result =
+        router.route(c, line, Layout::identity(3, 3), rng);
+    EXPECT_EQ(result.swaps_added, 0u);
+}
+
+TEST(LookaheadRouting, PipelineIntegration)
+{
+    const CouplingGraph device = namedTopology("tree-20");
+    Circuit c = qft(8);
+    TranspileOptions options;
+    options.router = RouterKind::Lookahead;
+    const TranspileResult r = transpile(c, device, options);
+    EXPECT_GT(r.metrics.basis_2q_total, 0u);
+}
+
+TEST(LookaheadRouting, CompetitiveWithBasicRouter)
+{
+    // Lookahead should never be drastically worse than the greedy
+    // baseline on a structured workload.
+    const CouplingGraph device = namedTopology("square-16");
+    Circuit c = qft(10);
+    Layout initial = denseLayout(c, device);
+    Rng rng_a(5);
+    Rng rng_b(5);
+    const auto basic = BasicRouter().route(c, device, initial, rng_a);
+    const auto ahead = LookaheadRouter().route(c, device, initial, rng_b);
+    EXPECT_LE(ahead.swaps_added, 2 * basic.swaps_added + 4);
+}
+
+} // namespace
+} // namespace snail

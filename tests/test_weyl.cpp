@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Unit tests for the Weyl-chamber machinery: magic-basis facts, canonical
+ * coordinates of every reference gate, invariance under local dressing,
+ * the full Cartan (KAK) factorization, and the analytic basis-count rules
+ * the paper's evaluation relies on (Observation 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/random_unitary.hpp"
+#include "weyl/basis_counts.hpp"
+#include "weyl/coordinates.hpp"
+#include "weyl/magic.hpp"
+
+namespace snail
+{
+namespace
+{
+
+constexpr double kQ = M_PI / 4.0;  // pi/4
+constexpr double kE = M_PI / 8.0;  // pi/8
+
+TEST(Magic, BasisIsUnitary)
+{
+    EXPECT_TRUE(magicBasis().isUnitary(1e-12));
+}
+
+TEST(Magic, LocalGatesBecomeRealOrthogonal)
+{
+    Rng rng(40);
+    for (int i = 0; i < 20; ++i) {
+        const Matrix a = haarSpecialUnitary(2, rng);
+        const Matrix b = haarSpecialUnitary(2, rng);
+        const Matrix local = toMagicBasis(kron(a, b));
+        EXPECT_TRUE(local.isReal(1e-9)) << "iteration " << i;
+        EXPECT_TRUE(local.isUnitary(1e-9));
+    }
+}
+
+TEST(Magic, DiagonalsAreSignVectors)
+{
+    const MagicDiagonals &d = magicDiagonals();
+    for (int j = 0; j < 4; ++j) {
+        EXPECT_NEAR(std::abs(d.xx[j]), 1.0, 1e-12);
+        EXPECT_NEAR(std::abs(d.yy[j]), 1.0, 1e-12);
+        EXPECT_NEAR(std::abs(d.zz[j]), 1.0, 1e-12);
+        // XX * YY = -ZZ elementwise (Pauli algebra).
+        EXPECT_NEAR(d.xx[j] * d.yy[j], -d.zz[j], 1e-12);
+    }
+}
+
+struct NamedGate
+{
+    const char *name;
+    Gate gate;
+    WeylCoords expected;
+};
+
+class KnownCoordinates : public ::testing::TestWithParam<NamedGate>
+{
+};
+
+TEST_P(KnownCoordinates, MatchesReference)
+{
+    const NamedGate &ng = GetParam();
+    const WeylCoords w = weylCoordinates(ng.gate);
+    EXPECT_TRUE(w.isClose(ng.expected, 1e-8))
+        << ng.name << ": got (" << w.a << ", " << w.b << ", " << w.c << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ReferenceGates, KnownCoordinates,
+    ::testing::Values(
+        NamedGate{"identity", gates::canonical(0, 0, 0),
+                  WeylCoords{0, 0, 0}},
+        NamedGate{"cnot", gates::cx(), WeylCoords{kQ, 0, 0}},
+        NamedGate{"cz", gates::cz(), WeylCoords{kQ, 0, 0}},
+        NamedGate{"iswap", gates::iswap(), WeylCoords{kQ, kQ, 0}},
+        NamedGate{"swap", gates::swapGate(), WeylCoords{kQ, kQ, kQ}},
+        NamedGate{"sqiswap", gates::sqiswap(), WeylCoords{kE, kE, 0}},
+        NamedGate{"bgate", gates::bgate(), WeylCoords{kQ, kE, 0}},
+        NamedGate{"cr90", gates::crossRes(M_PI / 2.0),
+                  WeylCoords{kQ, 0, 0}},
+        NamedGate{"root4", gates::nrootIswap(4.0),
+                  WeylCoords{M_PI / 16.0, M_PI / 16.0, 0}}),
+    [](const ::testing::TestParamInfo<NamedGate> &info) {
+        return info.param.name;
+    });
+
+TEST(Weyl, SycamoreCoordinates)
+{
+    // SYC = FSIM(pi/2, pi/6): iSWAP-strength exchange plus a CPhase(pi/6),
+    // giving coordinates (pi/4, pi/4, pi/24) up to chamber symmetry.
+    const WeylCoords w = weylCoordinates(gates::sycamore().matrix());
+    EXPECT_NEAR(w.a, kQ, 1e-8);
+    EXPECT_NEAR(w.b, kQ, 1e-8);
+    EXPECT_NEAR(std::abs(w.c), M_PI / 24.0, 1e-8);
+}
+
+TEST(Weyl, CPhaseSweepStaysOnCnotAxis)
+{
+    for (double theta : {0.1, 0.5, 1.0, 2.0, 3.0}) {
+        const WeylCoords w =
+            weylCoordinates(gates::cphase(theta).matrix());
+        EXPECT_NEAR(w.b, 0.0, 1e-8) << "theta = " << theta;
+        EXPECT_NEAR(w.c, 0.0, 1e-8);
+        EXPECT_NEAR(w.a, std::abs(theta) / 4.0, 1e-8);
+    }
+}
+
+TEST(Weyl, LocalDressingInvariance)
+{
+    Rng rng(41);
+    for (int i = 0; i < 30; ++i) {
+        const Matrix u = haarUnitary(4, rng);
+        const WeylCoords base = weylCoordinates(u);
+        const Matrix dressed = kron(haarUnitary(2, rng), haarUnitary(2, rng)) *
+                               u *
+                               kron(haarUnitary(2, rng), haarUnitary(2, rng));
+        const WeylCoords w = weylCoordinates(dressed);
+        EXPECT_TRUE(w.isClose(base, 1e-6))
+            << "iteration " << i << ": (" << base.a << "," << base.b << ","
+            << base.c << ") vs (" << w.a << "," << w.b << "," << w.c << ")";
+    }
+}
+
+TEST(Weyl, CoordinatesLieInChamber)
+{
+    Rng rng(42);
+    for (int i = 0; i < 50; ++i) {
+        const WeylCoords w = weylCoordinates(haarUnitary(4, rng));
+        EXPECT_LE(w.a, kQ + 1e-9);
+        EXPECT_GE(w.a, w.b - 1e-9);
+        EXPECT_GE(w.b, std::abs(w.c) - 1e-9);
+        EXPECT_GE(w.b, -1e-9);
+    }
+}
+
+TEST(Weyl, MagicDecompositionReconstructs)
+{
+    Rng rng(43);
+    for (int i = 0; i < 30; ++i) {
+        const Matrix u = haarUnitary(4, rng);
+        const MagicDecomposition d = magicDecompose(u);
+        const Matrix can =
+            gates::canonical(d.a_rep, d.b_rep, d.c_rep).matrix();
+        const Matrix rebuilt =
+            (d.k1 * can * d.k2) * std::polar(1.0, d.phase);
+        EXPECT_TRUE(allClose(rebuilt, u, 1e-7)) << "iteration " << i;
+    }
+}
+
+TEST(Weyl, LocalFactorsAreTensorProducts)
+{
+    Rng rng(44);
+    const Matrix u = haarUnitary(4, rng);
+    const MagicDecomposition d = magicDecompose(u);
+    // K1 and K2 must be local: conjugating into the magic basis gives a
+    // real orthogonal matrix.
+    EXPECT_TRUE(toMagicBasis(d.k1).isReal(1e-7));
+    EXPECT_TRUE(toMagicBasis(d.k2).isReal(1e-7));
+}
+
+TEST(Weyl, CanonicalizeHandlesMirrorClasses)
+{
+    // A class with genuinely negative c must keep its sign.
+    const WeylCoords w = canonicalize(0.2 * M_PI, 0.1 * M_PI, -0.05 * M_PI);
+    EXPECT_NEAR(w.a, 0.2 * M_PI, 1e-10);
+    EXPECT_NEAR(w.b, 0.1 * M_PI, 1e-10);
+    EXPECT_NEAR(w.c, -0.05 * M_PI, 1e-10);
+    // On the a = pi/4 boundary both signs are equivalent; the +c
+    // representative is canonical.
+    const WeylCoords b = canonicalize(kQ, 0.1 * M_PI, -0.05 * M_PI);
+    EXPECT_NEAR(b.c, 0.05 * M_PI, 1e-10);
+}
+
+TEST(Weyl, LocallyEquivalentGates)
+{
+    EXPECT_TRUE(locallyEquivalent(gates::cx().matrix(),
+                                  gates::cz().matrix()));
+    EXPECT_FALSE(locallyEquivalent(gates::cx().matrix(),
+                                   gates::iswap().matrix()));
+}
+
+TEST(BasisCounts, ReferenceClassCounts)
+{
+    const WeylCoords id{0, 0, 0};
+    const WeylCoords cnot{kQ, 0, 0};
+    const WeylCoords iswap{kQ, kQ, 0};
+    const WeylCoords swap{kQ, kQ, kQ};
+    const WeylCoords sqisw{kE, kE, 0};
+
+    EXPECT_EQ(cnotCount(id), 0);
+    EXPECT_EQ(cnotCount(cnot), 1);
+    EXPECT_EQ(cnotCount(iswap), 2);
+    EXPECT_EQ(cnotCount(swap), 3);
+    EXPECT_EQ(cnotCount(sqisw), 2);
+
+    EXPECT_EQ(sqiswapCount(id), 0);
+    EXPECT_EQ(sqiswapCount(sqisw), 1);
+    EXPECT_EQ(sqiswapCount(cnot), 2);
+    EXPECT_EQ(sqiswapCount(iswap), 2);
+    EXPECT_EQ(sqiswapCount(swap), 3);
+
+    EXPECT_EQ(iswapCount(id), 0);
+    EXPECT_EQ(iswapCount(iswap), 1);
+    EXPECT_EQ(iswapCount(cnot), 2);
+    EXPECT_EQ(iswapCount(swap), 3);
+
+    EXPECT_EQ(sycamoreCount(id), 0);
+    EXPECT_EQ(sycamoreCount(weylCoordinates(gates::sycamore().matrix())), 1);
+    EXPECT_EQ(sycamoreCount(swap), 4);
+    EXPECT_EQ(sycamoreCount(swap, /*optimistic=*/true), 3);
+}
+
+TEST(BasisCounts, HaarNeedsThreeCnots)
+{
+    // The 2-CNOT set has Haar measure zero.
+    const BasisSpec cx{BasisKind::CNOT};
+    const double frac2 = haarFractionWithin(cx, 2, 200, 77);
+    EXPECT_LT(frac2, 0.05);
+    const double frac3 = haarFractionWithin(cx, 3, 200, 78);
+    EXPECT_DOUBLE_EQ(frac3, 1.0);
+}
+
+TEST(BasisCounts, HaarSqiswapTwoUseFractionNear79Percent)
+{
+    // Huang et al.: the W region covers ~79% of Haar-random 2Q unitaries —
+    // the "slight information theoretic advantage" of Observation 1.
+    const BasisSpec sq{BasisKind::SqISwap};
+    const double frac2 = haarFractionWithin(sq, 2, 2000, 79);
+    EXPECT_NEAR(frac2, 0.79, 0.04);
+}
+
+TEST(BasisCounts, PulseDurations)
+{
+    EXPECT_DOUBLE_EQ(BasisSpec{BasisKind::CNOT}.pulseDuration(), 1.0);
+    EXPECT_DOUBLE_EQ(BasisSpec{BasisKind::SqISwap}.pulseDuration(), 0.5);
+    EXPECT_DOUBLE_EQ(BasisSpec{BasisKind::Sycamore}.pulseDuration(), 1.0);
+    // A SWAP in the sqiswap basis: 3 gates x 0.5 pulse = 1.5 units, vs
+    // 3.0 units in the CNOT basis — the co-design advantage in time.
+    const WeylCoords swap{kQ, kQ, kQ};
+    EXPECT_DOUBLE_EQ(basisDuration(BasisSpec{BasisKind::SqISwap}, swap), 1.5);
+    EXPECT_DOUBLE_EQ(basisDuration(BasisSpec{BasisKind::CNOT}, swap), 3.0);
+}
+
+} // namespace
+} // namespace snail

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * snailqc — command-line front end to the library.
+ *
+ * Subcommands:
+ *   topologies                       list registered topologies + metrics
+ *   coords <gate> [params...]        Weyl coordinates and basis counts
+ *   circuit <bench> <width>          benchmark circuit statistics
+ *   parse <file.qasm>                import OpenQASM 2.0, print statistics
+ *   transpile <bench> <width> <topology> <basis> [router] [seed]
+ *                                    run the Fig. 10 pipeline, print
+ *                                    metrics; <bench> may also be a
+ *                                    .qasm file (width then ignored)
+ *
+ * Examples:
+ *   snailqc topologies
+ *   snailqc coords fsim 1.5708 0.5236
+ *   snailqc circuit qv 16
+ *   snailqc parse my_circuit.qasm
+ *   snailqc transpile qaoa 14 corral11-16 sqiswap stochastic 7
+ *   snailqc transpile my_circuit.qasm 0 tree-20 sqiswap
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "circuits/registry.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "ir/qasm.hpp"
+#include "ir/qasm_parser.hpp"
+#include "topology/registry.hpp"
+#include "transpiler/pipeline.hpp"
+#include "weyl/basis_counts.hpp"
+
+namespace
+{
+
+using namespace snail;
+
+int
+usage()
+{
+    std::cerr <<
+        "usage: snailqc <command> [args]\n"
+        "  topologies\n"
+        "  coords <gate> [params...]   (cx, cz, swap, iswap, sqiswap,\n"
+        "                               syc, b, cp t, rzz t, fsim t p,\n"
+        "                               zx t, nroot n, can a b c)\n"
+        "  circuit <bench> <width>     (qv, qft, qaoa, tim, adder, ghz)\n"
+        "  parse <file.qasm>\n"
+        "  export <bench> <width>      (emit OpenQASM 2.0 on stdout)\n"
+        "  transpile <bench|file.qasm> <width> <topology> <basis>\n"
+        "            [basic|stochastic|sabre|lookahead] [seed]\n";
+    return 2;
+}
+
+Gate
+parseGate(const std::vector<std::string> &args)
+{
+    SNAIL_REQUIRE(!args.empty(), "missing gate name");
+    const std::string &name = args[0];
+    auto param = [&](std::size_t i) {
+        SNAIL_REQUIRE(args.size() > i, "gate " << name
+                                               << " needs more parameters");
+        return std::atof(args[i].c_str());
+    };
+    if (name == "cx") return gates::cx();
+    if (name == "cz") return gates::cz();
+    if (name == "swap") return gates::swapGate();
+    if (name == "iswap") return gates::iswap();
+    if (name == "sqiswap") return gates::sqiswap();
+    if (name == "syc") return gates::sycamore();
+    if (name == "b") return gates::bgate();
+    if (name == "cp") return gates::cphase(param(1));
+    if (name == "rzz") return gates::rzz(param(1));
+    if (name == "zx") return gates::crossRes(param(1));
+    if (name == "nroot") return gates::nrootIswap(param(1));
+    if (name == "fsim") return gates::fsim(param(1), param(2));
+    if (name == "can") return gates::canonical(param(1), param(2), param(3));
+    SNAIL_THROW("unknown gate: " << name);
+}
+
+BasisSpec
+parseBasis(const std::string &name)
+{
+    BasisSpec spec;
+    if (name == "cx" || name == "cnot") {
+        spec.kind = BasisKind::CNOT;
+    } else if (name == "sqiswap") {
+        spec.kind = BasisKind::SqISwap;
+    } else if (name == "iswap") {
+        spec.kind = BasisKind::ISwap;
+    } else if (name == "syc") {
+        spec.kind = BasisKind::Sycamore;
+    } else {
+        SNAIL_THROW("unknown basis: " << name
+                                      << " (cx|sqiswap|iswap|syc)");
+    }
+    return spec;
+}
+
+int
+cmdTopologies()
+{
+    TableWriter table({"name", "qubits", "edges", "Dia", "AvgD", "AvgC"});
+    for (const auto &name : topologyNames()) {
+        const CouplingGraph g = namedTopology(name);
+        table.addRow({name, std::to_string(g.numQubits()),
+                      std::to_string(g.edgeCount()),
+                      std::to_string(g.diameter()),
+                      TableWriter::num(g.averageDistance(), 2),
+                      TableWriter::num(g.averageDegree(), 2)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdCoords(const std::vector<std::string> &args)
+{
+    const Gate gate = parseGate(args);
+    const WeylCoords w = weylCoordinates(gate);
+    std::cout << gate.name() << " Weyl coordinates (pi units): ("
+              << w.a / M_PI << ", " << w.b / M_PI << ", " << w.c / M_PI
+              << ")\n";
+    TableWriter table({"basis", "count", "duration"});
+    for (BasisKind kind : {BasisKind::CNOT, BasisKind::SqISwap,
+                           BasisKind::ISwap, BasisKind::Sycamore}) {
+        BasisSpec spec;
+        spec.kind = kind;
+        table.addRow({spec.name(),
+                      std::to_string(basisCount(spec, w)),
+                      TableWriter::num(basisDuration(spec, w), 2)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdCircuit(const std::vector<std::string> &args)
+{
+    SNAIL_REQUIRE(args.size() >= 2, "circuit needs <bench> <width>");
+    const Circuit c = makeBenchmark(args[0], std::atoi(args[1].c_str()));
+    std::cout << c.name() << ": " << c.size() << " gates ("
+              << c.countTwoQubit() << " 2Q), 2Q depth "
+              << c.twoQubitDepth() << "\n";
+    if (c.size() <= 64) {
+        c.dump(std::cout);
+    }
+    return 0;
+}
+
+/** True when the argument looks like a QASM file path. */
+bool
+isQasmPath(const std::string &arg)
+{
+    return arg.size() > 5 && arg.substr(arg.size() - 5) == ".qasm";
+}
+
+int
+cmdParse(const std::vector<std::string> &args)
+{
+    SNAIL_REQUIRE(!args.empty(), "parse needs <file.qasm>");
+    const QasmParseResult result = parseQasmFile(args[0]);
+    const Circuit &c = result.circuit;
+    std::cout << args[0] << ": " << c.numQubits() << " qubits, " << c.size()
+              << " gates (" << c.countTwoQubit() << " 2Q), 2Q depth "
+              << c.twoQubitDepth() << ", " << result.measurements.size()
+              << " measurements\n";
+    for (const auto &reg : result.qregs) {
+        std::cout << "  qreg " << reg.name << '[' << reg.size
+                  << "] -> qubits " << reg.offset << ".."
+                  << reg.offset + reg.size - 1 << "\n";
+    }
+    if (c.size() <= 64) {
+        c.dump(std::cout);
+    }
+    return 0;
+}
+
+int
+cmdExport(const std::vector<std::string> &args)
+{
+    SNAIL_REQUIRE(args.size() >= 2, "export needs <bench> <width>");
+    const Circuit c = makeBenchmark(args[0], std::atoi(args[1].c_str()));
+    if (isQasmExportable(c)) {
+        writeQasm(std::cout, c);
+    } else {
+        // Lower exotic kinds (Haar SU(4) blocks etc.) to CNOT first.
+        writeQasm(std::cout, expandToBasis(c, BasisSpec{BasisKind::CNOT}));
+    }
+    return 0;
+}
+
+int
+cmdTranspile(const std::vector<std::string> &args)
+{
+    SNAIL_REQUIRE(args.size() >= 4,
+                  "transpile needs <bench> <width> <topology> <basis>");
+    const Circuit circuit =
+        isQasmPath(args[0]) ? parseQasmFile(args[0]).circuit
+                            : makeBenchmark(args[0],
+                                            std::atoi(args[1].c_str()));
+    const CouplingGraph device = namedTopology(args[2]);
+
+    TranspileOptions options;
+    options.basis = parseBasis(args[3]);
+    if (args.size() >= 5) {
+        if (args[4] == "basic") {
+            options.router = RouterKind::Basic;
+        } else if (args[4] == "stochastic") {
+            options.router = RouterKind::Stochastic;
+        } else if (args[4] == "sabre") {
+            options.router = RouterKind::Sabre;
+        } else if (args[4] == "lookahead") {
+            options.router = RouterKind::Lookahead;
+        } else {
+            SNAIL_THROW("unknown router: " << args[4]);
+        }
+    }
+    if (args.size() >= 6) {
+        options.seed =
+            static_cast<unsigned long long>(std::atoll(args[5].c_str()));
+    }
+
+    const TranspileResult r = transpile(circuit, device, options);
+    std::cout << circuit.name() << " on " << device.name() << " ("
+              << options.basis.name() << " basis):\n";
+    TableWriter table({"metric", "value"});
+    table.addRow({"SWAPs total", std::to_string(r.metrics.swaps_total)});
+    table.addRow({"SWAPs critical path",
+                  TableWriter::num(r.metrics.swaps_critical, 0)});
+    table.addRow({"2Q ops after routing",
+                  std::to_string(r.metrics.ops_2q_pre)});
+    table.addRow({"native 2Q pulses",
+                  std::to_string(r.metrics.basis_2q_total)});
+    table.addRow({"pulse duration (critical)",
+                  TableWriter::num(r.metrics.duration_critical, 1)});
+    table.addRow({"pulse duration (total)",
+                  TableWriter::num(r.metrics.duration_total, 1)});
+    table.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        return usage();
+    }
+    const std::string command = argv[1];
+    std::vector<std::string> args;
+    for (int i = 2; i < argc; ++i) {
+        args.emplace_back(argv[i]);
+    }
+    try {
+        if (command == "topologies") {
+            return cmdTopologies();
+        }
+        if (command == "coords") {
+            return cmdCoords(args);
+        }
+        if (command == "circuit") {
+            return cmdCircuit(args);
+        }
+        if (command == "parse") {
+            return cmdParse(args);
+        }
+        if (command == "export") {
+            return cmdExport(args);
+        }
+        if (command == "transpile") {
+            return cmdTranspile(args);
+        }
+        return usage();
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
