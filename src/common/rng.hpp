@@ -67,6 +67,15 @@ class Rng
     /** A fresh generator deterministically derived from this one. */
     Rng split();
 
+    /**
+     * Counter-based stream derivation: a generator that depends only on
+     * (seed, stream_id), with no shared mutable state.  Concurrent
+     * workers (and randomized trials that may later run concurrently)
+     * each take their own stream id, so results are bit-identical
+     * regardless of execution order or thread count.
+     */
+    static Rng stream(std::uint64_t seed, std::uint64_t stream_id);
+
   private:
     std::array<std::uint64_t, 4> _state;
     bool _hasCachedNormal = false;

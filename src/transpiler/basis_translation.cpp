@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "decomp/synthesis.hpp"
+#include "transpiler/passes.hpp"
 #include "weyl/coordinates.hpp"
 
 namespace snail
@@ -88,6 +89,44 @@ expandToBasis(const Circuit &circuit, const BasisSpec &basis)
         }
     }
     return out;
+}
+
+std::string
+SetBasisPass::spec() const
+{
+    return name() + "=" + _basis.name();
+}
+
+void
+SetBasisPass::run(PassContext &ctx) const
+{
+    ctx.basis = _basis;
+}
+
+void
+ScoreMetricsPass::run(PassContext &ctx) const
+{
+    PropertySet &props = ctx.properties;
+    props.set("swaps_total",
+              static_cast<double>(ctx.circuit.countKind(GateKind::Swap)));
+    props.set("swaps_critical",
+              ctx.circuit.weightedCriticalPath([](const Instruction &op) {
+                  return op.isSwap() ? 1.0 : 0.0;
+              }));
+    props.set("ops_2q_pre",
+              static_cast<double>(ctx.circuit.countTwoQubit()));
+
+    const TranslationStats stats = translationStats(ctx.circuit, ctx.basis);
+    props.set("basis_2q_total", static_cast<double>(stats.total_2q));
+    props.set("basis_2q_critical", stats.critical_2q);
+    props.set("duration_total", stats.total_duration);
+    props.set("duration_critical", stats.critical_duration);
+    // Record which basis these numbers belong to (BasisKind as index),
+    // so consumers report the basis scoring actually used rather than
+    // guessing from the pipeline spec.
+    props.set("scored_basis",
+              static_cast<double>(static_cast<int>(ctx.basis.kind)));
+    props.set("scored", 1.0);
 }
 
 } // namespace snail

@@ -16,6 +16,7 @@
 #include "common/error.hpp"
 #include "ir/circuit.hpp"
 #include "transpiler/layout.hpp"
+#include "transpiler/passes.hpp"
 
 namespace snail
 {
@@ -156,6 +157,15 @@ denseLayout(const Circuit &circuit, const CouplingGraph &graph)
                       rank[static_cast<std::size_t>(i)].second);
     }
     return layout;
+}
+
+void
+DenseLayoutPass::run(PassContext &ctx) const
+{
+    SNAIL_REQUIRE(!ctx.final_layout,
+                  name() << ": circuit is already routed; layout passes "
+                            "must run before routing");
+    ctx.initial_layout = denseLayout(ctx.circuit, ctx.graph);
 }
 
 } // namespace snail

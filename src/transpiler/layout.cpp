@@ -1,5 +1,7 @@
 #include "transpiler/layout.hpp"
 
+#include "transpiler/passes.hpp"
+
 #include "common/error.hpp"
 #include "ir/circuit.hpp"
 
@@ -101,6 +103,15 @@ Layout
 trivialLayout(const Circuit &circuit, const CouplingGraph &graph)
 {
     return Layout::identity(circuit.numQubits(), graph.numQubits());
+}
+
+void
+TrivialLayoutPass::run(PassContext &ctx) const
+{
+    SNAIL_REQUIRE(!ctx.final_layout,
+                  name() << ": circuit is already routed; layout passes "
+                            "must run before routing");
+    ctx.initial_layout = trivialLayout(ctx.circuit, ctx.graph);
 }
 
 } // namespace snail

@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "linalg/su2.hpp"
+#include "transpiler/passes.hpp"
 
 namespace snail
 {
@@ -277,6 +278,22 @@ optimizeCircuit(Circuit &circuit, int level, double tol)
         }
     }
     return total;
+}
+
+std::string
+OptimizePass::spec() const
+{
+    return _level == kDefaultLevel
+               ? name()
+               : name() + "=" + std::to_string(_level);
+}
+
+void
+OptimizePass::run(PassContext &ctx) const
+{
+    const OptimizeStats stats = optimizeCircuit(ctx.circuit, _level);
+    ctx.properties.increment("optimize_removed",
+                             static_cast<double>(stats.total()));
 }
 
 } // namespace snail

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * PropertySet and the shared routing-adapter logic (pass.hpp,
+ * passes.hpp).  Stage-specific adapters live next to their stages.
+ */
+
+#include "transpiler/passes.hpp"
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+void
+PropertySet::set(const std::string &key, double value)
+{
+    _values[key] = value;
+}
+
+void
+PropertySet::increment(const std::string &key, double delta)
+{
+    _values[key] += delta;
+}
+
+double
+PropertySet::get(const std::string &key, double fallback) const
+{
+    const auto it = _values.find(key);
+    return it == _values.end() ? fallback : it->second;
+}
+
+bool
+PropertySet::contains(const std::string &key) const
+{
+    return _values.find(key) != _values.end();
+}
+
+void
+RoutePassBase::run(PassContext &ctx) const
+{
+    // Routing maps virtual qubits to physical ones; a second routing
+    // pass would re-map the already-physical circuit against the stale
+    // virtual layout and corrupt the layout bookkeeping.
+    SNAIL_REQUIRE(!ctx.final_layout,
+                  name() << ": circuit is already routed; a pipeline may "
+                            "only contain one routing pass");
+    if (!ctx.initial_layout) {
+        ctx.initial_layout = trivialLayout(ctx.circuit, ctx.graph);
+    }
+    // A fresh Rng(seed) per routing pass reproduces the legacy pipeline
+    // stream and keeps routing independent of earlier passes.
+    Rng rng(ctx.seed);
+    RoutingResult routed =
+        router().route(ctx.circuit, ctx.graph, *ctx.initial_layout, rng);
+    ctx.circuit = std::move(routed.circuit);
+    ctx.initial_layout = std::move(routed.initial_layout);
+    ctx.final_layout = std::move(routed.final_layout);
+    ctx.properties.increment("swaps_added",
+                             static_cast<double>(routed.swaps_added));
+}
+
+} // namespace snail

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The transpiler's composable pass abstraction.
+ *
+ * A Pass is a named, stateless-at-run-time transformation of a
+ * PassContext: the circuit being compiled, the device coupling graph,
+ * the virtual-to-physical layouts, the native basis, the job seed, and
+ * a string-keyed PropertySet where passes publish metrics.  Passes are
+ * assembled into pipelines by the PassManager (pass_manager.hpp) and
+ * looked up by name through the PassRegistry (pass_registry.hpp).
+ *
+ * Determinism contract: a pass must derive any randomness it needs from
+ * the context's job seed (rngFor / Rng::stream), never from global
+ * state, so that a pipeline's output depends only on (circuit, graph,
+ * seed, pipeline spec) — independent of what ran before it and of how
+ * many worker threads a batch uses.
+ */
+
+#ifndef SNAILQC_TRANSPILER_PASS_HPP
+#define SNAILQC_TRANSPILER_PASS_HPP
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/rng.hpp"
+#include "ir/circuit.hpp"
+#include "topology/coupling_graph.hpp"
+#include "transpiler/layout.hpp"
+#include "weyl/basis_counts.hpp"
+
+namespace snail
+{
+
+/** String-keyed metric store shared by the passes of one pipeline run. */
+class PropertySet
+{
+  public:
+    /** Set (or overwrite) a metric. */
+    void set(const std::string &key, double value);
+
+    /** Add `delta` to a metric, creating it at zero first. */
+    void increment(const std::string &key, double delta = 1.0);
+
+    /** Read a metric, or `fallback` when it was never set. */
+    double get(const std::string &key, double fallback = 0.0) const;
+
+    /** True when the metric exists. */
+    bool contains(const std::string &key) const;
+
+    /** All metrics, ordered by key. */
+    const std::map<std::string, double> &all() const { return _values; }
+
+  private:
+    std::map<std::string, double> _values;
+};
+
+/** Everything a pass may read or transform during a pipeline run. */
+struct PassContext
+{
+    PassContext(Circuit c, const CouplingGraph &g, BasisSpec b,
+                unsigned long long job_seed)
+        : circuit(std::move(c)), graph(g), basis(std::move(b)),
+          seed(job_seed), rng(job_seed)
+    {
+    }
+
+    Circuit circuit;            //!< current circuit (passes transform it)
+    const CouplingGraph &graph; //!< target device
+    BasisSpec basis;            //!< native basis used for scoring
+    unsigned long long seed;    //!< job seed: the root of all randomness
+    Rng rng;                    //!< shared stream for ad-hoc user passes
+
+    /** Set by layout passes; routing starts from it (trivial if unset). */
+    std::optional<Layout> initial_layout;
+    /** Set by routing passes; tracks the post-circuit permutation. */
+    std::optional<Layout> final_layout;
+
+    PropertySet properties; //!< metrics published by the passes
+
+    /**
+     * A fresh generator derived from the job seed and a pass-specific
+     * salt.  Using a per-pass derivation (instead of drawing from the
+     * shared `rng`) keeps each pass's stream independent of pipeline
+     * composition, which is what makes batch runs bit-identical to
+     * serial ones.
+     */
+    Rng
+    rngFor(unsigned long long salt) const
+    {
+        return Rng(seed ^ salt);
+    }
+};
+
+/** Interface implemented by every transpiler pass. */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+
+    /** Registry name, e.g. "stochastic-route". */
+    virtual std::string name() const = 0;
+
+    /**
+     * Round-trippable pipeline-spec entry, e.g. "stochastic-route=12".
+     * Defaults to name(); override when the pass carries an argument.
+     */
+    virtual std::string
+    spec() const
+    {
+        return name();
+    }
+
+    /**
+     * Transform the context.  Must be safe to call concurrently on
+     * distinct contexts (pass objects are shared across batch workers).
+     */
+    virtual void run(PassContext &ctx) const = 0;
+};
+
+} // namespace snail
+
+#endif // SNAILQC_TRANSPILER_PASS_HPP

@@ -1,0 +1,170 @@
+#include "transpiler/pass_manager.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <optional>
+#include <thread>
+
+#include "common/error.hpp"
+#include "transpiler/passes.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+/** Execute one pass on the context, appending its instrumentation. */
+void
+runInstrumented(const Pass &pass, PassContext &ctx,
+                std::vector<PassStat> &stats)
+{
+    PassStat stat;
+    stat.pass = pass.spec();
+    const auto swaps_before =
+        static_cast<long long>(ctx.circuit.countKind(GateKind::Swap));
+    const auto ops2q_before =
+        static_cast<long long>(ctx.circuit.countTwoQubit());
+    const auto t0 = std::chrono::steady_clock::now();
+
+    pass.run(ctx);
+
+    const auto t1 = std::chrono::steady_clock::now();
+    stat.wall_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    stat.swap_delta =
+        static_cast<long long>(ctx.circuit.countKind(GateKind::Swap)) -
+        swaps_before;
+    stat.ops2q_delta =
+        static_cast<long long>(ctx.circuit.countTwoQubit()) - ops2q_before;
+    stats.push_back(std::move(stat));
+}
+
+/** Translate the scored PropertySet into the legacy metrics struct. */
+TranspileMetrics
+metricsFromProperties(const PropertySet &props)
+{
+    TranspileMetrics m;
+    m.swaps_total = static_cast<std::size_t>(props.get("swaps_total"));
+    m.swaps_critical = props.get("swaps_critical");
+    m.ops_2q_pre = static_cast<std::size_t>(props.get("ops_2q_pre"));
+    m.basis_2q_total = static_cast<std::size_t>(props.get("basis_2q_total"));
+    m.basis_2q_critical = props.get("basis_2q_critical");
+    m.duration_total = props.get("duration_total");
+    m.duration_critical = props.get("duration_critical");
+    return m;
+}
+
+} // namespace
+
+PassManager &
+PassManager::append(std::shared_ptr<const Pass> pass)
+{
+    SNAIL_REQUIRE(pass != nullptr, "PassManager::append: null pass");
+    _passes.push_back(std::move(pass));
+    return *this;
+}
+
+std::string
+PassManager::spec() const
+{
+    std::string out;
+    for (const auto &pass : _passes) {
+        if (!out.empty()) {
+            out += ',';
+        }
+        out += pass->spec();
+    }
+    return out;
+}
+
+TranspileResult
+PassManager::run(const Circuit &circuit, const CouplingGraph &graph,
+                 unsigned long long seed, const BasisSpec &basis) const
+{
+    PassContext ctx(circuit, graph, basis, seed);
+    std::vector<PassStat> stats;
+    stats.reserve(_passes.size() + 1);
+    for (const auto &pass : _passes) {
+        runInstrumented(*pass, ctx, stats);
+    }
+    if (!ctx.properties.contains("scored")) {
+        runInstrumented(ScoreMetricsPass(), ctx, stats);
+    }
+
+    Layout initial = ctx.initial_layout
+                         ? std::move(*ctx.initial_layout)
+                         : trivialLayout(ctx.circuit, graph);
+    Layout final_layout =
+        ctx.final_layout ? std::move(*ctx.final_layout) : initial;
+    TranspileResult result(std::move(ctx.circuit), std::move(initial),
+                           std::move(final_layout));
+    result.metrics = metricsFromProperties(ctx.properties);
+    result.pass_stats = std::move(stats);
+    result.properties = std::move(ctx.properties);
+    return result;
+}
+
+std::vector<TranspileResult>
+transpileBatch(const std::vector<TranspileJob> &jobs, const PassManager &pm,
+               unsigned num_threads)
+{
+    if (num_threads == 0) {
+        num_threads = std::thread::hardware_concurrency();
+        if (num_threads == 0) {
+            num_threads = 1;
+        }
+    }
+    if (num_threads > jobs.size()) {
+        num_threads = static_cast<unsigned>(jobs.size());
+    }
+
+    std::vector<std::optional<TranspileResult>> slots(jobs.size());
+    std::vector<std::exception_ptr> errors(jobs.size());
+
+    // Work stealing off a shared atomic counter: jobs differ wildly in
+    // cost (widths, topologies), so static striping would idle workers.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= jobs.size()) {
+                return;
+            }
+            try {
+                slots[i] = pm.run(jobs[i].circuit, jobs[i].graph,
+                                  jobs[i].seed, jobs[i].basis);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+    };
+
+    if (num_threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(num_threads);
+        for (unsigned t = 0; t < num_threads; ++t) {
+            pool.emplace_back(worker);
+        }
+        for (auto &thread : pool) {
+            thread.join();
+        }
+    }
+
+    for (const auto &error : errors) {
+        if (error) {
+            std::rethrow_exception(error);
+        }
+    }
+    std::vector<TranspileResult> results;
+    results.reserve(jobs.size());
+    for (auto &slot : slots) {
+        results.push_back(std::move(*slot));
+    }
+    return results;
+}
+
+} // namespace snail

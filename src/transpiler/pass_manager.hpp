@@ -1,0 +1,146 @@
+/**
+ * @file
+ * PassManager: ordered execution of transpiler passes with per-pass
+ * instrumentation, plus the parallel batch entry point.
+ *
+ * A PassManager owns a sequence of shared, immutable Pass objects.
+ * Running it on a (circuit, graph, seed, basis) job executes the passes
+ * in order on one PassContext, records wall time and SWAP / 2Q-gate
+ * deltas per pass, and returns a TranspileResult whose metrics mirror
+ * the paper's Fig. 10 collection points.  If no pass published the
+ * metrics ("scored" property), a ScoreMetricsPass runs implicitly at
+ * the end, so every pipeline yields complete metrics.
+ *
+ * transpileBatch() fans independent jobs across a std::thread worker
+ * pool.  Each job gets its own PassContext seeded from its own job
+ * seed, so results are bit-identical at any thread count, including 1.
+ */
+
+#ifndef SNAILQC_TRANSPILER_PASS_MANAGER_HPP
+#define SNAILQC_TRANSPILER_PASS_MANAGER_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "transpiler/pass.hpp"
+
+namespace snail
+{
+
+/** Default job seed, shared with the legacy TranspileOptions. */
+inline constexpr unsigned long long kDefaultTranspileSeed = 0xC0DE5EEDULL;
+
+/** Everything the paper's data-collection flow records. */
+struct TranspileMetrics
+{
+    std::size_t swaps_total = 0;     //!< SWAPs induced by routing
+    double swaps_critical = 0.0;     //!< SWAPs on the critical path
+    std::size_t ops_2q_pre = 0;      //!< 2Q ops before translation (incl SWAPs)
+    std::size_t basis_2q_total = 0;  //!< native 2Q gates after translation
+    double basis_2q_critical = 0.0;  //!< native 2Q gates on critical path
+    double duration_total = 0.0;     //!< total pulse time (normalized)
+    double duration_critical = 0.0;  //!< critical-path pulse time
+};
+
+/** Per-pass instrumentation recorded by PassManager::run. */
+struct PassStat
+{
+    std::string pass;        //!< the pass's spec entry
+    double wall_ms = 0.0;    //!< wall-clock time spent in the pass
+    long long swap_delta = 0;  //!< change in SWAP count
+    long long ops2q_delta = 0; //!< change in 2Q instruction count
+};
+
+/** Transpilation output: routed circuit, layouts, and metrics. */
+struct TranspileResult
+{
+    Circuit routed;
+    Layout initial_layout;
+    Layout final_layout;
+    TranspileMetrics metrics;
+    std::vector<PassStat> pass_stats; //!< one entry per executed pass
+    PropertySet properties;           //!< everything the passes published
+
+    TranspileResult(Circuit c, Layout init, Layout fin)
+        : routed(std::move(c)),
+          initial_layout(std::move(init)),
+          final_layout(std::move(fin))
+    {
+    }
+};
+
+/** Ordered, instrumented pipeline of transpiler passes. */
+class PassManager
+{
+  public:
+    PassManager() = default;
+
+    /** Append a pass; returns *this for chaining. */
+    PassManager &append(std::shared_ptr<const Pass> pass);
+
+    /** Construct-and-append convenience. */
+    template <typename PassT, typename... Args>
+    PassManager &
+    emplace(Args &&...args)
+    {
+        return append(
+            std::make_shared<const PassT>(std::forward<Args>(args)...));
+    }
+
+    const std::vector<std::shared_ptr<const Pass>> &
+    passes() const
+    {
+        return _passes;
+    }
+
+    bool empty() const { return _passes.empty(); }
+
+    /**
+     * The pipeline-spec string describing this manager, e.g.
+     * "dense,stochastic-route=12,elide,basis=sqiswap".  Feeding it back
+     * through passManagerFromSpec() reproduces the pipeline.
+     */
+    std::string spec() const;
+
+    /** Run the pipeline on one job. */
+    TranspileResult run(const Circuit &circuit, const CouplingGraph &graph,
+                        unsigned long long seed = kDefaultTranspileSeed,
+                        const BasisSpec &basis = BasisSpec{}) const;
+
+  private:
+    std::vector<std::shared_ptr<const Pass>> _passes;
+};
+
+/** One unit of work for transpileBatch. */
+struct TranspileJob
+{
+    Circuit circuit;
+    CouplingGraph graph;
+    unsigned long long seed = kDefaultTranspileSeed;
+    BasisSpec basis{};
+
+    TranspileJob(Circuit c, CouplingGraph g,
+                 unsigned long long job_seed = kDefaultTranspileSeed,
+                 BasisSpec b = BasisSpec{})
+        : circuit(std::move(c)), graph(std::move(g)), seed(job_seed),
+          basis(std::move(b))
+    {
+    }
+};
+
+/**
+ * Transpile every job with the same pipeline, fanning the jobs across
+ * `num_threads` workers (0 = std::thread::hardware_concurrency).
+ * Results come back in job order and are bit-identical to running the
+ * jobs serially: every job derives all randomness from its own seed.
+ * The first exception thrown by any job is rethrown after all workers
+ * finish.
+ */
+std::vector<TranspileResult>
+transpileBatch(const std::vector<TranspileJob> &jobs, const PassManager &pm,
+               unsigned num_threads = 0);
+
+} // namespace snail
+
+#endif // SNAILQC_TRANSPILER_PASS_MANAGER_HPP

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Registry of named transpiler passes and the pipeline-spec parser
+ * (pass_registry.hpp).  Built-ins are registered on first lookup.
+ */
+
+#include "transpiler/pass_registry.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "transpiler/passes.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+std::mutex &
+registryMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+/** Parse an integral spec argument. */
+int
+intArg(const std::string &pass, const std::string &arg, int lo, int hi)
+{
+    std::size_t consumed = 0;
+    int value = 0;
+    try {
+        value = std::stoi(arg, &consumed);
+    } catch (const std::exception &) {
+        consumed = 0;
+    }
+    SNAIL_REQUIRE(consumed == arg.size() && !arg.empty(),
+                  pass << ": malformed integer argument '" << arg << "'");
+    SNAIL_REQUIRE(value >= lo && value <= hi,
+                  pass << ": argument " << value << " outside [" << lo
+                       << ", " << hi << "]");
+    return value;
+}
+
+/** Reject a spec argument for passes that take none. */
+void
+noArg(const std::string &pass, const std::string &arg)
+{
+    SNAIL_REQUIRE(arg.empty(),
+                  pass << " takes no argument (got '" << arg << "')");
+}
+
+void
+registerBuiltins(std::map<std::string, PassRegistration> &rows)
+{
+    auto add = [&rows](const char *name, const char *summary,
+                       const char *arg_help, PassFactory factory) {
+        rows[name] = PassRegistration{name, summary, arg_help,
+                                      std::move(factory)};
+    };
+
+    // Layout.
+    add("trivial", "identity placement (Qiskit TrivialLayout)", "",
+        [](const std::string &arg) -> std::shared_ptr<const Pass> {
+            noArg("trivial", arg);
+            return std::make_shared<TrivialLayoutPass>();
+        });
+    add("dense", "densest-subgraph placement (Qiskit DenseLayout)", "",
+        [](const std::string &arg) -> std::shared_ptr<const Pass> {
+            noArg("dense", arg);
+            return std::make_shared<DenseLayoutPass>();
+        });
+    add("sabre-layout",
+        "dense seed refined by forward/backward routing rounds",
+        "iterations (default 2)",
+        [](const std::string &arg) -> std::shared_ptr<const Pass> {
+            const int iters =
+                arg.empty() ? SabreLayoutPass::kDefaultIterations
+                            : intArg("sabre-layout", arg, 1, 64);
+            return std::make_shared<SabreLayoutPass>(iters);
+        });
+    add("vf2", "zero-SWAP subgraph embedding, dense fallback", "",
+        [](const std::string &arg) -> std::shared_ptr<const Pass> {
+            noArg("vf2", arg);
+            return std::make_shared<Vf2LayoutPass>(true);
+        });
+    add("vf2-strict", "zero-SWAP subgraph embedding, error on failure", "",
+        [](const std::string &arg) -> std::shared_ptr<const Pass> {
+            noArg("vf2-strict", arg);
+            return std::make_shared<Vf2LayoutPass>(false);
+        });
+
+    // Routing.
+    add("basic-route", "greedy shortest-path router", "",
+        [](const std::string &arg) -> std::shared_ptr<const Pass> {
+            noArg("basic-route", arg);
+            return std::make_shared<BasicRoutePass>();
+        });
+    add("stochastic-route",
+        "randomized-trial router (Qiskit StochasticSwap, paper default)",
+        "trials (default 20)",
+        [](const std::string &arg) -> std::shared_ptr<const Pass> {
+            const int trials =
+                arg.empty() ? StochasticRoutePass::kDefaultTrials
+                            : intArg("stochastic-route", arg, 1, 10000);
+            return std::make_shared<StochasticRoutePass>(trials);
+        });
+    add("sabre-route", "SABRE lookahead-heuristic router", "",
+        [](const std::string &arg) -> std::shared_ptr<const Pass> {
+            noArg("sabre-route", arg);
+            return std::make_shared<SabreRoutePass>();
+        });
+    add("lookahead-route", "beam-search router (Qiskit LookaheadSwap)", "",
+        [](const std::string &arg) -> std::shared_ptr<const Pass> {
+            noArg("lookahead-route", arg);
+            return std::make_shared<LookaheadRoutePass>();
+        });
+
+    // Rewrite.
+    add("optimize", "peephole optimization to a fixpoint",
+        "level 0-2 (default 2)",
+        [](const std::string &arg) -> std::shared_ptr<const Pass> {
+            const int level = arg.empty()
+                                  ? OptimizePass::kDefaultLevel
+                                  : intArg("optimize", arg, 0, 2);
+            return std::make_shared<OptimizePass>(level);
+        });
+    add("elide", "drop trailing SWAPs, folding them into the final layout",
+        "",
+        [](const std::string &arg) -> std::shared_ptr<const Pass> {
+            noArg("elide", arg);
+            return std::make_shared<ElideSwapsPass>();
+        });
+
+    // Scoring.
+    add("basis", "select the native basis used for scoring",
+        "cx|sqiswap|iswap|syc (required)",
+        [](const std::string &arg) -> std::shared_ptr<const Pass> {
+            SNAIL_REQUIRE(!arg.empty(),
+                          "basis needs an argument, e.g. basis=sqiswap");
+            return std::make_shared<SetBasisPass>(parseBasisSpec(arg));
+        });
+    add("score", "publish the paper's Fig. 10 metrics", "",
+        [](const std::string &arg) -> std::shared_ptr<const Pass> {
+            noArg("score", arg);
+            return std::make_shared<ScoreMetricsPass>();
+        });
+}
+
+std::map<std::string, PassRegistration> &
+registryRows()
+{
+    static std::map<std::string, PassRegistration> rows = [] {
+        std::map<std::string, PassRegistration> builtins;
+        registerBuiltins(builtins);
+        return builtins;
+    }();
+    return rows;
+}
+
+/** Strip leading/trailing whitespace. */
+std::string
+trimmed(const std::string &text)
+{
+    const auto begin = text.find_first_not_of(" \t\r\n");
+    if (begin == std::string::npos) {
+        return {};
+    }
+    const auto end = text.find_last_not_of(" \t\r\n");
+    return text.substr(begin, end - begin + 1);
+}
+
+} // namespace
+
+void
+registerPass(PassRegistration registration)
+{
+    SNAIL_REQUIRE(!registration.name.empty(),
+                  "registerPass: empty pass name");
+    SNAIL_REQUIRE(registration.factory != nullptr,
+                  "registerPass: missing factory for "
+                      << registration.name);
+    std::lock_guard<std::mutex> lock(registryMutex());
+    registryRows()[registration.name] = std::move(registration);
+}
+
+std::vector<PassRegistration>
+registeredPasses()
+{
+    std::lock_guard<std::mutex> lock(registryMutex());
+    std::vector<PassRegistration> rows;
+    rows.reserve(registryRows().size());
+    for (const auto &[name, row] : registryRows()) {
+        rows.push_back(row);
+    }
+    return rows; // std::map iteration is already name-sorted
+}
+
+std::shared_ptr<const Pass>
+makeRegisteredPass(const std::string &entry)
+{
+    const std::string cleaned = trimmed(entry);
+    SNAIL_REQUIRE(!cleaned.empty(), "empty pipeline-spec entry");
+    const auto eq = cleaned.find('=');
+    const std::string name = trimmed(cleaned.substr(0, eq));
+    const std::string arg =
+        eq == std::string::npos ? "" : trimmed(cleaned.substr(eq + 1));
+
+    PassFactory factory;
+    {
+        std::lock_guard<std::mutex> lock(registryMutex());
+        const auto &rows = registryRows();
+        const auto it = rows.find(name);
+        if (it == rows.end()) {
+            std::string known;
+            for (const auto &[known_name, row] : rows) {
+                known += known.empty() ? known_name : ", " + known_name;
+            }
+            SNAIL_THROW("unknown pass '" << name << "' (known: " << known
+                                         << ")");
+        }
+        factory = it->second.factory;
+    }
+    return factory(arg);
+}
+
+PassManager
+passManagerFromSpec(const std::string &spec)
+{
+    PassManager pm;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        const auto comma = spec.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? spec.size() : comma;
+        pm.append(makeRegisteredPass(spec.substr(start, end - start)));
+        if (comma == std::string::npos) {
+            break;
+        }
+        start = comma + 1;
+    }
+    return pm;
+}
+
+} // namespace snail

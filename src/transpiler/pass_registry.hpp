@@ -1,0 +1,77 @@
+/**
+ * @file
+ * PassRegistry: name -> factory lookup for transpiler passes, and the
+ * pipeline-spec parser that turns a string into a PassManager.
+ *
+ * Spec grammar (whitespace around entries is ignored):
+ *
+ *   spec  := entry ("," entry)*
+ *   entry := name | name "=" arg
+ *
+ * Examples:
+ *
+ *   "dense,stochastic-route,score"
+ *   "vf2,sabre-route,elide,basis=sqiswap"
+ *   "optimize=1,sabre-layout,lookahead-route"
+ *
+ * Registered built-ins (see passes.hpp):
+ *
+ *   layout:   trivial | dense | sabre-layout[=iters] | vf2 | vf2-strict
+ *   routing:  basic-route | stochastic-route[=trials] | sabre-route |
+ *             lookahead-route
+ *   rewrite:  optimize[=level] | elide
+ *   scoring:  basis=<cx|sqiswap|iswap|syc> | score
+ *
+ * A pipeline that never runs "score" is scored implicitly at the end by
+ * the PassManager, so terse specs like "dense,sabre-route" still yield
+ * full metrics.  User passes can be added with registerPass(); lookup
+ * is case-sensitive and thread-safe.
+ */
+
+#ifndef SNAILQC_TRANSPILER_PASS_REGISTRY_HPP
+#define SNAILQC_TRANSPILER_PASS_REGISTRY_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "transpiler/pass_manager.hpp"
+
+namespace snail
+{
+
+/** Builds a pass from the (possibly empty) spec argument. */
+using PassFactory =
+    std::function<std::shared_ptr<const Pass>(const std::string &arg)>;
+
+/** One registry row: factory plus the help shown by --list-passes. */
+struct PassRegistration
+{
+    std::string name;     //!< spec name, e.g. "stochastic-route"
+    std::string summary;  //!< one-line description
+    std::string arg_help; //!< argument description, "" when none
+    PassFactory factory;
+};
+
+/**
+ * Register a pass (replacing any previous registration of the same
+ * name).  @throws SnailError for an empty name or missing factory.
+ */
+void registerPass(PassRegistration registration);
+
+/** All registrations (built-ins included), sorted by name. */
+std::vector<PassRegistration> registeredPasses();
+
+/**
+ * Build one pass from a spec entry ("name" or "name=arg").
+ * @throws SnailError for unknown names or malformed arguments.
+ */
+std::shared_ptr<const Pass> makeRegisteredPass(const std::string &entry);
+
+/** Parse a full pipeline spec into a PassManager. */
+PassManager passManagerFromSpec(const std::string &spec);
+
+} // namespace snail
+
+#endif // SNAILQC_TRANSPILER_PASS_REGISTRY_HPP

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * The built-in passes: every stage of the paper's Fig. 10 flow (and the
+ * extensions grown around it) wrapped as a named Pass.
+ *
+ * Declarations live here; each adapter is implemented next to the stage
+ * it wraps (DenseLayoutPass in dense_layout.cpp, StochasticRoutePass in
+ * stochastic_router.cpp, ...).  All of them are registered with the
+ * PassRegistry under the name returned by name(); see pass_registry.hpp
+ * for the spec grammar that assembles them into pipelines.
+ */
+
+#ifndef SNAILQC_TRANSPILER_PASSES_HPP
+#define SNAILQC_TRANSPILER_PASSES_HPP
+
+#include <cstddef>
+
+#include "transpiler/pass.hpp"
+#include "transpiler/routing.hpp"
+
+namespace snail
+{
+
+/** @name Layout passes — set ctx.initial_layout. */
+/** @{ */
+
+/** Identity embedding (Qiskit TrivialLayout). */
+class TrivialLayoutPass : public Pass
+{
+  public:
+    std::string name() const override { return "trivial"; }
+    void run(PassContext &ctx) const override;
+};
+
+/** Densest-subgraph placement (Qiskit DenseLayout). */
+class DenseLayoutPass : public Pass
+{
+  public:
+    std::string name() const override { return "dense"; }
+    void run(PassContext &ctx) const override;
+};
+
+/** Dense seed refined by forward/backward routing rounds (SABRE). */
+class SabreLayoutPass : public Pass
+{
+  public:
+    static constexpr int kDefaultIterations = 2;
+    /** RNG salt; keeps the stream identical to the legacy pipeline. */
+    static constexpr unsigned long long kRngSalt = 0xAB5EULL;
+
+    explicit SabreLayoutPass(int iterations = kDefaultIterations)
+        : _iterations(iterations)
+    {
+    }
+
+    std::string name() const override { return "sabre-layout"; }
+    std::string spec() const override;
+    void run(PassContext &ctx) const override;
+
+  private:
+    int _iterations;
+};
+
+/**
+ * Zero-SWAP subgraph embedding (VF2).  With `fallback_dense` (the
+ * registered "vf2"), falls back to DenseLayout when no embedding is
+ * found; without it (the registered "vf2-strict"), throws instead.
+ */
+class Vf2LayoutPass : public Pass
+{
+  public:
+    explicit Vf2LayoutPass(bool fallback_dense = true,
+                           std::size_t max_nodes = 200000)
+        : _fallbackDense(fallback_dense), _maxNodes(max_nodes)
+    {
+    }
+
+    std::string
+    name() const override
+    {
+        return _fallbackDense ? "vf2" : "vf2-strict";
+    }
+    void run(PassContext &ctx) const override;
+
+  private:
+    bool _fallbackDense;
+    std::size_t _maxNodes;
+};
+
+/** @} */
+
+/** @name Routing passes — insert SWAPs, set both layouts. */
+/** @{ */
+
+/**
+ * Base for routing adapters: routes ctx.circuit with the wrapped
+ * Router, starting from ctx.initial_layout (trivial when unset), and
+ * publishes the "swaps_added" property.  The router draws from a fresh
+ * Rng(ctx.seed), matching the legacy pipeline stream.
+ */
+class RoutePassBase : public Pass
+{
+  public:
+    void run(PassContext &ctx) const override;
+
+  protected:
+    virtual const Router &router() const = 0;
+};
+
+/** Greedy shortest-path router. */
+class BasicRoutePass : public RoutePassBase
+{
+  public:
+    std::string name() const override { return "basic-route"; }
+
+  protected:
+    const Router &router() const override { return _router; }
+
+  private:
+    BasicRouter _router;
+};
+
+/** The paper's randomized-trial router (Qiskit StochasticSwap). */
+class StochasticRoutePass : public RoutePassBase
+{
+  public:
+    static constexpr int kDefaultTrials = 20;
+
+    explicit StochasticRoutePass(int trials = kDefaultTrials)
+        : _trials(trials), _router(trials)
+    {
+    }
+
+    std::string name() const override { return "stochastic-route"; }
+    std::string spec() const override;
+
+  protected:
+    const Router &router() const override { return _router; }
+
+  private:
+    int _trials;
+    StochasticSwapRouter _router;
+};
+
+/** SABRE lookahead-heuristic router. */
+class SabreRoutePass : public RoutePassBase
+{
+  public:
+    std::string name() const override { return "sabre-route"; }
+
+  protected:
+    const Router &router() const override { return _router; }
+
+  private:
+    SabreRouter _router;
+};
+
+/** Beam-search router (Qiskit LookaheadSwap). */
+class LookaheadRoutePass : public RoutePassBase
+{
+  public:
+    std::string name() const override { return "lookahead-route"; }
+
+  protected:
+    const Router &router() const override { return _router; }
+
+  private:
+    LookaheadRouter _router;
+};
+
+/** @} */
+
+/** @name Circuit-rewrite and scoring passes. */
+/** @{ */
+
+/** Peephole optimization to a fixpoint (transpiler/optimize.hpp). */
+class OptimizePass : public Pass
+{
+  public:
+    static constexpr int kDefaultLevel = 2;
+
+    explicit OptimizePass(int level = kDefaultLevel) : _level(level) {}
+
+    std::string name() const override { return "optimize"; }
+    std::string spec() const override;
+    void run(PassContext &ctx) const override;
+
+  private:
+    int _level;
+};
+
+/**
+ * Drop trailing SWAPs, folding the permutation they implement into
+ * ctx.final_layout; publishes "swaps_elided".  A no-op before routing.
+ */
+class ElideSwapsPass : public Pass
+{
+  public:
+    std::string name() const override { return "elide"; }
+    void run(PassContext &ctx) const override;
+};
+
+/** Select the native basis used by subsequent scoring ("basis=<name>"). */
+class SetBasisPass : public Pass
+{
+  public:
+    explicit SetBasisPass(BasisSpec basis) : _basis(std::move(basis)) {}
+
+    std::string name() const override { return "basis"; }
+    std::string spec() const override;
+    void run(PassContext &ctx) const override;
+
+  private:
+    BasisSpec _basis;
+};
+
+/**
+ * Metric scoring: publishes the paper's Fig. 10 collection points
+ * (swaps_total, swaps_critical, ops_2q_pre, basis_2q_total,
+ * basis_2q_critical, duration_total, duration_critical) plus "scored".
+ * The PassManager appends one automatically when a pipeline ends
+ * without having scored.
+ */
+class ScoreMetricsPass : public Pass
+{
+  public:
+    std::string name() const override { return "score"; }
+    void run(PassContext &ctx) const override;
+};
+
+/** @} */
+
+} // namespace snail
+
+#endif // SNAILQC_TRANSPILER_PASSES_HPP

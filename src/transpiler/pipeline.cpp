@@ -1,77 +1,85 @@
 #include "transpiler/pipeline.hpp"
 
-#include <memory>
-
 #include "common/error.hpp"
-#include "transpiler/optimize.hpp"
-#include "transpiler/vf2_layout.hpp"
+#include "transpiler/passes.hpp"
 
 namespace snail
 {
 
-TranspileResult
-transpile(const Circuit &input, const CouplingGraph &graph,
-          const TranspileOptions &options)
+namespace
 {
-    Circuit circuit = input;
+
+/** The options pipeline minus basis selection and scoring. */
+PassManager
+corePassManager(const TranspileOptions &options)
+{
+    PassManager pm;
     if (options.optimization_level > 0) {
-        optimizeCircuit(circuit, options.optimization_level);
+        pm.emplace<OptimizePass>(options.optimization_level);
     }
 
-    // Placement.
-    Layout initial = trivialLayout(circuit, graph);
-    if (options.layout == LayoutKind::Dense) {
-        initial = denseLayout(circuit, graph);
-    } else if (options.layout == LayoutKind::Sabre) {
-        Rng layout_rng(options.seed ^ 0xAB5EULL);
-        initial = sabreLayout(circuit, graph, 2, layout_rng);
-    } else if (options.layout == LayoutKind::Vf2OrDense) {
-        if (auto perfect = vf2Layout(circuit, graph)) {
-            initial = std::move(*perfect);
-        } else {
-            initial = denseLayout(circuit, graph);
-        }
+    switch (options.layout) {
+      case LayoutKind::Trivial:
+        pm.emplace<TrivialLayoutPass>();
+        break;
+      case LayoutKind::Dense:
+        pm.emplace<DenseLayoutPass>();
+        break;
+      case LayoutKind::Sabre:
+        pm.emplace<SabreLayoutPass>();
+        break;
+      case LayoutKind::Vf2OrDense:
+        pm.emplace<Vf2LayoutPass>();
+        break;
     }
 
-    // Routing.
-    std::unique_ptr<Router> router;
     switch (options.router) {
       case RouterKind::Basic:
-        router = std::make_unique<BasicRouter>();
+        pm.emplace<BasicRoutePass>();
         break;
       case RouterKind::Stochastic:
-        router =
-            std::make_unique<StochasticSwapRouter>(options.stochastic_trials);
+        pm.emplace<StochasticRoutePass>(options.stochastic_trials);
         break;
       case RouterKind::Sabre:
-        router = std::make_unique<SabreRouter>();
+        pm.emplace<SabreRoutePass>();
         break;
       case RouterKind::Lookahead:
-        router = std::make_unique<LookaheadRouter>();
+        pm.emplace<LookaheadRoutePass>();
         break;
     }
-    Rng rng(options.seed);
-    RoutingResult routed = router->route(circuit, graph, initial, rng);
+
     if (options.elide_trailing_swaps) {
-        elideTrailingSwaps(routed);
+        pm.emplace<ElideSwapsPass>();
     }
+    return pm;
+}
 
-    // Metrics, mirroring Fig. 10's collection points.
-    TranspileResult result(std::move(routed.circuit),
-                           std::move(routed.initial_layout),
-                           std::move(routed.final_layout));
-    result.metrics.swaps_total = result.routed.countKind(GateKind::Swap);
-    result.metrics.swaps_critical = result.routed.weightedCriticalPath(
-        [](const Instruction &op) { return op.isSwap() ? 1.0 : 0.0; });
-    result.metrics.ops_2q_pre = result.routed.countTwoQubit();
+} // namespace
 
-    const TranslationStats stats =
-        translationStats(result.routed, options.basis);
-    result.metrics.basis_2q_total = stats.total_2q;
-    result.metrics.basis_2q_critical = stats.critical_2q;
-    result.metrics.duration_total = stats.total_duration;
-    result.metrics.duration_critical = stats.critical_duration;
-    return result;
+PassManager
+passManagerFromOptions(const TranspileOptions &options)
+{
+    PassManager pm = corePassManager(options);
+    pm.emplace<SetBasisPass>(options.basis);
+    pm.emplace<ScoreMetricsPass>();
+    return pm;
+}
+
+TranspileResult
+transpile(const Circuit &circuit, const CouplingGraph &graph,
+          const TranspileOptions &options)
+{
+    return passManagerFromOptions(options).run(circuit, graph, options.seed,
+                                               options.basis);
+}
+
+std::vector<TranspileResult>
+transpileBatch(const std::vector<TranspileJob> &jobs,
+               const TranspileOptions &options, unsigned num_threads)
+{
+    // The core pipeline carries no SetBasisPass, so the implicit final
+    // scoring sees each job's own basis, as the header promises.
+    return transpileBatch(jobs, corePassManager(options), num_threads);
 }
 
 } // namespace snail

@@ -1,19 +1,33 @@
 /**
  * @file
- * The full transpilation pipeline of the paper's Fig. 10:
+ * Backward-compatible front end to the pass-based transpiler.
+ *
+ * The transpiler is organized as a PassManager (pass_manager.hpp)
+ * running named passes from the PassRegistry (pass_registry.hpp); the
+ * pipeline of the paper's Fig. 10 data-collection flow,
  *
  *   circuit -> [layout] -> [routing, count SWAPs]
  *           -> [basis translation, count 2Q gates] -> metrics
  *
+ * is just one composition: "dense,stochastic-route,basis=...,score".
+ * This header keeps the original closed-enum configuration surface on
+ * top of it: TranspileOptions selects among the built-in layout and
+ * routing passes, and transpile() builds and runs the equivalent
+ * PassManager (see passManagerFromOptions), returning the same
+ * TranspileResult — with per-pass instrumentation now filled in.
+ *
  * Collected metrics mirror the paper's four datasets: total SWAPs and
- * critical-path SWAPs after routing; total 2Q gates and critical-path 2Q
- * pulse duration after basis translation.
+ * critical-path SWAPs after routing; total 2Q gates and critical-path
+ * 2Q pulse duration after basis translation.  New code composing its
+ * own pipelines should prefer passManagerFromSpec / PassManager
+ * directly; batch workloads should use transpileBatch.
  */
 
 #ifndef SNAILQC_TRANSPILER_PIPELINE_HPP
 #define SNAILQC_TRANSPILER_PIPELINE_HPP
 
 #include "transpiler/basis_translation.hpp"
+#include "transpiler/pass_manager.hpp"
 #include "transpiler/routing.hpp"
 
 namespace snail
@@ -44,7 +58,7 @@ struct TranspileOptions
     RouterKind router = RouterKind::Stochastic;
     int stochastic_trials = 20;
     BasisSpec basis{BasisKind::CNOT};
-    unsigned long long seed = 0xC0DE5EEDULL;
+    unsigned long long seed = kDefaultTranspileSeed;
 
     /**
      * Peephole optimization applied to the input circuit before layout
@@ -61,37 +75,26 @@ struct TranspileOptions
     bool elide_trailing_swaps = false;
 };
 
-/** Everything the paper's data-collection flow records. */
-struct TranspileMetrics
-{
-    std::size_t swaps_total = 0;     //!< SWAPs induced by routing
-    double swaps_critical = 0.0;     //!< SWAPs on the critical path
-    std::size_t ops_2q_pre = 0;      //!< 2Q ops before translation (incl SWAPs)
-    std::size_t basis_2q_total = 0;  //!< native 2Q gates after translation
-    double basis_2q_critical = 0.0;  //!< native 2Q gates on critical path
-    double duration_total = 0.0;     //!< total pulse time (normalized)
-    double duration_critical = 0.0;  //!< critical-path pulse time
-};
-
-/** Transpilation output: routed circuit, layouts, and metrics. */
-struct TranspileResult
-{
-    Circuit routed;
-    Layout initial_layout;
-    Layout final_layout;
-    TranspileMetrics metrics;
-
-    TranspileResult(Circuit c, Layout init, Layout fin)
-        : routed(std::move(c)),
-          initial_layout(std::move(init)),
-          final_layout(std::move(fin))
-    {
-    }
-};
+/**
+ * The PassManager equivalent to an options struct: optimize (when
+ * level > 0), the selected layout pass, the selected routing pass,
+ * elide (when enabled), basis selection, and metric scoring.
+ */
+PassManager passManagerFromOptions(const TranspileOptions &options);
 
 /** Run layout, routing, and basis-translation scoring. */
 TranspileResult transpile(const Circuit &circuit, const CouplingGraph &graph,
                           const TranspileOptions &options);
+
+/**
+ * Batch variant of transpile(): every job runs the pipeline described
+ * by `options` on its own worker, with its own per-job seed and basis
+ * (the seed/basis fields of `options` are ignored).  Bit-identical to
+ * the serial loop at any thread count.
+ */
+std::vector<TranspileResult>
+transpileBatch(const std::vector<TranspileJob> &jobs,
+               const TranspileOptions &options, unsigned num_threads = 0);
 
 } // namespace snail
 

@@ -12,6 +12,7 @@
 #include "common/error.hpp"
 #include "ir/circuit.hpp"
 #include "transpiler/layout.hpp"
+#include "transpiler/passes.hpp"
 #include "transpiler/routing.hpp"
 
 namespace snail
@@ -40,6 +41,25 @@ sabreLayout(const Circuit &circuit, const CouplingGraph &graph,
         layout = bwd.final_layout;
     }
     return layout;
+}
+
+std::string
+SabreLayoutPass::spec() const
+{
+    return _iterations == kDefaultIterations
+               ? name()
+               : name() + "=" + std::to_string(_iterations);
+}
+
+void
+SabreLayoutPass::run(PassContext &ctx) const
+{
+    SNAIL_REQUIRE(!ctx.final_layout,
+                  name() << ": circuit is already routed; layout passes "
+                            "must run before routing");
+    Rng rng = ctx.rngFor(kRngSalt);
+    ctx.initial_layout =
+        sabreLayout(ctx.circuit, ctx.graph, _iterations, rng);
 }
 
 } // namespace snail

@@ -8,8 +8,15 @@
  * greedily applies the SWAP that most reduces a noise-perturbed sum of
  * distances between the blocked pairs, until some gate becomes
  * executable.  The trial needing the fewest SWAPs wins and its SWAP
- * sequence is committed.  Randomness is drawn from the caller's seeded
- * Rng, so routing is reproducible.
+ * sequence is committed.
+ *
+ * Randomness: one draw from the caller's seeded Rng fixes a per-route
+ * stream base; each trial then runs on its own counter-derived
+ * generator (Rng::stream of the blocked-layer index and trial index).
+ * Trials therefore depend only on (seed, event, trial) — never on how
+ * many draws earlier trials consumed — which keeps routing bit-exact
+ * across serial and batch execution and leaves the door open to
+ * evaluating trials concurrently.
  */
 
 #include <algorithm>
@@ -17,6 +24,7 @@
 
 #include "common/error.hpp"
 #include "ir/dag.hpp"
+#include "transpiler/passes.hpp"
 #include "transpiler/routing.hpp"
 
 namespace snail
@@ -115,6 +123,13 @@ StochasticSwapRouter::route(const Circuit &circuit,
     const std::size_t swap_budget =
         4 * static_cast<std::size_t>(graph.numQubits()) + 16;
 
+    // Counter-based trial streams: (blocked-event index, trial index)
+    // addresses a generator derived from one base draw, so trial t of
+    // event e sees the same randomness no matter what ran before it.
+    const std::uint64_t stream_base = rng.next();
+    std::uint64_t blocked_event = 0;
+    SNAIL_ASSERT(_trials < (1 << 16), "trial count overflows stream id");
+
     while (!frontier.done()) {
         // Emit everything executable in the current frontier.
         bool progressed = true;
@@ -153,7 +168,11 @@ StochasticSwapRouter::route(const Circuit &circuit,
         Trial best;
         bool have_best = false;
         for (int t = 0; t < _trials; ++t) {
-            Trial trial = runTrial(graph, layout, blocked, rng, swap_budget);
+            Rng trial_rng = Rng::stream(
+                stream_base, (blocked_event << 16) |
+                                 static_cast<std::uint64_t>(t));
+            Trial trial =
+                runTrial(graph, layout, blocked, trial_rng, swap_budget);
             if (!trial.success) {
                 continue;
             }
@@ -170,11 +189,20 @@ StochasticSwapRouter::route(const Circuit &circuit,
             layout.swapPhysical(a, b);
             ++swaps;
         }
+        ++blocked_event;
     }
 
     RoutingResult result(std::move(out), initial, layout);
     result.swaps_added = swaps;
     return result;
+}
+
+std::string
+StochasticRoutePass::spec() const
+{
+    return _trials == kDefaultTrials
+               ? name()
+               : name() + "=" + std::to_string(_trials);
 }
 
 } // namespace snail

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "transpiler/passes.hpp"
 #include "transpiler/routing.hpp"
 
 namespace snail
@@ -61,6 +62,21 @@ elideTrailingSwaps(RoutingResult &result)
     result.circuit = std::move(kept);
     result.swaps_added -= elided;
     return elided;
+}
+
+void
+ElideSwapsPass::run(PassContext &ctx) const
+{
+    if (!ctx.final_layout || !ctx.initial_layout) {
+        return; // nothing routed yet: no trailing SWAPs to fold
+    }
+    RoutingResult routed(std::move(ctx.circuit), *ctx.initial_layout,
+                         std::move(*ctx.final_layout));
+    const std::size_t elided = elideTrailingSwaps(routed);
+    ctx.circuit = std::move(routed.circuit);
+    ctx.final_layout = std::move(routed.final_layout);
+    ctx.properties.increment("swaps_elided", static_cast<double>(elided));
+    ctx.properties.increment("swaps_added", -static_cast<double>(elided));
 }
 
 } // namespace snail

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "ir/circuit.hpp"
+#include "transpiler/passes.hpp"
 
 namespace snail
 {
@@ -214,6 +215,25 @@ vf2Layout(const Circuit &circuit, const CouplingGraph &graph,
     }
     SNAIL_ASSERT(layout.isComplete(), "vf2 produced a partial layout");
     return layout;
+}
+
+void
+Vf2LayoutPass::run(PassContext &ctx) const
+{
+    SNAIL_REQUIRE(!ctx.final_layout,
+                  name() << ": circuit is already routed; layout passes "
+                            "must run before routing");
+    if (auto perfect = vf2Layout(ctx.circuit, ctx.graph, _maxNodes)) {
+        ctx.initial_layout = std::move(*perfect);
+        ctx.properties.set("vf2_embedded", 1.0);
+    } else {
+        SNAIL_REQUIRE(_fallbackDense,
+                      "vf2-strict: no zero-SWAP embedding of "
+                          << ctx.circuit.name() << " in "
+                          << ctx.graph.name());
+        ctx.properties.set("vf2_embedded", 0.0);
+        ctx.initial_layout = denseLayout(ctx.circuit, ctx.graph);
+    }
 }
 
 } // namespace snail

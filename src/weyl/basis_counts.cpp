@@ -40,6 +40,24 @@ BasisSpec::name() const
     return {};
 }
 
+BasisSpec
+parseBasisSpec(const std::string &name)
+{
+    BasisSpec spec;
+    if (name == "cx" || name == "cnot") {
+        spec.kind = BasisKind::CNOT;
+    } else if (name == "sqiswap") {
+        spec.kind = BasisKind::SqISwap;
+    } else if (name == "iswap") {
+        spec.kind = BasisKind::ISwap;
+    } else if (name == "syc") {
+        spec.kind = BasisKind::Sycamore;
+    } else {
+        SNAIL_THROW("unknown basis: " << name << " (cx|sqiswap|iswap|syc)");
+    }
+    return spec;
+}
+
 double
 BasisSpec::pulseDuration() const
 {

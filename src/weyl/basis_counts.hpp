@@ -55,6 +55,12 @@ struct BasisSpec
     double pulseDuration() const;
 };
 
+/**
+ * Basis by short name: "cx"/"cnot", "sqiswap", "iswap", "syc".
+ * @throws SnailError for unknown names.
+ */
+BasisSpec parseBasisSpec(const std::string &name);
+
 /** Number of CNOTs required for a class (0..3). */
 int cnotCount(const WeylCoords &w, double tol = 1e-8);
 

@@ -1,0 +1,425 @@
+/**
+ * @file
+ * Tests for the composable PassManager API: registry lookup and
+ * spec-string round-trips, pass ordering and instrumentation,
+ * PropertySet metric accumulation, equality between the legacy
+ * transpile() shim and explicitly composed pipelines, first-class
+ * trailing-SWAP elision, and transpileBatch determinism across thread
+ * counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "circuits/circuits.hpp"
+#include "common/error.hpp"
+#include "sim/equivalence.hpp"
+#include "topology/registry.hpp"
+#include "transpiler/pass_registry.hpp"
+#include "transpiler/passes.hpp"
+#include "transpiler/pipeline.hpp"
+
+namespace snail
+{
+namespace
+{
+
+/** Ring topology 0-1-...-(n-1)-0. */
+CouplingGraph
+ringGraph(int n)
+{
+    CouplingGraph g(n, "ring-" + std::to_string(n));
+    for (int i = 0; i < n; ++i) {
+        g.addEdge(i, (i + 1) % n);
+    }
+    return g;
+}
+
+/** The three workloads named by the issue: GHZ, QFT, BV. */
+std::vector<Circuit>
+workloads(int width)
+{
+    return {ghz(width), qft(width), bernsteinVazirani(width)};
+}
+
+void
+expectSameMetrics(const TranspileMetrics &a, const TranspileMetrics &b,
+                  const std::string &label)
+{
+    EXPECT_EQ(a.swaps_total, b.swaps_total) << label;
+    EXPECT_DOUBLE_EQ(a.swaps_critical, b.swaps_critical) << label;
+    EXPECT_EQ(a.ops_2q_pre, b.ops_2q_pre) << label;
+    EXPECT_EQ(a.basis_2q_total, b.basis_2q_total) << label;
+    EXPECT_DOUBLE_EQ(a.basis_2q_critical, b.basis_2q_critical) << label;
+    EXPECT_DOUBLE_EQ(a.duration_total, b.duration_total) << label;
+    EXPECT_DOUBLE_EQ(a.duration_critical, b.duration_critical) << label;
+}
+
+TEST(PassRegistry, ListsBuiltins)
+{
+    std::vector<std::string> names;
+    for (const auto &row : registeredPasses()) {
+        names.push_back(row.name);
+    }
+    for (const char *expected :
+         {"trivial", "dense", "sabre-layout", "vf2", "vf2-strict",
+          "basic-route", "stochastic-route", "sabre-route",
+          "lookahead-route", "optimize", "elide", "basis", "score"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), expected),
+                  names.end())
+            << expected << " not registered";
+    }
+}
+
+TEST(PassRegistry, RejectsUnknownAndMalformed)
+{
+    EXPECT_THROW(makeRegisteredPass("no-such-pass"), SnailError);
+    EXPECT_THROW(makeRegisteredPass(""), SnailError);
+    EXPECT_THROW(makeRegisteredPass("stochastic-route=abc"), SnailError);
+    EXPECT_THROW(makeRegisteredPass("stochastic-route=0"), SnailError);
+    EXPECT_THROW(makeRegisteredPass("dense=3"), SnailError);
+    EXPECT_THROW(makeRegisteredPass("basis"), SnailError);
+    EXPECT_THROW(makeRegisteredPass("basis=klingon"), SnailError);
+    EXPECT_THROW(passManagerFromSpec("dense,,score"), SnailError);
+}
+
+TEST(PassRegistry, SpecRoundTrip)
+{
+    for (const char *spec :
+         {"dense,stochastic-route,score",
+          "vf2,sabre-route,elide,basis=sqiswap",
+          "optimize=1,sabre-layout,lookahead-route,basis=iswap,score",
+          "trivial,stochastic-route=12,elide,basis=cx,score",
+          "sabre-layout=4,basic-route,score"}) {
+        const PassManager pm = passManagerFromSpec(spec);
+        EXPECT_EQ(pm.spec(), spec);
+        // Parse the emitted spec again: still identical.
+        EXPECT_EQ(passManagerFromSpec(pm.spec()).spec(), spec);
+    }
+    // Whitespace is tolerated and normalized away.
+    EXPECT_EQ(passManagerFromSpec(" dense , stochastic-route=12 ").spec(),
+              "dense,stochastic-route=12");
+    // Default arguments collapse onto the bare name.
+    EXPECT_EQ(passManagerFromSpec("stochastic-route=20").spec(),
+              "stochastic-route");
+    EXPECT_EQ(passManagerFromSpec("sabre-layout=2").spec(), "sabre-layout");
+    EXPECT_EQ(passManagerFromSpec("optimize=2").spec(), "optimize");
+}
+
+TEST(PassRegistry, UserPassRegistrationRuns)
+{
+    static std::atomic<int> invocations{0};
+    class CountingPass : public Pass
+    {
+      public:
+        std::string name() const override { return "counting"; }
+        void
+        run(PassContext &ctx) const override
+        {
+            ctx.properties.increment("counting_runs");
+            ++invocations;
+        }
+    };
+    registerPass({"counting", "test-only counter", "",
+                  [](const std::string &) {
+                      return std::make_shared<CountingPass>();
+                  }});
+
+    const PassManager pm =
+        passManagerFromSpec("counting,dense,basic-route,counting");
+    const TranspileResult r =
+        pm.run(ghz(4), namedTopology("square-16"), 3);
+    EXPECT_EQ(invocations.load(), 2);
+    EXPECT_DOUBLE_EQ(r.properties.get("counting_runs"), 2.0);
+}
+
+TEST(PassManager, OrderingAndImplicitScore)
+{
+    const PassManager pm = passManagerFromSpec("dense,basic-route");
+    const TranspileResult r =
+        pm.run(qft(6), namedTopology("square-16"), 11);
+    // pass_stats preserves execution order and records the implicit
+    // trailing score pass.
+    ASSERT_EQ(r.pass_stats.size(), 3u);
+    EXPECT_EQ(r.pass_stats[0].pass, "dense");
+    EXPECT_EQ(r.pass_stats[1].pass, "basic-route");
+    EXPECT_EQ(r.pass_stats[2].pass, "score");
+    EXPECT_TRUE(r.properties.contains("scored"));
+    for (const PassStat &stat : r.pass_stats) {
+        EXPECT_GE(stat.wall_ms, 0.0);
+    }
+    // The router's SWAP delta is exactly the scored total.
+    EXPECT_EQ(r.pass_stats[1].swap_delta,
+              static_cast<long long>(r.metrics.swaps_total) -
+                  static_cast<long long>(
+                      qft(6).countKind(GateKind::Swap)));
+}
+
+TEST(PassManager, RejectsPassesAfterRouting)
+{
+    const Circuit c = ghz(6);
+    const CouplingGraph g = namedTopology("square-16");
+    // A second routing pass would re-map the physical circuit.
+    EXPECT_THROW(passManagerFromSpec("dense,basic-route,sabre-route")
+                     .run(c, g, 3),
+                 SnailError);
+    // A layout pass after routing would corrupt layout bookkeeping.
+    for (const char *late_layout :
+         {"dense,basic-route,dense", "dense,basic-route,trivial",
+          "dense,basic-route,sabre-layout", "dense,basic-route,vf2"}) {
+        EXPECT_THROW(passManagerFromSpec(late_layout).run(c, g, 3),
+                     SnailError)
+            << late_layout;
+    }
+}
+
+TEST(PassManager, PropertySetAccumulatesMetrics)
+{
+    const PassManager pm =
+        passManagerFromSpec("dense,stochastic-route=8,basis=sqiswap");
+    const TranspileResult r =
+        pm.run(qft(8), namedTopology("square-16"), 21);
+    const PropertySet &props = r.properties;
+    EXPECT_DOUBLE_EQ(props.get("swaps_total"),
+                     static_cast<double>(r.metrics.swaps_total));
+    EXPECT_DOUBLE_EQ(props.get("basis_2q_total"),
+                     static_cast<double>(r.metrics.basis_2q_total));
+    EXPECT_DOUBLE_EQ(props.get("duration_total"),
+                     r.metrics.duration_total);
+    // Routing published its own count, and without elision it matches
+    // the scored total minus the circuit's own SWAPs (QFT reversal).
+    EXPECT_DOUBLE_EQ(props.get("swaps_added") +
+                         static_cast<double>(
+                             qft(8).countKind(GateKind::Swap)),
+                     props.get("swaps_total"));
+}
+
+TEST(PassManager, EmptyPipelineScoresVirtualCircuit)
+{
+    const PassManager pm;
+    const Circuit c = ghz(5);
+    const TranspileResult r = pm.run(c, namedTopology("square-16"), 1);
+    EXPECT_EQ(r.routed.size(), c.size());
+    EXPECT_EQ(r.metrics.swaps_total, 0u);
+    EXPECT_TRUE(r.properties.contains("scored"));
+    EXPECT_TRUE(r.initial_layout.isComplete());
+}
+
+TEST(Shim, MatchesComposedPipelineEverywhere)
+{
+    // The legacy transpile() must produce metrics identical to both the
+    // options-derived PassManager and the equivalent spec string, for
+    // every LayoutKind x RouterKind on GHZ/QFT/BV over ring and corral.
+    const char *layout_specs[] = {"trivial", "dense", "sabre-layout",
+                                  "vf2"};
+    const LayoutKind layouts[] = {LayoutKind::Trivial, LayoutKind::Dense,
+                                  LayoutKind::Sabre,
+                                  LayoutKind::Vf2OrDense};
+    const char *router_specs[] = {"basic-route", "stochastic-route=6",
+                                  "sabre-route", "lookahead-route"};
+    const RouterKind routers[] = {RouterKind::Basic, RouterKind::Stochastic,
+                                  RouterKind::Sabre, RouterKind::Lookahead};
+
+    const CouplingGraph ring = ringGraph(16);
+    const CouplingGraph corral = namedTopology("corral11-16");
+    for (const CouplingGraph *graph : {&ring, &corral}) {
+        for (const Circuit &circuit : workloads(8)) {
+            for (std::size_t li = 0; li < 4; ++li) {
+                for (std::size_t ri = 0; ri < 4; ++ri) {
+                    TranspileOptions options;
+                    options.layout = layouts[li];
+                    options.router = routers[ri];
+                    options.stochastic_trials = 6;
+                    options.basis = BasisSpec{BasisKind::SqISwap};
+                    options.seed = 37;
+                    const std::string label =
+                        circuit.name() + " on " + graph->name() + " " +
+                        layout_specs[li] + "+" + router_specs[ri];
+
+                    const TranspileResult shim =
+                        transpile(circuit, *graph, options);
+                    const TranspileResult from_options =
+                        passManagerFromOptions(options).run(
+                            circuit, *graph, options.seed, options.basis);
+                    const std::string spec =
+                        std::string(layout_specs[li]) + "," +
+                        router_specs[ri] + ",basis=sqiswap,score";
+                    const TranspileResult from_spec =
+                        passManagerFromSpec(spec).run(circuit, *graph,
+                                                      options.seed);
+
+                    expectSameMetrics(shim.metrics, from_options.metrics,
+                                      label + " (options)");
+                    expectSameMetrics(shim.metrics, from_spec.metrics,
+                                      label + " (spec)");
+                    EXPECT_EQ(shim.final_layout.v2p(),
+                              from_spec.final_layout.v2p())
+                        << label;
+                }
+            }
+        }
+    }
+}
+
+TEST(ElidePass, FirstClassAndFoldsFinalLayout)
+{
+    const Circuit c = qft(8);
+    const CouplingGraph g = namedTopology("square-16");
+
+    TranspileOptions options;
+    options.seed = 9;
+    options.elide_trailing_swaps = true;
+    const TranspileResult shim = transpile(c, g, options);
+
+    const TranspileResult piped =
+        passManagerFromSpec("dense,stochastic-route,elide")
+            .run(c, g, options.seed);
+    expectSameMetrics(shim.metrics, piped.metrics, "elide");
+    EXPECT_EQ(shim.final_layout.v2p(), piped.final_layout.v2p());
+    EXPECT_GT(piped.properties.get("swaps_elided"), 0.0);
+
+    // The folded final layout still certifies the computation.
+    Rng rng(13);
+    EXPECT_TRUE(routedCircuitEquivalent(c, piped.routed,
+                                        piped.initial_layout.v2p(),
+                                        piped.final_layout.v2p(), 3, rng));
+
+    // And the fold actually moved the permutation into the layout:
+    // without elision the final layout differs.
+    const TranspileResult plain =
+        passManagerFromSpec("dense,stochastic-route").run(c, g,
+                                                          options.seed);
+    EXPECT_LT(piped.metrics.swaps_total, plain.metrics.swaps_total);
+    EXPECT_NE(piped.final_layout.v2p(), plain.final_layout.v2p());
+}
+
+TEST(ElidePass, NoOpOnUnroutedCircuit)
+{
+    const TranspileResult r = passManagerFromSpec("elide").run(
+        ghz(4), namedTopology("square-16"), 3);
+    EXPECT_DOUBLE_EQ(r.properties.get("swaps_elided"), 0.0);
+    EXPECT_EQ(r.routed.size(), ghz(4).size());
+}
+
+TEST(Vf2Pass, StrictThrowsWhereFallbackEmbedsDense)
+{
+    // QV(12) cannot embed into heavy-hex-20 without SWAPs.
+    const Circuit dense_workload = quantumVolume(12, 12, 23);
+    const CouplingGraph g = namedTopology("heavy-hex-20");
+    EXPECT_THROW(passManagerFromSpec("vf2-strict,basic-route")
+                     .run(dense_workload, g, 29),
+                 SnailError);
+    const TranspileResult r =
+        passManagerFromSpec("vf2,basic-route").run(dense_workload, g, 29);
+    EXPECT_DOUBLE_EQ(r.properties.get("vf2_embedded"), 0.0);
+    EXPECT_GT(r.metrics.swaps_total, 0u);
+
+    // GHZ embeds into the corral with zero SWAPs.
+    const TranspileResult embedded =
+        passManagerFromSpec("vf2,stochastic-route=6")
+            .run(ghz(8), namedTopology("corral11-16"), 31);
+    EXPECT_DOUBLE_EQ(embedded.properties.get("vf2_embedded"), 1.0);
+    EXPECT_EQ(embedded.metrics.swaps_total, 0u);
+}
+
+TEST(Batch, DeterministicAcrossThreadCounts)
+{
+    const PassManager pm =
+        passManagerFromSpec("dense,stochastic-route=6,basis=sqiswap");
+
+    std::vector<TranspileJob> jobs;
+    unsigned long long seed = 1;
+    for (const char *topo : {"square-16", "corral11-16", "tree-20"}) {
+        const CouplingGraph g = namedTopology(topo);
+        jobs.emplace_back(qft(8), g, seed++);
+        jobs.emplace_back(ghz(8), g, seed++);
+        jobs.emplace_back(quantumVolume(8, 8, 5), g, seed++);
+        jobs.emplace_back(bernsteinVazirani(8), g, seed++);
+    }
+
+    // Serial reference: one pm.run per job, in order.
+    std::vector<TranspileResult> serial;
+    for (const TranspileJob &job : jobs) {
+        serial.push_back(pm.run(job.circuit, job.graph, job.seed,
+                                job.basis));
+    }
+
+    for (unsigned threads : {1u, 8u}) {
+        const std::vector<TranspileResult> batch =
+            transpileBatch(jobs, pm, threads);
+        ASSERT_EQ(batch.size(), jobs.size()) << threads << " threads";
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            const std::string label = "job " + std::to_string(i) + " @ " +
+                                      std::to_string(threads) +
+                                      " threads";
+            expectSameMetrics(serial[i].metrics, batch[i].metrics, label);
+            EXPECT_EQ(serial[i].routed.size(), batch[i].routed.size())
+                << label;
+            EXPECT_EQ(serial[i].final_layout.v2p(),
+                      batch[i].final_layout.v2p())
+                << label;
+        }
+    }
+}
+
+TEST(Batch, OptionsOverloadAndErrorPropagation)
+{
+    TranspileOptions options;
+    options.stochastic_trials = 6;
+    std::vector<TranspileJob> jobs;
+    jobs.emplace_back(ghz(6), namedTopology("square-16"), 5);
+    jobs.emplace_back(qft(6), namedTopology("corral11-16"), 6);
+    const std::vector<TranspileResult> results =
+        transpileBatch(jobs, options, 2);
+    ASSERT_EQ(results.size(), 2u);
+    for (const TranspileResult &r : results) {
+        EXPECT_TRUE(r.properties.contains("scored"));
+    }
+
+    // Per-job basis is honored: identical jobs differing only in basis
+    // score differently (sqiswap pulses cost half a duration unit).
+    std::vector<TranspileJob> bases;
+    bases.emplace_back(qft(6), namedTopology("square-16"), 5,
+                       BasisSpec{BasisKind::CNOT});
+    bases.emplace_back(qft(6), namedTopology("square-16"), 5,
+                       BasisSpec{BasisKind::SqISwap});
+    const std::vector<TranspileResult> scored =
+        transpileBatch(bases, options, 2);
+    EXPECT_EQ(scored[0].metrics.swaps_total, scored[1].metrics.swaps_total);
+    EXPECT_NE(scored[0].metrics.duration_total,
+              scored[1].metrics.duration_total);
+    EXPECT_DOUBLE_EQ(
+        scored[1].metrics.duration_total,
+        0.5 * static_cast<double>(scored[1].metrics.basis_2q_total));
+
+    // A failing job's exception surfaces to the caller.
+    std::vector<TranspileJob> bad;
+    bad.emplace_back(ghz(6), namedTopology("square-16"), 5);
+    bad.emplace_back(quantumVolume(12, 12, 23),
+                     namedTopology("heavy-hex-20"), 7);
+    const PassManager strict = passManagerFromSpec("vf2-strict");
+    EXPECT_THROW(transpileBatch(bad, strict, 2), SnailError);
+}
+
+TEST(StochasticRouter, ConsumesOneCallerDrawRegardlessOfWorkload)
+{
+    // Counter-based trial RNG: the router takes a single draw from the
+    // caller's generator to fix its stream base; all trial randomness
+    // is derived by counter.  The caller's stream position therefore no
+    // longer depends on circuit size or trial count — the property that
+    // makes batch scheduling order irrelevant.
+    Rng a(42);
+    Rng b(42);
+    StochasticSwapRouter(12).route(quantumVolume(10, 10, 9),
+                                   namedTopology("square-16"),
+                                   Layout::identity(10, 16), a);
+    StochasticSwapRouter(4).route(ghz(4), namedTopology("corral11-16"),
+                                  Layout::identity(4, 16), b);
+    EXPECT_EQ(a.next(), b.next());
+}
+
+} // namespace
+} // namespace snail

@@ -4,6 +4,8 @@
  *
  * Subcommands:
  *   topologies                       list registered topologies + metrics
+ *   passes                           list registered transpiler passes
+ *                                    (also: --list-passes anywhere)
  *   coords <gate> [params...]        Weyl coordinates and basis counts
  *   circuit <bench> <width>          benchmark circuit statistics
  *   parse <file.qasm>                import OpenQASM 2.0, print statistics
@@ -11,14 +13,19 @@
  *                                    run the Fig. 10 pipeline, print
  *                                    metrics; <bench> may also be a
  *                                    .qasm file (width then ignored)
+ *   pipeline <bench> <width> <topology> <spec> [seed]
+ *                                    run an arbitrary pass pipeline
+ *                                    composed from a spec string
  *
  * Examples:
  *   snailqc topologies
+ *   snailqc --list-passes
  *   snailqc coords fsim 1.5708 0.5236
  *   snailqc circuit qv 16
  *   snailqc parse my_circuit.qasm
  *   snailqc transpile qaoa 14 corral11-16 sqiswap stochastic 7
  *   snailqc transpile my_circuit.qasm 0 tree-20 sqiswap
+ *   snailqc pipeline qft 8 corral11-16 "vf2,sabre-route,elide,basis=sqiswap"
  */
 
 #include <cstdlib>
@@ -32,6 +39,7 @@
 #include "ir/qasm.hpp"
 #include "ir/qasm_parser.hpp"
 #include "topology/registry.hpp"
+#include "transpiler/pass_registry.hpp"
 #include "transpiler/pipeline.hpp"
 #include "weyl/basis_counts.hpp"
 
@@ -46,6 +54,7 @@ usage()
     std::cerr <<
         "usage: snailqc <command> [args]\n"
         "  topologies\n"
+        "  passes                      (or --list-passes)\n"
         "  coords <gate> [params...]   (cx, cz, swap, iswap, sqiswap,\n"
         "                               syc, b, cp t, rzz t, fsim t p,\n"
         "                               zx t, nroot n, can a b c)\n"
@@ -53,8 +62,25 @@ usage()
         "  parse <file.qasm>\n"
         "  export <bench> <width>      (emit OpenQASM 2.0 on stdout)\n"
         "  transpile <bench|file.qasm> <width> <topology> <basis>\n"
-        "            [basic|stochastic|sabre|lookahead] [seed]\n";
+        "            [basic|stochastic|sabre|lookahead] [seed]\n"
+        "  pipeline <bench|file.qasm> <width> <topology> <pass-spec>\n"
+        "            [seed]           (see `snailqc passes`)\n";
     return 2;
+}
+
+int
+cmdPasses()
+{
+    TableWriter table({"pass", "argument", "description"});
+    for (const auto &row : registeredPasses()) {
+        table.addRow({row.name, row.arg_help.empty() ? "-" : row.arg_help,
+                      row.summary});
+    }
+    table.print(std::cout);
+    std::cout << "\nPipeline specs are comma-separated entries, e.g.\n"
+                 "  \"vf2,sabre-route,elide,basis=sqiswap\"\n"
+                 "Unscored pipelines get a final `score` automatically.\n";
+    return 0;
 }
 
 Gate
@@ -81,25 +107,6 @@ parseGate(const std::vector<std::string> &args)
     if (name == "fsim") return gates::fsim(param(1), param(2));
     if (name == "can") return gates::canonical(param(1), param(2), param(3));
     SNAIL_THROW("unknown gate: " << name);
-}
-
-BasisSpec
-parseBasis(const std::string &name)
-{
-    BasisSpec spec;
-    if (name == "cx" || name == "cnot") {
-        spec.kind = BasisKind::CNOT;
-    } else if (name == "sqiswap") {
-        spec.kind = BasisKind::SqISwap;
-    } else if (name == "iswap") {
-        spec.kind = BasisKind::ISwap;
-    } else if (name == "syc") {
-        spec.kind = BasisKind::Sycamore;
-    } else {
-        SNAIL_THROW("unknown basis: " << name
-                                      << " (cx|sqiswap|iswap|syc)");
-    }
-    return spec;
 }
 
 int
@@ -195,19 +202,57 @@ cmdExport(const std::vector<std::string> &args)
     return 0;
 }
 
+/** Print the Fig. 10 metrics plus the per-pass instrumentation. */
+void
+printTranspileResult(const Circuit &circuit, const CouplingGraph &device,
+                     const std::string &basis_name, const std::string &spec,
+                     const TranspileResult &r)
+{
+    std::cout << circuit.name() << " on " << device.name() << " ("
+              << basis_name << " basis), pipeline \"" << spec << "\":\n";
+    TableWriter table({"metric", "value"});
+    table.addRow({"SWAPs total", std::to_string(r.metrics.swaps_total)});
+    table.addRow({"SWAPs critical path",
+                  TableWriter::num(r.metrics.swaps_critical, 0)});
+    table.addRow({"2Q ops after routing",
+                  std::to_string(r.metrics.ops_2q_pre)});
+    table.addRow({"native 2Q pulses",
+                  std::to_string(r.metrics.basis_2q_total)});
+    table.addRow({"pulse duration (critical)",
+                  TableWriter::num(r.metrics.duration_critical, 1)});
+    table.addRow({"pulse duration (total)",
+                  TableWriter::num(r.metrics.duration_total, 1)});
+    table.print(std::cout);
+
+    std::cout << "\nper-pass instrumentation:\n";
+    TableWriter passes({"pass", "wall ms", "dSWAP", "d2Q"});
+    for (const PassStat &stat : r.pass_stats) {
+        passes.addRow({stat.pass, TableWriter::num(stat.wall_ms, 2),
+                       std::to_string(stat.swap_delta),
+                       std::to_string(stat.ops2q_delta)});
+    }
+    passes.print(std::cout);
+}
+
+/** Load <bench|file.qasm> <width> from the first two positional args. */
+Circuit
+loadCircuitArg(const std::vector<std::string> &args)
+{
+    return isQasmPath(args[0])
+               ? parseQasmFile(args[0]).circuit
+               : makeBenchmark(args[0], std::atoi(args[1].c_str()));
+}
+
 int
 cmdTranspile(const std::vector<std::string> &args)
 {
     SNAIL_REQUIRE(args.size() >= 4,
                   "transpile needs <bench> <width> <topology> <basis>");
-    const Circuit circuit =
-        isQasmPath(args[0]) ? parseQasmFile(args[0]).circuit
-                            : makeBenchmark(args[0],
-                                            std::atoi(args[1].c_str()));
+    const Circuit circuit = loadCircuitArg(args);
     const CouplingGraph device = namedTopology(args[2]);
 
     TranspileOptions options;
-    options.basis = parseBasis(args[3]);
+    options.basis = parseBasisSpec(args[3]);
     if (args.size() >= 5) {
         if (args[4] == "basic") {
             options.router = RouterKind::Basic;
@@ -226,22 +271,35 @@ cmdTranspile(const std::vector<std::string> &args)
             static_cast<unsigned long long>(std::atoll(args[5].c_str()));
     }
 
-    const TranspileResult r = transpile(circuit, device, options);
-    std::cout << circuit.name() << " on " << device.name() << " ("
-              << options.basis.name() << " basis):\n";
-    TableWriter table({"metric", "value"});
-    table.addRow({"SWAPs total", std::to_string(r.metrics.swaps_total)});
-    table.addRow({"SWAPs critical path",
-                  TableWriter::num(r.metrics.swaps_critical, 0)});
-    table.addRow({"2Q ops after routing",
-                  std::to_string(r.metrics.ops_2q_pre)});
-    table.addRow({"native 2Q pulses",
-                  std::to_string(r.metrics.basis_2q_total)});
-    table.addRow({"pulse duration (critical)",
-                  TableWriter::num(r.metrics.duration_critical, 1)});
-    table.addRow({"pulse duration (total)",
-                  TableWriter::num(r.metrics.duration_total, 1)});
-    table.print(std::cout);
+    const PassManager pm = passManagerFromOptions(options);
+    const TranspileResult r =
+        pm.run(circuit, device, options.seed, options.basis);
+    printTranspileResult(circuit, device, options.basis.name(), pm.spec(),
+                         r);
+    return 0;
+}
+
+int
+cmdPipeline(const std::vector<std::string> &args)
+{
+    SNAIL_REQUIRE(args.size() >= 4,
+                  "pipeline needs <bench> <width> <topology> <pass-spec>");
+    const Circuit circuit = loadCircuitArg(args);
+    const CouplingGraph device = namedTopology(args[2]);
+    const PassManager pm = passManagerFromSpec(args[3]);
+    unsigned long long seed = kDefaultTranspileSeed;
+    if (args.size() >= 5) {
+        seed = static_cast<unsigned long long>(std::atoll(args[4].c_str()));
+    }
+
+    const TranspileResult r = pm.run(circuit, device, seed);
+    // Report the basis scoring actually used (published by the score
+    // pass), which may differ from any basis= entry placed after it.
+    BasisSpec scored_basis;
+    scored_basis.kind = static_cast<BasisKind>(
+        static_cast<int>(r.properties.get("scored_basis")));
+    printTranspileResult(circuit, device, scored_basis.name(), pm.spec(),
+                         r);
     return 0;
 }
 
@@ -250,6 +308,11 @@ cmdTranspile(const std::vector<std::string> &args)
 int
 main(int argc, char **argv)
 {
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--list-passes") {
+            return cmdPasses();
+        }
+    }
     if (argc < 2) {
         return usage();
     }
@@ -261,6 +324,9 @@ main(int argc, char **argv)
     try {
         if (command == "topologies") {
             return cmdTopologies();
+        }
+        if (command == "passes") {
+            return cmdPasses();
         }
         if (command == "coords") {
             return cmdCoords(args);
@@ -276,6 +342,9 @@ main(int argc, char **argv)
         }
         if (command == "transpile") {
             return cmdTranspile(args);
+        }
+        if (command == "pipeline") {
+            return cmdPipeline(args);
         }
         return usage();
     } catch (const std::exception &e) {
