@@ -9,6 +9,12 @@
  * the 4-thread row's wall time drops >= 2x below the 1-thread row,
  * while the per-job results stay bit-identical (asserted here and in
  * tests/test_pass_manager.cpp).
+ *
+ * `--json` emits the results as machine-readable JSON on stdout
+ * (shorthand for google-benchmark's --benchmark_format=json), so CI
+ * and future PRs can track a perf trajectory:
+ *
+ *   perf_transpiler --json > perf.json
  */
 
 #include <benchmark/benchmark.h>
@@ -164,4 +170,24 @@ BENCHMARK(BM_TranspileBatch)
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Map our stable `--json` shorthand onto google-benchmark's flag
+    // before the library parses the command line.
+    static char json_flag[] = "--benchmark_format=json";
+    std::vector<char *> args(argv, argv + argc);
+    for (char *&arg : args) {
+        if (std::string(arg) == "--json") {
+            arg = json_flag;
+        }
+    }
+    int args_count = static_cast<int>(args.size());
+    benchmark::Initialize(&args_count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

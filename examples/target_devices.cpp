@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Walkthrough of the Target device model (target/target.hpp).
+ *
+ * Builds the chiplet-style heterogeneous device from examples/devices/
+ * in code, round-trips it through JSON, and compares distance-only
+ * routing (sabre-route) against fidelity-aware routing (noise-route)
+ * plus per-edge basis scoring (basis=auto) and predicted fidelity
+ * (score-fidelity) — the paper's "heterogeneous basis gates" future
+ * work as a live transpiler scenario.
+ */
+
+#include <cstdio>
+
+#include "circuits/circuits.hpp"
+#include "target/target.hpp"
+#include "transpiler/pass_registry.hpp"
+
+using namespace snail;
+
+namespace
+{
+
+/** Two 8-qubit sqrt(iSWAP) chiplets bridged by lossy CX links. */
+Target
+chipletDevice()
+{
+    CouplingGraph graph(16, "chiplet-hetero-16");
+    for (int base : {0, 8}) {
+        for (int i = 0; i < 8; ++i) {
+            graph.addEdge(base + i, base + (i + 1) % 8);
+        }
+        for (int i = 0; i < 4; ++i) {
+            graph.addEdge(base + i, base + i + 4);
+        }
+    }
+    graph.addEdge(3, 11);
+    graph.addEdge(7, 15);
+
+    EdgeProperties intra;
+    intra.basis = BasisSpec{BasisKind::SqISwap};
+    intra.fidelity_2q = 0.995;
+    QubitProperties qubit;
+    qubit.fidelity_1q = 0.9999;
+    qubit.t2 = 400.0;
+    Target target(std::move(graph), intra, qubit);
+
+    EdgeProperties bridge;
+    bridge.basis = BasisSpec{BasisKind::CNOT};
+    bridge.fidelity_2q = 0.97;
+    bridge.duration = 1.0;
+    target.setEdgeProperties(3, 11, bridge);
+    target.setEdgeProperties(7, 15, bridge);
+
+    QubitProperties interface_qubit;
+    interface_qubit.fidelity_1q = 0.999;
+    interface_qubit.t2 = 150.0;
+    target.setQubitProperties(3, interface_qubit);
+    target.setQubitProperties(11, interface_qubit);
+    return target;
+}
+
+} // namespace
+
+int
+main()
+{
+    const Target device = chipletDevice();
+    std::printf("device %s: %d qubits, %zu couplings, %zu overridden\n",
+                device.name().c_str(), device.numQubits(),
+                device.graph().edgeCount(), device.overriddenEdges());
+
+    // JSON round-trip: the serialized description rebuilds the same
+    // calibration (this is what `--device file.json` loads).
+    const JsonValue json = targetToJson(device);
+    const Target reloaded = targetFromJson(json);
+    std::printf("JSON round-trip: %zu bytes, %s\n",
+                json.dump().size(),
+                targetToJson(reloaded) == json ? "identical" : "DIVERGED");
+
+    // A workload that must cross the lossy chiplet bridge: per-edge
+    // basis scoring (basis=auto) charges the CX bridge links their own
+    // pulse counts, and score-fidelity folds in the calibration.
+    const Circuit circuit = qft(12);
+    const unsigned long long seed = 7;
+
+    std::printf("\n%-52s %6s %9s %9s\n", "pipeline", "SWAPs", "pulses",
+                "fidelity");
+    for (const char *spec :
+         {"dense,sabre-route,basis=auto,score-fidelity",
+          "dense,noise-route,basis=auto,score-fidelity"}) {
+        const TranspileResult r =
+            passManagerFromSpec(spec).run(circuit, device, seed);
+        std::printf("%-52s %6zu %9zu %9.4f\n", spec,
+                    r.metrics.swaps_total, r.metrics.basis_2q_total,
+                    r.properties.get("fidelity_predicted"));
+    }
+
+    // The crispest demonstration: a diamond device with one good and
+    // one bad path between a distant pair.  Distance-only routing
+    // breaks the tie arbitrarily; noise-route always swaps along the
+    // high-fidelity path (examples/devices/two-path-rigged-4.json).
+    const Target rigged =
+        targetFromJson(JsonValue::parse(R"({
+            "name": "two-path-rigged-4", "qubits": 4,
+            "default_edge": {"basis": "sqiswap", "fidelity_2q": 0.999},
+            "edges": [[0, 1], [1, 3],
+                      {"a": 0, "b": 2, "fidelity_2q": 0.6},
+                      {"a": 2, "b": 3, "fidelity_2q": 0.6}]
+        })"));
+    std::printf("\nGHZ-4 on %s (seed sweep, predicted fidelity):\n",
+                rigged.name().c_str());
+    for (const char *spec :
+         {"trivial,sabre-route,basis=auto,score-fidelity",
+          "trivial,noise-route,basis=auto,score-fidelity"}) {
+        double worst = 1.0;
+        for (unsigned long long s = 1; s <= 16; ++s) {
+            const TranspileResult r =
+                passManagerFromSpec(spec).run(ghz(4), rigged, s);
+            const double f = r.properties.get("fidelity_predicted");
+            if (f < worst) {
+                worst = f;
+            }
+        }
+        std::printf("  %-50s worst over 16 seeds: %.4f\n", spec, worst);
+    }
+
+    std::printf("\nnoise-route pays for detours only when a low-fidelity\n"
+                "edge would cost more than the extra SWAP distance; on a\n"
+                "uniform device it reduces to plain SABRE routing.\n");
+    return 0;
+}

@@ -21,7 +21,15 @@
 namespace snail
 {
 
-/** Topology + native basis gate. */
+/**
+ * Topology + native basis gate.
+ *
+ * @deprecated Backend is the legacy two-field device description; the
+ * first-class model is Target (target/target.hpp), which adds per-edge
+ * and per-qubit calibration, JSON device files, and the noise-aware
+ * transpiler passes.  Backend remains as a thin source for
+ * targetFromBackend() and the paper's fig13/fig14 machine lists.
+ */
 struct Backend
 {
     std::string name;       //!< display label, e.g. "Tree-sqiswap"

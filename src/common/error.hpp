@@ -35,6 +35,34 @@ class InternalError : public std::logic_error
     explicit InternalError(const std::string &msg) : std::logic_error(msg) {}
 };
 
+/**
+ * A qubit pair with no connecting path on a coupling graph.  Thrown by
+ * CouplingGraph::distance / shortestPath — typically surfacing from the
+ * middle of a routing pass handed a disconnected device — and carries
+ * the offending pair and the graph's name so callers can report which
+ * device is broken instead of a bare "disconnected" failure.
+ */
+class DisconnectedError : public SnailError
+{
+  public:
+    DisconnectedError(std::string graph_name, int a, int b)
+        : SnailError("qubits " + std::to_string(a) + " and " +
+                     std::to_string(b) + " are disconnected on graph '" +
+                     graph_name + "'"),
+          _graphName(std::move(graph_name)), _a(a), _b(b)
+    {
+    }
+
+    const std::string &graphName() const { return _graphName; }
+    int qubitA() const { return _a; }
+    int qubitB() const { return _b; }
+
+  private:
+    std::string _graphName;
+    int _a;
+    int _b;
+};
+
 namespace detail
 {
 

@@ -1,0 +1,550 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+const char *
+kindName(JsonValue::Kind kind)
+{
+    switch (kind) {
+      case JsonValue::Kind::Null: return "null";
+      case JsonValue::Kind::Bool: return "bool";
+      case JsonValue::Kind::Number: return "number";
+      case JsonValue::Kind::String: return "string";
+      case JsonValue::Kind::Array: return "array";
+      case JsonValue::Kind::Object: return "object";
+    }
+    return "?";
+}
+
+/** Recursive-descent parser over a string with position tracking. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : _text(text) {}
+
+    JsonValue
+    parseDocument()
+    {
+        JsonValue value = parseValue();
+        skipWhitespace();
+        SNAIL_REQUIRE(_pos == _text.size(),
+                      "JSON: trailing content at offset " << _pos);
+        return value;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what)
+    {
+        SNAIL_THROW("JSON: " << what << " at offset " << _pos);
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (_pos < _text.size() &&
+               (_text[_pos] == ' ' || _text[_pos] == '\t' ||
+                _text[_pos] == '\n' || _text[_pos] == '\r')) {
+            ++_pos;
+        }
+    }
+
+    char
+    peek()
+    {
+        skipWhitespace();
+        if (_pos >= _text.size()) {
+            fail("unexpected end of input");
+        }
+        return _text[_pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c) {
+            fail(std::string("expected '") + c + "', got '" + _text[_pos] +
+                 "'");
+        }
+        ++_pos;
+    }
+
+    bool
+    consumeLiteral(const char *word)
+    {
+        const std::size_t len = std::char_traits<char>::length(word);
+        if (_text.compare(_pos, len, word) == 0) {
+            _pos += len;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return JsonValue(parseString());
+          case 't':
+            if (consumeLiteral("true")) return JsonValue(true);
+            fail("bad literal");
+          case 'f':
+            if (consumeLiteral("false")) return JsonValue(false);
+            fail("bad literal");
+          case 'n':
+            if (consumeLiteral("null")) return JsonValue();
+            fail("bad literal");
+          default: return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue::Object members;
+        if (peek() == '}') {
+            ++_pos;
+            return JsonValue(std::move(members));
+        }
+        for (;;) {
+            if (peek() != '"') {
+                fail("expected object key string");
+            }
+            std::string key = parseString();
+            expect(':');
+            members[std::move(key)] = parseValue();
+            const char c = peek();
+            ++_pos;
+            if (c == '}') {
+                return JsonValue(std::move(members));
+            }
+            if (c != ',') {
+                fail("expected ',' or '}' in object");
+            }
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue::Array items;
+        if (peek() == ']') {
+            ++_pos;
+            return JsonValue(std::move(items));
+        }
+        for (;;) {
+            items.push_back(parseValue());
+            const char c = peek();
+            ++_pos;
+            if (c == ']') {
+                return JsonValue(std::move(items));
+            }
+            if (c != ',') {
+                fail("expected ',' or ']' in array");
+            }
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (_pos < _text.size()) {
+            const char c = _text[_pos++];
+            if (c == '"') {
+                return out;
+            }
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (_pos >= _text.size()) {
+                break;
+            }
+            const char esc = _text[_pos++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': out += parseUnicodeEscape(); break;
+              default: fail("bad string escape");
+            }
+        }
+        fail("unterminated string");
+    }
+
+    std::string
+    parseUnicodeEscape()
+    {
+        if (_pos + 4 > _text.size()) {
+            fail("truncated \\u escape");
+        }
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = _text[_pos++];
+            code <<= 4;
+            if (c >= '0' && c <= '9') {
+                code |= static_cast<unsigned>(c - '0');
+            } else if (c >= 'a' && c <= 'f') {
+                code |= static_cast<unsigned>(c - 'a' + 10);
+            } else if (c >= 'A' && c <= 'F') {
+                code |= static_cast<unsigned>(c - 'A' + 10);
+            } else {
+                fail("bad \\u escape digit");
+            }
+        }
+        // UTF-8 encode the BMP code point (surrogate pairs are not
+        // needed by the device schema; a lone surrogate encodes as-is).
+        std::string out;
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+        return out;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        skipWhitespace();
+        // std::from_chars is locale-independent (strtod is not) and
+        // rejects the non-JSON forms strtod accepts (hex, "inf", a
+        // leading '+').
+        const char *begin = _text.c_str() + _pos;
+        const char *end = _text.c_str() + _text.size();
+        // JSON numbers start with '-' or a digit (from_chars alone
+        // would also accept "inf"/"nan").
+        if (begin == end ||
+            (*begin != '-' && !std::isdigit(static_cast<unsigned char>(
+                                  *begin)))) {
+            fail("bad number");
+        }
+        double value = 0.0;
+        const auto [ptr, ec] = std::from_chars(begin, end, value);
+        if (ec != std::errc{} || ptr == begin) {
+            fail("bad number");
+        }
+        _pos += static_cast<std::size_t>(ptr - begin);
+        return JsonValue(value);
+    }
+
+    const std::string &_text;
+    std::size_t _pos = 0;
+};
+
+void
+dumpString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+} // namespace
+
+std::string
+shortestDouble(double value)
+{
+    SNAIL_REQUIRE(std::isfinite(value),
+                  "cannot represent non-finite number " << value);
+    // Integral values print without a fraction.
+    if (value == std::floor(value) && std::fabs(value) < 1e15) {
+        char buf[32];
+        const auto [ptr, ec] = std::to_chars(
+            buf, buf + sizeof(buf), static_cast<long long>(value));
+        SNAIL_ASSERT(ec == std::errc{}, "to_chars failed");
+        return std::string(buf, ptr);
+    }
+    // std::to_chars emits the shortest round-trippable form,
+    // locale-independent.
+    char buf[40];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+    SNAIL_ASSERT(ec == std::errc{}, "to_chars failed");
+    return std::string(buf, ptr);
+}
+
+bool
+JsonValue::asBool() const
+{
+    SNAIL_REQUIRE(_kind == Kind::Bool,
+                  "JSON: expected bool, got " << kindName(_kind));
+    return _bool;
+}
+
+double
+JsonValue::asNumber() const
+{
+    SNAIL_REQUIRE(_kind == Kind::Number,
+                  "JSON: expected number, got " << kindName(_kind));
+    return _number;
+}
+
+int
+JsonValue::asInt() const
+{
+    const double n = asNumber();
+    SNAIL_REQUIRE(n == std::floor(n) &&
+                      n >= std::numeric_limits<int>::min() &&
+                      n <= std::numeric_limits<int>::max(),
+                  "JSON: expected integer, got " << n);
+    return static_cast<int>(n);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    SNAIL_REQUIRE(_kind == Kind::String,
+                  "JSON: expected string, got " << kindName(_kind));
+    return _string;
+}
+
+const JsonValue::Array &
+JsonValue::asArray() const
+{
+    SNAIL_REQUIRE(_kind == Kind::Array,
+                  "JSON: expected array, got " << kindName(_kind));
+    return _array;
+}
+
+const JsonValue::Object &
+JsonValue::asObject() const
+{
+    SNAIL_REQUIRE(_kind == Kind::Object,
+                  "JSON: expected object, got " << kindName(_kind));
+    return _object;
+}
+
+JsonValue::Array &
+JsonValue::array()
+{
+    if (_kind == Kind::Null) {
+        _kind = Kind::Array;
+    }
+    SNAIL_REQUIRE(_kind == Kind::Array,
+                  "JSON: expected array, got " << kindName(_kind));
+    return _array;
+}
+
+JsonValue::Object &
+JsonValue::object()
+{
+    if (_kind == Kind::Null) {
+        _kind = Kind::Object;
+    }
+    SNAIL_REQUIRE(_kind == Kind::Object,
+                  "JSON: expected object, got " << kindName(_kind));
+    return _object;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (_kind != Kind::Object) {
+        return nullptr;
+    }
+    const auto it = _object.find(key);
+    return it == _object.end() ? nullptr : &it->second;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *value = find(key);
+    SNAIL_REQUIRE(value != nullptr, "JSON: missing key \"" << key << "\"");
+    return *value;
+}
+
+double
+JsonValue::numberOr(const std::string &key, double fallback) const
+{
+    const JsonValue *value = find(key);
+    return value == nullptr ? fallback : value->asNumber();
+}
+
+std::string
+JsonValue::stringOr(const std::string &key,
+                    const std::string &fallback) const
+{
+    const JsonValue *value = find(key);
+    return value == nullptr ? fallback : value->asString();
+}
+
+void
+JsonValue::dumpTo(std::string &out, int indent, int depth) const
+{
+    const std::string pad =
+        indent > 0 ? std::string(static_cast<std::size_t>(indent) *
+                                     (static_cast<std::size_t>(depth) + 1),
+                                 ' ')
+                   : std::string();
+    const std::string close_pad =
+        indent > 0 ? std::string(static_cast<std::size_t>(indent) *
+                                     static_cast<std::size_t>(depth),
+                                 ' ')
+                   : std::string();
+    const char *newline = indent > 0 ? "\n" : "";
+    const char *colon = indent > 0 ? ": " : ":";
+
+    switch (_kind) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += _bool ? "true" : "false";
+        break;
+      case Kind::Number:
+        out += shortestDouble(_number);
+        break;
+      case Kind::String:
+        dumpString(out, _string);
+        break;
+      case Kind::Array: {
+        if (_array.empty()) {
+            out += "[]";
+            break;
+        }
+        // Scalar-only arrays (e.g. edge pairs [0, 1]) stay on one line
+        // even when pretty-printing.
+        bool scalar_only = true;
+        for (const JsonValue &item : _array) {
+            if (item.isArray() || item.isObject()) {
+                scalar_only = false;
+                break;
+            }
+        }
+        if (indent > 0 && scalar_only) {
+            out += '[';
+            bool first_item = true;
+            for (const JsonValue &item : _array) {
+                if (!first_item) {
+                    out += ", ";
+                }
+                first_item = false;
+                item.dumpTo(out, 0, 0);
+            }
+            out += ']';
+            break;
+        }
+        out += '[';
+        out += newline;
+        bool first = true;
+        for (const JsonValue &item : _array) {
+            if (!first) {
+                out += ',';
+                out += newline;
+            }
+            first = false;
+            out += pad;
+            item.dumpTo(out, indent, depth + 1);
+        }
+        out += newline;
+        out += close_pad;
+        out += ']';
+        break;
+      }
+      case Kind::Object: {
+        if (_object.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        out += newline;
+        bool first = true;
+        for (const auto &[key, value] : _object) {
+            if (!first) {
+                out += ',';
+                out += newline;
+            }
+            first = false;
+            out += pad;
+            dumpString(out, key);
+            out += colon;
+            value.dumpTo(out, indent, depth + 1);
+        }
+        out += newline;
+        out += close_pad;
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+JsonValue
+JsonValue::parse(const std::string &text)
+{
+    return Parser(text).parseDocument();
+}
+
+bool
+JsonValue::operator==(const JsonValue &other) const
+{
+    if (_kind != other._kind) {
+        return false;
+    }
+    switch (_kind) {
+      case Kind::Null: return true;
+      case Kind::Bool: return _bool == other._bool;
+      case Kind::Number: return _number == other._number;
+      case Kind::String: return _string == other._string;
+      case Kind::Array: return _array == other._array;
+      case Kind::Object: return _object == other._object;
+    }
+    return false;
+}
+
+} // namespace snail

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Minimal JSON value type, parser, and serializer.
+ *
+ * The container image bakes in no third-party JSON library, so the
+ * device-description files under examples/devices/ (target/target.hpp)
+ * and any other machine-readable output are handled by this small,
+ * dependency-free implementation.  It supports the full JSON value
+ * grammar (null, booleans, numbers, strings with escapes, arrays,
+ * objects); numbers are stored as double, which is exact for the
+ * qubit indices and fidelities the device schema uses.
+ */
+
+#ifndef SNAILQC_COMMON_JSON_HPP
+#define SNAILQC_COMMON_JSON_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace snail
+{
+
+/**
+ * Shortest decimal string that parses back to exactly `value`
+ * (std::to_chars), locale-independent; integral values print without
+ * a fraction.  Shared by the JSON serializer and spec round-tripping.
+ * @throws SnailError for non-finite values.
+ */
+std::string shortestDouble(double value);
+
+/** One JSON value: null, bool, number, string, array, or object. */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    /** Object members, sorted by key (order is not significant). */
+    using Object = std::map<std::string, JsonValue>;
+    using Array = std::vector<JsonValue>;
+
+    JsonValue() : _kind(Kind::Null) {}
+    JsonValue(bool b) : _kind(Kind::Bool), _bool(b) {}
+    JsonValue(double n) : _kind(Kind::Number), _number(n) {}
+    JsonValue(int n) : _kind(Kind::Number), _number(n) {}
+    JsonValue(std::string s) : _kind(Kind::String), _string(std::move(s)) {}
+    JsonValue(const char *s) : _kind(Kind::String), _string(s) {}
+    JsonValue(Array a) : _kind(Kind::Array), _array(std::move(a)) {}
+    JsonValue(Object o) : _kind(Kind::Object), _object(std::move(o)) {}
+
+    Kind kind() const { return _kind; }
+    bool isNull() const { return _kind == Kind::Null; }
+    bool isBool() const { return _kind == Kind::Bool; }
+    bool isNumber() const { return _kind == Kind::Number; }
+    bool isString() const { return _kind == Kind::String; }
+    bool isArray() const { return _kind == Kind::Array; }
+    bool isObject() const { return _kind == Kind::Object; }
+
+    /** Typed accessors. @throws SnailError on a kind mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    /** asNumber() checked to be integral and in range. */
+    int asInt() const;
+    const std::string &asString() const;
+    const Array &asArray() const;
+    const Object &asObject() const;
+
+    /** Mutable array/object access (converts a Null value in place). */
+    Array &array();
+    Object &object();
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /**
+     * Member `key`, required to exist.
+     * @throws SnailError naming the missing key.
+     */
+    const JsonValue &at(const std::string &key) const;
+
+    /** Member `key` as a number, or `fallback` when absent. */
+    double numberOr(const std::string &key, double fallback) const;
+
+    /** Member `key` as a string, or `fallback` when absent. */
+    std::string stringOr(const std::string &key,
+                         const std::string &fallback) const;
+
+    /**
+     * Serialize.  `indent` > 0 pretty-prints with that many spaces per
+     * nesting level; 0 emits the compact single-line form.
+     */
+    std::string dump(int indent = 0) const;
+
+    /** Parse a complete JSON document. @throws SnailError on errors. */
+    static JsonValue parse(const std::string &text);
+
+    bool operator==(const JsonValue &other) const;
+    bool operator!=(const JsonValue &other) const
+    {
+        return !(*this == other);
+    }
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind _kind;
+    bool _bool = false;
+    double _number = 0.0;
+    std::string _string;
+    Array _array;
+    Object _object;
+};
+
+} // namespace snail
+
+#endif // SNAILQC_COMMON_JSON_HPP

@@ -1,0 +1,350 @@
+#include "target/target.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "fidelity/model.hpp"
+
+namespace snail
+{
+
+double
+basisPulseFidelity(const BasisSpec &basis, double full_pulse_fidelity)
+{
+    SNAIL_REQUIRE(full_pulse_fidelity > 0.0 && full_pulse_fidelity <= 1.0,
+                  "full-pulse fidelity " << full_pulse_fidelity
+                                         << " outside (0, 1]");
+    const double duration = basis.pulseDuration();
+    if (duration >= 1.0) {
+        return full_pulse_fidelity;
+    }
+    // Eq. 12 with root n = 1 / duration: a pulse 1/n as long carries
+    // 1/n of the full pulse's decoherence-driven infidelity.
+    return scaledBasisFidelity(full_pulse_fidelity, 1.0 / duration);
+}
+
+Target::Target(CouplingGraph graph, EdgeProperties default_edge,
+               QubitProperties default_qubit)
+    : _name(graph.name()), _graph(std::move(graph)),
+      _defaultEdge(default_edge), _defaultQubit(default_qubit)
+{
+}
+
+Target
+Target::uniform(const CouplingGraph &graph, const BasisSpec &basis,
+                double fidelity_2q, double fidelity_1q)
+{
+    EdgeProperties edge;
+    edge.basis = basis;
+    edge.fidelity_2q = fidelity_2q;
+    QubitProperties qubit;
+    qubit.fidelity_1q = fidelity_1q;
+    return Target(graph, edge, qubit);
+}
+
+std::pair<int, int>
+Target::canonical(int a, int b)
+{
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+void
+Target::setEdgeProperties(int a, int b, const EdgeProperties &props)
+{
+    SNAIL_REQUIRE(_graph.hasEdge(a, b),
+                  "no coupling between qubits " << a << " and " << b
+                                                << " on " << name());
+    _edges[canonical(a, b)] = props;
+}
+
+void
+Target::setQubitProperties(int q, const QubitProperties &props)
+{
+    SNAIL_REQUIRE(q >= 0 && q < numQubits(),
+                  "qubit " << q << " out of range on " << name());
+    _qubits[q] = props;
+}
+
+const EdgeProperties &
+Target::edge(int a, int b) const
+{
+    SNAIL_REQUIRE(_graph.hasEdge(a, b),
+                  "no coupling between qubits " << a << " and " << b
+                                                << " on " << name());
+    const auto it = _edges.find(canonical(a, b));
+    return it == _edges.end() ? _defaultEdge : it->second;
+}
+
+const QubitProperties &
+Target::qubit(int q) const
+{
+    SNAIL_REQUIRE(q >= 0 && q < numQubits(),
+                  "qubit " << q << " out of range on " << name());
+    const auto it = _qubits.find(q);
+    return it == _qubits.end() ? _defaultQubit : it->second;
+}
+
+HeterogeneousBasis
+Target::heterogeneousBasis() const
+{
+    HeterogeneousBasis bases(_graph, _defaultEdge.basis);
+    for (const auto &[pair, props] : _edges) {
+        bases.setEdgeBasis(pair.first, pair.second, props.basis);
+    }
+    return bases;
+}
+
+std::vector<std::pair<std::pair<int, int>, EdgeProperties>>
+Target::edgeOverrides() const
+{
+    return {_edges.begin(), _edges.end()};
+}
+
+std::vector<std::pair<int, QubitProperties>>
+Target::qubitOverrides() const
+{
+    return {_qubits.begin(), _qubits.end()};
+}
+
+Target
+targetFromBackend(const Backend &backend, double full_pulse_fidelity,
+                  double fidelity_1q)
+{
+    Target target = Target::uniform(
+        backend.topology, backend.basis,
+        basisPulseFidelity(backend.basis, full_pulse_fidelity),
+        fidelity_1q);
+    target.setName(backend.name);
+    return target;
+}
+
+std::vector<Target>
+fig13Targets()
+{
+    std::vector<Target> targets;
+    for (const Backend &backend : fig13Backends()) {
+        targets.push_back(targetFromBackend(backend));
+    }
+    return targets;
+}
+
+std::vector<Target>
+fig14Targets()
+{
+    std::vector<Target> targets;
+    for (const Backend &backend : fig14Backends()) {
+        targets.push_back(targetFromBackend(backend));
+    }
+    return targets;
+}
+
+std::vector<Target>
+builtinTargets()
+{
+    std::vector<Target> targets = fig13Targets();
+    for (Target &target : fig14Targets()) {
+        targets.push_back(std::move(target));
+    }
+    return targets;
+}
+
+Target
+namedTarget(const std::string &name)
+{
+    std::string known;
+    for (const Target &target : builtinTargets()) {
+        if (target.name() == name) {
+            return target;
+        }
+        known += known.empty() ? target.name() : ", " + target.name();
+    }
+    SNAIL_THROW("unknown target '" << name << "' (known: " << known << ")");
+}
+
+namespace
+{
+
+/**
+ * Serialize edge calibration relative to `fallback` (the loader's
+ * inheritance source).  The duration sentinel (< 0, "use the basis
+ * default") is normally expressed by omitting the key, but when the
+ * fallback carries an explicit duration the omission would inherit
+ * that instead — an explicit null keeps the round-trip exact.
+ */
+JsonValue
+edgePropsJson(const EdgeProperties &props, const EdgeProperties &fallback)
+{
+    JsonValue::Object o;
+    o["basis"] = JsonValue(props.basis.name());
+    if (props.basis.optimistic_syc) {
+        o["optimistic_syc"] = JsonValue(true);
+    }
+    o["fidelity_2q"] = JsonValue(props.fidelity_2q);
+    if (props.duration >= 0.0) {
+        o["duration"] = JsonValue(props.duration);
+    } else if (fallback.duration >= 0.0) {
+        o["duration"] = JsonValue(); // null: reset to the basis default
+    }
+    return JsonValue(std::move(o));
+}
+
+EdgeProperties
+edgePropsFromJson(const JsonValue &json, const EdgeProperties &fallback)
+{
+    EdgeProperties props = fallback;
+    if (const JsonValue *basis = json.find("basis")) {
+        props.basis = parseBasisSpec(basis->asString());
+    }
+    if (const JsonValue *opt = json.find("optimistic_syc")) {
+        props.basis.optimistic_syc = opt->asBool();
+    }
+    props.fidelity_2q = json.numberOr("fidelity_2q", props.fidelity_2q);
+    if (const JsonValue *duration = json.find("duration")) {
+        props.duration = duration->isNull() ? -1.0 : duration->asNumber();
+    }
+    SNAIL_REQUIRE(props.fidelity_2q > 0.0 && props.fidelity_2q <= 1.0,
+                  "edge fidelity_2q " << props.fidelity_2q
+                                      << " outside (0, 1]");
+    return props;
+}
+
+JsonValue
+qubitPropsJson(const QubitProperties &props)
+{
+    JsonValue::Object o;
+    o["fidelity_1q"] = JsonValue(props.fidelity_1q);
+    if (props.t1 > 0.0) {
+        o["t1"] = JsonValue(props.t1);
+    }
+    if (props.t2 > 0.0) {
+        o["t2"] = JsonValue(props.t2);
+    }
+    return JsonValue(std::move(o));
+}
+
+QubitProperties
+qubitPropsFromJson(const JsonValue &json, const QubitProperties &fallback)
+{
+    QubitProperties props = fallback;
+    props.fidelity_1q = json.numberOr("fidelity_1q", props.fidelity_1q);
+    props.t1 = json.numberOr("t1", props.t1);
+    props.t2 = json.numberOr("t2", props.t2);
+    SNAIL_REQUIRE(props.fidelity_1q > 0.0 && props.fidelity_1q <= 1.0,
+                  "fidelity_1q " << props.fidelity_1q << " outside (0, 1]");
+    return props;
+}
+
+} // namespace
+
+JsonValue
+targetToJson(const Target &target)
+{
+    JsonValue::Object root;
+    root["name"] = JsonValue(target.name());
+    root["qubits"] = JsonValue(target.numQubits());
+    root["default_edge"] =
+        edgePropsJson(target.defaultEdge(), EdgeProperties{});
+    root["default_qubit"] = qubitPropsJson(target.defaultQubit());
+
+    JsonValue::Array edges;
+    for (const auto &[a, b] : target.graph().edges()) {
+        const EdgeProperties &props = target.edge(a, b);
+        if (props == target.defaultEdge()) {
+            edges.push_back(
+                JsonValue(JsonValue::Array{JsonValue(a), JsonValue(b)}));
+        } else {
+            JsonValue entry = edgePropsJson(props, target.defaultEdge());
+            entry.object()["a"] = JsonValue(a);
+            entry.object()["b"] = JsonValue(b);
+            edges.push_back(std::move(entry));
+        }
+    }
+    root["edges"] = JsonValue(std::move(edges));
+
+    JsonValue::Array qubits;
+    for (const auto &[q, props] : target.qubitOverrides()) {
+        JsonValue entry = qubitPropsJson(props);
+        entry.object()["q"] = JsonValue(q);
+        qubits.push_back(std::move(entry));
+    }
+    if (!qubits.empty()) {
+        root["qubit_overrides"] = JsonValue(std::move(qubits));
+    }
+    return JsonValue(std::move(root));
+}
+
+Target
+targetFromJson(const JsonValue &json)
+{
+    const int num_qubits = json.at("qubits").asInt();
+    SNAIL_REQUIRE(num_qubits > 0,
+                  "device needs at least one qubit, got " << num_qubits);
+    const std::string name = json.stringOr("name", "device");
+
+    EdgeProperties default_edge;
+    if (const JsonValue *d = json.find("default_edge")) {
+        default_edge = edgePropsFromJson(*d, EdgeProperties{});
+    }
+    QubitProperties default_qubit;
+    if (const JsonValue *d = json.find("default_qubit")) {
+        default_qubit = qubitPropsFromJson(*d, QubitProperties{});
+    }
+
+    CouplingGraph graph(num_qubits, name);
+    // First pass: build the topology (overrides need existing edges).
+    const JsonValue &edges = json.at("edges");
+    for (const JsonValue &entry : edges.asArray()) {
+        if (entry.isArray()) {
+            const auto &pair = entry.asArray();
+            SNAIL_REQUIRE(pair.size() == 2,
+                          "edge entry needs exactly two endpoints");
+            graph.addEdge(pair[0].asInt(), pair[1].asInt());
+        } else {
+            graph.addEdge(entry.at("a").asInt(), entry.at("b").asInt());
+        }
+    }
+
+    Target target(std::move(graph), default_edge, default_qubit);
+    target.setName(name);
+    for (const JsonValue &entry : edges.asArray()) {
+        if (entry.isObject()) {
+            target.setEdgeProperties(
+                entry.at("a").asInt(), entry.at("b").asInt(),
+                edgePropsFromJson(entry, default_edge));
+        }
+    }
+    if (const JsonValue *qubits = json.find("qubit_overrides")) {
+        for (const JsonValue &entry : qubits->asArray()) {
+            target.setQubitProperties(
+                entry.at("q").asInt(),
+                qubitPropsFromJson(entry, default_qubit));
+        }
+    }
+    return target;
+}
+
+Target
+loadTargetFile(const std::string &path)
+{
+    std::ifstream in(path);
+    SNAIL_REQUIRE(in.good(), "cannot open device file '" << path << "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+        return targetFromJson(JsonValue::parse(text.str()));
+    } catch (const SnailError &e) {
+        SNAIL_THROW("device file '" << path << "': " << e.what());
+    }
+}
+
+void
+saveTargetFile(const Target &target, const std::string &path)
+{
+    std::ofstream out(path);
+    SNAIL_REQUIRE(out.good(), "cannot write device file '" << path << "'");
+    out << targetToJson(target).dump(2) << "\n";
+    SNAIL_REQUIRE(out.good(), "write to '" << path << "' failed");
+}
+
+} // namespace snail

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Target: a first-class device model in the style of Qiskit's Target.
+ *
+ * The paper's unit of co-design is a machine — a coupling topology
+ * *plus* the native gate its modulator calibrates on each coupling,
+ * with per-pulse fidelity set by pulse duration (Eqs. 12 and 13).  A
+ * Target owns that whole picture:
+ *
+ *   Target
+ *    ├─ CouplingGraph            physical qubits + couplings
+ *    ├─ EdgeProperties (default + per-edge overrides)
+ *    │    ├─ BasisSpec basis     native 2Q gate on the coupling
+ *    │    ├─ fidelity_2q         per-native-pulse fidelity (Eq. 12)
+ *    │    └─ duration            per-pulse time (basis default: 1/n)
+ *    └─ QubitProperties (default + per-qubit overrides)
+ *         ├─ fidelity_1q         per-1Q-gate fidelity
+ *         └─ t1 / t2             coherence, normalized pulse units
+ *
+ * Uniform targets (no overrides) behave exactly like the legacy
+ * (CouplingGraph, BasisSpec) pair the transpiler used before, which is
+ * what keeps the transpile()/Backend shims bit-for-bit compatible.
+ * Heterogeneous targets install different bases / fidelities per edge,
+ * opening the paper's stated future work (heterogeneous basis gates)
+ * as a real transpiler scenario: noise-aware routing ("noise-route"),
+ * per-edge basis scoring ("basis=auto"), and predicted-fidelity
+ * scoring ("score-fidelity") all read these properties through the
+ * PassContext.
+ *
+ * Targets serialize to a small JSON schema (documented in
+ * examples/devices/README.md) so the CLI can transpile against a
+ * device file without recompiling:  snailqc transpile ... --device f.json
+ */
+
+#ifndef SNAILQC_TARGET_TARGET_HPP
+#define SNAILQC_TARGET_TARGET_HPP
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "codesign/backend.hpp"
+#include "common/json.hpp"
+#include "topology/coupling_graph.hpp"
+#include "transpiler/hetero_basis.hpp"
+#include "weyl/basis_counts.hpp"
+
+namespace snail
+{
+
+/** Per-qubit calibration data. */
+struct QubitProperties
+{
+    double fidelity_1q = 1.0; //!< fidelity of one 1Q gate
+    double t1 = 0.0;          //!< relaxation time, normalized pulse units
+    double t2 = 0.0;          //!< dephasing time; 0 means ideal (no decay)
+
+    bool operator==(const QubitProperties &o) const
+    {
+        return fidelity_1q == o.fidelity_1q && t1 == o.t1 && t2 == o.t2;
+    }
+};
+
+/** Per-coupling calibration data. */
+struct EdgeProperties
+{
+    BasisSpec basis{};        //!< native 2Q gate installed on the edge
+    double fidelity_2q = 1.0; //!< fidelity of ONE native pulse
+    /** Per-pulse time; negative means "use basis.pulseDuration()". */
+    double duration = -1.0;
+
+    /** Effective per-pulse duration (the basis default when unset). */
+    double
+    pulseDuration() const
+    {
+        return duration >= 0.0 ? duration : basis.pulseDuration();
+    }
+
+    bool operator==(const EdgeProperties &o) const
+    {
+        return basis.kind == o.basis.kind &&
+               basis.optimistic_syc == o.basis.optimistic_syc &&
+               fidelity_2q == o.fidelity_2q && duration == o.duration;
+    }
+};
+
+/**
+ * Eq. 12 applied to a basis choice: the per-pulse fidelity of `basis`
+ * on hardware whose full-length (duration 1.0) pulse has fidelity
+ * `full_pulse_fidelity`.  The n-root-iSWAP family shortens the pulse to
+ * 1/n of a full iSWAP, so infidelity scales down by the same factor;
+ * full-length bases (CNOT, SYC, iSWAP) keep the base fidelity.
+ */
+double basisPulseFidelity(const BasisSpec &basis,
+                          double full_pulse_fidelity);
+
+/** Default calibration used by the built-in targets (paper Sec. 6.3). */
+inline constexpr double kDefaultFullPulseFidelity = 0.99;
+inline constexpr double kDefault1qFidelity = 0.9999;
+
+/** Coupling graph plus per-edge and per-qubit calibration. */
+class Target
+{
+  public:
+    /**
+     * A target over `graph` whose every edge/qubit carries the given
+     * defaults until overridden.
+     */
+    explicit Target(CouplingGraph graph,
+                    EdgeProperties default_edge = EdgeProperties{},
+                    QubitProperties default_qubit = QubitProperties{});
+
+    /**
+     * Uniform factory: every edge hosts `basis` at fidelity
+     * `fidelity_2q` per pulse, every qubit `fidelity_1q`.  With the
+     * default perfect fidelities this is exactly the legacy
+     * (graph, basis) device the PR-1 pipelines ran against.
+     */
+    static Target uniform(const CouplingGraph &graph,
+                          const BasisSpec &basis,
+                          double fidelity_2q = 1.0,
+                          double fidelity_1q = 1.0);
+
+    /** Display name; defaults to the graph's name. */
+    const std::string &name() const { return _name; }
+    void setName(std::string name) { _name = std::move(name); }
+
+    const CouplingGraph &graph() const { return _graph; }
+    int numQubits() const { return _graph.numQubits(); }
+
+    const EdgeProperties &defaultEdge() const { return _defaultEdge; }
+    const QubitProperties &defaultQubit() const { return _defaultQubit; }
+    /** The basis a basis-unaware consumer should score against. */
+    const BasisSpec &defaultBasis() const { return _defaultEdge.basis; }
+
+    /**
+     * Override one edge's properties.
+     * @throws SnailError when (a, b) is not a coupling of the graph.
+     */
+    void setEdgeProperties(int a, int b, const EdgeProperties &props);
+
+    /** Override one qubit's properties. @throws SnailError on range. */
+    void setQubitProperties(int q, const QubitProperties &props);
+
+    /**
+     * Properties of edge (a, b) — the default when never overridden.
+     * @throws SnailError when (a, b) is not a coupling of the graph.
+     */
+    const EdgeProperties &edge(int a, int b) const;
+
+    /** Properties of qubit q. @throws SnailError on range. */
+    const QubitProperties &qubit(int q) const;
+
+    /** Number of edges with explicit overrides. */
+    std::size_t overriddenEdges() const { return _edges.size(); }
+
+    /** True when any edge or qubit override exists. */
+    bool
+    isHeterogeneous() const
+    {
+        return !_edges.empty() || !_qubits.empty();
+    }
+
+    /**
+     * Per-edge basis view for heterogeneous translation scoring
+     * (transpiler/hetero_basis.hpp).  The view references this
+     * target's graph; keep the target alive while using it.
+     */
+    HeterogeneousBasis heterogeneousBasis() const;
+
+    /** All explicitly overridden edges as ((a, b), properties). */
+    std::vector<std::pair<std::pair<int, int>, EdgeProperties>>
+    edgeOverrides() const;
+
+    /** All explicitly overridden qubits as (q, properties). */
+    std::vector<std::pair<int, QubitProperties>> qubitOverrides() const;
+
+  private:
+    static std::pair<int, int> canonical(int a, int b);
+
+    std::string _name;
+    CouplingGraph _graph;
+    EdgeProperties _defaultEdge;
+    QubitProperties _defaultQubit;
+    std::map<std::pair<int, int>, EdgeProperties> _edges;
+    std::map<int, QubitProperties> _qubits;
+};
+
+/**
+ * Lift a legacy Backend into a Target: the backend's topology and
+ * basis, with per-pulse 2Q fidelity derived from
+ * `full_pulse_fidelity` via Eq. 12 (basisPulseFidelity) and uniform
+ * 1Q fidelity.
+ */
+Target targetFromBackend(
+    const Backend &backend,
+    double full_pulse_fidelity = kDefaultFullPulseFidelity,
+    double fidelity_1q = kDefault1qFidelity);
+
+/** The co-designed machines of Fig. 13 (16-20 qubits) as Targets. */
+std::vector<Target> fig13Targets();
+
+/** The co-designed machines of Fig. 14 (84 qubits) as Targets. */
+std::vector<Target> fig14Targets();
+
+/** All built-in targets (fig13 then fig14 machines). */
+std::vector<Target> builtinTargets();
+
+/**
+ * Built-in target by name (e.g. "tree-20-sqiswap").
+ * @throws SnailError listing the known names for unknown ones.
+ */
+Target namedTarget(const std::string &name);
+
+/** @name JSON device descriptions (schema: examples/devices/README.md). */
+/** @{ */
+
+/** Serialize a target to its JSON device description. */
+JsonValue targetToJson(const Target &target);
+
+/** Build a target from a parsed device description. */
+Target targetFromJson(const JsonValue &json);
+
+/** Load a device description file. @throws SnailError on I/O errors. */
+Target loadTargetFile(const std::string &path);
+
+/** Write a device description file. @throws SnailError on I/O errors. */
+void saveTargetFile(const Target &target, const std::string &path);
+
+/** @} */
+
+} // namespace snail
+
+#endif // SNAILQC_TARGET_TARGET_HPP

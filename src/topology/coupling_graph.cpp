@@ -114,8 +114,9 @@ CouplingGraph::distance(int a, int b) const
     ensureDistances();
     const int d = _dist[static_cast<std::size_t>(a)]
                        [static_cast<std::size_t>(b)];
-    SNAIL_REQUIRE(d >= 0, "qubits " << a << " and " << b
-                                    << " are disconnected");
+    if (d < 0) {
+        throw DisconnectedError(_name, a, b);
+    }
     return d;
 }
 

@@ -48,7 +48,11 @@ class CouplingGraph
     /** All edges as (a, b) with a < b. */
     std::vector<std::pair<int, int>> edges() const;
 
-    /** Hop distance between two qubits (throws when disconnected). */
+    /**
+     * Hop distance between two qubits.
+     * @throws DisconnectedError (common/error.hpp) when no path exists,
+     *         carrying the pair and this graph's name.
+     */
     int distance(int a, int b) const;
 
     /** True when every qubit can reach every other. */

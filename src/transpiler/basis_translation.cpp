@@ -4,11 +4,30 @@
 
 #include "common/error.hpp"
 #include "decomp/synthesis.hpp"
+#include "transpiler/hetero_basis.hpp"
 #include "transpiler/passes.hpp"
 #include "weyl/coordinates.hpp"
 
 namespace snail
 {
+
+int
+cachedBasisCount(std::unordered_map<std::string, int> &cache,
+                 const BasisSpec &basis, const Gate &gate)
+{
+    if (!gate.cacheable()) {
+        return basisCount(basis, weylCoordinates(gate.matrix()));
+    }
+    const std::string key = basis.name() +
+                            (basis.optimistic_syc ? "~opt|" : "|") +
+                            gate.cacheKey();
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        it = cache.emplace(key, basisCount(basis, weylCoordinates(gate)))
+                 .first;
+    }
+    return it->second;
+}
 
 std::vector<int>
 basisCountsPerInstruction(const Circuit &circuit, const BasisSpec &basis)
@@ -17,23 +36,9 @@ basisCountsPerInstruction(const Circuit &circuit, const BasisSpec &basis)
     std::vector<int> counts;
     counts.reserve(circuit.size());
     for (const auto &op : circuit.instructions()) {
-        if (!op.isTwoQubit()) {
-            counts.push_back(0);
-            continue;
-        }
-        const Gate &g = op.gate();
-        if (g.cacheable()) {
-            const std::string key = g.cacheKey();
-            auto it = cache.find(key);
-            if (it == cache.end()) {
-                it = cache.emplace(key,
-                                   basisCount(basis, weylCoordinates(g)))
-                         .first;
-            }
-            counts.push_back(it->second);
-        } else {
-            counts.push_back(basisCount(basis, weylCoordinates(g.matrix())));
-        }
+        counts.push_back(op.isTwoQubit()
+                             ? cachedBasisCount(cache, basis, op.gate())
+                             : 0);
     }
     return counts;
 }
@@ -94,13 +99,19 @@ expandToBasis(const Circuit &circuit, const BasisSpec &basis)
 std::string
 SetBasisPass::spec() const
 {
-    return name() + "=" + _basis.name();
+    return name() + "=" + (_fromTarget ? "auto" : _basis.name());
 }
 
 void
 SetBasisPass::run(PassContext &ctx) const
 {
-    ctx.basis = _basis;
+    if (_fromTarget) {
+        ctx.basis = ctx.target().defaultBasis();
+        ctx.score_target_bases = true;
+    } else {
+        ctx.basis = _basis;
+        ctx.score_target_bases = false;
+    }
 }
 
 void
@@ -116,7 +127,21 @@ ScoreMetricsPass::run(PassContext &ctx) const
     props.set("ops_2q_pre",
               static_cast<double>(ctx.circuit.countTwoQubit()));
 
-    const TranslationStats stats = translationStats(ctx.circuit, ctx.basis);
+    // "basis=auto" on a routed circuit scores with the target's
+    // per-edge bases (heterogeneous translation); everywhere else the
+    // single scoring basis applies.  An unrouted circuit cannot map 2Q
+    // ops onto specific couplings, so auto falls back to the uniform
+    // default basis there (identical on uniform targets anyway).
+    TranslationStats stats;
+    const bool hetero = ctx.score_target_bases && ctx.final_layout &&
+                        ctx.target().isHeterogeneous();
+    if (hetero) {
+        const HeterogeneousBasis bases = ctx.target().heterogeneousBasis();
+        stats = heterogeneousTranslationStats(ctx.circuit, bases);
+        props.set("scored_hetero", 1.0);
+    } else {
+        stats = translationStats(ctx.circuit, ctx.basis);
+    }
     props.set("basis_2q_total", static_cast<double>(stats.total_2q));
     props.set("basis_2q_critical", stats.critical_2q);
     props.set("duration_total", stats.total_duration);

@@ -13,6 +13,9 @@
 #ifndef SNAILQC_TRANSPILER_BASIS_TRANSLATION_HPP
 #define SNAILQC_TRANSPILER_BASIS_TRANSLATION_HPP
 
+#include <string>
+#include <unordered_map>
+
 #include "ir/circuit.hpp"
 #include "weyl/basis_counts.hpp"
 
@@ -35,6 +38,16 @@ struct TranslationStats
  */
 std::vector<int> basisCountsPerInstruction(const Circuit &circuit,
                                            const BasisSpec &basis);
+
+/**
+ * Analytic count of one 2Q gate in `basis`, memoized in `cache` for
+ * cacheable gates.  The cache key covers every basis field counts
+ * depend on (kind and the SYC counting ablation), so one cache can be
+ * shared across edges with different bases — the per-edge scorers
+ * (hetero_basis.cpp, score_fidelity.cpp) rely on this.
+ */
+int cachedBasisCount(std::unordered_map<std::string, int> &cache,
+                     const BasisSpec &basis, const Gate &gate);
 
 /** Compute the paper's post-translation statistics for a circuit. */
 TranslationStats translationStats(const Circuit &circuit,

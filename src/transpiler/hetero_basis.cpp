@@ -76,21 +76,7 @@ heterogeneousTranslationStats(const Circuit &routed,
                       "2Q op on uncoupled pair (" << op.q0() << ", "
                                                   << op.q1()
                                                   << "); route first");
-        const Gate &g = op.gate();
-        int count = 0;
-        if (g.cacheable()) {
-            const std::string key = spec.name() + '|' + g.cacheKey();
-            auto it = count_cache.find(key);
-            if (it == count_cache.end()) {
-                it = count_cache
-                         .emplace(key,
-                                  basisCount(spec, weylCoordinates(g)))
-                         .first;
-            }
-            count = it->second;
-        } else {
-            count = basisCount(spec, weylCoordinates(g.matrix()));
-        }
+        const int count = cachedBasisCount(count_cache, spec, op.gate());
         counts.push_back(count);
         durations.push_back(static_cast<double>(count) *
                             spec.pulseDuration());

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * NoiseRoutePass ("noise-route"): fidelity-aware SABRE-style routing.
+ *
+ * The search is SabreRouter's (sabre_router.cpp), instantiated with a
+ * per-edge SWAP penalty read from the context target's EdgeProperties:
+ *
+ *   penalty(a, b) = k_swap(basis on (a,b)) * -log(fidelity_2q(a,b))
+ *
+ * scaled by the pass's weight.  k_swap is the analytic pulse count of
+ * a SWAP in the edge's native basis (3 CNOTs, 3 iSWAPs, ...), so the
+ * penalty is exactly the -log fidelity the score-fidelity pass would
+ * charge for that SWAP — the router and the scorer optimize the same
+ * objective.  Distances stay hop-based: the penalty steers among
+ * routes of comparable length rather than redefining reachability.
+ * On a uniform target every edge costs the same and the pass routes
+ * identically to plain "sabre-route".
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "gates/gate.hpp"
+#include "transpiler/passes.hpp"
+#include "weyl/coordinates.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+/** Floor applied before taking -log of an edge fidelity. */
+constexpr double kFidelityFloor = 1e-12;
+
+/**
+ * Per-edge SWAP penalties for every coupling of the target, indexed by
+ * the flattened (a * n + b) pair.  Computed once per run: pulse counts
+ * depend only on the edge basis kind, and -log(fidelity) only on the
+ * edge calibration.
+ */
+std::vector<double>
+swapPenaltyTable(const Target &target)
+{
+    const CouplingGraph &graph = target.graph();
+    const std::size_t n = static_cast<std::size_t>(graph.numQubits());
+    std::vector<double> table(n * n, 0.0);
+    const WeylCoords swap_coords = weylCoordinates(gates::swapGate());
+    for (const auto &[a, b] : graph.edges()) {
+        const EdgeProperties &props = target.edge(a, b);
+        const int k_swap = basisCount(props.basis, swap_coords);
+        const double f = std::max(props.fidelity_2q, kFidelityFloor);
+        const double penalty =
+            static_cast<double>(k_swap) * -std::log(f);
+        table[static_cast<std::size_t>(a) * n +
+              static_cast<std::size_t>(b)] = penalty;
+        table[static_cast<std::size_t>(b) * n +
+              static_cast<std::size_t>(a)] = penalty;
+    }
+    return table;
+}
+
+} // namespace
+
+std::string
+NoiseRoutePass::spec() const
+{
+    if (_weight == kDefaultWeight) {
+        return name();
+    }
+    return name() + "=" + shortestDouble(_weight);
+}
+
+void
+NoiseRoutePass::run(PassContext &ctx) const
+{
+    beginRouting(ctx, name());
+    const std::size_t n = static_cast<std::size_t>(ctx.graph.numQubits());
+    const std::vector<double> penalties = swapPenaltyTable(ctx.target());
+    auto raw_penalty = [&penalties, n](int a, int b) {
+        return penalties[static_cast<std::size_t>(a) * n +
+                         static_cast<std::size_t>(b)];
+    };
+
+    const double weight = _weight;
+    const SabreRouter router([raw_penalty, weight](int a, int b) {
+        return weight * raw_penalty(a, b);
+    });
+    Rng rng(ctx.seed);
+    RoutingResult routed =
+        router.route(ctx.circuit, ctx.graph, *ctx.initial_layout, rng);
+
+    // Total (unweighted) SWAP penalty of the routed circuit — the
+    // -log-fidelity cost score-fidelity will charge for its SWAPs.
+    double penalty_total = 0.0;
+    for (const auto &op : routed.circuit.instructions()) {
+        if (op.isSwap()) {
+            penalty_total += raw_penalty(op.q0(), op.q1());
+        }
+    }
+    finishRouting(ctx, std::move(routed));
+    ctx.properties.set("noise_route_penalty", penalty_total);
+}
+
+} // namespace snail

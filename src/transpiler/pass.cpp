@@ -37,27 +37,38 @@ PropertySet::contains(const std::string &key) const
 }
 
 void
-RoutePassBase::run(PassContext &ctx) const
+beginRouting(PassContext &ctx, const std::string &pass_name)
 {
     // Routing maps virtual qubits to physical ones; a second routing
     // pass would re-map the already-physical circuit against the stale
     // virtual layout and corrupt the layout bookkeeping.
     SNAIL_REQUIRE(!ctx.final_layout,
-                  name() << ": circuit is already routed; a pipeline may "
-                            "only contain one routing pass");
+                  pass_name << ": circuit is already routed; a pipeline "
+                               "may only contain one routing pass");
     if (!ctx.initial_layout) {
         ctx.initial_layout = trivialLayout(ctx.circuit, ctx.graph);
     }
-    // A fresh Rng(seed) per routing pass reproduces the legacy pipeline
-    // stream and keeps routing independent of earlier passes.
-    Rng rng(ctx.seed);
-    RoutingResult routed =
-        router().route(ctx.circuit, ctx.graph, *ctx.initial_layout, rng);
+}
+
+void
+finishRouting(PassContext &ctx, RoutingResult &&routed)
+{
     ctx.circuit = std::move(routed.circuit);
     ctx.initial_layout = std::move(routed.initial_layout);
     ctx.final_layout = std::move(routed.final_layout);
     ctx.properties.increment("swaps_added",
                              static_cast<double>(routed.swaps_added));
+}
+
+void
+RoutePassBase::run(PassContext &ctx) const
+{
+    beginRouting(ctx, name());
+    // A fresh Rng(seed) per routing pass reproduces the legacy pipeline
+    // stream and keeps routing independent of earlier passes.
+    Rng rng(ctx.seed);
+    finishRouting(ctx, router().route(ctx.circuit, ctx.graph,
+                                      *ctx.initial_layout, rng));
 }
 
 } // namespace snail

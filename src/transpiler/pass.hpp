@@ -3,15 +3,17 @@
  * The transpiler's composable pass abstraction.
  *
  * A Pass is a named, stateless-at-run-time transformation of a
- * PassContext: the circuit being compiled, the device coupling graph,
- * the virtual-to-physical layouts, the native basis, the job seed, and
- * a string-keyed PropertySet where passes publish metrics.  Passes are
- * assembled into pipelines by the PassManager (pass_manager.hpp) and
- * looked up by name through the PassRegistry (pass_registry.hpp).
+ * PassContext: the circuit being compiled, the Target device model
+ * (coupling graph plus per-edge and per-qubit calibration — see
+ * target/target.hpp), the virtual-to-physical layouts, the scoring
+ * basis, the job seed, and a string-keyed PropertySet where passes
+ * publish metrics.  Passes are assembled into pipelines by the
+ * PassManager (pass_manager.hpp) and looked up by name through the
+ * PassRegistry (pass_registry.hpp).
  *
  * Determinism contract: a pass must derive any randomness it needs from
  * the context's job seed (rngFor / Rng::stream), never from global
- * state, so that a pipeline's output depends only on (circuit, graph,
+ * state, so that a pipeline's output depends only on (circuit, target,
  * seed, pipeline spec) — independent of what ran before it and of how
  * many worker threads a batch uses.
  */
@@ -20,11 +22,13 @@
 #define SNAILQC_TRANSPILER_PASS_HPP
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "common/rng.hpp"
 #include "ir/circuit.hpp"
+#include "target/target.hpp"
 #include "topology/coupling_graph.hpp"
 #include "transpiler/layout.hpp"
 #include "weyl/basis_counts.hpp"
@@ -58,16 +62,43 @@ class PropertySet
 /** Everything a pass may read or transform during a pipeline run. */
 struct PassContext
 {
-    PassContext(Circuit c, const CouplingGraph &g, BasisSpec b,
-                unsigned long long job_seed)
-        : circuit(std::move(c)), graph(g), basis(std::move(b)),
-          seed(job_seed), rng(job_seed)
+    /**
+     * Compile against a device model.  The target must outlive the
+     * context (PassManager::run keeps it alive for the duration).
+     */
+    PassContext(Circuit c, const Target &t, unsigned long long job_seed)
+        : circuit(std::move(c)), _target(&t), graph(t.graph()),
+          basis(t.defaultBasis()), seed(job_seed), rng(job_seed)
     {
     }
 
-    Circuit circuit;            //!< current circuit (passes transform it)
-    const CouplingGraph &graph; //!< target device
-    BasisSpec basis;            //!< native basis used for scoring
+    /**
+     * Legacy device surface: wraps (graph, basis) into an owned uniform
+     * Target with ideal calibration.  Deprecated — prefer the Target
+     * constructor; this shim exists so PR-1-era pipelines keep
+     * producing bit-identical results.
+     */
+    PassContext(Circuit c, const CouplingGraph &g, BasisSpec b,
+                unsigned long long job_seed)
+        : circuit(std::move(c)),
+          _owned(std::make_shared<Target>(Target::uniform(g, b))),
+          _target(_owned.get()), graph(_target->graph()),
+          basis(std::move(b)), seed(job_seed), rng(job_seed)
+    {
+    }
+
+    Circuit circuit; //!< current circuit (passes transform it)
+
+  private:
+    std::shared_ptr<const Target> _owned; //!< set by the legacy ctor
+    const Target *_target;                //!< never null
+
+  public:
+    /** The device model: graph plus per-edge/per-qubit calibration. */
+    const Target &target() const { return *_target; }
+
+    const CouplingGraph &graph; //!< target's coupling graph (shorthand)
+    BasisSpec basis;            //!< basis used by uniform scoring
     unsigned long long seed;    //!< job seed: the root of all randomness
     Rng rng;                    //!< shared stream for ad-hoc user passes
 
@@ -75,6 +106,12 @@ struct PassContext
     std::optional<Layout> initial_layout;
     /** Set by routing passes; tracks the post-circuit permutation. */
     std::optional<Layout> final_layout;
+
+    /**
+     * Set by "basis=auto": scoring should use the target's per-edge
+     * bases (heterogeneous translation) instead of the single `basis`.
+     */
+    bool score_target_bases = false;
 
     PropertySet properties; //!< metrics published by the passes
 

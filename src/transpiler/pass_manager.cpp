@@ -80,10 +80,8 @@ PassManager::spec() const
 }
 
 TranspileResult
-PassManager::run(const Circuit &circuit, const CouplingGraph &graph,
-                 unsigned long long seed, const BasisSpec &basis) const
+PassManager::runContext(PassContext &ctx) const
 {
-    PassContext ctx(circuit, graph, basis, seed);
     std::vector<PassStat> stats;
     stats.reserve(_passes.size() + 1);
     for (const auto &pass : _passes) {
@@ -95,7 +93,7 @@ PassManager::run(const Circuit &circuit, const CouplingGraph &graph,
 
     Layout initial = ctx.initial_layout
                          ? std::move(*ctx.initial_layout)
-                         : trivialLayout(ctx.circuit, graph);
+                         : trivialLayout(ctx.circuit, ctx.graph);
     Layout final_layout =
         ctx.final_layout ? std::move(*ctx.final_layout) : initial;
     TranspileResult result(std::move(ctx.circuit), std::move(initial),
@@ -104,6 +102,22 @@ PassManager::run(const Circuit &circuit, const CouplingGraph &graph,
     result.pass_stats = std::move(stats);
     result.properties = std::move(ctx.properties);
     return result;
+}
+
+TranspileResult
+PassManager::run(const Circuit &circuit, const Target &target,
+                 unsigned long long seed) const
+{
+    PassContext ctx(circuit, target, seed);
+    return runContext(ctx);
+}
+
+TranspileResult
+PassManager::run(const Circuit &circuit, const CouplingGraph &graph,
+                 unsigned long long seed, const BasisSpec &basis) const
+{
+    PassContext ctx(circuit, graph, basis, seed);
+    return runContext(ctx);
 }
 
 std::vector<TranspileResult>

@@ -103,12 +103,28 @@ class PassManager
      */
     std::string spec() const;
 
-    /** Run the pipeline on one job. */
+    /**
+     * Run the pipeline on one job against a device model.  The target
+     * supplies the coupling graph, the default scoring basis, and the
+     * per-edge/per-qubit calibration the noise-aware passes read.
+     */
+    TranspileResult run(const Circuit &circuit, const Target &target,
+                        unsigned long long seed = kDefaultTranspileSeed)
+        const;
+
+    /**
+     * Legacy device surface: run against a bare (graph, basis) pair.
+     * Deprecated — wraps the pair into a uniform ideal-calibration
+     * Target (bit-identical metrics); prefer the Target overload.
+     */
     TranspileResult run(const Circuit &circuit, const CouplingGraph &graph,
                         unsigned long long seed = kDefaultTranspileSeed,
                         const BasisSpec &basis = BasisSpec{}) const;
 
   private:
+    /** Shared run loop: instrument, implicit score, package results. */
+    TranspileResult runContext(PassContext &ctx) const;
+
     std::vector<std::shared_ptr<const Pass>> _passes;
 };
 

@@ -53,6 +53,26 @@ noArg(const std::string &pass, const std::string &arg)
                   pass << " takes no argument (got '" << arg << "')");
 }
 
+/** Parse a floating-point spec argument. */
+double
+doubleArg(const std::string &pass, const std::string &arg, double lo,
+          double hi)
+{
+    std::size_t consumed = 0;
+    double value = 0.0;
+    try {
+        value = std::stod(arg, &consumed);
+    } catch (const std::exception &) {
+        consumed = 0;
+    }
+    SNAIL_REQUIRE(consumed == arg.size() && !arg.empty(),
+                  pass << ": malformed number argument '" << arg << "'");
+    SNAIL_REQUIRE(value >= lo && value <= hi,
+                  pass << ": argument " << value << " outside [" << lo
+                       << ", " << hi << "]");
+    return value;
+}
+
 void
 registerBuiltins(std::map<std::string, PassRegistration> &rows)
 {
@@ -118,6 +138,16 @@ registerBuiltins(std::map<std::string, PassRegistration> &rows)
             noArg("lookahead-route", arg);
             return std::make_shared<LookaheadRoutePass>();
         });
+    add("noise-route",
+        "fidelity-aware SABRE router penalizing SWAPs on low-fidelity "
+        "edges",
+        "penalty weight >= 0 (default 1)",
+        [](const std::string &arg) -> std::shared_ptr<const Pass> {
+            const double weight =
+                arg.empty() ? NoiseRoutePass::kDefaultWeight
+                            : doubleArg("noise-route", arg, 0.0, 1e6);
+            return std::make_shared<NoiseRoutePass>(weight);
+        });
 
     // Rewrite.
     add("optimize", "peephole optimization to a fixpoint",
@@ -136,17 +166,30 @@ registerBuiltins(std::map<std::string, PassRegistration> &rows)
         });
 
     // Scoring.
-    add("basis", "select the native basis used for scoring",
-        "cx|sqiswap|iswap|syc (required)",
+    add("basis",
+        "select the scoring basis; auto = the target's per-edge bases",
+        "cx|sqiswap|iswap|syc|auto (required)",
         [](const std::string &arg) -> std::shared_ptr<const Pass> {
             SNAIL_REQUIRE(!arg.empty(),
                           "basis needs an argument, e.g. basis=sqiswap");
+            if (arg == "auto") {
+                return std::make_shared<SetBasisPass>(
+                    SetBasisPass::FromTarget{});
+            }
             return std::make_shared<SetBasisPass>(parseBasisSpec(arg));
         });
     add("score", "publish the paper's Fig. 10 metrics", "",
         [](const std::string &arg) -> std::shared_ptr<const Pass> {
             noArg("score", arg);
             return std::make_shared<ScoreMetricsPass>();
+        });
+    add("score-fidelity",
+        "predicted circuit fidelity from the target's calibration "
+        "(Eq. 12/13)",
+        "",
+        [](const std::string &arg) -> std::shared_ptr<const Pass> {
+            noArg("score-fidelity", arg);
+            return std::make_shared<ScoreFidelityPass>();
         });
 }
 

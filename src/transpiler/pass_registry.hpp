@@ -18,9 +18,9 @@
  *
  *   layout:   trivial | dense | sabre-layout[=iters] | vf2 | vf2-strict
  *   routing:  basic-route | stochastic-route[=trials] | sabre-route |
- *             lookahead-route
+ *             lookahead-route | noise-route[=weight]
  *   rewrite:  optimize[=level] | elide
- *   scoring:  basis=<cx|sqiswap|iswap|syc> | score
+ *   scoring:  basis=<cx|sqiswap|iswap|syc|auto> | score | score-fidelity
  *
  * A pipeline that never runs "score" is scored implicitly at the end by
  * the PassManager, so terse specs like "dense,sabre-route" still yield

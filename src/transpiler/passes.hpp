@@ -93,6 +93,14 @@ class Vf2LayoutPass : public Pass
 /** @{ */
 
 /**
+ * Shared routing-adapter bookkeeping: reject double routing and default
+ * the initial layout (begin); install the result and publish
+ * "swaps_added" (finish).  Used by RoutePassBase and NoiseRoutePass.
+ */
+void beginRouting(PassContext &ctx, const std::string &pass_name);
+void finishRouting(PassContext &ctx, RoutingResult &&routed);
+
+/**
  * Base for routing adapters: routes ctx.circuit with the wrapped
  * Router, starting from ctx.initial_layout (trivial when unset), and
  * publishes the "swaps_added" property.  The router draws from a fresh
@@ -168,6 +176,37 @@ class LookaheadRoutePass : public RoutePassBase
     LookaheadRouter _router;
 };
 
+/**
+ * Fidelity-aware router ("noise-route"): SABRE-style lookahead search
+ * whose SWAP cost adds a penalty proportional to the SWAP's predicted
+ * infidelity on the edge it would execute on — the per-pulse count of
+ * a SWAP in the edge's native basis times -log(edge fidelity), scaled
+ * by `weight` — so equal-distance alternatives resolve toward
+ * high-fidelity couplings and badly calibrated edges are avoided
+ * unless the detour is worse.  Reads EdgeProperties from the context's
+ * Target; on a uniform target every edge costs the same and the pass
+ * routes identically to plain "sabre-route".  Publishes "swaps_added"
+ * and "noise_route_penalty" (the routed circuit's total unweighted
+ * SWAP penalty).
+ */
+class NoiseRoutePass : public Pass
+{
+  public:
+    static constexpr double kDefaultWeight = 1.0;
+
+    explicit NoiseRoutePass(double weight = kDefaultWeight)
+        : _weight(weight)
+    {
+    }
+
+    std::string name() const override { return "noise-route"; }
+    std::string spec() const override;
+    void run(PassContext &ctx) const override;
+
+  private:
+    double _weight;
+};
+
 /** @} */
 
 /** @name Circuit-rewrite and scoring passes. */
@@ -200,11 +239,27 @@ class ElideSwapsPass : public Pass
     void run(PassContext &ctx) const override;
 };
 
-/** Select the native basis used by subsequent scoring ("basis=<name>"). */
+/**
+ * Select the native basis used by subsequent scoring ("basis=<name>").
+ * The "basis=auto" form instead adopts the context target's device
+ * calibration: the default basis for uniform scoring, plus the
+ * per-edge bases for translation scoring on heterogeneous targets
+ * (score_target_bases).
+ */
 class SetBasisPass : public Pass
 {
   public:
-    explicit SetBasisPass(BasisSpec basis) : _basis(std::move(basis)) {}
+    /** Tag selecting the target-driven ("auto") mode. */
+    struct FromTarget
+    {
+    };
+
+    explicit SetBasisPass(BasisSpec basis)
+        : _basis(std::move(basis)), _fromTarget(false)
+    {
+    }
+
+    explicit SetBasisPass(FromTarget) : _fromTarget(true) {}
 
     std::string name() const override { return "basis"; }
     std::string spec() const override;
@@ -212,6 +267,7 @@ class SetBasisPass : public Pass
 
   private:
     BasisSpec _basis;
+    bool _fromTarget;
 };
 
 /**
@@ -225,6 +281,28 @@ class ScoreMetricsPass : public Pass
 {
   public:
     std::string name() const override { return "score"; }
+    void run(PassContext &ctx) const override;
+};
+
+/**
+ * Predicted circuit fidelity from the target's per-edge and per-qubit
+ * calibration via the paper's Eq. 12/13 model ("score-fidelity").
+ *
+ * Every 2Q operation on edge (a, b) contributes
+ * edge.fidelity_2q ^ k(op), where k is the operation's analytic pulse
+ * count in the edge's native basis; 1Q gates contribute the host
+ * qubit's fidelity_1q; and qubits with a finite T2 lose exp(-idle/T2)
+ * while waiting for the circuit's per-edge-duration makespan.  The
+ * circuit must be routed (every 2Q op on a coupled pair).
+ *
+ * Publishes: fidelity_predicted, fidelity_2q_part, fidelity_1q_part,
+ * fidelity_idle_part, fidelity_makespan.  Does NOT publish "scored" —
+ * the standard Fig. 10 metric pass still runs (implicitly) alongside.
+ */
+class ScoreFidelityPass : public Pass
+{
+  public:
+    std::string name() const override { return "score-fidelity"; }
     void run(PassContext &ctx) const override;
 };
 

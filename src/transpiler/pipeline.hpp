@@ -82,7 +82,16 @@ struct TranspileOptions
  */
 PassManager passManagerFromOptions(const TranspileOptions &options);
 
-/** Run layout, routing, and basis-translation scoring. */
+/**
+ * Run layout, routing, and basis-translation scoring.
+ *
+ * @deprecated Thin shim over the Target device model: the
+ * (graph, options.basis) pair is wrapped into a uniform
+ * ideal-calibration Target (target/target.hpp), producing bit-for-bit
+ * the PR-1 metrics.  New code should build a Target (or load one from
+ * a JSON device file) and call PassManager::run(circuit, target, seed)
+ * so the noise-aware passes can see real per-edge calibration.
+ */
 TranspileResult transpile(const Circuit &circuit, const CouplingGraph &graph,
                           const TranspileOptions &options);
 

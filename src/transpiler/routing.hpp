@@ -17,6 +17,7 @@
 #ifndef SNAILQC_TRANSPILER_ROUTING_HPP
 #define SNAILQC_TRANSPILER_ROUTING_HPP
 
+#include <functional>
 #include <memory>
 
 #include "common/rng.hpp"
@@ -87,15 +88,39 @@ class SabreRouter : public Router
 {
   public:
     /**
+     * Additive cost charged to a candidate SWAP on edge (a, b), on top
+     * of the distance heuristic.  The fidelity-aware "noise-route"
+     * pass supplies one derived from the target's EdgeProperties; an
+     * empty function charges nothing (plain SABRE).
+     */
+    using EdgePenaltyFn = std::function<double(int a, int b)>;
+
+    /** Default search tuning, shared with the noise-aware variant. */
+    static constexpr int kDefaultExtendedSize = 20;
+    static constexpr double kDefaultExtendedWeight = 0.5;
+    static constexpr double kDefaultDecayFactor = 0.001;
+
+    /**
      * @param extended_size lookahead window size.
      * @param extended_weight weight of the lookahead term.
      * @param decay_factor per-swap decay discouraging qubit ping-pong.
+     * @param swap_penalty optional per-edge SWAP cost (see EdgePenaltyFn).
      */
-    SabreRouter(int extended_size = 20, double extended_weight = 0.5,
-                double decay_factor = 0.001)
+    SabreRouter(int extended_size = kDefaultExtendedSize,
+                double extended_weight = kDefaultExtendedWeight,
+                double decay_factor = kDefaultDecayFactor,
+                EdgePenaltyFn swap_penalty = {})
         : _extendedSize(extended_size),
           _extendedWeight(extended_weight),
-          _decayFactor(decay_factor)
+          _decayFactor(decay_factor),
+          _swapPenalty(std::move(swap_penalty))
+    {
+    }
+
+    /** Default tuning with a per-edge SWAP penalty ("noise-route"). */
+    explicit SabreRouter(EdgePenaltyFn swap_penalty)
+        : SabreRouter(kDefaultExtendedSize, kDefaultExtendedWeight,
+                      kDefaultDecayFactor, std::move(swap_penalty))
     {
     }
 
@@ -107,6 +132,7 @@ class SabreRouter : public Router
     int _extendedSize;
     double _extendedWeight;
     double _decayFactor;
+    EdgePenaltyFn _swapPenalty;
 };
 
 /**

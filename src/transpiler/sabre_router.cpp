@@ -91,7 +91,9 @@ SabreRouter::route(const Circuit &circuit, const CouplingGraph &graph,
             }
             const double d = std::max(decay[static_cast<std::size_t>(a)],
                                       decay[static_cast<std::size_t>(b)]);
-            return d * (front_cost + _extendedWeight * ext_cost);
+            const double penalty =
+                _swapPenalty ? _swapPenalty(a, b) : 0.0;
+            return d * (front_cost + _extendedWeight * ext_cost) + penalty;
         };
 
         // Candidate swaps: edges touching front-gate qubits.

@@ -1,0 +1,551 @@
+/**
+ * @file
+ * Tests for the Target device model: construction and per-edge/qubit
+ * property lookup, Eq. 12 fidelity scaling, JSON round-trips and file
+ * I/O, uniform-target equivalence with the legacy (graph, basis)
+ * pipelines (bit-for-bit), the noise-aware passes (noise-route on a
+ * rigged two-path device, basis=auto heterogeneous scoring,
+ * score-fidelity), and the typed DisconnectedError surfacing from
+ * routing on a broken device.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "circuits/circuits.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "gates/gate.hpp"
+#include "sim/equivalence.hpp"
+#include "target/target.hpp"
+#include "topology/registry.hpp"
+#include "transpiler/hetero_basis.hpp"
+#include "transpiler/pass_registry.hpp"
+#include "transpiler/passes.hpp"
+#include "transpiler/pipeline.hpp"
+
+namespace snail
+{
+namespace
+{
+
+/** Diamond device: two equal-length paths 0-1-3 (good) and 0-2-3 (bad). */
+Target
+riggedTwoPath()
+{
+    CouplingGraph g(4, "two-path-rigged-4");
+    g.addEdge(0, 1);
+    g.addEdge(1, 3);
+    g.addEdge(0, 2);
+    g.addEdge(2, 3);
+    EdgeProperties good;
+    good.basis = BasisSpec{BasisKind::SqISwap};
+    good.fidelity_2q = 0.999;
+    Target target(std::move(g), good);
+    EdgeProperties bad = good;
+    bad.fidelity_2q = 0.6;
+    target.setEdgeProperties(0, 2, bad);
+    target.setEdgeProperties(2, 3, bad);
+    return target;
+}
+
+/** Two sqrt(iSWAP) chiplets bridged by low-fidelity CX links. */
+Target
+chipletTarget()
+{
+    CouplingGraph graph(16, "chiplet-hetero-16");
+    for (int base : {0, 8}) {
+        for (int i = 0; i < 8; ++i) {
+            graph.addEdge(base + i, base + (i + 1) % 8);
+        }
+        for (int i = 0; i < 4; ++i) {
+            graph.addEdge(base + i, base + i + 4);
+        }
+    }
+    graph.addEdge(3, 11);
+    graph.addEdge(7, 15);
+
+    EdgeProperties intra;
+    intra.basis = BasisSpec{BasisKind::SqISwap};
+    intra.fidelity_2q = 0.995;
+    QubitProperties qubit;
+    qubit.fidelity_1q = 0.9999;
+    qubit.t2 = 400.0;
+    Target target(std::move(graph), intra, qubit);
+
+    EdgeProperties bridge;
+    bridge.basis = BasisSpec{BasisKind::CNOT};
+    bridge.fidelity_2q = 0.97;
+    bridge.duration = 1.0;
+    target.setEdgeProperties(3, 11, bridge);
+    target.setEdgeProperties(7, 15, bridge);
+
+    QubitProperties iface;
+    iface.fidelity_1q = 0.999;
+    iface.t2 = 150.0;
+    target.setQubitProperties(3, iface);
+    target.setQubitProperties(11, iface);
+    return target;
+}
+
+void
+expectSameMetrics(const TranspileMetrics &a, const TranspileMetrics &b,
+                  const std::string &label)
+{
+    EXPECT_EQ(a.swaps_total, b.swaps_total) << label;
+    EXPECT_DOUBLE_EQ(a.swaps_critical, b.swaps_critical) << label;
+    EXPECT_EQ(a.ops_2q_pre, b.ops_2q_pre) << label;
+    EXPECT_EQ(a.basis_2q_total, b.basis_2q_total) << label;
+    EXPECT_DOUBLE_EQ(a.basis_2q_critical, b.basis_2q_critical) << label;
+    EXPECT_DOUBLE_EQ(a.duration_total, b.duration_total) << label;
+    EXPECT_DOUBLE_EQ(a.duration_critical, b.duration_critical) << label;
+}
+
+TEST(Target, PropertyLookupAndOverrides)
+{
+    Target target = chipletTarget();
+    EXPECT_EQ(target.numQubits(), 16);
+    EXPECT_EQ(target.name(), "chiplet-hetero-16");
+    EXPECT_TRUE(target.isHeterogeneous());
+    EXPECT_EQ(target.overriddenEdges(), 2u);
+
+    // Intra-chiplet edges inherit the default; order is symmetric.
+    EXPECT_EQ(target.edge(0, 1).basis.kind, BasisKind::SqISwap);
+    EXPECT_DOUBLE_EQ(target.edge(1, 0).fidelity_2q, 0.995);
+    // The bridge override applies in both orders.
+    EXPECT_EQ(target.edge(3, 11).basis.kind, BasisKind::CNOT);
+    EXPECT_EQ(target.edge(11, 3).basis.kind, BasisKind::CNOT);
+    EXPECT_DOUBLE_EQ(target.edge(11, 3).fidelity_2q, 0.97);
+    // Qubit overrides.
+    EXPECT_DOUBLE_EQ(target.qubit(3).t2, 150.0);
+    EXPECT_DOUBLE_EQ(target.qubit(4).t2, 400.0);
+
+    // Unknown couplings and out-of-range qubits are rejected.
+    EXPECT_THROW(target.edge(0, 9), SnailError);
+    EXPECT_THROW(target.qubit(16), SnailError);
+    EXPECT_THROW(target.setEdgeProperties(0, 9, EdgeProperties{}),
+                 SnailError);
+    EXPECT_THROW(target.setQubitProperties(-1, QubitProperties{}),
+                 SnailError);
+
+    // Pulse durations: basis default unless overridden.
+    EXPECT_DOUBLE_EQ(target.edge(0, 1).pulseDuration(), 0.5);
+    EXPECT_DOUBLE_EQ(target.edge(3, 11).pulseDuration(), 1.0);
+}
+
+TEST(Target, Eq12FidelityScaling)
+{
+    // A full-length pulse keeps the base fidelity; the n-root family
+    // divides the infidelity by n (Eq. 12).
+    const double base = 0.99;
+    EXPECT_DOUBLE_EQ(
+        basisPulseFidelity(BasisSpec{BasisKind::CNOT}, base), base);
+    EXPECT_DOUBLE_EQ(
+        basisPulseFidelity(BasisSpec{BasisKind::Sycamore}, base), base);
+    EXPECT_DOUBLE_EQ(
+        basisPulseFidelity(BasisSpec{BasisKind::ISwap}, base), base);
+    EXPECT_DOUBLE_EQ(
+        basisPulseFidelity(BasisSpec{BasisKind::SqISwap}, base),
+        1.0 - (1.0 - base) / 2.0);
+    EXPECT_THROW(basisPulseFidelity(BasisSpec{}, 0.0), SnailError);
+
+    // targetFromBackend applies the scaling to the backend's basis.
+    const Backend backend = makeBackend("tree-20", BasisKind::SqISwap);
+    const Target target = targetFromBackend(backend, 0.99, 0.9999);
+    EXPECT_EQ(target.name(), backend.name);
+    EXPECT_DOUBLE_EQ(target.defaultEdge().fidelity_2q, 0.995);
+    EXPECT_DOUBLE_EQ(target.defaultQubit().fidelity_1q, 0.9999);
+    EXPECT_FALSE(target.isHeterogeneous());
+}
+
+TEST(Target, BuiltinRegistry)
+{
+    const std::vector<Target> targets = builtinTargets();
+    EXPECT_EQ(targets.size(),
+              fig13Backends().size() + fig14Backends().size());
+    const Target tree = namedTarget("tree-20-sqiswap");
+    EXPECT_EQ(tree.numQubits(), 20);
+    EXPECT_EQ(tree.defaultBasis().kind, BasisKind::SqISwap);
+    EXPECT_THROW(namedTarget("no-such-machine"), SnailError);
+}
+
+TEST(Target, JsonRoundTrip)
+{
+    const Target original = chipletTarget();
+    const JsonValue json = targetToJson(original);
+    const Target reloaded = targetFromJson(json);
+
+    EXPECT_EQ(reloaded.name(), original.name());
+    EXPECT_EQ(reloaded.numQubits(), original.numQubits());
+    EXPECT_EQ(reloaded.graph().edges(), original.graph().edges());
+    for (const auto &[a, b] : original.graph().edges()) {
+        EXPECT_TRUE(reloaded.edge(a, b) == original.edge(a, b))
+            << "edge (" << a << ", " << b << ")";
+    }
+    for (int q = 0; q < original.numQubits(); ++q) {
+        EXPECT_TRUE(reloaded.qubit(q) == original.qubit(q)) << "qubit " << q;
+    }
+    // Serializing the reloaded target reproduces the document exactly.
+    EXPECT_EQ(targetToJson(reloaded), json);
+    // And the text form re-parses to the same document.
+    EXPECT_EQ(JsonValue::parse(json.dump(2)), json);
+}
+
+TEST(Target, JsonRoundTripKeepsDurationSentinelUnderExplicitDefault)
+{
+    // Regression: an override edge using the basis-default duration
+    // (sentinel -1) on a target whose default edge has an explicit
+    // duration used to inherit that explicit value on reload,
+    // silently doubling the edge's pulse time.
+    CouplingGraph g(2, "sentinel");
+    g.addEdge(0, 1);
+    EdgeProperties slow;
+    slow.basis = BasisSpec{BasisKind::SqISwap};
+    slow.duration = 1.0; // explicit, non-basis-default
+    Target target(std::move(g), slow);
+    EdgeProperties fast;
+    fast.basis = BasisSpec{BasisKind::SqISwap};
+    fast.fidelity_2q = 0.9;
+    fast.duration = -1.0; // basis default: 0.5
+    target.setEdgeProperties(0, 1, fast);
+    ASSERT_DOUBLE_EQ(target.edge(0, 1).pulseDuration(), 0.5);
+
+    const Target reloaded = targetFromJson(targetToJson(target));
+    EXPECT_DOUBLE_EQ(reloaded.edge(0, 1).pulseDuration(), 0.5);
+    EXPECT_DOUBLE_EQ(reloaded.defaultEdge().pulseDuration(), 1.0);
+}
+
+TEST(Target, OptimisticSycEdgesDoNotShareCachedCounts)
+{
+    // Regression: the per-edge basis-count cache keyed on the basis
+    // *name*, which is "syc" for both counting modes; two CX gates on
+    // edges differing only in optimistic_syc must score 4 and 3.
+    CouplingGraph g(3, "syc-mix");
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    BasisSpec syc{BasisKind::Sycamore};
+    HeterogeneousBasis bases(g, syc);
+    BasisSpec optimistic = syc;
+    optimistic.optimistic_syc = true;
+    bases.setEdgeBasis(1, 2, optimistic);
+
+    Circuit c(3, "two-cx");
+    c.append(gates::cx(), {0, 1});
+    c.append(gates::cx(), {1, 2});
+    const TranslationStats stats = heterogeneousTranslationStats(c, bases);
+    EXPECT_EQ(stats.total_2q, 7u); // 4 (analytic) + 3 (optimistic)
+}
+
+TEST(Target, JsonFileIoAndValidation)
+{
+    const std::string path = "test_target_device.json";
+    const Target original = riggedTwoPath();
+    saveTargetFile(original, path);
+    const Target loaded = loadTargetFile(path);
+    EXPECT_EQ(loaded.name(), original.name());
+    EXPECT_EQ(targetToJson(loaded), targetToJson(original));
+    std::remove(path.c_str());
+
+    EXPECT_THROW(loadTargetFile("definitely/not/here.json"), SnailError);
+
+    // Schema validation: missing keys, bad ranges, malformed edges.
+    EXPECT_THROW(targetFromJson(JsonValue::parse(R"({"edges": []})")),
+                 SnailError);
+    EXPECT_THROW(targetFromJson(JsonValue::parse(
+                     R"({"qubits": 2, "edges": [[0]]})")),
+                 SnailError);
+    EXPECT_THROW(targetFromJson(JsonValue::parse(
+                     R"({"qubits": 2, "edges": [[0, 5]]})")),
+                 SnailError);
+    EXPECT_THROW(
+        targetFromJson(JsonValue::parse(
+            R"({"qubits": 2,
+                "edges": [{"a": 0, "b": 1, "fidelity_2q": 1.5}]})")),
+        SnailError);
+    EXPECT_THROW(targetFromJson(JsonValue::parse(
+                     R"({"qubits": 0, "edges": []})")),
+                 SnailError);
+}
+
+TEST(Json, ParserCoversTheGrammar)
+{
+    const JsonValue doc = JsonValue::parse(
+        R"({"s": "a\"b\\c\ndA", "n": -1.5e2, "t": true, "f": false,
+            "z": null, "arr": [1, [2, 3], {"k": 4}], "empty": {}})");
+    EXPECT_EQ(doc.at("s").asString(), "a\"b\\c\ndA");
+    EXPECT_DOUBLE_EQ(doc.at("n").asNumber(), -150.0);
+    EXPECT_TRUE(doc.at("t").asBool());
+    EXPECT_FALSE(doc.at("f").asBool());
+    EXPECT_TRUE(doc.at("z").isNull());
+    EXPECT_EQ(doc.at("arr").asArray().size(), 3u);
+    EXPECT_EQ(doc.at("arr").asArray()[1].asArray()[1].asInt(), 3);
+    EXPECT_EQ(doc.at("arr").asArray()[2].at("k").asInt(), 4);
+    EXPECT_TRUE(doc.at("empty").asObject().empty());
+
+    // Compact and pretty dumps both re-parse to the same document.
+    EXPECT_EQ(JsonValue::parse(doc.dump()), doc);
+    EXPECT_EQ(JsonValue::parse(doc.dump(2)), doc);
+
+    for (const char *bad :
+         {"", "{", "[1,", "{\"a\" 1}", "tru", "\"unterminated",
+          "[1] trailing", "{\"a\": 1,}", "nan"}) {
+        EXPECT_THROW(JsonValue::parse(bad), SnailError) << bad;
+    }
+    EXPECT_THROW(JsonValue(true).asNumber(), SnailError);
+    EXPECT_THROW(JsonValue(1.5).asInt(), SnailError);
+    EXPECT_THROW(JsonValue("x").at("k"), SnailError);
+}
+
+TEST(Target, UniformTargetReproducesLegacyPipelinesBitForBit)
+{
+    // The acceptance criterion: a uniform Target must reproduce the
+    // PR-1 (graph, basis) pipeline metrics exactly, across layouts,
+    // routers, and devices.
+    const BasisSpec basis{BasisKind::SqISwap};
+    for (const char *topo : {"corral11-16", "tree-20", "heavy-hex-20"}) {
+        const CouplingGraph graph = namedTopology(topo);
+        const Target uniform = Target::uniform(graph, basis);
+        for (const char *spec :
+             {"dense,stochastic-route=6,basis=sqiswap",
+              "vf2,sabre-route,elide,basis=sqiswap",
+              "sabre-layout,lookahead-route,basis=sqiswap,score",
+              "trivial,basic-route,basis=sqiswap"}) {
+            for (const Circuit &circuit :
+                 {qft(8), ghz(8), quantumVolume(8, 8, 5)}) {
+                const std::string label = std::string(topo) + " " + spec +
+                                          " " + circuit.name();
+                const PassManager pm = passManagerFromSpec(spec);
+                const TranspileResult legacy =
+                    pm.run(circuit, graph, 37, basis);
+                const TranspileResult via_target =
+                    pm.run(circuit, uniform, 37);
+                expectSameMetrics(legacy.metrics, via_target.metrics,
+                                  label);
+                EXPECT_EQ(legacy.routed.size(), via_target.routed.size())
+                    << label;
+                EXPECT_EQ(legacy.initial_layout.v2p(),
+                          via_target.initial_layout.v2p())
+                    << label;
+                EXPECT_EQ(legacy.final_layout.v2p(),
+                          via_target.final_layout.v2p())
+                    << label;
+            }
+        }
+    }
+
+    // The transpile() shim stays equivalent to the Target path, too.
+    TranspileOptions options;
+    options.stochastic_trials = 6;
+    options.basis = basis;
+    options.seed = 37;
+    const CouplingGraph graph = namedTopology("corral11-16");
+    const TranspileResult shim = transpile(qft(8), graph, options);
+    const TranspileResult via_target = passManagerFromOptions(options).run(
+        qft(8), Target::uniform(graph, basis), options.seed);
+    expectSameMetrics(shim.metrics, via_target.metrics, "transpile shim");
+}
+
+TEST(Target, NoiseRoutePrefersHighFidelityPath)
+{
+    // On the rigged diamond both paths have equal hop length, so a
+    // distance-only router breaks the tie arbitrarily; noise-route
+    // must put its SWAP on the high-fidelity 0-1-3 path, never
+    // touching the lossy qubit 2 — for every seed.
+    const Target rigged = riggedTwoPath();
+    Circuit c(4, "far-pair");
+    c.append(gates::cx(), {0, 3});
+
+    for (unsigned long long seed = 1; seed <= 24; ++seed) {
+        const TranspileResult r =
+            passManagerFromSpec("trivial,noise-route").run(c, rigged, seed);
+        EXPECT_EQ(r.metrics.swaps_total, 1u) << "seed " << seed;
+        for (const auto &op : r.routed.instructions()) {
+            for (Qubit q : op.qubits()) {
+                EXPECT_NE(q, 2) << "seed " << seed
+                                << ": routed through the lossy path";
+            }
+        }
+        EXPECT_GT(r.properties.get("swaps_added"), 0.0);
+        // The penalty actually paid is the good edge's, not the bad's.
+        EXPECT_LT(r.properties.get("noise_route_penalty"),
+                  3.0 * -std::log(0.9));
+        // The routed circuit still computes the original unitary.
+        Rng rng(seed);
+        EXPECT_TRUE(routedCircuitEquivalent(c, r.routed,
+                                            r.initial_layout.v2p(),
+                                            r.final_layout.v2p(), 2, rng))
+            << "seed " << seed;
+    }
+
+    // Spec round-trip including the weight argument — tiny weights
+    // must survive (std::to_string's 6 decimals would collapse 1e-07
+    // to "0").
+    EXPECT_EQ(passManagerFromSpec("noise-route").spec(), "noise-route");
+    EXPECT_EQ(passManagerFromSpec("noise-route=0.25").spec(),
+              "noise-route=0.25");
+    EXPECT_EQ(passManagerFromSpec("noise-route=1e-07").spec(),
+              "noise-route=1e-07");
+    EXPECT_EQ(passManagerFromSpec(
+                  passManagerFromSpec("noise-route=1e-07").spec())
+                  .spec(),
+              "noise-route=1e-07");
+    EXPECT_THROW(passManagerFromSpec("noise-route=x"), SnailError);
+    EXPECT_THROW(passManagerFromSpec("noise-route=-1"), SnailError);
+}
+
+TEST(Target, NoiseRouteReducesToSabreOnUniformTargets)
+{
+    // With no calibration contrast every SWAP costs the same penalty,
+    // so noise-route's choices must match plain sabre-route.
+    const CouplingGraph graph = namedTopology("heavy-hex-20");
+    const Target uniform =
+        Target::uniform(graph, BasisSpec{BasisKind::SqISwap}, 0.995);
+    for (unsigned long long seed : {3ULL, 11ULL}) {
+        const TranspileResult sabre =
+            passManagerFromSpec("dense,sabre-route").run(qft(10), uniform,
+                                                         seed);
+        const TranspileResult noise =
+            passManagerFromSpec("dense,noise-route").run(qft(10), uniform,
+                                                         seed);
+        expectSameMetrics(sabre.metrics, noise.metrics,
+                          "seed " + std::to_string(seed));
+        EXPECT_EQ(sabre.final_layout.v2p(), noise.final_layout.v2p());
+    }
+}
+
+TEST(Target, AutoBasisScoresPerEdgeOnHeterogeneousTargets)
+{
+    const Target chiplet = chipletTarget();
+    const Circuit circuit = qft(12);
+    const TranspileResult r =
+        passManagerFromSpec("dense,sabre-route,basis=auto")
+            .run(circuit, chiplet, 7);
+    EXPECT_DOUBLE_EQ(r.properties.get("scored_hetero"), 1.0);
+
+    // The scored totals equal an independent heterogeneous translation
+    // of the routed circuit.
+    const HeterogeneousBasis bases = chiplet.heterogeneousBasis();
+    const TranslationStats stats =
+        heterogeneousTranslationStats(r.routed, bases);
+    EXPECT_EQ(r.metrics.basis_2q_total, stats.total_2q);
+    EXPECT_DOUBLE_EQ(r.metrics.duration_total, stats.total_duration);
+    EXPECT_DOUBLE_EQ(r.metrics.basis_2q_critical, stats.critical_2q);
+
+    // On a uniform target, basis=auto is identical to naming the
+    // default basis explicitly.
+    const Target uniform = Target::uniform(namedTopology("corral11-16"),
+                                           BasisSpec{BasisKind::SqISwap});
+    const TranspileResult autod =
+        passManagerFromSpec("dense,stochastic-route=6,basis=auto")
+            .run(qft(8), uniform, 21);
+    const TranspileResult named =
+        passManagerFromSpec("dense,stochastic-route=6,basis=sqiswap")
+            .run(qft(8), uniform, 21);
+    expectSameMetrics(autod.metrics, named.metrics, "uniform auto");
+    EXPECT_FALSE(autod.properties.contains("scored_hetero"));
+}
+
+TEST(Target, ScoreFidelityMatchesHandComputation)
+{
+    // Single CX on a two-qubit device: CX needs 2 sqrt(iSWAP) pulses,
+    // so predicted fidelity = f2q^2 (no 1Q gates, no T2 set).
+    CouplingGraph g(2, "pair");
+    g.addEdge(0, 1);
+    Target pair =
+        Target::uniform(g, BasisSpec{BasisKind::SqISwap}, 0.99, 0.999);
+    Circuit c(2, "one-cx");
+    c.append(gates::cx(), {0, 1});
+    const TranspileResult r =
+        passManagerFromSpec("trivial,basic-route,score-fidelity")
+            .run(c, pair, 1);
+    EXPECT_NEAR(r.properties.get("fidelity_predicted"), 0.99 * 0.99,
+                1e-12);
+    EXPECT_NEAR(r.properties.get("fidelity_makespan"), 2 * 0.5, 1e-12);
+    EXPECT_DOUBLE_EQ(r.properties.get("fidelity_1q_part"), 1.0);
+    EXPECT_DOUBLE_EQ(r.properties.get("fidelity_idle_part"), 1.0);
+
+    // Adding a 1Q gate multiplies in the qubit's fidelity_1q.
+    Circuit c1(2, "h-cx");
+    c1.append(gates::h(), {0});
+    c1.append(gates::cx(), {0, 1});
+    const TranspileResult r1 =
+        passManagerFromSpec("trivial,basic-route,score-fidelity")
+            .run(c1, pair, 1);
+    EXPECT_NEAR(r1.properties.get("fidelity_predicted"),
+                0.999 * 0.99 * 0.99, 1e-12);
+
+    // T2 decay: the idle qubit of a three-qubit line decoheres while
+    // the busy pair works.
+    CouplingGraph line(3, "line");
+    line.addEdge(0, 1);
+    line.addEdge(1, 2);
+    Target coherent =
+        Target::uniform(line, BasisSpec{BasisKind::SqISwap}, 1.0, 1.0);
+    QubitProperties leaky;
+    leaky.fidelity_1q = 1.0;
+    leaky.t2 = 10.0;
+    coherent.setQubitProperties(2, leaky);
+    Circuit c2(3, "busy-pair");
+    c2.append(gates::cx(), {0, 1}); // 2 pulses * 0.5 = 1.0 time units
+    c2.append(gates::h(), {2});     // marks qubit 2 as carrying state
+    const TranspileResult r2 =
+        passManagerFromSpec("trivial,basic-route,score-fidelity")
+            .run(c2, coherent, 1);
+    EXPECT_NEAR(r2.properties.get("fidelity_idle_part"),
+                std::exp(-1.0 / 10.0), 1e-12);
+
+    // Unrouted 2Q ops are rejected with a helpful error.
+    Circuit far(3, "far");
+    far.append(gates::cx(), {0, 2});
+    EXPECT_THROW(
+        passManagerFromSpec("score-fidelity").run(far, coherent, 1),
+        SnailError);
+}
+
+TEST(Target, DisconnectedDeviceSurfacesTypedErrorMidRouting)
+{
+    // Routing across a split device hits CouplingGraph::distance on a
+    // disconnected pair; the typed error (with pair and graph name)
+    // must surface through the pass pipeline.
+    CouplingGraph split(4, "split-device");
+    split.addEdge(0, 1);
+    split.addEdge(2, 3);
+    const Target target = Target::uniform(split, BasisSpec{});
+    Circuit c(4, "crossing");
+    c.append(gates::cx(), {0, 3});
+    for (const char *spec :
+         {"trivial,basic-route", "trivial,sabre-route",
+          "trivial,noise-route"}) {
+        try {
+            passManagerFromSpec(spec).run(c, target, 5);
+            FAIL() << spec << " on a disconnected device must throw";
+        } catch (const DisconnectedError &e) {
+            EXPECT_EQ(e.graphName(), "split-device") << spec;
+        }
+    }
+}
+
+TEST(Target, RegistersNoiseAwarePasses)
+{
+    std::vector<std::string> names;
+    for (const auto &row : registeredPasses()) {
+        names.push_back(row.name);
+    }
+    for (const char *expected : {"noise-route", "score-fidelity"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), expected),
+                  names.end())
+            << expected << " not registered";
+    }
+    // basis=auto round-trips through the spec grammar.
+    EXPECT_EQ(passManagerFromSpec("vf2,noise-route,basis=auto,"
+                                  "score-fidelity")
+                  .spec(),
+              "vf2,noise-route,basis=auto,score-fidelity");
+}
+
+} // namespace
+} // namespace snail

@@ -60,6 +60,31 @@ TEST(CouplingGraph, DisconnectedDetected)
     EXPECT_THROW(g.distance(0, 3), SnailError);
 }
 
+TEST(CouplingGraph, DisconnectedErrorCarriesPairAndGraphName)
+{
+    // Regression: distance() on a disconnected pair used to throw a
+    // bare SnailError; mid-routing failures now surface the typed
+    // DisconnectedError naming the pair and the device.
+    CouplingGraph g(5, "split-device");
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(3, 4);
+    try {
+        g.distance(2, 4);
+        FAIL() << "distance on a disconnected pair must throw";
+    } catch (const DisconnectedError &e) {
+        EXPECT_EQ(e.qubitA(), 2);
+        EXPECT_EQ(e.qubitB(), 4);
+        EXPECT_EQ(e.graphName(), "split-device");
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("2"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("4"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("split-device"), std::string::npos) << msg;
+    }
+    // DisconnectedError remains catchable as the SnailError family.
+    EXPECT_THROW(g.shortestPath(0, 3), SnailError);
+}
+
 TEST(CouplingGraph, AverageDistancePaperConvention)
 {
     // Complete graph on 4 nodes: 12 ordered distinct pairs at distance 1,

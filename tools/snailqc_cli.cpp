@@ -4,6 +4,9 @@
  *
  * Subcommands:
  *   topologies                       list registered topologies + metrics
+ *   targets [--export <name> <f>]    list built-in Targets (Table-1-style
+ *                                    properties + calibration); --export
+ *                                    writes one as a JSON device file
  *   passes                           list registered transpiler passes
  *                                    (also: --list-passes anywhere)
  *   coords <gate> [params...]        Weyl coordinates and basis counts
@@ -17,19 +20,32 @@
  *                                    run an arbitrary pass pipeline
  *                                    composed from a spec string
  *
+ * transpile and pipeline accept `--device <file.json|target-name>` in
+ * place of the <topology> (and <basis>) positionals: the device —
+ * loaded from a JSON description (schema: examples/devices/README.md)
+ * or looked up among the built-in targets — supplies topology, native
+ * bases, and calibration, so heterogeneous machines can be transpiled
+ * against without recompiling.
+ *
  * Examples:
  *   snailqc topologies
+ *   snailqc targets
+ *   snailqc targets --export tree-20-sqiswap my_device.json
  *   snailqc --list-passes
  *   snailqc coords fsim 1.5708 0.5236
  *   snailqc circuit qv 16
  *   snailqc parse my_circuit.qasm
  *   snailqc transpile qaoa 14 corral11-16 sqiswap stochastic 7
  *   snailqc transpile my_circuit.qasm 0 tree-20 sqiswap
+ *   snailqc transpile qft 8 --device examples/devices/chiplet-hetero-16.json
  *   snailqc pipeline qft 8 corral11-16 "vf2,sabre-route,elide,basis=sqiswap"
+ *   snailqc pipeline qft 8 --device chiplet.json \
+ *           "vf2,noise-route,basis=auto,score-fidelity" 7
  */
 
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -38,6 +54,7 @@
 #include "common/table.hpp"
 #include "ir/qasm.hpp"
 #include "ir/qasm_parser.hpp"
+#include "target/target.hpp"
 #include "topology/registry.hpp"
 #include "transpiler/pass_registry.hpp"
 #include "transpiler/pipeline.hpp"
@@ -54,6 +71,7 @@ usage()
     std::cerr <<
         "usage: snailqc <command> [args]\n"
         "  topologies\n"
+        "  targets [--export <target-name> <file.json>]\n"
         "  passes                      (or --list-passes)\n"
         "  coords <gate> [params...]   (cx, cz, swap, iswap, sqiswap,\n"
         "                               syc, b, cp t, rzz t, fsim t p,\n"
@@ -64,7 +82,12 @@ usage()
         "  transpile <bench|file.qasm> <width> <topology> <basis>\n"
         "            [basic|stochastic|sabre|lookahead] [seed]\n"
         "  pipeline <bench|file.qasm> <width> <topology> <pass-spec>\n"
-        "            [seed]           (see `snailqc passes`)\n";
+        "            [seed]           (see `snailqc passes`)\n"
+        "\n"
+        "transpile/pipeline also accept `--device <file.json|target-name>`\n"
+        "instead of the <topology>/<basis> positionals, e.g.\n"
+        "  snailqc pipeline qft 8 --device dev.json \\\n"
+        "          \"vf2,noise-route,basis=auto,score-fidelity\"\n";
     return 2;
 }
 
@@ -123,6 +146,70 @@ cmdTopologies()
     }
     table.print(std::cout);
     return 0;
+}
+
+int
+cmdTargets(const std::vector<std::string> &args)
+{
+    if (!args.empty() && args[0] == "--export") {
+        SNAIL_REQUIRE(args.size() >= 3,
+                      "targets --export needs <target-name> <file.json>");
+        const Target target = namedTarget(args[1]);
+        saveTargetFile(target, args[2]);
+        std::cout << "wrote " << target.name() << " (" << target.numQubits()
+                  << " qubits, " << target.graph().edgeCount()
+                  << " edges) to " << args[2] << "\n";
+        return 0;
+    }
+
+    // Table-1-style structural properties plus the device calibration.
+    TableWriter table({"target", "qubits", "edges", "Dia", "AvgD", "AvgC",
+                       "basis", "F2q/pulse", "F1q", "pulse"});
+    for (const Target &target : builtinTargets()) {
+        const CouplingGraph &g = target.graph();
+        const EdgeProperties &edge = target.defaultEdge();
+        table.addRow({target.name(), std::to_string(g.numQubits()),
+                      std::to_string(g.edgeCount()),
+                      std::to_string(g.diameter()),
+                      TableWriter::num(g.averageDistance(), 2),
+                      TableWriter::num(g.averageDegree(), 2),
+                      edge.basis.name(),
+                      TableWriter::num(edge.fidelity_2q, 4),
+                      TableWriter::num(target.defaultQubit().fidelity_1q, 4),
+                      TableWriter::num(edge.pulseDuration(), 2)});
+    }
+    table.print(std::cout);
+    std::cout <<
+        "\nF2q/pulse is the per-native-pulse fidelity (Eq. 12 scaling of\n"
+        "a 0.99 full-length pulse).  Export any row as an editable JSON\n"
+        "device file:  snailqc targets --export <target> <file.json>\n";
+    return 0;
+}
+
+/**
+ * Extract `--device <value>` from an argument list (erasing both
+ * tokens) and load the device: a .json path via loadTargetFile, any
+ * other value via the built-in target registry.
+ */
+std::optional<Target>
+takeDeviceArg(std::vector<std::string> &args)
+{
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] != "--device") {
+            continue;
+        }
+        SNAIL_REQUIRE(i + 1 < args.size(),
+                      "--device needs <file.json|target-name>");
+        const std::string value = args[i + 1];
+        args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                   args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+        if (value.size() > 5 &&
+            value.substr(value.size() - 5) == ".json") {
+            return loadTargetFile(value);
+        }
+        return namedTarget(value);
+    }
+    return std::nullopt;
 }
 
 int
@@ -204,11 +291,11 @@ cmdExport(const std::vector<std::string> &args)
 
 /** Print the Fig. 10 metrics plus the per-pass instrumentation. */
 void
-printTranspileResult(const Circuit &circuit, const CouplingGraph &device,
+printTranspileResult(const Circuit &circuit, const std::string &device_name,
                      const std::string &basis_name, const std::string &spec,
                      const TranspileResult &r)
 {
-    std::cout << circuit.name() << " on " << device.name() << " ("
+    std::cout << circuit.name() << " on " << device_name << " ("
               << basis_name << " basis), pipeline \"" << spec << "\":\n";
     TableWriter table({"metric", "value"});
     table.addRow({"SWAPs total", std::to_string(r.metrics.swaps_total)});
@@ -222,6 +309,23 @@ printTranspileResult(const Circuit &circuit, const CouplingGraph &device,
                   TableWriter::num(r.metrics.duration_critical, 1)});
     table.addRow({"pulse duration (total)",
                   TableWriter::num(r.metrics.duration_total, 1)});
+    if (r.properties.contains("scored_hetero")) {
+        table.addRow({"per-edge basis scoring", "yes"});
+    }
+    if (r.properties.contains("fidelity_predicted")) {
+        table.addRow({"predicted fidelity",
+                      TableWriter::num(
+                          r.properties.get("fidelity_predicted"), 4)});
+        table.addRow({"  2Q pulse part",
+                      TableWriter::num(
+                          r.properties.get("fidelity_2q_part"), 4)});
+        table.addRow({"  1Q gate part",
+                      TableWriter::num(
+                          r.properties.get("fidelity_1q_part"), 4)});
+        table.addRow({"  idle decoherence part",
+                      TableWriter::num(
+                          r.properties.get("fidelity_idle_part"), 4)});
+    }
     table.print(std::cout);
 
     std::cout << "\nper-pass instrumentation:\n";
@@ -244,62 +348,90 @@ loadCircuitArg(const std::vector<std::string> &args)
 }
 
 int
-cmdTranspile(const std::vector<std::string> &args)
+cmdTranspile(std::vector<std::string> args)
 {
-    SNAIL_REQUIRE(args.size() >= 4,
-                  "transpile needs <bench> <width> <topology> <basis>");
+    const std::optional<Target> device = takeDeviceArg(args);
+    SNAIL_REQUIRE(args.size() >= (device ? 2u : 4u),
+                  "transpile needs <bench> <width> <topology> <basis>, or "
+                  "<bench> <width> --device <file.json|target-name>");
     const Circuit circuit = loadCircuitArg(args);
-    const CouplingGraph device = namedTopology(args[2]);
 
+    // Positionals after <bench> <width>: without --device, <topology>
+    // and <basis> come first; with it, the device supplies both.
+    std::size_t next = device ? 2 : 4;
     TranspileOptions options;
-    options.basis = parseBasisSpec(args[3]);
-    if (args.size() >= 5) {
-        if (args[4] == "basic") {
+    if (!device) {
+        options.basis = parseBasisSpec(args[3]);
+    }
+    if (args.size() > next) {
+        const std::string &router = args[next];
+        if (router == "basic") {
             options.router = RouterKind::Basic;
-        } else if (args[4] == "stochastic") {
+        } else if (router == "stochastic") {
             options.router = RouterKind::Stochastic;
-        } else if (args[4] == "sabre") {
+        } else if (router == "sabre") {
             options.router = RouterKind::Sabre;
-        } else if (args[4] == "lookahead") {
+        } else if (router == "lookahead") {
             options.router = RouterKind::Lookahead;
         } else {
-            SNAIL_THROW("unknown router: " << args[4]);
+            SNAIL_THROW("unknown router: " << router);
         }
+        ++next;
     }
-    if (args.size() >= 6) {
-        options.seed =
-            static_cast<unsigned long long>(std::atoll(args[5].c_str()));
+    if (args.size() > next) {
+        options.seed = static_cast<unsigned long long>(
+            std::atoll(args[next].c_str()));
     }
 
+    if (device) {
+        // The device's default basis scores; per-edge calibration is
+        // visible to any noise-aware passes in the pipeline.
+        options.basis = device->defaultBasis();
+        const PassManager pm = passManagerFromOptions(options);
+        const TranspileResult r = pm.run(circuit, *device, options.seed);
+        printTranspileResult(circuit, device->name(),
+                             options.basis.name(), pm.spec(), r);
+        return 0;
+    }
+    const CouplingGraph graph = namedTopology(args[2]);
     const PassManager pm = passManagerFromOptions(options);
     const TranspileResult r =
-        pm.run(circuit, device, options.seed, options.basis);
-    printTranspileResult(circuit, device, options.basis.name(), pm.spec(),
-                         r);
+        pm.run(circuit, graph, options.seed, options.basis);
+    printTranspileResult(circuit, graph.name(), options.basis.name(),
+                         pm.spec(), r);
     return 0;
 }
 
 int
-cmdPipeline(const std::vector<std::string> &args)
+cmdPipeline(std::vector<std::string> args)
 {
-    SNAIL_REQUIRE(args.size() >= 4,
-                  "pipeline needs <bench> <width> <topology> <pass-spec>");
+    const std::optional<Target> device = takeDeviceArg(args);
+    SNAIL_REQUIRE(args.size() >= (device ? 3u : 4u),
+                  "pipeline needs <bench> <width> <topology> <pass-spec>, "
+                  "or <bench> <width> --device <dev> <pass-spec>");
     const Circuit circuit = loadCircuitArg(args);
-    const CouplingGraph device = namedTopology(args[2]);
-    const PassManager pm = passManagerFromSpec(args[3]);
+    const std::size_t spec_index = device ? 2 : 3;
+    const PassManager pm = passManagerFromSpec(args[spec_index]);
     unsigned long long seed = kDefaultTranspileSeed;
-    if (args.size() >= 5) {
-        seed = static_cast<unsigned long long>(std::atoll(args[4].c_str()));
+    if (args.size() > spec_index + 1) {
+        seed = static_cast<unsigned long long>(
+            std::atoll(args[spec_index + 1].c_str()));
     }
 
-    const TranspileResult r = pm.run(circuit, device, seed);
+    std::optional<CouplingGraph> graph;
+    if (!device) {
+        graph = namedTopology(args[2]);
+    }
+    const TranspileResult r = device ? pm.run(circuit, *device, seed)
+                                     : pm.run(circuit, *graph, seed);
     // Report the basis scoring actually used (published by the score
     // pass), which may differ from any basis= entry placed after it.
     BasisSpec scored_basis;
     scored_basis.kind = static_cast<BasisKind>(
         static_cast<int>(r.properties.get("scored_basis")));
-    printTranspileResult(circuit, device, scored_basis.name(), pm.spec(),
-                         r);
+    printTranspileResult(circuit,
+                         device ? device->name() : graph->name(),
+                         scored_basis.name(), pm.spec(), r);
     return 0;
 }
 
@@ -324,6 +456,9 @@ main(int argc, char **argv)
     try {
         if (command == "topologies") {
             return cmdTopologies();
+        }
+        if (command == "targets") {
+            return cmdTargets(args);
         }
         if (command == "passes") {
             return cmdPasses();
