@@ -6,21 +6,20 @@
  * reporting inserted SWAPs.  Conclusions about topology ordering should
  * be router-independent — and they are.
  *
- * Pipelines are composed through the pass registry (pass_registry.hpp)
- * from spec strings; each router column is transpiled over all
- * topologies as one parallel transpileBatch.
+ * Runs on the design-space exploration engine (explore/engine.hpp): the
+ * whole study is one declarative SweepSpec — benchmarks x topologies x
+ * one pipeline per router — evaluated as a single parallel sweep, with
+ * topologies too small for the width skipped by the engine.
  */
 
+#include <algorithm>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
-#include "circuits/registry.hpp"
 #include "common/table.hpp"
-#include "topology/registry.hpp"
-#include "transpiler/pass_registry.hpp"
-#include "transpiler/pipeline.hpp"
+#include "explore/engine.hpp"
 
 int
 main(int argc, char **argv)
@@ -30,48 +29,64 @@ main(int argc, char **argv)
     const int width = quick ? 10 : 14;
     const int trials = quick ? 6 : 12;
 
-    const char *topologies[] = {"heavy-hex-20", "square-16", "tree-20",
-                                "corral11-16", "hypercube-16"};
-    const std::string routers[] = {
+    SweepSpec spec;
+    spec.name = "router-ablation";
+    spec.seed = 17;
+    for (const char *bench : {"qv", "qft"}) {
+        spec.circuits.push_back(CircuitSpec{bench, {width}, ""});
+    }
+    for (const char *topo : {"heavy-hex-20", "square-16", "tree-20",
+                             "corral11-16", "hypercube-16"}) {
+        TargetSpec target;
+        target.topology = topo;
+        target.basis = "cx";
+        target.label = topo;
+        spec.targets.push_back(std::move(target));
+    }
+    const std::vector<std::string> routers = {
         "basic-route", "stochastic-route=" + std::to_string(trials),
         "sabre-route", "lookahead-route"};
+    for (const std::string &router : routers) {
+        spec.pipelines.push_back("dense," + router);
+    }
 
-    for (BenchmarkKind bench :
-         {BenchmarkKind::QuantumVolume, BenchmarkKind::Qft}) {
-        printBanner(std::cout, std::string("Router ablation -- ") +
-                                   benchmarkLabel(bench) + " width " +
-                                   std::to_string(width));
+    const SweepRun run = runSweep(spec, EngineOptions{});
 
-        std::vector<const char *> fitting;
-        for (const char *topo : topologies) {
-            if (width <= namedTopology(topo).numQubits()) {
-                fitting.push_back(topo);
-            }
-        }
-
-        // One column per router: batch-transpile it over all topologies.
-        std::vector<std::vector<TranspileResult>> columns;
-        for (const std::string &router : routers) {
-            const PassManager pm =
-                passManagerFromSpec("dense," + router);
-            std::vector<TranspileJob> jobs;
-            for (const char *topo : fitting) {
-                jobs.emplace_back(makeBenchmark(bench, width, 17),
-                                  namedTopology(topo), 23);
-            }
-            columns.push_back(transpileBatch(jobs, pm));
-        }
-
+    // One table per circuit instance: rows are topologies, columns
+    // routers.  Iterate expanded instances, not spec entries — a spec
+    // entry with several widths expands to several instances.
+    std::size_t num_circuits = 0;
+    for (const SweepPoint &point : run.points) {
+        num_circuits = std::max(num_circuits, point.circuit_index + 1);
+    }
+    for (std::size_t ci = 0; ci < num_circuits; ++ci) {
+        std::string label;
         TableWriter table({"topology", "basic", "stochastic", "sabre",
                            "lookahead"});
-        for (std::size_t ti = 0; ti < fitting.size(); ++ti) {
-            std::vector<std::string> row{fitting[ti]};
-            for (const auto &column : columns) {
-                row.push_back(
-                    std::to_string(column[ti].metrics.swaps_total));
+        std::vector<std::string> row;
+        std::size_t last_target = static_cast<std::size_t>(-1);
+        for (std::size_t i = 0; i < run.points.size(); ++i) {
+            const SweepPoint &point = run.points[i];
+            if (point.circuit_index != ci) {
+                continue;
             }
+            label = point.circuit_label;
+            if (point.target_index != last_target) {
+                if (!row.empty()) {
+                    table.addRow(std::move(row));
+                    row.clear();
+                }
+                row.push_back(point.target_label);
+                last_target = point.target_index;
+            }
+            row.push_back(
+                std::to_string(run.metrics[i].metrics.swaps_total));
+        }
+        if (!row.empty()) {
             table.addRow(std::move(row));
         }
+        printBanner(std::cout, "Router ablation -- " + label + " width " +
+                                   std::to_string(width));
         table.print(std::cout);
     }
     std::cout << "\nTopology ordering (corral/hypercube < tree < lattice "

@@ -3,12 +3,17 @@
  * Reproduces Table 1: structural properties (qubits, diameter, average
  * distance, average connectivity) of the 16-20 qubit topologies, printed
  * next to the paper's reported values.
+ *
+ * The topology list is resolved through the exploration engine's
+ * target-expansion layer (explore/sweep_spec.hpp) — the same TargetSpec
+ * entries a `snailqc sweep` spec would use — so this bench doubles as a
+ * smoke test of that resolution path.
  */
 
 #include <iostream>
 
 #include "common/table.hpp"
-#include "topology/registry.hpp"
+#include "explore/sweep_spec.hpp"
 
 namespace
 {
@@ -38,14 +43,26 @@ const PaperRow kPaper[] = {
 int
 main()
 {
-    using snail::TableWriter;
-    snail::printBanner(std::cout,
-                       "Table 1: Topologies and Connectivities (16-20q)");
+    using namespace snail;
+
+    SweepSpec spec;
+    for (const PaperRow &row : kPaper) {
+        TargetSpec target;
+        target.topology = row.name;
+        target.basis = "sqiswap"; // Table 1 is structural; any basis
+        target.label = row.name;
+        spec.targets.push_back(std::move(target));
+    }
+    const std::vector<Target> targets = expandTargets(spec);
+
+    printBanner(std::cout,
+                "Table 1: Topologies and Connectivities (16-20q)");
     TableWriter table({"Topology", "Qubits", "Dia", "AvgD", "AvgC",
                        "paper:Dia", "paper:AvgD", "paper:AvgC"});
-    for (const PaperRow &row : kPaper) {
-        const snail::CouplingGraph g = snail::namedTopology(row.name);
-        table.addRow({row.name, std::to_string(g.numQubits()),
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+        const PaperRow &row = kPaper[i];
+        const CouplingGraph &g = targets[i].graph();
+        table.addRow({targets[i].name(), std::to_string(g.numQubits()),
                       std::to_string(g.diameter()),
                       TableWriter::num(g.averageDistance(), 2),
                       TableWriter::num(g.averageDegree(), 2),

@@ -105,16 +105,26 @@ makeBenchmark(BenchmarkKind kind, int num_qubits, unsigned long long seed)
     return Circuit(1);
 }
 
+BenchmarkKind
+benchmarkFromName(const std::string &name)
+{
+    std::string known;
+    for (BenchmarkKind kind : extendedBenchmarks()) {
+        if (name == benchmarkName(kind)) {
+            return kind;
+        }
+        known += known.empty() ? benchmarkName(kind)
+                               : std::string(", ") + benchmarkName(kind);
+    }
+    SNAIL_THROW("unknown benchmark name '" << name << "' (known: " << known
+                                           << ")");
+}
+
 Circuit
 makeBenchmark(const std::string &name, int num_qubits,
               unsigned long long seed)
 {
-    for (BenchmarkKind kind : extendedBenchmarks()) {
-        if (name == benchmarkName(kind)) {
-            return makeBenchmark(kind, num_qubits, seed);
-        }
-    }
-    SNAIL_THROW("unknown benchmark name: " << name);
+    return makeBenchmark(benchmarkFromName(name), num_qubits, seed);
 }
 
 } // namespace snail

@@ -45,6 +45,12 @@ std::vector<BenchmarkKind> allBenchmarks();
 /** The paper's six plus the extended workloads. */
 std::vector<BenchmarkKind> extendedBenchmarks();
 
+/**
+ * Benchmark kind by short name ("qv", "qft", ...).
+ * @throws SnailError listing the known names for unknown ones.
+ */
+BenchmarkKind benchmarkFromName(const std::string &name);
+
 /** Build a benchmark at the given width with a deterministic seed. */
 Circuit makeBenchmark(BenchmarkKind kind, int num_qubits,
                       unsigned long long seed = 7);

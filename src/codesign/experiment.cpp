@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/table.hpp"
+#include "explore/engine.hpp"
 
 namespace snail
 {
@@ -22,43 +23,107 @@ struct MachineRef
     BasisSpec basis;
 };
 
+/**
+ * Thin client of the exploration engine: build exactly the jobs the
+ * original sequential loop ran — same circuits (generated with the
+ * sweep seed), same per-cell seed derivation, same options-derived
+ * pipeline per machine — then evaluate them on the shared pool.  The
+ * per-job determinism contract makes the resulting series bit-identical
+ * to the old loop at any thread count.
+ */
 std::vector<Series>
 runSweep(const std::vector<BenchmarkKind> &benchmarks,
          const std::vector<MachineRef> &machines, const SweepOptions &options)
 {
-    std::vector<Series> out;
+    // Per-machine device models and pipelines (the basis differs).
+    std::vector<Target> targets;
+    std::vector<PassManager> pipelines;
+    targets.reserve(machines.size());
+    pipelines.reserve(machines.size());
+    for (const MachineRef &machine : machines) {
+        Target target = Target::uniform(*machine.topology, machine.basis);
+        target.setName(machine.label);
+        targets.push_back(std::move(target));
+        TranspileOptions topts;
+        topts.layout = options.layout;
+        topts.router = options.router;
+        topts.stochastic_trials = options.stochastic_trials;
+        topts.basis = machine.basis;
+        pipelines.push_back(passManagerFromOptions(topts));
+    }
+
+    // Circuits, one per (benchmark, width) — shared across machines.
+    // Widths no machine can host are never built: an 84-qubit QV
+    // instance is expensive to generate and would only be skipped.
+    int max_qubits = 0;
+    for (const MachineRef &machine : machines) {
+        max_qubits = std::max(max_qubits, machine.topology->numQubits());
+    }
+    std::map<std::pair<BenchmarkKind, int>, Circuit> circuits;
     for (BenchmarkKind bench : benchmarks) {
-        for (const MachineRef &machine : machines) {
+        for (int width : options.widths) {
+            if (width >= 2 && width <= max_qubits) {
+                circuits.emplace(std::make_pair(bench, width),
+                                 makeBenchmark(bench, width, options.seed));
+            }
+        }
+    }
+
+    // Expand cells in the legacy bench -> machine -> width nesting.
+    struct Cell
+    {
+        std::size_t series;
+        int width;
+    };
+    std::vector<Series> out;
+    std::vector<Cell> cells;
+    std::vector<ExploreJob> jobs;
+    for (BenchmarkKind bench : benchmarks) {
+        for (std::size_t mi = 0; mi < machines.size(); ++mi) {
+            const MachineRef &machine = machines[mi];
             Series series;
             series.benchmark = benchmarkLabel(bench);
             series.machine = machine.label;
+            out.push_back(std::move(series));
             for (int width : options.widths) {
                 if (width < 2 || width > machine.topology->numQubits()) {
                     continue;
                 }
-                const Circuit circuit =
-                    makeBenchmark(bench, width, options.seed);
-                TranspileOptions topts;
-                topts.layout = options.layout;
-                topts.router = options.router;
-                topts.stochastic_trials = options.stochastic_trials;
-                topts.basis = machine.basis;
+                ExploreJob job;
+                job.circuit = &circuits.at({bench, width});
+                job.target = &targets[mi];
+                job.pipeline = &pipelines[mi];
+                if (options.verbose) {
+                    // Printed live by the engine as a worker starts
+                    // the cell.
+                    job.label = std::string(benchmarkLabel(bench)) +
+                                " w=" + std::to_string(width) + " on " +
+                                machine.label;
+                }
                 // Derive a per-cell seed so runs are independent yet
                 // reproducible.
-                topts.seed = options.seed ^
-                             (static_cast<unsigned long long>(width) << 32) ^
-                             std::hash<std::string>{}(machine.label) ^
-                             static_cast<unsigned long long>(bench);
-                if (options.verbose) {
-                    std::cerr << "  [sweep] " << series.benchmark << " w="
-                              << width << " on " << machine.label << "\n";
-                }
-                const TranspileResult r =
-                    transpile(circuit, *machine.topology, topts);
-                series.points.push_back(SeriesPoint{width, r.metrics});
+                job.seed = options.seed ^
+                           (static_cast<unsigned long long>(width) << 32) ^
+                           std::hash<std::string>{}(machine.label) ^
+                           static_cast<unsigned long long>(bench);
+                cells.push_back(Cell{out.size() - 1, width});
+                jobs.push_back(std::move(job));
             }
-            out.push_back(std::move(series));
         }
+    }
+
+    TranspileCache cache;
+    EngineOptions engine;
+    engine.threads = options.threads;
+    if (options.verbose) {
+        engine.progress = &std::cerr;
+    }
+    const std::vector<PointMetrics> metrics =
+        evaluateJobs(jobs, cache, engine);
+
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        out[cells[i].series].points.push_back(
+            SeriesPoint{cells[i].width, metrics[i].metrics});
     }
     return out;
 }

@@ -7,6 +7,14 @@
  * records the Fig. 10 metrics.  SWAP studies (Figs. 4/11/12) are basis
  * agnostic; co-design studies (Figs. 13/14) additionally score the basis
  * translation.
+ *
+ * Since the design-space exploration engine landed (explore/engine.hpp)
+ * this layer is a thin client of it: it builds the same per-cell jobs
+ * the old sequential loop ran — identical circuits, seeds, and
+ * pipelines, hence bit-identical series — and hands them to
+ * evaluateJobs(), which fans them across the shared thread pool.
+ * Sweeps beyond the paper's fixed machine lists should use the engine's
+ * declarative SweepSpec directly (`snailqc sweep`).
  */
 
 #ifndef SNAILQC_CODESIGN_EXPERIMENT_HPP
@@ -32,6 +40,7 @@ struct SweepOptions
     int stochastic_trials = 10;
     unsigned long long seed = 0xBEEF5EEDULL;
     bool verbose = false;             //!< progress notes to stderr
+    unsigned threads = 0;             //!< sweep workers; 0 = hardware
 };
 
 /** One (width, metrics) sample of a series. */

@@ -63,6 +63,45 @@ class DisconnectedError : public SnailError
     int _b;
 };
 
+/**
+ * A coupling listed more than once in a JSON device description.
+ * Thrown by targetFromJson: CouplingGraph::addEdge is idempotent, so a
+ * repeated entry would otherwise silently collapse — and when the
+ * entries carry different calibration, the last writer would win.
+ * Carries the offending pair and the device name so tooling can point
+ * at the exact line to fix.
+ */
+class DuplicateEdgeError : public SnailError
+{
+  public:
+    DuplicateEdgeError(std::string device_name, int a, int b)
+        : DuplicateEdgeError(std::move(device_name), a, b, "")
+    {
+    }
+
+    /**
+     * Re-wrapping constructor: `context` prefixes the message (e.g.
+     * the file path) while deviceName() keeps the bare device name.
+     */
+    DuplicateEdgeError(std::string device_name, int a, int b,
+                       const std::string &context)
+        : SnailError(context + "edge (" + std::to_string(a) + ", " +
+                     std::to_string(b) + ") listed more than once in "
+                     "device '" + device_name + "'"),
+          _deviceName(std::move(device_name)), _a(a), _b(b)
+    {
+    }
+
+    const std::string &deviceName() const { return _deviceName; }
+    int qubitA() const { return _a; }
+    int qubitB() const { return _b; }
+
+  private:
+    std::string _deviceName;
+    int _a;
+    int _b;
+};
+
 namespace detail
 {
 

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * FNV-1a 64-bit content hashing.
+ *
+ * The design-space exploration engine (explore/) addresses transpile
+ * results by content: a cache key is (circuit hash, target hash,
+ * pipeline spec, seed).  Those hashes must be stable across processes
+ * and library versions of std::hash, so they are computed with the
+ * fixed FNV-1a construction below.  Doubles hash by bit pattern
+ * (std::memcpy of the IEEE-754 representation), which is exactly the
+ * "any mutation changes the hash" contract the cache needs; note that
+ * +0.0 and -0.0 therefore hash differently.
+ */
+
+#ifndef SNAILQC_COMMON_HASH_HPP
+#define SNAILQC_COMMON_HASH_HPP
+
+#include <cstring>
+#include <string>
+
+namespace snail
+{
+
+/**
+ * "0x"-prefixed lowercase hex form of a 64-bit value — the one
+ * rendering of content hashes and seeds shared by the checkpoint
+ * format and the sweep reporters (std::stoull(s, nullptr, 16) inverts
+ * it).
+ */
+inline std::string
+hex64(unsigned long long value)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out = "0x";
+    bool started = false;
+    for (int shift = 60; shift >= 0; shift -= 4) {
+        const unsigned nibble =
+            static_cast<unsigned>((value >> shift) & 0xF);
+        if (nibble != 0 || started || shift == 0) {
+            out += digits[nibble];
+            started = true;
+        }
+    }
+    return out;
+}
+
+/** Incremental FNV-1a 64-bit hasher. */
+class ContentHasher
+{
+  public:
+    ContentHasher &
+    byte(unsigned char b)
+    {
+        _state = (_state ^ b) * kPrime;
+        return *this;
+    }
+
+    ContentHasher &
+    u64(unsigned long long v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            byte(static_cast<unsigned char>(v >> (8 * i)));
+        }
+        return *this;
+    }
+
+    ContentHasher &
+    i64(long long v)
+    {
+        return u64(static_cast<unsigned long long>(v));
+    }
+
+    ContentHasher &
+    f64(double v)
+    {
+        unsigned long long bits = 0;
+        static_assert(sizeof(bits) == sizeof(v), "double is 64-bit");
+        std::memcpy(&bits, &v, sizeof(bits));
+        return u64(bits);
+    }
+
+    ContentHasher &
+    str(const std::string &s)
+    {
+        u64(s.size());
+        for (char c : s) {
+            byte(static_cast<unsigned char>(c));
+        }
+        return *this;
+    }
+
+    unsigned long long value() const { return _state; }
+
+  private:
+    static constexpr unsigned long long kOffsetBasis =
+        14695981039346656037ULL;
+    static constexpr unsigned long long kPrime = 1099511628211ULL;
+
+    unsigned long long _state = kOffsetBasis;
+};
+
+} // namespace snail
+
+#endif // SNAILQC_COMMON_HASH_HPP

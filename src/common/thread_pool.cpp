@@ -1,0 +1,74 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace snail
+{
+
+unsigned
+resolveThreadCount(unsigned requested, std::size_t count)
+{
+    if (requested == 0) {
+        requested = std::thread::hardware_concurrency();
+        if (requested == 0) {
+            requested = 1;
+        }
+    }
+    if (count < requested) {
+        requested = static_cast<unsigned>(count);
+    }
+    return requested == 0 ? 1 : requested;
+}
+
+void
+parallelFor(std::size_t count, unsigned num_threads,
+            const std::function<void(std::size_t)> &body)
+{
+    if (count == 0) {
+        return;
+    }
+    num_threads = resolveThreadCount(num_threads, count);
+
+    std::vector<std::exception_ptr> errors(count);
+
+    // Work stealing off a shared atomic counter: jobs differ wildly in
+    // cost (widths, topologies), so static striping would idle workers.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= count) {
+                return;
+            }
+            try {
+                body(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+    };
+
+    if (num_threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(num_threads);
+        for (unsigned t = 0; t < num_threads; ++t) {
+            pool.emplace_back(worker);
+        }
+        for (auto &thread : pool) {
+            thread.join();
+        }
+    }
+
+    for (const auto &error : errors) {
+        if (error) {
+            std::rethrow_exception(error);
+        }
+    }
+}
+
+} // namespace snail

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared work-stealing parallel-for primitive.
+ *
+ * Factored out of PassManager's transpileBatch so every fan-out in the
+ * library — batch transpilation, design-space sweeps (explore/engine) —
+ * schedules work the same way: worker threads steal indices off one
+ * shared atomic counter, which keeps long and short jobs balanced
+ * without static striping.
+ *
+ * Determinism contract: the body is invoked exactly once per index,
+ * and nothing about the result may depend on which worker ran it or
+ * in what order.  Callers therefore see bit-identical output at any
+ * thread count, including 1 (where the body runs inline on the
+ * calling thread with no pool at all).
+ */
+
+#ifndef SNAILQC_COMMON_THREAD_POOL_HPP
+#define SNAILQC_COMMON_THREAD_POOL_HPP
+
+#include <cstddef>
+#include <functional>
+
+namespace snail
+{
+
+/**
+ * Effective worker count for `count` independent jobs: `requested`,
+ * with 0 meaning std::thread::hardware_concurrency (at least 1), and
+ * never more workers than jobs.
+ */
+unsigned resolveThreadCount(unsigned requested, std::size_t count);
+
+/**
+ * Invoke body(i) exactly once for every i in [0, count), fanning the
+ * indices across resolveThreadCount(num_threads, count) workers.  Each
+ * body invocation must be independent of the others (the usual pattern
+ * writes into a caller-owned slot at index i).  Exceptions thrown by
+ * the body are captured per index; after all workers finish, the one
+ * from the lowest index is rethrown.
+ */
+void parallelFor(std::size_t count, unsigned num_threads,
+                 const std::function<void(std::size_t)> &body);
+
+} // namespace snail
+
+#endif // SNAILQC_COMMON_THREAD_POOL_HPP

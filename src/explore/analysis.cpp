@@ -1,0 +1,198 @@
+#include "explore/analysis.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+double
+pointMetricValue(const PointMetrics &point, const std::string &metric)
+{
+    const TranspileMetrics &m = point.metrics;
+    if (metric == "swaps_total") {
+        return static_cast<double>(m.swaps_total);
+    }
+    if (metric == "swaps_critical") {
+        return m.swaps_critical;
+    }
+    if (metric == "ops_2q_pre") {
+        return static_cast<double>(m.ops_2q_pre);
+    }
+    if (metric == "basis_2q_total") {
+        return static_cast<double>(m.basis_2q_total);
+    }
+    if (metric == "basis_2q_critical") {
+        return m.basis_2q_critical;
+    }
+    if (metric == "duration_total") {
+        return m.duration_total;
+    }
+    if (metric == "duration_critical") {
+        return m.duration_critical;
+    }
+    if (metric == "fidelity_predicted") {
+        SNAIL_REQUIRE(point.has_fidelity,
+                      "point has no predicted fidelity; add "
+                      "score-fidelity to the pipeline");
+        return point.fidelity_predicted;
+    }
+    std::string known;
+    for (const std::string &name : pointMetricNames()) {
+        known += known.empty() ? name : ", " + name;
+    }
+    SNAIL_THROW("unknown metric '" << metric << "' (known: " << known
+                                   << ")");
+}
+
+bool
+pointHasMetric(const PointMetrics &point, const std::string &metric)
+{
+    if (metric == "fidelity_predicted") {
+        return point.has_fidelity;
+    }
+    const std::vector<std::string> names = pointMetricNames();
+    if (std::find(names.begin(), names.end(), metric) == names.end()) {
+        pointMetricValue(point, metric); // throws the unknown-name error
+    }
+    return true;
+}
+
+std::vector<std::string>
+pointMetricNames()
+{
+    return {"swaps_total",       "swaps_critical", "ops_2q_pre",
+            "basis_2q_total",    "basis_2q_critical", "duration_total",
+            "duration_critical", "fidelity_predicted"};
+}
+
+namespace
+{
+
+/** Points of one (circuit, pipeline) workload group, by point index. */
+std::map<std::pair<std::size_t, std::size_t>, std::vector<std::size_t>>
+workloadGroups(const SweepRun &run)
+{
+    std::map<std::pair<std::size_t, std::size_t>,
+             std::vector<std::size_t>>
+        groups;
+    for (std::size_t i = 0; i < run.points.size(); ++i) {
+        const SweepPoint &p = run.points[i];
+        groups[{p.circuit_index, p.pipeline_index}].push_back(i);
+    }
+    return groups;
+}
+
+/** True when point a dominates point b on every objective. */
+bool
+dominates(const PointMetrics &a, const PointMetrics &b,
+          const std::vector<Objective> &objectives)
+{
+    bool strictly_better = false;
+    for (const Objective &objective : objectives) {
+        double va = pointMetricValue(a, objective.metric);
+        double vb = pointMetricValue(b, objective.metric);
+        if (objective.maximize) {
+            std::swap(va, vb);
+        }
+        if (va > vb) {
+            return false;
+        }
+        if (va < vb) {
+            strictly_better = true;
+        }
+    }
+    return strictly_better;
+}
+
+} // namespace
+
+std::vector<std::size_t>
+paretoFrontier(const SweepRun &run,
+               const std::vector<Objective> &objectives)
+{
+    SNAIL_REQUIRE(!objectives.empty(),
+                  "paretoFrontier needs at least one objective");
+    std::vector<std::size_t> frontier;
+    for (const auto &[group, members] : workloadGroups(run)) {
+        (void)group;
+        for (std::size_t candidate : members) {
+            bool dominated = false;
+            for (std::size_t other : members) {
+                if (other != candidate &&
+                    dominates(run.metrics[other], run.metrics[candidate],
+                              objectives)) {
+                    dominated = true;
+                    break;
+                }
+            }
+            if (!dominated) {
+                frontier.push_back(candidate);
+            }
+        }
+    }
+    std::sort(frontier.begin(), frontier.end());
+    return frontier;
+}
+
+std::vector<WorkloadWinner>
+winnersPerWorkload(const SweepRun &run, const std::string &metric,
+                   bool maximize)
+{
+    std::vector<WorkloadWinner> winners;
+    for (const auto &[group, members] : workloadGroups(run)) {
+        (void)group;
+        bool have_best = false;
+        std::size_t best = 0;
+        double best_value = 0.0;
+        for (std::size_t candidate : members) {
+            if (!pointHasMetric(run.metrics[candidate], metric)) {
+                continue;
+            }
+            const double value =
+                pointMetricValue(run.metrics[candidate], metric);
+            if (!have_best ||
+                (maximize ? value > best_value : value < best_value)) {
+                have_best = true;
+                best = candidate;
+                best_value = value;
+            }
+        }
+        if (!have_best) {
+            continue; // nothing in this group scores the metric
+        }
+        const SweepPoint &point = run.points[best];
+        winners.push_back(WorkloadWinner{point.circuit_label, point.width,
+                                         point.pipeline, best,
+                                         best_value});
+    }
+    return winners;
+}
+
+std::vector<TargetScore>
+targetScoreboard(const SweepRun &run,
+                 const std::vector<WorkloadWinner> &winners)
+{
+    // One row per target that hosts at least one point, in spec
+    // order, including zero-win rows.  (A target every circuit
+    // outgrew has no points and therefore no row.)
+    std::map<std::size_t, std::size_t> wins;
+    for (const WorkloadWinner &winner : winners) {
+        ++wins[run.points[winner.point_index].target_index];
+    }
+    std::map<std::size_t, std::string> labels;
+    for (const SweepPoint &point : run.points) {
+        labels.emplace(point.target_index, point.target_label);
+    }
+    std::vector<TargetScore> scores;
+    for (const auto &[index, label] : labels) {
+        const auto it = wins.find(index);
+        scores.push_back(
+            TargetScore{label, it == wins.end() ? 0 : it->second});
+    }
+    return scores;
+}
+
+} // namespace snail

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Design-space analysis over completed sweeps: metric selection by
+ * name, the per-workload winner table, the architecture scoreboard,
+ * and the Pareto frontier of non-dominated machines.
+ *
+ * This is the "pick the architecture that wins" half of the paper's
+ * co-design loop: after the engine fills in every (circuit, target,
+ * pipeline) point, these helpers answer which machine wins each
+ * workload outright, how often each machine wins overall, and which
+ * machines survive multi-objective comparison (no other machine at
+ * least as good on every objective and strictly better on one).
+ */
+
+#ifndef SNAILQC_EXPLORE_ANALYSIS_HPP
+#define SNAILQC_EXPLORE_ANALYSIS_HPP
+
+#include <string>
+#include <vector>
+
+#include "explore/engine.hpp"
+
+namespace snail
+{
+
+/**
+ * Metric of a point by name: any TranspileMetrics field
+ * ("swaps_total", "swaps_critical", "ops_2q_pre", "basis_2q_total",
+ * "basis_2q_critical", "duration_total", "duration_critical") or
+ * "fidelity_predicted" (requires a score-fidelity pipeline).
+ * @throws SnailError for unknown names, and for fidelity on a point
+ *         that never scored it.
+ */
+double pointMetricValue(const PointMetrics &point,
+                        const std::string &metric);
+
+/** All metric names pointMetricValue accepts, in report order. */
+std::vector<std::string> pointMetricNames();
+
+/**
+ * True when `metric` is meaningful on this point — always, except
+ * "fidelity_predicted" on a point whose pipeline never scored it.
+ * @throws SnailError for unknown metric names.
+ */
+bool pointHasMetric(const PointMetrics &point, const std::string &metric);
+
+/** One optimization objective for Pareto comparison. */
+struct Objective
+{
+    std::string metric;    //!< pointMetricValue name
+    bool maximize = false; //!< default: smaller is better
+};
+
+/**
+ * Indices (into run.points) of points on the Pareto frontier of their
+ * workload group.  Points compete within one (circuit, pipeline)
+ * group — same workload, same compilation strategy, different
+ * machines — and survive when no other point of the group dominates
+ * them on `objectives`.  Returned sorted ascending.
+ */
+std::vector<std::size_t> paretoFrontier(
+    const SweepRun &run, const std::vector<Objective> &objectives);
+
+/** The winning point of one workload group. */
+struct WorkloadWinner
+{
+    std::string circuit_label;
+    int width = 0;
+    std::string pipeline;
+    std::size_t point_index = 0; //!< into run.points
+    double value = 0.0;          //!< the winning metric value
+};
+
+/**
+ * Best target per (circuit, pipeline) group on one metric, in group
+ * expansion order.  Ties go to the earlier target (spec order).
+ * Points on which `metric` is undefined (pointHasMetric) do not
+ * compete, and groups where no point defines it are omitted — so
+ * "fidelity_predicted" over a mix of scoring and non-scoring
+ * pipelines ranks just the scored groups instead of failing.
+ */
+std::vector<WorkloadWinner> winnersPerWorkload(const SweepRun &run,
+                                               const std::string &metric,
+                                               bool maximize = false);
+
+/** Wins per target label, for the scoreboard (spec target order). */
+struct TargetScore
+{
+    std::string target_label;
+    std::size_t wins = 0;
+};
+
+/**
+ * Aggregate winnersPerWorkload into per-target win counts.  Covers
+ * every target hosting at least one point (zero-win rows included);
+ * targets whose every width was skipped have no points and no row.
+ */
+std::vector<TargetScore> targetScoreboard(
+    const SweepRun &run, const std::vector<WorkloadWinner> &winners);
+
+} // namespace snail
+
+#endif // SNAILQC_EXPLORE_ANALYSIS_HPP

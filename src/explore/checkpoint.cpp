@@ -1,0 +1,145 @@
+#include "explore/checkpoint.hpp"
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+unsigned long long
+parseHex64(const std::string &text)
+{
+    return std::stoull(text, nullptr, 16);
+}
+
+JsonValue
+cacheKeyToJson(const CacheKey &key)
+{
+    JsonValue::Object o;
+    o["circuit"] = JsonValue(hex64(key.circuit_hash));
+    o["target"] = JsonValue(hex64(key.target_hash));
+    o["pipeline"] = JsonValue(key.pipeline);
+    o["seed"] = JsonValue(hex64(key.seed));
+    return JsonValue(std::move(o));
+}
+
+CacheKey
+cacheKeyFromJson(const JsonValue &json)
+{
+    CacheKey key;
+    key.circuit_hash = parseHex64(json.at("circuit").asString());
+    key.target_hash = parseHex64(json.at("target").asString());
+    key.pipeline = json.at("pipeline").asString();
+    key.seed = parseHex64(json.at("seed").asString());
+    return key;
+}
+
+} // namespace
+
+JsonValue
+pointMetricsToJson(const PointMetrics &point)
+{
+    const TranspileMetrics &m = point.metrics;
+    JsonValue::Object o;
+    o["swaps_total"] = JsonValue(static_cast<double>(m.swaps_total));
+    o["swaps_critical"] = JsonValue(m.swaps_critical);
+    o["ops_2q_pre"] = JsonValue(static_cast<double>(m.ops_2q_pre));
+    o["basis_2q_total"] = JsonValue(static_cast<double>(m.basis_2q_total));
+    o["basis_2q_critical"] = JsonValue(m.basis_2q_critical);
+    o["duration_total"] = JsonValue(m.duration_total);
+    o["duration_critical"] = JsonValue(m.duration_critical);
+    if (point.has_fidelity) {
+        o["fidelity_predicted"] = JsonValue(point.fidelity_predicted);
+    }
+    return JsonValue(std::move(o));
+}
+
+PointMetrics
+pointMetricsFromJson(const JsonValue &json)
+{
+    PointMetrics point;
+    TranspileMetrics &m = point.metrics;
+    m.swaps_total =
+        static_cast<std::size_t>(json.at("swaps_total").asNumber());
+    m.swaps_critical = json.at("swaps_critical").asNumber();
+    m.ops_2q_pre =
+        static_cast<std::size_t>(json.at("ops_2q_pre").asNumber());
+    m.basis_2q_total =
+        static_cast<std::size_t>(json.at("basis_2q_total").asNumber());
+    m.basis_2q_critical = json.at("basis_2q_critical").asNumber();
+    m.duration_total = json.at("duration_total").asNumber();
+    m.duration_critical = json.at("duration_critical").asNumber();
+    if (const JsonValue *fidelity = json.find("fidelity_predicted")) {
+        point.fidelity_predicted = fidelity->asNumber();
+        point.has_fidelity = true;
+    }
+    return point;
+}
+
+CheckpointWriter::CheckpointWriter(const std::string &path, bool append)
+    : _path(path)
+{
+    // A run killed mid-write leaves a torn, newline-less final line;
+    // appending straight after it would merge the next point into the
+    // garbage.  Terminate it first so the torn line stays isolated
+    // (and is skipped by loadCheckpoint) while new lines stay intact.
+    bool needs_newline = false;
+    if (append) {
+        std::ifstream existing(path, std::ios::binary | std::ios::ate);
+        if (existing.good() && existing.tellg() > 0) {
+            existing.seekg(-1, std::ios::end);
+            needs_newline = existing.get() != '\n';
+        }
+    }
+    _out.open(path, append ? std::ios::app : std::ios::trunc);
+    SNAIL_REQUIRE(_out.good(),
+                  "cannot open checkpoint file '" << path << "'");
+    if (needs_newline) {
+        _out << '\n';
+    }
+}
+
+void
+CheckpointWriter::append(const CacheKey &key, const PointMetrics &metrics)
+{
+    JsonValue line = cacheKeyToJson(key);
+    line.object()["metrics"] = pointMetricsToJson(metrics);
+    const std::string text = line.dump();
+
+    std::lock_guard<std::mutex> lock(_mutex);
+    _out << text << '\n';
+    _out.flush();
+    SNAIL_REQUIRE(_out.good(),
+                  "write to checkpoint '" << _path << "' failed");
+}
+
+std::size_t
+loadCheckpoint(const std::string &path, TranspileCache &cache)
+{
+    std::ifstream in(path);
+    if (!in.good()) {
+        return 0;
+    }
+    std::size_t restored = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty()) {
+            continue;
+        }
+        try {
+            const JsonValue json = JsonValue::parse(line);
+            cache.insert(cacheKeyFromJson(json),
+                         pointMetricsFromJson(json.at("metrics")));
+            ++restored;
+        } catch (const std::exception &) {
+            // Torn line from a killed run — skip it; the point will
+            // simply be recomputed.
+        }
+    }
+    return restored;
+}
+
+} // namespace snail

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Resumable sweep runs: a JSON-lines checkpoint of completed points.
+ *
+ * The engine appends one line per computed point — content-addressed
+ * cache key plus extracted metrics — flushing after every line, so a
+ * killed sweep loses at most the points in flight.  On --resume the
+ * file is loaded back into the TranspileCache before evaluation: every
+ * checkpointed point becomes a cache hit and only unfinished points
+ * are re-transpiled.  Because restoration goes through the cache key
+ * (not a point index), a resumed run tolerates spec edits — points
+ * whose content survived the edit are reused, new ones are computed.
+ *
+ * Robustness: a process killed mid-write leaves a truncated final
+ * line; loading skips lines that fail to parse instead of failing the
+ * resume.  Metric doubles round-trip exactly (shortestDouble), which
+ * is what makes a resumed run's final report byte-identical to an
+ * uninterrupted one.
+ *
+ * Line format:
+ *
+ *   {"circuit":"<hex>","target":"<hex>","pipeline":"<spec>",
+ *    "seed":"<hex>","metrics":{...}}
+ */
+
+#ifndef SNAILQC_EXPLORE_CHECKPOINT_HPP
+#define SNAILQC_EXPLORE_CHECKPOINT_HPP
+
+#include <fstream>
+#include <mutex>
+#include <string>
+
+#include "common/json.hpp"
+#include "explore/transpile_cache.hpp"
+
+namespace snail
+{
+
+/** @name JSON forms shared by the checkpoint and the reporters. */
+/** @{ */
+
+/** Metrics as a JSON object (fidelity included only when scored). */
+JsonValue pointMetricsToJson(const PointMetrics &metrics);
+
+/** Inverse of pointMetricsToJson. */
+PointMetrics pointMetricsFromJson(const JsonValue &json);
+
+/** @} */
+
+/**
+ * Append-only, mutex-guarded JSONL checkpoint writer.  Opening with
+ * `append` false truncates any previous checkpoint (a fresh run);
+ * true continues one (a resumed run).
+ */
+class CheckpointWriter
+{
+  public:
+    /** @throws SnailError when the file cannot be opened. */
+    CheckpointWriter(const std::string &path, bool append);
+
+    /** Write one completed point and flush. */
+    void append(const CacheKey &key, const PointMetrics &metrics);
+
+    const std::string &path() const { return _path; }
+
+  private:
+    std::string _path;
+    std::mutex _mutex;
+    std::ofstream _out;
+};
+
+/**
+ * Load a checkpoint file into the cache; returns the number of points
+ * restored.  A missing file restores nothing (first run of a --resume
+ * invocation); malformed lines — e.g. the torn last line of a killed
+ * run — are skipped.
+ */
+std::size_t loadCheckpoint(const std::string &path, TranspileCache &cache);
+
+} // namespace snail
+
+#endif // SNAILQC_EXPLORE_CHECKPOINT_HPP

@@ -1,0 +1,221 @@
+#include "explore/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "explore/checkpoint.hpp"
+#include "transpiler/pass_registry.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+/**
+ * Content hashes memoized by object identity: each circuit and target
+ * is shared by many points, and hashing an 84-qubit QV circuit per
+ * point would needlessly serialize the fan-out prologue.
+ */
+template <typename T>
+class HashMemo
+{
+  public:
+    unsigned long long
+    of(const T *object)
+    {
+        const auto it = _known.find(object);
+        if (it != _known.end()) {
+            return it->second;
+        }
+        const unsigned long long hash = object->contentHash();
+        _known.emplace(object, hash);
+        return hash;
+    }
+
+  private:
+    std::unordered_map<const T *, unsigned long long> _known;
+};
+
+PointMetrics
+extractPointMetrics(const TranspileResult &result)
+{
+    PointMetrics point;
+    point.metrics = result.metrics;
+    if (result.properties.contains("fidelity_predicted")) {
+        point.fidelity_predicted =
+            result.properties.get("fidelity_predicted");
+        point.has_fidelity = true;
+    }
+    return point;
+}
+
+} // namespace
+
+std::vector<PointMetrics>
+evaluateJobs(const std::vector<ExploreJob> &jobs, TranspileCache &cache,
+             const EngineOptions &options, EvaluationStats *stats)
+{
+    EvaluationStats local;
+
+    if (options.resume && !options.checkpoint_path.empty()) {
+        local.restored = loadCheckpoint(options.checkpoint_path, cache);
+    }
+    std::unique_ptr<CheckpointWriter> checkpoint;
+    if (!options.checkpoint_path.empty()) {
+        checkpoint = std::make_unique<CheckpointWriter>(
+            options.checkpoint_path, options.resume);
+    }
+
+    // Keys are precomputed serially: hashing is cheap next to a
+    // transpile, and the memo avoids redundant rehashing of shared
+    // circuits/targets.
+    HashMemo<Circuit> circuit_hashes;
+    HashMemo<Target> target_hashes;
+    std::vector<CacheKey> keys;
+    keys.reserve(jobs.size());
+    for (const ExploreJob &job : jobs) {
+        SNAIL_REQUIRE(job.circuit && job.target && job.pipeline,
+                      "evaluateJobs: job with null circuit/target/"
+                      "pipeline");
+        CacheKey key;
+        key.circuit_hash = circuit_hashes.of(job.circuit);
+        key.target_hash = target_hashes.of(job.target);
+        key.pipeline = job.pipeline_spec.empty() ? job.pipeline->spec()
+                                                 : job.pipeline_spec;
+        key.seed = job.seed;
+        keys.push_back(std::move(key));
+    }
+
+    std::vector<PointMetrics> results(jobs.size());
+    std::atomic<std::size_t> computed{0};
+    std::atomic<std::size_t> from_cache{0};
+    std::mutex progress_mutex;
+    parallelFor(jobs.size(), options.threads, [&](std::size_t i) {
+        const ExploreJob &job = jobs[i];
+        if (const auto cached = cache.lookup(keys[i])) {
+            results[i] = *cached;
+            from_cache.fetch_add(1);
+            return;
+        }
+        if (options.progress && !job.label.empty()) {
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            *options.progress << "  [sweep] " << job.label << "\n";
+        }
+        const TranspileResult result =
+            job.pipeline->run(*job.circuit, *job.target, job.seed);
+        results[i] = extractPointMetrics(result);
+        cache.insert(keys[i], results[i]);
+        computed.fetch_add(1);
+        if (checkpoint) {
+            checkpoint->append(keys[i], results[i]);
+        }
+    });
+
+    local.computed = computed.load();
+    local.from_cache = from_cache.load();
+    if (stats) {
+        *stats = local;
+    }
+    return results;
+}
+
+std::vector<SweepPoint>
+expandSweepPoints(const SweepSpec &spec,
+                  const std::vector<CircuitInstance> &circuits,
+                  const std::vector<Target> &targets)
+{
+    std::vector<SweepPoint> points;
+    for (std::size_t ci = 0; ci < circuits.size(); ++ci) {
+        const CircuitInstance &circuit = circuits[ci];
+        for (std::size_t ti = 0; ti < targets.size(); ++ti) {
+            const Target &target = targets[ti];
+            if (circuit.width < 2 ||
+                circuit.width > target.numQubits()) {
+                continue; // the legacy sweep's skip rule
+            }
+            for (std::size_t pi = 0; pi < spec.pipelines.size(); ++pi) {
+                SweepPoint point;
+                point.circuit_index = ci;
+                point.target_index = ti;
+                point.pipeline_index = pi;
+                point.circuit_label = circuit.label;
+                point.target_label = target.name();
+                point.pipeline = spec.pipelines[pi];
+                point.width = circuit.width;
+                // The legacy codesign::Experiment per-cell derivation:
+                // independent yet reproducible points.  std::hash is
+                // deliberate — bit-identity with the pre-engine paper
+                // series pins this exact formula — so seeds (and with
+                // them checkpoint keys) are stable per stdlib, not
+                // across stdlibs; a checkpoint resumed under a
+                // different stdlib just recomputes.
+                point.seed =
+                    spec.seed ^
+                    (static_cast<unsigned long long>(circuit.width)
+                     << 32) ^
+                    std::hash<std::string>{}(target.name()) ^
+                    circuit.salt;
+                points.push_back(std::move(point));
+            }
+        }
+    }
+    return points;
+}
+
+SweepRun
+runSweep(const SweepSpec &spec, const EngineOptions &options)
+{
+    SweepRun run;
+    run.spec = spec;
+
+    const std::vector<Target> targets = expandTargets(spec);
+    int max_width = 0;
+    for (const Target &target : targets) {
+        max_width = std::max(max_width, target.numQubits());
+    }
+    const std::vector<CircuitInstance> circuits =
+        expandCircuits(spec, max_width);
+    std::vector<PassManager> pipelines;
+    pipelines.reserve(spec.pipelines.size());
+    for (const std::string &pipeline : spec.pipelines) {
+        pipelines.push_back(passManagerFromSpec(pipeline));
+    }
+
+    run.points = expandSweepPoints(spec, circuits, targets);
+    SNAIL_REQUIRE(!run.points.empty(),
+                  "sweep '" << spec.name
+                            << "' expands to no points (every width "
+                               "exceeds its targets?)");
+
+    std::vector<ExploreJob> jobs;
+    jobs.reserve(run.points.size());
+    for (const SweepPoint &point : run.points) {
+        ExploreJob job;
+        job.circuit = &circuits[point.circuit_index].circuit;
+        job.target = &targets[point.target_index];
+        job.pipeline = &pipelines[point.pipeline_index];
+        job.pipeline_spec = point.pipeline;
+        job.seed = point.seed;
+        if (options.progress) {
+            job.label = point.circuit_label + " w" +
+                        std::to_string(point.width) + " on " +
+                        point.target_label + " [" + point.pipeline + "]";
+        }
+        jobs.push_back(std::move(job));
+    }
+
+    TranspileCache cache;
+    run.metrics = evaluateJobs(jobs, cache, options, &run.stats);
+    run.cache_hits = cache.hits();
+    run.cache_misses = cache.misses();
+    return run;
+}
+
+} // namespace snail

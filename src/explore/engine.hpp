@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The design-space exploration engine.
+ *
+ * The paper's central loop — transpile every workload onto every
+ * candidate machine and compare the metrics — generalized into a
+ * reusable subsystem.  A declarative SweepSpec (sweep_spec.hpp) names
+ * the circuits x targets x pipelines cross-product; the engine
+ * expands it into points, evaluates them on the shared work-stealing
+ * pool (common/thread_pool.hpp), serves repeats from the
+ * content-addressed TranspileCache, streams completed points to a
+ * JSONL checkpoint for resumability (checkpoint.hpp), and returns the
+ * metrics in deterministic point order.
+ *
+ * Determinism: every point's randomness derives from its own seed
+ *
+ *   spec.seed ^ (width << 32) ^ std::hash(target label) ^ circuit salt
+ *
+ * — exactly the legacy codesign::Experiment derivation, which is what
+ * lets a spec over the fig-13 machines regenerate the paper series
+ * bit for bit — so results are identical at any thread count and the
+ * sequential layers (codesign/experiment.hpp, the fig benches) are
+ * thin clients of evaluateJobs().
+ */
+
+#ifndef SNAILQC_EXPLORE_ENGINE_HPP
+#define SNAILQC_EXPLORE_ENGINE_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "explore/sweep_spec.hpp"
+#include "explore/transpile_cache.hpp"
+
+namespace snail
+{
+
+/** One fully-resolved unit of work (pointers owned by the caller). */
+struct ExploreJob
+{
+    const Circuit *circuit = nullptr;
+    const Target *target = nullptr;
+    const PassManager *pipeline = nullptr;
+    /** Cache-key pipeline string; pipeline->spec() when empty. */
+    std::string pipeline_spec;
+    unsigned long long seed = kDefaultSweepSeed;
+    /** Display label for progress notes; "" stays silent. */
+    std::string label;
+};
+
+/** Evaluation configuration. */
+struct EngineOptions
+{
+    unsigned threads = 0;        //!< 0 = hardware concurrency
+    std::string checkpoint_path; //!< "" disables checkpointing
+    /** Preload the checkpoint (and append to it) instead of truncating. */
+    bool resume = false;
+    /**
+     * Live progress notes: each labelled job prints one line here as
+     * a worker picks it up (nullptr stays silent).
+     */
+    std::ostream *progress = nullptr;
+};
+
+/** What the evaluation did, for reporting. */
+struct EvaluationStats
+{
+    std::size_t computed = 0;   //!< points actually transpiled
+    std::size_t from_cache = 0; //!< served from cache (incl. resume)
+    std::size_t restored = 0;   //!< checkpoint lines loaded on resume
+};
+
+/**
+ * Evaluate every job, fanning them across the pool.  Results come
+ * back in job order and are bit-identical at any thread count.  The
+ * caller supplies the cache so it can span calls (or preload it);
+ * checkpointing per EngineOptions.  The first job exception is
+ * rethrown after all workers finish.
+ */
+std::vector<PointMetrics>
+evaluateJobs(const std::vector<ExploreJob> &jobs, TranspileCache &cache,
+             const EngineOptions &options, EvaluationStats *stats = nullptr);
+
+/** One expanded point of a spec-level sweep. */
+struct SweepPoint
+{
+    std::size_t circuit_index = 0;  //!< into expandCircuits(spec)
+    std::size_t target_index = 0;   //!< into expandTargets(spec)
+    std::size_t pipeline_index = 0; //!< into spec.pipelines
+    std::string circuit_label;
+    std::string target_label;
+    std::string pipeline;
+    int width = 0;
+    unsigned long long seed = 0;
+};
+
+/** A completed sweep: points and metrics in expansion order. */
+struct SweepRun
+{
+    SweepSpec spec;
+    std::vector<SweepPoint> points;
+    std::vector<PointMetrics> metrics; //!< parallel to `points`
+    EvaluationStats stats;
+    std::size_t cache_hits = 0;
+    std::size_t cache_misses = 0;
+};
+
+/**
+ * Expand a spec into its point list without evaluating anything:
+ * circuits outermost, then targets, then pipelines — the legacy sweep
+ * nesting — skipping widths the target cannot host (width < 2 or
+ * width > qubits), with seeds derived per the rule above.
+ */
+std::vector<SweepPoint> expandSweepPoints(
+    const SweepSpec &spec, const std::vector<CircuitInstance> &circuits,
+    const std::vector<Target> &targets);
+
+/**
+ * Expand and evaluate a declarative sweep.
+ * @throws SnailError for specs whose expansion is empty (every width
+ *         skipped) or whose pipelines fail to parse.
+ */
+SweepRun runSweep(const SweepSpec &spec, const EngineOptions &options);
+
+} // namespace snail
+
+#endif // SNAILQC_EXPLORE_ENGINE_HPP

@@ -1,0 +1,239 @@
+#include "explore/report.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "common/hash.hpp"
+#include "common/table.hpp"
+#include "explore/checkpoint.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+/** RFC-4180-style quoting: needed for pipeline specs (commas). */
+std::string
+csvField(const std::string &value)
+{
+    if (value.find_first_of(",\"\n") == std::string::npos) {
+        return value;
+    }
+    std::string quoted = "\"";
+    for (char c : value) {
+        if (c == '"') {
+            quoted += '"';
+        }
+        quoted += c;
+    }
+    return quoted + "\"";
+}
+
+std::string
+metricCell(const PointMetrics &point, const std::string &metric)
+{
+    if (metric == "fidelity_predicted" && !point.has_fidelity) {
+        return "";
+    }
+    return shortestDouble(pointMetricValue(point, metric));
+}
+
+/**
+ * Workload groups for the summary tables: one per (circuit family,
+ * pipeline), rows keyed by width, columns by target.  Preserves
+ * first-appearance order of the groups.
+ */
+struct SummaryGroup
+{
+    std::string circuit_label;
+    std::string pipeline;
+    std::vector<int> widths;                //!< sorted, unique
+    std::vector<std::string> targets;       //!< spec order
+    /** (width, target slot) -> point index, -1 when skipped. */
+    std::map<std::pair<int, std::size_t>, std::size_t> cells;
+};
+
+std::vector<SummaryGroup>
+summaryGroups(const SweepRun &run)
+{
+    std::vector<SummaryGroup> groups;
+    std::map<std::pair<std::string, std::size_t>, std::size_t> index;
+
+    for (std::size_t i = 0; i < run.points.size(); ++i) {
+        const SweepPoint &point = run.points[i];
+        const auto key =
+            std::make_pair(point.circuit_label, point.pipeline_index);
+        auto it = index.find(key);
+        if (it == index.end()) {
+            it = index.emplace(key, groups.size()).first;
+            groups.push_back(SummaryGroup{point.circuit_label,
+                                          point.pipeline,
+                                          {},
+                                          {},
+                                          {}});
+        }
+        SummaryGroup &group = groups[it->second];
+        if (std::find(group.widths.begin(), group.widths.end(),
+                      point.width) == group.widths.end()) {
+            group.widths.push_back(point.width);
+        }
+        const auto slot =
+            std::find(group.targets.begin(), group.targets.end(),
+                      point.target_label);
+        std::size_t column;
+        if (slot == group.targets.end()) {
+            column = group.targets.size();
+            group.targets.push_back(point.target_label);
+        } else {
+            column =
+                static_cast<std::size_t>(slot - group.targets.begin());
+        }
+        group.cells[{point.width, column}] = i;
+    }
+    for (SummaryGroup &group : groups) {
+        std::sort(group.widths.begin(), group.widths.end());
+    }
+    return groups;
+}
+
+} // namespace
+
+void
+writeSweepCsv(std::ostream &os, const SweepRun &run)
+{
+    os << "circuit,width,target,pipeline,seed";
+    for (const std::string &metric : pointMetricNames()) {
+        os << ',' << metric;
+    }
+    os << '\n';
+    for (std::size_t i = 0; i < run.points.size(); ++i) {
+        const SweepPoint &point = run.points[i];
+        os << csvField(point.circuit_label) << ',' << point.width << ','
+           << csvField(point.target_label) << ','
+           << csvField(point.pipeline) << ',' << hex64(point.seed);
+        for (const std::string &metric : pointMetricNames()) {
+            os << ',' << metricCell(run.metrics[i], metric);
+        }
+        os << '\n';
+    }
+}
+
+void
+writeSweepJson(std::ostream &os, const SweepRun &run)
+{
+    JsonValue::Object root;
+    root["spec"] = sweepSpecToJson(run.spec);
+    JsonValue::Array points;
+    for (std::size_t i = 0; i < run.points.size(); ++i) {
+        const SweepPoint &point = run.points[i];
+        JsonValue::Object entry;
+        entry["circuit"] = JsonValue(point.circuit_label);
+        entry["width"] = JsonValue(point.width);
+        entry["target"] = JsonValue(point.target_label);
+        entry["pipeline"] = JsonValue(point.pipeline);
+        entry["seed"] = JsonValue(hex64(point.seed));
+        entry["metrics"] = pointMetricsToJson(run.metrics[i]);
+        points.push_back(JsonValue(std::move(entry)));
+    }
+    root["points"] = JsonValue(std::move(points));
+    os << JsonValue(std::move(root)).dump(2) << '\n';
+}
+
+void
+printSweepSummary(std::ostream &os, const SweepRun &run,
+                  const std::string &metric)
+{
+    const bool maximize = metric == "fidelity_predicted";
+
+    for (const SummaryGroup &group : summaryGroups(run)) {
+        printBanner(os, run.spec.name + " -- " + group.circuit_label +
+                            " [" + group.pipeline + "] (" + metric +
+                            ")");
+        std::vector<std::string> headers{"width"};
+        headers.insert(headers.end(), group.targets.begin(),
+                       group.targets.end());
+        TableWriter table(headers);
+        for (int width : group.widths) {
+            std::vector<std::string> row{std::to_string(width)};
+            for (std::size_t t = 0; t < group.targets.size(); ++t) {
+                const auto it = group.cells.find({width, t});
+                if (it == group.cells.end()) {
+                    row.push_back("-");
+                } else {
+                    const std::string cell =
+                        metricCell(run.metrics[it->second], metric);
+                    row.push_back(cell.empty() ? "-" : cell);
+                }
+            }
+            table.addRow(std::move(row));
+        }
+        table.print(os);
+    }
+
+    const auto winners = winnersPerWorkload(run, metric, maximize);
+    printBanner(os, "Winners per workload (" + metric +
+                        (maximize ? ", max)" : ", min)"));
+    TableWriter winner_table({"circuit", "width", "pipeline", "winner",
+                              metric});
+    for (const WorkloadWinner &winner : winners) {
+        winner_table.addRow(
+            {winner.circuit_label, std::to_string(winner.width),
+             winner.pipeline,
+             run.points[winner.point_index].target_label,
+             shortestDouble(winner.value)});
+    }
+    winner_table.print(os);
+
+    printBanner(os, "Architecture scoreboard");
+    TableWriter score_table({"target", "workloads won"});
+    for (const TargetScore &score : targetScoreboard(run, winners)) {
+        score_table.addRow({score.target_label,
+                            std::to_string(score.wins)});
+    }
+    score_table.print(os);
+
+    // Multi-objective frontier: gate count vs critical duration, plus
+    // predicted fidelity when every point carries one.
+    std::vector<Objective> objectives{{"basis_2q_total", false},
+                                      {"duration_critical", false}};
+    bool all_fidelity = !run.metrics.empty();
+    for (const PointMetrics &point : run.metrics) {
+        all_fidelity = all_fidelity && point.has_fidelity;
+    }
+    if (all_fidelity) {
+        objectives.push_back({"fidelity_predicted", true});
+    }
+    std::string objective_names;
+    for (const Objective &objective : objectives) {
+        objective_names += objective_names.empty()
+                               ? objective.metric
+                               : ", " + objective.metric;
+    }
+    printBanner(os, "Pareto frontier (" + objective_names + ")");
+    TableWriter pareto_table({"circuit", "width", "target", "2Q",
+                              "dur crit"});
+    for (std::size_t i : paretoFrontier(run, objectives)) {
+        const SweepPoint &point = run.points[i];
+        pareto_table.addRow(
+            {point.circuit_label, std::to_string(point.width),
+             point.target_label,
+             std::to_string(run.metrics[i].metrics.basis_2q_total),
+             TableWriter::num(
+                 run.metrics[i].metrics.duration_critical, 1)});
+    }
+    pareto_table.print(os);
+
+    os << "\npoints: " << run.points.size() << " (computed "
+       << run.stats.computed << ", from cache " << run.stats.from_cache
+       << "); cache hits " << run.cache_hits << ", misses "
+       << run.cache_misses;
+    if (run.stats.restored > 0) {
+        os << "; restored " << run.stats.restored
+           << " checkpointed points";
+    }
+    os << "\n";
+}
+
+} // namespace snail

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Sweep reporters: CSV and JSON machine-readable dumps plus the
+ * human-facing summary tables the CLI prints.
+ *
+ * Both machine formats are deterministic functions of the SweepRun —
+ * points in expansion order, doubles via shortestDouble — so a resumed
+ * run's report is byte-identical to an uninterrupted one (the property
+ * the resume tests pin down).
+ */
+
+#ifndef SNAILQC_EXPLORE_REPORT_HPP
+#define SNAILQC_EXPLORE_REPORT_HPP
+
+#include <iosfwd>
+
+#include "explore/analysis.hpp"
+
+namespace snail
+{
+
+/**
+ * One row per point: circuit, width, target, pipeline, seed (hex),
+ * every TranspileMetrics column, and fidelity_predicted (empty cell
+ * when the pipeline never scored it).
+ */
+void writeSweepCsv(std::ostream &os, const SweepRun &run);
+
+/** The run as one JSON document: spec echo plus labelled points. */
+void writeSweepJson(std::ostream &os, const SweepRun &run);
+
+/**
+ * Human-facing summary: per-workload tables (rows: width, columns:
+ * targets) of `metric`, the winner scoreboard, the Pareto frontier on
+ * (basis_2q_total, duration_critical) — plus fidelity_predicted,
+ * maximized, when every point scored it — and the cache/evaluation
+ * statistics line ("... computed N ..."), which the CI resume smoke
+ * greps.
+ */
+void printSweepSummary(std::ostream &os, const SweepRun &run,
+                       const std::string &metric);
+
+} // namespace snail
+
+#endif // SNAILQC_EXPLORE_REPORT_HPP

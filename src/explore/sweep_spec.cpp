@@ -1,0 +1,398 @@
+#include "explore/sweep_spec.hpp"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "circuits/registry.hpp"
+#include "common/error.hpp"
+#include "ir/qasm_parser.hpp"
+#include "topology/builders.hpp"
+#include "topology/registry.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+/** Reject keys outside `allowed` (typo guard for hand-written specs). */
+void
+requireKnownKeys(const JsonValue &json, const char *where,
+                 std::initializer_list<const char *> allowed)
+{
+    for (const auto &[key, value] : json.asObject()) {
+        (void)value;
+        bool known = false;
+        for (const char *candidate : allowed) {
+            if (key == candidate) {
+                known = true;
+                break;
+            }
+        }
+        SNAIL_REQUIRE(known, "unknown key '" << key << "' in " << where);
+    }
+}
+
+/** Widths: an explicit array or a {"from", "to", "step"} range. */
+std::vector<int>
+parseWidths(const JsonValue &json)
+{
+    std::vector<int> widths;
+    if (json.isArray()) {
+        for (const JsonValue &entry : json.asArray()) {
+            widths.push_back(entry.asInt());
+        }
+    } else {
+        requireKnownKeys(json, "widths range", {"from", "to", "step"});
+        const int from = json.at("from").asInt();
+        const int to = json.at("to").asInt();
+        const int step =
+            static_cast<int>(json.numberOr("step", 1.0));
+        SNAIL_REQUIRE(step > 0, "widths range needs step > 0");
+        for (int w = from; w <= to; w += step) {
+            widths.push_back(w);
+        }
+    }
+    SNAIL_REQUIRE(!widths.empty(), "empty widths list in sweep spec");
+    return widths;
+}
+
+JsonValue
+widthsToJson(const std::vector<int> &widths)
+{
+    JsonValue::Array out;
+    for (int w : widths) {
+        out.push_back(JsonValue(w));
+    }
+    return JsonValue(std::move(out));
+}
+
+/** Seed: a JSON number, or a string ("0x..." hex or decimal). */
+unsigned long long
+parseSeed(const JsonValue &json)
+{
+    if (json.isNumber()) {
+        const double value = json.asNumber();
+        SNAIL_REQUIRE(value >= 0 && value < 9007199254740992.0 &&
+                          value == static_cast<double>(
+                                       static_cast<unsigned long long>(
+                                           value)),
+                      "seed " << value
+                              << " is not an exact non-negative integer; "
+                                 "use a \"0x...\" string for large seeds");
+        return static_cast<unsigned long long>(value);
+    }
+    const std::string &text = json.asString();
+    try {
+        return std::stoull(text, nullptr, 0);
+    } catch (const std::exception &) {
+        SNAIL_THROW("cannot parse seed '" << text << "'");
+    }
+}
+
+CircuitSpec
+circuitSpecFromJson(const JsonValue &json)
+{
+    requireKnownKeys(json, "circuits entry", {"bench", "widths", "qasm"});
+    CircuitSpec spec;
+    if (const JsonValue *bench = json.find("bench")) {
+        spec.bench = bench->asString();
+        benchmarkFromName(spec.bench); // validate eagerly
+        spec.widths = parseWidths(json.at("widths"));
+    }
+    if (const JsonValue *qasm = json.find("qasm")) {
+        spec.qasm = qasm->asString();
+        SNAIL_REQUIRE(json.find("widths") == nullptr,
+                      "\"widths\" does not apply to a \"qasm\" entry "
+                      "(the file fixes the width)");
+    }
+    SNAIL_REQUIRE(spec.bench.empty() != spec.qasm.empty(),
+                  "circuits entry needs exactly one of "
+                  "\"bench\" or \"qasm\"");
+    return spec;
+}
+
+TargetSpec
+targetSpecFromJson(const JsonValue &json)
+{
+    requireKnownKeys(json, "targets entry",
+                     {"target", "device", "topology", "generator", "args",
+                      "basis", "label"});
+    TargetSpec spec;
+    spec.target = json.stringOr("target", "");
+    spec.device = json.stringOr("device", "");
+    spec.topology = json.stringOr("topology", "");
+    spec.generator = json.stringOr("generator", "");
+    spec.basis = json.stringOr("basis", "");
+    spec.label = json.stringOr("label", "");
+    if (const JsonValue *args = json.find("args")) {
+        for (const JsonValue &arg : args->asArray()) {
+            spec.args.push_back(arg.asInt());
+        }
+    }
+    const int selectors = (spec.target.empty() ? 0 : 1) +
+                          (spec.device.empty() ? 0 : 1) +
+                          (spec.topology.empty() ? 0 : 1) +
+                          (spec.generator.empty() ? 0 : 1);
+    SNAIL_REQUIRE(selectors == 1,
+                  "targets entry needs exactly one of \"target\", "
+                  "\"device\", \"topology\", or \"generator\"");
+    SNAIL_REQUIRE(spec.topology.empty() || !spec.basis.empty(),
+                  "topology target '" << spec.topology
+                                      << "' needs a \"basis\"");
+    SNAIL_REQUIRE(spec.generator.empty() || !spec.basis.empty(),
+                  "generator target '" << spec.generator
+                                       << "' needs a \"basis\"");
+    return spec;
+}
+
+/** Instantiate a parametric topology generator (builders.hpp). */
+CouplingGraph
+generatedTopology(const std::string &name, const std::vector<int> &args)
+{
+    const auto need = [&](std::size_t n) {
+        SNAIL_REQUIRE(args.size() == n,
+                      "generator '" << name << "' takes " << n
+                                    << " args, got " << args.size());
+    };
+    CouplingGraph graph(1);
+    if (name == "square") {
+        need(2);
+        graph = squareLattice(args[0], args[1]);
+    } else if (name == "lattice-altdiag") {
+        need(2);
+        graph = latticeWithAltDiagonals(args[0], args[1]);
+    } else if (name == "hex") {
+        need(2);
+        graph = hexLattice(args[0], args[1]);
+    } else if (name == "heavy-hex") {
+        need(2);
+        graph = heavyHexLattice(args[0], args[1]);
+    } else if (name == "hypercube") {
+        need(1);
+        graph = hypercube(args[0]);
+    } else if (name == "incomplete-hypercube") {
+        need(1);
+        graph = incompleteHypercube(args[0]);
+    } else if (name == "tree") {
+        need(1);
+        graph = modularTree(args[0]);
+    } else if (name == "tree-rr") {
+        need(1);
+        graph = modularTreeRoundRobin(args[0]);
+    } else if (name == "corral") {
+        need(3);
+        graph = corral(args[0], args[1], args[2]);
+    } else {
+        SNAIL_THROW("unknown topology generator '"
+                    << name
+                    << "' (known: square, lattice-altdiag, hex, "
+                       "heavy-hex, hypercube, incomplete-hypercube, "
+                       "tree, tree-rr, corral)");
+    }
+    std::string label = name + "(";
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        label += (i ? "," : "") + std::to_string(args[i]);
+    }
+    graph.setName(label + ")");
+    return graph;
+}
+
+Target
+resolveTarget(const TargetSpec &spec)
+{
+    Target target = [&]() {
+        if (!spec.target.empty()) {
+            return namedTarget(spec.target);
+        }
+        if (!spec.device.empty()) {
+            return loadTargetFile(spec.device);
+        }
+        const CouplingGraph graph =
+            spec.topology.empty()
+                ? generatedTopology(spec.generator, spec.args)
+                : namedTopology(spec.topology);
+        Target uniform =
+            Target::uniform(graph, parseBasisSpec(spec.basis));
+        uniform.setName(graph.name() + "-" + uniform.defaultBasis().name());
+        return uniform;
+    }();
+    if (!spec.label.empty()) {
+        target.setName(spec.label);
+    }
+    return target;
+}
+
+/** The file name without directories — the label for QASM circuits. */
+std::string
+baseName(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+} // namespace
+
+SweepSpec
+sweepSpecFromJson(const JsonValue &json)
+{
+    requireKnownKeys(json, "sweep spec",
+                     {"name", "seed", "circuits", "targets", "pipelines"});
+    SweepSpec spec;
+    spec.name = json.stringOr("name", "sweep");
+    if (const JsonValue *seed = json.find("seed")) {
+        spec.seed = parseSeed(*seed);
+    }
+    for (const JsonValue &entry : json.at("circuits").asArray()) {
+        spec.circuits.push_back(circuitSpecFromJson(entry));
+    }
+    for (const JsonValue &entry : json.at("targets").asArray()) {
+        spec.targets.push_back(targetSpecFromJson(entry));
+    }
+    for (const JsonValue &entry : json.at("pipelines").asArray()) {
+        spec.pipelines.push_back(entry.asString());
+    }
+    SNAIL_REQUIRE(!spec.circuits.empty(), "sweep spec has no circuits");
+    SNAIL_REQUIRE(!spec.targets.empty(), "sweep spec has no targets");
+    SNAIL_REQUIRE(!spec.pipelines.empty(), "sweep spec has no pipelines");
+    return spec;
+}
+
+JsonValue
+sweepSpecToJson(const SweepSpec &spec)
+{
+    JsonValue::Object root;
+    root["name"] = JsonValue(spec.name);
+    if (spec.seed < (1ULL << 53)) {
+        root["seed"] = JsonValue(static_cast<double>(spec.seed));
+    } else {
+        std::ostringstream hex;
+        hex << "0x" << std::hex << spec.seed;
+        root["seed"] = JsonValue(hex.str());
+    }
+
+    JsonValue::Array circuits;
+    for (const CircuitSpec &c : spec.circuits) {
+        JsonValue::Object entry;
+        if (!c.bench.empty()) {
+            entry["bench"] = JsonValue(c.bench);
+            entry["widths"] = widthsToJson(c.widths);
+        } else {
+            entry["qasm"] = JsonValue(c.qasm);
+        }
+        circuits.push_back(JsonValue(std::move(entry)));
+    }
+    root["circuits"] = JsonValue(std::move(circuits));
+
+    JsonValue::Array targets;
+    for (const TargetSpec &t : spec.targets) {
+        JsonValue::Object entry;
+        if (!t.target.empty()) {
+            entry["target"] = JsonValue(t.target);
+        } else if (!t.device.empty()) {
+            entry["device"] = JsonValue(t.device);
+        } else if (!t.topology.empty()) {
+            entry["topology"] = JsonValue(t.topology);
+        } else {
+            entry["generator"] = JsonValue(t.generator);
+            JsonValue::Array args;
+            for (int arg : t.args) {
+                args.push_back(JsonValue(arg));
+            }
+            entry["args"] = JsonValue(std::move(args));
+        }
+        if (!t.basis.empty()) {
+            entry["basis"] = JsonValue(t.basis);
+        }
+        if (!t.label.empty()) {
+            entry["label"] = JsonValue(t.label);
+        }
+        targets.push_back(JsonValue(std::move(entry)));
+    }
+    root["targets"] = JsonValue(std::move(targets));
+
+    JsonValue::Array pipelines;
+    for (const std::string &p : spec.pipelines) {
+        pipelines.push_back(JsonValue(p));
+    }
+    root["pipelines"] = JsonValue(std::move(pipelines));
+    return JsonValue(std::move(root));
+}
+
+SweepSpec
+loadSweepSpecFile(const std::string &path)
+{
+    std::ifstream in(path);
+    SNAIL_REQUIRE(in.good(), "cannot open sweep spec '" << path << "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+        return sweepSpecFromJson(JsonValue::parse(text.str()));
+    } catch (const SnailError &e) {
+        SNAIL_THROW("sweep spec '" << path << "': " << e.what());
+    }
+}
+
+std::vector<CircuitInstance>
+expandCircuits(const SweepSpec &spec, int max_width)
+{
+    std::vector<CircuitInstance> out;
+    // QASM circuits label by basename for readable reports, but two
+    // files sharing a basename must not share a label (the summary
+    // groups by label); fall back to the full path on collision.
+    std::set<std::string> qasm_labels;
+    for (const CircuitSpec &entry : spec.circuits) {
+        if (!entry.bench.empty()) {
+            const BenchmarkKind kind = benchmarkFromName(entry.bench);
+            for (int width : entry.widths) {
+                // The engine's documented skip rule, applied before
+                // construction: a too-small width would make the
+                // benchmark generator throw, and a too-large one
+                // would only ever be discarded.
+                if (width < 2 || width > max_width) {
+                    continue;
+                }
+                CircuitInstance instance{
+                    makeBenchmark(kind, width, spec.seed),
+                    benchmarkLabel(kind), width,
+                    static_cast<unsigned long long>(kind)};
+                out.push_back(std::move(instance));
+            }
+        } else {
+            Circuit circuit = parseQasmFile(entry.qasm).circuit;
+            const int width = circuit.numQubits();
+            // Content-derived salt: stable across processes, unlike
+            // std::hash, and independent of where the file lives.
+            const unsigned long long salt = circuit.contentHash();
+            const std::string label =
+                qasm_labels.insert(baseName(entry.qasm)).second
+                    ? baseName(entry.qasm)
+                    : entry.qasm;
+            out.push_back(CircuitInstance{std::move(circuit), label,
+                                          width, salt});
+        }
+    }
+    return out;
+}
+
+std::vector<Target>
+expandTargets(const SweepSpec &spec)
+{
+    std::vector<Target> out;
+    std::set<std::string> labels;
+    out.reserve(spec.targets.size());
+    for (const TargetSpec &entry : spec.targets) {
+        Target target = resolveTarget(entry);
+        // The label keys summary columns and feeds per-point seeds;
+        // a duplicate would silently shadow another target's results.
+        SNAIL_REQUIRE(labels.insert(target.name()).second,
+                      "two sweep targets share the label '"
+                          << target.name()
+                          << "'; disambiguate with \"label\"");
+        out.push_back(std::move(target));
+    }
+    return out;
+}
+
+} // namespace snail

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Declarative sweep specifications for the design-space exploration
+ * engine (explore/engine.hpp).
+ *
+ * A SweepSpec names three axes whose cross-product the engine
+ * evaluates:
+ *
+ *   circuits   registry benchmarks at a list of widths, or OpenQASM
+ *              files
+ *   targets    built-in named targets, JSON device files, registered
+ *              topologies paired with a basis, or parametric topology
+ *              generators (corral / tree / hypercube / lattices)
+ *   pipelines  transpiler pass specs (pass_registry.hpp)
+ *
+ * Specs serialize to a small JSON schema (documented in
+ * examples/sweeps/README.md and the main README) so sweeps are
+ * shareable, diffable artifacts:
+ *
+ *   {
+ *     "name": "paper-fig13",
+ *     "seed": 3203358445,
+ *     "circuits": [{"bench": "qv", "widths": {"from": 4, "to": 16,
+ *                                             "step": 2}}],
+ *     "targets": [{"target": "corral11-16-sqiswap"},
+ *                 {"device": "examples/devices/chiplet-hetero-16.json"},
+ *                 {"topology": "square-16", "basis": "syc"},
+ *                 {"generator": "corral", "args": [8, 1, 2],
+ *                  "basis": "sqiswap"}],
+ *     "pipelines": ["dense,stochastic-route=10"]
+ *   }
+ *
+ * Seed derivation (expandSweepPoints in engine.hpp) reproduces the
+ * legacy codesign::Experiment rule exactly, which is what lets a spec
+ * over the fig-13 machines regenerate the paper series bit for bit.
+ */
+
+#ifndef SNAILQC_EXPLORE_SWEEP_SPEC_HPP
+#define SNAILQC_EXPLORE_SWEEP_SPEC_HPP
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "ir/circuit.hpp"
+#include "target/target.hpp"
+
+namespace snail
+{
+
+/** Default sweep seed, shared with codesign::SweepOptions. */
+inline constexpr unsigned long long kDefaultSweepSeed = 0xBEEF5EEDULL;
+
+/** One circuits-axis entry: a benchmark family or a QASM file. */
+struct CircuitSpec
+{
+    std::string bench;       //!< registry short name ("qv", ...)
+    std::vector<int> widths; //!< widths to instantiate `bench` at
+    std::string qasm;        //!< OpenQASM path (exclusive with bench)
+};
+
+/** One targets-axis entry; exactly one selector field is set. */
+struct TargetSpec
+{
+    std::string target;     //!< built-in target name
+    std::string device;     //!< JSON device file path
+    std::string topology;   //!< registered topology name...
+    std::string generator;  //!< ...or parametric generator name
+    std::vector<int> args;  //!< generator arguments
+    std::string basis;      //!< basis for topology/generator entries
+    std::string label;      //!< optional display-label override
+};
+
+/** The full declarative sweep: circuits x targets x pipelines. */
+struct SweepSpec
+{
+    std::string name = "sweep";
+    unsigned long long seed = kDefaultSweepSeed;
+    std::vector<CircuitSpec> circuits;
+    std::vector<TargetSpec> targets;
+    std::vector<std::string> pipelines;
+};
+
+/** A circuit instantiated from the spec, with its point-seed salt. */
+struct CircuitInstance
+{
+    Circuit circuit;
+    std::string label; //!< paper-style label, e.g. "Quantum Volume"
+    int width = 0;
+    /**
+     * XOR-ed into every point seed for this circuit.  Registry
+     * benchmarks use the BenchmarkKind value — the legacy
+     * codesign::Experiment convention — and QASM files a stable
+     * content-derived value.
+     */
+    unsigned long long salt = 0;
+};
+
+/** @name Spec (de)serialization. */
+/** @{ */
+
+/**
+ * Parse a spec from its JSON form.  Unknown keys anywhere in the
+ * document are rejected (typo guard), as are entries selecting zero or
+ * several of the axis forms. @throws SnailError with the offending key.
+ */
+SweepSpec sweepSpecFromJson(const JsonValue &json);
+
+/** Serialize; sweepSpecFromJson(sweepSpecToJson(s)) round-trips. */
+JsonValue sweepSpecToJson(const SweepSpec &spec);
+
+/** Load a spec file. @throws SnailError on I/O or schema errors. */
+SweepSpec loadSweepSpecFile(const std::string &path);
+
+/** @} */
+
+/** @name Axis expansion. */
+/** @{ */
+
+/**
+ * Instantiate every circuit of the spec: one CircuitInstance per
+ * (benchmark, width) pair, built with the spec seed as the generator
+ * seed (the codesign::Experiment convention), plus one per QASM file.
+ * Benchmark widths above `max_width` are not built at all — callers
+ * that know the largest target (runSweep) pass its qubit count so
+ * oversized instances, which every target would skip anyway, never
+ * pay their (Haar-random) generation cost.
+ */
+std::vector<CircuitInstance> expandCircuits(
+    const SweepSpec &spec,
+    int max_width = std::numeric_limits<int>::max());
+
+/**
+ * Resolve every target of the spec, applying label overrides.  Target
+ * order follows the spec.  Duplicate labels are rejected: the label
+ * is both the summary-table column key and a per-point seed input, so
+ * two targets sharing one would silently shadow each other.
+ */
+std::vector<Target> expandTargets(const SweepSpec &spec);
+
+/** @} */
+
+} // namespace snail
+
+#endif // SNAILQC_EXPLORE_SWEEP_SPEC_HPP

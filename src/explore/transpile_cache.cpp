@@ -1,0 +1,47 @@
+#include "explore/transpile_cache.hpp"
+
+namespace snail
+{
+
+std::optional<PointMetrics>
+TranspileCache::lookup(const CacheKey &key) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    const auto it = _entries.find(key);
+    if (it == _entries.end()) {
+        ++_misses;
+        return std::nullopt;
+    }
+    ++_hits;
+    return it->second;
+}
+
+void
+TranspileCache::insert(const CacheKey &key, const PointMetrics &metrics)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _entries[key] = metrics;
+}
+
+std::size_t
+TranspileCache::size() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _entries.size();
+}
+
+std::size_t
+TranspileCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _hits;
+}
+
+std::size_t
+TranspileCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _misses;
+}
+
+} // namespace snail

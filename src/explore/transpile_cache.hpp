@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Content-addressed transpile cache for the exploration engine.
+ *
+ * A sweep point is fully determined by (circuit, target, pipeline,
+ * seed) — the transpiler's determinism contract (pass.hpp) — so its
+ * metrics can be addressed by the tuple
+ *
+ *   (Circuit::contentHash, Target::contentHash, pipeline spec, seed)
+ *
+ * and reused: duplicate points inside one sweep hit the in-memory map,
+ * and checkpointed points from an interrupted run are re-loaded into
+ * it on --resume (explore/checkpoint.hpp), so only unfinished points
+ * are ever re-transpiled.  The cache stores the extracted PointMetrics
+ * rather than whole TranspileResults: a routed 84-qubit circuit is
+ * orders of magnitude heavier than the handful of doubles a
+ * design-space study actually compares.
+ *
+ * Thread safety: lookup/insert are mutex-guarded; the engine calls
+ * them from pool workers.  Two workers computing the same key
+ * concurrently both insert — harmless, since determinism makes their
+ * values identical.
+ */
+
+#ifndef SNAILQC_EXPLORE_TRANSPILE_CACHE_HPP
+#define SNAILQC_EXPLORE_TRANSPILE_CACHE_HPP
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <tuple>
+
+#include "transpiler/pass_manager.hpp"
+
+namespace snail
+{
+
+/** Content address of one sweep point. */
+struct CacheKey
+{
+    unsigned long long circuit_hash = 0;
+    unsigned long long target_hash = 0;
+    std::string pipeline;
+    unsigned long long seed = 0;
+
+    bool
+    operator<(const CacheKey &o) const
+    {
+        return std::tie(circuit_hash, target_hash, pipeline, seed) <
+               std::tie(o.circuit_hash, o.target_hash, o.pipeline, o.seed);
+    }
+
+    bool
+    operator==(const CacheKey &o) const
+    {
+        return circuit_hash == o.circuit_hash &&
+               target_hash == o.target_hash && pipeline == o.pipeline &&
+               seed == o.seed;
+    }
+};
+
+/** The per-point data a design-space study compares. */
+struct PointMetrics
+{
+    TranspileMetrics metrics; //!< the paper's Fig. 10 collection points
+    /** "score-fidelity" prediction; meaningful iff has_fidelity. */
+    double fidelity_predicted = 0.0;
+    bool has_fidelity = false;
+};
+
+/** Thread-safe content-addressed PointMetrics store. */
+class TranspileCache
+{
+  public:
+    /** The cached metrics for `key`, counting a hit or miss. */
+    std::optional<PointMetrics> lookup(const CacheKey &key) const;
+
+    /** Store (or overwrite) the metrics for `key`. */
+    void insert(const CacheKey &key, const PointMetrics &metrics);
+
+    std::size_t size() const;
+    std::size_t hits() const;
+    std::size_t misses() const;
+
+  private:
+    mutable std::mutex _mutex;
+    std::map<CacheKey, PointMetrics> _entries;
+    mutable std::size_t _hits = 0;
+    mutable std::size_t _misses = 0;
+};
+
+} // namespace snail
+
+#endif // SNAILQC_EXPLORE_TRANSPILE_CACHE_HPP

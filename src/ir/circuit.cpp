@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 
 namespace snail
 {
@@ -183,6 +184,34 @@ Circuit::twoQubitDepth() const
 {
     return weightedCriticalPath(
         [](const Instruction &op) { return op.isTwoQubit() ? 1.0 : 0.0; });
+}
+
+unsigned long long
+Circuit::contentHash() const
+{
+    ContentHasher h;
+    h.i64(_numQubits);
+    h.u64(_ops.size());
+    for (const Instruction &op : _ops) {
+        const Gate &gate = op.gate();
+        h.i64(static_cast<long long>(gate.kind()));
+        h.u64(gate.params().size());
+        for (double param : gate.params()) {
+            h.f64(param);
+        }
+        if (gate.kind() == GateKind::Unitary2 ||
+            gate.kind() == GateKind::Unitary4) {
+            const Matrix matrix = gate.matrix();
+            for (const auto &cell : matrix.data()) {
+                h.f64(cell.real());
+                h.f64(cell.imag());
+            }
+        }
+        for (Qubit q : op.qubits()) {
+            h.i64(q);
+        }
+    }
+    return h.value();
 }
 
 void

@@ -100,6 +100,18 @@ class Circuit
     /** Critical path counting every 2Q gate as 1 (1Q gates free). */
     double twoQubitDepth() const;
 
+    /**
+     * Stable 64-bit content hash (common/hash.hpp): qubit count plus
+     * every instruction's gate kind, parameters, operand qubits, and —
+     * for opaque Unitary2/Unitary4 gates — the explicit matrix
+     * entries.  The display name is deliberately excluded: two
+     * circuits that apply the same gates to the same qubits are the
+     * same content.  Used by the explore/ transpile cache to address
+     * results across runs, so the value must never depend on process
+     * state (pointer values, std::hash).
+     */
+    unsigned long long contentHash() const;
+
     /** Human-readable listing. */
     void dump(std::ostream &os) const;
 

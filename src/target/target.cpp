@@ -3,7 +3,10 @@
 #include <fstream>
 #include <sstream>
 
+#include <set>
+
 #include "common/error.hpp"
+#include "common/hash.hpp"
 #include "fidelity/model.hpp"
 
 namespace snail
@@ -43,10 +46,22 @@ Target::uniform(const CouplingGraph &graph, const BasisSpec &basis,
     return Target(graph, edge, qubit);
 }
 
+namespace
+{
+
+/** The one edge-pair canonicalization rule of this file. */
+std::pair<int, int>
+canonicalPair(int a, int b)
+{
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+} // namespace
+
 std::pair<int, int>
 Target::canonical(int a, int b)
 {
-    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+    return canonicalPair(a, b);
 }
 
 void
@@ -105,6 +120,55 @@ std::vector<std::pair<int, QubitProperties>>
 Target::qubitOverrides() const
 {
     return {_qubits.begin(), _qubits.end()};
+}
+
+namespace
+{
+
+void
+hashEdgeProps(ContentHasher &h, const EdgeProperties &props)
+{
+    h.i64(static_cast<long long>(props.basis.kind));
+    h.byte(props.basis.optimistic_syc ? 1 : 0);
+    h.f64(props.fidelity_2q);
+    h.f64(props.duration);
+}
+
+void
+hashQubitProps(ContentHasher &h, const QubitProperties &props)
+{
+    h.f64(props.fidelity_1q);
+    h.f64(props.t1);
+    h.f64(props.t2);
+}
+
+} // namespace
+
+unsigned long long
+Target::contentHash() const
+{
+    ContentHasher h;
+    h.i64(numQubits());
+    const auto edge_list = _graph.edges();
+    h.u64(edge_list.size());
+    for (const auto &[a, b] : edge_list) {
+        h.i64(a);
+        h.i64(b);
+    }
+    hashEdgeProps(h, _defaultEdge);
+    hashQubitProps(h, _defaultQubit);
+    h.u64(_edges.size());
+    for (const auto &[pair, props] : _edges) {
+        h.i64(pair.first);
+        h.i64(pair.second);
+        hashEdgeProps(h, props);
+    }
+    h.u64(_qubits.size());
+    for (const auto &[q, props] : _qubits) {
+        h.i64(q);
+        hashQubitProps(h, props);
+    }
+    return h.value();
 }
 
 Target
@@ -293,16 +357,28 @@ targetFromJson(const JsonValue &json)
 
     CouplingGraph graph(num_qubits, name);
     // First pass: build the topology (overrides need existing edges).
+    // addEdge is idempotent, so duplicates must be rejected here: a
+    // repeated entry is at best redundant and at worst two conflicting
+    // calibration blocks for the same coupling.
+    std::set<std::pair<int, int>> seen;
     const JsonValue &edges = json.at("edges");
     for (const JsonValue &entry : edges.asArray()) {
+        int a = 0;
+        int b = 0;
         if (entry.isArray()) {
             const auto &pair = entry.asArray();
             SNAIL_REQUIRE(pair.size() == 2,
                           "edge entry needs exactly two endpoints");
-            graph.addEdge(pair[0].asInt(), pair[1].asInt());
+            a = pair[0].asInt();
+            b = pair[1].asInt();
         } else {
-            graph.addEdge(entry.at("a").asInt(), entry.at("b").asInt());
+            a = entry.at("a").asInt();
+            b = entry.at("b").asInt();
         }
+        if (!seen.insert(canonicalPair(a, b)).second) {
+            throw DuplicateEdgeError(name, a, b);
+        }
+        graph.addEdge(a, b);
     }
 
     Target target(std::move(graph), default_edge, default_qubit);
@@ -333,6 +409,12 @@ loadTargetFile(const std::string &path)
     text << in.rdbuf();
     try {
         return targetFromJson(JsonValue::parse(text.str()));
+    } catch (const DuplicateEdgeError &e) {
+        // Re-wrap with the path but keep the typed error — and its
+        // deviceName()/pair accessors intact — so callers can still
+        // react to the specific failure.
+        throw DuplicateEdgeError(e.deviceName(), e.qubitA(), e.qubitB(),
+                                 "device file '" + path + "': ");
     } catch (const SnailError &e) {
         SNAIL_THROW("device file '" << path << "': " << e.what());
     }

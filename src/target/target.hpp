@@ -176,6 +176,16 @@ class Target
     /** All explicitly overridden qubits as (q, properties). */
     std::vector<std::pair<int, QubitProperties>> qubitOverrides() const;
 
+    /**
+     * Stable 64-bit content hash (common/hash.hpp): qubit count, edge
+     * list, default edge/qubit calibration, and every per-edge and
+     * per-qubit override.  The display name is deliberately excluded —
+     * two targets describing the same machine are the same content
+     * regardless of what they are called.  Used by the explore/
+     * transpile cache, so the value must be stable across processes.
+     */
+    unsigned long long contentHash() const;
+
   private:
     static std::pair<int, int> canonical(int a, int b);
 

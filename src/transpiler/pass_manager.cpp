@@ -1,12 +1,10 @@
 #include "transpiler/pass_manager.hpp"
 
-#include <atomic>
 #include <chrono>
-#include <exception>
 #include <optional>
-#include <thread>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "transpiler/passes.hpp"
 
 namespace snail
@@ -124,55 +122,12 @@ std::vector<TranspileResult>
 transpileBatch(const std::vector<TranspileJob> &jobs, const PassManager &pm,
                unsigned num_threads)
 {
-    if (num_threads == 0) {
-        num_threads = std::thread::hardware_concurrency();
-        if (num_threads == 0) {
-            num_threads = 1;
-        }
-    }
-    if (num_threads > jobs.size()) {
-        num_threads = static_cast<unsigned>(jobs.size());
-    }
-
     std::vector<std::optional<TranspileResult>> slots(jobs.size());
-    std::vector<std::exception_ptr> errors(jobs.size());
+    parallelFor(jobs.size(), num_threads, [&](std::size_t i) {
+        slots[i] = pm.run(jobs[i].circuit, jobs[i].graph, jobs[i].seed,
+                          jobs[i].basis);
+    });
 
-    // Work stealing off a shared atomic counter: jobs differ wildly in
-    // cost (widths, topologies), so static striping would idle workers.
-    std::atomic<std::size_t> next{0};
-    auto worker = [&]() {
-        for (;;) {
-            const std::size_t i = next.fetch_add(1);
-            if (i >= jobs.size()) {
-                return;
-            }
-            try {
-                slots[i] = pm.run(jobs[i].circuit, jobs[i].graph,
-                                  jobs[i].seed, jobs[i].basis);
-            } catch (...) {
-                errors[i] = std::current_exception();
-            }
-        }
-    };
-
-    if (num_threads <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(num_threads);
-        for (unsigned t = 0; t < num_threads; ++t) {
-            pool.emplace_back(worker);
-        }
-        for (auto &thread : pool) {
-            thread.join();
-        }
-    }
-
-    for (const auto &error : errors) {
-        if (error) {
-            std::rethrow_exception(error);
-        }
-    }
     std::vector<TranspileResult> results;
     results.reserve(jobs.size());
     for (auto &slot : slots) {

@@ -11,9 +11,10 @@
  * metrics ("scored" property), a ScoreMetricsPass runs implicitly at
  * the end, so every pipeline yields complete metrics.
  *
- * transpileBatch() fans independent jobs across a std::thread worker
- * pool.  Each job gets its own PassContext seeded from its own job
- * seed, so results are bit-identical at any thread count, including 1.
+ * transpileBatch() fans independent jobs across the shared
+ * work-stealing pool (common/thread_pool.hpp).  Each job gets its own
+ * PassContext seeded from its own job seed, so results are
+ * bit-identical at any thread count, including 1.
  */
 
 #ifndef SNAILQC_TRANSPILER_PASS_MANAGER_HPP

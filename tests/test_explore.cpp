@@ -1,0 +1,614 @@
+/**
+ * @file
+ * Tests for the design-space exploration subsystem: content hashes on
+ * Circuit and Target, the transpile cache, sweep-spec parsing and
+ * expansion, engine determinism across thread counts, bit-identity
+ * with the legacy codesign::Experiment series, checkpoint/resume
+ * round-trips (including a torn checkpoint from a killed run), and
+ * the Pareto / winner analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "circuits/circuits.hpp"
+#include "codesign/experiment.hpp"
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "explore/checkpoint.hpp"
+#include "explore/engine.hpp"
+#include "explore/report.hpp"
+#include "topology/registry.hpp"
+#include "transpiler/pass_registry.hpp"
+
+namespace snail
+{
+namespace
+{
+
+/** A small spec shared by several tests: 2 circuits x 2 targets. */
+SweepSpec
+smokeSpec()
+{
+    SweepSpec spec;
+    spec.name = "test-smoke";
+    spec.seed = 7;
+    spec.circuits.push_back(CircuitSpec{"ghz", {8}, ""});
+    spec.circuits.push_back(CircuitSpec{"qft", {8}, ""});
+    TargetSpec square;
+    square.topology = "square-16";
+    square.basis = "cx";
+    spec.targets.push_back(std::move(square));
+    TargetSpec corral;
+    corral.target = "corral11-16-sqiswap";
+    spec.targets.push_back(std::move(corral));
+    spec.pipelines.push_back("dense,stochastic-route=6");
+    return spec;
+}
+
+void
+expectSameMetrics(const TranspileMetrics &a, const TranspileMetrics &b,
+                  const std::string &label)
+{
+    EXPECT_EQ(a.swaps_total, b.swaps_total) << label;
+    EXPECT_DOUBLE_EQ(a.swaps_critical, b.swaps_critical) << label;
+    EXPECT_EQ(a.ops_2q_pre, b.ops_2q_pre) << label;
+    EXPECT_EQ(a.basis_2q_total, b.basis_2q_total) << label;
+    EXPECT_DOUBLE_EQ(a.basis_2q_critical, b.basis_2q_critical) << label;
+    EXPECT_DOUBLE_EQ(a.duration_total, b.duration_total) << label;
+    EXPECT_DOUBLE_EQ(a.duration_critical, b.duration_critical) << label;
+}
+
+TEST(ContentHash, CircuitEqualObjectsHashEqual)
+{
+    EXPECT_EQ(ghz(6).contentHash(), ghz(6).contentHash());
+    EXPECT_EQ(qft(8).contentHash(), qft(8).contentHash());
+    // Haar-random QV blocks carry explicit matrices; same seed, same
+    // content.
+    EXPECT_EQ(quantumVolume(6, 6, 3).contentHash(),
+              quantumVolume(6, 6, 3).contentHash());
+    // The display name is not content.
+    Circuit renamed = ghz(6);
+    renamed.setName("something-else");
+    EXPECT_EQ(renamed.contentHash(), ghz(6).contentHash());
+}
+
+TEST(ContentHash, CircuitAnyMutationChangesHash)
+{
+    const Circuit base = qft(6);
+    const unsigned long long h0 = base.contentHash();
+
+    Circuit extra_gate = base;
+    extra_gate.h(0);
+    EXPECT_NE(extra_gate.contentHash(), h0);
+
+    // Same gate count, different operands.
+    Circuit a(4);
+    a.cx(0, 1);
+    Circuit b(4);
+    b.cx(0, 2);
+    EXPECT_NE(a.contentHash(), b.contentHash());
+    // Operand order matters (cx is directional).
+    Circuit c(4);
+    c.cx(1, 0);
+    EXPECT_NE(a.contentHash(), c.contentHash());
+
+    // Parameter change.
+    Circuit r1(2);
+    r1.rz(0.5, 0);
+    Circuit r2(2);
+    r2.rz(0.25, 0);
+    EXPECT_NE(r1.contentHash(), r2.contentHash());
+
+    // Width alone distinguishes otherwise-identical circuits.
+    Circuit w4(4);
+    w4.h(0);
+    Circuit w5(5);
+    w5.h(0);
+    EXPECT_NE(w4.contentHash(), w5.contentHash());
+
+    // Different random unitaries (explicit matrices) hash apart.
+    EXPECT_NE(quantumVolume(6, 6, 3).contentHash(),
+              quantumVolume(6, 6, 4).contentHash());
+}
+
+TEST(ContentHash, TargetEqualObjectsHashEqual)
+{
+    const CouplingGraph g = namedTopology("square-16");
+    const BasisSpec sqiswap{BasisKind::SqISwap};
+    EXPECT_EQ(Target::uniform(g, sqiswap).contentHash(),
+              Target::uniform(g, sqiswap).contentHash());
+    // Name excluded from content.
+    Target renamed = Target::uniform(g, sqiswap);
+    renamed.setName("my-device");
+    EXPECT_EQ(renamed.contentHash(),
+              Target::uniform(g, sqiswap).contentHash());
+    // JSON round-trip preserves content.
+    const Target original = namedTarget("corral11-16-sqiswap");
+    EXPECT_EQ(targetFromJson(targetToJson(original)).contentHash(),
+              original.contentHash());
+}
+
+TEST(ContentHash, TargetAnyMutationChangesHash)
+{
+    const CouplingGraph g = namedTopology("square-16");
+    const Target base = Target::uniform(g, BasisSpec{BasisKind::SqISwap});
+    const unsigned long long h0 = base.contentHash();
+
+    // Basis change.
+    EXPECT_NE(Target::uniform(g, BasisSpec{BasisKind::CNOT}).contentHash(),
+              h0);
+    // Default-calibration change.
+    EXPECT_NE(
+        Target::uniform(g, BasisSpec{BasisKind::SqISwap}, 0.99)
+            .contentHash(),
+        h0);
+
+    // Per-edge override.
+    Target edge_override = base;
+    const auto [a, b] = g.edges().front();
+    EdgeProperties props = base.defaultEdge();
+    props.fidelity_2q = 0.97;
+    edge_override.setEdgeProperties(a, b, props);
+    EXPECT_NE(edge_override.contentHash(), h0);
+
+    // The same override on a different edge is different content.
+    Target other_edge = base;
+    const auto [c, d] = g.edges().back();
+    other_edge.setEdgeProperties(c, d, props);
+    EXPECT_NE(other_edge.contentHash(), edge_override.contentHash());
+
+    // Per-qubit override.
+    Target qubit_override = base;
+    QubitProperties qprops = base.defaultQubit();
+    qprops.t2 = 150.0;
+    qubit_override.setQubitProperties(3, qprops);
+    EXPECT_NE(qubit_override.contentHash(), h0);
+
+    // Topology change.
+    EXPECT_NE(Target::uniform(namedTopology("corral11-16"),
+                              BasisSpec{BasisKind::SqISwap})
+                  .contentHash(),
+              h0);
+}
+
+TEST(TranspileCache, HitMissAccountingAndKeying)
+{
+    TranspileCache cache;
+    CacheKey key{1, 2, "dense,score", 3};
+    EXPECT_FALSE(cache.lookup(key).has_value());
+    EXPECT_EQ(cache.misses(), 1u);
+
+    PointMetrics metrics;
+    metrics.metrics.swaps_total = 42;
+    cache.insert(key, metrics);
+    const auto hit = cache.lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->metrics.swaps_total, 42u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+
+    // Every key component participates.
+    for (const CacheKey &other :
+         {CacheKey{9, 2, "dense,score", 3}, CacheKey{1, 9, "dense,score", 3},
+          CacheKey{1, 2, "vf2,score", 3}, CacheKey{1, 2, "dense,score", 9}}) {
+        EXPECT_FALSE(cache.lookup(other).has_value());
+    }
+}
+
+TEST(SweepSpec, JsonRoundTripAndValidation)
+{
+    SweepSpec spec = smokeSpec();
+    TargetSpec generated;
+    generated.generator = "corral";
+    generated.args = {8, 1, 2};
+    generated.basis = "sqiswap";
+    generated.label = "Corral_{1,2}";
+    spec.targets.push_back(std::move(generated));
+
+    const SweepSpec reparsed = sweepSpecFromJson(sweepSpecToJson(spec));
+    EXPECT_EQ(sweepSpecToJson(reparsed), sweepSpecToJson(spec));
+    EXPECT_EQ(reparsed.seed, spec.seed);
+    EXPECT_EQ(reparsed.circuits.size(), spec.circuits.size());
+    EXPECT_EQ(reparsed.targets.size(), spec.targets.size());
+
+    // Width ranges expand inclusively.
+    const SweepSpec ranged = sweepSpecFromJson(JsonValue::parse(R"({
+        "circuits": [{"bench": "ghz",
+                      "widths": {"from": 4, "to": 10, "step": 3}}],
+        "targets": [{"target": "corral11-16-sqiswap"}],
+        "pipelines": ["dense,basic-route"]})"));
+    EXPECT_EQ(ranged.circuits[0].widths, (std::vector<int>{4, 7, 10}));
+
+    // Typo guard: unknown keys anywhere are rejected.
+    EXPECT_THROW(sweepSpecFromJson(JsonValue::parse(R"({
+        "circuits": [], "targets": [], "pipelines": [], "sed": 1})")),
+                 SnailError);
+    EXPECT_THROW(sweepSpecFromJson(JsonValue::parse(R"({
+        "circuits": [{"bensh": "ghz", "widths": [4]}],
+        "targets": [{"target": "t"}], "pipelines": ["dense"]})")),
+                 SnailError);
+    // Exactly one selector per axis entry.
+    EXPECT_THROW(sweepSpecFromJson(JsonValue::parse(R"({
+        "circuits": [{"bench": "ghz", "widths": [4], "qasm": "x.qasm"}],
+        "targets": [{"target": "t"}], "pipelines": ["dense"]})")),
+                 SnailError);
+    EXPECT_THROW(sweepSpecFromJson(JsonValue::parse(R"({
+        "circuits": [{"bench": "ghz", "widths": [4]}],
+        "targets": [{"target": "t", "device": "d.json"}],
+        "pipelines": ["dense"]})")),
+                 SnailError);
+    // topology/generator targets need a basis.
+    EXPECT_THROW(sweepSpecFromJson(JsonValue::parse(R"({
+        "circuits": [{"bench": "ghz", "widths": [4]}],
+        "targets": [{"topology": "square-16"}],
+        "pipelines": ["dense"]})")),
+                 SnailError);
+}
+
+TEST(SweepSpec, ExpansionSkipsOversizedWidthsAndLabelsTargets)
+{
+    SweepSpec spec;
+    spec.circuits.push_back(CircuitSpec{"ghz", {8, 20}, ""});
+    TargetSpec small;
+    small.topology = "square-16";
+    small.basis = "cx";
+    spec.targets.push_back(std::move(small));
+    TargetSpec large;
+    large.target = "tree-20-sqiswap";
+    large.label = "Tree";
+    spec.targets.push_back(std::move(large));
+    spec.pipelines.push_back("dense,basic-route");
+
+    const auto circuits = expandCircuits(spec);
+    const auto targets = expandTargets(spec);
+    ASSERT_EQ(circuits.size(), 2u);
+    ASSERT_EQ(targets.size(), 2u);
+    EXPECT_EQ(targets[0].name(), "square-16-cx");
+    EXPECT_EQ(targets[1].name(), "Tree");
+
+    const auto points = expandSweepPoints(spec, circuits, targets);
+    // width 20 fits only the tree: 2 + 1 points.
+    ASSERT_EQ(points.size(), 3u);
+    EXPECT_EQ(points[0].width, 8);
+    EXPECT_EQ(points[1].target_label, "Tree");
+    EXPECT_EQ(points[2].width, 20);
+    EXPECT_EQ(points[2].target_label, "Tree");
+
+    // Widths above the expansion cap are never built at all.
+    EXPECT_EQ(expandCircuits(spec, 16).size(), 1u);
+
+    // A too-small width is skipped, not a fatal construction error.
+    SweepSpec tiny = spec;
+    tiny.circuits[0].widths = {1, 8};
+    EXPECT_EQ(expandCircuits(tiny).size(), 1u);
+
+    // Duplicate target labels would shadow each other in every
+    // label-keyed view (summary columns, seeds) — rejected eagerly.
+    SweepSpec clashing = spec;
+    clashing.targets[0].label = "Tree";
+    EXPECT_THROW(expandTargets(clashing), SnailError);
+}
+
+TEST(Engine, DeterministicAcrossThreadCounts)
+{
+    const SweepSpec spec = smokeSpec();
+    EngineOptions serial;
+    serial.threads = 1;
+    const SweepRun reference = runSweep(spec, serial);
+    ASSERT_EQ(reference.points.size(), 4u);
+    EXPECT_EQ(reference.stats.computed, 4u);
+
+    for (unsigned threads : {4u, 16u}) {
+        EngineOptions options;
+        options.threads = threads;
+        const SweepRun run = runSweep(spec, options);
+        ASSERT_EQ(run.points.size(), reference.points.size());
+        for (std::size_t i = 0; i < run.points.size(); ++i) {
+            expectSameMetrics(run.metrics[i].metrics,
+                              reference.metrics[i].metrics,
+                              "point " + std::to_string(i) + " @ " +
+                                  std::to_string(threads) + " threads");
+        }
+    }
+}
+
+TEST(Engine, ReproducesLegacyExperimentSeriesBitForBit)
+{
+    // The acceptance bar for the engine: a declarative spec over the
+    // fig-13 machines regenerates the paper series exactly.  The
+    // reference below is a literal replica of the pre-engine
+    // sequential loop — per-cell makeBenchmark, per-cell seed, the
+    // deprecated transpile() shim — NOT today's codesignSweep (which
+    // is itself an engine client and would make this self-referential).
+    // Scaled down — two benchmarks, three machines, two widths — so
+    // the test stays fast; the full-size spec is
+    // examples/sweeps/paper-fig13.json.
+    SweepOptions legacy;
+    legacy.widths = {6, 10};
+    legacy.stochastic_trials = 10;
+    const std::vector<Backend> backends = {
+        makeBackend("heavy-hex-20", BasisKind::CNOT),
+        makeBackend("square-16", BasisKind::Sycamore),
+        makeBackend("corral11-16", BasisKind::SqISwap),
+    };
+    const std::vector<BenchmarkKind> benches = {
+        BenchmarkKind::QuantumVolume, BenchmarkKind::Qft};
+    std::vector<Series> series;
+    for (BenchmarkKind bench : benches) {
+        for (const Backend &machine : backends) {
+            Series s;
+            s.benchmark = benchmarkLabel(bench);
+            s.machine = machine.name;
+            for (int width : legacy.widths) {
+                if (width < 2 || width > machine.topology.numQubits()) {
+                    continue;
+                }
+                const Circuit circuit =
+                    makeBenchmark(bench, width, legacy.seed);
+                TranspileOptions topts;
+                topts.layout = legacy.layout;
+                topts.router = legacy.router;
+                topts.stochastic_trials = legacy.stochastic_trials;
+                topts.basis = machine.basis;
+                topts.seed =
+                    legacy.seed ^
+                    (static_cast<unsigned long long>(width) << 32) ^
+                    std::hash<std::string>{}(machine.name) ^
+                    static_cast<unsigned long long>(bench);
+                const TranspileResult r =
+                    transpile(circuit, machine.topology, topts);
+                s.points.push_back(SeriesPoint{width, r.metrics});
+            }
+            series.push_back(std::move(s));
+        }
+    }
+    // Today's experiment layer (now an engine client) still matches
+    // the sequential reference...
+    const std::vector<Series> via_experiment =
+        codesignSweep(benches, backends, legacy);
+    ASSERT_EQ(via_experiment.size(), series.size());
+    for (std::size_t si = 0; si < series.size(); ++si) {
+        ASSERT_EQ(via_experiment[si].points.size(),
+                  series[si].points.size());
+        for (std::size_t pi = 0; pi < series[si].points.size(); ++pi) {
+            expectSameMetrics(via_experiment[si].points[pi].metrics,
+                              series[si].points[pi].metrics,
+                              "experiment " + series[si].benchmark +
+                                  "/" + series[si].machine);
+        }
+    }
+    // ...and so does the declarative spec path.
+
+    SweepSpec spec;
+    spec.seed = legacy.seed;
+    spec.circuits.push_back(CircuitSpec{"qv", {6, 10}, ""});
+    spec.circuits.push_back(CircuitSpec{"qft", {6, 10}, ""});
+    for (const Backend &backend : backends) {
+        TargetSpec target;
+        target.target = backend.name;
+        spec.targets.push_back(std::move(target));
+    }
+    spec.pipelines.push_back("dense,stochastic-route=10");
+    const SweepRun run = runSweep(spec, EngineOptions{});
+
+    std::size_t matched = 0;
+    for (const Series &s : series) {
+        for (const SeriesPoint &point : s.points) {
+            for (std::size_t i = 0; i < run.points.size(); ++i) {
+                if (run.points[i].circuit_label == s.benchmark &&
+                    run.points[i].target_label == s.machine &&
+                    run.points[i].width == point.width) {
+                    expectSameMetrics(run.metrics[i].metrics,
+                                      point.metrics,
+                                      s.benchmark + "/" + s.machine +
+                                          "/w" +
+                                          std::to_string(point.width));
+                    ++matched;
+                }
+            }
+        }
+    }
+    // Every legacy cell found its engine twin and vice versa.
+    EXPECT_EQ(matched, run.points.size());
+    std::size_t legacy_cells = 0;
+    for (const Series &s : series) {
+        legacy_cells += s.points.size();
+    }
+    EXPECT_EQ(matched, legacy_cells);
+}
+
+TEST(Engine, CacheDeduplicatesRepeatedPointsAcrossCalls)
+{
+    const SweepSpec spec = smokeSpec();
+    const auto circuits = expandCircuits(spec);
+    const auto targets = expandTargets(spec);
+    const PassManager pm = passManagerFromSpec(spec.pipelines[0]);
+
+    std::vector<ExploreJob> jobs;
+    for (const SweepPoint &point :
+         expandSweepPoints(spec, circuits, targets)) {
+        ExploreJob job;
+        job.circuit = &circuits[point.circuit_index].circuit;
+        job.target = &targets[point.target_index];
+        job.pipeline = &pm;
+        job.pipeline_spec = point.pipeline;
+        job.seed = point.seed;
+        jobs.push_back(std::move(job));
+    }
+
+    TranspileCache cache;
+    EvaluationStats cold;
+    const auto first = evaluateJobs(jobs, cache, EngineOptions{}, &cold);
+    EXPECT_EQ(cold.computed, jobs.size());
+    EXPECT_EQ(cold.from_cache, 0u);
+
+    EvaluationStats warm;
+    const auto second = evaluateJobs(jobs, cache, EngineOptions{}, &warm);
+    EXPECT_EQ(warm.computed, 0u);
+    EXPECT_EQ(warm.from_cache, jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        expectSameMetrics(first[i].metrics, second[i].metrics,
+                          "cached point " + std::to_string(i));
+    }
+}
+
+TEST(Checkpoint, ResumeSkipsCompletedPointsAndReportsAreByteIdentical)
+{
+    const std::string path =
+        testing::TempDir() + "test_explore_resume.jsonl";
+    std::remove(path.c_str());
+    const SweepSpec spec = smokeSpec();
+
+    // Full run, checkpointing as it goes.
+    EngineOptions checkpointed;
+    checkpointed.checkpoint_path = path;
+    const SweepRun full = runSweep(spec, checkpointed);
+    EXPECT_EQ(full.stats.computed, full.points.size());
+
+    // Simulate a kill after two completed points plus a torn write:
+    // keep the first two checkpoint lines and half of the third.
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(path);
+        std::string line;
+        while (std::getline(in, line)) {
+            lines.push_back(line);
+        }
+    }
+    ASSERT_EQ(lines.size(), full.points.size());
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << lines[0] << '\n' << lines[1] << '\n'
+            << lines[2].substr(0, lines[2].size() / 2);
+    }
+
+    EngineOptions resume = checkpointed;
+    resume.resume = true;
+    const SweepRun resumed = runSweep(spec, resume);
+    EXPECT_EQ(resumed.stats.restored, 2u);
+    EXPECT_EQ(resumed.stats.from_cache, 2u);
+    EXPECT_EQ(resumed.stats.computed, full.points.size() - 2);
+
+    // The resumed run's reports are byte-identical to the full run's.
+    std::ostringstream full_csv, resumed_csv, full_json, resumed_json;
+    writeSweepCsv(full_csv, full);
+    writeSweepCsv(resumed_csv, resumed);
+    EXPECT_EQ(full_csv.str(), resumed_csv.str());
+    writeSweepJson(full_json, full);
+    writeSweepJson(resumed_json, resumed);
+    EXPECT_EQ(full_json.str(), resumed_json.str());
+
+    // A second resume computes nothing at all.
+    const SweepRun again = runSweep(spec, resume);
+    EXPECT_EQ(again.stats.computed, 0u);
+    EXPECT_EQ(again.stats.from_cache, again.points.size());
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MetricsRoundTripExactly)
+{
+    PointMetrics point;
+    point.metrics.swaps_total = 31;
+    point.metrics.swaps_critical = 19.0;
+    point.metrics.ops_2q_pre = 59;
+    point.metrics.basis_2q_total = 149;
+    point.metrics.basis_2q_critical = 87.0;
+    point.metrics.duration_total = 62.5;
+    point.metrics.duration_critical = 0.1 + 0.2; // not exactly 0.3
+    point.fidelity_predicted = 0.87654321;
+    point.has_fidelity = true;
+
+    const PointMetrics back =
+        pointMetricsFromJson(pointMetricsToJson(point));
+    expectSameMetrics(back.metrics, point.metrics, "round trip");
+    EXPECT_TRUE(back.has_fidelity);
+    EXPECT_DOUBLE_EQ(back.fidelity_predicted, point.fidelity_predicted);
+
+    PointMetrics no_fidelity;
+    EXPECT_FALSE(
+        pointMetricsFromJson(pointMetricsToJson(no_fidelity)).has_fidelity);
+}
+
+TEST(Analysis, WinnersScoreboardAndParetoFrontier)
+{
+    // QV on heavy-hex vs corral: the corral co-design should win every
+    // workload on 2Q count (the paper's Fig. 13 conclusion).
+    SweepSpec spec;
+    spec.circuits.push_back(CircuitSpec{"qv", {8, 12}, ""});
+    TargetSpec hh;
+    hh.target = "heavy-hex-20-cx";
+    spec.targets.push_back(std::move(hh));
+    TargetSpec corral;
+    corral.target = "corral11-16-sqiswap";
+    spec.targets.push_back(std::move(corral));
+    spec.pipelines.push_back("dense,stochastic-route=6");
+    const SweepRun run = runSweep(spec, EngineOptions{});
+
+    const auto winners = winnersPerWorkload(run, "basis_2q_total");
+    ASSERT_EQ(winners.size(), 2u);
+    for (const WorkloadWinner &winner : winners) {
+        EXPECT_EQ(run.points[winner.point_index].target_label,
+                  "corral11-16-sqiswap")
+            << winner.circuit_label << " w" << winner.width;
+    }
+    const auto scores = targetScoreboard(run, winners);
+    ASSERT_EQ(scores.size(), 2u);
+    EXPECT_EQ(scores[0].target_label, "heavy-hex-20-cx");
+    EXPECT_EQ(scores[0].wins, 0u);
+    EXPECT_EQ(scores[1].wins, 2u);
+
+    // The corral dominates on both objectives, so the frontier holds
+    // exactly the two corral points.
+    const auto frontier = paretoFrontier(
+        run, {{"basis_2q_total", false}, {"duration_critical", false}});
+    ASSERT_EQ(frontier.size(), 2u);
+    for (std::size_t index : frontier) {
+        EXPECT_EQ(run.points[index].target_label, "corral11-16-sqiswap");
+    }
+
+    EXPECT_THROW(winnersPerWorkload(run, "no-such-metric"), SnailError);
+    // fidelity_predicted is undefined without a score-fidelity
+    // pipeline: no point competes, so no group produces a winner (the
+    // summary degrades gracefully instead of failing mid-print).
+    EXPECT_TRUE(winnersPerWorkload(run, "fidelity_predicted").empty());
+    EXPECT_THROW(pointMetricValue(run.metrics[0], "fidelity_predicted"),
+                 SnailError);
+    EXPECT_FALSE(pointHasMetric(run.metrics[0], "fidelity_predicted"));
+    EXPECT_TRUE(pointHasMetric(run.metrics[0], "swaps_total"));
+    EXPECT_THROW(pointHasMetric(run.metrics[0], "no-such-metric"),
+                 SnailError);
+}
+
+TEST(ThreadPool, ResolvesCountsAndPropagatesFirstError)
+{
+    EXPECT_EQ(resolveThreadCount(4, 100), 4u);
+    EXPECT_EQ(resolveThreadCount(8, 3), 3u);
+    EXPECT_GE(resolveThreadCount(0, 100), 1u);
+
+    std::vector<int> hits(100, 0);
+    parallelFor(hits.size(), 8, [&](std::size_t i) { hits[i] += 1; });
+    for (int h : hits) {
+        EXPECT_EQ(h, 1);
+    }
+
+    try {
+        parallelFor(10, 4, [&](std::size_t i) {
+            if (i >= 5) {
+                SNAIL_THROW("boom at " << i);
+            }
+        });
+        FAIL() << "expected the body exception to propagate";
+    } catch (const SnailError &e) {
+        // Lowest failing index wins, regardless of completion order.
+        EXPECT_STREQ(e.what(), "boom at 5");
+    }
+}
+
+} // namespace
+} // namespace snail

@@ -347,7 +347,7 @@ TEST(Batch, DeterministicAcrossThreadCounts)
                                 job.basis));
     }
 
-    for (unsigned threads : {1u, 8u}) {
+    for (unsigned threads : {1u, 4u, 16u}) {
         const std::vector<TranspileResult> batch =
             transpileBatch(jobs, pm, threads);
         ASSERT_EQ(batch.size(), jobs.size()) << threads << " threads";

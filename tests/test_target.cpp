@@ -13,6 +13,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -269,6 +270,50 @@ TEST(Target, JsonFileIoAndValidation)
     EXPECT_THROW(targetFromJson(JsonValue::parse(
                      R"({"qubits": 0, "edges": []})")),
                  SnailError);
+}
+
+TEST(Target, RejectsDuplicateEdgeEntriesWithTypedError)
+{
+    // Regression: addEdge is idempotent, so a duplicate entry used to
+    // collapse silently — and when both entries carried calibration the
+    // last writer won.  Now any repeat, in either orientation or entry
+    // form, is a DuplicateEdgeError naming the pair.
+    const auto parse = [](const char *text) {
+        return targetFromJson(JsonValue::parse(text));
+    };
+    try {
+        parse(R"({"qubits": 3, "name": "dup",
+                  "edges": [[0, 1], [1, 2], [1, 0]]})");
+        FAIL() << "duplicate edge accepted";
+    } catch (const DuplicateEdgeError &e) {
+        EXPECT_EQ(e.deviceName(), "dup");
+        EXPECT_EQ(e.qubitA(), 1);
+        EXPECT_EQ(e.qubitB(), 0);
+    }
+    // A bare pair followed by a conflicting override object was the
+    // worst case: the override silently rewrote the first entry.
+    EXPECT_THROW(
+        parse(R"({"qubits": 2,
+                  "edges": [[0, 1],
+                            {"a": 0, "b": 1, "fidelity_2q": 0.5}]})"),
+        DuplicateEdgeError);
+
+    // The typed error survives the file loader's path re-wrapping.
+    const std::string path = "test_target_dup_edges.json";
+    {
+        std::ofstream out(path);
+        out << R"({"qubits": 2, "edges": [[0, 1], [0, 1]]})";
+    }
+    try {
+        loadTargetFile(path);
+        std::remove(path.c_str());
+        FAIL() << "duplicate edge accepted from file";
+    } catch (const DuplicateEdgeError &e) {
+        EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+        EXPECT_EQ(e.qubitA(), 0);
+        EXPECT_EQ(e.qubitB(), 1);
+    }
+    std::remove(path.c_str());
 }
 
 TEST(Json, ParserCoversTheGrammar)

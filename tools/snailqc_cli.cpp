@@ -19,6 +19,12 @@
  *   pipeline <bench> <width> <topology> <spec> [seed]
  *                                    run an arbitrary pass pipeline
  *                                    composed from a spec string
+ *   sweep <spec.json> [options]      design-space exploration: evaluate
+ *                                    a circuits x targets x pipelines
+ *                                    cross-product in parallel, with a
+ *                                    transpile cache, checkpoint/resume,
+ *                                    Pareto + winner analysis, and
+ *                                    CSV/JSON reporters
  *
  * transpile and pipeline accept `--device <file.json|target-name>` in
  * place of the <topology> (and <basis>) positionals: the device —
@@ -44,6 +50,7 @@
  */
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -52,6 +59,8 @@
 #include "circuits/registry.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
+#include "explore/engine.hpp"
+#include "explore/report.hpp"
 #include "ir/qasm.hpp"
 #include "ir/qasm_parser.hpp"
 #include "target/target.hpp"
@@ -65,29 +74,48 @@ namespace
 
 using namespace snail;
 
-int
-usage()
+/** Top-level usage: every subcommand, one line each. */
+void
+printUsage(std::ostream &os)
 {
-    std::cerr <<
+    os <<
         "usage: snailqc <command> [args]\n"
-        "  topologies\n"
+        "\n"
+        "commands:\n"
+        "  topologies                  list registered topologies\n"
         "  targets [--export <target-name> <file.json>]\n"
-        "  passes                      (or --list-passes)\n"
+        "                              list built-in device targets\n"
+        "  passes                      list transpiler passes\n"
+        "                              (also: --list-passes)\n"
         "  coords <gate> [params...]   (cx, cz, swap, iswap, sqiswap,\n"
         "                               syc, b, cp t, rzz t, fsim t p,\n"
         "                               zx t, nroot n, can a b c)\n"
-        "  circuit <bench> <width>     (qv, qft, qaoa, tim, adder, ghz)\n"
-        "  parse <file.qasm>\n"
-        "  export <bench> <width>      (emit OpenQASM 2.0 on stdout)\n"
+        "  circuit <bench> <width>     (qv, qft, qaoa, tim, adder, ghz,\n"
+        "                               bv, vqe, wstate)\n"
+        "  parse <file.qasm>           import OpenQASM 2.0\n"
+        "  export <bench> <width>      emit OpenQASM 2.0 on stdout\n"
         "  transpile <bench|file.qasm> <width> <topology> <basis>\n"
         "            [basic|stochastic|sabre|lookahead] [seed]\n"
         "  pipeline <bench|file.qasm> <width> <topology> <pass-spec>\n"
-        "            [seed]           (see `snailqc passes`)\n"
+        "            [seed]            (see `snailqc passes`)\n"
+        "  sweep <spec.json> [--threads N] [--resume]\n"
+        "        [--checkpoint <file.jsonl>] [--csv <file>]\n"
+        "        [--json <file>] [--metric <name>] [--verbose]\n"
+        "                              design-space exploration over a\n"
+        "                              circuits x targets x pipelines\n"
+        "                              cross-product\n"
+        "  help                        this message (also --help, -h)\n"
         "\n"
         "transpile/pipeline also accept `--device <file.json|target-name>`\n"
         "instead of the <topology>/<basis> positionals, e.g.\n"
         "  snailqc pipeline qft 8 --device dev.json \\\n"
         "          \"vf2,noise-route,basis=auto,score-fidelity\"\n";
+}
+
+int
+usage()
+{
+    printUsage(std::cerr);
     return 2;
 }
 
@@ -435,14 +463,112 @@ cmdPipeline(std::vector<std::string> args)
     return 0;
 }
 
+/**
+ * Design-space exploration: evaluate a declarative sweep spec.
+ *
+ *   snailqc sweep <spec.json> [--threads N] [--resume]
+ *          [--checkpoint <file.jsonl>] [--csv <file>] [--json <file>]
+ *          [--metric <name>] [--verbose]
+ *
+ * --resume without --checkpoint defaults the checkpoint path to
+ * "<spec.json>.checkpoint.jsonl".  --csv/--json accept "-" for stdout
+ * (suppressing the summary tables).
+ */
+int
+cmdSweep(const std::vector<std::string> &args)
+{
+    SNAIL_REQUIRE(!args.empty(), "sweep needs <spec.json>");
+    const std::string spec_path = args[0];
+
+    EngineOptions engine;
+    std::string csv_path;
+    std::string json_path;
+    std::string metric = "basis_2q_total";
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        const auto value = [&]() -> const std::string & {
+            SNAIL_REQUIRE(i + 1 < args.size(), arg << " needs a value");
+            return args[++i];
+        };
+        if (arg == "--threads") {
+            const std::string &text = value();
+            char *end = nullptr;
+            const long threads = std::strtol(text.c_str(), &end, 10);
+            SNAIL_REQUIRE(end && *end == '\0' && !text.empty() &&
+                              threads >= 0,
+                          "--threads needs a non-negative integer, got '"
+                              << text << "'");
+            engine.threads = static_cast<unsigned>(threads);
+        } else if (arg == "--resume") {
+            engine.resume = true;
+        } else if (arg == "--verbose") {
+            engine.progress = &std::cerr;
+        } else if (arg == "--checkpoint") {
+            engine.checkpoint_path = value();
+        } else if (arg == "--csv") {
+            csv_path = value();
+        } else if (arg == "--json") {
+            json_path = value();
+        } else if (arg == "--metric") {
+            metric = value();
+        } else {
+            SNAIL_THROW("unknown sweep option: " << arg);
+        }
+    }
+    if (engine.resume && engine.checkpoint_path.empty()) {
+        engine.checkpoint_path = spec_path + ".checkpoint.jsonl";
+    }
+    SNAIL_REQUIRE(csv_path != "-" || json_path != "-",
+                  "only one report can stream to stdout ('-')");
+    // Catch a typo'd metric before the sweep runs, not after.
+    pointHasMetric(PointMetrics{}, metric);
+
+    const SweepSpec spec = loadSweepSpecFile(spec_path);
+    const SweepRun run = runSweep(spec, engine);
+
+    bool summary_to_stdout = true;
+    const auto writeReport = [&](const std::string &path, auto writer) {
+        if (path == "-") {
+            writer(std::cout);
+            summary_to_stdout = false;
+            return;
+        }
+        std::ofstream out(path);
+        SNAIL_REQUIRE(out.good(),
+                      "cannot write report '" << path << "'");
+        writer(out);
+        // stderr: stdout may be carrying the other report via "-".
+        std::cerr << "wrote " << path << "\n";
+    };
+    if (!csv_path.empty()) {
+        writeReport(csv_path, [&](std::ostream &os) {
+            writeSweepCsv(os, run);
+        });
+    }
+    if (!json_path.empty()) {
+        writeReport(json_path, [&](std::ostream &os) {
+            writeSweepJson(os, run);
+        });
+    }
+    if (summary_to_stdout) {
+        printSweepSummary(std::cout, run, metric);
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]) == "--list-passes") {
+        const std::string arg = argv[i];
+        if (arg == "--list-passes") {
             return cmdPasses();
+        }
+        if (arg == "--help" || arg == "-h") {
+            printUsage(std::cout);
+            return 0;
         }
     }
     if (argc < 2) {
@@ -480,6 +606,13 @@ main(int argc, char **argv)
         }
         if (command == "pipeline") {
             return cmdPipeline(args);
+        }
+        if (command == "sweep") {
+            return cmdSweep(args);
+        }
+        if (command == "help") {
+            printUsage(std::cout);
+            return 0;
         }
         return usage();
     } catch (const std::exception &e) {
