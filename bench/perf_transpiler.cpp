@@ -5,33 +5,138 @@
  * and transpileBatch thread scaling.
  *
  * BM_TranspileBatch runs a fixed 16-job workload (QV and QFT across
- * four 84-qubit topologies) at 1/2/4/8 worker threads; with 4+ cores
+ * four 84-qubit topologies) at 1/4/16 worker threads; with 4+ cores
  * the 4-thread row's wall time drops >= 2x below the 1-thread row,
  * while the per-job results stay bit-identical (asserted here and in
  * tests/test_pass_manager.cpp).
  *
+ * BM_RouterStepDelta / BM_RouterStepCopy isolate the SWAP-candidate
+ * scoring kernel of one routing step (delta-scored SwappedView vs the
+ * old per-candidate Layout copy).
+ *
  * `--json` emits the results as machine-readable JSON on stdout
  * (shorthand for google-benchmark's --benchmark_format=json), so CI
- * and future PRs can track a perf trajectory:
+ * and future PRs can track a perf trajectory.  The committed baseline
+ * lives at bench/BENCH_perf_transpiler.json; compare a fresh run's
+ * deterministic counters against it with:
  *
  *   perf_transpiler --json > perf.json
+ *   python3 tools/compare_bench.py bench/BENCH_perf_transpiler.json perf.json
  */
 
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <utility>
 #include <vector>
 
 #include "circuits/circuits.hpp"
+#include "common/rng.hpp"
 #include "topology/registry.hpp"
 #include "transpiler/pass_registry.hpp"
 #include "transpiler/passes.hpp"
 #include "transpiler/pipeline.hpp"
+#include "transpiler/routing.hpp"
 
 namespace
 {
 
 using namespace snail;
+
+/**
+ * Deterministic fixture for the router-step microbenchmark: a shuffled
+ * complete layout on the 84-qubit heavy-hex device plus a "front" of
+ * blocked virtual pairs, mirroring one SWAP-selection step of the
+ * SABRE/stochastic routers.
+ */
+struct RouterStepFixture
+{
+    CouplingGraph graph;
+    Layout layout;
+    std::vector<std::pair<int, int>> front;
+
+    explicit RouterStepFixture(int front_size)
+        : graph(namedTopology("heavy-hex-84")), layout(84, 84)
+    {
+        Rng rng(2026);
+        std::vector<int> perm(84);
+        for (int i = 0; i < 84; ++i) {
+            perm[static_cast<std::size_t>(i)] = i;
+        }
+        for (int i = 83; i > 0; --i) {
+            const int j = static_cast<int>(
+                rng.next() % static_cast<std::uint64_t>(i + 1));
+            std::swap(perm[static_cast<std::size_t>(i)],
+                      perm[static_cast<std::size_t>(j)]);
+        }
+        for (int v = 0; v < 84; ++v) {
+            layout.assign(v, perm[static_cast<std::size_t>(v)]);
+        }
+        for (int k = 0; k < front_size; ++k) {
+            const int a = static_cast<int>(rng.next() % 84);
+            int b = static_cast<int>(rng.next() % 84);
+            if (a == b) {
+                b = (b + 1) % 84;
+            }
+            front.emplace_back(a, b);
+        }
+    }
+};
+
+/**
+ * One router step, delta-scored: every device edge is a candidate SWAP,
+ * scored through the zero-copy SwappedView (the shipped hot path).
+ * `score_checksum` is deterministic and lets CI detect scoring drift.
+ */
+void
+BM_RouterStepDelta(benchmark::State &state)
+{
+    const RouterStepFixture fx(static_cast<int>(state.range(0)));
+    const auto edges = fx.graph.edges();
+    long total = 0;
+    for (auto _ : state) {
+        total = 0;
+        for (const auto &[a, b] : edges) {
+            const SwappedView view(fx.layout, a, b);
+            for (const auto &[va, vb] : fx.front) {
+                total += fx.graph.distance(view.physical(va),
+                                           view.physical(vb));
+            }
+        }
+        benchmark::DoNotOptimize(total);
+    }
+    state.counters["candidates"] = static_cast<double>(edges.size());
+    state.counters["score_checksum"] = static_cast<double>(total);
+}
+BENCHMARK(BM_RouterStepDelta)->Arg(4)->Arg(16);
+
+/**
+ * The same step with the pre-delta pattern — one Layout copy per
+ * candidate — kept as a reference row so the trajectory records what
+ * the SwappedView refactor bought.
+ */
+void
+BM_RouterStepCopy(benchmark::State &state)
+{
+    const RouterStepFixture fx(static_cast<int>(state.range(0)));
+    const auto edges = fx.graph.edges();
+    long total = 0;
+    for (auto _ : state) {
+        total = 0;
+        for (const auto &[a, b] : edges) {
+            Layout probe = fx.layout;
+            probe.swapPhysical(a, b);
+            for (const auto &[va, vb] : fx.front) {
+                total += fx.graph.distance(probe.physical(va),
+                                           probe.physical(vb));
+            }
+        }
+        benchmark::DoNotOptimize(total);
+    }
+    state.counters["candidates"] = static_cast<double>(edges.size());
+    state.counters["score_checksum"] = static_cast<double>(total);
+}
+BENCHMARK(BM_RouterStepCopy)->Arg(4)->Arg(16);
 
 void
 BM_DenseLayout84(benchmark::State &state)
@@ -161,9 +266,8 @@ BM_TranspileBatch(benchmark::State &state)
 }
 BENCHMARK(BM_TranspileBatch)
     ->Arg(1)
-    ->Arg(2)
     ->Arg(4)
-    ->Arg(8)
+    ->Arg(16)
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();

@@ -102,6 +102,68 @@ class DuplicateEdgeError : public SnailError
     int _b;
 };
 
+/**
+ * A router that keeps inserting SWAPs without ever executing a gate.
+ * Thrown by SabreRouter when the hard step cap is exceeded — reachable
+ * only on adversarial inputs (e.g. a per-edge SWAP penalty that makes
+ * one edge infinitely attractive), where the decay safety valve alone
+ * would spin forever.  Carries the router, circuit, and graph names
+ * plus the number of fruitless SWAPs so sweep drivers can report which
+ * (workload, device) cell diverged.
+ */
+class RoutingError : public SnailError
+{
+  public:
+    RoutingError(std::string router_name, std::string circuit_name,
+                 std::string graph_name, long steps)
+        : SnailError("router '" + router_name + "' inserted " +
+                     std::to_string(steps) +
+                     " SWAPs without executing a gate while routing "
+                     "circuit '" + circuit_name + "' onto graph '" +
+                     graph_name + "' — aborting a thrashing search"),
+          _routerName(std::move(router_name)),
+          _circuitName(std::move(circuit_name)),
+          _graphName(std::move(graph_name)), _steps(steps)
+    {
+    }
+
+    const std::string &routerName() const { return _routerName; }
+    const std::string &circuitName() const { return _circuitName; }
+    const std::string &graphName() const { return _graphName; }
+    long steps() const { return _steps; }
+
+  private:
+    std::string _routerName;
+    std::string _circuitName;
+    std::string _graphName;
+    long _steps;
+};
+
+/**
+ * A malformed or out-of-range pass argument in a pipeline spec (e.g.
+ * "optimize=abc" or "stochastic-route=0").  Thrown by the registry's
+ * argument parsers; carries the pass name and the offending text so
+ * spec-assembling tools can point at the exact token to fix.
+ */
+class PassArgumentError : public SnailError
+{
+  public:
+    PassArgumentError(std::string pass_name, std::string argument,
+                      const std::string &why)
+        : SnailError(pass_name + ": " + why + " argument '" + argument +
+                     "'"),
+          _passName(std::move(pass_name)), _argument(std::move(argument))
+    {
+    }
+
+    const std::string &passName() const { return _passName; }
+    const std::string &argument() const { return _argument; }
+
+  private:
+    std::string _passName;
+    std::string _argument;
+};
+
 namespace detail
 {
 

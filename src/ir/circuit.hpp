@@ -36,6 +36,13 @@ class Circuit
     std::size_t size() const { return _ops.size(); }
     bool empty() const { return _ops.empty(); }
 
+    /**
+     * Pre-size the instruction list.  Routers reserve the input
+     * instruction count up front so appending the routed stream does
+     * not reallocate for swap-free stretches.
+     */
+    void reserve(std::size_t capacity) { _ops.reserve(capacity); }
+
     /** Append a prebuilt instruction. */
     void append(Instruction inst);
 

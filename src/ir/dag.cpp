@@ -87,30 +87,42 @@ DependencyFrontier::consume(std::size_t instruction_index)
 std::vector<std::size_t>
 DependencyFrontier::lookahead(std::size_t horizon) const
 {
-    // Breadth-first walk over successors, bounded by `horizon` total ops.
+    LookaheadScratch scratch;
     std::vector<std::size_t> out;
-    std::vector<std::size_t> frontier = _ready;
-    std::vector<bool> seen(_circuit.size(), false);
-    for (auto idx : frontier) {
-        seen[idx] = true;
+    lookahead(horizon, scratch, out);
+    return out;
+}
+
+void
+DependencyFrontier::lookahead(std::size_t horizon, LookaheadScratch &scratch,
+                              std::vector<std::size_t> &out) const
+{
+    // Breadth-first walk over successors, bounded by `horizon` total ops.
+    // The epoch stamp makes `seen` reusable without clearing: a mark from
+    // an earlier call carries an older epoch and reads as unvisited.
+    out.clear();
+    const std::uint64_t epoch = ++scratch.epoch;
+    scratch.seen.resize(_circuit.size(), 0);
+    scratch.queue.assign(_ready.begin(), _ready.end());
+    for (std::size_t idx : scratch.queue) {
+        scratch.seen[idx] = epoch;
     }
-    while (!frontier.empty() && out.size() < horizon) {
-        std::vector<std::size_t> next;
-        for (std::size_t idx : frontier) {
+    while (!scratch.queue.empty() && out.size() < horizon) {
+        scratch.next.clear();
+        for (std::size_t idx : scratch.queue) {
             for (std::size_t succ : _successors[idx]) {
-                if (!seen[succ]) {
-                    seen[succ] = true;
-                    next.push_back(succ);
+                if (scratch.seen[succ] != epoch) {
+                    scratch.seen[succ] = epoch;
+                    scratch.next.push_back(succ);
                     out.push_back(succ);
                     if (out.size() >= horizon) {
-                        return out;
+                        return;
                     }
                 }
             }
         }
-        frontier = std::move(next);
+        std::swap(scratch.queue, scratch.next);
     }
-    return out;
 }
 
 } // namespace snail

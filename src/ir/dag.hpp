@@ -11,6 +11,7 @@
 #define SNAILQC_IR_DAG_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "ir/circuit.hpp"
@@ -50,10 +51,31 @@ class DependencyFrontier
     void consume(std::size_t instruction_index);
 
     /**
+     * Reusable state for the allocation-free lookahead() overload.  One
+     * instance serves every call from one routing loop; the epoch stamp
+     * replaces clearing the visited marks between calls.
+     */
+    struct LookaheadScratch
+    {
+        std::vector<std::size_t> queue;
+        std::vector<std::size_t> next;
+        std::vector<std::uint64_t> seen; //!< seen[i] == epoch -> visited
+        std::uint64_t epoch = 0;
+    };
+
+    /**
      * Successor instructions of the current frontier, up to `horizon` per
      * qubit chain — the "extended set" used by lookahead routers.
      */
     std::vector<std::size_t> lookahead(std::size_t horizon) const;
+
+    /**
+     * Allocation-free variant for router hot loops: fills `out` (cleared
+     * first) instead of returning a fresh vector, and keeps the BFS
+     * working set in `scratch` so steady-state calls allocate nothing.
+     */
+    void lookahead(std::size_t horizon, LookaheadScratch &scratch,
+                   std::vector<std::size_t> &out) const;
 
   private:
     const Circuit &_circuit;

@@ -1,7 +1,7 @@
 #include "ir/qasm_lexer.hpp"
 
 #include <cctype>
-#include <cstdlib>
+#include <charconv>
 #include <utility>
 
 #include "common/error.hpp"
@@ -165,12 +165,28 @@ QasmLexer::lexNumber()
         }
     }
     tok.text = _source.substr(start, _pos - start);
-    tok.real_value = std::strtod(tok.text.c_str(), nullptr);
+    // std::from_chars is locale-independent: under a comma-decimal
+    // LC_NUMERIC locale strtod("0.5") stops at the '.' and yields 0,
+    // silently corrupting every gate angle (common/json.cpp made the
+    // same fix).  The scanner above only admits [0-9.eE+-], so hex and
+    // inf/nan spellings never reach this point; full-consumption is
+    // still checked to reject a lone '.'.
+    const char *begin = tok.text.c_str();
+    const char *end = begin + tok.text.size();
+    const auto [real_ptr, real_ec] =
+        std::from_chars(begin, end, tok.real_value);
+    if (real_ec != std::errc{} || real_ptr != end) {
+        fail("malformed numeric literal '" + tok.text + "'");
+    }
     if (is_real) {
         tok.kind = QasmTokenKind::Real;
     } else {
         tok.kind = QasmTokenKind::Integer;
-        tok.int_value = std::strtol(tok.text.c_str(), nullptr, 10);
+        const auto [int_ptr, int_ec] =
+            std::from_chars(begin, end, tok.int_value);
+        if (int_ec != std::errc{} || int_ptr != end) {
+            fail("integer literal '" + tok.text + "' out of range");
+        }
     }
     return tok;
 }

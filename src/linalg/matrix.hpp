@@ -52,9 +52,21 @@ class Matrix
     Complex &operator()(std::size_t r, std::size_t c);
     const Complex &operator()(std::size_t r, std::size_t c) const;
 
-    /** Raw storage (row-major). */
-    const std::vector<Complex> &data() const { return _data; }
-    std::vector<Complex> &data() { return _data; }
+    /**
+     * Raw storage (row-major).
+     *
+     * Rvalue-qualified overloads are deleted: `Gate::matrix()` returns
+     * a Matrix by value, and `for (auto &c : gate.matrix().data())`
+     * dangles — range-for lifetime extension does not reach through
+     * the `.data()` call, so the loop reads a destroyed vector (this
+     * produced a garbage-values bug once).  Materialize the Matrix
+     * into a named local first; the deleted overloads turn the
+     * dangling pattern into a compile error.
+     */
+    const std::vector<Complex> &data() const & { return _data; }
+    std::vector<Complex> &data() & { return _data; }
+    std::vector<Complex> data() && = delete;
+    std::vector<Complex> data() const && = delete;
 
     Matrix operator+(const Matrix &other) const;
     Matrix operator-(const Matrix &other) const;

@@ -18,6 +18,7 @@ BasicRouter::route(const Circuit &circuit, const CouplingGraph &graph,
     (void)rng; // deterministic pass
     SNAIL_REQUIRE(initial.isComplete(), "routing needs a complete layout");
     Circuit out(graph.numQubits(), circuit.name() + "-routed");
+    out.reserve(circuit.size());
     Layout layout = initial;
     std::size_t swaps = 0;
 

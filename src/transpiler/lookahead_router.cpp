@@ -4,6 +4,11 @@
  * (the approach of Qiskit's LookaheadSwap).  Compared to SABRE's
  * single-step greedy scoring, the tree search can see that two SWAPs
  * which individually look neutral jointly unblock a front gate.
+ *
+ * Candidate SWAPs are scored by delta (SwappedView over the parent
+ * node's layout); only the `beam_width` survivors of each expansion
+ * level materialize a real Layout copy, so the per-candidate cost is
+ * a distance sum, not an O(n) layout clone.
  */
 
 #include <algorithm>
@@ -20,7 +25,7 @@ namespace snail
 namespace
 {
 
-/** One candidate SWAP sequence under evaluation. */
+/** One surviving SWAP sequence in the beam. */
 struct SearchNode
 {
     Layout layout;
@@ -28,6 +33,16 @@ struct SearchNode
     double cost = 0.0;
 
     SearchNode(Layout l) : layout(std::move(l)) {}
+};
+
+/** A scored candidate expansion, before its layout is materialized. */
+struct Candidate
+{
+    std::size_t parent;             //!< index into the current beam
+    int a;                          //!< candidate SWAP edge
+    int b;
+    std::pair<int, int> first_swap; //!< propagated first move
+    double cost;
 };
 
 } // namespace
@@ -38,6 +53,7 @@ LookaheadRouter::route(const Circuit &circuit, const CouplingGraph &graph,
 {
     SNAIL_REQUIRE(initial.isComplete(), "routing needs a complete layout");
     Circuit out(graph.numQubits(), circuit.name() + "-routed");
+    out.reserve(circuit.size());
     Layout layout = initial;
     std::size_t swaps = 0;
 
@@ -45,11 +61,18 @@ LookaheadRouter::route(const Circuit &circuit, const CouplingGraph &graph,
     const auto &ops = circuit.instructions();
     int since_progress = 0;
 
+    // Scratch reused across routing steps.
+    std::vector<const Instruction *> front;
+    std::vector<const Instruction *> window;
+    std::vector<std::size_t> ahead;
+    DependencyFrontier::LookaheadScratch ahead_scratch;
+    std::vector<std::pair<int, int>> edges;
+    std::vector<Candidate> expansion;
+
     // Distance-sum cost of a layout over front gates plus a discounted
-    // window of upcoming 2Q gates.
-    auto evaluate = [&](const Layout &probe,
-                        const std::vector<const Instruction *> &front,
-                        const std::vector<const Instruction *> &window) {
+    // window of upcoming 2Q gates.  Generic: called with a Layout for
+    // committed beam nodes and a SwappedView for candidates.
+    auto evaluate = [&](const auto &probe) {
         double cost = 0.0;
         for (const Instruction *op : front) {
             cost += graph.distance(probe.physical(op->q0()),
@@ -118,13 +141,14 @@ LookaheadRouter::route(const Circuit &circuit, const CouplingGraph &graph,
             continue;
         }
 
-        std::vector<const Instruction *> front;
+        front.clear();
         for (std::size_t idx : frontier.ready()) {
             front.push_back(&ops[idx]);
         }
-        std::vector<const Instruction *> window;
-        for (std::size_t idx :
-             frontier.lookahead(static_cast<std::size_t>(_window))) {
+        window.clear();
+        frontier.lookahead(static_cast<std::size_t>(_window), ahead_scratch,
+                           ahead);
+        for (std::size_t idx : ahead) {
             if (ops[idx].isTwoQubit()) {
                 window.push_back(&ops[idx]);
             }
@@ -133,7 +157,7 @@ LookaheadRouter::route(const Circuit &circuit, const CouplingGraph &graph,
         // Candidate SWAPs at a node: device edges touching the mapped
         // operands of blocked front gates.
         auto candidates = [&](const Layout &probe) {
-            std::vector<std::pair<int, int>> edges;
+            edges.clear();
             for (const Instruction *op : front) {
                 for (int pq : {probe.physical(op->q0()),
                                probe.physical(op->q1())}) {
@@ -142,39 +166,51 @@ LookaheadRouter::route(const Circuit &circuit, const CouplingGraph &graph,
                     }
                 }
             }
-            return edges;
         };
 
         // Beam search over SWAP sequences of length <= _searchDepth.
         std::vector<SearchNode> beam;
         beam.emplace_back(layout);
-        beam.back().cost = evaluate(layout, front, window);
+        beam.back().cost = evaluate(layout);
         SearchNode best = beam.front();
         bool best_is_root = true;
 
         for (int depth = 0; depth < _searchDepth; ++depth) {
-            std::vector<SearchNode> next;
-            for (const SearchNode &node : beam) {
-                for (auto [a, b] : candidates(node.layout)) {
-                    SearchNode child(node.layout);
-                    child.layout.swapPhysical(a, b);
-                    child.first_swap = node.first_swap.first < 0
-                                           ? std::make_pair(a, b)
-                                           : node.first_swap;
-                    child.cost = evaluate(child.layout, front, window) +
-                                 1e-9 * rng.uniform();
-                    next.push_back(std::move(child));
+            expansion.clear();
+            for (std::size_t i = 0; i < beam.size(); ++i) {
+                const SearchNode &node = beam[i];
+                candidates(node.layout);
+                for (auto [a, b] : edges) {
+                    const double cost =
+                        evaluate(SwappedView(node.layout, a, b)) +
+                        1e-9 * rng.uniform();
+                    expansion.push_back(
+                        {i, a, b,
+                         node.first_swap.first < 0 ? std::make_pair(a, b)
+                                                   : node.first_swap,
+                         cost});
                 }
             }
-            if (next.empty()) {
+            if (expansion.empty()) {
                 break;
             }
-            std::sort(next.begin(), next.end(),
-                      [](const SearchNode &x, const SearchNode &y) {
+            std::sort(expansion.begin(), expansion.end(),
+                      [](const Candidate &x, const Candidate &y) {
                           return x.cost < y.cost;
                       });
-            if (static_cast<int>(next.size()) > _beamWidth) {
-                next.erase(next.begin() + _beamWidth, next.end());
+            if (static_cast<int>(expansion.size()) > _beamWidth) {
+                expansion.erase(expansion.begin() + _beamWidth,
+                                expansion.end());
+            }
+            // Materialize layouts for the survivors only.
+            std::vector<SearchNode> next;
+            next.reserve(expansion.size());
+            for (const Candidate &cand : expansion) {
+                SearchNode child(beam[cand.parent].layout);
+                child.layout.swapPhysical(cand.a, cand.b);
+                child.first_swap = cand.first_swap;
+                child.cost = cand.cost;
+                next.push_back(std::move(child));
             }
             beam = std::move(next);
             if (beam.front().cost < best.cost || best_is_root) {

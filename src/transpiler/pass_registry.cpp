@@ -7,8 +7,11 @@
 #include "transpiler/pass_registry.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <charconv>
 #include <map>
 #include <mutex>
+#include <sstream>
 
 #include "common/error.hpp"
 #include "transpiler/passes.hpp"
@@ -26,22 +29,38 @@ registryMutex()
     return mutex;
 }
 
-/** Parse an integral spec argument. */
+/** Reject a value outside [lo, hi] with a typed error. */
+template <typename T>
+void
+requireInRange(const std::string &pass, const std::string &arg, T value,
+               T lo, T hi)
+{
+    // Negated form so NaN lands here too, should one ever get past the
+    // callers' syntax guards.
+    if (!(value >= lo && value <= hi)) {
+        std::ostringstream oss;
+        oss << "outside [" << lo << ", " << hi << "]";
+        throw PassArgumentError(pass, arg, oss.str());
+    }
+}
+
+/**
+ * Parse an integral spec argument.  std::from_chars is
+ * locale-independent (std::stoi honors LC_NUMERIC groupings) and the
+ * failure is a typed PassArgumentError instead of a bare
+ * std::invalid_argument out of the std:: parser.
+ */
 int
 intArg(const std::string &pass, const std::string &arg, int lo, int hi)
 {
-    std::size_t consumed = 0;
     int value = 0;
-    try {
-        value = std::stoi(arg, &consumed);
-    } catch (const std::exception &) {
-        consumed = 0;
+    const char *begin = arg.c_str();
+    const char *end = begin + arg.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (arg.empty() || ec != std::errc{} || ptr != end) {
+        throw PassArgumentError(pass, arg, "malformed integer");
     }
-    SNAIL_REQUIRE(consumed == arg.size() && !arg.empty(),
-                  pass << ": malformed integer argument '" << arg << "'");
-    SNAIL_REQUIRE(value >= lo && value <= hi,
-                  pass << ": argument " << value << " outside [" << lo
-                       << ", " << hi << "]");
+    requireInRange(pass, arg, value, lo, hi);
     return value;
 }
 
@@ -53,23 +72,33 @@ noArg(const std::string &pass, const std::string &arg)
                   pass << " takes no argument (got '" << arg << "')");
 }
 
-/** Parse a floating-point spec argument. */
+/**
+ * Parse a floating-point spec argument.  Locale-independent
+ * (std::stod parses "1.5" as 1 under a comma-decimal LC_NUMERIC) and
+ * typed like intArg; the syntax guard rejects the non-spec forms
+ * from_chars would accept ("inf", "nan", "-inf", "-nan").
+ */
 double
 doubleArg(const std::string &pass, const std::string &arg, double lo,
           double hi)
 {
-    std::size_t consumed = 0;
-    double value = 0.0;
-    try {
-        value = std::stod(arg, &consumed);
-    } catch (const std::exception &) {
-        consumed = 0;
+    const char *begin = arg.c_str();
+    const char *end = begin + arg.size();
+    // After an optional sign the spec requires a digit or '.', which
+    // rejects the non-spec forms from_chars would accept ("inf",
+    // "nan", and their negated spellings) as malformed.
+    const std::size_t first = (!arg.empty() && arg[0] == '-') ? 1 : 0;
+    if (first >= arg.size() ||
+        (arg[first] != '.' &&
+         !std::isdigit(static_cast<unsigned char>(arg[first])))) {
+        throw PassArgumentError(pass, arg, "malformed number");
     }
-    SNAIL_REQUIRE(consumed == arg.size() && !arg.empty(),
-                  pass << ": malformed number argument '" << arg << "'");
-    SNAIL_REQUIRE(value >= lo && value <= hi,
-                  pass << ": argument " << value << " outside [" << lo
-                       << ", " << hi << "]");
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr != end) {
+        throw PassArgumentError(pass, arg, "malformed number");
+    }
+    requireInRange(pass, arg, value, lo, hi);
     return value;
 }
 

@@ -28,6 +28,45 @@
 namespace snail
 {
 
+/**
+ * Zero-copy view of a Layout with one hypothetical SWAP applied.
+ *
+ * Routers score every candidate SWAP of every routing step; copying the
+ * whole Layout per candidate (an O(n) allocate-and-copy) used to
+ * dominate the hot loop.  A SwappedView answers physical() as if
+ * swapPhysical(a, b) had been applied to the base layout, without
+ * touching it: a virtual qubit mapped to `a` reads as mapped to `b`
+ * and vice versa.  The view borrows the base layout — keep it on the
+ * stack for the duration of one score evaluation only.
+ */
+class SwappedView
+{
+  public:
+    SwappedView(const Layout &base, int a, int b)
+        : _base(base), _a(a), _b(b)
+    {
+    }
+
+    /** Physical home of virtual qubit v under the hypothetical swap. */
+    int
+    physical(int v) const
+    {
+        const int p = _base.physical(v);
+        if (p == _a) {
+            return _b;
+        }
+        if (p == _b) {
+            return _a;
+        }
+        return p;
+    }
+
+  private:
+    const Layout &_base;
+    int _a;
+    int _b;
+};
+
 /** Output of a routing pass. */
 struct RoutingResult
 {

@@ -4,6 +4,10 @@
  * an ablation alternative to StochasticSwap: scores candidate SWAPs on
  * the ready ("front") 2Q gates plus a discounted extended set, with a
  * decay factor discouraging back-and-forth moves on the same qubits.
+ *
+ * Candidate SWAPs are scored by delta: the hypothetical (a, b) exchange
+ * is resolved inline through a SwappedView over the current layout, so
+ * the scoring loop performs zero Layout copies (routing.hpp).
  */
 
 #include <algorithm>
@@ -22,6 +26,7 @@ SabreRouter::route(const Circuit &circuit, const CouplingGraph &graph,
 {
     SNAIL_REQUIRE(initial.isComplete(), "routing needs a complete layout");
     Circuit out(graph.numQubits(), circuit.name() + "-routed");
+    out.reserve(circuit.size());
     Layout layout = initial;
     std::size_t swaps = 0;
 
@@ -30,6 +35,22 @@ SabreRouter::route(const Circuit &circuit, const CouplingGraph &graph,
     std::vector<double> decay(static_cast<std::size_t>(graph.numQubits()),
                               1.0);
     int since_progress = 0;
+
+    // Thrash limits: past `valve_steps` fruitless SWAPs the decay table
+    // resets (the classic SABRE escape hatch); past `hard_cap` the
+    // search is provably stuck (an adversarial swap penalty can pin the
+    // candidate choice regardless of decay) and the router throws
+    // instead of spinning forever.
+    const int valve_steps = 8 * graph.numQubits() + 64;
+    const long hard_cap = 64L * static_cast<long>(valve_steps);
+    long stuck_steps = 0;
+
+    // Scratch reused across routing steps (hot loop: no per-step
+    // allocations in steady state).
+    std::vector<const Instruction *> front;
+    std::vector<const Instruction *> extended;
+    std::vector<std::size_t> ahead;
+    DependencyFrontier::LookaheadScratch ahead_scratch;
 
     while (!frontier.done()) {
         bool progressed = true;
@@ -54,6 +75,7 @@ SabreRouter::route(const Circuit &circuit, const CouplingGraph &graph,
             }
             if (progressed) {
                 since_progress = 0;
+                stuck_steps = 0;
                 std::fill(decay.begin(), decay.end(), 1.0);
             }
         }
@@ -62,19 +84,22 @@ SabreRouter::route(const Circuit &circuit, const CouplingGraph &graph,
         }
 
         // Front 2Q gates (all blocked now) and the extended set.
-        std::vector<const Instruction *> front;
+        front.clear();
         for (std::size_t idx : frontier.ready()) {
             front.push_back(&ops[idx]);
         }
-        std::vector<const Instruction *> extended;
-        for (std::size_t idx :
-             frontier.lookahead(static_cast<std::size_t>(_extendedSize))) {
+        extended.clear();
+        frontier.lookahead(static_cast<std::size_t>(_extendedSize),
+                           ahead_scratch, ahead);
+        for (std::size_t idx : ahead) {
             if (ops[idx].isTwoQubit()) {
                 extended.push_back(&ops[idx]);
             }
         }
 
-        auto score = [&](const Layout &probe, int a, int b) {
+        // Delta score of the hypothetical (a, b) exchange: `probe` is a
+        // SwappedView over the live layout, so no copy is made.
+        auto score = [&](const auto &probe, int a, int b) {
             double front_cost = 0.0;
             for (const Instruction *op : front) {
                 front_cost += graph.distance(probe.physical(op->q0()),
@@ -103,9 +128,7 @@ SabreRouter::route(const Circuit &circuit, const CouplingGraph &graph,
             for (int pq :
                  {layout.physical(op->q0()), layout.physical(op->q1())}) {
                 for (int nb : graph.neighbors(pq)) {
-                    Layout probe = layout;
-                    probe.swapPhysical(pq, nb);
-                    double s = score(probe, pq, nb);
+                    double s = score(SwappedView(layout, pq, nb), pq, nb);
                     // Tiny jitter for deterministic-tie randomization.
                     s += 1e-9 * rng.uniform();
                     if (s < best_score) {
@@ -123,9 +146,13 @@ SabreRouter::route(const Circuit &circuit, const CouplingGraph &graph,
         decay[static_cast<std::size_t>(best_edge.second)] += _decayFactor;
         ++swaps;
 
+        if (++stuck_steps > hard_cap) {
+            throw RoutingError(name(), circuit.name(), graph.name(),
+                               stuck_steps);
+        }
+
         // Safety valve against pathological thrash.
-        if (++since_progress >
-            8 * graph.numQubits() + 64) {
+        if (++since_progress > valve_steps) {
             std::fill(decay.begin(), decay.end(), 1.0);
             since_progress = 0;
         }

@@ -33,9 +33,14 @@ namespace snail
 namespace
 {
 
-/** Sum of device distances for the blocked gate list under a layout. */
+/**
+ * Sum of device distances for the blocked gate list under a layout —
+ * generic over Layout and SwappedView so candidate SWAPs are scored by
+ * delta without copying the trial layout.
+ */
+template <typename LayoutLike>
 int
-totalDistance(const CouplingGraph &graph, const Layout &layout,
+totalDistance(const CouplingGraph &graph, const LayoutLike &layout,
               const std::vector<const Instruction *> &blocked)
 {
     int total = 0;
@@ -81,9 +86,8 @@ runTrial(const CouplingGraph &graph, Layout layout,
             for (int pq : {layout.physical(op->q0()),
                            layout.physical(op->q1())}) {
                 for (int nb : graph.neighbors(pq)) {
-                    Layout probe = layout;
-                    probe.swapPhysical(pq, nb);
-                    const int cost = totalDistance(graph, probe, blocked);
+                    const int cost = totalDistance(
+                        graph, SwappedView(layout, pq, nb), blocked);
                     // Multiplicative noise makes trials explore different
                     // tie-breaks and near-optimal moves.
                     const double noisy =
@@ -115,6 +119,7 @@ StochasticSwapRouter::route(const Circuit &circuit,
 {
     SNAIL_REQUIRE(initial.isComplete(), "routing needs a complete layout");
     Circuit out(graph.numQubits(), circuit.name() + "-routed");
+    out.reserve(circuit.size());
     Layout layout = initial;
     std::size_t swaps = 0;
 
@@ -122,6 +127,11 @@ StochasticSwapRouter::route(const Circuit &circuit,
     const auto &ops = circuit.instructions();
     const std::size_t swap_budget =
         4 * static_cast<std::size_t>(graph.numQubits()) + 16;
+
+    // Scratch reused across routing steps.  `ready_scratch` snapshots
+    // the frontier because consume() mutates it mid-iteration.
+    std::vector<std::size_t> ready_scratch;
+    std::vector<const Instruction *> blocked;
 
     // Counter-based trial streams: (blocked-event index, trial index)
     // addresses a generator derived from one base draw, so trial t of
@@ -135,8 +145,9 @@ StochasticSwapRouter::route(const Circuit &circuit,
         bool progressed = true;
         while (progressed) {
             progressed = false;
-            const std::vector<std::size_t> ready = frontier.ready();
-            for (std::size_t idx : ready) {
+            ready_scratch.assign(frontier.ready().begin(),
+                                 frontier.ready().end());
+            for (std::size_t idx : ready_scratch) {
                 const Instruction &op = ops[idx];
                 if (op.numQubits() == 1) {
                     out.append(op.gate(), {layout.physical(op.q0())});
@@ -159,7 +170,7 @@ StochasticSwapRouter::route(const Circuit &circuit,
 
         // Everything ready is a blocked 2Q gate; pick the best SWAP
         // sequence over randomized trials.
-        std::vector<const Instruction *> blocked;
+        blocked.clear();
         for (std::size_t idx : frontier.ready()) {
             blocked.push_back(&ops[idx]);
         }

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Test-only RAII guard that flips LC_NUMERIC to a comma-decimal locale.
+ *
+ * The locale-independence regression tests (QASM real literals,
+ * pipeline-spec pass arguments) need a locale whose decimal separator
+ * is ',' to prove std::from_chars ignores it where strtod/stod did
+ * not.  Minimal containers often ship only "C"; valid() reports
+ * whether a comma-decimal locale was actually installed so tests can
+ * GTEST_SKIP gracefully.  The destructor restores the previous locale
+ * even when the test body throws.
+ */
+
+#ifndef SNAILQC_TESTS_LOCALE_GUARD_HPP
+#define SNAILQC_TESTS_LOCALE_GUARD_HPP
+
+#include <clocale>
+#include <string>
+
+namespace snail
+{
+
+class CommaDecimalLocale
+{
+  public:
+    CommaDecimalLocale()
+    {
+        const char *previous = std::setlocale(LC_NUMERIC, nullptr);
+        _previous = previous ? previous : "C";
+        for (const char *name : {"de_DE.UTF-8", "de_DE", "fr_FR.UTF-8",
+                                 "fr_FR", "it_IT.UTF-8", "nl_NL.UTF-8"}) {
+            if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+                // Trust but verify: the locale must actually format
+                // with a decimal comma.
+                const struct lconv *conv = std::localeconv();
+                if (conv && conv->decimal_point &&
+                    conv->decimal_point[0] == ',') {
+                    _valid = true;
+                    return;
+                }
+            }
+        }
+        std::setlocale(LC_NUMERIC, _previous.c_str());
+    }
+
+    ~CommaDecimalLocale() { std::setlocale(LC_NUMERIC, _previous.c_str()); }
+
+    CommaDecimalLocale(const CommaDecimalLocale &) = delete;
+    CommaDecimalLocale &operator=(const CommaDecimalLocale &) = delete;
+
+    /** True when a comma-decimal locale is active for this scope. */
+    bool valid() const { return _valid; }
+
+  private:
+    std::string _previous;
+    bool _valid = false;
+};
+
+} // namespace snail
+
+#endif // SNAILQC_TESTS_LOCALE_GUARD_HPP

@@ -8,8 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <type_traits>
+#include <utility>
 
 #include "common/rng.hpp"
+#include "gates/gate.hpp"
 #include "linalg/eigen.hpp"
 #include "linalg/kron_factor.hpp"
 #include "linalg/matrix.hpp"
@@ -31,6 +34,46 @@ TEST(Matrix, IdentityAndZero)
     EXPECT_EQ(z.rows(), 2u);
     EXPECT_EQ(z.cols(), 4u);
     EXPECT_DOUBLE_EQ(z.frobeniusNorm(), 0.0);
+}
+
+// Probe whether `.data()` is callable on a Matrix of reference kind M.
+// Deleted overloads fail substitution, so the trait reads false for
+// rvalues once the guard is in place.
+template <typename M, typename = void>
+struct DataCallable : std::false_type
+{
+};
+template <typename M>
+struct DataCallable<M, std::void_t<decltype(std::declval<M>().data())>>
+    : std::true_type
+{
+};
+
+TEST(Matrix, DataIsRvalueGuarded)
+{
+    // Lifetime footgun, documented by this test: Gate::matrix() returns
+    // by value, and `for (auto &c : gate.matrix().data())` dangled —
+    // range-for lifetime extension does not reach through `.data()` —
+    // which once produced a garbage-values bug.  The rvalue-qualified
+    // data() overloads are deleted, so the dangling pattern no longer
+    // compiles:
+    static_assert(!DataCallable<Matrix>::value,
+                  "rvalue .data() must be deleted (dangles in range-for)");
+    static_assert(!DataCallable<const Matrix>::value,
+                  "const rvalue .data() must be deleted");
+    static_assert(DataCallable<Matrix &>::value,
+                  "lvalue .data() must stay usable");
+    static_assert(DataCallable<const Matrix &>::value,
+                  "const lvalue .data() must stay usable");
+
+    // The safe pattern: materialize the Matrix into a named local, then
+    // iterate its storage.
+    const Matrix m = gates::h().matrix();
+    double norm = 0.0;
+    for (const auto &cell : m.data()) {
+        norm += std::norm(cell);
+    }
+    EXPECT_NEAR(norm, 2.0, 1e-12); // H has four entries of |1/sqrt(2)|^2
 }
 
 TEST(Matrix, ProductAgainstHandComputed)

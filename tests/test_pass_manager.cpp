@@ -11,8 +11,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "locale_guard.hpp"
 
 #include "circuits/circuits.hpp"
 #include "common/error.hpp"
@@ -84,6 +87,66 @@ TEST(PassRegistry, RejectsUnknownAndMalformed)
     EXPECT_THROW(makeRegisteredPass("basis"), SnailError);
     EXPECT_THROW(makeRegisteredPass("basis=klingon"), SnailError);
     EXPECT_THROW(passManagerFromSpec("dense,,score"), SnailError);
+}
+
+TEST(PassRegistry, MalformedArgumentsThrowTypedErrors)
+{
+    // Bad arguments carry the pass name and the offending text, so a
+    // sweep-spec author can find the exact token to fix.
+    try {
+        makeRegisteredPass("optimize=abc");
+        FAIL() << "optimize=abc must throw";
+    } catch (const PassArgumentError &e) {
+        EXPECT_EQ(e.passName(), "optimize");
+        EXPECT_EQ(e.argument(), "abc");
+        EXPECT_NE(std::string(e.what()).find("optimize"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("'abc'"), std::string::npos);
+    }
+    try {
+        makeRegisteredPass("stochastic-route=0");
+        FAIL() << "stochastic-route=0 must throw";
+    } catch (const PassArgumentError &e) {
+        EXPECT_EQ(e.passName(), "stochastic-route");
+        EXPECT_EQ(e.argument(), "0");
+        EXPECT_NE(std::string(e.what()).find("outside"), std::string::npos);
+    }
+    // from_chars requires full consumption and rejects the non-spec
+    // forms std::stod accepts (inf/nan/hex, trailing junk).
+    EXPECT_THROW(makeRegisteredPass("noise-route=inf"), PassArgumentError);
+    EXPECT_THROW(makeRegisteredPass("noise-route=nan"), PassArgumentError);
+    EXPECT_THROW(makeRegisteredPass("noise-route=-inf"), PassArgumentError);
+    EXPECT_THROW(makeRegisteredPass("noise-route=-nan"), PassArgumentError);
+    EXPECT_THROW(makeRegisteredPass("noise-route=0x10"),
+                 PassArgumentError);
+    EXPECT_THROW(makeRegisteredPass("noise-route=1.5x"),
+                 PassArgumentError);
+    EXPECT_THROW(makeRegisteredPass("stochastic-route=1.5"),
+                 PassArgumentError);
+}
+
+TEST(PassRegistry, ArgumentParsingIgnoresCommaDecimalLocale)
+{
+    // Regression: std::stod honored LC_NUMERIC, so "noise-route=1.5"
+    // parsed as weight 1 under a comma-decimal locale.  The parse must
+    // be locale-free whether or not such a locale is installed; when
+    // one is, flip to it (exception-safely) to prove the point.
+    bool flipped = false;
+    {
+        const CommaDecimalLocale locale;
+        flipped = locale.valid();
+        const auto pass = makeRegisteredPass("noise-route=1.5");
+        const auto sabre = makeRegisteredPass("sabre-layout=3");
+        // The full parse -> spec() round trip stays inside the guard:
+        // shortestDouble formats via std::to_chars, so serialization is
+        // locale-proof too.
+        EXPECT_EQ(pass->spec(), "noise-route=1.5");
+        EXPECT_EQ(sabre->spec(), "sabre-layout=3");
+    }
+    if (!flipped) {
+        GTEST_SKIP()
+            << "no comma-decimal locale installed; checked C locale only";
+    }
 }
 
 TEST(PassRegistry, SpecRoundTrip)

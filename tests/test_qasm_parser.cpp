@@ -15,6 +15,8 @@
 
 #include <gtest/gtest.h>
 
+#include "locale_guard.hpp"
+
 #include "circuits/circuits.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -139,6 +141,62 @@ TEST(QasmLexer, PeekDoesNotConsume)
     EXPECT_EQ(lexer.peek().text, "x");
     EXPECT_EQ(lexer.next().text, "x");
     EXPECT_EQ(lexer.next().text, "y");
+}
+
+TEST(QasmLexer, RealLiteralsIgnoreCommaDecimalLocale)
+{
+    // Regression: real literals used to go through std::strtod, which
+    // honors LC_NUMERIC — under a comma-decimal locale "rz(0.5)"
+    // silently parsed as rz(0).  std::from_chars is locale-free.
+    CommaDecimalLocale locale;
+    if (!locale.valid()) {
+        GTEST_SKIP() << "no comma-decimal locale installed on this host";
+    }
+    QasmLexer lexer("3.5 0.25 1e-3");
+    EXPECT_DOUBLE_EQ(lexer.next().real_value, 3.5);
+    EXPECT_DOUBLE_EQ(lexer.next().real_value, 0.25);
+    EXPECT_DOUBLE_EQ(lexer.next().real_value, 0.001);
+
+    const Circuit c = parseQasm("OPENQASM 2.0;\nqreg q[1];\nrz(0.5) q[0];")
+                          .circuit;
+    ASSERT_EQ(c.size(), 1u);
+    EXPECT_DOUBLE_EQ(c.instructions()[0].gate().params()[0], 0.5);
+}
+
+TEST(QasmLexer, RejectsNonQasmNumericForms)
+{
+    // Hex never fuses into one numeric token: "0x1A" is the integer 0
+    // followed by the identifier "x1A" (the parser then rejects it as
+    // a stray identifier where an expression operator was expected).
+    QasmLexer hex_lexer("0x1A");
+    auto t0 = hex_lexer.next();
+    EXPECT_EQ(t0.kind, QasmTokenKind::Integer);
+    EXPECT_EQ(t0.int_value, 0);
+    EXPECT_EQ(hex_lexer.next().text, "x1A");
+
+    // "inf"/"nan" are plain identifiers, not numbers.
+    QasmLexer inf_lexer("inf");
+    EXPECT_EQ(inf_lexer.next().kind, QasmTokenKind::Identifier);
+
+    // A lone '.' is not a literal (strtod used to yield a silent 0.0).
+    QasmLexer dot_lexer(". ;");
+    EXPECT_THROW(dot_lexer.next(), SnailError);
+
+    // ".5" with a fraction is fine.
+    QasmLexer frac_lexer(".5");
+    auto frac = frac_lexer.next();
+    EXPECT_EQ(frac.kind, QasmTokenKind::Real);
+    EXPECT_DOUBLE_EQ(frac.real_value, 0.5);
+
+    // Out-of-range integers fail loudly instead of saturating.
+    QasmLexer big_lexer("99999999999999999999999");
+    EXPECT_THROW(big_lexer.next(), SnailError);
+
+    // At the statement level both forms are parse errors.
+    EXPECT_THROW(parseQasm("OPENQASM 2.0;\nqreg q[1];\nrz(0x2) q[0];"),
+                 SnailError);
+    EXPECT_THROW(parseQasm("OPENQASM 2.0;\nqreg q[1];\nrz(inf) q[0];"),
+                 SnailError);
 }
 
 // ---------------------------------------------------------------------

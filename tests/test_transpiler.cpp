@@ -8,6 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "circuits/circuits.hpp"
 #include "common/error.hpp"
@@ -202,6 +206,109 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<RouterCase::ParamType> &info) {
         return std::get<1>(info.param);
     });
+
+TEST(SwappedView, DeltaScoresMatchCopyBasedScoresOnRandomLayouts)
+{
+    // The delta-scoring oracle: for random layouts and every candidate
+    // physical pair, a SwappedView must answer physical() exactly as a
+    // full Layout copy with swapPhysical() applied — and therefore any
+    // distance-sum score computed through it is identical to the old
+    // copy-based score.
+    const CouplingGraph g = namedTopology("corral11-16");
+    Rng rng(2026);
+    for (int trial = 0; trial < 50; ++trial) {
+        // Random injective layout of 10 virtual onto 16 physical qubits.
+        std::vector<int> perm(16);
+        for (int i = 0; i < 16; ++i) {
+            perm[static_cast<std::size_t>(i)] = i;
+        }
+        for (int i = 15; i > 0; --i) {
+            const int j = static_cast<int>(rng.next() %
+                                           static_cast<std::uint64_t>(i + 1));
+            std::swap(perm[static_cast<std::size_t>(i)],
+                      perm[static_cast<std::size_t>(j)]);
+        }
+        Layout layout(10, 16);
+        for (int v = 0; v < 10; ++v) {
+            layout.assign(v, perm[static_cast<std::size_t>(v)]);
+        }
+
+        // Random "front" of virtual qubit pairs to score.
+        std::vector<std::pair<int, int>> front;
+        for (int k = 0; k < 5; ++k) {
+            const int a = static_cast<int>(rng.next() % 10);
+            int b = static_cast<int>(rng.next() % 10);
+            if (a == b) {
+                b = (b + 1) % 10;
+            }
+            front.emplace_back(a, b);
+        }
+
+        for (const auto &[pa, pb] : g.edges()) {
+            Layout copy = layout;
+            copy.swapPhysical(pa, pb);
+            const SwappedView view(layout, pa, pb);
+            for (int v = 0; v < 10; ++v) {
+                ASSERT_EQ(view.physical(v), copy.physical(v))
+                    << "trial " << trial << " swap (" << pa << ", " << pb
+                    << ") virtual " << v;
+            }
+            int view_cost = 0;
+            int copy_cost = 0;
+            for (const auto &[a, b] : front) {
+                view_cost += g.distance(view.physical(a), view.physical(b));
+                copy_cost += g.distance(copy.physical(a), copy.physical(b));
+            }
+            ASSERT_EQ(view_cost, copy_cost);
+        }
+    }
+}
+
+TEST(SabreRouter, ThrowsTypedRoutingErrorInsteadOfSpinningForever)
+{
+    // Adversarial SWAP penalty: edge (0, 1) is infinitely attractive,
+    // so the router swaps it back and forth forever — the decay valve
+    // only resets decay, which the -1e12 penalty dwarfs.  The hard
+    // step cap must convert the livelock into a typed RoutingError
+    // carrying the circuit and graph names.
+    const CouplingGraph g = lineGraph(5);
+    Circuit c(5, "adversarial");
+    c.cx(0, 4);
+    const SabreRouter router([](int a, int b) {
+        const bool pinned = (a == 0 && b == 1) || (a == 1 && b == 0);
+        return pinned ? -1e12 : 0.0;
+    });
+    Rng rng(9);
+    try {
+        router.route(c, g, Layout::identity(5, 5), rng);
+        FAIL() << "adversarial penalty must trigger the step cap";
+    } catch (const RoutingError &e) {
+        EXPECT_EQ(e.routerName(), "sabre");
+        EXPECT_EQ(e.circuitName(), "adversarial");
+        EXPECT_EQ(e.graphName(), "line");
+        EXPECT_GT(e.steps(), 0);
+        EXPECT_NE(std::string(e.what()).find("adversarial"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("line"), std::string::npos);
+    }
+}
+
+TEST(SabreRouter, BenignPenaltyStillRoutesUnderTheStepCap)
+{
+    // A realistic (finite, positive) penalty must never trip the cap.
+    const CouplingGraph g = namedTopology("corral11-16");
+    const Circuit c = qft(8);
+    const SabreRouter router(
+        [](int a, int b) { return 0.01 * static_cast<double>(a + b); });
+    Rng rng(11);
+    const RoutingResult r =
+        router.route(c, g, Layout::identity(8, 16), rng);
+    for (const auto &op : r.circuit.instructions()) {
+        if (op.isTwoQubit()) {
+            EXPECT_TRUE(g.hasEdge(op.q0(), op.q1()));
+        }
+    }
+}
 
 TEST(StochasticRouter, DeterministicUnderSeed)
 {

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Compare deterministic counters between two perf_transpiler JSON runs.
+
+Usage:
+    python3 tools/compare_bench.py [--allow-missing] BASELINE.json FRESH.json
+
+Timings vary by machine; the routed-output checksums must not.  Three
+checks are enforced:
+
+ 1. Baseline drift: every deterministic counter (swaps, swaps_total,
+    jobs, candidates, score_checksum) present in both files must match
+    exactly, per benchmark name.  A drift means a code change altered
+    routed output — if intentional, regenerate the committed baseline
+    (bench/BENCH_perf_transpiler.json) in the same PR and say why.
+ 2. Coverage: every baseline benchmark (and every deterministic
+    counter it carries) must appear in the fresh run, so silently
+    deleting or renaming a benchmark cannot weaken the gate.  Pass
+    --allow-missing when deliberately comparing a filtered fresh run.
+ 3. Thread determinism: within the fresh run, every BM_TranspileBatch
+    row (1/4/16 worker threads) must report the same swaps_total.
+
+Exit status 0 on success, 1 on any mismatch (messages on stderr).
+"""
+
+import json
+import sys
+
+DETERMINISTIC_COUNTERS = (
+    "swaps",
+    "swaps_total",
+    "jobs",
+    "candidates",
+    "score_checksum",
+)
+
+
+def load_counters(path):
+    """Map benchmark name -> {counter: value} for deterministic counters."""
+    with open(path) as handle:
+        doc = json.load(handle)
+    rows = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        counters = {
+            key: bench[key] for key in DETERMINISTIC_COUNTERS if key in bench
+        }
+        if counters:
+            rows[bench["name"]] = counters
+    return rows
+
+
+def main(argv):
+    args = list(argv[1:])
+    allow_missing = "--allow-missing" in args
+    if allow_missing:
+        args.remove("--allow-missing")
+    if len(args) != 2:
+        sys.stderr.write(__doc__)
+        return 1
+    baseline_path, fresh_path = args
+    baseline = load_counters(baseline_path)
+    fresh = load_counters(fresh_path)
+
+    failures = []
+
+    shared = sorted(set(baseline) & set(fresh))
+    if not shared:
+        failures.append(
+            "no benchmark names in common between %s and %s"
+            % (baseline_path, fresh_path)
+        )
+    if not allow_missing:
+        for name in sorted(set(baseline) - set(fresh)):
+            failures.append(
+                "baseline benchmark '%s' missing from the fresh run "
+                "(deleted or renamed? regenerate the baseline, or pass "
+                "--allow-missing for a deliberately filtered run)" % name
+            )
+    for name in shared:
+        for counter in DETERMINISTIC_COUNTERS:
+            if counter not in baseline[name]:
+                continue
+            if counter not in fresh[name]:
+                if not allow_missing:
+                    failures.append(
+                        "%s: baseline counter '%s' missing from the "
+                        "fresh run" % (name, counter)
+                    )
+                continue
+            want = baseline[name][counter]
+            got = fresh[name][counter]
+            if want != got:
+                failures.append(
+                    "%s: counter '%s' drifted from baseline: %r -> %r"
+                    % (name, counter, want, got)
+                )
+
+    batch_totals = {
+        name: counters["swaps_total"]
+        for name, counters in fresh.items()
+        if name.startswith("BM_TranspileBatch") and "swaps_total" in counters
+    }
+    if len(set(batch_totals.values())) > 1:
+        failures.append(
+            "BM_TranspileBatch swaps_total differs across thread counts: %r"
+            % batch_totals
+        )
+
+    for message in failures:
+        sys.stderr.write("compare_bench: %s\n" % message)
+    if not failures:
+        checked = sum(len(v) for k, v in fresh.items() if k in baseline)
+        print(
+            "compare_bench: OK (%d benchmarks, %d deterministic counters)"
+            % (len(shared), checked)
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
