@@ -64,6 +64,39 @@ class DisconnectedError : public SnailError
 };
 
 /**
+ * A coupling graph too large for the flat uint16 distance table.
+ * CouplingGraph stores all-pairs hop distances as a row-major
+ * std::uint16_t matrix (with 0xFFFF reserved as the "unreachable"
+ * sentinel), so the longest representable distance is 65534 hops.  Any
+ * graph whose diameter could exceed that — i.e. any graph with more
+ * than 65535 vertices, since a hop distance is at most n - 1 — is
+ * rejected when the table is first built.  (Such a table would be
+ * > 8 GiB anyway; devices that size need a different representation.)
+ */
+class DistanceOverflowError : public SnailError
+{
+  public:
+    DistanceOverflowError(std::string graph_name, int num_qubits,
+                          int max_qubits)
+        : SnailError("graph '" + graph_name + "' has " +
+                     std::to_string(num_qubits) +
+                     " qubits; the uint16 distance table represents hop "
+                     "distances up to " + std::to_string(max_qubits - 1) +
+                     " and therefore at most " + std::to_string(max_qubits) +
+                     " qubits"),
+          _graphName(std::move(graph_name)), _numQubits(num_qubits)
+    {
+    }
+
+    const std::string &graphName() const { return _graphName; }
+    int numQubits() const { return _numQubits; }
+
+  private:
+    std::string _graphName;
+    int _numQubits;
+};
+
+/**
  * A coupling listed more than once in a JSON device description.
  * Thrown by targetFromJson: CouplingGraph::addEdge is idempotent, so a
  * repeated entry would otherwise silently collapse — and when the

@@ -310,6 +310,21 @@ shortestDouble(double value)
     return std::string(buf, ptr);
 }
 
+std::string
+fixedDouble(double value, int precision)
+{
+    SNAIL_REQUIRE(std::isfinite(value),
+                  "cannot represent non-finite number " << value);
+    SNAIL_REQUIRE(precision >= 0 && precision <= 32,
+                  "fixedDouble precision " << precision << " out of range");
+    char buf[384]; // fixed notation: up to ~309 integer digits
+    const auto [ptr, ec] =
+        std::to_chars(buf, buf + sizeof(buf), value,
+                      std::chars_format::fixed, precision);
+    SNAIL_ASSERT(ec == std::errc{}, "to_chars failed");
+    return std::string(buf, ptr);
+}
+
 bool
 JsonValue::asBool() const
 {

@@ -29,6 +29,15 @@ namespace snail
  */
 std::string shortestDouble(double value);
 
+/**
+ * `value` in fixed notation with exactly `precision` fraction digits
+ * (std::to_chars), locale-independent — what std::fixed /
+ * std::setprecision produce under the "C" locale, but immune to
+ * std::locale::global.  Used by the table/CSV report writers.
+ * @throws SnailError for non-finite values.
+ */
+std::string fixedDouble(double value, int precision);
+
 /** One JSON value: null, bool, number, string, array, or object. */
 class JsonValue
 {

@@ -4,9 +4,9 @@
 #include <cmath>
 #include <iomanip>
 #include <ostream>
-#include <sstream>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
 
 namespace snail
 {
@@ -29,17 +29,16 @@ TableWriter::addRow(std::vector<std::string> cells)
 std::string
 TableWriter::num(double v, int precision)
 {
-    std::ostringstream oss;
-    oss << std::fixed << std::setprecision(precision) << v;
-    return oss.str();
+    // std::to_chars, not an ostringstream: iostream formatting honors
+    // std::locale::global (decimal commas, digit grouping), and table
+    // and CSV reports must be locale-independent.
+    return fixedDouble(v, precision);
 }
 
 std::string
 TableWriter::count(double v)
 {
-    std::ostringstream oss;
-    oss << static_cast<long long>(std::llround(v));
-    return oss.str();
+    return std::to_string(static_cast<long long>(std::llround(v)));
 }
 
 void

@@ -91,6 +91,9 @@ evaluateJobs(const std::vector<ExploreJob> &jobs, TranspileCache &cache,
                                                  : job.pipeline_spec;
         key.seed = job.seed;
         keys.push_back(std::move(key));
+        // Workers share Target pointers and the lazy distance-table
+        // build is not thread-safe; force it serially here.
+        job.target->graph().ensureDistanceTable();
     }
 
     std::vector<PointMetrics> results(jobs.size());

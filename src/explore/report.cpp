@@ -110,7 +110,10 @@ writeSweepCsv(std::ostream &os, const SweepRun &run)
     os << '\n';
     for (std::size_t i = 0; i < run.points.size(); ++i) {
         const SweepPoint &point = run.points[i];
-        os << csvField(point.circuit_label) << ',' << point.width << ','
+        // std::to_string, not operator<<: stream int output honors
+        // std::locale::global digit grouping and CSV must not.
+        os << csvField(point.circuit_label) << ','
+           << std::to_string(point.width) << ','
            << csvField(point.target_label) << ','
            << csvField(point.pipeline) << ',' << hex64(point.seed);
         for (const std::string &metric : pointMetricNames()) {

@@ -46,8 +46,16 @@ DependencyFrontier::DependencyFrontier(const Circuit &circuit)
     : _circuit(circuit),
       _pending(circuit.size(), 0),
       _successors(circuit.size()),
+      _next(circuit.size() + 1),
+      _prev(circuit.size() + 1),
+      _inReady(circuit.size(), 0),
+      _sentinel(circuit.size()),
+      _readyCount(0),
       _remaining(circuit.size())
 {
+    _next[_sentinel] = _sentinel;
+    _prev[_sentinel] = _sentinel;
+
     // Wire qubit chains: the previous instruction touching a qubit is a
     // predecessor of the next instruction touching it.
     std::vector<long> last(static_cast<std::size_t>(circuit.numQubits()), -1);
@@ -63,23 +71,41 @@ DependencyFrontier::DependencyFrontier(const Circuit &circuit)
     }
     for (std::size_t i = 0; i < circuit.size(); ++i) {
         if (_pending[i] == 0) {
-            _ready.push_back(i);
+            linkReady(i);
         }
     }
 }
 
 void
+DependencyFrontier::linkReady(std::size_t i)
+{
+    const std::size_t tail = _prev[_sentinel];
+    _next[tail] = i;
+    _prev[i] = tail;
+    _next[i] = _sentinel;
+    _prev[_sentinel] = i;
+    _inReady[i] = 1;
+    ++_readyCount;
+}
+
+void
 DependencyFrontier::consume(std::size_t instruction_index)
 {
-    auto it = std::find(_ready.begin(), _ready.end(), instruction_index);
-    SNAIL_ASSERT(it != _ready.end(),
+    SNAIL_ASSERT(isReady(instruction_index),
                  "consume() of instruction " << instruction_index
                                              << " that is not ready");
-    _ready.erase(it);
+    // O(1) unlink through the position index (vs the old linear
+    // std::find + erase over a ready vector).
+    const std::size_t p = _prev[instruction_index];
+    const std::size_t n = _next[instruction_index];
+    _next[p] = n;
+    _prev[n] = p;
+    _inReady[instruction_index] = 0;
+    --_readyCount;
     --_remaining;
     for (std::size_t succ : _successors[instruction_index]) {
         if (--_pending[succ] == 0) {
-            _ready.push_back(succ);
+            linkReady(succ);
         }
     }
 }
@@ -103,8 +129,9 @@ DependencyFrontier::lookahead(std::size_t horizon, LookaheadScratch &scratch,
     out.clear();
     const std::uint64_t epoch = ++scratch.epoch;
     scratch.seen.resize(_circuit.size(), 0);
-    scratch.queue.assign(_ready.begin(), _ready.end());
-    for (std::size_t idx : scratch.queue) {
+    scratch.queue.clear();
+    for (std::size_t idx : ready()) {
+        scratch.queue.push_back(idx);
         scratch.seen[idx] = epoch;
     }
     while (!scratch.queue.empty() && out.size() < horizon) {

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <vector>
 
 #include "ir/circuit.hpp"
@@ -35,14 +36,104 @@ std::vector<std::vector<std::size_t>> layeredSchedule(const Circuit &circuit);
  * qubit chain; consuming instructions advances the frontier.  Routers pull
  * executable gates from the frontier and insert SWAPs when the frontier's
  * 2Q gates are not adjacent on the device.
+ *
+ * The ready set is an intrusive doubly-linked list threaded through
+ * per-instruction index arrays (a position index: _next[i] / _prev[i]
+ * name instruction i's neighbors in ready order).  consume() is
+ * therefore O(1) + successor wiring, instead of the old O(front)
+ * std::find over a vector — 84-qubit circuits keep fronts tens of
+ * gates wide, and every routing step consumes from them.  Iteration
+ * order is identical to the old vector semantics: new ready
+ * instructions append at the tail, and removal preserves the relative
+ * order of the rest (routers' executable-gate choices, and with them
+ * routed output, are order-sensitive).
  */
 class DependencyFrontier
 {
   public:
     explicit DependencyFrontier(const Circuit &circuit);
 
-    /** Indices of instructions currently ready (all predecessors done). */
-    const std::vector<std::size_t> &ready() const { return _ready; }
+    /**
+     * Lightweight forward range over the ready instructions (all
+     * predecessors done), in frontier order.  Borrow only: the view
+     * walks the frontier's live links, so consume() invalidates
+     * iterators to the consumed element (routers that consume
+     * mid-iteration restart or snapshot first).
+     */
+    class ReadyView
+    {
+      public:
+        class iterator
+        {
+          public:
+            using iterator_category = std::forward_iterator_tag;
+            using value_type = std::size_t;
+            using difference_type = std::ptrdiff_t;
+            using pointer = const std::size_t *;
+            using reference = std::size_t;
+
+            iterator(const std::vector<std::size_t> *next, std::size_t at)
+                : _next(next), _at(at)
+            {
+            }
+
+            std::size_t operator*() const { return _at; }
+            iterator &
+            operator++()
+            {
+                _at = (*_next)[_at];
+                return *this;
+            }
+            iterator
+            operator++(int)
+            {
+                iterator copy = *this;
+                ++(*this);
+                return copy;
+            }
+            bool
+            operator==(const iterator &other) const
+            {
+                return _at == other._at;
+            }
+            bool
+            operator!=(const iterator &other) const
+            {
+                return !(*this == other);
+            }
+
+          private:
+            const std::vector<std::size_t> *_next;
+            std::size_t _at;
+        };
+
+        ReadyView(const std::vector<std::size_t> &next, std::size_t sentinel)
+            : _next(&next), _sentinel(sentinel)
+        {
+        }
+
+        iterator begin() const { return {_next, (*_next)[_sentinel]}; }
+        iterator end() const { return {_next, _sentinel}; }
+        bool empty() const { return (*_next)[_sentinel] == _sentinel; }
+
+      private:
+        const std::vector<std::size_t> *_next;
+        std::size_t _sentinel;
+    };
+
+    /** The instructions currently ready, in frontier order. */
+    ReadyView ready() const { return ReadyView(_next, _sentinel); }
+
+    /** Number of instructions currently ready. */
+    std::size_t readyCount() const { return _readyCount; }
+
+    /** True when instruction i is in the ready set. */
+    bool
+    isReady(std::size_t instruction_index) const
+    {
+        return instruction_index < _inReady.size() &&
+               _inReady[instruction_index] != 0;
+    }
 
     /** True when every instruction has been consumed. */
     bool done() const { return _remaining == 0; }
@@ -78,12 +169,24 @@ class DependencyFrontier
                    std::vector<std::size_t> &out) const;
 
   private:
+    /** Append instruction i at the tail of the ready list. */
+    void linkReady(std::size_t i);
+
     const Circuit &_circuit;
     /** For each instruction, number of unfinished predecessors. */
     std::vector<int> _pending;
     /** For each instruction, its qubit-chain successors. */
     std::vector<std::vector<std::size_t>> _successors;
-    std::vector<std::size_t> _ready;
+    /**
+     * Intrusive ready list: _next/_prev are indexed by instruction,
+     * with one extra sentinel slot (_sentinel == circuit.size())
+     * closing the circle.  _inReady flags membership for O(1) lookup.
+     */
+    std::vector<std::size_t> _next;
+    std::vector<std::size_t> _prev;
+    std::vector<std::uint8_t> _inReady;
+    std::size_t _sentinel;
+    std::size_t _readyCount;
     std::size_t _remaining;
 };
 

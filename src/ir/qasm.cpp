@@ -1,10 +1,11 @@
 #include "ir/qasm.hpp"
 
-#include <iomanip>
 #include <ostream>
 #include <sstream>
+#include <string>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
 
 namespace snail
 {
@@ -78,11 +79,16 @@ isQasmExportable(const Circuit &circuit)
 void
 writeQasm(std::ostream &os, const Circuit &circuit)
 {
+    // All numbers are formatted through std::to_chars (shortestDouble
+    // / std::to_string), never streamed: iostream numeric output
+    // honors std::locale::global, and an exporter that writes
+    // "rz(0,5)" under a comma-decimal locale produces QASM no parser
+    // accepts.  shortestDouble round-trips every double exactly, so
+    // export -> import preserves parameters bit for bit.
     os << "OPENQASM 2.0;\n"
        << "include \"qelib1.inc\";\n"
        << "// " << circuit.name() << "\n"
-       << "qreg q[" << circuit.numQubits() << "];\n";
-    os << std::setprecision(17);
+       << "qreg q[" << std::to_string(circuit.numQubits()) << "];\n";
     for (const auto &op : circuit.instructions()) {
         const char *name = qasmName(op.gate().kind());
         SNAIL_REQUIRE(name != nullptr,
@@ -98,7 +104,7 @@ writeQasm(std::ostream &os, const Circuit &circuit)
                 if (i > 0) {
                     os << ", ";
                 }
-                os << params[i];
+                os << shortestDouble(params[i]);
             }
             os << ')';
         }
@@ -108,7 +114,7 @@ writeQasm(std::ostream &os, const Circuit &circuit)
             if (i > 0) {
                 os << ", ";
             }
-            os << "q[" << qubits[i] << ']';
+            os << "q[" << std::to_string(qubits[i]) << ']';
         }
         os << ";\n";
     }

@@ -81,24 +81,31 @@ CouplingGraph::edges() const
 }
 
 void
-CouplingGraph::ensureDistances() const
+CouplingGraph::buildDistanceTable() const
 {
-    if (!_dist.empty()) {
-        return;
+    // Guard before allocating: a hop distance is at most n - 1, so any
+    // graph that fits in kMaxTabledQubits also fits every distance in
+    // uint16 below the kUnreachable sentinel — and any graph whose
+    // diameter could exceed 65534 necessarily trips this check.
+    if (_numQubits > kMaxTabledQubits) {
+        throw DistanceOverflowError(_name, _numQubits, kMaxTabledQubits);
     }
     const auto n = static_cast<std::size_t>(_numQubits);
-    _dist.assign(n, std::vector<int>(n, -1));
+    _dist.assign(n * n, kUnreachable);
+    std::vector<int> queue;
+    queue.reserve(n);
     for (std::size_t src = 0; src < n; ++src) {
-        auto &row = _dist[src];
+        std::uint16_t *row = _dist.data() + src * n;
         row[src] = 0;
-        std::deque<int> queue{static_cast<int>(src)};
-        while (!queue.empty()) {
-            const int cur = queue.front();
-            queue.pop_front();
+        queue.assign(1, static_cast<int>(src));
+        for (std::size_t head = 0; head < queue.size(); ++head) {
+            const int cur = queue[head];
+            const std::uint16_t next =
+                static_cast<std::uint16_t>(
+                    row[static_cast<std::size_t>(cur)] + 1);
             for (int nb : _adjacency[static_cast<std::size_t>(cur)]) {
-                if (row[static_cast<std::size_t>(nb)] < 0) {
-                    row[static_cast<std::size_t>(nb)] =
-                        row[static_cast<std::size_t>(cur)] + 1;
+                if (row[static_cast<std::size_t>(nb)] == kUnreachable) {
+                    row[static_cast<std::size_t>(nb)] = next;
                     queue.push_back(nb);
                 }
             }
@@ -106,26 +113,14 @@ CouplingGraph::ensureDistances() const
     }
 }
 
-int
-CouplingGraph::distance(int a, int b) const
-{
-    SNAIL_REQUIRE(a >= 0 && a < _numQubits && b >= 0 && b < _numQubits,
-                  "qubit out of range");
-    ensureDistances();
-    const int d = _dist[static_cast<std::size_t>(a)]
-                       [static_cast<std::size_t>(b)];
-    if (d < 0) {
-        throw DisconnectedError(_name, a, b);
-    }
-    return d;
-}
-
 bool
 CouplingGraph::isConnected() const
 {
-    ensureDistances();
+    if (_dist.empty()) {
+        buildDistanceTable();
+    }
     for (int q = 1; q < _numQubits; ++q) {
-        if (_dist[0][static_cast<std::size_t>(q)] < 0) {
+        if (_dist[static_cast<std::size_t>(q)] == kUnreachable) {
             return false;
         }
     }
@@ -135,7 +130,6 @@ CouplingGraph::isConnected() const
 int
 CouplingGraph::diameter() const
 {
-    ensureDistances();
     int best = 0;
     for (int a = 0; a < _numQubits; ++a) {
         for (int b = a + 1; b < _numQubits; ++b) {
@@ -153,7 +147,6 @@ CouplingGraph::averageDistance() const
     // including self-pairs (which contribute distance 0), i.e. the distance
     // sum normalized by n^2.  With this normalization the paper's reported
     // values for square/hypercube/tree/corral are reproduced exactly.
-    ensureDistances();
     double total = 0.0;
     for (int a = 0; a < _numQubits; ++a) {
         for (int b = a + 1; b < _numQubits; ++b) {
@@ -176,7 +169,6 @@ CouplingGraph::shortestPath(int a, int b) const
 {
     SNAIL_REQUIRE(a >= 0 && a < _numQubits && b >= 0 && b < _numQubits,
                   "qubit out of range");
-    ensureDistances();
     // Walk from b back toward a following strictly decreasing distance.
     std::vector<int> path{a};
     int cur = a;

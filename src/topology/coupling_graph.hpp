@@ -12,9 +12,12 @@
 #ifndef SNAILQC_TOPOLOGY_COUPLING_GRAPH_HPP
 #define SNAILQC_TOPOLOGY_COUPLING_GRAPH_HPP
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/error.hpp"
 
 namespace snail
 {
@@ -23,6 +26,17 @@ namespace snail
 class CouplingGraph
 {
   public:
+    /**
+     * Largest graph the flat distance table can represent: distances
+     * are stored as std::uint16_t with 0xFFFF reserved for
+     * "unreachable", so the longest representable hop distance is
+     * 65534 = kMaxTabledQubits - 1 (a path graph's diameter).
+     */
+    static constexpr int kMaxTabledQubits = 65535;
+
+    /** Sentinel stored in the distance table for unreachable pairs. */
+    static constexpr std::uint16_t kUnreachable = 0xFFFF;
+
     /** Edgeless graph over num_qubits qubits. */
     explicit CouplingGraph(int num_qubits, std::string name = "graph");
 
@@ -50,10 +64,51 @@ class CouplingGraph
 
     /**
      * Hop distance between two qubits.
+     *
+     * Backed by a flat row-major std::uint16_t table built once (BFS
+     * per vertex) on the first query, so the router hot loops read one
+     * cache-friendly array instead of chasing a vector-of-vectors.
+     * Bounds-checked; defined in the header so the table read inlines
+     * into the scoring kernels.
+     *
      * @throws DisconnectedError (common/error.hpp) when no path exists,
      *         carrying the pair and this graph's name.
+     * @throws DistanceOverflowError when the graph exceeds
+     *         kMaxTabledQubits (a diameter > 65534 cannot be stored).
      */
-    int distance(int a, int b) const;
+    int
+    distance(int a, int b) const
+    {
+        SNAIL_REQUIRE(a >= 0 && a < _numQubits && b >= 0 && b < _numQubits,
+                      "qubit out of range");
+        if (_dist.empty()) {
+            buildDistanceTable();
+        }
+        const std::uint16_t d =
+            _dist[static_cast<std::size_t>(a) *
+                      static_cast<std::size_t>(_numQubits) +
+                  static_cast<std::size_t>(b)];
+        if (d == kUnreachable) {
+            throw DisconnectedError(_name, a, b);
+        }
+        return static_cast<int>(d);
+    }
+
+    /**
+     * Force the lazy distance table to exist now.  The table build
+     * mutates a `mutable` cache and is NOT thread-safe; any code that
+     * is about to query distance() from several threads against a
+     * shared graph (parallel stochastic trials, sweep workers) must
+     * call this once from the owning thread first.  Idempotent.
+     * @throws DistanceOverflowError (see distance()).
+     */
+    void
+    ensureDistanceTable() const
+    {
+        if (_dist.empty()) {
+            buildDistanceTable();
+        }
+    }
 
     /** True when every qubit can reach every other. */
     bool isConnected() const;
@@ -78,13 +133,18 @@ class CouplingGraph
     CouplingGraph trimToSize(int n, int root = 0) const;
 
   private:
-    /** Compute and cache all-pairs shortest paths (BFS per vertex). */
-    void ensureDistances() const;
+    /**
+     * Build the flat row-major all-pairs distance table (BFS per
+     * vertex).  Out of line: the inline distance() fast path only pays
+     * for the emptiness check.
+     */
+    void buildDistanceTable() const;
 
     int _numQubits;
     std::string _name;
     std::vector<std::vector<int>> _adjacency;
-    mutable std::vector<std::vector<int>> _dist; //!< lazy APSP cache
+    /** Lazy row-major n*n hop-distance table (kUnreachable sentinel). */
+    mutable std::vector<std::uint16_t> _dist;
 };
 
 } // namespace snail

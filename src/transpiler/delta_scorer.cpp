@@ -1,0 +1,178 @@
+#include "transpiler/delta_scorer.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+/** Physical qubit p as seen after exchanging a and b. */
+inline int
+remapped(int p, int a, int b)
+{
+    if (p == a) {
+        return b;
+    }
+    if (p == b) {
+        return a;
+    }
+    return p;
+}
+
+} // namespace
+
+DeltaScorer::DeltaScorer(const CouplingGraph &graph)
+    : _graph(graph),
+      _touch(static_cast<std::size_t>(graph.numQubits()))
+{
+}
+
+DeltaScorer::Term &
+DeltaScorer::term(std::int32_t code)
+{
+    const auto index = static_cast<std::size_t>(code >> 1);
+    return (code & 1) != 0 ? _ext[index] : _front[index];
+}
+
+const DeltaScorer::Term &
+DeltaScorer::term(std::int32_t code) const
+{
+    const auto index = static_cast<std::size_t>(code >> 1);
+    return (code & 1) != 0 ? _ext[index] : _front[index];
+}
+
+void
+DeltaScorer::addTouch(int qubit, std::int32_t code)
+{
+    auto &list = _touch[static_cast<std::size_t>(qubit)];
+    if (list.empty()) {
+        _touched.push_back(qubit);
+    }
+    list.push_back(code);
+}
+
+void
+DeltaScorer::addTerm(const Layout &layout, const Instruction *op,
+                     bool extended)
+{
+    const int p0 = layout.physical(op->q0());
+    const int p1 = layout.physical(op->q1());
+    const int dist = _graph.distance(p0, p1);
+    auto &terms = extended ? _ext : _front;
+    const std::int32_t code = static_cast<std::int32_t>(
+        (terms.size() << 1) | (extended ? 1u : 0u));
+    terms.push_back(Term{p0, p1, dist});
+    if (extended) {
+        _extSum += dist;
+    } else {
+        _frontSum += dist;
+        if (dist == 1) {
+            ++_frontAdjacent;
+        }
+    }
+    addTouch(p0, code);
+    addTouch(p1, code);
+}
+
+void
+DeltaScorer::rebuild(const Layout &layout,
+                     const std::vector<const Instruction *> &front,
+                     const std::vector<const Instruction *> &extended)
+{
+    for (int q : _touched) {
+        _touch[static_cast<std::size_t>(q)].clear();
+    }
+    _touched.clear();
+    _front.clear();
+    _ext.clear();
+    _frontSum = 0;
+    _extSum = 0;
+    _frontAdjacent = 0;
+    for (const Instruction *op : front) {
+        addTerm(layout, op, false);
+    }
+    for (const Instruction *op : extended) {
+        addTerm(layout, op, true);
+    }
+}
+
+DeltaScorer::Delta
+DeltaScorer::swapDelta(int a, int b) const
+{
+    Delta delta{0, 0};
+    for (std::int32_t code : _touch[static_cast<std::size_t>(a)]) {
+        const Term &t = term(code);
+        const int nd = _graph.distance(remapped(t.p0, a, b),
+                                       remapped(t.p1, a, b));
+        const long long change = nd - t.dist;
+        if ((code & 1) != 0) {
+            delta.extended += change;
+        } else {
+            delta.front += change;
+        }
+    }
+    for (std::int32_t code : _touch[static_cast<std::size_t>(b)]) {
+        const Term &t = term(code);
+        // A gate on (a, b) itself sits in both touch lists; it was
+        // fully remapped by the loop above (its distance is unchanged
+        // under the exchange), so skip it here.
+        if (t.p0 == a || t.p1 == a) {
+            continue;
+        }
+        const int nd = _graph.distance(remapped(t.p0, a, b),
+                                       remapped(t.p1, a, b));
+        const long long change = nd - t.dist;
+        if ((code & 1) != 0) {
+            delta.extended += change;
+        } else {
+            delta.front += change;
+        }
+    }
+    return delta;
+}
+
+void
+DeltaScorer::commitSwap(int a, int b)
+{
+    auto apply = [this](std::int32_t code, int a_, int b_) {
+        Term &t = term(code);
+        const int np0 = remapped(t.p0, a_, b_);
+        const int np1 = remapped(t.p1, a_, b_);
+        const int nd = _graph.distance(np0, np1);
+        if ((code & 1) != 0) {
+            _extSum += nd - t.dist;
+        } else {
+            _frontSum += nd - t.dist;
+            _frontAdjacent += (nd == 1 ? 1 : 0) - (t.dist == 1 ? 1 : 0);
+        }
+        t.p0 = np0;
+        t.p1 = np1;
+        t.dist = nd;
+    };
+
+    for (std::int32_t code : _touch[static_cast<std::size_t>(a)]) {
+        apply(code, a, b);
+    }
+    for (std::int32_t code : _touch[static_cast<std::size_t>(b)]) {
+        const Term &t = term(code);
+        // Gates on (a, b) were remapped by the loop above and now read
+        // an endpoint of a again (b -> a); don't remap them back.
+        if (t.p0 == a || t.p1 == a) {
+            continue;
+        }
+        apply(code, a, b);
+    }
+    // Every term with an endpoint on a now lives on b and vice versa,
+    // so the touch lists simply change places.  Register both qubits
+    // for the next rebuild()'s clear in case one list was empty.
+    std::swap(_touch[static_cast<std::size_t>(a)],
+              _touch[static_cast<std::size_t>(b)]);
+    _touched.push_back(a);
+    _touched.push_back(b);
+}
+
+} // namespace snail

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Incremental SWAP-candidate scoring kernel shared by the routers.
+ *
+ * Scoring a candidate SWAP used to re-sum device distances over the
+ * whole front/extended gate set — O(front) work per candidate, inside
+ * the innermost loop of every routing step of every sweep point.  A
+ * DeltaScorer instead maintains one distance term per gate (its mapped
+ * physical endpoints and their hop distance) plus the running sums,
+ * and answers "how would the sums change under the hypothetical
+ * exchange of physical qubits a and b?" by visiting only the terms
+ * that touch a or b (a per-qubit touch index), which is O(1) in the
+ * front size.
+ *
+ * Bit-identity invariant: hop distances are small integers, so every
+ * partial sum the old code accumulated in a double was exact; the
+ * scorer keeps the sums in 64-bit integers, which are *equal* (not
+ * just close) to the old accumulation for any term order.  Routers
+ * divide / weight / jitter the summed value exactly as before, so the
+ * scores — and with them every routed circuit — are bit-identical to
+ * the full re-sum.  docs/routing-internals.md derives this invariant;
+ * tests/test_transpiler.cpp cross-checks it on randomized inputs.
+ */
+
+#ifndef SNAILQC_TRANSPILER_DELTA_SCORER_HPP
+#define SNAILQC_TRANSPILER_DELTA_SCORER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/instruction.hpp"
+#include "topology/coupling_graph.hpp"
+#include "transpiler/layout.hpp"
+
+namespace snail
+{
+
+/** Per-gate distance terms with O(touching-gates) delta queries. */
+class DeltaScorer
+{
+  public:
+    /**
+     * One gate's term: mapped physical endpoints in gate order
+     * (p0 hosts the gate's first operand) and their hop distance.
+     */
+    struct Term
+    {
+        int p0;
+        int p1;
+        int dist;
+    };
+
+    /** Change of the front / extended distance sums under a swap. */
+    struct Delta
+    {
+        long long front;
+        long long extended;
+    };
+
+    /** The graph reference must outlive the scorer. */
+    explicit DeltaScorer(const CouplingGraph &graph);
+
+    /**
+     * Recompute all terms for `front` and `extended` as mapped by
+     * `layout`.  O(front + extended); call when the gate sets change.
+     */
+    void rebuild(const Layout &layout,
+                 const std::vector<const Instruction *> &front,
+                 const std::vector<const Instruction *> &extended);
+
+    /** Sum of front-gate distances (exact; see file comment). */
+    long long frontSum() const { return _frontSum; }
+
+    /** Sum of extended-set distances. */
+    long long extendedSum() const { return _extSum; }
+
+    /**
+     * Number of front terms at distance exactly 1 — i.e. gates whose
+     * operands sit on a coupled pair.  Nonzero iff some front gate is
+     * executable, which gives the stochastic trials an O(1)
+     * "executable?" check.
+     */
+    int frontAdjacentCount() const { return _frontAdjacent; }
+
+    /** Front terms in rebuild order (endpoints kept current). */
+    const std::vector<Term> &frontTerms() const { return _front; }
+
+    /** Extended-set terms in rebuild order. */
+    const std::vector<Term> &extendedTerms() const { return _ext; }
+
+    /**
+     * Sum changes under the hypothetical exchange of physical qubits
+     * a and b.  Visits only terms touching a or b.
+     */
+    Delta swapDelta(int a, int b) const;
+
+    /**
+     * Apply the exchange of a and b for real: remap endpoints, update
+     * distances, sums, the adjacency count, and the touch index —
+     * O(terms touching a or b).  Equivalent to rebuild() against the
+     * swapped layout, without the O(front) pass.
+     */
+    void commitSwap(int a, int b);
+
+  private:
+    Term &term(std::int32_t code);
+    const Term &term(std::int32_t code) const;
+    void addTerm(const Layout &layout, const Instruction *op, bool extended);
+    void addTouch(int qubit, std::int32_t code);
+
+    const CouplingGraph &_graph;
+    std::vector<Term> _front;
+    std::vector<Term> _ext;
+    long long _frontSum = 0;
+    long long _extSum = 0;
+    int _frontAdjacent = 0;
+    /**
+     * Touch index: per physical qubit, the terms with an endpoint
+     * there, encoded (term_index << 1) | is_extended.  _touched lists
+     * the qubits with entries so rebuild() clears in O(touched).
+     */
+    std::vector<std::vector<std::int32_t>> _touch;
+    std::vector<int> _touched;
+};
+
+} // namespace snail
+
+#endif // SNAILQC_TRANSPILER_DELTA_SCORER_HPP

@@ -5,10 +5,15 @@
  * single-step greedy scoring, the tree search can see that two SWAPs
  * which individually look neutral jointly unblock a front gate.
  *
- * Candidate SWAPs are scored by delta (SwappedView over the parent
- * node's layout); only the `beam_width` survivors of each expansion
- * level materialize a real Layout copy, so the per-candidate cost is
- * a distance sum, not an O(n) layout clone.
+ * Candidate SWAPs are scored incrementally: per beam node a
+ * DeltaScorer holds one distance term per front/window gate, each
+ * candidate's front sum is answered by delta (visiting only the terms
+ * touching the swapped pair), and only the discounted window chain —
+ * bounded by the constant `window` parameter, not the front width —
+ * is replayed per candidate, preserving the exact floating-point
+ * accumulation order (see docs/routing-internals.md).  Only the
+ * `beam_width` survivors of each expansion level materialize a real
+ * Layout copy.
  */
 
 #include <algorithm>
@@ -17,6 +22,7 @@
 
 #include "common/error.hpp"
 #include "ir/dag.hpp"
+#include "transpiler/delta_scorer.hpp"
 #include "transpiler/routing.hpp"
 
 namespace snail
@@ -68,20 +74,31 @@ LookaheadRouter::route(const Circuit &circuit, const CouplingGraph &graph,
     DependencyFrontier::LookaheadScratch ahead_scratch;
     std::vector<std::pair<int, int>> edges;
     std::vector<Candidate> expansion;
+    DeltaScorer scorer(graph);
 
-    // Distance-sum cost of a layout over front gates plus a discounted
-    // window of upcoming 2Q gates.  Generic: called with a Layout for
-    // committed beam nodes and a SwappedView for candidates.
-    auto evaluate = [&](const auto &probe) {
-        double cost = 0.0;
-        for (const Instruction *op : front) {
-            cost += graph.distance(probe.physical(op->q0()),
-                                   probe.physical(op->q1()));
+    // Cost of the scorer's current node with the hypothetical (a, b)
+    // exchange applied (pass a == b for "no exchange"): the exact
+    // integer front sum, then the discounted window terms replayed in
+    // order.  The replay reproduces the old full re-sum's
+    // floating-point accumulation step for step — the front partials
+    // were all exact integer sums — so costs are bit-identical.
+    auto evaluate = [&](int a, int b) {
+        long long front_sum = scorer.frontSum();
+        if (a != b) {
+            front_sum += scorer.swapDelta(a, b).front;
         }
+        double cost = static_cast<double>(front_sum);
         double discount = 0.5;
-        for (const Instruction *op : window) {
-            cost += discount * graph.distance(probe.physical(op->q0()),
-                                              probe.physical(op->q1()));
+        for (const DeltaScorer::Term &t : scorer.extendedTerms()) {
+            int dist = t.dist;
+            if (a != b) {
+                const int np0 = t.p0 == a ? b : t.p0 == b ? a : t.p0;
+                const int np1 = t.p1 == a ? b : t.p1 == b ? a : t.p1;
+                if (np0 != t.p0 || np1 != t.p1) {
+                    dist = graph.distance(np0, np1);
+                }
+            }
+            cost += discount * static_cast<double>(dist);
             discount *= 0.9;
         }
         return cost;
@@ -171,7 +188,8 @@ LookaheadRouter::route(const Circuit &circuit, const CouplingGraph &graph,
         // Beam search over SWAP sequences of length <= _searchDepth.
         std::vector<SearchNode> beam;
         beam.emplace_back(layout);
-        beam.back().cost = evaluate(layout);
+        scorer.rebuild(layout, front, window);
+        beam.back().cost = evaluate(0, 0);
         SearchNode best = beam.front();
         bool best_is_root = true;
 
@@ -179,11 +197,13 @@ LookaheadRouter::route(const Circuit &circuit, const CouplingGraph &graph,
             expansion.clear();
             for (std::size_t i = 0; i < beam.size(); ++i) {
                 const SearchNode &node = beam[i];
+                // One O(front + window) rebuild per node; every
+                // candidate below is then scored by delta.
+                scorer.rebuild(node.layout, front, window);
                 candidates(node.layout);
                 for (auto [a, b] : edges) {
                     const double cost =
-                        evaluate(SwappedView(node.layout, a, b)) +
-                        1e-9 * rng.uniform();
+                        evaluate(a, b) + 1e-9 * rng.uniform();
                     expansion.push_back(
                         {i, a, b,
                          node.first_swap.first < 0 ? std::make_pair(a, b)

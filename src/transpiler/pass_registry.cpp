@@ -150,12 +150,23 @@ registerBuiltins(std::map<std::string, PassRegistration> &rows)
         });
     add("stochastic-route",
         "randomized-trial router (Qiskit StochasticSwap, paper default)",
-        "trials (default 20)",
+        "trials[xthreads] (default 20x1; output identical at any "
+        "thread count)",
         [](const std::string &arg) -> std::shared_ptr<const Pass> {
+            if (arg.empty()) {
+                return std::make_shared<StochasticRoutePass>();
+            }
+            // "trials" or "trialsxthreads", e.g. "10" / "10x4".
+            const std::size_t split = arg.find('x');
+            const std::string trials_text = arg.substr(0, split);
             const int trials =
-                arg.empty() ? StochasticRoutePass::kDefaultTrials
-                            : intArg("stochastic-route", arg, 1, 10000);
-            return std::make_shared<StochasticRoutePass>(trials);
+                intArg("stochastic-route", trials_text, 1, 10000);
+            unsigned threads = StochasticRoutePass::kDefaultThreads;
+            if (split != std::string::npos) {
+                threads = static_cast<unsigned>(intArg(
+                    "stochastic-route", arg.substr(split + 1), 1, 256));
+            }
+            return std::make_shared<StochasticRoutePass>(trials, threads);
         });
     add("sabre-route", "SABRE lookahead-heuristic router", "",
         [](const std::string &arg) -> std::shared_ptr<const Pass> {

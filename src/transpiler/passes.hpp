@@ -133,9 +133,16 @@ class StochasticRoutePass : public RoutePassBase
 {
   public:
     static constexpr int kDefaultTrials = 20;
+    static constexpr unsigned kDefaultThreads = 1;
 
-    explicit StochasticRoutePass(int trials = kDefaultTrials)
-        : _trials(trials), _router(trials)
+    /**
+     * @param threads workers for the per-layer trials (spec suffix
+     *        "xN", e.g. "stochastic-route=20x4"); routed output is
+     *        bit-identical at any value.
+     */
+    explicit StochasticRoutePass(int trials = kDefaultTrials,
+                                 unsigned threads = kDefaultThreads)
+        : _trials(trials), _threads(threads), _router(trials, threads)
     {
     }
 
@@ -147,6 +154,7 @@ class StochasticRoutePass : public RoutePassBase
 
   private:
     int _trials;
+    unsigned _threads;
     StochasticSwapRouter _router;
 };
 

@@ -38,6 +38,12 @@ namespace snail
  * touching it: a virtual qubit mapped to `a` reads as mapped to `b`
  * and vice versa.  The view borrows the base layout — keep it on the
  * stack for the duration of one score evaluation only.
+ *
+ * The shipped routers now score by incremental per-gate terms
+ * (transpiler/delta_scorer.hpp) rather than re-summing through a view;
+ * SwappedView remains the reference semantics that the randomized
+ * cross-check tests and the BM_RouterStepResum bench row compare
+ * against.
  */
 class SwappedView
 {
@@ -111,8 +117,18 @@ class BasicRouter : public Router
 class StochasticSwapRouter : public Router
 {
   public:
-    /** @param trials randomized attempts per blocked layer. */
-    explicit StochasticSwapRouter(int trials = 20) : _trials(trials) {}
+    /**
+     * @param trials randomized attempts per blocked layer.
+     * @param threads workers fanning the trials of one blocked layer
+     *        across the shared pool (common/thread_pool.hpp); 1 runs
+     *        them inline, 0 uses all hardware threads.  Trial
+     *        randomness is counter-derived (Rng::stream), so routed
+     *        output is bit-identical at any thread count.
+     */
+    explicit StochasticSwapRouter(int trials = 20, unsigned threads = 1)
+        : _trials(trials), _threads(threads)
+    {
+    }
 
     RoutingResult route(const Circuit &circuit, const CouplingGraph &graph,
                         const Layout &initial, Rng &rng) const override;
@@ -120,6 +136,7 @@ class StochasticSwapRouter : public Router
 
   private:
     int _trials;
+    unsigned _threads;
 };
 
 /** SABRE-style lookahead router. */

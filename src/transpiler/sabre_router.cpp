@@ -5,9 +5,12 @@
  * the ready ("front") 2Q gates plus a discounted extended set, with a
  * decay factor discouraging back-and-forth moves on the same qubits.
  *
- * Candidate SWAPs are scored by delta: the hypothetical (a, b) exchange
- * is resolved inline through a SwappedView over the current layout, so
- * the scoring loop performs zero Layout copies (routing.hpp).
+ * Candidate SWAPs are scored incrementally: a DeltaScorer keeps one
+ * distance term per front/extended gate and answers each hypothetical
+ * (a, b) exchange by visiting only the terms touching a or b, so the
+ * per-candidate cost is O(1) in the front size and no Layout copies
+ * are made (delta_scorer.hpp; the exact-integer-sum invariant keeps
+ * routed output bit-identical to a full re-sum).
  */
 
 #include <algorithm>
@@ -15,6 +18,7 @@
 
 #include "common/error.hpp"
 #include "ir/dag.hpp"
+#include "transpiler/delta_scorer.hpp"
 #include "transpiler/routing.hpp"
 
 namespace snail
@@ -52,6 +56,14 @@ SabreRouter::route(const Circuit &circuit, const CouplingGraph &graph,
     std::vector<std::size_t> ahead;
     DependencyFrontier::LookaheadScratch ahead_scratch;
 
+    // Incremental scoring state.  `scorer_dirty` marks that the
+    // front/extended sets changed (a gate was executed) and the terms
+    // must be rebuilt; steps that only swap keep the terms current
+    // through commitSwap(), so a long SWAP run between executions
+    // never re-reads the front.
+    DeltaScorer scorer(graph);
+    bool scorer_dirty = true;
+
     while (!frontier.done()) {
         bool progressed = true;
         while (progressed) {
@@ -76,6 +88,7 @@ SabreRouter::route(const Circuit &circuit, const CouplingGraph &graph,
             if (progressed) {
                 since_progress = 0;
                 stuck_steps = 0;
+                scorer_dirty = true;
                 std::fill(decay.begin(), decay.end(), 1.0);
             }
         }
@@ -84,35 +97,41 @@ SabreRouter::route(const Circuit &circuit, const CouplingGraph &graph,
         }
 
         // Front 2Q gates (all blocked now) and the extended set.
-        front.clear();
-        for (std::size_t idx : frontier.ready()) {
-            front.push_back(&ops[idx]);
-        }
-        extended.clear();
-        frontier.lookahead(static_cast<std::size_t>(_extendedSize),
-                           ahead_scratch, ahead);
-        for (std::size_t idx : ahead) {
-            if (ops[idx].isTwoQubit()) {
-                extended.push_back(&ops[idx]);
+        if (scorer_dirty) {
+            front.clear();
+            for (std::size_t idx : frontier.ready()) {
+                front.push_back(&ops[idx]);
             }
+            extended.clear();
+            frontier.lookahead(static_cast<std::size_t>(_extendedSize),
+                               ahead_scratch, ahead);
+            for (std::size_t idx : ahead) {
+                if (ops[idx].isTwoQubit()) {
+                    extended.push_back(&ops[idx]);
+                }
+            }
+            scorer.rebuild(layout, front, extended);
+            scorer_dirty = false;
         }
 
-        // Delta score of the hypothetical (a, b) exchange: `probe` is a
-        // SwappedView over the live layout, so no copy is made.
-        auto score = [&](const auto &probe, int a, int b) {
-            double front_cost = 0.0;
-            for (const Instruction *op : front) {
-                front_cost += graph.distance(probe.physical(op->q0()),
-                                             probe.physical(op->q1()));
-            }
-            front_cost /= static_cast<double>(front.size());
+        // Score of the hypothetical (a, b) exchange, by delta: only
+        // the terms of gates touching a or b are revisited.  The sums
+        // are exact integers, so the result is bit-identical to the
+        // full re-sum this replaces (delta_scorer.hpp).
+        const double front_n =
+            static_cast<double>(scorer.frontTerms().size());
+        const double ext_n =
+            static_cast<double>(scorer.extendedTerms().size());
+        auto score = [&](int a, int b) {
+            const DeltaScorer::Delta delta = scorer.swapDelta(a, b);
+            const double front_cost =
+                static_cast<double>(scorer.frontSum() + delta.front) /
+                front_n;
             double ext_cost = 0.0;
-            if (!extended.empty()) {
-                for (const Instruction *op : extended) {
-                    ext_cost += graph.distance(probe.physical(op->q0()),
-                                               probe.physical(op->q1()));
-                }
-                ext_cost /= static_cast<double>(extended.size());
+            if (ext_n != 0.0) {
+                ext_cost = static_cast<double>(scorer.extendedSum() +
+                                               delta.extended) /
+                           ext_n;
             }
             const double d = std::max(decay[static_cast<std::size_t>(a)],
                                       decay[static_cast<std::size_t>(b)]);
@@ -121,14 +140,14 @@ SabreRouter::route(const Circuit &circuit, const CouplingGraph &graph,
             return d * (front_cost + _extendedWeight * ext_cost) + penalty;
         };
 
-        // Candidate swaps: edges touching front-gate qubits.
+        // Candidate swaps: edges touching front-gate qubits (the term
+        // endpoints are the live mapped operands).
         double best_score = std::numeric_limits<double>::max();
         std::pair<int, int> best_edge{-1, -1};
-        for (const Instruction *op : front) {
-            for (int pq :
-                 {layout.physical(op->q0()), layout.physical(op->q1())}) {
+        for (const DeltaScorer::Term &t : scorer.frontTerms()) {
+            for (int pq : {t.p0, t.p1}) {
                 for (int nb : graph.neighbors(pq)) {
-                    double s = score(SwappedView(layout, pq, nb), pq, nb);
+                    double s = score(pq, nb);
                     // Tiny jitter for deterministic-tie randomization.
                     s += 1e-9 * rng.uniform();
                     if (s < best_score) {
@@ -142,6 +161,7 @@ SabreRouter::route(const Circuit &circuit, const CouplingGraph &graph,
 
         out.swap(best_edge.first, best_edge.second);
         layout.swapPhysical(best_edge.first, best_edge.second);
+        scorer.commitSwap(best_edge.first, best_edge.second);
         decay[static_cast<std::size_t>(best_edge.first)] += _decayFactor;
         decay[static_cast<std::size_t>(best_edge.second)] += _decayFactor;
         ++swaps;

@@ -14,16 +14,26 @@
  * stream base; each trial then runs on its own counter-derived
  * generator (Rng::stream of the blocked-layer index and trial index).
  * Trials therefore depend only on (seed, event, trial) — never on how
- * many draws earlier trials consumed — which keeps routing bit-exact
- * across serial and batch execution and leaves the door open to
- * evaluating trials concurrently.
+ * many draws earlier trials consumed, nor on which worker thread ran
+ * them — which keeps routing bit-exact across serial, batch, and
+ * parallel-trial execution (`threads` fans the trials of one blocked
+ * layer across the shared pool; common/thread_pool.hpp).
+ *
+ * Candidate SWAPs are scored incrementally: each trial's DeltaScorer
+ * keeps one distance term per blocked gate, a candidate costs only
+ * the terms touching the swapped pair (exact integer sums — bit-
+ * identical to the old full re-sum), commitSwap() advances the trial
+ * without ever copying a Layout, and "some gate executable?" is an
+ * O(1) read of the adjacent-term count.
  */
 
 #include <algorithm>
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "ir/dag.hpp"
+#include "transpiler/delta_scorer.hpp"
 #include "transpiler/passes.hpp"
 #include "transpiler/routing.hpp"
 
@@ -33,24 +43,6 @@ namespace snail
 namespace
 {
 
-/**
- * Sum of device distances for the blocked gate list under a layout —
- * generic over Layout and SwappedView so candidate SWAPs are scored by
- * delta without copying the trial layout.
- */
-template <typename LayoutLike>
-int
-totalDistance(const CouplingGraph &graph, const LayoutLike &layout,
-              const std::vector<const Instruction *> &blocked)
-{
-    int total = 0;
-    for (const Instruction *op : blocked) {
-        total += graph.distance(layout.physical(op->q0()),
-                                layout.physical(op->q1()));
-    }
-    return total;
-}
-
 /** One randomized trial: SWAP sequence that unblocks at least one gate. */
 struct Trial
 {
@@ -59,35 +51,30 @@ struct Trial
 };
 
 Trial
-runTrial(const CouplingGraph &graph, Layout layout,
+runTrial(const CouplingGraph &graph, const Layout &layout,
          const std::vector<const Instruction *> &blocked, Rng &rng,
-         std::size_t swap_budget)
+         std::size_t swap_budget, DeltaScorer &scorer)
 {
     Trial trial;
-    auto executable = [&]() {
-        for (const Instruction *op : blocked) {
-            if (graph.hasEdge(layout.physical(op->q0()),
-                              layout.physical(op->q1()))) {
-                return true;
-            }
-        }
-        return false;
-    };
+    scorer.rebuild(layout, blocked, {});
 
-    while (!executable()) {
+    // A blocked gate is executable iff its term distance is 1, so the
+    // old O(blocked) hasEdge scan is one counter read.
+    while (scorer.frontAdjacentCount() == 0) {
         if (trial.swaps.size() >= swap_budget) {
             return trial; // failed
         }
-        // Candidate swaps: edges touching any blocked qubit.
+        // Candidate swaps: edges touching any blocked qubit (the term
+        // endpoints track the trial's hypothetical layout).
         int best_cost = std::numeric_limits<int>::max();
         double best_noisy = std::numeric_limits<double>::max();
         std::pair<int, int> best_edge{-1, -1};
-        for (const Instruction *op : blocked) {
-            for (int pq : {layout.physical(op->q0()),
-                           layout.physical(op->q1())}) {
+        for (const DeltaScorer::Term &t : scorer.frontTerms()) {
+            for (int pq : {t.p0, t.p1}) {
                 for (int nb : graph.neighbors(pq)) {
-                    const int cost = totalDistance(
-                        graph, SwappedView(layout, pq, nb), blocked);
+                    const int cost = static_cast<int>(
+                        scorer.frontSum() +
+                        scorer.swapDelta(pq, nb).front);
                     // Multiplicative noise makes trials explore different
                     // tie-breaks and near-optimal moves.
                     const double noisy =
@@ -103,7 +90,7 @@ runTrial(const CouplingGraph &graph, Layout layout,
         }
         SNAIL_ASSERT(best_edge.first >= 0, "no candidate swap found");
         (void)best_cost;
-        layout.swapPhysical(best_edge.first, best_edge.second);
+        scorer.commitSwap(best_edge.first, best_edge.second);
         trial.swaps.push_back(best_edge);
     }
     trial.success = true;
@@ -118,6 +105,9 @@ StochasticSwapRouter::route(const Circuit &circuit,
                             const Layout &initial, Rng &rng) const
 {
     SNAIL_REQUIRE(initial.isComplete(), "routing needs a complete layout");
+    // Trials may query distance() concurrently; the lazy table build
+    // is not thread-safe, so force it from this thread first.
+    graph.ensureDistanceTable();
     Circuit out(graph.numQubits(), circuit.name() + "-routed");
     out.reserve(circuit.size());
     Layout layout = initial;
@@ -139,6 +129,15 @@ StochasticSwapRouter::route(const Circuit &circuit,
     const std::uint64_t stream_base = rng.next();
     std::uint64_t blocked_event = 0;
     SNAIL_ASSERT(_trials < (1 << 16), "trial count overflows stream id");
+
+    // One scorer per trial slot, reused across blocked events (trial
+    // t always runs on scorers[t], whichever worker picks it up), so
+    // the hot loop allocates nothing in steady state.
+    std::vector<DeltaScorer> scorers;
+    scorers.reserve(static_cast<std::size_t>(_trials));
+    for (int t = 0; t < _trials; ++t) {
+        scorers.emplace_back(graph);
+    }
 
     while (!frontier.done()) {
         // Emit everything executable in the current frontier.
@@ -176,14 +175,26 @@ StochasticSwapRouter::route(const Circuit &circuit,
         }
         SNAIL_ASSERT(!blocked.empty(), "router stalled with no ready gates");
 
+        // Trials are independent by construction (each owns its
+        // counter-derived Rng and DeltaScorer), so they fan across the
+        // shared pool; the winner is selected serially afterwards —
+        // fewest SWAPs, earliest trial index on ties — so the choice
+        // is bit-identical at any thread count.
+        std::vector<Trial> trials(static_cast<std::size_t>(_trials));
+        parallelFor(static_cast<std::size_t>(_trials), _threads,
+                    [&](std::size_t t) {
+                        Rng trial_rng = Rng::stream(
+                            stream_base,
+                            (blocked_event << 16) |
+                                static_cast<std::uint64_t>(t));
+                        trials[t] = runTrial(graph, layout, blocked,
+                                             trial_rng, swap_budget,
+                                             scorers[t]);
+                    });
+
         Trial best;
         bool have_best = false;
-        for (int t = 0; t < _trials; ++t) {
-            Rng trial_rng = Rng::stream(
-                stream_base, (blocked_event << 16) |
-                                 static_cast<std::uint64_t>(t));
-            Trial trial =
-                runTrial(graph, layout, blocked, trial_rng, swap_budget);
+        for (Trial &trial : trials) {
             if (!trial.success) {
                 continue;
             }
@@ -211,9 +222,14 @@ StochasticSwapRouter::route(const Circuit &circuit,
 std::string
 StochasticRoutePass::spec() const
 {
-    return _trials == kDefaultTrials
-               ? name()
-               : name() + "=" + std::to_string(_trials);
+    std::string out = name();
+    if (_trials != kDefaultTrials || _threads != kDefaultThreads) {
+        out += "=" + std::to_string(_trials);
+    }
+    if (_threads != kDefaultThreads) {
+        out += "x" + std::to_string(_threads);
+    }
+    return out;
 }
 
 } // namespace snail

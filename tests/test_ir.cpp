@@ -162,6 +162,14 @@ TEST(Dag, LayeredScheduleGroups)
     EXPECT_EQ(grouped[1].size(), 1u);
 }
 
+/** Snapshot the frontier's ready view into a vector. */
+std::vector<std::size_t>
+readyVec(const DependencyFrontier &frontier)
+{
+    const auto view = frontier.ready();
+    return std::vector<std::size_t>(view.begin(), view.end());
+}
+
 TEST(Dag, FrontierConsumptionAdvances)
 {
     Circuit c(3);
@@ -169,13 +177,66 @@ TEST(Dag, FrontierConsumptionAdvances)
     c.cx(1, 2);  // idx 1, depends on 0
     c.h(0);      // idx 2, depends on 0
     DependencyFrontier frontier(c);
-    EXPECT_EQ(frontier.ready(), (std::vector<std::size_t>{0}));
+    EXPECT_EQ(readyVec(frontier), (std::vector<std::size_t>{0}));
+    EXPECT_EQ(frontier.readyCount(), 1u);
+    EXPECT_TRUE(frontier.isReady(0));
+    EXPECT_FALSE(frontier.isReady(1));
     frontier.consume(0);
-    auto ready = frontier.ready();
+    auto ready = readyVec(frontier);
     std::sort(ready.begin(), ready.end());
     EXPECT_EQ(ready, (std::vector<std::size_t>{1, 2}));
     frontier.consume(1);
     frontier.consume(2);
+    EXPECT_TRUE(frontier.done());
+    EXPECT_EQ(frontier.readyCount(), 0u);
+}
+
+/**
+ * The ready list must behave exactly like the old vector under
+ * interleaved advancing (new instructions becoming ready) and
+ * consuming from the middle: removal preserves the relative order of
+ * the survivors and newly ready instructions append at the tail —
+ * routers' executable-gate choices are order-sensitive, so this is a
+ * routed-output-identity invariant, not a convenience.
+ */
+TEST(Dag, FrontierIndexConsistentUnderInterleavedAdvanceConsume)
+{
+    // Three independent chains over 6 qubits so the front stays wide.
+    Circuit c(6);
+    for (int round = 0; round < 3; ++round) {
+        c.cx(0, 1);
+        c.cx(2, 3);
+        c.cx(4, 5);
+    }
+    DependencyFrontier frontier(c);
+
+    // Reference model: the old vector semantics.
+    std::vector<std::size_t> model{0, 1, 2};
+    auto model_consume = [&](std::size_t idx) {
+        model.erase(std::find(model.begin(), model.end(), idx));
+        // Successor on the same chain becomes ready (chains are
+        // disjoint, each instruction has at most one successor here).
+        if (idx + 3 < c.size()) {
+            model.push_back(idx + 3);
+        }
+    };
+
+    // Consume middle, tail, head, then interleave.
+    for (std::size_t idx : {std::size_t{1}, std::size_t{2}, std::size_t{0},
+                            std::size_t{4}, std::size_t{3}, std::size_t{5},
+                            std::size_t{8}, std::size_t{6},
+                            std::size_t{7}}) {
+        ASSERT_TRUE(frontier.isReady(idx)) << "instruction " << idx;
+        frontier.consume(idx);
+        model_consume(idx);
+        EXPECT_EQ(readyVec(frontier), model);
+        EXPECT_EQ(frontier.readyCount(), model.size());
+        for (std::size_t i = 0; i < c.size(); ++i) {
+            EXPECT_EQ(frontier.isReady(i),
+                      std::find(model.begin(), model.end(), i) !=
+                          model.end());
+        }
+    }
     EXPECT_TRUE(frontier.done());
 }
 

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Locale-independence regression tests for the *writers*: QASM export,
+ * table/CSV reports.
+ *
+ * PR 4 made parsing (QASM literals, pass arguments, JSON) immune to
+ * the C locale; these tests cover the opposite direction.  iostream
+ * numeric output honors std::locale::global — a stream constructed
+ * after std::locale::global(de_DE) prints 0.5 as "0,5" and 1234 as
+ * "1.234" — so every machine-readable writer must format numbers via
+ * std::to_chars (shortestDouble / fixedDouble / std::to_string)
+ * instead of streaming them.  Each test sets the global C++ locale to
+ * a comma-decimal, digit-grouping one and asserts the output is
+ * byte-identical to the "C"-locale output.
+ *
+ * Skips gracefully when no such locale is generated (CI installs
+ * de_DE.UTF-8; see .github/workflows/ci.yml).
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <locale>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "common/table.hpp"
+#include "ir/circuit.hpp"
+#include "ir/qasm.hpp"
+#include "ir/qasm_parser.hpp"
+
+namespace snail
+{
+namespace
+{
+
+/**
+ * RAII guard installing a comma-decimal, digit-grouping locale as the
+ * *global C++ locale* (std::locale::global, which is what freshly
+ * constructed iostreams imbue — the C-locale guard in
+ * locale_guard.hpp does not cover this path).  valid() reports
+ * whether one was actually available.
+ */
+class GlobalCommaLocale
+{
+  public:
+    GlobalCommaLocale() : _previous(std::locale())
+    {
+        for (const char *name :
+             {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8", "fr_FR.utf8",
+              "it_IT.UTF-8", "nl_NL.UTF-8"}) {
+            try {
+                std::locale candidate(name);
+                // Trust but verify: the locale must really format with
+                // a decimal comma through iostreams.
+                std::ostringstream probe;
+                probe.imbue(candidate);
+                probe << 0.5;
+                if (probe.str().find(',') == std::string::npos) {
+                    continue;
+                }
+                std::locale::global(candidate);
+                _valid = true;
+                return;
+            } catch (const std::runtime_error &) {
+                continue;
+            }
+        }
+    }
+
+    ~GlobalCommaLocale() { std::locale::global(_previous); }
+
+    GlobalCommaLocale(const GlobalCommaLocale &) = delete;
+    GlobalCommaLocale &operator=(const GlobalCommaLocale &) = delete;
+
+    bool valid() const { return _valid; }
+
+  private:
+    std::locale _previous;
+    bool _valid = false;
+};
+
+TEST(LocaleOutput, QasmExportIsLocaleIndependent)
+{
+    // 1234 qubits so a grouping locale would print "q[1.234]"; a real
+    // parameter so a comma locale would print "rz(0,5)".
+    Circuit c(1234, "locale-probe");
+    c.rz(0.5, 0);
+    c.rz(0.1 + 0.2, 1233); // non-terminating binary fraction
+    c.cx(0, 1233);
+    const std::string reference = toQasm(c);
+
+    GlobalCommaLocale guard;
+    if (!guard.valid()) {
+        GTEST_SKIP() << "no comma-decimal locale installed";
+    }
+    const std::string under_locale = toQasm(c);
+    EXPECT_EQ(under_locale, reference);
+    EXPECT_NE(under_locale.find("qreg q[1234];"), std::string::npos);
+    EXPECT_NE(under_locale.find("rz(0.5)"), std::string::npos);
+    EXPECT_EQ(under_locale.find(','), under_locale.find(", "))
+        << "every comma must be a qubit-list separator, not a decimal";
+
+    // And the export still round-trips through the (locale-proof)
+    // parser while the global locale is hostile.
+    const QasmParseResult back = parseQasm(under_locale);
+    ASSERT_EQ(back.circuit.size(), c.size());
+    EXPECT_DOUBLE_EQ(back.circuit.instructions()[0].gate().params()[0],
+                     0.5);
+    EXPECT_DOUBLE_EQ(back.circuit.instructions()[1].gate().params()[0],
+                     0.1 + 0.2);
+}
+
+TEST(LocaleOutput, TableAndCsvReportsAreLocaleIndependent)
+{
+    TableWriter reference({"metric", "value", "count"});
+    reference.addRow({"fidelity", TableWriter::num(0.997512, 4),
+                      TableWriter::count(1234567.0)});
+    reference.addRow({"duration", TableWriter::num(1234.5, 2),
+                      TableWriter::count(9.0)});
+    std::ostringstream ref_table;
+    std::ostringstream ref_csv;
+    reference.print(ref_table);
+    reference.printCsv(ref_csv);
+
+    GlobalCommaLocale guard;
+    if (!guard.valid()) {
+        GTEST_SKIP() << "no comma-decimal locale installed";
+    }
+    EXPECT_EQ(TableWriter::num(0.997512, 4), "0.9975");
+    EXPECT_EQ(TableWriter::num(1234.5, 2), "1234.50");
+    EXPECT_EQ(TableWriter::count(1234567.0), "1234567");
+
+    TableWriter hostile({"metric", "value", "count"});
+    hostile.addRow({"fidelity", TableWriter::num(0.997512, 4),
+                    TableWriter::count(1234567.0)});
+    hostile.addRow({"duration", TableWriter::num(1234.5, 2),
+                    TableWriter::count(9.0)});
+    std::ostringstream got_table;
+    std::ostringstream got_csv;
+    hostile.print(got_table);
+    hostile.printCsv(got_csv);
+    EXPECT_EQ(got_table.str(), ref_table.str());
+    EXPECT_EQ(got_csv.str(), ref_csv.str());
+}
+
+TEST(LocaleOutput, FixedDoubleMatchesCLocaleFixedNotation)
+{
+    EXPECT_EQ(fixedDouble(0.0, 2), "0.00");
+    EXPECT_EQ(fixedDouble(-1.25, 3), "-1.250");
+    EXPECT_EQ(fixedDouble(1234.5, 0), "1234");  // round-half-to-even
+    EXPECT_EQ(fixedDouble(0.125, 2), "0.12");   // round-half-to-even
+    EXPECT_THROW(fixedDouble(std::numeric_limits<double>::infinity(), 2),
+                 SnailError);
+}
+
+} // namespace
+} // namespace snail

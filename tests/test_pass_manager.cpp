@@ -125,6 +125,29 @@ TEST(PassRegistry, MalformedArgumentsThrowTypedErrors)
                  PassArgumentError);
 }
 
+TEST(PassRegistry, StochasticRouteTrialsThreadsSuffix)
+{
+    // "trials[xthreads]": the thread count only parallelizes the
+    // per-layer trials (bit-identical output), and the spec
+    // canonicalizes — defaults are omitted.
+    EXPECT_EQ(makeRegisteredPass("stochastic-route=10x4")->spec(),
+              "stochastic-route=10x4");
+    EXPECT_EQ(makeRegisteredPass("stochastic-route=10x1")->spec(),
+              "stochastic-route=10");
+    EXPECT_EQ(makeRegisteredPass("stochastic-route=20x1")->spec(),
+              "stochastic-route");
+    EXPECT_EQ(makeRegisteredPass("stochastic-route=20x8")->spec(),
+              "stochastic-route=20x8");
+    EXPECT_THROW(makeRegisteredPass("stochastic-route=10x"),
+                 PassArgumentError);
+    EXPECT_THROW(makeRegisteredPass("stochastic-route=x4"),
+                 PassArgumentError);
+    EXPECT_THROW(makeRegisteredPass("stochastic-route=10x0"),
+                 PassArgumentError);
+    EXPECT_THROW(makeRegisteredPass("stochastic-route=10xabc"),
+                 PassArgumentError);
+}
+
 TEST(PassRegistry, ArgumentParsingIgnoresCommaDecimalLocale)
 {
     // Regression: std::stod honored LC_NUMERIC, so "noise-route=1.5"

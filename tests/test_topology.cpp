@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -22,6 +23,58 @@ namespace snail
 {
 namespace
 {
+
+TEST(CouplingGraph, DistanceTableOverflowGuardThrowsTypedError)
+{
+    // The flat distance table stores hop counts as uint16 with 0xFFFF
+    // reserved for "unreachable", so any graph that could have a
+    // diameter beyond 65534 — i.e. more than 65535 vertices — must be
+    // rejected with the typed error before the (> 8 GiB) table is
+    // even allocated.
+    CouplingGraph big(70000, "too-big");
+    big.addEdge(0, 1);
+    try {
+        big.distance(0, 1);
+        FAIL() << "70000-qubit graph must not build a uint16 table";
+    } catch (const DistanceOverflowError &e) {
+        EXPECT_EQ(e.graphName(), "too-big");
+        EXPECT_EQ(e.numQubits(), 70000);
+        EXPECT_NE(std::string(e.what()).find("65535"), std::string::npos);
+    }
+    // The accept side of the boundary (n == kMaxTabledQubits = 65535)
+    // cannot be exercised here: building its table means an ~8 GiB
+    // allocation.  The reject side pins the guard's threshold instead.
+    CouplingGraph barely_over(CouplingGraph::kMaxTabledQubits + 1,
+                              "barely-over");
+    barely_over.addEdge(0, 1);
+    EXPECT_THROW(barely_over.distance(0, 1), DistanceOverflowError);
+}
+
+TEST(CouplingGraph, DistanceMatchesBfsOnFlatTable)
+{
+    // The flat row-major table must reproduce BFS hop counts in both
+    // index orders, with the diagonal at zero.
+    CouplingGraph g(6, "probe");
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 3);
+    g.addEdge(3, 4);
+    g.addEdge(4, 5);
+    g.addEdge(5, 0);  // 6-cycle
+    for (int a = 0; a < 6; ++a) {
+        EXPECT_EQ(g.distance(a, a), 0);
+        for (int b = 0; b < 6; ++b) {
+            const int around = std::abs(a - b);
+            const int expected = std::min(around, 6 - around);
+            EXPECT_EQ(g.distance(a, b), expected) << a << "," << b;
+            EXPECT_EQ(g.distance(b, a), expected);
+        }
+    }
+    // Adding an edge invalidates and rebuilds the table.
+    g.addEdge(0, 3);
+    EXPECT_EQ(g.distance(0, 3), 1);
+    EXPECT_EQ(g.distance(1, 3), 2);
+}
 
 TEST(CouplingGraph, EdgeBasics)
 {

@@ -18,6 +18,7 @@
 #include "sim/equivalence.hpp"
 #include "topology/builders.hpp"
 #include "topology/registry.hpp"
+#include "transpiler/delta_scorer.hpp"
 #include "transpiler/pipeline.hpp"
 
 namespace snail
@@ -261,6 +262,150 @@ TEST(SwappedView, DeltaScoresMatchCopyBasedScoresOnRandomLayouts)
             }
             ASSERT_EQ(view_cost, copy_cost);
         }
+    }
+}
+
+TEST(DeltaScorer, IncrementalTermsMatchFullResumOnRandomInputs)
+{
+    // The incremental-scoring oracle: for random layouts and gate
+    // sets, every swapDelta() answer must equal the brute-force
+    // re-sum through a SwappedView (the PR-4 reference semantics),
+    // and a chain of commitSwap()s must leave the scorer in exactly
+    // the state a rebuild() against the really-swapped layout gives —
+    // sums, per-term endpoints/distances, and the adjacent count.
+    const CouplingGraph g = namedTopology("corral11-16");
+    Rng rng(4242);
+    for (int round = 0; round < 25; ++round) {
+        // Random injective layout of 12 virtual onto 16 physical.
+        std::vector<int> perm(16);
+        for (int i = 0; i < 16; ++i) {
+            perm[static_cast<std::size_t>(i)] = i;
+        }
+        for (int i = 15; i > 0; --i) {
+            const int j = static_cast<int>(rng.next() %
+                                           static_cast<std::uint64_t>(i + 1));
+            std::swap(perm[static_cast<std::size_t>(i)],
+                      perm[static_cast<std::size_t>(j)]);
+        }
+        Layout layout(12, 16);
+        for (int v = 0; v < 12; ++v) {
+            layout.assign(v, perm[static_cast<std::size_t>(v)]);
+        }
+
+        // Random front and extended sets as real instructions.
+        Circuit c(12);
+        const int n_front = 2 + static_cast<int>(rng.next() % 5);
+        const int n_ext = static_cast<int>(rng.next() % 5);
+        for (int k = 0; k < n_front + n_ext; ++k) {
+            const int a = static_cast<int>(rng.next() % 12);
+            int b = static_cast<int>(rng.next() % 12);
+            if (a == b) {
+                b = (b + 1) % 12;
+            }
+            c.cx(a, b);
+        }
+        std::vector<const Instruction *> front;
+        std::vector<const Instruction *> extended;
+        for (std::size_t k = 0; k < c.size(); ++k) {
+            (static_cast<int>(k) < n_front ? front : extended)
+                .push_back(&c.instructions()[k]);
+        }
+
+        auto resum = [&](const auto &probe,
+                         const std::vector<const Instruction *> &ops) {
+            long long total = 0;
+            for (const Instruction *op : ops) {
+                total += g.distance(probe.physical(op->q0()),
+                                    probe.physical(op->q1()));
+            }
+            return total;
+        };
+
+        DeltaScorer scorer(g);
+        scorer.rebuild(layout, front, extended);
+        ASSERT_EQ(scorer.frontSum(), resum(layout, front));
+        ASSERT_EQ(scorer.extendedSum(), resum(layout, extended));
+
+        // Every device edge as a hypothetical swap.
+        for (const auto &[pa, pb] : g.edges()) {
+            const SwappedView view(layout, pa, pb);
+            const DeltaScorer::Delta delta = scorer.swapDelta(pa, pb);
+            ASSERT_EQ(scorer.frontSum() + delta.front, resum(view, front))
+                << "round " << round << " swap (" << pa << ", " << pb
+                << ")";
+            ASSERT_EQ(scorer.extendedSum() + delta.extended,
+                      resum(view, extended));
+        }
+
+        // Commit a random swap chain; the scorer must track a real
+        // layout mutated the same way, exactly.
+        const auto edges = g.edges();
+        for (int step = 0; step < 6; ++step) {
+            const auto &[pa, pb] =
+                edges[static_cast<std::size_t>(rng.next() % edges.size())];
+            scorer.commitSwap(pa, pb);
+            layout.swapPhysical(pa, pb);
+
+            DeltaScorer fresh(g);
+            fresh.rebuild(layout, front, extended);
+            ASSERT_EQ(scorer.frontSum(), fresh.frontSum());
+            ASSERT_EQ(scorer.extendedSum(), fresh.extendedSum());
+            ASSERT_EQ(scorer.frontAdjacentCount(),
+                      fresh.frontAdjacentCount());
+            ASSERT_EQ(scorer.frontTerms().size(),
+                      fresh.frontTerms().size());
+            for (std::size_t k = 0; k < fresh.frontTerms().size(); ++k) {
+                ASSERT_EQ(scorer.frontTerms()[k].p0,
+                          fresh.frontTerms()[k].p0);
+                ASSERT_EQ(scorer.frontTerms()[k].p1,
+                          fresh.frontTerms()[k].p1);
+                ASSERT_EQ(scorer.frontTerms()[k].dist,
+                          fresh.frontTerms()[k].dist);
+            }
+            for (std::size_t k = 0; k < fresh.extendedTerms().size();
+                 ++k) {
+                ASSERT_EQ(scorer.extendedTerms()[k].p0,
+                          fresh.extendedTerms()[k].p0);
+                ASSERT_EQ(scorer.extendedTerms()[k].p1,
+                          fresh.extendedTerms()[k].p1);
+                ASSERT_EQ(scorer.extendedTerms()[k].dist,
+                          fresh.extendedTerms()[k].dist);
+            }
+            // And deltas keep agreeing with the brute-force re-sum.
+            const auto &[qa, qb] =
+                edges[static_cast<std::size_t>(rng.next() % edges.size())];
+            const SwappedView view(layout, qa, qb);
+            const DeltaScorer::Delta delta = scorer.swapDelta(qa, qb);
+            ASSERT_EQ(scorer.frontSum() + delta.front, resum(view, front));
+            ASSERT_EQ(scorer.extendedSum() + delta.extended,
+                      resum(view, extended));
+        }
+    }
+}
+
+TEST(StochasticRouter, TrialThreadCountsProduceBitIdenticalRoutes)
+{
+    // The acceptance bar for parallel trials: 1, 4, and 16 worker
+    // threads must produce byte-for-byte the same routed circuit,
+    // SWAP count, and final layout (trial randomness is counter-
+    // derived, selection is serial).
+    const CouplingGraph g = namedTopology("corral11-16");
+    const Circuit c = quantumVolume(12, 12, 7);
+    Rng rng1(314);
+    const StochasticSwapRouter serial(12, 1);
+    const RoutingResult reference =
+        serial.route(c, g, Layout::identity(12, 16), rng1);
+
+    for (unsigned threads : {4u, 16u}) {
+        const StochasticSwapRouter parallel(12, threads);
+        Rng rng(314);
+        const RoutingResult r =
+            parallel.route(c, g, Layout::identity(12, 16), rng);
+        EXPECT_EQ(r.swaps_added, reference.swaps_added) << threads;
+        EXPECT_EQ(r.final_layout.v2p(), reference.final_layout.v2p());
+        ASSERT_EQ(r.circuit.size(), reference.circuit.size());
+        EXPECT_EQ(r.circuit.contentHash(), reference.circuit.contentHash())
+            << threads << " threads diverged from the serial route";
     }
 }
 

@@ -2,7 +2,8 @@
 """Compare deterministic counters between two perf_transpiler JSON runs.
 
 Usage:
-    python3 tools/compare_bench.py [--allow-missing] BASELINE.json FRESH.json
+    python3 tools/compare_bench.py [--allow-missing]
+        [--append-history FILE] [--label LABEL] BASELINE.json FRESH.json
 
 Timings vary by machine; the routed-output checksums must not.  Three
 checks are enforced:
@@ -19,10 +20,20 @@ checks are enforced:
  3. Thread determinism: within the fresh run, every BM_TranspileBatch
     row (1/4/16 worker threads) must report the same swaps_total.
 
+With --append-history FILE, a successful comparison also appends one
+JSON line summarizing the fresh run — label (default: $GITHUB_SHA or
+"local"), UTC timestamp, and each benchmark's timings plus
+deterministic counters — to FILE (bench/BENCH_history.jsonl in CI).
+The file is a perf trajectory: one line per push, machine-readable,
+uploaded as a CI artifact, so regressions are visible over commits and
+not just against the single committed baseline.
+
 Exit status 0 on success, 1 on any mismatch (messages on stderr).
 """
 
+import datetime
 import json
+import os
 import sys
 
 DETERMINISTIC_COUNTERS = (
@@ -50,11 +61,52 @@ def load_counters(path):
     return rows
 
 
+def history_line(fresh_path, label):
+    """One JSONL trajectory record for a fresh run."""
+    with open(fresh_path) as handle:
+        doc = json.load(handle)
+    benchmarks = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        row = {
+            key: bench[key]
+            for key in ("real_time", "cpu_time", "time_unit")
+            if key in bench
+        }
+        row.update(
+            {k: bench[k] for k in DETERMINISTIC_COUNTERS if k in bench}
+        )
+        benchmarks[bench["name"]] = row
+    return {
+        "label": label,
+        "time_utc": datetime.datetime.now(datetime.timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"
+        ),
+        "benchmarks": benchmarks,
+    }
+
+
+def take_option(args, name):
+    """Pop `--name VALUE` from args; returns VALUE or None."""
+    if name not in args:
+        return None
+    at = args.index(name)
+    if at + 1 >= len(args):
+        sys.stderr.write("compare_bench: %s needs a value\n" % name)
+        sys.exit(1)
+    value = args[at + 1]
+    del args[at : at + 2]
+    return value
+
+
 def main(argv):
     args = list(argv[1:])
     allow_missing = "--allow-missing" in args
     if allow_missing:
         args.remove("--allow-missing")
+    history_path = take_option(args, "--append-history")
+    label = take_option(args, "--label")
     if len(args) != 2:
         sys.stderr.write(__doc__)
         return 1
@@ -115,6 +167,17 @@ def main(argv):
             "compare_bench: OK (%d benchmarks, %d deterministic counters)"
             % (len(shared), checked)
         )
+        if history_path:
+            record = history_line(
+                fresh_path,
+                label or os.environ.get("GITHUB_SHA", "local"),
+            )
+            with open(history_path, "a") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+            print(
+                "compare_bench: appended %d benchmarks to %s"
+                % (len(record["benchmarks"]), history_path)
+            )
     return 1 if failures else 0
 
 

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Smoke-test the documentation: every docs/*.md sh code block runs.
+
+Usage:
+    python3 tools/doc_smoke.py [--docs DIR] [--build DIR]
+
+Docs that only *look* runnable rot silently; this tool keeps them
+honest.  For every Markdown file under docs/ it:
+
+ 1. executes every ```sh fenced code block with `sh -e` from the repo
+    root, in file order (blocks may pass state through /tmp), with the
+    build directory prepended to PATH so both `snailqc ...` and
+    `./build/snailqc ...` spellings work;
+ 2. checks that every relative Markdown link target
+    (`[text](../examples/...)`, `[text](performance.md)`) exists.
+
+Fenced blocks in other languages (cpp, jsonc, text) are illustrative
+and skipped.  Exit status 0 when everything runs and resolves, 1
+otherwise (failures on stderr).  CI runs this in the docs-smoke job
+after a Release build.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+FENCE = re.compile(r"^```(\w*)\s*$")
+LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)]*)?\)")
+
+
+def extract_blocks(text):
+    """Yield (language, first_line_number, code) for fenced blocks."""
+    language = None
+    start = 0
+    lines = []
+    for number, line in enumerate(text.splitlines(), 1):
+        match = FENCE.match(line)
+        if match and language is None:
+            language = match.group(1) or "text"
+            start = number + 1
+            lines = []
+        elif line.strip() == "```" and language is not None:
+            yield language, start, "\n".join(lines)
+            language = None
+        elif language is not None:
+            lines.append(line)
+
+
+def run_sh_block(code, path, line, env):
+    result = subprocess.run(
+        ["sh", "-e", "-c", code],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    if result.returncode != 0:
+        sys.stderr.write(
+            "doc_smoke: %s:%d sh block failed (exit %d):\n%s\n--- output "
+            "---\n%s\n"
+            % (path, line, result.returncode, code, result.stdout[-4000:])
+        )
+        return False
+    return True
+
+
+def check_links(text, path, repo_root):
+    ok = True
+    doc_dir = os.path.dirname(path)
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if "://" in target or target.startswith("mailto:"):
+            continue
+        resolved = os.path.normpath(os.path.join(doc_dir, target))
+        if not os.path.exists(os.path.join(repo_root, resolved)):
+            sys.stderr.write(
+                "doc_smoke: %s links to missing path '%s'\n" % (path, target)
+            )
+            ok = False
+    return ok
+
+
+def main(argv):
+    args = list(argv[1:])
+
+    def option(name, default):
+        if name in args:
+            at = args.index(name)
+            if at + 1 >= len(args):
+                sys.stderr.write("doc_smoke: %s needs a value\n" % name)
+                sys.exit(1)
+            value = args[at + 1]
+            del args[at : at + 2]
+            return value
+        return default
+
+    docs_dir = option("--docs", "docs")
+    build_dir = option("--build", "build")
+    if args:
+        sys.stderr.write(
+            "doc_smoke: unknown argument(s): %s\n%s" % (" ".join(args),
+                                                        __doc__)
+        )
+        return 1
+
+    repo_root = os.getcwd()
+    env = dict(os.environ)
+    env["PATH"] = (
+        os.path.abspath(build_dir) + os.pathsep + env.get("PATH", "")
+    )
+
+    pages = sorted(
+        os.path.join(docs_dir, name)
+        for name in os.listdir(docs_dir)
+        if name.endswith(".md")
+    )
+    if not pages:
+        sys.stderr.write("doc_smoke: no Markdown files in %s\n" % docs_dir)
+        return 1
+
+    failures = 0
+    blocks_run = 0
+    for path in pages:
+        with open(path) as handle:
+            text = handle.read()
+        if not check_links(text, path, repo_root):
+            failures += 1
+        for language, line, code in extract_blocks(text):
+            if language != "sh":
+                continue
+            blocks_run += 1
+            if not run_sh_block(code, path, line, env):
+                failures += 1
+
+    if failures:
+        sys.stderr.write("doc_smoke: %d failure(s)\n" % failures)
+        return 1
+    print(
+        "doc_smoke: OK (%d pages, %d sh blocks executed)"
+        % (len(pages), blocks_run)
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
