@@ -1,0 +1,206 @@
+#include "common/scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace snail
+{
+
+/**
+ * One run() invocation: an index range, the body, and the executor
+ * bookkeeping.  Lives on the caller's stack; safe because the caller
+ * cannot leave run() until `executors` drops to zero (no pool worker
+ * holds a pointer past that).
+ */
+struct Scheduler::TaskGroup
+{
+    std::size_t count = 0;
+    const std::function<void(std::size_t)> *body = nullptr;
+    std::vector<std::exception_ptr> *errors = nullptr;
+    std::atomic<std::size_t> next{0};
+    /** Pool workers currently draining this group (mutex-guarded). */
+    unsigned executors = 0;
+    /** Pool-worker cap: concurrency - 1 (the caller always drains). */
+    unsigned max_executors = 0;
+};
+
+namespace
+{
+
+unsigned
+defaultWorkerCount()
+{
+    if (const char *env = std::getenv("SNAILQC_POOL_SIZE")) {
+        char *end = nullptr;
+        const long parsed = std::strtol(env, &end, 10);
+        if (end && *end == '\0' && parsed > 0) {
+            return static_cast<unsigned>(parsed);
+        }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+/** Process-global scheduler state behind Scheduler::global(). */
+std::mutex g_global_mutex;
+std::unique_ptr<Scheduler> g_global;
+unsigned g_global_workers = 0; // 0 = defaultWorkerCount() at first use
+
+} // namespace
+
+Scheduler::Scheduler(unsigned workers)
+{
+    _worker_count = workers == 0 ? defaultWorkerCount() : workers;
+    _threads.reserve(_worker_count);
+    for (unsigned t = 0; t < _worker_count; ++t) {
+        _threads.emplace_back([this]() { workerLoop(); });
+    }
+}
+
+Scheduler::~Scheduler()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stop = true;
+    }
+    _work_cv.notify_all();
+    for (std::thread &thread : _threads) {
+        thread.join();
+    }
+}
+
+void
+Scheduler::drainGroup(TaskGroup &group)
+{
+    for (;;) {
+        const std::size_t i = group.next.fetch_add(1);
+        if (i >= group.count) {
+            return;
+        }
+        try {
+            (*group.body)(i);
+        } catch (...) {
+            (*group.errors)[i] = std::current_exception();
+        }
+    }
+}
+
+void
+Scheduler::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    for (;;) {
+        TaskGroup *group = nullptr;
+        for (TaskGroup *candidate : _active) {
+            if (candidate->executors < candidate->max_executors &&
+                candidate->next.load(std::memory_order_relaxed) <
+                    candidate->count) {
+                group = candidate;
+                break;
+            }
+        }
+        if (group == nullptr) {
+            if (_stop) {
+                return;
+            }
+            _work_cv.wait(lock);
+            continue;
+        }
+        ++group->executors;
+        lock.unlock();
+        drainGroup(*group);
+        lock.lock();
+        --group->executors;
+        if (group->executors == 0) {
+            // The group's caller may be waiting in run() for the last
+            // executor to leave before destroying the group.
+            _done_cv.notify_all();
+        }
+    }
+}
+
+void
+Scheduler::run(std::size_t count, unsigned concurrency,
+               const std::function<void(std::size_t)> &body)
+{
+    if (count == 0) {
+        return;
+    }
+    // 0 = "use the whole pool": every worker plus the caller.
+    const unsigned resolved = resolveThreadCount(
+        concurrency == 0 ? _worker_count + 1 : concurrency, count);
+    std::vector<std::exception_ptr> errors(count);
+
+    if (resolved <= 1 || count == 1) {
+        // Inline serial path: no pool, no locks — the deterministic
+        // reference execution every parallel run must match.
+        for (std::size_t i = 0; i < count; ++i) {
+            try {
+                body(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+    } else {
+        TaskGroup group;
+        group.count = count;
+        group.body = &body;
+        group.errors = &errors;
+        group.max_executors = resolved - 1;
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            _active.push_back(&group);
+        }
+        _work_cv.notify_all();
+
+        // The caller is always an executor: a nested run() drains its
+        // own group in place instead of spawning threads, so the pool
+        // bounds live workers regardless of nesting.
+        drainGroup(group);
+
+        std::unique_lock<std::mutex> lock(_mutex);
+        _active.erase(std::find(_active.begin(), _active.end(), &group));
+        // Indices are exhausted (we drained); wait out stragglers
+        // still inside a body.  Every straggler completes its indices
+        // before leaving, so executors == 0 implies the group is done.
+        _done_cv.wait(lock, [&group]() { return group.executors == 0; });
+    }
+
+    for (const std::exception_ptr &error : errors) {
+        if (error) {
+            std::rethrow_exception(error);
+        }
+    }
+}
+
+Scheduler &
+Scheduler::global()
+{
+    std::lock_guard<std::mutex> lock(g_global_mutex);
+    if (!g_global) {
+        g_global = std::make_unique<Scheduler>(g_global_workers);
+    }
+    return *g_global;
+}
+
+void
+Scheduler::setGlobalWorkerCount(unsigned workers)
+{
+    std::lock_guard<std::mutex> lock(g_global_mutex);
+    if (g_global) {
+        SNAIL_REQUIRE(workers == 0 || workers == g_global->workerCount(),
+                      "global scheduler already running with "
+                          << g_global->workerCount()
+                          << " workers; cannot resize to " << workers);
+        return;
+    }
+    g_global_workers = workers;
+}
+
+} // namespace snail

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Persistent work-stealing scheduler with nested task submission.
+ *
+ * parallelFor (common/thread_pool.hpp) used to spawn a fresh
+ * std::vector<std::thread> per call, so nested fan-outs — a 16-job
+ * transpileBatch whose every job runs stochastic-route=10x4 — briefly
+ * held 16 x 4 live threads on however many cores exist.  A Scheduler
+ * instead owns one fixed set of worker threads for its whole lifetime
+ * and executes *task groups* on them:
+ *
+ *  - run(count, concurrency, body) registers a group of `count`
+ *    indices, and the calling thread immediately starts draining it;
+ *    idle pool workers join in (up to concurrency - 1 of them, the
+ *    caller being the remaining executor), each stealing indices off
+ *    the group's shared atomic counter.
+ *  - A body may itself call run() (nested submission): the executing
+ *    thread drains the inner group in place — no new thread is ever
+ *    created — while idle workers help.  Total live worker threads
+ *    therefore never exceed the pool size, no matter how deep or wide
+ *    the nesting.
+ *  - When a group's indices are exhausted, the caller waits only for
+ *    the stragglers still inside a body; waiting never blocks pool
+ *    progress because every waiter has first drained its own group.
+ *
+ * Determinism contract (inherited from parallelFor): body(i) runs
+ * exactly once per index and must not depend on which thread ran it
+ * or in what order, so results are bit-identical at any pool size and
+ * any concurrency cap, including the inline concurrency<=1 path which
+ * touches no pool at all.  Exceptions are captured per index; after
+ * the group completes, the one from the lowest index is rethrown.
+ *
+ * The process-global instance behind parallelFor is created on first
+ * use with SNAILQC_POOL_SIZE workers (the environment variable; falls
+ * back to std::thread::hardware_concurrency).  Long-lived processes
+ * — the `snailqc serve` daemon — size it explicitly at startup via
+ * setGlobalWorkerCount().
+ */
+
+#ifndef SNAILQC_COMMON_SCHEDULER_HPP
+#define SNAILQC_COMMON_SCHEDULER_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace snail
+{
+
+/** Fixed pool of worker threads executing index-range task groups. */
+class Scheduler
+{
+  public:
+    /**
+     * Start `workers` pool threads (0 = SNAILQC_POOL_SIZE env var,
+     * else std::thread::hardware_concurrency, at least 1).
+     */
+    explicit Scheduler(unsigned workers = 0);
+
+    /** Stops accepting groups, drains active ones, joins the pool. */
+    ~Scheduler();
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /** Number of pool threads (excludes participating callers). */
+    unsigned workerCount() const { return _worker_count; }
+
+    /**
+     * Invoke body(i) exactly once for every i in [0, count).  At most
+     * min(concurrency, count) threads co-execute the group: this
+     * calling thread plus idle pool workers (concurrency 0 means
+     * "worker count + 1").  Nested calls from inside a body are safe
+     * and run on the same pool.  After every index completes, the
+     * exception captured at the lowest index (if any) is rethrown.
+     */
+    void run(std::size_t count, unsigned concurrency,
+             const std::function<void(std::size_t)> &body);
+
+    /** The process-global scheduler behind parallelFor. */
+    static Scheduler &global();
+
+    /**
+     * Size the global pool before anything uses it (daemon startup).
+     * @throws SnailError once the global scheduler already exists
+     *         with a different size.
+     */
+    static void setGlobalWorkerCount(unsigned workers);
+
+  private:
+    struct TaskGroup;
+
+    void workerLoop();
+
+    /** Steal indices off the group until none remain. */
+    static void drainGroup(TaskGroup &group);
+
+    mutable std::mutex _mutex;
+    std::condition_variable _work_cv; //!< workers: "a group needs you"
+    std::condition_variable _done_cv; //!< callers: "an executor left"
+    std::vector<TaskGroup *> _active; //!< groups still holding indices
+    std::vector<std::thread> _threads;
+    bool _stop = false;
+    unsigned _worker_count = 0;
+};
+
+} // namespace snail
+
+#endif // SNAILQC_COMMON_SCHEDULER_HPP

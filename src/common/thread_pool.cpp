@@ -1,9 +1,8 @@
 #include "common/thread_pool.hpp"
 
-#include <atomic>
-#include <exception>
 #include <thread>
-#include <vector>
+
+#include "common/scheduler.hpp"
 
 namespace snail
 {
@@ -27,48 +26,7 @@ void
 parallelFor(std::size_t count, unsigned num_threads,
             const std::function<void(std::size_t)> &body)
 {
-    if (count == 0) {
-        return;
-    }
-    num_threads = resolveThreadCount(num_threads, count);
-
-    std::vector<std::exception_ptr> errors(count);
-
-    // Work stealing off a shared atomic counter: jobs differ wildly in
-    // cost (widths, topologies), so static striping would idle workers.
-    std::atomic<std::size_t> next{0};
-    auto worker = [&]() {
-        for (;;) {
-            const std::size_t i = next.fetch_add(1);
-            if (i >= count) {
-                return;
-            }
-            try {
-                body(i);
-            } catch (...) {
-                errors[i] = std::current_exception();
-            }
-        }
-    };
-
-    if (num_threads <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(num_threads);
-        for (unsigned t = 0; t < num_threads; ++t) {
-            pool.emplace_back(worker);
-        }
-        for (auto &thread : pool) {
-            thread.join();
-        }
-    }
-
-    for (const auto &error : errors) {
-        if (error) {
-            std::rethrow_exception(error);
-        }
-    }
+    Scheduler::global().run(count, num_threads, body);
 }
 
 } // namespace snail

@@ -3,10 +3,17 @@
  * Shared work-stealing parallel-for primitive.
  *
  * Factored out of PassManager's transpileBatch so every fan-out in the
- * library — batch transpilation, design-space sweeps (explore/engine) —
- * schedules work the same way: worker threads steal indices off one
- * shared atomic counter, which keeps long and short jobs balanced
- * without static striping.
+ * library — batch transpilation, design-space sweeps (explore/engine),
+ * parallel stochastic routing trials — schedules work the same way:
+ * executors steal indices off one shared atomic counter, which keeps
+ * long and short jobs balanced without static striping.
+ *
+ * parallelFor executes on the process-global persistent Scheduler
+ * (common/scheduler.hpp): the calling thread drains the indices
+ * itself while idle pool workers help, so nested fan-outs (a batch
+ * whose jobs each run parallel trials) never create threads beyond
+ * the fixed pool.  num_threads caps how many executors co-run one
+ * call; the pool size bounds the process.
  *
  * Determinism contract: the body is invoked exactly once per index,
  * and nothing about the result may depend on which worker ran it or

@@ -1,0 +1,33 @@
+#include "common/version.hpp"
+
+// CMake defines these for this translation unit only (see the
+// set_source_files_properties block in CMakeLists.txt); the fallbacks
+// keep non-CMake builds (e.g. a bare compiler invocation) compiling.
+#ifndef SNAILQC_GIT_SHA
+#define SNAILQC_GIT_SHA "unknown"
+#endif
+#ifndef SNAILQC_BUILD_TYPE
+#define SNAILQC_BUILD_TYPE "unknown"
+#endif
+
+namespace snail
+{
+
+VersionInfo
+versionInfo()
+{
+    VersionInfo info;
+    info.git_sha = SNAILQC_GIT_SHA;
+    info.build_type = SNAILQC_BUILD_TYPE;
+    return info;
+}
+
+std::string
+versionString()
+{
+    const VersionInfo info = versionInfo();
+    return "snailqc " + info.git_sha + " (" + info.build_type +
+           ", protocol " + std::to_string(info.protocol) + ")";
+}
+
+} // namespace snail

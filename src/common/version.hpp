@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Build provenance: git SHA, build type, protocol version.
+ *
+ * A long-lived `snailqc serve` daemon and the clients that talk to it
+ * are built at different times; so are the processes sharing one
+ * persistent cache directory.  Diagnosing a mismatch ("why does my
+ * client see different counts?") needs the binary to say what it is,
+ * so CMake captures `git rev-parse` and CMAKE_BUILD_TYPE at configure
+ * time and compiles them into versionInfo().  Outside a git checkout
+ * (a source tarball) the SHA reads "unknown".
+ *
+ * The serve protocol version is bumped whenever a request or response
+ * field changes incompatibly; the daemon answers `version` requests
+ * with all three fields so `snailqc client version` can flag a skew.
+ */
+
+#ifndef SNAILQC_COMMON_VERSION_HPP
+#define SNAILQC_COMMON_VERSION_HPP
+
+#include <string>
+
+namespace snail
+{
+
+/** Wire-format version of the serve protocol (serve/protocol.hpp). */
+inline constexpr int kServeProtocolVersion = 1;
+
+/** Compile-time build provenance. */
+struct VersionInfo
+{
+    std::string git_sha;    //!< short SHA at configure time, or "unknown"
+    std::string build_type; //!< CMAKE_BUILD_TYPE, or "unknown"
+    int protocol = kServeProtocolVersion;
+};
+
+/** The provenance compiled into this binary. */
+VersionInfo versionInfo();
+
+/** One-line human form: "snailqc <sha> (<build-type>, protocol <n>)". */
+std::string versionString();
+
+} // namespace snail
+
+#endif // SNAILQC_COMMON_VERSION_HPP

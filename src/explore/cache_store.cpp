@@ -1,0 +1,300 @@
+#include "explore/cache_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "common/json.hpp"
+
+#ifdef _WIN32
+#include <process.h>
+#define SNAILQC_GETPID _getpid
+#else
+#include <unistd.h>
+#define SNAILQC_GETPID getpid
+#endif
+
+namespace fs = std::filesystem;
+
+namespace snail
+{
+
+namespace
+{
+
+constexpr const char *kMagic = "snailqc-cache-v1";
+
+/** Fixed-width lowercase hex (filenames need uniform sortable width). */
+std::string
+hex16(unsigned long long value)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[value & 0xF];
+        value >>= 4;
+    }
+    return out;
+}
+
+unsigned long long
+payloadChecksum(const std::string &payload)
+{
+    ContentHasher hasher;
+    hasher.str(payload);
+    return hasher.value();
+}
+
+/** Whole-file read; nullopt on any I/O problem. */
+std::optional<std::string>
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) {
+        return std::nullopt;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad()) {
+        return std::nullopt;
+    }
+    return buffer.str();
+}
+
+} // namespace
+
+std::string
+CacheStore::entryName(const CacheKey &key)
+{
+    ContentHasher pipeline_hash;
+    pipeline_hash.str(key.pipeline);
+    return "e-" + hex16(key.circuit_hash) + "-" + hex16(key.target_hash) +
+           "-" + hex16(pipeline_hash.value()) + "-" + hex16(key.seed) +
+           ".json";
+}
+
+std::string
+CacheStore::defaultDirectory()
+{
+    if (const char *env = std::getenv("SNAILQC_CACHE_DIR")) {
+        if (*env != '\0') {
+            return env;
+        }
+    }
+    if (const char *home = std::getenv("HOME")) {
+        if (*home != '\0') {
+            return std::string(home) + "/.cache/snailqc";
+        }
+    }
+    return "/tmp/snailqc-cache";
+}
+
+CacheStore::CacheStore(std::string dir, unsigned long long max_bytes)
+    : _dir(std::move(dir)), _max_bytes(max_bytes)
+{
+    std::error_code ec;
+    fs::create_directories(_dir, ec);
+    SNAIL_REQUIRE(!ec && fs::is_directory(_dir, ec),
+                  "cannot create cache directory '" << _dir << "'");
+
+    // Seed the LRU index from the directory: mtime order approximates
+    // the recency a previous process observed.
+    struct Found
+    {
+        std::string name;
+        unsigned long long bytes;
+        fs::file_time_type mtime;
+    };
+    std::vector<Found> found;
+    for (const auto &item : fs::directory_iterator(_dir, ec)) {
+        if (ec) {
+            break;
+        }
+        std::error_code item_ec;
+        if (!item.is_regular_file(item_ec)) {
+            continue;
+        }
+        const std::string name = item.path().filename().string();
+        if (name.rfind("e-", 0) != 0 ||
+            name.find(".json") == std::string::npos) {
+            continue;
+        }
+        if (name.size() < 5 || name.substr(name.size() - 5) != ".json") {
+            continue; // leftover .tmp<pid> from a killed writer
+        }
+        Found entry;
+        entry.name = name;
+        entry.bytes = static_cast<unsigned long long>(
+            item.file_size(item_ec));
+        entry.mtime = item.last_write_time(item_ec);
+        if (!item_ec) {
+            found.push_back(std::move(entry));
+        }
+    }
+    std::sort(found.begin(), found.end(),
+              [](const Found &a, const Found &b) {
+                  return a.mtime < b.mtime ||
+                         (a.mtime == b.mtime && a.name < b.name);
+              });
+    for (const Found &entry : found) {
+        _entries[entry.name] = Entry{entry.bytes, ++_tick};
+        _bytes += entry.bytes;
+    }
+}
+
+std::string
+CacheStore::entryPath(const std::string &name) const
+{
+    return _dir + "/" + name;
+}
+
+void
+CacheStore::touchLocked(const std::string &name, unsigned long long bytes)
+{
+    Entry &entry = _entries[name];
+    _bytes += bytes - entry.bytes;
+    entry.bytes = bytes;
+    entry.tick = ++_tick;
+}
+
+void
+CacheStore::forgetLocked(const std::string &name)
+{
+    const auto it = _entries.find(name);
+    if (it != _entries.end()) {
+        _bytes -= it->second.bytes;
+        _entries.erase(it);
+    }
+}
+
+std::optional<std::string>
+CacheStore::fetch(const CacheKey &key)
+{
+    const std::string name = entryName(key);
+    const std::string path = entryPath(name);
+
+    // Read outside any validation assumptions: another process may
+    // have written, truncated, or evicted this entry at any time.
+    const std::optional<std::string> text = readFile(path);
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (!text) {
+        forgetLocked(name);
+        ++_misses;
+        return std::nullopt;
+    }
+
+    // Validate magic, full key (the filename only hashes the pipeline
+    // spec), and payload checksum; any failure degrades to a miss and
+    // removes the bad file so it is rewritten, not re-read forever.
+    try {
+        const JsonValue doc = JsonValue::parse(*text);
+        if (doc.stringOr("magic", "") != kMagic ||
+            doc.stringOr("circuit", "") != hex64(key.circuit_hash) ||
+            doc.stringOr("target", "") != hex64(key.target_hash) ||
+            doc.stringOr("pipeline", "") != key.pipeline ||
+            doc.stringOr("seed", "") != hex64(key.seed)) {
+            SNAIL_THROW("cache entry key mismatch");
+        }
+        const std::string &payload = doc.at("payload").asString();
+        if (doc.stringOr("crc", "") != hex64(payloadChecksum(payload))) {
+            SNAIL_THROW("cache entry checksum mismatch");
+        }
+        touchLocked(name, static_cast<unsigned long long>(text->size()));
+        ++_hits;
+        // Refresh the mtime so cross-restart LRU seeding sees the use.
+        std::error_code ec;
+        fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+        return payload;
+    } catch (const std::exception &) {
+        std::error_code ec;
+        fs::remove(path, ec);
+        forgetLocked(name);
+        ++_misses;
+        return std::nullopt;
+    }
+}
+
+void
+CacheStore::store(const CacheKey &key, const std::string &payload)
+{
+    const std::string name = entryName(key);
+    const std::string path = entryPath(name);
+
+    JsonValue::Object doc;
+    doc["magic"] = JsonValue(kMagic);
+    doc["circuit"] = JsonValue(hex64(key.circuit_hash));
+    doc["target"] = JsonValue(hex64(key.target_hash));
+    doc["pipeline"] = JsonValue(key.pipeline);
+    doc["seed"] = JsonValue(hex64(key.seed));
+    doc["crc"] = JsonValue(hex64(payloadChecksum(payload)));
+    doc["payload"] = JsonValue(payload);
+    const std::string text = JsonValue(std::move(doc)).dump();
+
+    // Publish atomically: a process-unique temp name, then rename.
+    // Concurrent writers of the same key publish identical bytes, so
+    // whichever rename lands last is indistinguishable from first.
+    const std::string tmp =
+        path + ".tmp" + std::to_string(SNAILQC_GETPID());
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        out << text;
+        out.flush();
+        if (!out.good()) {
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            return; // disk full / unwritable: skip caching, stay valid
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::error_code ec;
+        fs::remove(tmp, ec);
+        return;
+    }
+
+    std::lock_guard<std::mutex> lock(_mutex);
+    touchLocked(name, static_cast<unsigned long long>(text.size()));
+    evictLocked();
+}
+
+void
+CacheStore::evictLocked()
+{
+    // Evict strictly least-recently-used.  The entry just touched
+    // holds the top tick, so it survives unless it alone exceeds the
+    // budget (nothing sane to do then — keep the single entry).
+    while (_bytes > _max_bytes && _entries.size() > 1) {
+        auto victim = _entries.begin();
+        for (auto it = _entries.begin(); it != _entries.end(); ++it) {
+            if (it->second.tick < victim->second.tick) {
+                victim = it;
+            }
+        }
+        std::error_code ec;
+        fs::remove(entryPath(victim->first), ec);
+        _bytes -= victim->second.bytes;
+        _entries.erase(victim);
+        ++_evictions;
+    }
+}
+
+CacheStoreStats
+CacheStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    CacheStoreStats out;
+    out.hits = _hits;
+    out.misses = _misses;
+    out.evictions = _evictions;
+    out.entries = _entries.size();
+    out.bytes = _bytes;
+    out.max_bytes = _max_bytes;
+    return out;
+}
+
+} // namespace snail

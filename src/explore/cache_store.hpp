@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Persistent on-disk store behind the content-addressed caches.
+ *
+ * The in-memory TranspileCache dies with its process; a serving
+ * deployment (`snailqc serve`) and repeated sweep runs want transpile
+ * work to survive restarts.  A CacheStore maps the existing cache key
+ *
+ *   (Circuit::contentHash, Target::contentHash, pipeline spec, seed)
+ *
+ * to an opaque payload string (the explore engine stores PointMetrics
+ * JSON; the serve daemon stores full serialized TranspileResults) as
+ * one file per entry under a cache directory:
+ *
+ *   <dir>/e-<circuit>-<target>-<pipeline-hash>-<seed>.json
+ *
+ * Entry files carry a magic tag, the full key (including the verbatim
+ * pipeline spec, which the filename only hashes), and an FNV-1a
+ * checksum of the payload.  fetch() re-validates all three, so a
+ * torn write, a truncated file, or bit rot degrades to a miss that is
+ * recomputed and rewritten — never a crash, never a wrong answer.
+ *
+ * Durability and concurrency: store() writes to a process-unique temp
+ * file and renames it into place (atomic on POSIX), so concurrent
+ * writers — threads of one daemon or entirely separate processes
+ * sharing the directory — can only ever race to publish identical
+ * content (the key is fully deterministic).  Readers that lose a race
+ * with eviction simply miss.
+ *
+ * Eviction: the store is LRU with a byte budget.  An index kept in
+ * memory (seeded from file mtimes at startup, refreshed on every
+ * fetch/store) orders entries by recency; store() evicts
+ * least-recently-used files until the directory fits the budget.
+ * Hit/miss/eviction counters feed the daemon's `stats` response.
+ */
+
+#ifndef SNAILQC_EXPLORE_CACHE_STORE_HPP
+#define SNAILQC_EXPLORE_CACHE_STORE_HPP
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "explore/transpile_cache.hpp"
+
+namespace snail
+{
+
+/** Counter snapshot surfaced through `snailqc serve` stats. */
+struct CacheStoreStats
+{
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+    std::size_t entries = 0;          //!< files currently indexed
+    unsigned long long bytes = 0;     //!< total indexed payload bytes
+    unsigned long long max_bytes = 0; //!< eviction budget
+};
+
+/** Size-bounded LRU file store of content-addressed payloads. */
+class CacheStore
+{
+  public:
+    /** Default eviction budget: 256 MiB. */
+    static constexpr unsigned long long kDefaultMaxBytes =
+        256ULL * 1024 * 1024;
+
+    /**
+     * Open (creating if needed) the store at `dir` with the given
+     * byte budget.  Scans existing entries so recency survives
+     * restarts (mtime order).
+     * @throws SnailError when the directory cannot be created.
+     */
+    explicit CacheStore(std::string dir,
+                        unsigned long long max_bytes = kDefaultMaxBytes);
+
+    /**
+     * The payload stored for `key`, or nullopt.  Corrupt, truncated,
+     * or mismatched entry files are deleted and reported as misses.
+     */
+    std::optional<std::string> fetch(const CacheKey &key);
+
+    /**
+     * Persist `payload` for `key` (overwriting any previous entry),
+     * then evict least-recently-used entries while the store exceeds
+     * its budget.  I/O failures (disk full, permissions) leave the
+     * store consistent and are swallowed: the cache is an
+     * accelerator, not a source of truth.
+     */
+    void store(const CacheKey &key, const std::string &payload);
+
+    CacheStoreStats stats() const;
+
+    const std::string &directory() const { return _dir; }
+
+    /**
+     * $SNAILQC_CACHE_DIR when set, else ~/.cache/snailqc (via $HOME),
+     * else /tmp/snailqc-cache.
+     */
+    static std::string defaultDirectory();
+
+    /** The entry filename for a key (relative to the directory). */
+    static std::string entryName(const CacheKey &key);
+
+  private:
+    struct Entry
+    {
+        unsigned long long bytes = 0;
+        unsigned long long tick = 0; //!< larger = more recently used
+    };
+
+    std::string entryPath(const std::string &name) const;
+    void touchLocked(const std::string &name, unsigned long long bytes);
+    void forgetLocked(const std::string &name);
+    void evictLocked();
+
+    mutable std::mutex _mutex;
+    std::string _dir;
+    unsigned long long _max_bytes;
+    unsigned long long _tick = 0;
+    std::map<std::string, Entry> _entries; //!< filename -> accounting
+    unsigned long long _bytes = 0;
+    std::size_t _hits = 0;
+    std::size_t _misses = 0;
+    std::size_t _evictions = 0;
+};
+
+} // namespace snail
+
+#endif // SNAILQC_EXPLORE_CACHE_STORE_HPP

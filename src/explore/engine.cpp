@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
 #include "common/thread_pool.hpp"
 #include "explore/checkpoint.hpp"
 #include "transpiler/pass_registry.hpp"
@@ -99,6 +100,7 @@ evaluateJobs(const std::vector<ExploreJob> &jobs, TranspileCache &cache,
     std::vector<PointMetrics> results(jobs.size());
     std::atomic<std::size_t> computed{0};
     std::atomic<std::size_t> from_cache{0};
+    std::atomic<std::size_t> from_store{0};
     std::mutex progress_mutex;
     parallelFor(jobs.size(), options.threads, [&](std::size_t i) {
         const ExploreJob &job = jobs[i];
@@ -106,6 +108,25 @@ evaluateJobs(const std::vector<ExploreJob> &jobs, TranspileCache &cache,
             results[i] = *cached;
             from_cache.fetch_add(1);
             return;
+        }
+        // Second chance: the persistent store may hold the point from
+        // an earlier run or another process.  Corrupt entries come
+        // back as nullopt (or fail to parse) and are recomputed.
+        if (options.cache_store) {
+            if (const auto stored = options.cache_store->fetch(keys[i])) {
+                try {
+                    results[i] =
+                        pointMetricsFromJson(JsonValue::parse(*stored));
+                    cache.insert(keys[i], results[i]);
+                    from_store.fetch_add(1);
+                    if (checkpoint) {
+                        checkpoint->append(keys[i], results[i]);
+                    }
+                    return;
+                } catch (const std::exception &) {
+                    // fall through to a fresh transpile
+                }
+            }
         }
         if (options.progress && !job.label.empty()) {
             std::lock_guard<std::mutex> lock(progress_mutex);
@@ -119,10 +140,15 @@ evaluateJobs(const std::vector<ExploreJob> &jobs, TranspileCache &cache,
         if (checkpoint) {
             checkpoint->append(keys[i], results[i]);
         }
+        if (options.cache_store) {
+            options.cache_store->store(
+                keys[i], pointMetricsToJson(results[i]).dump());
+        }
     });
 
     local.computed = computed.load();
     local.from_cache = from_cache.load();
+    local.from_store = from_store.load();
     if (stats) {
         *stats = local;
     }

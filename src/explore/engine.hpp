@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "explore/cache_store.hpp"
 #include "explore/sweep_spec.hpp"
 #include "explore/transpile_cache.hpp"
 
@@ -61,6 +62,14 @@ struct EngineOptions
      * a worker picks it up (nullptr stays silent).
      */
     std::ostream *progress = nullptr;
+    /**
+     * Persistent content-addressed store (cache_store.hpp), shared
+     * across runs and processes: misses in the in-memory cache are
+     * looked up here before transpiling, and every computed point is
+     * written back.  nullptr keeps the sweep memory-only (the
+     * caller owns the store; `snailqc sweep --cache-dir` wires one).
+     */
+    CacheStore *cache_store = nullptr;
 };
 
 /** What the evaluation did, for reporting. */
@@ -69,6 +78,7 @@ struct EvaluationStats
     std::size_t computed = 0;   //!< points actually transpiled
     std::size_t from_cache = 0; //!< served from cache (incl. resume)
     std::size_t restored = 0;   //!< checkpoint lines loaded on resume
+    std::size_t from_store = 0; //!< served from the persistent store
 };
 
 /**

@@ -1,0 +1,49 @@
+#include "serve/client.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+Client::Client(const std::string &socket_path)
+    : _socket_path(socket_path.empty() ? defaultSocketPath() : socket_path),
+      _channel(
+          std::make_unique<LineChannel>(connectUnixSocket(_socket_path)))
+{
+}
+
+JsonValue
+Client::request(const JsonValue &body)
+{
+    _channel->writeLine(body.dump());
+    std::optional<std::string> line = _channel->readLine();
+    SNAIL_REQUIRE(line.has_value(),
+                  "daemon at " << _socket_path
+                               << " closed the connection mid-request");
+    return JsonValue::parse(*line);
+}
+
+JsonValue
+Client::call(const JsonValue &body, int max_retries)
+{
+    JsonValue response = request(body);
+    for (int attempt = 0; attempt < max_retries; ++attempt) {
+        const JsonValue *ok = response.find("ok");
+        if (ok != nullptr && ok->isBool() && ok->asBool()) {
+            return response;
+        }
+        const JsonValue *retry = response.find("retry_after_ms");
+        if (retry == nullptr) {
+            return response; // a real error, not backpressure
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(retry->asInt()));
+        response = request(body);
+    }
+    return response;
+}
+
+} // namespace snail

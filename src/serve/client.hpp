@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Client side of the serve protocol.
+ *
+ * A Client is a persistent connection speaking one-request/
+ * one-response lines.  request() is the raw exchange; call() layers
+ * the backpressure contract on top: when the daemon answers
+ * {"ok":false,"retry_after_ms":N} it sleeps N ms and resends, up to
+ * a retry budget, so shell scripts and CI get queue-full handling
+ * for free.
+ */
+
+#ifndef SNAILQC_SERVE_CLIENT_HPP
+#define SNAILQC_SERVE_CLIENT_HPP
+
+#include <memory>
+#include <string>
+
+#include "common/json.hpp"
+#include "serve/protocol.hpp"
+
+namespace snail
+{
+
+/** One connection to a serve daemon (see file comment). */
+class Client
+{
+  public:
+    /**
+     * Connect to the daemon at `socket_path` ("" = defaultSocketPath).
+     * @throws SnailError when no daemon is listening.
+     */
+    explicit Client(const std::string &socket_path = "");
+
+    /**
+     * Send one request, return the daemon's response verbatim.
+     * @throws SnailError when the daemon hangs up mid-exchange.
+     */
+    JsonValue request(const JsonValue &body);
+
+    /**
+     * request(), honoring retry_after_ms up to `max_retries` resends.
+     * Returns the final response (which may still be a rejection if
+     * the daemon stayed saturated past the budget).
+     */
+    JsonValue call(const JsonValue &body, int max_retries = 10);
+
+    const std::string &socketPath() const { return _socket_path; }
+
+  private:
+    std::string _socket_path;
+    std::unique_ptr<LineChannel> _channel;
+};
+
+} // namespace snail
+
+#endif // SNAILQC_SERVE_CLIENT_HPP

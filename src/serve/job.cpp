@@ -1,0 +1,151 @@
+#include "serve/job.hpp"
+
+#include "circuits/registry.hpp"
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "ir/qasm.hpp"
+#include "ir/qasm_parser.hpp"
+#include "transpiler/pass_registry.hpp"
+#include "transpiler/pipeline.hpp"
+
+namespace snail
+{
+
+JobSpec
+JobSpec::fromJson(const JsonValue &json)
+{
+    JobSpec spec;
+    const JsonValue &circuit = json.at("circuit");
+    if (const JsonValue *qasm = circuit.find("qasm")) {
+        spec.qasm = qasm->asString();
+        SNAIL_REQUIRE(!spec.qasm.empty(), "job: empty qasm source");
+    } else {
+        spec.bench = circuit.at("bench").asString();
+        spec.width = circuit.at("width").asInt();
+    }
+
+    const JsonValue &target = json.at("target");
+    if (const JsonValue *device = target.find("device")) {
+        spec.device = *device;
+        SNAIL_REQUIRE(spec.device.isObject(),
+                      "job: target.device must be an object");
+    } else {
+        spec.target_name = target.at("name").asString();
+    }
+
+    spec.pipeline = json.stringOr("pipeline", "");
+    const std::string seed = json.stringOr("seed", "");
+    if (!seed.empty()) {
+        try {
+            spec.seed = std::stoull(seed, nullptr, 16);
+        } catch (const std::exception &) {
+            SNAIL_THROW("job: seed must be a hex string, got '" << seed
+                                                                << "'");
+        }
+    }
+    return spec;
+}
+
+JsonValue
+JobSpec::toJson() const
+{
+    JsonValue::Object circuit;
+    if (!qasm.empty()) {
+        circuit["qasm"] = JsonValue(qasm);
+    } else {
+        circuit["bench"] = JsonValue(bench);
+        circuit["width"] = JsonValue(width);
+    }
+    JsonValue::Object target;
+    if (device.isObject()) {
+        target["device"] = device;
+    } else {
+        target["name"] = JsonValue(target_name);
+    }
+    JsonValue::Object out;
+    out["circuit"] = JsonValue(std::move(circuit));
+    out["target"] = JsonValue(std::move(target));
+    if (!pipeline.empty()) {
+        out["pipeline"] = JsonValue(pipeline);
+    }
+    out["seed"] = JsonValue(hex64(seed));
+    return JsonValue(std::move(out));
+}
+
+CacheKey
+ResolvedJob::cacheKey() const
+{
+    CacheKey key;
+    key.circuit_hash = circuit.contentHash();
+    key.target_hash = target.contentHash();
+    key.pipeline = pipeline_spec;
+    key.seed = seed;
+    return key;
+}
+
+ResolvedJob
+resolveJob(const JobSpec &spec)
+{
+    Circuit circuit = spec.qasm.empty()
+                          ? makeBenchmark(spec.bench, spec.width)
+                          : parseQasm(spec.qasm, "<request>").circuit;
+    Target target = spec.device.isObject() ? targetFromJson(spec.device)
+                                           : namedTarget(spec.target_name);
+
+    PassManager pipeline;
+    if (spec.pipeline.empty()) {
+        // The default Fig. 10 flow, scoring the device's own basis.
+        TranspileOptions options;
+        options.basis = target.defaultBasis();
+        pipeline = passManagerFromOptions(options);
+    } else {
+        pipeline = passManagerFromSpec(spec.pipeline);
+    }
+
+    std::string normalized = pipeline.spec();
+    return ResolvedJob(std::move(circuit), std::move(target),
+                       std::move(pipeline), std::move(normalized),
+                       spec.seed);
+}
+
+std::string
+serializeResult(const TranspileResult &result)
+{
+    JsonValue::Object metrics;
+    metrics["swaps_total"] =
+        JsonValue(static_cast<double>(result.metrics.swaps_total));
+    metrics["swaps_critical"] = JsonValue(result.metrics.swaps_critical);
+    metrics["ops_2q_pre"] =
+        JsonValue(static_cast<double>(result.metrics.ops_2q_pre));
+    metrics["basis_2q_total"] =
+        JsonValue(static_cast<double>(result.metrics.basis_2q_total));
+    metrics["basis_2q_critical"] =
+        JsonValue(result.metrics.basis_2q_critical);
+    metrics["duration_total"] = JsonValue(result.metrics.duration_total);
+    metrics["duration_critical"] =
+        JsonValue(result.metrics.duration_critical);
+
+    JsonValue::Object properties;
+    for (const auto &[key, value] : result.properties.all()) {
+        properties[key] = JsonValue(value);
+    }
+
+    JsonValue::Object routed;
+    routed["content"] = JsonValue(hex64(result.routed.contentHash()));
+    routed["qubits"] = JsonValue(result.routed.numQubits());
+    routed["gates"] =
+        JsonValue(static_cast<double>(result.routed.size()));
+    routed["ops_2q"] =
+        JsonValue(static_cast<double>(result.routed.countTwoQubit()));
+
+    JsonValue::Object out;
+    out["metrics"] = JsonValue(std::move(metrics));
+    out["properties"] = JsonValue(std::move(properties));
+    out["routed"] = JsonValue(std::move(routed));
+    if (isQasmExportable(result.routed)) {
+        out["routed_qasm"] = JsonValue(toQasm(result.routed));
+    }
+    return JsonValue(std::move(out)).dump();
+}
+
+} // namespace snail

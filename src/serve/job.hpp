@@ -1,0 +1,87 @@
+/**
+ * @file
+ * One transpile job as it crosses the serve wire.
+ *
+ * A JobSpec is the JSON-friendly description of a unit of work: the
+ * circuit (a named benchmark + width, or inline OpenQASM 2.0 text),
+ * the device (a built-in target name, or an inline device-JSON
+ * object), a pipeline spec string, and a seed.  resolve() turns it
+ * into the concrete Circuit / Target / PassManager the transpiler
+ * consumes, normalizing the pipeline to PassManager::spec() so that
+ * "" (the default Fig. 10 flow) and its explicit spelling address the
+ * same cache entry.
+ *
+ * serializeResult() renders a TranspileResult as canonical JSON text:
+ * metrics and pass-published properties with exact double round-trip
+ * (shortestDouble), the routed circuit's content hash and counts, and
+ * the routed OpenQASM when the gate set is exportable.  Canonical
+ * means byte-deterministic for a given result — the persistent cache
+ * stores these bytes verbatim, which is what makes "second submission
+ * is byte-identical to the cold run" a testable contract rather than
+ * a hope.
+ */
+
+#ifndef SNAILQC_SERVE_JOB_HPP
+#define SNAILQC_SERVE_JOB_HPP
+
+#include <string>
+
+#include "common/json.hpp"
+#include "explore/transpile_cache.hpp"
+#include "target/target.hpp"
+#include "transpiler/pass_manager.hpp"
+
+namespace snail
+{
+
+/** Wire form of one transpile job (see file comment for the schema). */
+struct JobSpec
+{
+    std::string bench;       //!< benchmark name; "" when qasm is set
+    int width = 0;           //!< benchmark width
+    std::string qasm;        //!< inline OpenQASM source; "" when bench
+    std::string target_name; //!< built-in target; "" when device is set
+    JsonValue device;        //!< inline device JSON; Null when target_name
+    std::string pipeline;    //!< pass spec; "" = default Fig. 10 flow
+    unsigned long long seed = kDefaultTranspileSeed;
+
+    /** Parse the wire form. @throws SnailError on schema violations. */
+    static JobSpec fromJson(const JsonValue &json);
+
+    /** Wire form (inverse of fromJson). */
+    JsonValue toJson() const;
+};
+
+/** A JobSpec resolved into runnable objects. */
+struct ResolvedJob
+{
+    Circuit circuit;
+    Target target;
+    PassManager pipeline;
+    std::string pipeline_spec; //!< normalized (PassManager::spec())
+    unsigned long long seed = kDefaultTranspileSeed;
+
+    ResolvedJob(Circuit c, Target t, PassManager p, std::string spec,
+                unsigned long long s)
+        : circuit(std::move(c)), target(std::move(t)),
+          pipeline(std::move(p)), pipeline_spec(std::move(spec)), seed(s)
+    {
+    }
+
+    /** The persistent-cache address of this job. */
+    CacheKey cacheKey() const;
+};
+
+/**
+ * Materialize circuit, target, and pipeline.
+ * @throws SnailError for unknown benchmarks/targets, malformed QASM
+ *         or device JSON, or pipeline specs that fail to parse.
+ */
+ResolvedJob resolveJob(const JobSpec &spec);
+
+/** Canonical JSON text of a result (see file comment). */
+std::string serializeResult(const TranspileResult &result);
+
+} // namespace snail
+
+#endif // SNAILQC_SERVE_JOB_HPP

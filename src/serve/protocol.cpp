@@ -1,0 +1,184 @@
+#include "serve/protocol.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+/** Fill a sockaddr_un, rejecting paths the ABI cannot hold. */
+sockaddr_un
+socketAddress(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    SNAIL_REQUIRE(path.size() < sizeof(addr.sun_path),
+                  "socket path too long (" << path.size() << " bytes, max "
+                                           << sizeof(addr.sun_path) - 1
+                                           << "): " << path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+} // namespace
+
+std::string
+defaultSocketPath()
+{
+    if (const char *env = std::getenv("SNAILQC_SOCKET")) {
+        if (*env != '\0') {
+            return env;
+        }
+    }
+    return "/tmp/snailqc.sock";
+}
+
+int
+listenUnixSocket(const std::string &path)
+{
+    const sockaddr_un addr = socketAddress(path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    SNAIL_REQUIRE(fd >= 0,
+                  "socket() failed: " << std::strerror(errno));
+
+    // A connect probe distinguishes a live daemon from a stale file
+    // left by a crash: refuse the former, silently replace the latter.
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) == 0) {
+        ::close(fd);
+        SNAIL_THROW("a daemon is already listening on " << path);
+    }
+    ::unlink(path.c_str());
+
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 64) != 0) {
+        const std::string detail = std::strerror(errno);
+        ::close(fd);
+        SNAIL_THROW("cannot listen on " << path << ": " << detail);
+    }
+    return fd;
+}
+
+int
+connectUnixSocket(const std::string &path)
+{
+    const sockaddr_un addr = socketAddress(path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    SNAIL_REQUIRE(fd >= 0,
+                  "socket() failed: " << std::strerror(errno));
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const std::string detail = std::strerror(errno);
+        ::close(fd);
+        SNAIL_THROW("cannot connect to daemon at "
+                    << path << ": " << detail
+                    << " (is `snailqc serve` running?)");
+    }
+    return fd;
+}
+
+LineChannel::~LineChannel()
+{
+    if (_fd >= 0) {
+        ::close(_fd);
+    }
+}
+
+std::optional<std::string>
+LineChannel::readLine(const volatile bool *poll_stop)
+{
+    for (;;) {
+        const std::size_t newline = _buffer.find('\n');
+        if (newline != std::string::npos) {
+            std::string line = _buffer.substr(0, newline);
+            _buffer.erase(0, newline + 1);
+            return line;
+        }
+
+        // Poll in slices so a stopping server abandons idle readers.
+        pollfd pfd{};
+        pfd.fd = _fd;
+        pfd.events = POLLIN;
+        const int ready = ::poll(&pfd, 1, 200);
+        if (ready < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            SNAIL_THROW("poll() failed: " << std::strerror(errno));
+        }
+        if (ready == 0) {
+            if (poll_stop != nullptr && *poll_stop) {
+                return std::nullopt;
+            }
+            continue;
+        }
+
+        char chunk[4096];
+        const ssize_t n = ::read(_fd, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            SNAIL_THROW("read() failed: " << std::strerror(errno));
+        }
+        if (n == 0) {
+            // EOF; a partial unterminated line is a torn client — drop it.
+            return std::nullopt;
+        }
+        _buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+void
+LineChannel::writeLine(const std::string &line)
+{
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+        const ssize_t n =
+            ::write(_fd, framed.data() + sent, framed.size() - sent);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            SNAIL_THROW("write() failed: " << std::strerror(errno));
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+JsonValue
+errorResponse(const std::string &message, int retry_after_ms)
+{
+    JsonValue::Object out;
+    out["ok"] = JsonValue(false);
+    out["error"] = JsonValue(message);
+    if (retry_after_ms > 0) {
+        out["retry_after_ms"] = JsonValue(retry_after_ms);
+    }
+    return JsonValue(std::move(out));
+}
+
+JsonValue::Object
+okResponse(const std::string &op)
+{
+    JsonValue::Object out;
+    out["ok"] = JsonValue(true);
+    out["op"] = JsonValue(op);
+    return out;
+}
+
+} // namespace snail

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Wire protocol of the `snailqc serve` daemon.
+ *
+ * Transport: a SOCK_STREAM AF_UNIX socket carrying newline-delimited
+ * JSON — one request object per line from the client, one response
+ * object per line from the daemon, on a persistent connection (the
+ * accept/dispatch idiom follows the classic UNIX-domain event loops;
+ * the Graphite-style scale-out above it shards *jobs*, not bytes).
+ * JSON never contains a raw newline (the serializer escapes control
+ * characters), so '\n' framing is unambiguous.
+ *
+ * Requests — `op` selects the operation:
+ *
+ *   {"op":"ping"}
+ *   {"op":"version"}
+ *   {"op":"stats"}
+ *   {"op":"shutdown"}
+ *   {"op":"transpile", <job>}
+ *   {"op":"batch","jobs":[<job>, ...]}
+ *   {"op":"sweep","spec":<sweep-spec object>}
+ *
+ * where <job> is
+ *
+ *   "circuit": {"bench":"qft","width":8} | {"qasm":"OPENQASM 2.0;..."}
+ *   "target":  {"name":"corral11-16-sqiswap"} | {"device":<device json>}
+ *   "pipeline": "<pass spec string>"           (optional; "" = Fig. 10)
+ *   "seed":     "0x<hex>"                      (optional)
+ *
+ * Responses always carry "ok".  Success:
+ *
+ *   {"ok":true, "op":"<echo>", ...op-specific fields...}
+ *
+ * transpile returns {"cached":bool,"result":<result object>}; batch
+ * returns {"results":[...],"cache_hits":N,"jobs":N}; stats returns
+ * the cache / scheduler / job counters; version returns the build
+ * provenance (common/version.hpp).  Failure:
+ *
+ *   {"ok":false,"error":"<message>"}
+ *
+ * plus "retry_after_ms" when the admission queue rejected the work —
+ * the backpressure contract: the daemon never queues unboundedly,
+ * clients retry after the hint.
+ *
+ * This header also hosts the two tiny transport pieces shared by the
+ * server and the client: UNIX-socket helpers and a line channel.
+ */
+
+#ifndef SNAILQC_SERVE_PROTOCOL_HPP
+#define SNAILQC_SERVE_PROTOCOL_HPP
+
+#include <optional>
+#include <string>
+
+#include "common/json.hpp"
+
+namespace snail
+{
+
+/** Default socket path: $SNAILQC_SOCKET, else /tmp/snailqc.sock. */
+std::string defaultSocketPath();
+
+/**
+ * Bind + listen on an AF_UNIX stream socket, replacing a stale file
+ * at `path`.  Returns the listening fd.
+ * @throws SnailError on any socket failure (path too long, EADDRINUSE
+ *         with a live daemon, permissions).
+ */
+int listenUnixSocket(const std::string &path);
+
+/**
+ * Connect to the daemon at `path`.  Returns the connected fd.
+ * @throws SnailError when no daemon is listening.
+ */
+int connectUnixSocket(const std::string &path);
+
+/**
+ * Newline-delimited text over one fd.  Owns the fd (closes on
+ * destruction).  Reads are buffered; writes are complete-or-throw.
+ */
+class LineChannel
+{
+  public:
+    explicit LineChannel(int fd) : _fd(fd) {}
+    ~LineChannel();
+
+    LineChannel(const LineChannel &) = delete;
+    LineChannel &operator=(const LineChannel &) = delete;
+
+    /**
+     * Next '\n'-terminated line (terminator stripped), or nullopt on
+     * orderly EOF.  `poll_stop` (optional) is checked between 200 ms
+     * poll slices so a stopping server can abandon idle connections.
+     * @throws SnailError on I/O errors.
+     */
+    std::optional<std::string>
+    readLine(const volatile bool *poll_stop = nullptr);
+
+    /** Write `line` plus '\n'. @throws SnailError on I/O errors. */
+    void writeLine(const std::string &line);
+
+    int fd() const { return _fd; }
+
+  private:
+    int _fd;
+    std::string _buffer;
+};
+
+/** {"ok":false,"error":message} (+ retry_after_ms when positive). */
+JsonValue errorResponse(const std::string &message, int retry_after_ms = 0);
+
+/** Response skeleton {"ok":true,"op":op}. */
+JsonValue::Object okResponse(const std::string &op);
+
+} // namespace snail
+
+#endif // SNAILQC_SERVE_PROTOCOL_HPP

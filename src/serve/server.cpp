@@ -1,0 +1,181 @@
+#include "serve/server.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+#include "common/version.hpp"
+#include "serve/protocol.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+// Signal handlers can only touch lock-free globals; the accept loop
+// polls this between accepts.  One daemon per process is the deal.
+volatile std::sig_atomic_t g_signal_stop = 0;
+
+void
+onStopSignal(int)
+{
+    g_signal_stop = 1;
+}
+
+} // namespace
+
+Server::Server(const ServerOptions &options)
+    : _options(options),
+      _socket_path(options.socket_path.empty() ? defaultSocketPath()
+                                               : options.socket_path),
+      _service(options.service)
+{
+}
+
+Server::~Server() = default;
+
+void
+Server::requestStop()
+{
+    _stop = true;
+}
+
+void
+Server::serve()
+{
+    const int listen_fd = listenUnixSocket(_socket_path);
+
+    struct sigaction previous_term
+    {
+    };
+    struct sigaction previous_int
+    {
+    };
+    if (_options.handle_signals) {
+        g_signal_stop = 0;
+        struct sigaction action
+        {
+        };
+        action.sa_handler = onStopSignal;
+        sigemptyset(&action.sa_mask);
+        ::sigaction(SIGTERM, &action, &previous_term);
+        ::sigaction(SIGINT, &action, &previous_int);
+    }
+
+    if (_options.log != nullptr) {
+        *_options.log << "snailqc serve: " << versionString() << "\n"
+                      << "snailqc serve: listening on " << _socket_path
+                      << "\n"
+                      << "snailqc serve: cache at "
+                      << _service.cacheStore().directory() << "\n"
+                      << std::flush;
+    }
+
+    // One thread per connection; each parks in 200 ms poll slices and
+    // leaves when its client hangs up or _stop flips.  finished[] lets
+    // the accept loop reap dead threads so a long-lived daemon does
+    // not accumulate joinable corpses.
+    std::vector<std::thread> connections;
+    std::vector<std::shared_ptr<std::atomic<bool>>> finished;
+
+    const auto reap = [&]() {
+        for (std::size_t i = connections.size(); i-- > 0;) {
+            if (finished[i]->load()) {
+                connections[i].join();
+                connections[i] = std::move(connections.back());
+                finished[i] = std::move(finished.back());
+                connections.pop_back();
+                finished.pop_back();
+            }
+        }
+    };
+
+    while (!_stop) {
+        if (_options.handle_signals && g_signal_stop != 0) {
+            break;
+        }
+        if (_service.shutdownRequested()) {
+            break;
+        }
+
+        pollfd pfd{};
+        pfd.fd = listen_fd;
+        pfd.events = POLLIN;
+        const int ready = ::poll(&pfd, 1, 200);
+        if (ready < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            ::close(listen_fd);
+            SNAIL_THROW("poll() on listen socket failed: "
+                        << std::strerror(errno));
+        }
+        if (ready == 0) {
+            reap();
+            continue;
+        }
+
+        const int client_fd = ::accept(listen_fd, nullptr, nullptr);
+        if (client_fd < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            ::close(listen_fd);
+            SNAIL_THROW("accept() failed: " << std::strerror(errno));
+        }
+
+        auto done = std::make_shared<std::atomic<bool>>(false);
+        finished.push_back(done);
+        connections.emplace_back(
+            [this, client_fd, done]() {
+                LineChannel channel(client_fd);
+                try {
+                    while (std::optional<std::string> line =
+                               channel.readLine(&_stop)) {
+                        if (line->empty()) {
+                            continue;
+                        }
+                        channel.writeLine(_service.handleLine(*line));
+                        if (_service.shutdownRequested()) {
+                            break;
+                        }
+                    }
+                } catch (const std::exception &) {
+                    // A torn connection kills its thread, not the
+                    // daemon; the client sees the closed socket.
+                }
+                done->store(true);
+            });
+    }
+
+    // Stop: wake idle readers, join everyone, release the socket.
+    _stop = true;
+    for (std::thread &thread : connections) {
+        thread.join();
+    }
+    ::close(listen_fd);
+    ::unlink(_socket_path.c_str());
+
+    if (_options.handle_signals) {
+        ::sigaction(SIGTERM, &previous_term, nullptr);
+        ::sigaction(SIGINT, &previous_int, nullptr);
+    }
+
+    if (_options.log != nullptr) {
+        *_options.log << "snailqc serve: clean shutdown\n" << std::flush;
+    }
+}
+
+} // namespace snail

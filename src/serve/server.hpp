@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The socket front of the serve daemon.
+ *
+ * Server binds the UNIX socket, accepts connections in a poll loop,
+ * and hands each connection to a thread that reads request lines and
+ * answers with Service::handleLine.  Connection threads only parse
+ * and serialize; the compute inside a request runs on the shared
+ * Scheduler, so accepting many clients does not multiply transpile
+ * threads.
+ *
+ * Shutdown is cooperative and clean, from any of three triggers —
+ * SIGTERM/SIGINT (a signal handler sets a flag the accept loop polls),
+ * a client's {"op":"shutdown"}, or requestStop() from the embedding
+ * test: stop accepting, wake idle readers (they poll a stop flag in
+ * 200 ms slices), finish in-progress requests, join every connection
+ * thread, unlink the socket file.  `serve()` returns 0 on a clean
+ * stop, making `kill -TERM` + `wait $!` scriptable in CI.
+ */
+
+#ifndef SNAILQC_SERVE_SERVER_HPP
+#define SNAILQC_SERVE_SERVER_HPP
+
+#include <string>
+
+#include "serve/service.hpp"
+
+namespace snail
+{
+
+/** Server configuration (socket plus the Service knobs). */
+struct ServerOptions
+{
+    std::string socket_path; //!< "" = defaultSocketPath()
+    ServiceOptions service;
+    /** Install SIGTERM/SIGINT handlers (off inside tests). */
+    bool handle_signals = true;
+    /** Announce lifecycle on this stream; nullptr stays silent. */
+    std::ostream *log = nullptr;
+};
+
+/** Accept loop around a Service (see file comment). */
+class Server
+{
+  public:
+    explicit Server(const ServerOptions &options);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind, accept, and dispatch until stopped; returns when the
+     * socket is unlinked and every connection thread has joined.
+     * @throws SnailError when the socket cannot be bound.
+     */
+    void serve();
+
+    /** Ask a running serve() to stop (thread-safe, idempotent). */
+    void requestStop();
+
+    const std::string &socketPath() const { return _socket_path; }
+    Service &service() { return _service; }
+
+  private:
+    ServerOptions _options;
+    std::string _socket_path;
+    Service _service;
+    volatile bool _stop = false;
+};
+
+} // namespace snail
+
+#endif // SNAILQC_SERVE_SERVER_HPP

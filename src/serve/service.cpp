@@ -1,0 +1,306 @@
+#include "serve/service.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/scheduler.hpp"
+#include "common/thread_pool.hpp"
+#include "common/version.hpp"
+#include "explore/engine.hpp"
+#include "explore/report.hpp"
+#include "serve/protocol.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+/**
+ * RAII admission ticket: reserves `jobs` slots against the limit up
+ * front, releasing them when the request finishes.  Reservation is a
+ * single fetch_add so two racing batches cannot both squeeze past the
+ * limit.
+ */
+class Admission
+{
+  public:
+    Admission(std::atomic<std::size_t> &in_flight, std::size_t jobs,
+              std::size_t limit)
+        : _in_flight(in_flight), _jobs(jobs)
+    {
+        const std::size_t before = _in_flight.fetch_add(jobs);
+        if (before + jobs > limit) {
+            _in_flight.fetch_sub(jobs);
+            _jobs = 0;
+            _admitted = false;
+        }
+    }
+
+    ~Admission()
+    {
+        if (_jobs > 0) {
+            _in_flight.fetch_sub(_jobs);
+        }
+    }
+
+    Admission(const Admission &) = delete;
+    Admission &operator=(const Admission &) = delete;
+
+    bool admitted() const { return _admitted; }
+
+  private:
+    std::atomic<std::size_t> &_in_flight;
+    std::size_t _jobs;
+    bool _admitted = true;
+};
+
+/** Retry hint scaled to how much work is already queued. */
+int
+retryAfterMs(std::size_t in_flight)
+{
+    // ~50 ms per queued job, clamped: enough for a small backlog to
+    // drain, never parking a client for more than 5 s.
+    const std::size_t ms = 50 * (in_flight == 0 ? 1 : in_flight);
+    return static_cast<int>(ms > 5000 ? 5000 : ms);
+}
+
+} // namespace
+
+Service::Service(const ServiceOptions &options)
+    : _options(options),
+      _store(options.cache_dir.empty() ? CacheStore::defaultDirectory()
+                                       : options.cache_dir,
+             options.cache_max_bytes)
+{
+}
+
+std::string
+Service::runJob(const ResolvedJob &job, bool &cached)
+{
+    const CacheKey key = job.cacheKey();
+    if (std::optional<std::string> stored = _store.fetch(key)) {
+        cached = true;
+        _jobs_cached.fetch_add(1);
+        _jobs_completed.fetch_add(1);
+        return *stored;
+    }
+    cached = false;
+    const TranspileResult result =
+        job.pipeline.run(job.circuit, job.target, job.seed);
+    std::string payload = serializeResult(result);
+    _store.store(key, payload);
+    _jobs_completed.fetch_add(1);
+    return payload;
+}
+
+JsonValue
+Service::handleTranspile(const JsonValue &request)
+{
+    const Admission ticket(_in_flight, 1, _options.queue_limit);
+    if (!ticket.admitted()) {
+        _jobs_rejected.fetch_add(1);
+        return errorResponse("queue full (limit " +
+                                 std::to_string(_options.queue_limit) + ")",
+                             retryAfterMs(_in_flight.load()));
+    }
+
+    const ResolvedJob job = resolveJob(JobSpec::fromJson(request));
+    bool cached = false;
+    const std::string payload = runJob(job, cached);
+
+    JsonValue::Object out = okResponse("transpile");
+    out["cached"] = JsonValue(cached);
+    out["key"] = JsonValue(CacheStore::entryName(job.cacheKey()));
+    out["result"] = JsonValue::parse(payload);
+    return JsonValue(std::move(out));
+}
+
+JsonValue
+Service::handleBatch(const JsonValue &request)
+{
+    const JsonValue &jobs_json = request.at("jobs");
+    SNAIL_REQUIRE(jobs_json.isArray() && !jobs_json.asArray().empty(),
+                  "batch: `jobs` must be a non-empty array");
+    const std::size_t count = jobs_json.asArray().size();
+
+    const Admission ticket(_in_flight, count, _options.queue_limit);
+    if (!ticket.admitted()) {
+        _jobs_rejected.fetch_add(count);
+        return errorResponse("queue full (" + std::to_string(count) +
+                                 " jobs, limit " +
+                                 std::to_string(_options.queue_limit) + ")",
+                             retryAfterMs(_in_flight.load()));
+    }
+
+    // Resolve serially (cheap, and keeps malformed-job errors crisp),
+    // then fan the transpiles across the shared scheduler.  Each job
+    // may itself fan out (stochastic trials) — nested submission keeps
+    // the thread count bounded by the pool regardless.
+    std::vector<ResolvedJob> resolved;
+    resolved.reserve(count);
+    for (const JsonValue &job_json : jobs_json.asArray()) {
+        resolved.push_back(resolveJob(JobSpec::fromJson(job_json)));
+    }
+
+    std::vector<std::string> payloads(count);
+    std::vector<char> hits(count, 0);
+    parallelFor(count, _options.batch_threads, [&](std::size_t i) {
+        bool cached = false;
+        payloads[i] = runJob(resolved[i], cached);
+        hits[i] = cached ? 1 : 0;
+    });
+
+    JsonValue::Array results;
+    results.reserve(count);
+    std::size_t cache_hits = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        JsonValue::Object entry;
+        entry["cached"] = JsonValue(hits[i] != 0);
+        entry["key"] =
+            JsonValue(CacheStore::entryName(resolved[i].cacheKey()));
+        entry["result"] = JsonValue::parse(payloads[i]);
+        results.push_back(JsonValue(std::move(entry)));
+        cache_hits += hits[i] != 0 ? 1 : 0;
+    }
+
+    JsonValue::Object out = okResponse("batch");
+    out["jobs"] = JsonValue(static_cast<double>(count));
+    out["cache_hits"] = JsonValue(static_cast<double>(cache_hits));
+    out["results"] = JsonValue(std::move(results));
+    return JsonValue(std::move(out));
+}
+
+JsonValue
+Service::handleSweep(const JsonValue &request)
+{
+    const SweepSpec spec = sweepSpecFromJson(request.at("spec"));
+
+    // A sweep occupies one admission slot: its fan-out runs on the
+    // shared scheduler, so its *thread* footprint is already bounded;
+    // the slot just keeps shutdown/stats honest about live work.
+    const Admission ticket(_in_flight, 1, _options.queue_limit);
+    if (!ticket.admitted()) {
+        _jobs_rejected.fetch_add(1);
+        return errorResponse("queue full (limit " +
+                                 std::to_string(_options.queue_limit) + ")",
+                             retryAfterMs(_in_flight.load()));
+    }
+
+    EngineOptions engine;
+    engine.threads = _options.batch_threads;
+    engine.cache_store = &_store;
+    const SweepRun run = runSweep(spec, engine);
+
+    std::ostringstream rendered;
+    writeSweepJson(rendered, run);
+
+    JsonValue::Object out = okResponse("sweep");
+    out["points"] = JsonValue(static_cast<double>(run.points.size()));
+    out["computed"] = JsonValue(static_cast<double>(run.stats.computed));
+    out["from_store"] =
+        JsonValue(static_cast<double>(run.stats.from_store));
+    out["run"] = JsonValue::parse(rendered.str());
+    return JsonValue(std::move(out));
+}
+
+JsonValue
+Service::handleStats()
+{
+    const CacheStoreStats cache = _store.stats();
+
+    JsonValue::Object cache_out;
+    cache_out["directory"] = JsonValue(_store.directory());
+    cache_out["hits"] = JsonValue(static_cast<double>(cache.hits));
+    cache_out["misses"] = JsonValue(static_cast<double>(cache.misses));
+    cache_out["evictions"] =
+        JsonValue(static_cast<double>(cache.evictions));
+    cache_out["entries"] = JsonValue(static_cast<double>(cache.entries));
+    cache_out["bytes"] = JsonValue(static_cast<double>(cache.bytes));
+    cache_out["max_bytes"] =
+        JsonValue(static_cast<double>(cache.max_bytes));
+
+    JsonValue::Object jobs;
+    jobs["completed"] =
+        JsonValue(static_cast<double>(_jobs_completed.load()));
+    jobs["cached"] = JsonValue(static_cast<double>(_jobs_cached.load()));
+    jobs["rejected"] =
+        JsonValue(static_cast<double>(_jobs_rejected.load()));
+    jobs["in_flight"] =
+        JsonValue(static_cast<double>(_in_flight.load()));
+    jobs["queue_limit"] =
+        JsonValue(static_cast<double>(_options.queue_limit));
+
+    JsonValue::Object scheduler;
+    scheduler["workers"] =
+        JsonValue(static_cast<double>(Scheduler::global().workerCount()));
+
+    JsonValue::Object out = okResponse("stats");
+    out["requests"] = JsonValue(static_cast<double>(_requests.load()));
+    out["cache"] = JsonValue(std::move(cache_out));
+    out["jobs"] = JsonValue(std::move(jobs));
+    out["scheduler"] = JsonValue(std::move(scheduler));
+    return JsonValue(std::move(out));
+}
+
+JsonValue
+Service::handleVersion()
+{
+    const VersionInfo info = versionInfo();
+    JsonValue::Object out = okResponse("version");
+    out["git_sha"] = JsonValue(info.git_sha);
+    out["build_type"] = JsonValue(info.build_type);
+    out["protocol"] = JsonValue(info.protocol);
+    out["version"] = JsonValue(versionString());
+    return JsonValue(std::move(out));
+}
+
+JsonValue
+Service::handle(const JsonValue &request)
+{
+    _requests.fetch_add(1);
+    try {
+        const std::string op = request.at("op").asString();
+        if (op == "ping") {
+            return JsonValue(okResponse("ping"));
+        }
+        if (op == "version") {
+            return handleVersion();
+        }
+        if (op == "stats") {
+            return handleStats();
+        }
+        if (op == "shutdown") {
+            _shutdown.store(true);
+            return JsonValue(okResponse("shutdown"));
+        }
+        if (op == "transpile") {
+            return handleTranspile(request);
+        }
+        if (op == "batch") {
+            return handleBatch(request);
+        }
+        if (op == "sweep") {
+            return handleSweep(request);
+        }
+        return errorResponse("unknown op '" + op + "'");
+    } catch (const std::exception &error) {
+        return errorResponse(error.what());
+    }
+}
+
+std::string
+Service::handleLine(const std::string &line)
+{
+    JsonValue response;
+    try {
+        response = handle(JsonValue::parse(line));
+    } catch (const std::exception &error) {
+        response = errorResponse(std::string("bad request: ") +
+                                 error.what());
+    }
+    return response.dump();
+}
+
+} // namespace snail

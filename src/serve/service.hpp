@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Request execution engine of the serve daemon.
+ *
+ * A Service is the transport-free core: handle(request) -> response,
+ * so tests drive it without sockets and the Server (server.hpp) stays
+ * a thin accept/dispatch loop.  It owns
+ *
+ *  - the persistent CacheStore: every transpile answer is addressed
+ *    by (circuit, target, pipeline, seed) content hashes, fetched
+ *    before computing and written back after, so identical work is
+ *    answered byte-identically from disk across daemon restarts;
+ *  - admission control: at most `queue_limit` jobs may be in flight
+ *    (a 16-job batch admits 16); excess requests are rejected
+ *    immediately with retry_after_ms instead of queueing unboundedly.
+ *    Backpressure lives *here*, before any scheduler interaction, so
+ *    an overloaded daemon stays responsive to stats/ping;
+ *  - job counters for the stats response.
+ *
+ * Compute runs on the process-global Scheduler: batches fan out via
+ * parallelFor, whose jobs may themselves fan out parallel stochastic
+ * trials — the nested-submission design keeps total live worker
+ * threads at the pool size no matter how requests stack up.
+ */
+
+#ifndef SNAILQC_SERVE_SERVICE_HPP
+#define SNAILQC_SERVE_SERVICE_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+#include "explore/cache_store.hpp"
+#include "serve/job.hpp"
+
+namespace snail
+{
+
+/** Service tuning, shared with the CLI flag parser. */
+struct ServiceOptions
+{
+    std::string cache_dir;  //!< "" = CacheStore::defaultDirectory()
+    unsigned long long cache_max_bytes = CacheStore::kDefaultMaxBytes;
+    /** Reject new jobs when this many are already in flight. */
+    std::size_t queue_limit = 256;
+    /** Concurrency cap per batch fan-out; 0 = whole pool. */
+    unsigned batch_threads = 0;
+};
+
+/** Transport-free request processor (see file comment). */
+class Service
+{
+  public:
+    explicit Service(const ServiceOptions &options);
+
+    /**
+     * Execute one request, returning the response object.  Never
+     * throws for request-level problems — malformed JSON, unknown
+     * ops, failed jobs all come back as {"ok":false,...} — so one
+     * bad client cannot take the daemon down.
+     */
+    JsonValue handle(const JsonValue &request);
+
+    /** Convenience: parse one request line, handle, serialize. */
+    std::string handleLine(const std::string &line);
+
+    /** True once a shutdown request was accepted. */
+    bool shutdownRequested() const { return _shutdown.load(); }
+
+    CacheStore &cacheStore() { return _store; }
+
+  private:
+    JsonValue handleTranspile(const JsonValue &request);
+    JsonValue handleBatch(const JsonValue &request);
+    JsonValue handleSweep(const JsonValue &request);
+    JsonValue handleStats();
+    JsonValue handleVersion();
+
+    /**
+     * Run one resolved job: serve the payload from the store or
+     * transpile and persist it.  Sets `cached` accordingly.
+     */
+    std::string runJob(const ResolvedJob &job, bool &cached);
+
+    ServiceOptions _options;
+    CacheStore _store;
+    std::atomic<bool> _shutdown{false};
+    std::atomic<std::size_t> _in_flight{0};
+    std::atomic<std::size_t> _jobs_completed{0};
+    std::atomic<std::size_t> _jobs_cached{0};
+    std::atomic<std::size_t> _jobs_rejected{0};
+    std::atomic<std::size_t> _requests{0};
+};
+
+} // namespace snail
+
+#endif // SNAILQC_SERVE_SERVICE_HPP

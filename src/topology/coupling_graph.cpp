@@ -29,7 +29,10 @@ CouplingGraph::addEdge(int a, int b)
     na.insert(std::lower_bound(na.begin(), na.end(), b), b);
     auto &nb = _adjacency[static_cast<std::size_t>(b)];
     nb.insert(std::lower_bound(nb.begin(), nb.end(), a), a);
-    _dist.clear();
+    // Copy-on-write: drop our reference — co-owners keep the old
+    // table (their graph is unchanged); this one rebuilds on query.
+    _dist.reset();
+    _dist_data = nullptr;
 }
 
 bool
@@ -91,11 +94,12 @@ CouplingGraph::buildDistanceTable() const
         throw DistanceOverflowError(_name, _numQubits, kMaxTabledQubits);
     }
     const auto n = static_cast<std::size_t>(_numQubits);
-    _dist.assign(n * n, kUnreachable);
+    auto table = std::make_shared<std::vector<std::uint16_t>>(
+        n * n, kUnreachable);
     std::vector<int> queue;
     queue.reserve(n);
     for (std::size_t src = 0; src < n; ++src) {
-        std::uint16_t *row = _dist.data() + src * n;
+        std::uint16_t *row = table->data() + src * n;
         row[src] = 0;
         queue.assign(1, static_cast<int>(src));
         for (std::size_t head = 0; head < queue.size(); ++head) {
@@ -111,16 +115,16 @@ CouplingGraph::buildDistanceTable() const
             }
         }
     }
+    _dist = std::move(table);
+    _dist_data = _dist->data();
 }
 
 bool
 CouplingGraph::isConnected() const
 {
-    if (_dist.empty()) {
-        buildDistanceTable();
-    }
+    ensureDistanceTable();
     for (int q = 1; q < _numQubits; ++q) {
-        if (_dist[static_cast<std::size_t>(q)] == kUnreachable) {
+        if (_dist_data[static_cast<std::size_t>(q)] == kUnreachable) {
             return false;
         }
     }

@@ -13,6 +13,7 @@
 #define SNAILQC_TOPOLOGY_COUPLING_GRAPH_HPP
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -81,13 +82,13 @@ class CouplingGraph
     {
         SNAIL_REQUIRE(a >= 0 && a < _numQubits && b >= 0 && b < _numQubits,
                       "qubit out of range");
-        if (_dist.empty()) {
+        if (_dist_data == nullptr) {
             buildDistanceTable();
         }
         const std::uint16_t d =
-            _dist[static_cast<std::size_t>(a) *
-                      static_cast<std::size_t>(_numQubits) +
-                  static_cast<std::size_t>(b)];
+            _dist_data[static_cast<std::size_t>(a) *
+                           static_cast<std::size_t>(_numQubits) +
+                       static_cast<std::size_t>(b)];
         if (d == kUnreachable) {
             throw DisconnectedError(_name, a, b);
         }
@@ -105,9 +106,23 @@ class CouplingGraph
     void
     ensureDistanceTable() const
     {
-        if (_dist.empty()) {
+        if (_dist_data == nullptr) {
             buildDistanceTable();
         }
+    }
+
+    /**
+     * True when this graph currently shares its distance table with
+     * another CouplingGraph (or Target) instance.  Copies share the
+     * immutable table copy-on-write: copying a graph whose table is
+     * built costs two pointer copies, not the n^2 uint16 buffer, and
+     * the first addEdge() on either copy detaches it.  Diagnostic —
+     * the kiloqubit memory audits assert on it.
+     */
+    bool
+    sharesDistanceTable() const
+    {
+        return _dist != nullptr && _dist.use_count() > 1;
     }
 
     /** True when every qubit can reach every other. */
@@ -143,8 +158,19 @@ class CouplingGraph
     int _numQubits;
     std::string _name;
     std::vector<std::vector<int>> _adjacency;
-    /** Lazy row-major n*n hop-distance table (kUnreachable sentinel). */
-    mutable std::vector<std::uint16_t> _dist;
+    /**
+     * Lazy row-major n*n hop-distance table (kUnreachable sentinel),
+     * immutable once built and shared copy-on-write across graph
+     * copies (an 84-qubit table is ~14 KB; a 4096-qubit one is 32 MB
+     * — daemon-resident targets and sweep target expansion copy
+     * graphs freely, so the buffer must not duplicate).  addEdge()
+     * drops the reference instead of mutating, which keeps other
+     * owners' tables valid.  `_dist_data` caches data() so the
+     * inline distance() hot path reads one raw array, exactly as it
+     * did when the vector lived inside the graph.
+     */
+    mutable std::shared_ptr<const std::vector<std::uint16_t>> _dist;
+    mutable const std::uint16_t *_dist_data = nullptr;
 };
 
 } // namespace snail

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Tests for the persistent transpile store (explore/cache_store.hpp):
+ * round-trips and reopen, payloads returned byte for byte, tolerance
+ * of torn/corrupt/truncated entries (ignored, deleted, recomputed —
+ * never propagated), the LRU byte-budget eviction, key separation,
+ * concurrent readers and writers on one store, the hit/miss/eviction
+ * counters, and the engine integration (a sweep served from the
+ * store matches the cold run bit for bit).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "explore/cache_store.hpp"
+#include "explore/engine.hpp"
+#include "topology/registry.hpp"
+
+namespace snail
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Fresh empty directory under the test tmpdir. */
+std::string
+freshDir(const std::string &name)
+{
+    const std::string path = testing::TempDir() + name;
+    fs::remove_all(path);
+    return path;
+}
+
+CacheKey
+makeKey(unsigned long long circuit, unsigned long long seed = 7)
+{
+    CacheKey key;
+    key.circuit_hash = circuit;
+    key.target_hash = 0xABCDULL;
+    key.pipeline = "dense,stochastic-route=4,elide,basis=sqiswap";
+    key.seed = seed;
+    return key;
+}
+
+TEST(CacheStore, RoundTripsPayloadBytes)
+{
+    const std::string dir = freshDir("cache_roundtrip");
+    CacheStore store(dir);
+
+    const CacheKey key = makeKey(1);
+    EXPECT_FALSE(store.fetch(key).has_value());
+
+    const std::string payload = "{\"metrics\":{\"x\":1.25}}";
+    store.store(key, payload);
+    const std::optional<std::string> back = store.fetch(key);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, payload); // byte-identical, not just equivalent
+
+    const CacheStoreStats stats = store.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(CacheStore, SurvivesReopen)
+{
+    const std::string dir = freshDir("cache_reopen");
+    const CacheKey key = makeKey(2);
+    const std::string payload = "persisted across processes";
+    {
+        CacheStore store(dir);
+        store.store(key, payload);
+    }
+    CacheStore reopened(dir);
+    EXPECT_EQ(reopened.stats().entries, 1u);
+    const std::optional<std::string> back = reopened.fetch(key);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, payload);
+}
+
+TEST(CacheStore, KeysAreSeparate)
+{
+    const std::string dir = freshDir("cache_keys");
+    CacheStore store(dir);
+    store.store(makeKey(1), "one");
+    store.store(makeKey(2), "two");
+    store.store(makeKey(1, 8), "one-other-seed");
+
+    CacheKey other_pipeline = makeKey(1);
+    other_pipeline.pipeline = "dense,sabre-route,basis=sqiswap";
+    store.store(other_pipeline, "one-other-pipeline");
+
+    EXPECT_EQ(*store.fetch(makeKey(1)), "one");
+    EXPECT_EQ(*store.fetch(makeKey(2)), "two");
+    EXPECT_EQ(*store.fetch(makeKey(1, 8)), "one-other-seed");
+    EXPECT_EQ(*store.fetch(other_pipeline), "one-other-pipeline");
+}
+
+TEST(CacheStore, CorruptEntryIsIgnoredAndDeleted)
+{
+    const std::string dir = freshDir("cache_corrupt");
+    const CacheKey key = makeKey(3);
+    CacheStore store(dir);
+    store.store(key, "good payload");
+
+    const std::string path = dir + "/" + CacheStore::entryName(key);
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << "this is not json{{{";
+    }
+
+    EXPECT_FALSE(store.fetch(key).has_value());
+    EXPECT_FALSE(fs::exists(path)) << "corrupt entry must be deleted";
+
+    // Recompute path: a fresh store() fully heals the slot.
+    store.store(key, "recomputed");
+    EXPECT_EQ(*store.fetch(key), "recomputed");
+}
+
+TEST(CacheStore, TruncatedEntryIsIgnored)
+{
+    const std::string dir = freshDir("cache_truncated");
+    const CacheKey key = makeKey(4);
+    CacheStore store(dir);
+    store.store(key, std::string(512, 'x'));
+
+    // Simulate a torn write: valid JSON prefix chopped mid-payload.
+    const std::string path = dir + "/" + CacheStore::entryName(key);
+    fs::resize_file(path, fs::file_size(path) / 2);
+
+    EXPECT_FALSE(store.fetch(key).has_value());
+    EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(CacheStore, ChecksumCatchesPayloadTampering)
+{
+    // Valid JSON with the right key but a flipped payload byte: the
+    // CRC must reject it (defends torn page / bitrot, not attackers).
+    const std::string dir = freshDir("cache_tamper");
+    const CacheKey key = makeKey(5);
+    CacheStore store(dir);
+    store.store(key, "payload-AAAA");
+
+    const std::string path = dir + "/" + CacheStore::entryName(key);
+    std::string text;
+    {
+        std::ifstream in(path);
+        text.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+    }
+    const std::size_t pos = text.find("AAAA");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 4, "AAAB");
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << text;
+    }
+
+    EXPECT_FALSE(store.fetch(key).has_value());
+}
+
+TEST(CacheStore, EvictsLeastRecentlyUsedUnderByteBudget)
+{
+    const std::string dir = freshDir("cache_evict");
+    const std::string payload(400, 'p');
+
+    // Budget fits ~4 entries (payload + JSON envelope).
+    CacheStore store(dir, 4 * 700);
+    for (unsigned long long i = 0; i < 4; ++i) {
+        store.store(makeKey(i), payload);
+    }
+    ASSERT_EQ(store.stats().evictions, 0u);
+
+    // Touch 0 so 1 becomes the coldest, then overflow the budget.
+    ASSERT_TRUE(store.fetch(makeKey(0)).has_value());
+    store.store(makeKey(100), payload);
+    store.store(makeKey(101), payload);
+
+    EXPECT_GT(store.stats().evictions, 0u);
+    EXPECT_LE(store.stats().bytes, 4u * 700u);
+    EXPECT_TRUE(store.fetch(makeKey(100)).has_value());
+    EXPECT_TRUE(store.fetch(makeKey(101)).has_value());
+    EXPECT_FALSE(store.fetch(makeKey(1)).has_value())
+        << "coldest entry should have been evicted first";
+}
+
+TEST(CacheStore, OversizedSingleEntryStillServes)
+{
+    // One entry larger than the whole budget: eviction must not
+    // delete the entry it just wrote (the size bound is best-effort
+    // for the *steady state*, never a correctness gate).
+    const std::string dir = freshDir("cache_oversize");
+    CacheStore store(dir, 64);
+    const CacheKey key = makeKey(6);
+    store.store(key, std::string(512, 'z'));
+    EXPECT_TRUE(store.fetch(key).has_value());
+}
+
+TEST(CacheStore, ConcurrentReadersAndWriters)
+{
+    const std::string dir = freshDir("cache_concurrent");
+    CacheStore store(dir);
+
+    // Pre-seed half the keys; threads hammer fetch+store on all of
+    // them.  Success = no crash/throw and every payload stays exact.
+    const auto payloadFor = [](unsigned long long i) {
+        return "payload-" + std::to_string(i);
+    };
+    for (unsigned long long i = 0; i < 8; ++i) {
+        store.store(makeKey(i), payloadFor(i));
+    }
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&, t]() {
+            for (int round = 0; round < 50; ++round) {
+                const unsigned long long i =
+                    static_cast<unsigned long long>((t * 50 + round) % 16);
+                if (std::optional<std::string> got =
+                        store.fetch(makeKey(i))) {
+                    EXPECT_EQ(*got, payloadFor(i));
+                } else {
+                    store.store(makeKey(i), payloadFor(i));
+                }
+            }
+        });
+    }
+    for (std::thread &thread : threads) {
+        thread.join();
+    }
+    for (unsigned long long i = 0; i < 16; ++i) {
+        EXPECT_EQ(*store.fetch(makeKey(i)), payloadFor(i));
+    }
+}
+
+TEST(CacheStore, TwoStoresOneDirectory)
+{
+    // Two Service processes can point at one cache directory; writes
+    // go through atomic rename, so each store sees either nothing or
+    // a complete entry — never a torn one.
+    const std::string dir = freshDir("cache_shared");
+    CacheStore a(dir);
+    CacheStore b(dir);
+
+    a.store(makeKey(1), "from-a");
+    EXPECT_EQ(*b.fetch(makeKey(1)), "from-a");
+
+    b.store(makeKey(2), "from-b");
+    EXPECT_EQ(*a.fetch(makeKey(2)), "from-b");
+}
+
+TEST(CacheStore, SweepServedFromStoreMatchesColdRun)
+{
+    // Engine integration: run a small sweep cold, then again with a
+    // fresh in-memory cache but the same store — every point must
+    // come from the store and match bit for bit.
+    SweepSpec spec;
+    spec.name = "store-test";
+    spec.seed = 7;
+    CircuitSpec qft;
+    qft.bench = "qft";
+    qft.widths = {4};
+    CircuitSpec ghz;
+    ghz.bench = "ghz";
+    ghz.widths = {4};
+    spec.circuits = {qft, ghz};
+    TargetSpec target;
+    target.target = "corral11-16-sqiswap";
+    spec.targets = {target};
+    spec.pipelines = {"dense,stochastic-route=2,elide,basis=sqiswap"};
+
+    const std::string dir = freshDir("cache_sweep");
+    CacheStore store(dir);
+
+    EngineOptions options;
+    options.threads = 1;
+    options.cache_store = &store;
+
+    const SweepRun cold = runSweep(spec, options);
+    EXPECT_EQ(cold.stats.from_store, 0u);
+    EXPECT_EQ(cold.stats.computed, cold.points.size());
+
+    const SweepRun warm = runSweep(spec, options);
+    EXPECT_EQ(warm.stats.computed, 0u);
+    EXPECT_EQ(warm.stats.from_store, warm.points.size());
+
+    ASSERT_EQ(cold.metrics.size(), warm.metrics.size());
+    for (std::size_t i = 0; i < cold.metrics.size(); ++i) {
+        EXPECT_EQ(cold.metrics[i].metrics.swaps_total,
+                  warm.metrics[i].metrics.swaps_total);
+        EXPECT_EQ(cold.metrics[i].metrics.basis_2q_total,
+                  warm.metrics[i].metrics.basis_2q_total);
+        EXPECT_EQ(cold.metrics[i].metrics.duration_total,
+                  warm.metrics[i].metrics.duration_total);
+        EXPECT_EQ(cold.metrics[i].metrics.duration_critical,
+                  warm.metrics[i].metrics.duration_critical);
+    }
+}
+
+} // namespace
+} // namespace snail

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the persistent work-stealing scheduler: the exactly-once
+ * / in-order determinism contract parallelFor already promised, plus
+ * the properties the serve daemon leans on — nested fan-outs bounded
+ * by the pool size (no thread explosion), bit-identical results at
+ * any concurrency, caller participation (progress even with a
+ * one-thread pool), and exception propagation from nested bodies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/scheduler.hpp"
+#include "common/thread_pool.hpp"
+
+namespace snail
+{
+namespace
+{
+
+TEST(Scheduler, RunsEveryIndexExactlyOnce)
+{
+    Scheduler pool(4);
+    std::vector<std::atomic<int>> hits(257);
+    pool.run(hits.size(), 4, [&](std::size_t i) {
+        hits[i].fetch_add(1);
+    });
+    for (const std::atomic<int> &hit : hits) {
+        EXPECT_EQ(hit.load(), 1);
+    }
+}
+
+TEST(Scheduler, InlineWhenSerial)
+{
+    // concurrency 1 must run on the calling thread — callers rely on
+    // this for thread-local state (and it must not touch the pool).
+    Scheduler pool(4);
+    const std::thread::id caller = std::this_thread::get_id();
+    std::vector<std::thread::id> seen(8);
+    pool.run(seen.size(), 1, [&](std::size_t i) {
+        seen[i] = std::this_thread::get_id();
+    });
+    for (const std::thread::id &id : seen) {
+        EXPECT_EQ(id, caller);
+    }
+}
+
+TEST(Scheduler, NestedFanOutStaysWithinPool)
+{
+    // The serve scenario: a batch fans out, every job fans out again.
+    // Ad-hoc spawning would run outer*inner threads; the scheduler
+    // must never exceed workers + the calling thread.
+    constexpr unsigned kWorkers = 3;
+    Scheduler pool(kWorkers);
+
+    std::mutex mutex;
+    std::set<std::thread::id> threads;
+    std::atomic<int> leaves{0};
+
+    pool.run(8, 8, [&](std::size_t) {
+        pool.run(8, 8, [&](std::size_t) {
+            {
+                const std::lock_guard<std::mutex> lock(mutex);
+                threads.insert(std::this_thread::get_id());
+            }
+            leaves.fetch_add(1);
+        });
+    });
+
+    EXPECT_EQ(leaves.load(), 64);
+    EXPECT_LE(threads.size(), kWorkers + 1u);
+}
+
+TEST(Scheduler, DeeplyNestedOnSingleWorkerPool)
+{
+    // A 1-worker pool plus the caller must still finish arbitrary
+    // nesting — the caller drains its own groups, so nothing can
+    // deadlock waiting for a free worker.
+    Scheduler pool(1);
+    std::atomic<int> leaves{0};
+    pool.run(4, 4, [&](std::size_t) {
+        pool.run(4, 4, [&](std::size_t) {
+            pool.run(4, 4, [&](std::size_t) {
+                leaves.fetch_add(1);
+            });
+        });
+    });
+    EXPECT_EQ(leaves.load(), 64);
+}
+
+TEST(Scheduler, ResultsIdenticalAcrossConcurrency)
+{
+    // The determinism contract: output depends only on the index.
+    const auto compute = [](unsigned concurrency) {
+        Scheduler pool(4);
+        std::vector<unsigned long long> out(64);
+        pool.run(out.size(), concurrency, [&](std::size_t i) {
+            unsigned long long h = 0xcbf29ce484222325ULL ^ i;
+            for (int round = 0; round < 100; ++round) {
+                h = (h ^ (h >> 33)) * 0x100000001b3ULL;
+            }
+            out[i] = h;
+        });
+        return out;
+    };
+    const std::vector<unsigned long long> serial = compute(1);
+    EXPECT_EQ(compute(4), serial);
+    EXPECT_EQ(compute(16), serial);
+}
+
+TEST(Scheduler, LowestIndexExceptionWins)
+{
+    Scheduler pool(4);
+    try {
+        pool.run(32, 4, [](std::size_t i) {
+            if (i == 5 || i == 20) {
+                SNAIL_THROW("boom at " << i);
+            }
+        });
+        FAIL() << "expected an exception";
+    } catch (const SnailError &error) {
+        EXPECT_NE(std::string(error.what()).find("boom at 5"),
+                  std::string::npos);
+    }
+}
+
+TEST(Scheduler, ExceptionFromNestedBodyPropagates)
+{
+    Scheduler pool(2);
+    EXPECT_THROW(pool.run(4, 4,
+                          [&](std::size_t outer) {
+                              pool.run(4, 4, [&](std::size_t inner) {
+                                  if (outer == 2 && inner == 3) {
+                                      SNAIL_THROW("nested boom");
+                                  }
+                              });
+                          }),
+                 SnailError);
+
+    // The pool survives the unwind and accepts new work.
+    std::atomic<int> done{0};
+    pool.run(8, 4, [&](std::size_t) { done.fetch_add(1); });
+    EXPECT_EQ(done.load(), 8);
+}
+
+TEST(Scheduler, GlobalPoolBacksParallelFor)
+{
+    // parallelFor is now a thin wrapper over Scheduler::global();
+    // nested parallelFor must obey the same bound as nested run().
+    std::mutex mutex;
+    std::set<std::thread::id> threads;
+    std::atomic<int> leaves{0};
+    parallelFor(6, 6, [&](std::size_t) {
+        parallelFor(6, 6, [&](std::size_t) {
+            {
+                const std::lock_guard<std::mutex> lock(mutex);
+                threads.insert(std::this_thread::get_id());
+            }
+            leaves.fetch_add(1);
+        });
+    });
+    EXPECT_EQ(leaves.load(), 36);
+    EXPECT_LE(threads.size(),
+              static_cast<std::size_t>(
+                  Scheduler::global().workerCount()) +
+                  1u);
+}
+
+TEST(Scheduler, ConcurrentIndependentSubmitters)
+{
+    // Two client threads sharing one pool — the daemon's steady
+    // state.  Both groups must finish, each index exactly once.
+    Scheduler pool(2);
+    std::vector<std::atomic<int>> a(64);
+    std::vector<std::atomic<int>> b(64);
+
+    std::thread other([&]() {
+        pool.run(b.size(), 4, [&](std::size_t i) {
+            b[i].fetch_add(1);
+        });
+    });
+    pool.run(a.size(), 4, [&](std::size_t i) {
+        a[i].fetch_add(1);
+    });
+    other.join();
+
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].load(), 1);
+        EXPECT_EQ(b[i].load(), 1);
+    }
+}
+
+} // namespace
+} // namespace snail

@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Tests for the serve subsystem: job-spec parsing and normalization,
+ * the Service request surface (ping/version/stats/errors), admission
+ * control with retry_after_ms, cache-hit behaviour incl. a Service
+ * restart over the same directory (byte-identical replies), and a
+ * real daemon round-trip over a UNIX socket — client requests, batch
+ * with 100% second-pass cache hits, shutdown op stopping serve().
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include <unistd.h>
+
+#include "common/error.hpp"
+#include "common/version.hpp"
+#include "serve/client.hpp"
+#include "serve/job.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+namespace snail
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Fresh empty cache directory under the test tmpdir. */
+std::string
+freshDir(const std::string &name)
+{
+    const std::string path = testing::TempDir() + name;
+    fs::remove_all(path);
+    return path;
+}
+
+/** A transpile request for a small benchmark. */
+JsonValue
+transpileRequest(const std::string &bench = "qft", int width = 4)
+{
+    JsonValue::Object circuit;
+    circuit["bench"] = JsonValue(bench);
+    circuit["width"] = JsonValue(width);
+    JsonValue::Object target;
+    target["name"] = JsonValue("corral11-16-sqiswap");
+    JsonValue::Object body;
+    body["op"] = JsonValue("transpile");
+    body["circuit"] = JsonValue(std::move(circuit));
+    body["target"] = JsonValue(std::move(target));
+    body["pipeline"] =
+        JsonValue("dense,stochastic-route=2,elide,basis=sqiswap");
+    return JsonValue(std::move(body));
+}
+
+bool
+isOk(const JsonValue &response)
+{
+    const JsonValue *ok = response.find("ok");
+    return ok != nullptr && ok->isBool() && ok->asBool();
+}
+
+TEST(ServeJob, SpecRoundTripsThroughJson)
+{
+    const JsonValue wire = transpileRequest();
+    const JobSpec spec = JobSpec::fromJson(wire);
+    EXPECT_EQ(spec.bench, "qft");
+    EXPECT_EQ(spec.width, 4);
+    EXPECT_EQ(spec.target_name, "corral11-16-sqiswap");
+    EXPECT_EQ(spec.seed, kDefaultTranspileSeed);
+
+    const JobSpec again = JobSpec::fromJson(spec.toJson());
+    EXPECT_EQ(again.bench, spec.bench);
+    EXPECT_EQ(again.width, spec.width);
+    EXPECT_EQ(again.pipeline, spec.pipeline);
+    EXPECT_EQ(again.seed, spec.seed);
+}
+
+TEST(ServeJob, DefaultAndExplicitPipelineShareTheCacheKey)
+{
+    // "" resolves to the default flow *normalized through spec()*, so
+    // the implicit and explicit spellings address one cache entry.
+    JobSpec implicit_spec = JobSpec::fromJson(transpileRequest());
+    implicit_spec.pipeline = "";
+    const ResolvedJob implicit_job = resolveJob(implicit_spec);
+
+    JobSpec explicit_spec = implicit_spec;
+    explicit_spec.pipeline = implicit_job.pipeline_spec;
+    const ResolvedJob explicit_job = resolveJob(explicit_spec);
+
+    EXPECT_FALSE(implicit_job.pipeline_spec.empty());
+    EXPECT_FALSE(explicit_job.cacheKey() < implicit_job.cacheKey());
+    EXPECT_FALSE(implicit_job.cacheKey() < explicit_job.cacheKey());
+}
+
+TEST(ServeJob, BadSpecsThrow)
+{
+    JsonValue::Object no_circuit;
+    no_circuit["op"] = JsonValue("transpile");
+    EXPECT_THROW(JobSpec::fromJson(JsonValue(std::move(no_circuit))),
+                 SnailError);
+
+    JsonValue bad_seed = transpileRequest();
+    bad_seed.object()["seed"] = JsonValue("not-hex");
+    EXPECT_THROW(JobSpec::fromJson(bad_seed), SnailError);
+
+    JobSpec unknown_bench = JobSpec::fromJson(transpileRequest());
+    unknown_bench.bench = "no-such-bench";
+    EXPECT_THROW(resolveJob(unknown_bench), SnailError);
+}
+
+TEST(ServeService, PingVersionStats)
+{
+    ServiceOptions options;
+    options.cache_dir = freshDir("serve_basic");
+    Service service(options);
+
+    JsonValue::Object ping;
+    ping["op"] = JsonValue("ping");
+    EXPECT_TRUE(isOk(service.handle(JsonValue(std::move(ping)))));
+
+    JsonValue::Object version;
+    version["op"] = JsonValue("version");
+    const JsonValue vr = service.handle(JsonValue(std::move(version)));
+    ASSERT_TRUE(isOk(vr));
+    EXPECT_EQ(vr.at("protocol").asInt(), kServeProtocolVersion);
+    EXPECT_FALSE(vr.at("git_sha").asString().empty());
+
+    JsonValue::Object stats;
+    stats["op"] = JsonValue("stats");
+    const JsonValue sr = service.handle(JsonValue(std::move(stats)));
+    ASSERT_TRUE(isOk(sr));
+    EXPECT_EQ(sr.at("cache").at("entries").asInt(), 0);
+    EXPECT_GE(sr.at("scheduler").at("workers").asInt(), 1);
+}
+
+TEST(ServeService, ErrorsAreResponsesNotThrows)
+{
+    ServiceOptions options;
+    options.cache_dir = freshDir("serve_errors");
+    Service service(options);
+
+    JsonValue::Object unknown;
+    unknown["op"] = JsonValue("frobnicate");
+    EXPECT_FALSE(isOk(service.handle(JsonValue(std::move(unknown)))));
+
+    // Malformed line -> error response, never an exception.
+    const std::string reply = service.handleLine("{not json");
+    EXPECT_FALSE(isOk(JsonValue::parse(reply)));
+
+    // A job that fails to resolve reports, daemon keeps serving.
+    JsonValue bad = transpileRequest("no-such-bench", 4);
+    const JsonValue br = service.handle(bad);
+    ASSERT_FALSE(isOk(br));
+    EXPECT_NE(br.at("error").asString().find("no-such-bench"),
+              std::string::npos);
+    JsonValue::Object ping;
+    ping["op"] = JsonValue("ping");
+    EXPECT_TRUE(isOk(service.handle(JsonValue(std::move(ping)))));
+}
+
+TEST(ServeService, TranspileCachesAndRestartServesBytes)
+{
+    ServiceOptions options;
+    options.cache_dir = freshDir("serve_cache");
+
+    std::string cold_result;
+    {
+        Service service(options);
+        const JsonValue first = service.handle(transpileRequest());
+        ASSERT_TRUE(isOk(first));
+        EXPECT_FALSE(first.at("cached").asBool());
+        cold_result = first.at("result").dump();
+
+        const JsonValue second = service.handle(transpileRequest());
+        ASSERT_TRUE(isOk(second));
+        EXPECT_TRUE(second.at("cached").asBool());
+        EXPECT_EQ(second.at("result").dump(), cold_result);
+    }
+
+    // A new Service over the same directory = daemon restart: the
+    // job must come back cached and byte-identical.
+    Service restarted(options);
+    const JsonValue warm = restarted.handle(transpileRequest());
+    ASSERT_TRUE(isOk(warm));
+    EXPECT_TRUE(warm.at("cached").asBool());
+    EXPECT_EQ(warm.at("result").dump(), cold_result);
+}
+
+TEST(ServeService, BatchRejectsBeyondQueueLimitWithRetryAfter)
+{
+    ServiceOptions options;
+    options.cache_dir = freshDir("serve_backpressure");
+    options.queue_limit = 1;
+    Service service(options);
+
+    JsonValue::Array jobs;
+    jobs.push_back(transpileRequest("qft", 4));
+    jobs.push_back(transpileRequest("ghz", 4));
+    JsonValue::Object batch;
+    batch["op"] = JsonValue("batch");
+    batch["jobs"] = JsonValue(std::move(jobs));
+
+    const JsonValue rejected =
+        service.handle(JsonValue(std::move(batch)));
+    ASSERT_FALSE(isOk(rejected));
+    const JsonValue *retry = rejected.find("retry_after_ms");
+    ASSERT_NE(retry, nullptr) << "backpressure must carry a retry hint";
+    EXPECT_GT(retry->asInt(), 0);
+
+    // A single job still fits the queue.
+    EXPECT_TRUE(isOk(service.handle(transpileRequest())));
+}
+
+TEST(ServeService, BatchCountsCacheHits)
+{
+    ServiceOptions options;
+    options.cache_dir = freshDir("serve_batch");
+    Service service(options);
+
+    JsonValue::Array jobs;
+    jobs.push_back(transpileRequest("qft", 4));
+    jobs.push_back(transpileRequest("ghz", 4));
+    jobs.push_back(transpileRequest("bv", 5));
+    JsonValue::Object batch;
+    batch["op"] = JsonValue("batch");
+    batch["jobs"] = JsonValue(std::move(jobs));
+    const JsonValue request(std::move(batch));
+
+    const JsonValue cold = service.handle(request);
+    ASSERT_TRUE(isOk(cold));
+    EXPECT_EQ(cold.at("jobs").asInt(), 3);
+    EXPECT_EQ(cold.at("cache_hits").asInt(), 0);
+
+    const JsonValue warm = service.handle(request);
+    ASSERT_TRUE(isOk(warm));
+    EXPECT_EQ(warm.at("cache_hits").asInt(), 3);
+    EXPECT_EQ(warm.at("results").asArray().size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(warm.at("results").asArray()[i].at("result").dump(),
+                  cold.at("results").asArray()[i].at("result").dump());
+    }
+}
+
+TEST(ServeDaemon, SocketRoundTripAndShutdownOp)
+{
+    // Keep the path short: sun_path holds ~107 bytes.
+    const std::string socket_path =
+        "/tmp/snailqc-test-" + std::to_string(::getpid()) + ".sock";
+
+    ServerOptions options;
+    options.socket_path = socket_path;
+    options.service.cache_dir = freshDir("serve_daemon");
+    options.handle_signals = false;
+
+    Server server(options);
+    std::thread daemon([&server]() { server.serve(); });
+
+    // The listener binds before accept; retry briefly anyway.
+    std::unique_ptr<Client> client;
+    for (int attempt = 0; attempt < 50 && !client; ++attempt) {
+        try {
+            client = std::make_unique<Client>(socket_path);
+        } catch (const SnailError &) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+    }
+    ASSERT_TRUE(client) << "daemon never came up";
+
+    JsonValue::Object ping;
+    ping["op"] = JsonValue("ping");
+    EXPECT_TRUE(isOk(client->call(JsonValue(std::move(ping)))));
+
+    const JsonValue cold = client->call(transpileRequest());
+    ASSERT_TRUE(isOk(cold));
+    EXPECT_FALSE(cold.at("cached").asBool());
+
+    // Second connection, same job: served from the persistent store.
+    Client second(socket_path);
+    const JsonValue warm = second.call(transpileRequest());
+    ASSERT_TRUE(isOk(warm));
+    EXPECT_TRUE(warm.at("cached").asBool());
+    EXPECT_EQ(warm.at("result").dump(), cold.at("result").dump());
+
+    JsonValue::Object shutdown;
+    shutdown["op"] = JsonValue("shutdown");
+    EXPECT_TRUE(isOk(second.call(JsonValue(std::move(shutdown)))));
+
+    daemon.join(); // serve() returns on the shutdown op
+    EXPECT_FALSE(fs::exists(socket_path))
+        << "clean shutdown must unlink the socket";
+}
+
+} // namespace
+} // namespace snail

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Render the benchmark-history trajectory as a standalone SVG.
+
+Usage:
+    python3 tools/plot_trajectory.py [--history FILE] [--out FILE]
+                                     [--metric cpu_time|real_time]
+
+bench/BENCH_history.jsonl accumulates one JSON object per committed
+benchmark run ({"benchmarks": {name: {cpu_time, ...}}, "label",
+"time_utc"} — see tools/compare_bench.py).  This tool draws each
+benchmark's metric over those runs, normalized to its first recorded
+value, so a glance shows whether the hot paths are trending faster
+(below 1.0) or slower (above 1.0) across the repo's history.
+
+Pure standard library on purpose: CI's docs-smoke job runs it on a
+bare python3 (no matplotlib) to keep the history file honest —
+unparseable lines or a malformed record fail the job.  With a single
+recorded run the plot is flat but still renders.
+
+Exit status: 0 and the SVG path on stdout; 1 on a missing or
+malformed history file.
+"""
+
+import argparse
+import json
+import sys
+
+WIDTH, HEIGHT = 960, 520
+MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 70, 260, 40, 60
+PALETTE = [
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+    "#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+]
+
+
+def load_history(path):
+    """Parse the JSONL history into a list of run records."""
+    runs = []
+    with open(path) as handle:
+        for number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise SystemExit(
+                    f"{path}:{number}: unparseable history line: {error}")
+            if "benchmarks" not in record:
+                raise SystemExit(
+                    f"{path}:{number}: record without 'benchmarks'")
+            runs.append(record)
+    if not runs:
+        raise SystemExit(f"{path}: no runs recorded")
+    return runs
+
+
+def series_from(runs, metric):
+    """Per-benchmark metric values across runs, first-run normalized."""
+    names = sorted({name for run in runs for name in run["benchmarks"]})
+    series = {}
+    for name in names:
+        values = []
+        for run in runs:
+            entry = run["benchmarks"].get(name)
+            values.append(entry.get(metric) if entry else None)
+        baseline = next((v for v in values if v), None)
+        if baseline:
+            series[name] = [
+                v / baseline if v is not None else None for v in values
+            ]
+    return series
+
+
+def svg_polyline(points, color):
+    path = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+    return (f'<polyline points="{path}" fill="none" stroke="{color}" '
+            f'stroke-width="1.5"/>')
+
+
+def render(runs, series, metric):
+    """The SVG document: normalized trajectories + legend + axes."""
+    plot_w = WIDTH - MARGIN_L - MARGIN_R
+    plot_h = HEIGHT - MARGIN_T - MARGIN_B
+    n = len(runs)
+
+    flat = [v for values in series.values() for v in values if v]
+    lo, hi = min(flat + [1.0]), max(flat + [1.0])
+    pad = (hi - lo) * 0.1 or 0.1
+    lo, hi = lo - pad, hi + pad
+
+    def sx(i):
+        return MARGIN_L + (plot_w * i / max(n - 1, 1))
+
+    def sy(v):
+        return MARGIN_T + plot_h * (1 - (v - lo) / (hi - lo))
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}">',
+        f'<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>',
+        f'<text x="{MARGIN_L}" y="24" font-family="sans-serif" '
+        f'font-size="15" font-weight="bold">snailqc benchmark '
+        f'trajectory — {metric}, normalized to first run</text>',
+    ]
+
+    # Axes: the 1.0 baseline and one gridline per recorded run.
+    parts.append(
+        f'<line x1="{MARGIN_L}" y1="{sy(1.0):.1f}" '
+        f'x2="{MARGIN_L + plot_w}" y2="{sy(1.0):.1f}" '
+        f'stroke="#888" stroke-dasharray="4 3"/>')
+    parts.append(
+        f'<text x="{MARGIN_L - 8}" y="{sy(1.0) + 4:.1f}" '
+        f'text-anchor="end" font-family="sans-serif" font-size="11" '
+        f'fill="#555">1.0</text>')
+    for i, run in enumerate(runs):
+        label = run.get("label", f"run {i}")
+        parts.append(
+            f'<line x1="{sx(i):.1f}" y1="{MARGIN_T}" x2="{sx(i):.1f}" '
+            f'y2="{MARGIN_T + plot_h}" stroke="#eee"/>')
+        parts.append(
+            f'<text x="{sx(i):.1f}" y="{HEIGHT - MARGIN_B + 18}" '
+            f'text-anchor="middle" font-family="sans-serif" '
+            f'font-size="10" fill="#555">{label[:18]}</text>')
+
+    # One polyline per benchmark, legend on the right.
+    for index, (name, values) in enumerate(sorted(series.items())):
+        color = PALETTE[index % len(PALETTE)]
+        points = [(sx(i), sy(v)) for i, v in enumerate(values)
+                  if v is not None]
+        if len(points) == 1:  # single run: draw a visible marker
+            x, y = points[0]
+            parts.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3" '
+                         f'fill="{color}"/>')
+        else:
+            parts.append(svg_polyline(points, color))
+        ly = MARGIN_T + 14 * index
+        parts.append(
+            f'<rect x="{WIDTH - MARGIN_R + 10}" y="{ly - 8}" width="10" '
+            f'height="10" fill="{color}"/>')
+        parts.append(
+            f'<text x="{WIDTH - MARGIN_R + 26}" y="{ly + 1}" '
+            f'font-family="sans-serif" font-size="10">{name}</text>')
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Render bench/BENCH_history.jsonl as an SVG.")
+    parser.add_argument("--history", default="bench/BENCH_history.jsonl")
+    parser.add_argument("--out", default="bench_trajectory.svg")
+    parser.add_argument("--metric", default="cpu_time",
+                        choices=["cpu_time", "real_time"])
+    arguments = parser.parse_args()
+
+    try:
+        runs = load_history(arguments.history)
+    except OSError as error:
+        raise SystemExit(f"cannot read history: {error}")
+
+    series = series_from(runs, arguments.metric)
+    if not series:
+        raise SystemExit(
+            f"{arguments.history}: no '{arguments.metric}' samples")
+
+    with open(arguments.out, "w") as handle:
+        handle.write(render(runs, series, arguments.metric))
+    print(f"{arguments.out}: {len(series)} benchmarks over "
+          f"{len(runs)} run(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,7 +24,16 @@
  *                                    cross-product in parallel, with a
  *                                    transpile cache, checkpoint/resume,
  *                                    Pareto + winner analysis, and
- *                                    CSV/JSON reporters
+ *                                    CSV/JSON reporters; --cache-dir
+ *                                    adds a persistent on-disk store
+ *   serve [options]                  daemon on a UNIX socket accepting
+ *                                    ndjson transpile/batch/sweep jobs
+ *                                    (src/serve/protocol.hpp); --status
+ *                                    queries a running daemon instead
+ *   client <op> [args]               talk to the daemon: ping, version,
+ *                                    stats, shutdown, transpile, batch,
+ *                                    request (raw JSON passthrough)
+ *   version                          build provenance (also --version)
  *
  * transpile and pipeline accept `--device <file.json|target-name>` in
  * place of the <topology> (and <basis>) positionals: the device —
@@ -52,17 +61,23 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "circuits/registry.hpp"
 #include "common/error.hpp"
+#include "common/scheduler.hpp"
 #include "common/table.hpp"
+#include "common/version.hpp"
+#include "explore/cache_store.hpp"
 #include "explore/engine.hpp"
 #include "explore/report.hpp"
 #include "ir/qasm.hpp"
 #include "ir/qasm_parser.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "target/target.hpp"
 #include "topology/registry.hpp"
 #include "transpiler/pass_registry.hpp"
@@ -101,9 +116,18 @@ printUsage(std::ostream &os)
         "  sweep <spec.json> [--threads N] [--resume]\n"
         "        [--checkpoint <file.jsonl>] [--csv <file>]\n"
         "        [--json <file>] [--metric <name>] [--verbose]\n"
-        "                              design-space exploration over a\n"
+        "        [--cache-dir <dir>]   design-space exploration over a\n"
         "                              circuits x targets x pipelines\n"
         "                              cross-product\n"
+        "  serve [--socket <path>] [--cache-dir <dir>]\n"
+        "        [--cache-max-bytes N] [--queue-limit N] [--pool N]\n"
+        "        [--status]            job daemon on a UNIX socket\n"
+        "  client [--socket <path>] <ping|version|stats|shutdown>\n"
+        "  client [--socket <path>] transpile <bench|file.qasm> <width>\n"
+        "         <target-name> [pipeline-spec] [seed-hex]\n"
+        "  client [--socket <path>] batch <jobs.json|->\n"
+        "  client [--socket <path>] request <json|->\n"
+        "  version                     build provenance (also --version)\n"
         "  help                        this message (also --help, -h)\n"
         "\n"
         "transpile/pipeline also accept `--device <file.json|target-name>`\n"
@@ -483,6 +507,7 @@ cmdSweep(const std::vector<std::string> &args)
     EngineOptions engine;
     std::string csv_path;
     std::string json_path;
+    std::string cache_dir;
     std::string metric = "basis_2q_total";
     for (std::size_t i = 1; i < args.size(); ++i) {
         const std::string &arg = args[i];
@@ -511,6 +536,8 @@ cmdSweep(const std::vector<std::string> &args)
             json_path = value();
         } else if (arg == "--metric") {
             metric = value();
+        } else if (arg == "--cache-dir") {
+            cache_dir = value();
         } else {
             SNAIL_THROW("unknown sweep option: " << arg);
         }
@@ -524,7 +551,19 @@ cmdSweep(const std::vector<std::string> &args)
     pointHasMetric(PointMetrics{}, metric);
 
     const SweepSpec spec = loadSweepSpecFile(spec_path);
+
+    // The engine borrows the store for the run (EngineOptions docs).
+    std::optional<CacheStore> store;
+    if (!cache_dir.empty()) {
+        store.emplace(cache_dir);
+        engine.cache_store = &*store;
+    }
+
     const SweepRun run = runSweep(spec, engine);
+    if (store.has_value()) {
+        std::cerr << "persistent cache: " << run.stats.from_store
+                  << " points served from " << store->directory() << "\n";
+    }
 
     bool summary_to_stdout = true;
     const auto writeReport = [&](const std::string &path, auto writer) {
@@ -556,6 +595,177 @@ cmdSweep(const std::vector<std::string> &args)
     return 0;
 }
 
+/**
+ * serve [--socket <path>] [--cache-dir <dir>] [--cache-max-bytes N]
+ *       [--queue-limit N] [--pool N] [--status]
+ *
+ * Runs the job daemon in the foreground until SIGTERM/SIGINT or a
+ * client's shutdown request; exits 0 on a clean stop.  --status
+ * queries a *running* daemon's stats instead of starting one.
+ * --pool fixes the shared scheduler's worker count (default: number
+ * of hardware threads, or $SNAILQC_POOL_SIZE).
+ */
+int
+cmdServe(const std::vector<std::string> &args)
+{
+    ServerOptions options;
+    bool status_only = false;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        const auto value = [&]() -> const std::string & {
+            SNAIL_REQUIRE(i + 1 < args.size(), arg << " needs a value");
+            return args[++i];
+        };
+        const auto number = [&](unsigned long long floor) {
+            const std::string &text = value();
+            char *end = nullptr;
+            const unsigned long long n =
+                std::strtoull(text.c_str(), &end, 10);
+            SNAIL_REQUIRE(end && *end == '\0' && !text.empty() &&
+                              n >= floor,
+                          arg << " needs an integer >= " << floor
+                              << ", got '" << text << "'");
+            return n;
+        };
+        if (arg == "--socket") {
+            options.socket_path = value();
+        } else if (arg == "--cache-dir") {
+            options.service.cache_dir = value();
+        } else if (arg == "--cache-max-bytes") {
+            options.service.cache_max_bytes = number(1);
+        } else if (arg == "--queue-limit") {
+            options.service.queue_limit =
+                static_cast<std::size_t>(number(1));
+        } else if (arg == "--pool") {
+            Scheduler::setGlobalWorkerCount(
+                static_cast<unsigned>(number(1)));
+        } else if (arg == "--status") {
+            status_only = true;
+        } else {
+            SNAIL_THROW("unknown serve option: " << arg);
+        }
+    }
+
+    if (status_only) {
+        Client client(options.socket_path);
+        JsonValue::Object request;
+        request["op"] = JsonValue("stats");
+        std::cout << client.request(JsonValue(std::move(request))).dump(2)
+                  << "\n";
+        return 0;
+    }
+
+    options.log = &std::cerr;
+    Server server(options);
+    server.serve();
+    return 0;
+}
+
+/**
+ * client [--socket <path>] <op> [args]
+ *
+ * ping/version/stats/shutdown take no arguments.  transpile builds a
+ * one-job request from transpile-style positionals.  batch sends a
+ * jobs file ({"jobs":[...]} or a bare array; "-" reads stdin).
+ * request passes one raw JSON object through untouched.  Responses
+ * print as pretty JSON; a {"ok":false} response exits 1 so shell
+ * scripts can branch on failure.
+ */
+int
+cmdClient(const std::vector<std::string> &args)
+{
+    std::size_t next = 0;
+    std::string socket_path;
+    if (next + 1 < args.size() && args[next] == "--socket") {
+        socket_path = args[next + 1];
+        next += 2;
+    }
+    SNAIL_REQUIRE(next < args.size(),
+                  "client needs an op (ping, version, stats, shutdown, "
+                  "transpile, batch, request)");
+    const std::string op = args[next++];
+
+    const auto readAll = [](const std::string &path) {
+        if (path == "-") {
+            return std::string(std::istreambuf_iterator<char>(std::cin),
+                               std::istreambuf_iterator<char>());
+        }
+        std::ifstream in(path);
+        SNAIL_REQUIRE(in.good(), "cannot read '" << path << "'");
+        return std::string(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+    };
+
+    JsonValue request;
+    if (op == "ping" || op == "version" || op == "stats" ||
+        op == "shutdown") {
+        SNAIL_REQUIRE(next == args.size(), op << " takes no arguments");
+        JsonValue::Object body;
+        body["op"] = JsonValue(op);
+        request = JsonValue(std::move(body));
+    } else if (op == "transpile") {
+        SNAIL_REQUIRE(args.size() - next >= 3,
+                      "client transpile needs <bench|file.qasm> <width> "
+                      "<target-name> [pipeline-spec] [seed-hex]");
+        const std::string &bench = args[next];
+        JsonValue::Object circuit;
+        if (bench.size() > 5 &&
+            bench.compare(bench.size() - 5, 5, ".qasm") == 0) {
+            circuit["qasm"] = JsonValue(readAll(bench));
+        } else {
+            circuit["bench"] = JsonValue(bench);
+            circuit["width"] =
+                JsonValue(static_cast<int>(std::strtol(
+                    args[next + 1].c_str(), nullptr, 10)));
+        }
+        JsonValue::Object target;
+        target["name"] = JsonValue(args[next + 2]);
+        JsonValue::Object body;
+        body["op"] = JsonValue("transpile");
+        body["circuit"] = JsonValue(std::move(circuit));
+        body["target"] = JsonValue(std::move(target));
+        if (args.size() - next >= 4) {
+            body["pipeline"] = JsonValue(args[next + 3]);
+        }
+        if (args.size() - next >= 5) {
+            body["seed"] = JsonValue(args[next + 4]);
+        }
+        request = JsonValue(std::move(body));
+    } else if (op == "batch") {
+        SNAIL_REQUIRE(args.size() - next == 1,
+                      "client batch needs <jobs.json|->");
+        JsonValue jobs = JsonValue::parse(readAll(args[next]));
+        JsonValue::Object body;
+        body["op"] = JsonValue("batch");
+        body["jobs"] = jobs.isArray() ? std::move(jobs) : jobs.at("jobs");
+        request = JsonValue(std::move(body));
+    } else if (op == "request") {
+        SNAIL_REQUIRE(args.size() - next == 1,
+                      "client request needs <json|->");
+        const std::string &text = args[next];
+        request = JsonValue::parse(
+            text == "-" || (text.size() > 5 &&
+                            text.compare(text.size() - 5, 5, ".json") == 0)
+                ? readAll(text)
+                : text);
+    } else {
+        SNAIL_THROW("unknown client op '" << op << "'");
+    }
+
+    Client client(socket_path);
+    const JsonValue response = client.call(request);
+    std::cout << response.dump(2) << "\n";
+    const JsonValue *ok = response.find("ok");
+    return ok != nullptr && ok->isBool() && ok->asBool() ? 0 : 1;
+}
+
+int
+cmdVersion()
+{
+    std::cout << versionString() << "\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -569,6 +779,9 @@ main(int argc, char **argv)
         if (arg == "--help" || arg == "-h") {
             printUsage(std::cout);
             return 0;
+        }
+        if (arg == "--version") {
+            return cmdVersion();
         }
     }
     if (argc < 2) {
@@ -609,6 +822,15 @@ main(int argc, char **argv)
         }
         if (command == "sweep") {
             return cmdSweep(args);
+        }
+        if (command == "serve") {
+            return cmdServe(args);
+        }
+        if (command == "client") {
+            return cmdClient(args);
+        }
+        if (command == "version") {
+            return cmdVersion();
         }
         if (command == "help") {
             printUsage(std::cout);
