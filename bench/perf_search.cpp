@@ -1,0 +1,208 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the co-design search stack:
+ * the hardware cost model over the generator zoo, the mutation /
+ * build / validate proposal loop, and a tiny end-to-end annealing
+ * search with transpiles in the loop.
+ *
+ * Each row carries deterministic counters next to its timings:
+ * `score_checksum` folds every cost-model field (and every proposal
+ * label) through the same FNV-1a hasher the transpile cache uses, and
+ * `candidates` counts work items, so tools/compare_bench.py can gate
+ * CI on "the search still proposes and scores exactly what the
+ * committed baseline did" while ignoring machine-dependent times.
+ * Checksums are masked to 32 bits because counters travel as doubles.
+ *
+ *   perf_search --json > perf.json
+ *   python3 tools/compare_bench.py bench/BENCH_perf_search.json perf.json
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "search/cost_model.hpp"
+#include "search/driver.hpp"
+#include "search/frontier.hpp"
+#include "search/mutate.hpp"
+#include "search/search_spec.hpp"
+#include "topology/generators.hpp"
+
+namespace
+{
+
+using namespace snail;
+
+/** Counter-safe 32-bit fold of an FNV-1a state. */
+double
+foldChecksum(unsigned long long hash)
+{
+    return static_cast<double>(hash & 0xFFFFFFFFULL);
+}
+
+/** A spread of paper-relevant design points across every family. */
+const std::vector<std::pair<std::string, std::vector<int>>> &
+costCases()
+{
+    static const std::vector<std::pair<std::string, std::vector<int>>>
+        cases = {
+            {"corral", {8, 1, 2}},  {"corral", {16, 1, 3}},
+            {"corral", {42, 3, 5}}, {"tree", {2}},
+            {"tree", {3}},          {"tree-rr", {3}},
+            {"hypercube", {4}},     {"hypercube", {6}},
+            {"incomplete-hypercube", {21}},
+            {"square", {6, 6}},     {"hex", {4, 4}},
+            {"heavy-hex", {3, 4}},  {"lattice-altdiag", {4, 4}},
+        };
+    return cases;
+}
+
+/**
+ * Score every case's prebuilt graph through hardwareCost().  The
+ * checksum folds all cost fields bit for bit, so any change to the
+ * model's arithmetic shows up as counter drift in CI.
+ */
+void
+BM_CostModel(benchmark::State &state)
+{
+    std::vector<std::pair<std::vector<int>, CouplingGraph>> built;
+    std::vector<std::string> families;
+    for (const auto &[family, args] : costCases()) {
+        built.emplace_back(args, buildGeneratedTopology(family, args));
+        families.push_back(family);
+    }
+
+    unsigned long long checksum = 0;
+    for (auto _ : state) {
+        ContentHasher hasher;
+        for (std::size_t i = 0; i < built.size(); ++i) {
+            const HardwareCost cost = hardwareCost(
+                families[i], built[i].first, built[i].second);
+            hasher.i64(cost.qubits)
+                .u64(cost.couplers)
+                .u64(cost.snails)
+                .i64(cost.max_degree)
+                .f64(cost.mean_degree)
+                .f64(cost.wiring);
+        }
+        checksum = hasher.value();
+        benchmark::DoNotOptimize(checksum);
+    }
+    state.counters["candidates"] = static_cast<double>(built.size());
+    state.counters["score_checksum"] = foldChecksum(checksum);
+}
+BENCHMARK(BM_CostModel);
+
+/**
+ * The proposal loop in isolation: mutate, build, validate, label —
+ * everything the driver does per proposal except the transpiles.  One
+ * iteration draws `range(0)` proposals from counter-based streams;
+ * the checksum folds the chosen labels, pinning the whole mutation
+ * kernel (move selection, clamping, re-fit, rejection) byte for byte.
+ */
+void
+BM_MutationWalk(benchmark::State &state)
+{
+    SearchSpace space;
+    space.families = {"corral", "tree", "tree-rr", "hypercube",
+                      "incomplete-hypercube", "square"};
+    space.bases = {"sqiswap", "cx"};
+    space.min_qubits = 16;
+    space.max_qubits = 96;
+    const BuiltCandidate start = initialCandidate(space, 16);
+    const int proposals = static_cast<int>(state.range(0));
+
+    unsigned long long checksum = 0;
+    for (auto _ : state) {
+        ContentHasher hasher;
+        BuiltCandidate current = start;
+        for (int id = 0; id < proposals; ++id) {
+            Rng rng =
+                Rng::stream(2026, static_cast<unsigned long long>(id));
+            current = proposeCandidate(current, space, 16, rng);
+            const std::string label = current.target.name();
+            for (const char c : label) {
+                hasher.byte(static_cast<unsigned char>(c));
+            }
+        }
+        checksum = hasher.value();
+        benchmark::DoNotOptimize(checksum);
+    }
+    state.counters["candidates"] = static_cast<double>(proposals);
+    state.counters["score_checksum"] = foldChecksum(checksum);
+}
+BENCHMARK(BM_MutationWalk)->Arg(64)->Arg(256);
+
+/**
+ * End-to-end tiny search (examples/search/smoke-search.json shape):
+ * annealing with real transpiles in the loop, fresh cache each
+ * iteration.  `jobs` counts candidate evaluations — deterministic at
+ * any thread count — and the checksum folds the frontier CSV bytes,
+ * the exact artifact the determinism tests and the CI smoke compare.
+ */
+void
+BM_SearchTiny(benchmark::State &state)
+{
+    SearchSpec spec;
+    spec.name = "perf-tiny";
+    spec.seed = 11;
+    spec.workloads.push_back(CircuitSpec{"ghz", {6}, ""});
+    spec.workloads.push_back(CircuitSpec{"qft", {5}, ""});
+    spec.pipeline = "dense,sabre-route,elide,basis=sqiswap";
+    spec.space.families = {"corral", "hypercube"};
+    spec.space.bases = {"sqiswap", "cx"};
+    spec.space.min_qubits = 6;
+    spec.space.max_qubits = 24;
+    spec.constraints.max_couplers = 12;
+    spec.anneal.iterations = 4;
+    spec.anneal.proposals = 2;
+    spec.anneal.t0 = 4.0;
+    spec.anneal.t1 = 0.5;
+
+    std::size_t evaluations = 0;
+    unsigned long long checksum = 0;
+    for (auto _ : state) {
+        const SearchRun run = runSearch(spec, SearchOptions{});
+        evaluations = run.evaluations;
+        std::ostringstream csv;
+        writeFrontierCsv(csv, run);
+        ContentHasher hasher;
+        for (const char c : csv.str()) {
+            hasher.byte(static_cast<unsigned char>(c));
+        }
+        checksum = hasher.value();
+        benchmark::DoNotOptimize(checksum);
+    }
+    state.counters["jobs"] = static_cast<double>(evaluations);
+    state.counters["score_checksum"] = foldChecksum(checksum);
+}
+BENCHMARK(BM_SearchTiny)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Map our stable `--json` shorthand onto google-benchmark's flag
+    // before the library parses the command line.
+    static char json_flag[] = "--benchmark_format=json";
+    std::vector<char *> args(argv, argv + argc);
+    for (char *&arg : args) {
+        if (std::string(arg) == "--json") {
+            arg = json_flag;
+        }
+    }
+    int args_count = static_cast<int>(args.size());
+    benchmark::Initialize(&args_count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -179,6 +179,19 @@ Scheduler::run(std::size_t count, unsigned concurrency,
     }
 }
 
+std::size_t
+Scheduler::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::size_t depth = 0;
+    for (const TaskGroup *group : _active) {
+        const std::size_t next =
+            group->next.load(std::memory_order_relaxed);
+        depth += next >= group->count ? 0 : group->count - next;
+    }
+    return depth;
+}
+
 Scheduler &
 Scheduler::global()
 {

@@ -70,6 +70,13 @@ class Scheduler
     unsigned workerCount() const { return _worker_count; }
 
     /**
+     * Indices registered with active task groups that no executor has
+     * claimed yet — a point-in-time backlog snapshot for monitoring
+     * (the serve daemon's stats report).  0 when the pool is idle.
+     */
+    std::size_t queueDepth() const;
+
+    /**
      * Invoke body(i) exactly once for every i in [0, count).  At most
      * min(concurrency, count) threads co-execute the group: this
      * calling thread plus idle pool workers (concurrency 0 means

@@ -258,8 +258,72 @@ CacheStore::store(const CacheKey &key, const std::string &payload)
     }
 
     std::lock_guard<std::mutex> lock(_mutex);
+    // Re-sync with the directory before eviction: another process may
+    // have grown or shrunk it since the index last looked, and a stale
+    // byte count either under-evicts (directory outgrows the budget)
+    // or deletes entries that are already gone.  The rescan runs before
+    // the touch so the entry just written keeps the newest tick.
+    rescanLocked();
     touchLocked(name, static_cast<unsigned long long>(text.size()));
     evictLocked();
+}
+
+void
+CacheStore::rescanLocked()
+{
+    struct Found
+    {
+        std::string name;
+        unsigned long long bytes;
+        fs::file_time_type mtime;
+    };
+    std::vector<Found> found;
+    std::error_code ec;
+    for (const auto &item : fs::directory_iterator(_dir, ec)) {
+        if (ec) {
+            return; // unreadable directory: keep the index we have
+        }
+        std::error_code item_ec;
+        if (!item.is_regular_file(item_ec)) {
+            continue;
+        }
+        const std::string name = item.path().filename().string();
+        if (name.rfind("e-", 0) != 0 || name.size() < 5 ||
+            name.substr(name.size() - 5) != ".json") {
+            continue;
+        }
+        Found entry;
+        entry.name = name;
+        entry.bytes = static_cast<unsigned long long>(
+            item.file_size(item_ec));
+        entry.mtime = item.last_write_time(item_ec);
+        if (!item_ec) {
+            found.push_back(std::move(entry));
+        }
+    }
+
+    // Drop indexed entries another process evicted, update sizes we
+    // had wrong, and adopt foreign files — mtime order, all newer than
+    // anything we already track, since a concurrent writer's entries
+    // are by definition recent.
+    std::map<std::string, Entry> fresh;
+    unsigned long long bytes = 0;
+    std::sort(found.begin(), found.end(),
+              [](const Found &a, const Found &b) {
+                  return a.mtime < b.mtime ||
+                         (a.mtime == b.mtime && a.name < b.name);
+              });
+    for (const Found &entry : found) {
+        const auto known = _entries.find(entry.name);
+        Entry indexed;
+        indexed.bytes = entry.bytes;
+        indexed.tick =
+            known != _entries.end() ? known->second.tick : ++_tick;
+        fresh[entry.name] = indexed;
+        bytes += entry.bytes;
+    }
+    _entries = std::move(fresh);
+    _bytes = bytes;
 }
 
 void

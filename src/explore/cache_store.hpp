@@ -29,8 +29,11 @@
  *
  * Eviction: the store is LRU with a byte budget.  An index kept in
  * memory (seeded from file mtimes at startup, refreshed on every
- * fetch/store) orders entries by recency; store() evicts
- * least-recently-used files until the directory fits the budget.
+ * fetch/store) orders entries by recency; store() first rescans the
+ * directory — other processes sharing it may have added or removed
+ * entries since our index last looked, and evicting against a stale
+ * byte count would let the directory outgrow the budget — then evicts
+ * least-recently-used files until the directory fits it.
  * Hit/miss/eviction counters feed the daemon's `stats` response.
  */
 
@@ -83,10 +86,11 @@ class CacheStore
 
     /**
      * Persist `payload` for `key` (overwriting any previous entry),
-     * then evict least-recently-used entries while the store exceeds
-     * its budget.  I/O failures (disk full, permissions) leave the
-     * store consistent and are swallowed: the cache is an
-     * accelerator, not a source of truth.
+     * re-sync the index with the directory's actual contents (other
+     * processes may share it), then evict least-recently-used entries
+     * while the store exceeds its budget.  I/O failures (disk full,
+     * permissions) leave the store consistent and are swallowed: the
+     * cache is an accelerator, not a source of truth.
      */
     void store(const CacheKey &key, const std::string &payload);
 
@@ -113,6 +117,7 @@ class CacheStore
     std::string entryPath(const std::string &name) const;
     void touchLocked(const std::string &name, unsigned long long bytes);
     void forgetLocked(const std::string &name);
+    void rescanLocked();
     void evictLocked();
 
     mutable std::mutex _mutex;

@@ -117,7 +117,8 @@ CheckpointWriter::append(const CacheKey &key, const PointMetrics &metrics)
 }
 
 std::size_t
-loadCheckpoint(const std::string &path, TranspileCache &cache)
+loadCheckpoint(const std::string &path, TranspileCache &cache,
+               std::vector<CacheKey> *keys)
 {
     std::ifstream in(path);
     if (!in.good()) {
@@ -131,8 +132,11 @@ loadCheckpoint(const std::string &path, TranspileCache &cache)
         }
         try {
             const JsonValue json = JsonValue::parse(line);
-            cache.insert(cacheKeyFromJson(json),
-                         pointMetricsFromJson(json.at("metrics")));
+            CacheKey key = cacheKeyFromJson(json);
+            cache.insert(key, pointMetricsFromJson(json.at("metrics")));
+            if (keys != nullptr) {
+                keys->push_back(std::move(key));
+            }
             ++restored;
         } catch (const std::exception &) {
             // Torn line from a killed run — skip it; the point will

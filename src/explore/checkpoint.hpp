@@ -29,6 +29,7 @@
 #include <fstream>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/json.hpp"
 #include "explore/transpile_cache.hpp"
@@ -73,9 +74,12 @@ class CheckpointWriter
  * Load a checkpoint file into the cache; returns the number of points
  * restored.  A missing file restores nothing (first run of a --resume
  * invocation); malformed lines — e.g. the torn last line of a killed
- * run — are skipped.
+ * run — are skipped.  When `keys` is non-null every restored key is
+ * also appended to it, so callers that own their checkpointing (the
+ * search driver) know which points are already on disk.
  */
-std::size_t loadCheckpoint(const std::string &path, TranspileCache &cache);
+std::size_t loadCheckpoint(const std::string &path, TranspileCache &cache,
+                           std::vector<CacheKey> *keys = nullptr);
 
 } // namespace snail
 

@@ -7,7 +7,7 @@
 #include "circuits/registry.hpp"
 #include "common/error.hpp"
 #include "ir/qasm_parser.hpp"
-#include "topology/builders.hpp"
+#include "topology/generators.hpp"
 #include "topology/registry.hpp"
 
 namespace snail
@@ -68,9 +68,10 @@ widthsToJson(const std::vector<int> &widths)
     return JsonValue(std::move(out));
 }
 
-/** Seed: a JSON number, or a string ("0x..." hex or decimal). */
+} // namespace
+
 unsigned long long
-parseSeed(const JsonValue &json)
+seedFromJson(const JsonValue &json)
 {
     if (json.isNumber()) {
         const double value = json.asNumber();
@@ -89,6 +90,17 @@ parseSeed(const JsonValue &json)
     } catch (const std::exception &) {
         SNAIL_THROW("cannot parse seed '" << text << "'");
     }
+}
+
+JsonValue
+seedToJson(unsigned long long seed)
+{
+    if (seed < (1ULL << 53)) {
+        return JsonValue(static_cast<double>(seed));
+    }
+    std::ostringstream hex;
+    hex << "0x" << std::hex << seed;
+    return JsonValue(hex.str());
 }
 
 CircuitSpec
@@ -112,6 +124,22 @@ circuitSpecFromJson(const JsonValue &json)
                   "\"bench\" or \"qasm\"");
     return spec;
 }
+
+JsonValue
+circuitSpecToJson(const CircuitSpec &spec)
+{
+    JsonValue::Object entry;
+    if (!spec.bench.empty()) {
+        entry["bench"] = JsonValue(spec.bench);
+        entry["widths"] = widthsToJson(spec.widths);
+    } else {
+        entry["qasm"] = JsonValue(spec.qasm);
+    }
+    return JsonValue(std::move(entry));
+}
+
+namespace
+{
 
 TargetSpec
 targetSpecFromJson(const JsonValue &json)
@@ -147,58 +175,6 @@ targetSpecFromJson(const JsonValue &json)
     return spec;
 }
 
-/** Instantiate a parametric topology generator (builders.hpp). */
-CouplingGraph
-generatedTopology(const std::string &name, const std::vector<int> &args)
-{
-    const auto need = [&](std::size_t n) {
-        SNAIL_REQUIRE(args.size() == n,
-                      "generator '" << name << "' takes " << n
-                                    << " args, got " << args.size());
-    };
-    CouplingGraph graph(1);
-    if (name == "square") {
-        need(2);
-        graph = squareLattice(args[0], args[1]);
-    } else if (name == "lattice-altdiag") {
-        need(2);
-        graph = latticeWithAltDiagonals(args[0], args[1]);
-    } else if (name == "hex") {
-        need(2);
-        graph = hexLattice(args[0], args[1]);
-    } else if (name == "heavy-hex") {
-        need(2);
-        graph = heavyHexLattice(args[0], args[1]);
-    } else if (name == "hypercube") {
-        need(1);
-        graph = hypercube(args[0]);
-    } else if (name == "incomplete-hypercube") {
-        need(1);
-        graph = incompleteHypercube(args[0]);
-    } else if (name == "tree") {
-        need(1);
-        graph = modularTree(args[0]);
-    } else if (name == "tree-rr") {
-        need(1);
-        graph = modularTreeRoundRobin(args[0]);
-    } else if (name == "corral") {
-        need(3);
-        graph = corral(args[0], args[1], args[2]);
-    } else {
-        SNAIL_THROW("unknown topology generator '"
-                    << name
-                    << "' (known: square, lattice-altdiag, hex, "
-                       "heavy-hex, hypercube, incomplete-hypercube, "
-                       "tree, tree-rr, corral)");
-    }
-    std::string label = name + "(";
-    for (std::size_t i = 0; i < args.size(); ++i) {
-        label += (i ? "," : "") + std::to_string(args[i]);
-    }
-    graph.setName(label + ")");
-    return graph;
-}
-
 Target
 resolveTarget(const TargetSpec &spec)
 {
@@ -211,7 +187,7 @@ resolveTarget(const TargetSpec &spec)
         }
         const CouplingGraph graph =
             spec.topology.empty()
-                ? generatedTopology(spec.generator, spec.args)
+                ? buildGeneratedTopology(spec.generator, spec.args)
                 : namedTopology(spec.topology);
         Target uniform =
             Target::uniform(graph, parseBasisSpec(spec.basis));
@@ -242,7 +218,7 @@ sweepSpecFromJson(const JsonValue &json)
     SweepSpec spec;
     spec.name = json.stringOr("name", "sweep");
     if (const JsonValue *seed = json.find("seed")) {
-        spec.seed = parseSeed(*seed);
+        spec.seed = seedFromJson(*seed);
     }
     for (const JsonValue &entry : json.at("circuits").asArray()) {
         spec.circuits.push_back(circuitSpecFromJson(entry));
@@ -264,24 +240,11 @@ sweepSpecToJson(const SweepSpec &spec)
 {
     JsonValue::Object root;
     root["name"] = JsonValue(spec.name);
-    if (spec.seed < (1ULL << 53)) {
-        root["seed"] = JsonValue(static_cast<double>(spec.seed));
-    } else {
-        std::ostringstream hex;
-        hex << "0x" << std::hex << spec.seed;
-        root["seed"] = JsonValue(hex.str());
-    }
+    root["seed"] = seedToJson(spec.seed);
 
     JsonValue::Array circuits;
     for (const CircuitSpec &c : spec.circuits) {
-        JsonValue::Object entry;
-        if (!c.bench.empty()) {
-            entry["bench"] = JsonValue(c.bench);
-            entry["widths"] = widthsToJson(c.widths);
-        } else {
-            entry["qasm"] = JsonValue(c.qasm);
-        }
-        circuits.push_back(JsonValue(std::move(entry)));
+        circuits.push_back(circuitSpecToJson(c));
     }
     root["circuits"] = JsonValue(std::move(circuits));
 

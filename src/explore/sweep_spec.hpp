@@ -101,6 +101,23 @@ struct CircuitInstance
 /** @{ */
 
 /**
+ * Parse one circuits-axis entry — {"bench", "widths"} or {"qasm"} —
+ * validating the benchmark name eagerly.  Shared with the co-design
+ * search spec (search/search_spec.hpp), whose workloads use the same
+ * schema. @throws SnailError on unknown keys or bad selectors.
+ */
+CircuitSpec circuitSpecFromJson(const JsonValue &json);
+
+/** Inverse of circuitSpecFromJson. */
+JsonValue circuitSpecToJson(const CircuitSpec &spec);
+
+/** Parse a seed: a JSON number, or a "0x..."/decimal string. */
+unsigned long long seedFromJson(const JsonValue &json);
+
+/** Serialize a seed (hex string beyond exact-double range). */
+JsonValue seedToJson(unsigned long long seed);
+
+/**
  * Parse a spec from its JSON form.  Unknown keys anywhere in the
  * document are rejected (typo guard), as are entries selecting zero or
  * several of the axis forms. @throws SnailError with the offending key.

@@ -1,0 +1,176 @@
+#include "search/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+/**
+ * SNAIL modules in a `levels`-deep 4-ary tree: the central SNAIL plus
+ * one per internal module head — 1, 5, 21, 85, ... ((4^levels - 1)/3).
+ * Shared by tree and tree-rr (the round-robin variant rewires the
+ * couplings, not the module count).
+ */
+std::size_t
+treeModules(int levels)
+{
+    std::size_t modules = 0;
+    std::size_t layer = 1;
+    for (int l = 0; l < levels; ++l) {
+        modules += layer;
+        layer *= 4;
+    }
+    return modules;
+}
+
+/** Planar length sum over lattice edges, row-major rows x cols ids. */
+double
+latticeWiring(const CouplingGraph &graph, int cols)
+{
+    double total = 0.0;
+    for (const auto &[a, b] : graph.edges()) {
+        const double dr = static_cast<double>(a / cols - b / cols);
+        const double dc = static_cast<double>(a % cols - b % cols);
+        total += std::hypot(dr, dc);
+    }
+    return total;
+}
+
+/** Linear-embedding length sum: hypercube edges differ in one bit. */
+double
+hypercubeWiring(const CouplingGraph &graph)
+{
+    double total = 0.0;
+    for (const auto &[a, b] : graph.edges()) {
+        total += static_cast<double>(b > a ? b - a : a - b);
+    }
+    return total;
+}
+
+} // namespace
+
+HardwareCost
+hardwareCost(const std::string &generator, const std::vector<int> &args,
+             const CouplingGraph &graph)
+{
+    HardwareCost cost;
+    cost.qubits = graph.numQubits();
+    cost.mean_degree = graph.averageDegree();
+    for (int q = 0; q < graph.numQubits(); ++q) {
+        cost.max_degree = std::max(cost.max_degree, graph.degree(q));
+    }
+
+    const std::size_t edges = graph.edgeCount();
+    if (generator == "corral" && args.size() == 3) {
+        // One SNAIL per fence post; each of the `posts` qubits per
+        // fence spans stride post-pitches of physical ring.
+        const std::size_t posts = static_cast<std::size_t>(args[0]);
+        cost.snails = posts;
+        cost.couplers = posts;
+        cost.wiring = static_cast<double>(posts) *
+                      static_cast<double>(args[1] + args[2]);
+    } else if ((generator == "tree" || generator == "tree-rr") &&
+               args.size() == 1) {
+        const std::size_t modules = treeModules(args[0]);
+        cost.snails = modules;
+        cost.couplers = modules;
+        // Qubit-to-SNAIL links: 4 for the root clique, then per child
+        // module 4 children + the head uplink; round-robin adds the
+        // four cross-router wires per module that remove the paper's
+        // single-router bottleneck.
+        const double per_module = generator == "tree" ? 5.0 : 8.0;
+        cost.wiring = 4.0 + per_module * static_cast<double>(modules - 1);
+    } else if (generator == "hypercube" ||
+               generator == "incomplete-hypercube") {
+        cost.couplers = edges;
+        cost.wiring = hypercubeWiring(graph);
+    } else if ((generator == "square" || generator == "hex" ||
+                generator == "lattice-altdiag" ||
+                generator == "heavy-hex") &&
+               args.size() == 2) {
+        cost.couplers = edges;
+        // Heavy-hex inserts qubits on couplings, breaking the
+        // row-major coordinate assumption; its couplings are all unit
+        // length anyway, like square/hex.  Only the alternating
+        // diagonals need real geometry (length sqrt 2).
+        cost.wiring = generator == "lattice-altdiag"
+                          ? latticeWiring(graph, args[1])
+                          : static_cast<double>(edges);
+    } else {
+        cost.couplers = edges;
+        cost.wiring = static_cast<double>(edges);
+    }
+    return cost;
+}
+
+bool
+ConstraintSet::feasible(const HardwareCost &cost) const
+{
+    return violation(cost) == 0.0;
+}
+
+double
+ConstraintSet::violation(const HardwareCost &cost) const
+{
+    double total = 0.0;
+    const auto over = [&](double value, double limit) {
+        if (limit > 0.0 && value > limit) {
+            total += (value - limit) / limit;
+        }
+    };
+    over(static_cast<double>(cost.couplers), max_couplers);
+    over(static_cast<double>(cost.snails), max_snails);
+    over(static_cast<double>(cost.max_degree), max_degree);
+    over(cost.mean_degree, max_mean_degree);
+    over(cost.wiring, max_wiring);
+    return total;
+}
+
+ConstraintSet
+constraintSetFromJson(const JsonValue &json)
+{
+    ConstraintSet constraints;
+    for (const auto &[key, value] : json.asObject()) {
+        if (key == "max_couplers") {
+            constraints.max_couplers = value.asNumber();
+        } else if (key == "max_snails") {
+            constraints.max_snails = value.asNumber();
+        } else if (key == "max_degree") {
+            constraints.max_degree = value.asNumber();
+        } else if (key == "max_mean_degree") {
+            constraints.max_mean_degree = value.asNumber();
+        } else if (key == "max_wiring") {
+            constraints.max_wiring = value.asNumber();
+        } else {
+            SNAIL_THROW("unknown key '" << key << "' in constraints");
+        }
+        SNAIL_REQUIRE(value.asNumber() > 0,
+                      "constraint " << key << " must be positive");
+    }
+    return constraints;
+}
+
+JsonValue
+constraintSetToJson(const ConstraintSet &constraints)
+{
+    JsonValue::Object out;
+    const auto put = [&](const char *key, double value) {
+        if (value > 0.0) {
+            out[key] = JsonValue(value);
+        }
+    };
+    put("max_couplers", constraints.max_couplers);
+    put("max_snails", constraints.max_snails);
+    put("max_degree", constraints.max_degree);
+    put("max_mean_degree", constraints.max_mean_degree);
+    put("max_wiring", constraints.max_wiring);
+    return JsonValue(std::move(out));
+}
+
+} // namespace snail

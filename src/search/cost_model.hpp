@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Hardware cost model for co-design search (McPAT-style).
+ *
+ * The paper compares a handful of fixed SNAIL topologies on transpiled
+ * quality alone; an actual co-design loop also needs the *hardware*
+ * side of the trade: how many coupling devices a candidate spends, how
+ * concentrated its connectivity is, and how much wiring its physical
+ * embedding implies.  hardwareCost() scores a generated topology from
+ * its generator parameters plus the built graph:
+ *
+ *   couplers     physical coupling devices.  For the SNAIL families
+ *                (corral, tree, tree-rr) one SNAIL couples a whole
+ *                post/module of qubits, so couplers = SNAIL count —
+ *                far below the edge count, which is exactly the
+ *                paper's hardware argument.  For pairwise-coupler
+ *                families (lattices, hypercubes) couplers = edges.
+ *   snails       SNAIL count alone (0 for pairwise families).
+ *   max/mean degree   connectivity concentration (frequency crowding).
+ *   wiring       a unitless length proxy from the generator geometry:
+ *                fence spans for corrals, qubit-to-SNAIL links for
+ *                trees, planar edge lengths for lattices, linear-
+ *                embedding bit distance for hypercubes.
+ *
+ * A ConstraintSet is the JSON-specified feasibility box ("<= 40
+ * couplers", "degree <= 4").  violation() is a smooth normalized
+ * overage so the annealer can cross shallow infeasible regions
+ * instead of cliff-rejecting them.
+ */
+
+#ifndef SNAILQC_SEARCH_COST_MODEL_HPP
+#define SNAILQC_SEARCH_COST_MODEL_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "topology/coupling_graph.hpp"
+
+namespace snail
+{
+
+/** Hardware-side score of one candidate topology. */
+struct HardwareCost
+{
+    int qubits = 0;
+    std::size_t couplers = 0; //!< physical coupling devices
+    std::size_t snails = 0;   //!< SNAILs among them (0 = pairwise)
+    int max_degree = 0;
+    double mean_degree = 0.0;
+    double wiring = 0.0; //!< unitless wiring-length proxy
+
+    /** Scalar device count folded into the search energy. */
+    double
+    devices() const
+    {
+        return static_cast<double>(couplers) +
+               static_cast<double>(snails);
+    }
+};
+
+/**
+ * Cost of the graph built by `generator` with `args`
+ * (topology/generators.hpp).  Unknown generator names fall back to
+ * couplers = edges, wiring = edges — graph-derivable, family-blind.
+ */
+HardwareCost hardwareCost(const std::string &generator,
+                          const std::vector<int> &args,
+                          const CouplingGraph &graph);
+
+/**
+ * Feasibility box over HardwareCost.  Every bound is optional; a
+ * non-positive value (the default) disables it.  JSON schema:
+ *
+ *   {"max_couplers": 40, "max_snails": 32, "max_degree": 4,
+ *    "max_mean_degree": 3.5, "max_wiring": 96}
+ */
+struct ConstraintSet
+{
+    double max_couplers = 0.0;
+    double max_snails = 0.0;
+    double max_degree = 0.0;
+    double max_mean_degree = 0.0;
+    double max_wiring = 0.0;
+
+    /** True when every enabled bound holds. */
+    bool feasible(const HardwareCost &cost) const;
+
+    /**
+     * Sum over enabled bounds of max(0, value - limit) / limit: 0 when
+     * feasible, growing smoothly with overage so annealing energies
+     * can rank infeasible candidates instead of treating them alike.
+     */
+    double violation(const HardwareCost &cost) const;
+};
+
+/** Parse; unknown keys rejected. @throws SnailError. */
+ConstraintSet constraintSetFromJson(const JsonValue &json);
+
+/** Serialize (enabled bounds only); round-trips. */
+JsonValue constraintSetToJson(const ConstraintSet &constraints);
+
+} // namespace snail
+
+#endif // SNAILQC_SEARCH_COST_MODEL_HPP

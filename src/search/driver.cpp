@@ -1,0 +1,297 @@
+#include "search/driver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <ostream>
+#include <set>
+
+#include "common/error.hpp"
+#include "explore/analysis.hpp"
+#include "explore/checkpoint.hpp"
+#include "explore/engine.hpp"
+#include "transpiler/pass_registry.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+// Salt the proposal and acceptance streams apart from each other and
+// from anything the engine derives from the same spec seed.
+constexpr unsigned long long kProposalSalt = 0x50524F50ULL; // "PROP"
+constexpr unsigned long long kAcceptSalt = 0x41434345ULL;   // "ACCE"
+
+/** The geometric temperature at step `k` of the schedule. */
+double
+temperatureAt(const AnnealSchedule &anneal, int k)
+{
+    if (anneal.iterations <= 1) {
+        return anneal.t0;
+    }
+    const double progress =
+        static_cast<double>(k) /
+        static_cast<double>(anneal.iterations - 1);
+    return anneal.t0 * std::pow(anneal.t1 / anneal.t0, progress);
+}
+
+/** Everything one batch evaluation needs, shared across the walk. */
+struct Evaluator
+{
+    const SearchSpec &spec;
+    const SearchOptions &options;
+    const std::vector<CircuitInstance> &workloads;
+    const PassManager &pipeline;
+    TranspileCache &cache;
+    CheckpointWriter *checkpoint = nullptr;
+    std::set<CacheKey> &persisted;
+    std::vector<unsigned long long> &workload_hashes;
+    EvaluationStats &totals;
+    std::size_t &evaluations;
+
+    /**
+     * Score `built` candidates: one engine batch over the full
+     * candidate x workload cross-product, then per-candidate quality
+     * meaned over workloads.  Checkpoints every new point serially in
+     * job order, so the file's contents depend only on walk progress.
+     */
+    std::vector<EvaluatedCandidate>
+    operator()(const std::vector<BuiltCandidate> &built)
+    {
+        std::vector<ExploreJob> jobs;
+        std::vector<CacheKey> keys;
+        jobs.reserve(built.size() * workloads.size());
+        keys.reserve(jobs.capacity());
+        for (const BuiltCandidate &candidate : built) {
+            const unsigned long long target_hash =
+                candidate.target.contentHash();
+            for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+                const CircuitInstance &workload = workloads[wi];
+                ExploreJob job;
+                job.circuit = &workload.circuit;
+                job.target = &candidate.target;
+                job.pipeline = &pipeline;
+                job.pipeline_spec = spec.pipeline;
+                // The sweep per-point rule: search evaluations of a
+                // design interchange with sweep evaluations of it.
+                job.seed =
+                    spec.seed ^
+                    (static_cast<unsigned long long>(workload.width)
+                     << 32) ^
+                    std::hash<std::string>{}(candidate.target.name()) ^
+                    workload.salt;
+                if (options.progress) {
+                    job.label = workload.label + " w" +
+                                std::to_string(workload.width) + " on " +
+                                candidate.target.name();
+                }
+                CacheKey key;
+                key.circuit_hash = workload_hashes[wi];
+                key.target_hash = target_hash;
+                key.pipeline = spec.pipeline;
+                key.seed = job.seed;
+                jobs.push_back(std::move(job));
+                keys.push_back(std::move(key));
+            }
+        }
+
+        EngineOptions engine;
+        engine.threads = options.threads;
+        engine.progress = options.progress;
+        engine.cache_store = options.cache_store;
+        EvaluationStats batch;
+        const std::vector<PointMetrics> results =
+            evaluateJobs(jobs, cache, engine, &batch);
+        totals.computed += batch.computed;
+        totals.from_cache += batch.from_cache;
+        totals.from_store += batch.from_store;
+
+        // The driver owns checkpointing: append in deterministic job
+        // order, skipping keys the resumed file already holds, so a
+        // resumed run's file converges to the uninterrupted one's.
+        if (checkpoint != nullptr) {
+            for (std::size_t i = 0; i < keys.size(); ++i) {
+                if (persisted.insert(keys[i]).second) {
+                    checkpoint->append(keys[i], results[i]);
+                }
+            }
+        }
+
+        std::vector<EvaluatedCandidate> evaluated;
+        evaluated.reserve(built.size());
+        for (std::size_t bi = 0; bi < built.size(); ++bi) {
+            const BuiltCandidate &candidate = built[bi];
+            double quality = 0.0;
+            for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+                quality += pointMetricValue(
+                    results[bi * workloads.size() + wi],
+                    spec.objective.metric);
+            }
+            quality /= static_cast<double>(workloads.size());
+
+            EvaluatedCandidate point;
+            point.candidate = candidate.candidate;
+            point.label = candidate.target.name();
+            point.cost = candidate.cost;
+            point.violation = spec.constraints.violation(candidate.cost);
+            point.feasible = point.violation == 0.0;
+            point.quality = quality;
+            point.energy =
+                (spec.objective.maximize ? -quality : quality) +
+                spec.objective.cost_weight * candidate.cost.devices() +
+                spec.objective.penalty_weight * point.violation;
+            evaluated.push_back(std::move(point));
+        }
+        evaluations += evaluated.size();
+        return evaluated;
+    }
+};
+
+} // namespace
+
+SearchRun
+runSearch(const SearchSpec &spec, const SearchOptions &options)
+{
+    SearchRun run;
+    run.spec = spec;
+
+    const PassManager pipeline = passManagerFromSpec(spec.pipeline);
+
+    // Workloads reuse the sweep circuit expansion (same labels, same
+    // seed salts), shimmed through a minimal SweepSpec.
+    SweepSpec shim;
+    shim.seed = spec.seed;
+    shim.circuits = spec.workloads;
+    const std::vector<CircuitInstance> workloads =
+        expandCircuits(shim, spec.space.max_qubits);
+    SNAIL_REQUIRE(!workloads.empty(),
+                  "search '" << spec.name
+                             << "' expands to no workloads");
+    int effective_min = spec.space.min_qubits;
+    for (const CircuitInstance &workload : workloads) {
+        SNAIL_REQUIRE(workload.width <= spec.space.max_qubits,
+                      "workload " << workload.label << " w"
+                                  << workload.width
+                                  << " exceeds max_qubits "
+                                  << spec.space.max_qubits);
+        effective_min = std::max(effective_min, workload.width);
+    }
+
+    TranspileCache cache;
+    std::set<CacheKey> persisted;
+    if (options.resume && !options.checkpoint_path.empty()) {
+        std::vector<CacheKey> restored;
+        run.stats.restored =
+            loadCheckpoint(options.checkpoint_path, cache, &restored);
+        persisted.insert(restored.begin(), restored.end());
+    }
+    std::unique_ptr<CheckpointWriter> checkpoint;
+    if (!options.checkpoint_path.empty()) {
+        checkpoint = std::make_unique<CheckpointWriter>(
+            options.checkpoint_path, options.resume);
+    }
+
+    std::vector<unsigned long long> workload_hashes;
+    workload_hashes.reserve(workloads.size());
+    for (const CircuitInstance &workload : workloads) {
+        workload_hashes.push_back(workload.circuit.contentHash());
+    }
+
+    Evaluator evaluate{spec,          options,
+                       workloads,     pipeline,
+                       cache,         checkpoint.get(),
+                       persisted,     workload_hashes,
+                       run.stats,     run.evaluations};
+
+    const auto fold = [&](const EvaluatedCandidate &point) {
+        updateFrontier(run.frontier, point, spec.objective.maximize);
+        if (point.feasible &&
+            (!run.has_best || point.energy < run.best.energy)) {
+            run.best = point;
+            run.has_best = true;
+        }
+    };
+
+    BuiltCandidate current_built =
+        initialCandidate(spec.space, effective_min);
+    EvaluatedCandidate current = evaluate({current_built}).front();
+    fold(current);
+    if (options.progress) {
+        *options.progress << "[search] start: " << current.label
+                          << " energy "
+                          << shortestDouble(current.energy) << "\n";
+    }
+
+    const AnnealSchedule &anneal = spec.anneal;
+    for (int k = 0; k < anneal.iterations; ++k) {
+        if (options.budget != 0 &&
+            run.stats.computed >= options.budget) {
+            run.budget_exhausted = true;
+            break;
+        }
+        const double temperature = temperatureAt(anneal, k);
+
+        std::vector<BuiltCandidate> proposals;
+        proposals.reserve(anneal.proposals);
+        for (int j = 0; j < anneal.proposals; ++j) {
+            Rng rng = Rng::stream(
+                spec.seed ^ kProposalSalt,
+                static_cast<unsigned long long>(k) *
+                        static_cast<unsigned long long>(
+                            anneal.proposals) +
+                    static_cast<unsigned long long>(j));
+            proposals.push_back(proposeCandidate(
+                current_built, spec.space, effective_min, rng));
+        }
+        const std::vector<EvaluatedCandidate> evaluated =
+            evaluate(proposals);
+        for (const EvaluatedCandidate &point : evaluated) {
+            fold(point);
+        }
+
+        int chosen = 0;
+        for (int j = 1; j < static_cast<int>(evaluated.size()); ++j) {
+            if (evaluated[j].energy < evaluated[chosen].energy) {
+                chosen = j;
+            }
+        }
+        const double delta = evaluated[chosen].energy - current.energy;
+        bool accepted = delta <= 0.0;
+        if (!accepted && anneal.mode == SearchMode::Anneal) {
+            const double u =
+                Rng::stream(spec.seed ^ kAcceptSalt,
+                            static_cast<unsigned long long>(k))
+                    .uniform();
+            accepted = u < std::exp(-delta / temperature);
+        }
+        if (accepted) {
+            current_built = proposals[chosen];
+            current = evaluated[chosen];
+        }
+
+        IterationRecord record;
+        record.iteration = k;
+        record.temperature = temperature;
+        record.proposals = evaluated;
+        record.chosen = chosen;
+        record.accepted = accepted;
+        record.current = current;
+        run.trace.push_back(std::move(record));
+
+        if (options.progress) {
+            *options.progress
+                << "[search] iter " << k << "/" << anneal.iterations
+                << " T=" << shortestDouble(temperature) << " "
+                << (accepted ? "accept " : "reject ")
+                << evaluated[chosen].label << " energy "
+                << shortestDouble(evaluated[chosen].energy) << "\n";
+        }
+    }
+
+    run.cache_hits = cache.hits();
+    run.cache_misses = cache.misses();
+    return run;
+}
+
+} // namespace snail

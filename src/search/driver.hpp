@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The guided co-design search driver.
+ *
+ * Where a sweep (explore/engine.hpp) exhaustively evaluates a fixed
+ * grid, the search *walks*: simulated annealing (or steepest descent)
+ * over the parametric generator space, each step proposing a few
+ * mutated candidates (mutate.hpp), scoring them by transpiling the
+ * whole workload set through the explore engine, and folding feasible
+ * ones into a running Pareto frontier (frontier.hpp).
+ *
+ * Determinism and resumability:
+ *
+ *  - Every random decision draws from a counter-based stream keyed on
+ *    (iteration, proposal) — Rng::stream — never from shared mutable
+ *    RNG state, so the walk is bit-identical at any --threads value.
+ *  - Workload evaluations derive per-point seeds by the sweep rule
+ *    (spec seed ^ width ^ target-label hash ^ circuit salt) and are
+ *    cached content-addressed, so re-visited designs cost nothing and
+ *    search points interchange with sweep points in the persistent
+ *    CacheStore.
+ *  - The driver owns its JSONL checkpoint: completed evaluations are
+ *    appended in deterministic job order (deduplicated against what a
+ *    resumed file already holds).  On --resume the walk replays from
+ *    the start, but every checkpointed point is a cache hit — a
+ *    killed-and-resumed search computes only the missing points and
+ *    produces byte-identical trace/frontier reports.
+ *
+ * The evaluation budget (--budget) bounds *freshly computed* points:
+ * the walk stops at the first iteration boundary where the count is
+ * reached.  Resuming a budget-cut run replays the prefix from cache
+ * (0 computed) and then continues spending the budget on new points.
+ */
+
+#ifndef SNAILQC_SEARCH_DRIVER_HPP
+#define SNAILQC_SEARCH_DRIVER_HPP
+
+#include <iosfwd>
+
+#include "explore/cache_store.hpp"
+#include "search/frontier.hpp"
+
+namespace snail
+{
+
+/** Runtime configuration (the spec holds the science). */
+struct SearchOptions
+{
+    unsigned threads = 0; //!< 0 = hardware concurrency
+    /** Stop at an iteration boundary after computing this many fresh
+     *  points (0 = unlimited). */
+    std::size_t budget = 0;
+    std::string checkpoint_path; //!< "" disables checkpointing
+    bool resume = false;         //!< preload + append the checkpoint
+    std::ostream *progress = nullptr; //!< per-step notes; nullptr = quiet
+    CacheStore *cache_store = nullptr; //!< optional persistent cache
+};
+
+/**
+ * Run the search to completion (or budget exhaustion).
+ * @throws SnailError on unbuildable spaces, unknown metrics, or
+ *         pipeline parse failures.
+ */
+SearchRun runSearch(const SearchSpec &spec, const SearchOptions &options);
+
+} // namespace snail
+
+#endif // SNAILQC_SEARCH_DRIVER_HPP

@@ -1,0 +1,234 @@
+#include "search/frontier.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/table.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+/** True when quality `a` beats `b` under the objective direction. */
+bool
+better(double a, double b, bool maximize)
+{
+    return maximize ? a > b : a < b;
+}
+
+std::string
+argsColumn(const std::vector<int> &args)
+{
+    std::string out;
+    for (int a : args) {
+        out += out.empty() ? std::to_string(a)
+                           : " " + std::to_string(a);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+updateFrontier(std::vector<EvaluatedCandidate> &frontier,
+               const EvaluatedCandidate &point, bool maximize)
+{
+    if (!point.feasible) {
+        return;
+    }
+    for (const EvaluatedCandidate &member : frontier) {
+        if (member.label == point.label) {
+            return; // same design, already placed
+        }
+        if (member.cost.devices() <= point.cost.devices() &&
+            !better(point.quality, member.quality, maximize)) {
+            return; // dominated (ties keep the incumbent)
+        }
+    }
+    frontier.erase(
+        std::remove_if(frontier.begin(), frontier.end(),
+                       [&](const EvaluatedCandidate &member) {
+                           return point.cost.devices() <=
+                                      member.cost.devices() &&
+                                  !better(member.quality, point.quality,
+                                          maximize);
+                       }),
+        frontier.end());
+    frontier.push_back(point);
+    std::sort(frontier.begin(), frontier.end(),
+              [&](const EvaluatedCandidate &a,
+                  const EvaluatedCandidate &b) {
+                  if (a.cost.devices() != b.cost.devices()) {
+                      return a.cost.devices() < b.cost.devices();
+                  }
+                  if (a.quality != b.quality) {
+                      return better(a.quality, b.quality, maximize);
+                  }
+                  return a.label < b.label;
+              });
+}
+
+JsonValue
+evaluatedCandidateToJson(const EvaluatedCandidate &point)
+{
+    JsonValue::Object out;
+    out["family"] = JsonValue(point.candidate.family);
+    JsonValue::Array args;
+    for (int a : point.candidate.args) {
+        args.push_back(JsonValue(a));
+    }
+    out["args"] = JsonValue(std::move(args));
+    out["basis"] = JsonValue(point.candidate.basis);
+    out["fidelity"] = JsonValue(point.candidate.fidelity_2q);
+    out["label"] = JsonValue(point.label);
+    out["qubits"] = JsonValue(point.cost.qubits);
+    out["couplers"] = JsonValue(static_cast<double>(point.cost.couplers));
+    out["snails"] = JsonValue(static_cast<double>(point.cost.snails));
+    out["max_degree"] = JsonValue(point.cost.max_degree);
+    out["mean_degree"] = JsonValue(point.cost.mean_degree);
+    out["wiring"] = JsonValue(point.cost.wiring);
+    out["feasible"] = JsonValue(point.feasible);
+    out["violation"] = JsonValue(point.violation);
+    out["quality"] = JsonValue(point.quality);
+    out["energy"] = JsonValue(point.energy);
+    return JsonValue(std::move(out));
+}
+
+void
+writeSearchTrace(std::ostream &os, const SearchRun &run)
+{
+    for (const IterationRecord &record : run.trace) {
+        JsonValue::Object line;
+        line["iteration"] = JsonValue(record.iteration);
+        line["temperature"] = JsonValue(record.temperature);
+        JsonValue::Array proposals;
+        for (const EvaluatedCandidate &proposal : record.proposals) {
+            proposals.push_back(evaluatedCandidateToJson(proposal));
+        }
+        line["proposals"] = JsonValue(std::move(proposals));
+        line["chosen"] = JsonValue(record.chosen);
+        line["accepted"] = JsonValue(record.accepted);
+        line["current"] = evaluatedCandidateToJson(record.current);
+        os << JsonValue(std::move(line)).dump() << "\n";
+    }
+}
+
+void
+writeFrontierCsv(std::ostream &os, const SearchRun &run)
+{
+    os << "family,args,basis,fidelity,label,qubits,couplers,snails,"
+          "max_degree,mean_degree,wiring,"
+       << run.spec.objective.metric << ",energy\n";
+    for (const EvaluatedCandidate &member : run.frontier) {
+        os << member.candidate.family << ","
+           << argsColumn(member.candidate.args) << ","
+           << member.candidate.basis << ","
+           << shortestDouble(member.candidate.fidelity_2q) << ","
+           << member.label << "," << member.cost.qubits << ","
+           << member.cost.couplers << "," << member.cost.snails << ","
+           << member.cost.max_degree << ","
+           << shortestDouble(member.cost.mean_degree) << ","
+           << shortestDouble(member.cost.wiring) << ","
+           << shortestDouble(member.quality) << ","
+           << shortestDouble(member.energy) << "\n";
+    }
+}
+
+void
+writeSearchJson(std::ostream &os, const SearchRun &run)
+{
+    JsonValue::Object root;
+    root["spec"] = searchSpecToJson(run.spec);
+    JsonValue::Array trace;
+    for (const IterationRecord &record : run.trace) {
+        JsonValue::Object step;
+        step["iteration"] = JsonValue(record.iteration);
+        step["temperature"] = JsonValue(record.temperature);
+        JsonValue::Array proposals;
+        for (const EvaluatedCandidate &proposal : record.proposals) {
+            proposals.push_back(evaluatedCandidateToJson(proposal));
+        }
+        step["proposals"] = JsonValue(std::move(proposals));
+        step["chosen"] = JsonValue(record.chosen);
+        step["accepted"] = JsonValue(record.accepted);
+        step["current"] = evaluatedCandidateToJson(record.current);
+        trace.push_back(JsonValue(std::move(step)));
+    }
+    root["trace"] = JsonValue(std::move(trace));
+    JsonValue::Array frontier;
+    for (const EvaluatedCandidate &member : run.frontier) {
+        frontier.push_back(evaluatedCandidateToJson(member));
+    }
+    root["frontier"] = JsonValue(std::move(frontier));
+    if (run.has_best) {
+        root["best"] = evaluatedCandidateToJson(run.best);
+    }
+    JsonValue::Object stats;
+    stats["evaluations"] =
+        JsonValue(static_cast<double>(run.evaluations));
+    stats["computed"] = JsonValue(static_cast<double>(run.stats.computed));
+    stats["from_cache"] =
+        JsonValue(static_cast<double>(run.stats.from_cache));
+    stats["from_store"] =
+        JsonValue(static_cast<double>(run.stats.from_store));
+    stats["restored"] = JsonValue(static_cast<double>(run.stats.restored));
+    stats["budget_exhausted"] = JsonValue(run.budget_exhausted);
+    root["stats"] = JsonValue(std::move(stats));
+    os << JsonValue(std::move(root)).dump(2) << "\n";
+}
+
+void
+printSearchSummary(std::ostream &os, const SearchRun &run)
+{
+    printBanner(os, "co-design search: " + run.spec.name);
+    os << "objective: " << (run.spec.objective.maximize ? "max " : "min ")
+       << run.spec.objective.metric << " over " << run.spec.workloads.size()
+       << " workload(s); "
+       << (run.spec.anneal.mode == SearchMode::Anneal ? "anneal"
+                                                      : "descent")
+       << " x" << run.trace.size() << " iterations\n\n";
+
+    printBanner(os, "Pareto frontier (devices vs " +
+                        run.spec.objective.metric + ")");
+    TableWriter table({"candidate", "qubits", "couplers", "snails",
+                       "max deg", "wiring", run.spec.objective.metric,
+                       "energy"});
+    for (const EvaluatedCandidate &member : run.frontier) {
+        table.addRow({member.label, std::to_string(member.cost.qubits),
+                      std::to_string(member.cost.couplers),
+                      std::to_string(member.cost.snails),
+                      std::to_string(member.cost.max_degree),
+                      TableWriter::num(member.cost.wiring, 1),
+                      TableWriter::num(member.quality, 3),
+                      TableWriter::num(member.energy, 3)});
+    }
+    table.print(os);
+    if (run.frontier.empty()) {
+        os << "(no feasible candidate found)\n";
+    }
+
+    if (run.has_best) {
+        os << "\nbest: " << run.best.label << " (energy "
+           << shortestDouble(run.best.energy) << ", "
+           << run.spec.objective.metric << " "
+           << shortestDouble(run.best.quality) << ", couplers "
+           << run.best.cost.couplers << ")\n";
+    }
+
+    os << "\nevaluations: " << run.evaluations << " (computed "
+       << run.stats.computed << ", from cache " << run.stats.from_cache
+       << "); cache hits " << run.cache_hits << ", misses "
+       << run.cache_misses;
+    if (run.stats.restored > 0) {
+        os << "; restored " << run.stats.restored
+           << " checkpointed points";
+    }
+    os << "\n";
+    if (run.budget_exhausted) {
+        os << "budget exhausted before the schedule completed\n";
+    }
+}
+
+} // namespace snail

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Search results: the annealing trace, the running quality-vs-cost
+ * Pareto frontier, and the CSV/JSON/summary reporters.
+ *
+ * Every reporter is a deterministic function of the SearchRun —
+ * candidates in walk order, doubles via shortestDouble — so a resumed
+ * or re-threaded run's reports are byte-identical to an uninterrupted
+ * single-threaded one (the property the determinism tests and the CI
+ * search smoke pin down).
+ */
+
+#ifndef SNAILQC_SEARCH_FRONTIER_HPP
+#define SNAILQC_SEARCH_FRONTIER_HPP
+
+#include <iosfwd>
+#include <vector>
+
+#include "explore/engine.hpp"
+#include "search/mutate.hpp"
+
+namespace snail
+{
+
+/** One candidate scored on both sides of the co-design trade. */
+struct EvaluatedCandidate
+{
+    Candidate candidate;
+    std::string label;  //!< candidateLabel() — the trace/frontier key
+    HardwareCost cost;
+    bool feasible = true;
+    double violation = 0.0; //!< ConstraintSet::violation
+    double quality = 0.0;   //!< objective metric, meaned over workloads
+    double energy = 0.0;    //!< scalar the walk minimizes
+};
+
+/** One annealing step: what was proposed, chosen, and kept. */
+struct IterationRecord
+{
+    int iteration = 0;
+    double temperature = 0.0;
+    std::vector<EvaluatedCandidate> proposals;
+    int chosen = -1;      //!< index into `proposals`
+    bool accepted = false;
+    EvaluatedCandidate current; //!< walk state after this step
+};
+
+/** Everything a finished (or budget-cut) search produced. */
+struct SearchRun
+{
+    SearchSpec spec;
+    std::vector<IterationRecord> trace;
+    /** Feasible candidates Pareto-optimal on (devices, quality). */
+    std::vector<EvaluatedCandidate> frontier;
+    EvaluatedCandidate best; //!< lowest-energy feasible candidate
+    bool has_best = false;
+    EvaluationStats stats;
+    std::size_t cache_hits = 0;
+    std::size_t cache_misses = 0;
+    std::size_t evaluations = 0; //!< candidate evaluations performed
+    bool budget_exhausted = false;
+};
+
+/**
+ * Fold a feasible `point` into the frontier: drop it if some member
+ * is at least as good on both axes (first-seen wins exact ties, and a
+ * label already present is skipped), else insert it and evict members
+ * it dominates.  Infeasible points are ignored.  The frontier stays
+ * sorted by (devices asc, quality, label) so serialization is stable.
+ */
+void updateFrontier(std::vector<EvaluatedCandidate> &frontier,
+                    const EvaluatedCandidate &point, bool maximize);
+
+/** JSON form shared by the trace, frontier reports, and tests. */
+JsonValue evaluatedCandidateToJson(const EvaluatedCandidate &point);
+
+/** JSONL trace: one compact JSON object per iteration, walk order. */
+void writeSearchTrace(std::ostream &os, const SearchRun &run);
+
+/** Frontier CSV: one row per member, cheapest first. */
+void writeFrontierCsv(std::ostream &os, const SearchRun &run);
+
+/** The run as one JSON document: spec echo, trace, frontier, best. */
+void writeSearchJson(std::ostream &os, const SearchRun &run);
+
+/**
+ * Human-facing summary: the frontier table, the best candidate, and
+ * the evaluation-statistics line ("... computed N ..."), which the CI
+ * search smoke greps.
+ */
+void printSearchSummary(std::ostream &os, const SearchRun &run);
+
+} // namespace snail
+
+#endif // SNAILQC_SEARCH_FRONTIER_HPP

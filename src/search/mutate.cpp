@@ -1,0 +1,228 @@
+#include "search/mutate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "topology/generators.hpp"
+#include "weyl/basis_counts.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+/** Clamp every argument into its family's declared search box. */
+void
+clampToBox(const std::string &family, std::vector<int> &args)
+{
+    const GeneratorInfo *info = findGenerator(family);
+    SNAIL_REQUIRE(info != nullptr, "unknown generator family '"
+                                       << family << "'");
+    SNAIL_REQUIRE(args.size() == info->params.size(),
+                  "generator '" << family << "' takes "
+                                << info->params.size() << " arguments");
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        args[i] = std::clamp(args[i], info->params[i].min,
+                             info->params[i].max);
+    }
+}
+
+/** Pick uniformly from `values` excluding `current` (when possible). */
+template <typename T>
+T
+pickOther(const std::vector<T> &values, const T &current, Rng &rng)
+{
+    std::vector<const T *> others;
+    for (const T &value : values) {
+        if (!(value == current)) {
+            others.push_back(&value);
+        }
+    }
+    if (others.empty()) {
+        return current;
+    }
+    return *others[rng.index(others.size())];
+}
+
+} // namespace
+
+std::string
+candidateLabel(const Candidate &candidate)
+{
+    std::string label = candidate.family + "(";
+    for (std::size_t i = 0; i < candidate.args.size(); ++i) {
+        if (i) {
+            label += ",";
+        }
+        label += std::to_string(candidate.args[i]);
+    }
+    label += ")-" + parseBasisSpec(candidate.basis).name();
+    if (candidate.fidelity_2q != 1.0) {
+        label += "@f" + shortestDouble(candidate.fidelity_2q);
+    }
+    return label;
+}
+
+std::optional<BuiltCandidate>
+tryBuildCandidate(const Candidate &candidate, int min_qubits,
+                  int max_qubits)
+{
+    std::optional<CouplingGraph> maybe_graph;
+    try {
+        maybe_graph.emplace(buildGeneratedTopology(candidate.family,
+                                                   candidate.args));
+    } catch (const SnailError &) {
+        return std::nullopt; // arguments the builder rejects
+    }
+    const CouplingGraph &graph = *maybe_graph;
+    if (graph.numQubits() < min_qubits ||
+        graph.numQubits() > max_qubits || !graph.isConnected()) {
+        return std::nullopt;
+    }
+    BuiltCandidate built{candidate,
+                         Target::uniform(graph,
+                                         parseBasisSpec(candidate.basis),
+                                         candidate.fidelity_2q),
+                         hardwareCost(candidate.family, candidate.args,
+                                      graph)};
+    built.target.setName(candidateLabel(candidate));
+    return built;
+}
+
+std::vector<int>
+fitArgs(const std::string &family, int qubits)
+{
+    const int q = std::max(qubits, 2);
+    std::vector<int> args;
+    if (family == "corral") {
+        // Two fences of `posts` qubits each.
+        const int posts = (q + 1) / 2;
+        args = {posts, 1, std::min(posts - 1, 2)};
+    } else if (family == "tree" || family == "tree-rr") {
+        // Smallest depth whose leaf capacity (4^(levels+1) - 4)/3
+        // reaches q: 4, 20, 84, 340, 1364.
+        int levels = 1;
+        long capacity = 4;
+        while (levels < 5 && capacity < q) {
+            ++levels;
+            capacity = 4 * capacity + 4;
+        }
+        args = {levels};
+    } else if (family == "hypercube") {
+        int dims = 1;
+        while ((1 << dims) < q && dims < 12) {
+            ++dims;
+        }
+        args = {dims};
+    } else if (family == "incomplete-hypercube") {
+        args = {q};
+    } else if (family == "heavy-hex") {
+        // Heavy-hex places roughly 2.5 qubits per unit cell.
+        const int side = static_cast<int>(
+            std::lround(std::sqrt(static_cast<double>(q) / 2.5)));
+        args = {side, side};
+    } else {
+        // Row-major lattices: the squarest rows x cols >= q.
+        const int rows = std::max(
+            1, static_cast<int>(
+                   std::lround(std::sqrt(static_cast<double>(q)))));
+        const int cols = (q + rows - 1) / rows;
+        args = {rows, cols};
+    }
+    clampToBox(family, args);
+    return args;
+}
+
+BuiltCandidate
+initialCandidate(const SearchSpace &space, int min_qubits)
+{
+    for (const std::string &family : space.families) {
+        Candidate candidate{family, fitArgs(family, min_qubits),
+                            space.bases.front(),
+                            space.fidelities.front()};
+        std::optional<BuiltCandidate> built =
+            tryBuildCandidate(candidate, min_qubits, space.max_qubits);
+        if (built) {
+            return *built;
+        }
+    }
+    SNAIL_THROW("no family in the search space fits "
+                << min_qubits << ".." << space.max_qubits
+                << " qubits; widen the space or shrink the workloads");
+}
+
+Candidate
+mutateCandidate(const Candidate &current, int current_qubits,
+                const SearchSpace &space, Rng &rng)
+{
+    enum class Move
+    {
+        Tweak,
+        Refamily,
+        Rebasis,
+        Refidelity,
+    };
+    // Tweaks dominate so the walk mostly explores within a family;
+    // basis/fidelity moves only exist when there is a choice.
+    std::vector<Move> moves{Move::Tweak, Move::Tweak, Move::Tweak,
+                            Move::Refamily};
+    if (space.bases.size() > 1) {
+        moves.push_back(Move::Rebasis);
+    }
+    if (space.fidelities.size() > 1) {
+        moves.push_back(Move::Refidelity);
+    }
+
+    Candidate next = current;
+    switch (moves[rng.index(moves.size())]) {
+    case Move::Tweak: {
+        const GeneratorInfo *info = findGenerator(current.family);
+        SNAIL_REQUIRE(info != nullptr, "unknown generator family '"
+                                           << current.family << "'");
+        const std::size_t slot = rng.index(next.args.size());
+        const int step = 1 + static_cast<int>(rng.index(2));
+        const int sign = rng.uniform() < 0.5 ? -1 : 1;
+        const int lo = info->params[slot].min;
+        const int hi = info->params[slot].max;
+        int value = std::clamp(next.args[slot] + sign * step, lo, hi);
+        if (value == next.args[slot]) {
+            value = std::clamp(next.args[slot] - sign * step, lo, hi);
+        }
+        next.args[slot] = value;
+        break;
+    }
+    case Move::Refamily:
+        next.family = space.families[rng.index(space.families.size())];
+        next.args = fitArgs(next.family, current_qubits);
+        break;
+    case Move::Rebasis:
+        next.basis = pickOther(space.bases, current.basis, rng);
+        break;
+    case Move::Refidelity:
+        next.fidelity_2q =
+            pickOther(space.fidelities, current.fidelity_2q, rng);
+        break;
+    }
+    return next;
+}
+
+BuiltCandidate
+proposeCandidate(const BuiltCandidate &current, const SearchSpace &space,
+                 int min_qubits, Rng &rng)
+{
+    for (int attempt = 0; attempt < 64; ++attempt) {
+        const Candidate mutated =
+            mutateCandidate(current.candidate, current.cost.qubits,
+                            space, rng);
+        std::optional<BuiltCandidate> built =
+            tryBuildCandidate(mutated, min_qubits, space.max_qubits);
+        if (built) {
+            return *built;
+        }
+    }
+    return current;
+}
+
+} // namespace snail

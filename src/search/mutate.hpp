@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Candidate representation and mutation moves for co-design search.
+ *
+ * A Candidate is a point in the parametric design space: a generator
+ * family with integer arguments, a basis, and a uniform per-pulse 2Q
+ * fidelity.  Mutation perturbs one of those coordinates at a time —
+ * tweak an argument, jump family (re-fitting arguments toward the
+ * current qubit count), swap basis, swap fidelity — and building
+ * filters out candidates the generators reject, that fall outside the
+ * qubit box, or that are disconnected (corral stride parity can
+ * splinter the fence into independent rings).
+ *
+ * All randomness flows through the caller-provided Rng, so the driver
+ * can hand each proposal its own counter-based stream and keep the
+ * walk bit-identical at any thread count.
+ */
+
+#ifndef SNAILQC_SEARCH_MUTATE_HPP
+#define SNAILQC_SEARCH_MUTATE_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "search/cost_model.hpp"
+#include "search/search_spec.hpp"
+#include "target/target.hpp"
+
+namespace snail
+{
+
+/** One point in the parametric design space. */
+struct Candidate
+{
+    std::string family;    //!< generator name (topology/generators.hpp)
+    std::vector<int> args; //!< generator arguments
+    std::string basis;     //!< basis spec string ("sqiswap", ...)
+    double fidelity_2q = 1.0; //!< uniform per-pulse 2Q fidelity
+};
+
+/**
+ * Display label, e.g. "corral(8,1,2)-sqiswap".  Matches the sweep
+ * generator-target naming exactly (graph label + canonical basis
+ * name) so search and sweep evaluations of the same design derive the
+ * same per-point seeds and share cache entries.  Non-unit fidelities
+ * append "@f<value>" — they are a different device.
+ */
+std::string candidateLabel(const Candidate &candidate);
+
+/** A candidate that built successfully, ready to evaluate. */
+struct BuiltCandidate
+{
+    Candidate candidate;
+    Target target;     //!< uniform target named candidateLabel()
+    HardwareCost cost; //!< hardware score of the built graph
+};
+
+/**
+ * Build `candidate`, or nullopt when the generator rejects the
+ * arguments, the graph's qubit count falls outside
+ * [min_qubits, max_qubits], or the graph is disconnected.
+ */
+std::optional<BuiltCandidate> tryBuildCandidate(const Candidate &candidate,
+                                                int min_qubits,
+                                                int max_qubits);
+
+/**
+ * Deterministic arguments fitting `family` to roughly `qubits`
+ * qubits, clamped to the family's search box.  The seed of every
+ * refamily move and of the initial candidate.
+ */
+std::vector<int> fitArgs(const std::string &family, int qubits);
+
+/**
+ * The walk's deterministic starting point: the first family in spec
+ * order whose fitted arguments build a valid candidate at the space's
+ * first basis and fidelity. @throws SnailError when no family fits —
+ * the space is over-constrained (e.g. min_qubits above every family's
+ * reach).
+ */
+BuiltCandidate initialCandidate(const SearchSpace &space, int min_qubits);
+
+/**
+ * One mutation move on `current` (unbuilt — the caller validates via
+ * tryBuildCandidate).  `current_qubits` anchors refamily re-fits.
+ */
+Candidate mutateCandidate(const Candidate &current, int current_qubits,
+                          const SearchSpace &space, Rng &rng);
+
+/**
+ * Draw mutations of `current` until one builds (at most 64 attempts);
+ * falls back to a copy of `current` so a proposal slot always holds a
+ * valid candidate and the RNG stream advances deterministically.
+ */
+BuiltCandidate proposeCandidate(const BuiltCandidate &current,
+                                const SearchSpace &space, int min_qubits,
+                                Rng &rng);
+
+} // namespace snail
+
+#endif // SNAILQC_SEARCH_MUTATE_HPP

@@ -1,0 +1,228 @@
+#include "search/search_spec.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "explore/analysis.hpp"
+#include "topology/generators.hpp"
+#include "weyl/basis_counts.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+/** Reject keys outside `allowed` (typo guard for hand-written specs). */
+void
+requireKnownKeys(const JsonValue &json, const char *where,
+                 std::initializer_list<const char *> allowed)
+{
+    for (const auto &[key, value] : json.asObject()) {
+        (void)value;
+        bool known = false;
+        for (const char *candidate : allowed) {
+            if (key == candidate) {
+                known = true;
+                break;
+            }
+        }
+        SNAIL_REQUIRE(known, "unknown key '" << key << "' in " << where);
+    }
+}
+
+SearchSpace
+searchSpaceFromJson(const JsonValue &json)
+{
+    requireKnownKeys(json, "search space",
+                     {"families", "bases", "fidelities", "min_qubits",
+                      "max_qubits"});
+    SearchSpace space;
+    for (const JsonValue &entry : json.at("families").asArray()) {
+        const std::string family = entry.asString();
+        SNAIL_REQUIRE(findGenerator(family) != nullptr,
+                      "unknown generator family '" << family
+                                                   << "' in search space");
+        space.families.push_back(family);
+    }
+    SNAIL_REQUIRE(!space.families.empty(),
+                  "search space needs at least one family");
+    for (const JsonValue &entry : json.at("bases").asArray()) {
+        parseBasisSpec(entry.asString()); // validate eagerly
+        space.bases.push_back(entry.asString());
+    }
+    SNAIL_REQUIRE(!space.bases.empty(),
+                  "search space needs at least one basis");
+    if (const JsonValue *fidelities = json.find("fidelities")) {
+        space.fidelities.clear();
+        for (const JsonValue &entry : fidelities->asArray()) {
+            const double f = entry.asNumber();
+            SNAIL_REQUIRE(f > 0.0 && f <= 1.0,
+                          "fidelity " << f << " outside (0, 1]");
+            space.fidelities.push_back(f);
+        }
+        SNAIL_REQUIRE(!space.fidelities.empty(),
+                      "empty fidelities list in search space");
+    }
+    space.min_qubits =
+        static_cast<int>(json.numberOr("min_qubits", 2.0));
+    space.max_qubits =
+        static_cast<int>(json.numberOr("max_qubits", 128.0));
+    SNAIL_REQUIRE(space.min_qubits >= 2 &&
+                      space.max_qubits >= space.min_qubits,
+                  "search space needs 2 <= min_qubits <= max_qubits");
+    return space;
+}
+
+ObjectiveSpec
+objectiveFromJson(const JsonValue &json)
+{
+    requireKnownKeys(json, "objective",
+                     {"metric", "maximize", "cost_weight",
+                      "penalty_weight"});
+    ObjectiveSpec objective;
+    objective.metric = json.stringOr("metric", objective.metric);
+    pointHasMetric(PointMetrics{}, objective.metric); // name check
+    if (const JsonValue *maximize = json.find("maximize")) {
+        objective.maximize = maximize->asBool();
+    }
+    objective.cost_weight = json.numberOr("cost_weight", 0.0);
+    objective.penalty_weight = json.numberOr("penalty_weight", 1000.0);
+    SNAIL_REQUIRE(objective.cost_weight >= 0.0 &&
+                      objective.penalty_weight >= 0.0,
+                  "objective weights must be non-negative");
+    return objective;
+}
+
+AnnealSchedule
+annealFromJson(const JsonValue &json)
+{
+    requireKnownKeys(json, "anneal",
+                     {"iterations", "proposals", "t0", "t1", "mode"});
+    AnnealSchedule anneal;
+    anneal.iterations =
+        static_cast<int>(json.numberOr("iterations", 32.0));
+    anneal.proposals = static_cast<int>(json.numberOr("proposals", 3.0));
+    anneal.t0 = json.numberOr("t0", 4.0);
+    anneal.t1 = json.numberOr("t1", 0.25);
+    const std::string mode = json.stringOr("mode", "anneal");
+    if (mode == "anneal") {
+        anneal.mode = SearchMode::Anneal;
+    } else if (mode == "descent") {
+        anneal.mode = SearchMode::Descent;
+    } else {
+        SNAIL_THROW("unknown anneal mode '" << mode
+                                            << "' (anneal, descent)");
+    }
+    SNAIL_REQUIRE(anneal.iterations >= 1 && anneal.proposals >= 1,
+                  "anneal needs iterations >= 1 and proposals >= 1");
+    SNAIL_REQUIRE(anneal.t0 >= anneal.t1 && anneal.t1 > 0.0,
+                  "anneal needs t0 >= t1 > 0");
+    return anneal;
+}
+
+} // namespace
+
+SearchSpec
+searchSpecFromJson(const JsonValue &json)
+{
+    requireKnownKeys(json, "search spec",
+                     {"name", "seed", "workloads", "pipeline", "space",
+                      "constraints", "objective", "anneal"});
+    SearchSpec spec;
+    spec.name = json.stringOr("name", "search");
+    if (const JsonValue *seed = json.find("seed")) {
+        spec.seed = seedFromJson(*seed);
+    }
+    for (const JsonValue &entry : json.at("workloads").asArray()) {
+        spec.workloads.push_back(circuitSpecFromJson(entry));
+    }
+    SNAIL_REQUIRE(!spec.workloads.empty(),
+                  "search spec has no workloads");
+    spec.pipeline = json.at("pipeline").asString();
+    SNAIL_REQUIRE(!spec.pipeline.empty(),
+                  "search spec needs a non-empty pipeline");
+    spec.space = searchSpaceFromJson(json.at("space"));
+    if (const JsonValue *constraints = json.find("constraints")) {
+        spec.constraints = constraintSetFromJson(*constraints);
+    }
+    if (const JsonValue *objective = json.find("objective")) {
+        spec.objective = objectiveFromJson(*objective);
+    }
+    if (const JsonValue *anneal = json.find("anneal")) {
+        spec.anneal = annealFromJson(*anneal);
+    }
+    return spec;
+}
+
+JsonValue
+searchSpecToJson(const SearchSpec &spec)
+{
+    JsonValue::Object root;
+    root["name"] = JsonValue(spec.name);
+    root["seed"] = seedToJson(spec.seed);
+
+    JsonValue::Array workloads;
+    for (const CircuitSpec &w : spec.workloads) {
+        workloads.push_back(circuitSpecToJson(w));
+    }
+    root["workloads"] = JsonValue(std::move(workloads));
+    root["pipeline"] = JsonValue(spec.pipeline);
+
+    JsonValue::Object space;
+    JsonValue::Array families;
+    for (const std::string &family : spec.space.families) {
+        families.push_back(JsonValue(family));
+    }
+    space["families"] = JsonValue(std::move(families));
+    JsonValue::Array bases;
+    for (const std::string &basis : spec.space.bases) {
+        bases.push_back(JsonValue(basis));
+    }
+    space["bases"] = JsonValue(std::move(bases));
+    JsonValue::Array fidelities;
+    for (double f : spec.space.fidelities) {
+        fidelities.push_back(JsonValue(f));
+    }
+    space["fidelities"] = JsonValue(std::move(fidelities));
+    space["min_qubits"] = JsonValue(spec.space.min_qubits);
+    space["max_qubits"] = JsonValue(spec.space.max_qubits);
+    root["space"] = JsonValue(std::move(space));
+
+    root["constraints"] = constraintSetToJson(spec.constraints);
+
+    JsonValue::Object objective;
+    objective["metric"] = JsonValue(spec.objective.metric);
+    objective["maximize"] = JsonValue(spec.objective.maximize);
+    objective["cost_weight"] = JsonValue(spec.objective.cost_weight);
+    objective["penalty_weight"] =
+        JsonValue(spec.objective.penalty_weight);
+    root["objective"] = JsonValue(std::move(objective));
+
+    JsonValue::Object anneal;
+    anneal["iterations"] = JsonValue(spec.anneal.iterations);
+    anneal["proposals"] = JsonValue(spec.anneal.proposals);
+    anneal["t0"] = JsonValue(spec.anneal.t0);
+    anneal["t1"] = JsonValue(spec.anneal.t1);
+    anneal["mode"] = JsonValue(
+        spec.anneal.mode == SearchMode::Anneal ? "anneal" : "descent");
+    root["anneal"] = JsonValue(std::move(anneal));
+    return JsonValue(std::move(root));
+}
+
+SearchSpec
+loadSearchSpecFile(const std::string &path)
+{
+    std::ifstream in(path);
+    SNAIL_REQUIRE(in.good(), "cannot open search spec '" << path << "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+        return searchSpecFromJson(JsonValue::parse(text.str()));
+    } catch (const SnailError &e) {
+        SNAIL_THROW("search spec '" << path << "': " << e.what());
+    }
+}
+
+} // namespace snail

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Declarative co-design search specifications.
+ *
+ * Where a SweepSpec enumerates a fixed grid, a SearchSpec describes a
+ * *space* to walk: which generator families mutation may visit, which
+ * bases and per-edge noise targets it may assign, the feasibility box
+ * (cost_model.hpp), the objective, and the annealing schedule.  JSON
+ * schema (examples/search/README.md):
+ *
+ *   {
+ *     "name": "qaoa64-under-40-couplers",
+ *     "seed": 11,
+ *     "workloads": [{"bench": "qaoa", "widths": [64]}],
+ *     "pipeline": "dense,stochastic-route=4,elide,basis=sqiswap",
+ *     "space": {
+ *       "families": ["corral", "tree", "tree-rr", "hypercube"],
+ *       "bases": ["sqiswap"],
+ *       "fidelities": [0.995],
+ *       "min_qubits": 64, "max_qubits": 128
+ *     },
+ *     "constraints": {"max_couplers": 40, "max_degree": 8},
+ *     "objective": {"metric": "basis_2q_total", "maximize": false},
+ *     "anneal": {"iterations": 32, "proposals": 3,
+ *                "t0": 4, "t1": 0.25, "mode": "anneal"}
+ *   }
+ *
+ * `workloads` reuses the sweep circuits schema (benchmarks at widths,
+ * or QASM files); every candidate is evaluated by transpiling the
+ * whole workload set, so candidates must host the widest workload.
+ */
+
+#ifndef SNAILQC_SEARCH_SEARCH_SPEC_HPP
+#define SNAILQC_SEARCH_SEARCH_SPEC_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "explore/sweep_spec.hpp"
+#include "search/cost_model.hpp"
+
+namespace snail
+{
+
+/** The parametric design space mutation may walk. */
+struct SearchSpace
+{
+    /** Generator families (topology/generators.hpp names). */
+    std::vector<std::string> families;
+    /** Basis choices (parseBasisSpec names); first is the start. */
+    std::vector<std::string> bases;
+    /**
+     * Uniform per-pulse 2Q fidelity targets a candidate may assume
+     * (1.0 = noiseless, the structural-comparison default).
+     */
+    std::vector<double> fidelities = {1.0};
+    int min_qubits = 2;
+    int max_qubits = 128;
+};
+
+/** What "better" means, and how hard constraints push back. */
+struct ObjectiveSpec
+{
+    std::string metric = "basis_2q_total"; //!< pointMetricValue name
+    bool maximize = false;
+    /** Energy weight per coupling device (0 = quality-only energy). */
+    double cost_weight = 0.0;
+    /** Energy weight per unit of normalized constraint violation. */
+    double penalty_weight = 1000.0;
+};
+
+/** Acceptance modes: annealing, or strict steepest descent. */
+enum class SearchMode
+{
+    Anneal,  //!< Metropolis acceptance on a cooling schedule
+    Descent, //!< accept improvements only
+};
+
+/** The walk's shape: length, branching, and temperature ramp. */
+struct AnnealSchedule
+{
+    int iterations = 32;
+    int proposals = 3; //!< candidates drawn per iteration
+    double t0 = 4.0;   //!< initial temperature
+    double t1 = 0.25;  //!< final temperature (geometric ramp)
+    SearchMode mode = SearchMode::Anneal;
+};
+
+/** The full declarative search. */
+struct SearchSpec
+{
+    std::string name = "search";
+    unsigned long long seed = kDefaultSweepSeed;
+    std::vector<CircuitSpec> workloads;
+    std::string pipeline;
+    SearchSpace space;
+    ConstraintSet constraints;
+    ObjectiveSpec objective;
+    AnnealSchedule anneal;
+};
+
+/**
+ * Parse and validate: unknown keys anywhere are rejected, families
+ * and the objective metric are checked against their registries, and
+ * bases parse eagerly. @throws SnailError naming the offender.
+ */
+SearchSpec searchSpecFromJson(const JsonValue &json);
+
+/** Serialize; searchSpecFromJson(searchSpecToJson(s)) round-trips. */
+JsonValue searchSpecToJson(const SearchSpec &spec);
+
+/** Load a spec file. @throws SnailError on I/O or schema errors. */
+SearchSpec loadSearchSpecFile(const std::string &path);
+
+} // namespace snail
+
+#endif // SNAILQC_SEARCH_SEARCH_SPEC_HPP

@@ -235,6 +235,12 @@ Service::handleStats()
     JsonValue::Object scheduler;
     scheduler["workers"] =
         JsonValue(static_cast<double>(Scheduler::global().workerCount()));
+    // "pool_size" aliases "workers" under the monitoring-facing name;
+    // queue_depth is the unclaimed-index backlog snapshot.
+    scheduler["pool_size"] =
+        JsonValue(static_cast<double>(Scheduler::global().workerCount()));
+    scheduler["queue_depth"] =
+        JsonValue(static_cast<double>(Scheduler::global().queueDepth()));
 
     JsonValue::Object out = okResponse("stats");
     out["requests"] = JsonValue(static_cast<double>(_requests.load()));

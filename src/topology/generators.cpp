@@ -1,0 +1,132 @@
+#include "topology/generators.hpp"
+
+#include "common/error.hpp"
+#include "topology/builders.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+/**
+ * The search bounds cap sizes well below the builders' own guards
+ * (hypercube accepts 16 dimensions = 65536 qubits; the distance table
+ * guard is 65535): a co-design walk proposing multi-thousand-qubit
+ * machines would spend its whole budget routing one candidate.  The
+ * boxes below cover everything the paper studies (Tables 1-2 top out
+ * at 84 qubits) with generous headroom.
+ */
+const std::vector<GeneratorInfo> &
+registry()
+{
+    static const std::vector<GeneratorInfo> generators = {
+        {"square",
+         {{"rows", 1, 64}, {"cols", 1, 64}},
+         [](const std::vector<int> &a) {
+             return squareLattice(a[0], a[1]);
+         },
+         "rows x cols nearest-neighbor grid"},
+        {"lattice-altdiag",
+         {{"rows", 1, 64}, {"cols", 1, 64}},
+         [](const std::vector<int> &a) {
+             return latticeWithAltDiagonals(a[0], a[1]);
+         },
+         "square lattice + diagonals on alternating tiles"},
+        {"hex",
+         {{"rows", 1, 64}, {"cols", 1, 64}},
+         [](const std::vector<int> &a) { return hexLattice(a[0], a[1]); },
+         "honeycomb (brick-wall) lattice"},
+        {"heavy-hex",
+         {{"rows", 2, 48}, {"cols", 2, 48}},
+         [](const std::vector<int> &a) {
+             return heavyHexLattice(a[0], a[1]);
+         },
+         "hex lattice with a qubit on every coupling"},
+        {"hypercube",
+         {{"dimensions", 1, 12}},
+         [](const std::vector<int> &a) { return hypercube(a[0]); },
+         "complete binary hypercube on 2^d nodes"},
+        {"incomplete-hypercube",
+         {{"qubits", 2, 4096}},
+         [](const std::vector<int> &a) {
+             return incompleteHypercube(a[0]);
+         },
+         "first n vertices of the enclosing hypercube"},
+        {"tree",
+         {{"levels", 1, 5}},
+         [](const std::vector<int> &a) { return modularTree(a[0]); },
+         "modular 4-ary SNAIL tree"},
+        {"tree-rr",
+         {{"levels", 1, 5}},
+         [](const std::vector<int> &a) {
+             return modularTreeRoundRobin(a[0]);
+         },
+         "round-robin modular 4-ary SNAIL tree"},
+        {"corral",
+         {{"posts", 3, 512}, {"stride_a", 1, 31}, {"stride_b", 1, 31}},
+         [](const std::vector<int> &a) {
+             return corral(a[0], a[1], a[2]);
+         },
+         "SNAIL fence-post ring with two qubit fences"},
+    };
+    return generators;
+}
+
+} // namespace
+
+const std::vector<GeneratorInfo> &
+topologyGenerators()
+{
+    return registry();
+}
+
+const GeneratorInfo *
+findGenerator(const std::string &name)
+{
+    for (const GeneratorInfo &info : registry()) {
+        if (info.name == name) {
+            return &info;
+        }
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+generatorNames()
+{
+    std::vector<std::string> names;
+    names.reserve(registry().size());
+    for (const GeneratorInfo &info : registry()) {
+        names.push_back(info.name);
+    }
+    return names;
+}
+
+CouplingGraph
+buildGeneratedTopology(const std::string &name,
+                       const std::vector<int> &args)
+{
+    const GeneratorInfo *info = findGenerator(name);
+    if (info == nullptr) {
+        std::string known;
+        for (const GeneratorInfo &g : registry()) {
+            known += known.empty() ? g.name : ", " + g.name;
+        }
+        SNAIL_THROW("unknown topology generator '" << name << "' (known: "
+                                                   << known << ")");
+    }
+    SNAIL_REQUIRE(args.size() == info->params.size(),
+                  "generator '" << name << "' takes "
+                                << info->params.size() << " args, got "
+                                << args.size());
+    CouplingGraph graph = info->build(args);
+    std::string label = name + "(";
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        label += (i ? "," : "") + std::to_string(args[i]);
+    }
+    graph.setName(label + ")");
+    return graph;
+}
+
+} // namespace snail

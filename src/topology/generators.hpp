@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Introspectable registry of the parametric topology generators.
+ *
+ * builders.hpp exposes the generator *functions* (corral, modularTree,
+ * the lattices, ...); this registry exposes their *parameter spaces*:
+ * every generator's name, argument list, and per-argument search
+ * bounds, plus a uniform build entry point.  Two consumers:
+ *
+ *  - sweep specs ({"generator": "corral", "args": [8, 1, 2]}) resolve
+ *    through buildGeneratedTopology(), and
+ *  - the co-design search (search/mutate.hpp) walks the parameter
+ *    boxes — mutation needs to know that corral takes (posts,
+ *    stride_a, stride_b) and which deltas stay inside the box.
+ *
+ * The bounds are the *search box*, not the validity predicate: the
+ * builder functions remain the source of truth (corral additionally
+ * requires stride < posts, heavy-hex rejects 1-row grids, ...) and
+ * still throw SnailError on bad arguments.  Callers probing the box
+ * must treat a builder throw as "outside the space".
+ */
+
+#ifndef SNAILQC_TOPOLOGY_GENERATORS_HPP
+#define SNAILQC_TOPOLOGY_GENERATORS_HPP
+
+#include <string>
+#include <vector>
+
+#include "topology/coupling_graph.hpp"
+
+namespace snail
+{
+
+/** One generator argument: display name plus its search bounds. */
+struct GeneratorParam
+{
+    const char *name; //!< e.g. "posts", "rows", "levels"
+    int min = 1;      //!< smallest value the search may propose
+    int max = 1;      //!< largest value the search may propose
+};
+
+/** One parametric generator: name, arguments, build function. */
+struct GeneratorInfo
+{
+    std::string name;
+    std::vector<GeneratorParam> params;
+    CouplingGraph (*build)(const std::vector<int> &args);
+    const char *summary;
+};
+
+/** Every registered generator, in stable registration order. */
+const std::vector<GeneratorInfo> &topologyGenerators();
+
+/** Registry lookup; nullptr when `name` is unknown. */
+const GeneratorInfo *findGenerator(const std::string &name);
+
+/** Registered generator names, in registration order. */
+std::vector<std::string> generatorNames();
+
+/**
+ * Build `name` with `args` and label the graph "name(a,b,...)" — the
+ * canonical display form shared by sweep targets and search
+ * candidates.
+ * @throws SnailError for unknown generators, wrong arity, or
+ *         arguments the underlying builder rejects.
+ */
+CouplingGraph buildGeneratedTopology(const std::string &name,
+                                     const std::vector<int> &args);
+
+} // namespace snail
+
+#endif // SNAILQC_TOPOLOGY_GENERATORS_HPP

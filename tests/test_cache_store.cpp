@@ -256,6 +256,41 @@ TEST(CacheStore, TwoStoresOneDirectory)
     EXPECT_EQ(*a.fetch(makeKey(2)), "from-b");
 }
 
+TEST(CacheStore, EvictionRescansDirectoryForForeignWrites)
+{
+    // Two stores share a directory; B opened while it was empty, so
+    // its byte count is stale once A fills the directory.  B's next
+    // store() must rescan before evicting — with the stale count the
+    // directory would quietly outgrow the budget.
+    const std::string dir = freshDir("cache_cross_evict");
+    const unsigned long long budget = 4 * 700;
+    const std::string payload(400, 'p');
+
+    CacheStore a(dir, budget);
+    CacheStore b(dir, budget); // opens empty: indexed bytes = 0
+
+    for (unsigned long long i = 0; i < 4; ++i) {
+        a.store(makeKey(i), payload);
+    }
+    ASSERT_EQ(a.stats().evictions, 0u);
+
+    // B still believes the directory holds nothing but what it wrote.
+    b.store(makeKey(100), payload);
+    b.store(makeKey(101), payload);
+    EXPECT_GT(b.stats().evictions, 0u)
+        << "stale index: foreign entries invisible to eviction";
+
+    unsigned long long on_disk = 0;
+    for (const auto &item : fs::directory_iterator(dir)) {
+        on_disk += static_cast<unsigned long long>(item.file_size());
+    }
+    EXPECT_LE(on_disk, budget)
+        << "directory outgrew the budget despite eviction";
+
+    // B's own freshest entries survive (they hold the top ticks).
+    EXPECT_TRUE(b.fetch(makeKey(101)).has_value());
+}
+
 TEST(CacheStore, SweepServedFromStoreMatchesColdRun)
 {
     // Engine integration: run a small sweep cold, then again with a

@@ -1,0 +1,513 @@
+/**
+ * @file
+ * Tests for the guided co-design search subsystem (src/search/): the
+ * hardware cost model's exact values per family, constraint sets and
+ * their JSON forms, search-spec parsing and round-trips, the generator
+ * registry and its edge cases (degenerate parameters, disconnected
+ * corrals, duplicate-edge-free builds), mutation/build determinism,
+ * and the driver's headline guarantees — byte-identical trace and
+ * frontier at any thread count, checkpoint/resume with zero recompute,
+ * and the fresh-evaluation budget.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "search/cost_model.hpp"
+#include "search/driver.hpp"
+#include "search/frontier.hpp"
+#include "search/mutate.hpp"
+#include "search/search_spec.hpp"
+#include "topology/generators.hpp"
+
+namespace snail
+{
+namespace
+{
+
+// ---------------------------------------------------------------- cost
+
+TEST(CostModel, CorralCountsSnailsNotEdges)
+{
+    const CouplingGraph g = buildGeneratedTopology("corral", {8, 1, 2});
+    const HardwareCost cost = hardwareCost("corral", {8, 1, 2}, g);
+    EXPECT_EQ(cost.qubits, 16);
+    EXPECT_EQ(cost.couplers, 8u); // one SNAIL per post
+    EXPECT_EQ(cost.snails, 8u);
+    EXPECT_LT(cost.couplers, g.edgeCount()) // the paper's argument
+        << "SNAIL families must cost devices, not graph edges";
+    EXPECT_DOUBLE_EQ(cost.wiring, 8.0 * (1 + 2));
+}
+
+TEST(CostModel, TreeCountsModules)
+{
+    const CouplingGraph g = buildGeneratedTopology("tree", {2});
+    const HardwareCost cost = hardwareCost("tree", {2}, g);
+    EXPECT_EQ(cost.qubits, 20);
+    EXPECT_EQ(cost.snails, 5u); // 1 + 4
+    EXPECT_EQ(cost.couplers, 5u);
+    EXPECT_DOUBLE_EQ(cost.wiring, 4.0 + 5.0 * 4);
+}
+
+TEST(CostModel, HypercubeCountsEdgesWithLinearWiring)
+{
+    const CouplingGraph g = buildGeneratedTopology("hypercube", {3});
+    const HardwareCost cost = hardwareCost("hypercube", {3}, g);
+    EXPECT_EQ(cost.qubits, 8);
+    EXPECT_EQ(cost.couplers, 12u);
+    EXPECT_EQ(cost.snails, 0u); // pairwise couplers, no SNAILs
+    // Each dimension d contributes 4 edges of linear distance 2^d.
+    EXPECT_DOUBLE_EQ(cost.wiring, 4.0 * (1 + 2 + 4));
+}
+
+TEST(CostModel, SquareLatticeUnitWiring)
+{
+    const CouplingGraph g = buildGeneratedTopology("square", {4, 4});
+    const HardwareCost cost = hardwareCost("square", {4, 4}, g);
+    EXPECT_EQ(cost.qubits, 16);
+    EXPECT_EQ(cost.couplers, 24u);
+    EXPECT_DOUBLE_EQ(cost.wiring, 24.0);
+    EXPECT_EQ(cost.max_degree, 4);
+}
+
+TEST(CostModel, ConstraintsFeasibilityAndViolation)
+{
+    const CouplingGraph g = buildGeneratedTopology("corral", {8, 1, 2});
+    const HardwareCost cost = hardwareCost("corral", {8, 1, 2}, g);
+
+    ConstraintSet loose;
+    loose.max_couplers = 40;
+    EXPECT_TRUE(loose.feasible(cost));
+    EXPECT_DOUBLE_EQ(loose.violation(cost), 0.0);
+
+    ConstraintSet tight;
+    tight.max_couplers = 4; // 8 couplers: 100% overage
+    EXPECT_FALSE(tight.feasible(cost));
+    EXPECT_DOUBLE_EQ(tight.violation(cost), 1.0);
+
+    ConstraintSet unset; // all bounds disabled
+    EXPECT_TRUE(unset.feasible(cost));
+}
+
+TEST(CostModel, ConstraintJsonRoundTripAndRejection)
+{
+    ConstraintSet c;
+    c.max_couplers = 40;
+    c.max_degree = 4;
+    const ConstraintSet back =
+        constraintSetFromJson(constraintSetToJson(c));
+    EXPECT_DOUBLE_EQ(back.max_couplers, 40.0);
+    EXPECT_DOUBLE_EQ(back.max_degree, 4.0);
+    EXPECT_DOUBLE_EQ(back.max_wiring, 0.0);
+
+    EXPECT_THROW(
+        constraintSetFromJson(JsonValue::parse("{\"max_frobs\": 3}")),
+        SnailError);
+    EXPECT_THROW(
+        constraintSetFromJson(JsonValue::parse("{\"max_couplers\": 0}")),
+        SnailError);
+}
+
+// ---------------------------------------------------------- generators
+
+TEST(Generators, RegistryListsAndFinds)
+{
+    EXPECT_FALSE(generatorNames().empty());
+    const GeneratorInfo *corral = findGenerator("corral");
+    ASSERT_NE(corral, nullptr);
+    EXPECT_EQ(corral->params.size(), 3u);
+    EXPECT_EQ(findGenerator("no-such-family"), nullptr);
+}
+
+TEST(Generators, DegenerateParametersThrow)
+{
+    EXPECT_THROW(buildGeneratedTopology("corral", {2, 1, 1}), SnailError);
+    EXPECT_THROW(buildGeneratedTopology("corral", {8, 0, 1}), SnailError);
+    EXPECT_THROW(buildGeneratedTopology("corral", {8, 1, 8}), SnailError);
+    EXPECT_THROW(buildGeneratedTopology("tree", {0}), SnailError);
+    EXPECT_THROW(buildGeneratedTopology("tree", {6}), SnailError);
+    EXPECT_THROW(buildGeneratedTopology("square", {0, 4}), SnailError);
+    EXPECT_THROW(buildGeneratedTopology("hypercube", {0}), SnailError);
+    // Arity mismatch and unknown family fail up front with clear errors.
+    EXPECT_THROW(buildGeneratedTopology("corral", {8, 1}), SnailError);
+    EXPECT_THROW(buildGeneratedTopology("nope", {1}), SnailError);
+}
+
+TEST(Generators, SmallestCorralBuildsAndConnects)
+{
+    const CouplingGraph g = buildGeneratedTopology("corral", {3, 1, 2});
+    EXPECT_EQ(g.numQubits(), 6);
+    EXPECT_TRUE(g.isConnected());
+}
+
+TEST(Generators, EvenStrideCorralDisconnectsAndIsRejected)
+{
+    // corral(8,2,2): both strides even, so odd and even posts form two
+    // independent rings — a real graph the *search* must refuse.
+    const CouplingGraph g = buildGeneratedTopology("corral", {8, 2, 2});
+    EXPECT_FALSE(g.isConnected());
+
+    Candidate candidate{"corral", {8, 2, 2}, "sqiswap", 1.0};
+    EXPECT_FALSE(tryBuildCandidate(candidate, 2, 64).has_value());
+}
+
+TEST(Generators, BuildsHaveNoDuplicateOrSelfEdges)
+{
+    // The corral builder visits each post clique exhaustively and
+    // leans on idempotent addEdge; make sure no generator path ever
+    // yields parallel or self edges.
+    const std::vector<std::pair<std::string, std::vector<int>>> cases = {
+        {"corral", {5, 1, 2}},   {"corral", {8, 1, 3}},
+        {"tree", {2}},           {"tree-rr", {2}},
+        {"hypercube", {4}},      {"incomplete-hypercube", {11}},
+        {"square", {3, 5}},      {"hex", {3, 4}},
+        {"heavy-hex", {2, 3}},   {"lattice-altdiag", {3, 3}},
+    };
+    for (const auto &[family, args] : cases) {
+        const CouplingGraph g = buildGeneratedTopology(family, args);
+        std::set<std::pair<int, int>> seen;
+        for (const auto &[a, b] : g.edges()) {
+            EXPECT_NE(a, b) << family << ": self edge at " << a;
+            const auto edge = std::minmax(a, b);
+            EXPECT_TRUE(seen.insert({edge.first, edge.second}).second)
+                << family << ": duplicate edge " << a << "-" << b;
+        }
+        EXPECT_EQ(seen.size(), g.edgeCount()) << family;
+    }
+}
+
+// -------------------------------------------------------- spec parsing
+
+SearchSpec
+tinySpec()
+{
+    SearchSpec spec;
+    spec.name = "tiny";
+    spec.seed = 11;
+    CircuitSpec ghz;
+    ghz.bench = "ghz";
+    ghz.widths = {5};
+    spec.workloads = {ghz};
+    spec.pipeline = "dense,sabre-route,elide,basis=sqiswap";
+    spec.space.families = {"corral", "hypercube"};
+    spec.space.bases = {"sqiswap"};
+    spec.space.min_qubits = 5;
+    spec.space.max_qubits = 20;
+    spec.constraints.max_couplers = 12;
+    spec.anneal.iterations = 3;
+    spec.anneal.proposals = 2;
+    spec.anneal.t0 = 4.0;
+    spec.anneal.t1 = 0.5;
+    return spec;
+}
+
+TEST(SearchSpecJson, RoundTrips)
+{
+    const SearchSpec spec = tinySpec();
+    const SearchSpec back = searchSpecFromJson(searchSpecToJson(spec));
+    EXPECT_EQ(back.name, spec.name);
+    EXPECT_EQ(back.seed, spec.seed);
+    EXPECT_EQ(back.pipeline, spec.pipeline);
+    EXPECT_EQ(back.space.families, spec.space.families);
+    EXPECT_EQ(back.space.bases, spec.space.bases);
+    EXPECT_EQ(back.space.min_qubits, 5);
+    EXPECT_EQ(back.space.max_qubits, 20);
+    EXPECT_DOUBLE_EQ(back.constraints.max_couplers, 12.0);
+    EXPECT_EQ(back.anneal.iterations, 3);
+    EXPECT_EQ(back.anneal.proposals, 2);
+    EXPECT_EQ(back.objective.metric, "basis_2q_total");
+    // Serialize again: stable fixed point.
+    EXPECT_EQ(searchSpecToJson(back).dump(), searchSpecToJson(spec).dump());
+}
+
+TEST(SearchSpecJson, RejectsBadSpecs)
+{
+    JsonValue good = searchSpecToJson(tinySpec());
+
+    JsonValue unknown_key = good;
+    unknown_key.object()["surprise"] = JsonValue(1);
+    EXPECT_THROW(searchSpecFromJson(unknown_key), SnailError);
+
+    JsonValue bad_family = good;
+    bad_family.object()["space"].object()["families"] =
+        JsonValue::parse("[\"moebius\"]");
+    EXPECT_THROW(searchSpecFromJson(bad_family), SnailError);
+
+    JsonValue bad_metric = good;
+    bad_metric.object()["objective"].object()["metric"] =
+        JsonValue("qualityness");
+    EXPECT_THROW(searchSpecFromJson(bad_metric), SnailError);
+
+    JsonValue bad_mode = good;
+    bad_mode.object()["anneal"].object()["mode"] = JsonValue("tempered");
+    EXPECT_THROW(searchSpecFromJson(bad_mode), SnailError);
+
+    JsonValue bad_ramp = good;
+    bad_ramp.object()["anneal"].object()["t1"] = JsonValue(9.0);
+    EXPECT_THROW(searchSpecFromJson(bad_ramp), SnailError);
+
+    JsonValue no_workloads = good;
+    no_workloads.object()["workloads"] = JsonValue::parse("[]");
+    EXPECT_THROW(searchSpecFromJson(no_workloads), SnailError);
+
+    JsonValue bad_fidelity = good;
+    bad_fidelity.object()["space"].object()["fidelities"] =
+        JsonValue::parse("[1.5]");
+    EXPECT_THROW(searchSpecFromJson(bad_fidelity), SnailError);
+}
+
+// ------------------------------------------------------------ mutation
+
+TEST(Mutation, LabelsMatchSweepGeneratorNaming)
+{
+    Candidate candidate{"corral", {11, 1, 2}, "sqiswap", 1.0};
+    EXPECT_EQ(candidateLabel(candidate), "corral(11,1,2)-sqiswap");
+    candidate.fidelity_2q = 0.995;
+    EXPECT_EQ(candidateLabel(candidate), "corral(11,1,2)-sqiswap@f0.995");
+}
+
+TEST(Mutation, FitArgsLandNearTargetQubitCount)
+{
+    EXPECT_EQ(fitArgs("corral", 16), (std::vector<int>{8, 1, 2}));
+    EXPECT_EQ(fitArgs("hypercube", 8), (std::vector<int>{3}));
+    EXPECT_EQ(fitArgs("tree", 20), (std::vector<int>{2}));
+    EXPECT_EQ(fitArgs("incomplete-hypercube", 13),
+              (std::vector<int>{13}));
+    const std::vector<int> square = fitArgs("square", 12);
+    EXPECT_GE(square[0] * square[1], 12);
+}
+
+TEST(Mutation, DeterministicUnderStreamRng)
+{
+    const SearchSpec spec = tinySpec();
+    const BuiltCandidate start = initialCandidate(spec.space, 5);
+
+    const auto walk = [&]() {
+        std::vector<std::string> labels;
+        for (unsigned long long id = 0; id < 8; ++id) {
+            Rng rng = Rng::stream(123, id);
+            labels.push_back(
+                proposeCandidate(start, spec.space, 5, rng)
+                    .target.name());
+        }
+        return labels;
+    };
+    EXPECT_EQ(walk(), walk()); // same streams, same proposals
+}
+
+TEST(Mutation, InitialCandidateThrowsOnImpossibleSpace)
+{
+    SearchSpace space;
+    space.families = {"hypercube"};
+    space.bases = {"sqiswap"};
+    space.min_qubits = 2;
+    space.max_qubits = 3; // no hypercube has 2..3 qubits... except d=1
+    // hypercube(1) has 2 qubits, so that space is fine; squeeze harder:
+    space.min_qubits = 3;
+    space.max_qubits = 3;
+    EXPECT_THROW(initialCandidate(space, 3), SnailError);
+}
+
+// ------------------------------------------------------------ frontier
+
+EvaluatedCandidate
+frontierPoint(const std::string &label, std::size_t couplers,
+              double quality)
+{
+    EvaluatedCandidate point;
+    point.label = label;
+    point.cost.couplers = couplers;
+    point.quality = quality;
+    point.feasible = true;
+    return point;
+}
+
+TEST(Frontier, KeepsOnlyNonDominatedPoints)
+{
+    std::vector<EvaluatedCandidate> frontier;
+    updateFrontier(frontier, frontierPoint("a", 10, 50.0), false);
+    updateFrontier(frontier, frontierPoint("b", 20, 40.0), false);
+    ASSERT_EQ(frontier.size(), 2u); // trade-off: both survive
+
+    // Dominates "b" (cheaper and better), coexists with "a".
+    updateFrontier(frontier, frontierPoint("c", 15, 35.0), false);
+    ASSERT_EQ(frontier.size(), 2u);
+    EXPECT_EQ(frontier[0].label, "a");
+    EXPECT_EQ(frontier[1].label, "c");
+
+    // Dominated by "a": rejected.
+    updateFrontier(frontier, frontierPoint("d", 12, 55.0), false);
+    EXPECT_EQ(frontier.size(), 2u);
+
+    // Exact tie with "a": incumbent wins.
+    updateFrontier(frontier, frontierPoint("e", 10, 50.0), false);
+    EXPECT_EQ(frontier.size(), 2u);
+    EXPECT_EQ(frontier[0].label, "a");
+
+    // Infeasible points never enter.
+    EvaluatedCandidate infeasible = frontierPoint("f", 1, 1.0);
+    infeasible.feasible = false;
+    updateFrontier(frontier, infeasible, false);
+    EXPECT_EQ(frontier.size(), 2u);
+}
+
+TEST(Frontier, MaximizeDirectionFlips)
+{
+    std::vector<EvaluatedCandidate> frontier;
+    updateFrontier(frontier, frontierPoint("low", 10, 0.90), true);
+    updateFrontier(frontier, frontierPoint("high", 10, 0.99), true);
+    ASSERT_EQ(frontier.size(), 1u);
+    EXPECT_EQ(frontier[0].label, "high");
+}
+
+// -------------------------------------------------------------- driver
+
+std::string
+traceString(const SearchRun &run)
+{
+    std::ostringstream os;
+    writeSearchTrace(os, run);
+    return os.str();
+}
+
+std::string
+frontierString(const SearchRun &run)
+{
+    std::ostringstream os;
+    writeFrontierCsv(os, run);
+    return os.str();
+}
+
+TEST(SearchDriver, ByteIdenticalAcrossThreadCounts)
+{
+    const SearchSpec spec = tinySpec();
+
+    SearchOptions one;
+    one.threads = 1;
+    const SearchRun base = runSearch(spec, one);
+    EXPECT_GT(base.evaluations, 0u);
+    EXPECT_FALSE(base.trace.empty());
+
+    for (unsigned threads : {4u, 16u}) {
+        SearchOptions options;
+        options.threads = threads;
+        const SearchRun run = runSearch(spec, options);
+        EXPECT_EQ(traceString(run), traceString(base))
+            << "trace diverged at " << threads << " threads";
+        EXPECT_EQ(frontierString(run), frontierString(base))
+            << "frontier diverged at " << threads << " threads";
+    }
+}
+
+TEST(SearchDriver, ResumeRecomputesNothingAndMatchesBytes)
+{
+    const SearchSpec spec = tinySpec();
+    const std::string checkpoint =
+        testing::TempDir() + "search_resume.jsonl";
+    std::remove(checkpoint.c_str());
+
+    SearchOptions cold;
+    cold.threads = 1;
+    cold.checkpoint_path = checkpoint;
+    const SearchRun first = runSearch(spec, cold);
+    EXPECT_GT(first.stats.computed, 0u);
+
+    SearchOptions warm = cold;
+    warm.resume = true;
+    const SearchRun second = runSearch(spec, warm);
+    EXPECT_EQ(second.stats.computed, 0u)
+        << "a full checkpoint must satisfy every evaluation";
+    EXPECT_GT(second.stats.restored, 0u);
+    EXPECT_EQ(traceString(second), traceString(first));
+    EXPECT_EQ(frontierString(second), frontierString(first));
+}
+
+TEST(SearchDriver, ResumeAfterKillRecomputesOnlyTheTail)
+{
+    const SearchSpec spec = tinySpec();
+    const std::string checkpoint =
+        testing::TempDir() + "search_kill.jsonl";
+    std::remove(checkpoint.c_str());
+
+    SearchOptions cold;
+    cold.threads = 1;
+    cold.checkpoint_path = checkpoint;
+    const SearchRun first = runSearch(spec, cold);
+
+    // Simulate a kill partway through: keep only the first two lines
+    // (plus a torn third) of the checkpoint.
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(checkpoint);
+        std::string line;
+        while (std::getline(in, line)) {
+            lines.push_back(line);
+        }
+    }
+    ASSERT_GT(lines.size(), 2u);
+    {
+        std::ofstream out(checkpoint, std::ios::trunc);
+        out << lines[0] << "\n" << lines[1] << "\n";
+        out << lines[2].substr(0, lines[2].size() / 2); // torn line
+    }
+
+    SearchOptions warm = cold;
+    warm.resume = true;
+    const SearchRun resumed = runSearch(spec, warm);
+    EXPECT_EQ(resumed.stats.restored, 2u);
+    EXPECT_GT(resumed.stats.computed, 0u) << "tail must be recomputed";
+    EXPECT_LT(resumed.stats.computed, first.stats.computed +
+                                          first.stats.from_cache)
+        << "restored prefix must not be recomputed";
+    EXPECT_EQ(traceString(resumed), traceString(first));
+    EXPECT_EQ(frontierString(resumed), frontierString(first));
+
+    // The healed checkpoint satisfies a third run completely.
+    const SearchRun third = runSearch(spec, warm);
+    EXPECT_EQ(third.stats.computed, 0u);
+}
+
+TEST(SearchDriver, BudgetStopsAtIterationBoundary)
+{
+    SearchSpec spec = tinySpec();
+    spec.anneal.iterations = 8;
+
+    SearchOptions options;
+    options.threads = 1;
+    options.budget = 1; // the initial evaluation alone exhausts it
+    const SearchRun run = runSearch(spec, options);
+    EXPECT_TRUE(run.budget_exhausted);
+    EXPECT_TRUE(run.trace.empty());
+    EXPECT_TRUE(run.has_best); // the initial point still reports
+}
+
+TEST(SearchDriver, DescentModeNeverAcceptsUphill)
+{
+    SearchSpec spec = tinySpec();
+    spec.anneal.mode = SearchMode::Descent;
+    spec.anneal.iterations = 4;
+
+    SearchOptions options;
+    options.threads = 1;
+    const SearchRun run = runSearch(spec, options);
+    double energy = run.trace.empty()
+                        ? 0.0
+                        : run.trace.front().current.energy;
+    for (const IterationRecord &record : run.trace) {
+        EXPECT_LE(record.current.energy, energy + 1e-12)
+            << "descent accepted an uphill move at iteration "
+            << record.iteration;
+        energy = record.current.energy;
+    }
+}
+
+} // namespace
+} // namespace snail

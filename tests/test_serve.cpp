@@ -138,6 +138,11 @@ TEST(ServeService, PingVersionStats)
     ASSERT_TRUE(isOk(sr));
     EXPECT_EQ(sr.at("cache").at("entries").asInt(), 0);
     EXPECT_GE(sr.at("scheduler").at("workers").asInt(), 1);
+    // Monitoring fields: pool_size aliases workers; queue_depth is a
+    // backlog snapshot, 0 for an idle service.
+    EXPECT_EQ(sr.at("scheduler").at("pool_size").asInt(),
+              sr.at("scheduler").at("workers").asInt());
+    EXPECT_EQ(sr.at("scheduler").at("queue_depth").asInt(), 0);
 }
 
 TEST(ServeService, ErrorsAreResponsesNotThrows)

@@ -26,6 +26,13 @@
  *                                    Pareto + winner analysis, and
  *                                    CSV/JSON reporters; --cache-dir
  *                                    adds a persistent on-disk store
+ *   search <spec.json> [options]     guided co-design search: annealing
+ *                                    (or steepest descent) over the
+ *                                    parametric topology space under a
+ *                                    hardware-cost constraint set, with
+ *                                    a Pareto frontier, a JSONL trace,
+ *                                    checkpoint/resume, and an
+ *                                    evaluation budget (docs/search.md)
  *   serve [options]                  daemon on a UNIX socket accepting
  *                                    ndjson transpile/batch/sweep jobs
  *                                    (src/serve/protocol.hpp); --status
@@ -74,6 +81,7 @@
 #include "explore/cache_store.hpp"
 #include "explore/engine.hpp"
 #include "explore/report.hpp"
+#include "search/driver.hpp"
 #include "ir/qasm.hpp"
 #include "ir/qasm_parser.hpp"
 #include "serve/client.hpp"
@@ -119,6 +127,12 @@ printUsage(std::ostream &os)
         "        [--cache-dir <dir>]   design-space exploration over a\n"
         "                              circuits x targets x pipelines\n"
         "                              cross-product\n"
+        "  search <spec.json> [--threads N] [--budget N] [--resume]\n"
+        "         [--checkpoint <file.jsonl>] [--trace <file.jsonl>]\n"
+        "         [--csv <file>] [--json <file>] [--verbose]\n"
+        "         [--cache-dir <dir>]  guided co-design search: annealing\n"
+        "                              over the parametric topology space\n"
+        "                              under hardware-cost constraints\n"
         "  serve [--socket <path>] [--cache-dir <dir>]\n"
         "        [--cache-max-bytes N] [--queue-limit N] [--pool N]\n"
         "        [--status]            job daemon on a UNIX socket\n"
@@ -596,6 +610,127 @@ cmdSweep(const std::vector<std::string> &args)
 }
 
 /**
+ * Guided co-design search: walk the parametric topology space.
+ *
+ *   snailqc search <spec.json> [--threads N] [--budget N] [--resume]
+ *          [--checkpoint <file.jsonl>] [--trace <file.jsonl>]
+ *          [--csv <file>] [--json <file>] [--verbose] [--cache-dir <dir>]
+ *
+ * --resume without --checkpoint defaults the checkpoint path to
+ * "<spec.json>.search-checkpoint.jsonl".  --budget bounds freshly
+ * computed transpiles (cache hits are free).  --trace writes the
+ * JSONL iteration trace, --csv the Pareto frontier; both accept "-"
+ * for stdout (suppressing the summary tables).
+ */
+int
+cmdSearch(const std::vector<std::string> &args)
+{
+    SNAIL_REQUIRE(!args.empty(), "search needs <spec.json>");
+    const std::string spec_path = args[0];
+
+    SearchOptions options;
+    std::string trace_path;
+    std::string csv_path;
+    std::string json_path;
+    std::string cache_dir;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        const auto value = [&]() -> const std::string & {
+            SNAIL_REQUIRE(i + 1 < args.size(), arg << " needs a value");
+            return args[++i];
+        };
+        const auto number = [&]() {
+            const std::string &text = value();
+            char *end = nullptr;
+            const unsigned long long n =
+                std::strtoull(text.c_str(), &end, 10);
+            SNAIL_REQUIRE(end && *end == '\0' && !text.empty(),
+                          arg << " needs a non-negative integer, got '"
+                              << text << "'");
+            return n;
+        };
+        if (arg == "--threads") {
+            options.threads = static_cast<unsigned>(number());
+        } else if (arg == "--budget") {
+            options.budget = static_cast<std::size_t>(number());
+        } else if (arg == "--resume") {
+            options.resume = true;
+        } else if (arg == "--verbose") {
+            options.progress = &std::cerr;
+        } else if (arg == "--checkpoint") {
+            options.checkpoint_path = value();
+        } else if (arg == "--trace") {
+            trace_path = value();
+        } else if (arg == "--csv") {
+            csv_path = value();
+        } else if (arg == "--json") {
+            json_path = value();
+        } else if (arg == "--cache-dir") {
+            cache_dir = value();
+        } else {
+            SNAIL_THROW("unknown search option: " << arg);
+        }
+    }
+    if (options.resume && options.checkpoint_path.empty()) {
+        options.checkpoint_path = spec_path + ".search-checkpoint.jsonl";
+    }
+    int to_stdout = 0;
+    for (const std::string &path : {trace_path, csv_path, json_path}) {
+        to_stdout += path == "-" ? 1 : 0;
+    }
+    SNAIL_REQUIRE(to_stdout <= 1,
+                  "only one report can stream to stdout ('-')");
+
+    const SearchSpec spec = loadSearchSpecFile(spec_path);
+
+    std::optional<CacheStore> store;
+    if (!cache_dir.empty()) {
+        store.emplace(cache_dir);
+        options.cache_store = &*store;
+    }
+
+    const SearchRun run = runSearch(spec, options);
+    if (store.has_value()) {
+        std::cerr << "persistent cache: " << run.stats.from_store
+                  << " points served from " << store->directory() << "\n";
+    }
+
+    bool summary_to_stdout = true;
+    const auto writeReport = [&](const std::string &path, auto writer) {
+        if (path == "-") {
+            writer(std::cout);
+            summary_to_stdout = false;
+            return;
+        }
+        std::ofstream out(path);
+        SNAIL_REQUIRE(out.good(),
+                      "cannot write report '" << path << "'");
+        writer(out);
+        // stderr: stdout may be carrying another report via "-".
+        std::cerr << "wrote " << path << "\n";
+    };
+    if (!trace_path.empty()) {
+        writeReport(trace_path, [&](std::ostream &os) {
+            writeSearchTrace(os, run);
+        });
+    }
+    if (!csv_path.empty()) {
+        writeReport(csv_path, [&](std::ostream &os) {
+            writeFrontierCsv(os, run);
+        });
+    }
+    if (!json_path.empty()) {
+        writeReport(json_path, [&](std::ostream &os) {
+            writeSearchJson(os, run);
+        });
+    }
+    if (summary_to_stdout) {
+        printSearchSummary(std::cout, run);
+    }
+    return 0;
+}
+
+/**
  * serve [--socket <path>] [--cache-dir <dir>] [--cache-max-bytes N]
  *       [--queue-limit N] [--pool N] [--status]
  *
@@ -822,6 +957,9 @@ main(int argc, char **argv)
         }
         if (command == "sweep") {
             return cmdSweep(args);
+        }
+        if (command == "search") {
+            return cmdSearch(args);
         }
         if (command == "serve") {
             return cmdServe(args);
