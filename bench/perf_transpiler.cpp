@@ -36,6 +36,8 @@
 
 #include "circuits/circuits.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "topology/registry.hpp"
 #include "transpiler/delta_scorer.hpp"
 #include "transpiler/pass_registry.hpp"
@@ -314,6 +316,32 @@ BENCHMARK(BM_TranspileBatch)
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
+
+/**
+ * The observability layer's disabled path: with no tracer installed
+ * (the default everywhere), a ScopedSpan must cost one relaxed
+ * pointer load plus a branch, and a sharded Counter::add one relaxed
+ * fetch_add — cheap enough to leave in every pass, task, and cache
+ * access permanently.  `spans` is deterministic (the fixed per-
+ * iteration span count) so compare_bench.py pins the row's presence;
+ * the timing trajectory shows if the "free when off" claim drifts.
+ */
+void
+BM_ObsDisabledSpan(benchmark::State &state)
+{
+    setActiveTracer(nullptr); // belt and braces: measure the off path
+    Counter counter;
+    constexpr int kSpans = 64;
+    for (auto _ : state) {
+        for (int i = 0; i < kSpans; ++i) {
+            ScopedSpan span("bench", "bench");
+            counter.add();
+        }
+        benchmark::DoNotOptimize(counter.value());
+    }
+    state.counters["spans"] = static_cast<double>(kSpans);
+}
+BENCHMARK(BM_ObsDisabledSpan);
 
 } // namespace
 

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <memory>
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace snail
 {
@@ -28,6 +31,9 @@ struct Scheduler::TaskGroup
     unsigned executors = 0;
     /** Pool-worker cap: concurrency - 1 (the caller always drains). */
     unsigned max_executors = 0;
+    /** When the group became runnable; tasks report claim - this as
+     *  queue wait. */
+    std::chrono::steady_clock::time_point enqueued;
 };
 
 namespace
@@ -51,6 +57,29 @@ defaultWorkerCount()
 std::mutex g_global_mutex;
 std::unique_ptr<Scheduler> g_global;
 unsigned g_global_workers = 0; // 0 = defaultWorkerCount() at first use
+
+/**
+ * Publish one executed task into the registry.  busy-us is a counter
+ * (not only a histogram sum) so worker utilization is derivable as
+ * rate(snailqc_sched_busy_us_total) / pool_size.
+ */
+void
+observeTask(double run_us, double wait_us)
+{
+    static Counter &tasks =
+        MetricsRegistry::global().counter("snailqc_sched_tasks_total");
+    static Counter &busy = MetricsRegistry::global().counter(
+        "snailqc_sched_busy_us_total");
+    static Histogram &run_hist =
+        MetricsRegistry::global().histogram("snailqc_sched_task_run_us");
+    static Histogram &wait_hist = MetricsRegistry::global().histogram(
+        "snailqc_sched_queue_wait_us");
+    tasks.add();
+    busy.add(run_us >= 1.0 ? static_cast<unsigned long long>(run_us)
+                           : 0ull);
+    run_hist.observe(run_us);
+    wait_hist.observe(wait_us);
+}
 
 } // namespace
 
@@ -78,16 +107,26 @@ Scheduler::~Scheduler()
 void
 Scheduler::drainGroup(TaskGroup &group)
 {
+    using clock = std::chrono::steady_clock;
     for (;;) {
         const std::size_t i = group.next.fetch_add(1);
         if (i >= group.count) {
             return;
         }
+        const clock::time_point claim = clock::now();
         try {
+            ScopedSpan span("sched:task", "sched");
             (*group.body)(i);
         } catch (...) {
             (*group.errors)[i] = std::current_exception();
         }
+        const clock::time_point done = clock::now();
+        observeTask(
+            std::chrono::duration<double, std::micro>(done - claim)
+                .count(),
+            std::chrono::duration<double, std::micro>(claim -
+                                                      group.enqueued)
+                .count());
     }
 }
 
@@ -137,15 +176,28 @@ Scheduler::run(std::size_t count, unsigned concurrency,
         concurrency == 0 ? _worker_count + 1 : concurrency, count);
     std::vector<std::exception_ptr> errors(count);
 
+    static Counter &groups =
+        MetricsRegistry::global().counter("snailqc_sched_groups_total");
+    groups.add();
+    ScopedSpan group_span("sched:group", "sched");
+
     if (resolved <= 1 || count == 1) {
         // Inline serial path: no pool, no locks — the deterministic
-        // reference execution every parallel run must match.
+        // reference execution every parallel run must match.  Tasks
+        // still publish run time (queue wait is by definition ~0).
+        using clock = std::chrono::steady_clock;
         for (std::size_t i = 0; i < count; ++i) {
+            const clock::time_point start = clock::now();
             try {
+                ScopedSpan span("sched:task", "sched");
                 body(i);
             } catch (...) {
                 errors[i] = std::current_exception();
             }
+            observeTask(std::chrono::duration<double, std::micro>(
+                            clock::now() - start)
+                            .count(),
+                        0.0);
         }
     } else {
         TaskGroup group;
@@ -153,6 +205,7 @@ Scheduler::run(std::size_t count, unsigned concurrency,
         group.body = &body;
         group.errors = &errors;
         group.max_executors = resolved - 1;
+        group.enqueued = std::chrono::steady_clock::now();
         {
             std::lock_guard<std::mutex> lock(_mutex);
             _active.push_back(&group);
@@ -198,6 +251,17 @@ Scheduler::global()
     std::lock_guard<std::mutex> lock(g_global_mutex);
     if (!g_global) {
         g_global = std::make_unique<Scheduler>(g_global_workers);
+        // Live monitoring gauges for the pool everything shares.  The
+        // callbacks capture the raw pointer — NOT Scheduler::global()
+        // — so a registry snapshot never re-enters g_global_mutex.
+        Scheduler *sched = g_global.get();
+        MetricsRegistry &registry = MetricsRegistry::global();
+        registry.registerGauge("snailqc_sched_pool_size", [sched]() {
+            return static_cast<double>(sched->workerCount());
+        });
+        registry.registerGauge("snailqc_sched_queue_depth", [sched]() {
+            return static_cast<double>(sched->queueDepth());
+        });
     }
     return *g_global;
 }

@@ -11,6 +11,8 @@
 #include "common/error.hpp"
 #include "common/hash.hpp"
 #include "common/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 #ifdef _WIN32
 #include <process.h>
@@ -50,6 +52,32 @@ payloadChecksum(const std::string &payload)
     hasher.str(payload);
     return hasher.value();
 }
+
+/** Registry handles for the persistent-store series (stable refs). */
+struct CacheObs
+{
+    Counter &hits;
+    Counter &misses;
+    Counter &evictions;
+    Counter &stores;
+    Histogram &fetch_us;
+    Histogram &store_us;
+
+    static CacheObs &
+    get()
+    {
+        MetricsRegistry &r = MetricsRegistry::global();
+        static CacheObs obs{
+            r.counter("snailqc_cache_hits_total"),
+            r.counter("snailqc_cache_misses_total"),
+            r.counter("snailqc_cache_evictions_total"),
+            r.counter("snailqc_cache_stores_total"),
+            r.histogram("snailqc_cache_fetch_us"),
+            r.histogram("snailqc_cache_store_us"),
+        };
+        return obs;
+    }
+};
 
 /** Whole-file read; nullopt on any I/O problem. */
 std::optional<std::string>
@@ -146,6 +174,10 @@ CacheStore::CacheStore(std::string dir, unsigned long long max_bytes)
         _entries[entry.name] = Entry{entry.bytes, ++_tick};
         _bytes += entry.bytes;
     }
+
+    // Pre-create the registry series so a metrics snapshot taken
+    // before any traffic already exports them (at zero).
+    CacheObs::get();
 }
 
 std::string
@@ -176,6 +208,9 @@ CacheStore::forgetLocked(const std::string &name)
 std::optional<std::string>
 CacheStore::fetch(const CacheKey &key)
 {
+    CacheObs &obs = CacheObs::get();
+    ScopedSpan span("cache:fetch", "cache");
+    ScopedLatency latency(obs.fetch_us);
     const std::string name = entryName(key);
     const std::string path = entryPath(name);
 
@@ -186,6 +221,7 @@ CacheStore::fetch(const CacheKey &key)
     if (!text) {
         forgetLocked(name);
         ++_misses;
+        obs.misses.add();
         return std::nullopt;
     }
 
@@ -207,6 +243,7 @@ CacheStore::fetch(const CacheKey &key)
         }
         touchLocked(name, static_cast<unsigned long long>(text->size()));
         ++_hits;
+        obs.hits.add();
         // Refresh the mtime so cross-restart LRU seeding sees the use.
         std::error_code ec;
         fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
@@ -216,6 +253,7 @@ CacheStore::fetch(const CacheKey &key)
         fs::remove(path, ec);
         forgetLocked(name);
         ++_misses;
+        obs.misses.add();
         return std::nullopt;
     }
 }
@@ -223,6 +261,10 @@ CacheStore::fetch(const CacheKey &key)
 void
 CacheStore::store(const CacheKey &key, const std::string &payload)
 {
+    CacheObs &obs = CacheObs::get();
+    ScopedSpan span("cache:store", "cache");
+    ScopedLatency latency(obs.store_us);
+    obs.stores.add();
     const std::string name = entryName(key);
     const std::string path = entryPath(name);
 
@@ -344,6 +386,7 @@ CacheStore::evictLocked()
         _bytes -= victim->second.bytes;
         _entries.erase(victim);
         ++_evictions;
+        CacheObs::get().evictions.add();
     }
 }
 

@@ -11,6 +11,8 @@
 #include "common/json.hpp"
 #include "common/thread_pool.hpp"
 #include "explore/checkpoint.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "transpiler/pass_registry.hpp"
 
 namespace snail
@@ -102,11 +104,26 @@ evaluateJobs(const std::vector<ExploreJob> &jobs, TranspileCache &cache,
     std::atomic<std::size_t> from_cache{0};
     std::atomic<std::size_t> from_store{0};
     std::mutex progress_mutex;
+    MetricsRegistry &registry = MetricsRegistry::global();
+    Counter &points_total =
+        registry.counter("snailqc_explore_points_total");
+    Counter &points_computed =
+        registry.counter("snailqc_explore_points_computed_total");
+    Counter &points_cached =
+        registry.counter("snailqc_explore_points_from_cache_total");
+    Counter &points_stored =
+        registry.counter("snailqc_explore_points_from_store_total");
+    Histogram &point_us =
+        registry.histogram("snailqc_explore_point_us");
     parallelFor(jobs.size(), options.threads, [&](std::size_t i) {
         const ExploreJob &job = jobs[i];
+        ScopedSpan span("explore:point", "explore");
+        ScopedLatency latency(point_us);
+        points_total.add();
         if (const auto cached = cache.lookup(keys[i])) {
             results[i] = *cached;
             from_cache.fetch_add(1);
+            points_cached.add();
             return;
         }
         // Second chance: the persistent store may hold the point from
@@ -119,6 +136,7 @@ evaluateJobs(const std::vector<ExploreJob> &jobs, TranspileCache &cache,
                         pointMetricsFromJson(JsonValue::parse(*stored));
                     cache.insert(keys[i], results[i]);
                     from_store.fetch_add(1);
+                    points_stored.add();
                     if (checkpoint) {
                         checkpoint->append(keys[i], results[i]);
                     }
@@ -137,6 +155,7 @@ evaluateJobs(const std::vector<ExploreJob> &jobs, TranspileCache &cache,
         results[i] = extractPointMetrics(result);
         cache.insert(keys[i], results[i]);
         computed.fetch_add(1);
+        points_computed.add();
         if (checkpoint) {
             checkpoint->append(keys[i], results[i]);
         }

@@ -1,0 +1,223 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace snail
+{
+
+namespace
+{
+
+/** Round-robin shard assignment; wraps, collisions only share a cell. */
+std::atomic<std::size_t> g_next_shard{0};
+
+} // namespace
+
+std::size_t
+Counter::threadShard()
+{
+    thread_local const std::size_t slot =
+        g_next_shard.fetch_add(1, std::memory_order_relaxed) % kShards;
+    return slot;
+}
+
+void
+Histogram::observe(double us)
+{
+    if (!(us >= 0.0)) { // also catches NaN
+        us = 0.0;
+    }
+    std::size_t bucket = 0;
+    while (bucket + 1 < kBuckets && us > bucketBound(bucket)) {
+        ++bucket;
+    }
+    _buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+    _count.fetch_add(1, std::memory_order_relaxed);
+    const double ns = us * 1000.0;
+    const unsigned long long ns_int =
+        ns >= 0.0 ? static_cast<unsigned long long>(ns + 0.5) : 0ull;
+    _sum_ns.fetch_add(ns_int, std::memory_order_relaxed);
+}
+
+double
+Histogram::bucketBound(std::size_t i)
+{
+    return std::ldexp(1.0, static_cast<int>(i)); // 2^i
+}
+
+unsigned long long
+Histogram::cumulativeCount(std::size_t i) const
+{
+    unsigned long long total = 0;
+    for (std::size_t b = 0; b <= i && b < kBuckets; ++b) {
+        total += _buckets[b].load(std::memory_order_relaxed);
+    }
+    return total;
+}
+
+JsonValue
+MetricsSnapshot::toJson() const
+{
+    JsonValue::Object counters_obj;
+    for (const CounterValue &c : counters) {
+        counters_obj[c.name] = JsonValue(static_cast<double>(c.value));
+    }
+    JsonValue::Object gauges_obj;
+    for (const GaugeValue &g : gauges) {
+        gauges_obj[g.name] = JsonValue(g.value);
+    }
+    JsonValue::Object histograms_obj;
+    for (const HistogramValue &h : histograms) {
+        JsonValue::Array buckets;
+        for (std::size_t i = 0; i < h.cumulative.size(); ++i) {
+            JsonValue::Object bucket;
+            bucket["le"] = JsonValue(Histogram::bucketBound(i));
+            bucket["count"] =
+                JsonValue(static_cast<double>(h.cumulative[i]));
+            buckets.push_back(JsonValue(std::move(bucket)));
+        }
+        JsonValue::Object hist;
+        hist["count"] = JsonValue(static_cast<double>(h.count));
+        hist["sum_us"] = JsonValue(h.sum_us);
+        hist["buckets"] = JsonValue(std::move(buckets));
+        histograms_obj[h.name] = JsonValue(std::move(hist));
+    }
+    JsonValue::Object root;
+    root["counters"] = JsonValue(std::move(counters_obj));
+    root["gauges"] = JsonValue(std::move(gauges_obj));
+    root["histograms"] = JsonValue(std::move(histograms_obj));
+    return JsonValue(std::move(root));
+}
+
+std::string
+MetricsSnapshot::toPrometheusText() const
+{
+    std::string out;
+    for (const CounterValue &c : counters) {
+        out += "# TYPE " + c.name + " counter\n";
+        out += c.name + " " + std::to_string(c.value) + "\n";
+    }
+    for (const GaugeValue &g : gauges) {
+        out += "# TYPE " + g.name + " gauge\n";
+        out += g.name + " " + shortestDouble(g.value) + "\n";
+    }
+    for (const HistogramValue &h : histograms) {
+        out += "# TYPE " + h.name + " histogram\n";
+        for (std::size_t i = 0; i < h.cumulative.size(); ++i) {
+            out += h.name + "_bucket{le=\"" +
+                   shortestDouble(Histogram::bucketBound(i)) + "\"} " +
+                   std::to_string(h.cumulative[i]) + "\n";
+        }
+        out += h.name + "_bucket{le=\"+Inf\"} " +
+               std::to_string(h.count) + "\n";
+        out += h.name + "_sum " + shortestDouble(h.sum_us) + "\n";
+        out += h.name + "_count " + std::to_string(h.count) + "\n";
+    }
+    return out;
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    // Leaked so shutdown-order races with gauge callbacks cannot
+    // observe a destroyed registry.
+    static MetricsRegistry *registry = new MetricsRegistry();
+    return *registry;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::unique_ptr<Counter> &slot = _counters[name];
+    if (!slot) {
+        slot = std::make_unique<Counter>();
+    }
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::unique_ptr<Gauge> &slot = _gauges[name];
+    if (!slot) {
+        slot = std::make_unique<Gauge>();
+    }
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::unique_ptr<Histogram> &slot = _histograms[name];
+    if (!slot) {
+        slot = std::make_unique<Histogram>();
+    }
+    return *slot;
+}
+
+void
+MetricsRegistry::registerGauge(const std::string &name,
+                               std::function<double()> fn)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _callback_gauges[name] = std::move(fn);
+}
+
+void
+MetricsRegistry::unregisterGauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _callback_gauges.erase(name);
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    // Callback gauges run outside _mutex: a callback is free to take
+    // its own subsystem lock (scheduler, cache) without ordering
+    // against registry operations.
+    std::vector<std::pair<std::string, std::function<double()>>>
+        callbacks;
+    MetricsSnapshot snap;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        for (const auto &entry : _counters) {
+            snap.counters.push_back({entry.first,
+                                     entry.second->value()});
+        }
+        for (const auto &entry : _gauges) {
+            snap.gauges.push_back({entry.first,
+                                   entry.second->value()});
+        }
+        for (const auto &entry : _callback_gauges) {
+            callbacks.emplace_back(entry.first, entry.second);
+        }
+        for (const auto &entry : _histograms) {
+            MetricsSnapshot::HistogramValue value;
+            value.name = entry.first;
+            value.cumulative.reserve(Histogram::kBuckets);
+            for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+                value.cumulative.push_back(
+                    entry.second->cumulativeCount(i));
+            }
+            value.count = entry.second->count();
+            value.sum_us = entry.second->sumUs();
+            snap.histograms.push_back(std::move(value));
+        }
+    }
+    for (auto &callback : callbacks) {
+        snap.gauges.push_back({callback.first, callback.second()});
+    }
+    std::sort(snap.gauges.begin(), snap.gauges.end(),
+              [](const MetricsSnapshot::GaugeValue &a,
+                 const MetricsSnapshot::GaugeValue &b) {
+                  return a.name < b.name;
+              });
+    return snap;
+}
+
+} // namespace snail

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Process-wide metrics registry: counters, gauges, histograms.
+ *
+ * Every subsystem that used to keep private ad-hoc counters — pass
+ * timings in TranspileResult, cache hit/miss/eviction tallies in
+ * CacheStore, pool/queue depth polled off the Scheduler, admission
+ * counters in the serve Service — now also publishes into one named
+ * registry, so a single snapshot describes the whole process and one
+ * wire op (`metrics`) exports it.
+ *
+ * Instrument types:
+ *
+ *  - Counter: monotonic, add-only.  The hot path is sharded: each
+ *    thread hashes to one of a fixed set of cache-line-padded atomic
+ *    cells, so concurrent workers never contend on one line; value()
+ *    sums the shards.
+ *  - Gauge: a point-in-time double, either stored (set()) or computed
+ *    at snapshot time from a registered callback — the live export
+ *    surface for values like Scheduler::queueDepth() that only exist
+ *    by asking.
+ *  - Histogram: log2-bucketed latency distribution in microseconds
+ *    (bucket i counts observations <= 2^i us), with exact count and
+ *    sum, matching Prometheus histogram exposition.
+ *
+ * Handles returned by counter()/gauge()/histogram() are stable for
+ * the registry's lifetime — instruments are created once and never
+ * removed — so call sites cache them in function-local statics and
+ * the per-observation cost is a relaxed atomic add.
+ *
+ * Snapshots serialize two ways: toJson() (the `serve
+ * --metrics-interval` JSONL dump and the `metrics` op's structured
+ * field) and toPrometheusText() (text exposition format, version
+ * 0.0.4).  Both are locale-proof (shortestDouble).
+ *
+ * Metrics are observational only: nothing in this header feeds back
+ * into any report, checkpoint, or fingerprint, so all result bytes
+ * stay identical whether or not anyone ever snapshots.
+ */
+
+#ifndef SNAILQC_OBS_METRICS_HPP
+#define SNAILQC_OBS_METRICS_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace snail
+{
+
+/** Monotonic counter with per-thread sharded cells (see file doc). */
+class Counter
+{
+  public:
+    static constexpr std::size_t kShards = 16;
+
+    void
+    add(unsigned long long n = 1)
+    {
+        _shards[threadShard()].value.fetch_add(n,
+                                               std::memory_order_relaxed);
+    }
+
+    unsigned long long
+    value() const
+    {
+        unsigned long long total = 0;
+        for (const Shard &shard : _shards) {
+            total += shard.value.load(std::memory_order_relaxed);
+        }
+        return total;
+    }
+
+  private:
+    struct alignas(64) Shard
+    {
+        std::atomic<unsigned long long> value{0};
+    };
+
+    /** This thread's shard index (assigned round-robin on first use). */
+    static std::size_t threadShard();
+
+    Shard _shards[kShards];
+};
+
+/** Stored point-in-time value (callback gauges live in the registry). */
+class Gauge
+{
+  public:
+    void
+    set(double value)
+    {
+        _value.store(value, std::memory_order_relaxed);
+    }
+
+    double
+    value() const
+    {
+        return _value.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> _value{0.0};
+};
+
+/** Log2-bucketed microsecond latency histogram. */
+class Histogram
+{
+  public:
+    /** Bucket i counts observations with us <= 2^i; 28 -> ~268 s. */
+    static constexpr std::size_t kBuckets = 28;
+
+    /** Record one observation of `us` microseconds (clamped >= 0). */
+    void observe(double us);
+
+    /** Upper bound (inclusive, us) of bucket `i`: 2^i. */
+    static double bucketBound(std::size_t i);
+
+    unsigned long long
+    count() const
+    {
+        return _count.load(std::memory_order_relaxed);
+    }
+
+    /** Total of all observations, microseconds. */
+    double
+    sumUs() const
+    {
+        // Stored in nanoseconds so the hot path is an integer add.
+        return static_cast<double>(
+                   _sum_ns.load(std::memory_order_relaxed)) /
+               1000.0;
+    }
+
+    /** Cumulative count of observations in buckets [0, i]. */
+    unsigned long long cumulativeCount(std::size_t i) const;
+
+  private:
+    std::atomic<unsigned long long> _buckets[kBuckets]{};
+    std::atomic<unsigned long long> _count{0};
+    std::atomic<unsigned long long> _sum_ns{0};
+};
+
+/** RAII: records the enclosing scope's duration into a Histogram. */
+class ScopedLatency
+{
+  public:
+    explicit ScopedLatency(Histogram &histogram)
+        : _histogram(histogram),
+          _start(std::chrono::steady_clock::now())
+    {
+    }
+
+    ~ScopedLatency()
+    {
+        _histogram.observe(
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - _start)
+                .count());
+    }
+
+    ScopedLatency(const ScopedLatency &) = delete;
+    ScopedLatency &operator=(const ScopedLatency &) = delete;
+
+  private:
+    Histogram &_histogram;
+    const std::chrono::steady_clock::time_point _start;
+};
+
+/** One instrument's values at snapshot time. */
+struct MetricsSnapshot
+{
+    struct CounterValue
+    {
+        std::string name;
+        unsigned long long value = 0;
+    };
+    struct GaugeValue
+    {
+        std::string name;
+        double value = 0.0;
+    };
+    struct HistogramValue
+    {
+        std::string name;
+        /** Cumulative counts per bucket (Prometheus `le` semantics). */
+        std::vector<unsigned long long> cumulative;
+        unsigned long long count = 0;
+        double sum_us = 0.0;
+    };
+
+    std::vector<CounterValue> counters;     //!< sorted by name
+    std::vector<GaugeValue> gauges;         //!< sorted by name
+    std::vector<HistogramValue> histograms; //!< sorted by name
+
+    /** {"counters":{...},"gauges":{...},"histograms":{...}}. */
+    JsonValue toJson() const;
+
+    /** Prometheus text exposition (0.0.4): TYPE lines + samples. */
+    std::string toPrometheusText() const;
+};
+
+/**
+ * Named instrument registry.  Instantiable for tests; production code
+ * uses the process-wide global() (a leaked singleton, so callbacks
+ * registered by other static-lifetime objects never dangle during
+ * shutdown snapshots).
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** The process-wide registry every subsystem publishes into. */
+    static MetricsRegistry &global();
+
+    /** Find-or-create; the reference is stable forever (file doc). */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /**
+     * Register (or replace) a callback gauge: `fn` is evaluated at
+     * every snapshot.  The callback must stay valid for the registry's
+     * lifetime or until unregisterGauge(name).
+     */
+    void registerGauge(const std::string &name,
+                       std::function<double()> fn);
+
+    /** Drop a callback gauge (no-op when absent). */
+    void unregisterGauge(const std::string &name);
+
+    /** Consistent point-in-time read of every instrument. */
+    MetricsSnapshot snapshot() const;
+
+  private:
+    mutable std::mutex _mutex;
+    std::map<std::string, std::unique_ptr<Counter>> _counters;
+    std::map<std::string, std::unique_ptr<Gauge>> _gauges;
+    std::map<std::string, std::function<double()>> _callback_gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> _histograms;
+};
+
+} // namespace snail
+
+#endif // SNAILQC_OBS_METRICS_HPP

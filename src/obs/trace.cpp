@@ -1,0 +1,197 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "common/json.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+std::atomic<Tracer *> g_active{nullptr};
+std::atomic<std::uint64_t> g_tracer_ids{0};
+
+/** One thread's cached (tracer id -> buffer) association. */
+struct ThreadCache
+{
+    std::uint64_t tracer_id = 0;
+    void *buffer = nullptr;
+};
+
+thread_local ThreadCache t_cache;
+
+} // namespace
+
+Tracer *
+activeTracer()
+{
+    return g_active.load(std::memory_order_acquire);
+}
+
+void
+setActiveTracer(Tracer *tracer)
+{
+    g_active.store(tracer, std::memory_order_release);
+}
+
+Tracer::Tracer()
+    : _id(g_tracer_ids.fetch_add(1, std::memory_order_relaxed) + 1),
+      _epoch(std::chrono::steady_clock::now())
+{
+}
+
+Tracer::ThreadBuffer &
+Tracer::threadBuffer()
+{
+    // The id check (not a pointer check) makes the cache safe against
+    // a new Tracer reusing a destroyed one's address.
+    if (t_cache.tracer_id == _id) {
+        return *static_cast<ThreadBuffer *>(t_cache.buffer);
+    }
+    std::lock_guard<std::mutex> lock(_mutex);
+    _buffers.push_back(std::make_unique<ThreadBuffer>());
+    ThreadBuffer &buffer = *_buffers.back();
+    buffer.tid = static_cast<std::uint32_t>(_buffers.size());
+    t_cache.tracer_id = _id;
+    t_cache.buffer = &buffer;
+    return buffer;
+}
+
+std::uint64_t
+Tracer::nowNs() const
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - _epoch)
+            .count());
+}
+
+void
+Tracer::begin(const std::string &name, const char *category)
+{
+    ThreadBuffer &buffer = threadBuffer();
+    if (buffer.events.size() >= kMaxEventsPerThread) {
+        ++buffer.dropped;
+        ++buffer.dropped_depth;
+        return;
+    }
+    Event event;
+    event.name = name;
+    event.category = category;
+    event.phase = 'B';
+    event.ts_ns = nowNs();
+    buffer.events.push_back(std::move(event));
+    buffer.open.push_back(name);
+}
+
+void
+Tracer::end()
+{
+    ThreadBuffer &buffer = threadBuffer();
+    if (buffer.dropped_depth > 0) {
+        // The matching B was discarded; suppress the E to stay
+        // balanced.
+        --buffer.dropped_depth;
+        return;
+    }
+    if (buffer.open.empty()) {
+        return; // unmatched end; ignore rather than corrupt the stream
+    }
+    Event event;
+    event.name = buffer.open.back();
+    event.phase = 'E';
+    event.ts_ns = nowNs();
+    buffer.open.pop_back();
+    buffer.events.push_back(std::move(event));
+}
+
+std::size_t
+Tracer::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::size_t total = 0;
+    for (const std::unique_ptr<ThreadBuffer> &buffer : _buffers) {
+        total += buffer->events.size();
+    }
+    return total;
+}
+
+std::size_t
+Tracer::droppedCount() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::size_t total = 0;
+    for (const std::unique_ptr<ThreadBuffer> &buffer : _buffers) {
+        total += buffer->dropped;
+    }
+    return total;
+}
+
+void
+Tracer::writeJson(std::ostream &out) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+
+    std::vector<const ThreadBuffer *> buffers;
+    buffers.reserve(_buffers.size());
+    for (const std::unique_ptr<ThreadBuffer> &buffer : _buffers) {
+        buffers.push_back(buffer.get());
+    }
+    std::sort(buffers.begin(), buffers.end(),
+              [](const ThreadBuffer *a, const ThreadBuffer *b) {
+                  return a->tid < b->tid;
+              });
+
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    auto comma = [&]() {
+        if (!first) {
+            out << ",";
+        }
+        first = false;
+    };
+
+    comma();
+    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+           "\"tid\":0,\"ts\":0,\"args\":{\"name\":\"snailqc\"}}";
+
+    for (const ThreadBuffer *buffer : buffers) {
+        comma();
+        out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+            << "\"tid\":" << buffer->tid
+            << ",\"ts\":0,\"args\":{\"name\":\"thread-" << buffer->tid
+            << "\"}}";
+        for (const Event &event : buffer->events) {
+            comma();
+            // ts is microseconds; keep ns resolution as a fraction.
+            out << "{\"name\":" << JsonValue(event.name).dump()
+                << ",\"cat\":\""
+                << (event.phase == 'B' ? event.category : "")
+                << "\",\"ph\":\"" << event.phase
+                << "\",\"pid\":1,\"tid\":" << buffer->tid
+                << ",\"ts\":"
+                << fixedDouble(static_cast<double>(event.ts_ns) /
+                                   1000.0,
+                               3)
+                << "}";
+        }
+        // Spans still open at serialization time (e.g. the daemon's
+        // accept loop) are closed at "now" so the stream stays
+        // balanced for strict validators.
+        const std::uint64_t now = nowNs();
+        for (std::size_t i = buffer->open.size(); i > 0; --i) {
+            comma();
+            out << "{\"name\":"
+                << JsonValue(buffer->open[i - 1]).dump()
+                << ",\"cat\":\"\",\"ph\":\"E\",\"pid\":1,\"tid\":"
+                << buffer->tid << ",\"ts\":"
+                << fixedDouble(static_cast<double>(now) / 1000.0, 3)
+                << "}";
+        }
+    }
+    out << "]}";
+}
+
+} // namespace snail

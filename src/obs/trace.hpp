@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Span tracer emitting Chrome trace-event / Perfetto-loadable JSON.
+ *
+ * A Tracer collects begin/end ("B"/"E") duration events into
+ * per-thread buffers — each recording thread appends to its own
+ * vector, so tracing adds no cross-thread contention to the hot paths
+ * it observes — and serializes them as the Trace Event Format object
+ * `{"traceEvents":[...]}` that chrome://tracing and ui.perfetto.dev
+ * load directly.  Threads are registered on first use, get stable
+ * small tids, and are labelled with `thread_name` metadata events;
+ * nesting within a thread comes from balanced B/E pairs.
+ *
+ * The default is a **null sink**: the process-wide active tracer is a
+ * single `std::atomic<Tracer *>` initialized to nullptr, and every
+ * instrumentation site goes through ScopedSpan, whose constructor
+ * loads that pointer once.  With no tracer installed the whole span
+ * is one pointer load and branch — cheap enough to leave in the
+ * router, scheduler, and cache hot paths permanently (the bench row
+ * BM_ObsDisabledSpan guards this).
+ *
+ * A ScopedSpan captures the tracer at construction and closes against
+ * the same tracer, so installing/uninstalling mid-span never produces
+ * an unbalanced event stream.  Buffers are bounded
+ * (kMaxEventsPerThread); once a thread's buffer fills, new B events
+ * are counted as dropped (and their matching E suppressed) so the
+ * emitted stream stays balanced.
+ *
+ * Tracing is observational only: span data never feeds back into any
+ * result, report, checkpoint, or fingerprint.
+ */
+
+#ifndef SNAILQC_OBS_TRACE_HPP
+#define SNAILQC_OBS_TRACE_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace snail
+{
+
+/** Collects spans from any number of threads; see file doc. */
+class Tracer
+{
+  public:
+    /** Per-thread event cap; beyond it, new spans count as dropped. */
+    static constexpr std::size_t kMaxEventsPerThread = 1u << 20;
+
+    Tracer();
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /** Open a span on the calling thread (B event, timestamped now). */
+    void begin(const std::string &name, const char *category);
+
+    /** Close the calling thread's innermost open span (E event). */
+    void end();
+
+    /** Total recorded events across all threads (B + E, excl. meta). */
+    std::size_t eventCount() const;
+
+    /** Spans discarded because a thread buffer was full. */
+    std::size_t droppedCount() const;
+
+    /**
+     * Serialize everything recorded so far as a Chrome trace-event
+     * JSON object.  Deterministic given the same events: threads sort
+     * by tid, events stay in per-thread record order.
+     */
+    void writeJson(std::ostream &out) const;
+
+  private:
+    struct Event
+    {
+        std::string name; //!< empty for E events (name lives on B)
+        const char *category = "";
+        char phase = 'B';
+        std::uint64_t ts_ns = 0; //!< since tracer construction
+    };
+
+    struct ThreadBuffer
+    {
+        std::uint32_t tid = 0;
+        std::vector<Event> events;
+        std::vector<std::string> open; //!< names of open spans (stack)
+        std::size_t dropped = 0;       //!< spans discarded when full
+        std::size_t dropped_depth = 0; //!< open-but-dropped span count
+    };
+
+    /** The calling thread's buffer (registered under _mutex once). */
+    ThreadBuffer &threadBuffer();
+
+    std::uint64_t nowNs() const;
+
+    const std::uint64_t _id; //!< unique per Tracer; keys the TL cache
+    const std::chrono::steady_clock::time_point _epoch;
+    mutable std::mutex _mutex; //!< guards _buffers registration/read
+    std::vector<std::unique_ptr<ThreadBuffer>> _buffers;
+};
+
+/** The process-wide active tracer; nullptr = tracing disabled. */
+Tracer *activeTracer();
+
+/** Install (or with nullptr, remove) the process-wide tracer. */
+void setActiveTracer(Tracer *tracer);
+
+/**
+ * RAII span against the tracer active at construction.  With tracing
+ * disabled (the default), constructor and destructor are each a
+ * relaxed pointer load and branch.
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(const std::string &name, const char *category)
+        : _tracer(activeTracer())
+    {
+        if (_tracer != nullptr) {
+            _tracer->begin(name, category);
+        }
+    }
+
+    ScopedSpan(const char *name, const char *category)
+        : _tracer(activeTracer())
+    {
+        if (_tracer != nullptr) {
+            _tracer->begin(name, category);
+        }
+    }
+
+    ~ScopedSpan()
+    {
+        if (_tracer != nullptr) {
+            _tracer->end();
+        }
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    Tracer *const _tracer;
+};
+
+} // namespace snail
+
+#endif // SNAILQC_OBS_TRACE_HPP

@@ -10,6 +10,8 @@
 #include "explore/analysis.hpp"
 #include "explore/checkpoint.hpp"
 #include "explore/engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "transpiler/pass_registry.hpp"
 
 namespace snail
@@ -223,6 +225,8 @@ runSearch(const SearchSpec &spec, const SearchOptions &options)
                           << shortestDouble(current.energy) << "\n";
     }
 
+    static Counter &iterations = MetricsRegistry::global().counter(
+        "snailqc_search_iterations_total");
     const AnnealSchedule &anneal = spec.anneal;
     for (int k = 0; k < anneal.iterations; ++k) {
         if (options.budget != 0 &&
@@ -230,6 +234,8 @@ runSearch(const SearchSpec &spec, const SearchOptions &options)
             run.budget_exhausted = true;
             break;
         }
+        ScopedSpan span("search:iteration", "search");
+        iterations.add();
         const double temperature = temperatureAt(anneal, k);
 
         std::vector<BuiltCandidate> proposals;

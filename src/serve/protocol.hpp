@@ -15,6 +15,7 @@
  *   {"op":"ping"}
  *   {"op":"version"}
  *   {"op":"stats"}
+ *   {"op":"metrics"}
  *   {"op":"shutdown"}
  *   {"op":"transpile", <job>}
  *   {"op":"batch","jobs":[<job>, ...]}
@@ -33,8 +34,11 @@
  *
  * transpile returns {"cached":bool,"result":<result object>}; batch
  * returns {"results":[...],"cache_hits":N,"jobs":N}; stats returns
- * the cache / scheduler / job counters; version returns the build
- * provenance (common/version.hpp).  Failure:
+ * the cache / scheduler / job counters plus uptime_s and the derived
+ * jobs_per_s / cache hit_rate; metrics returns the process-wide
+ * registry snapshot as {"prometheus":"<text exposition>",
+ * "metrics":<json snapshot>} (docs/observability.md); version
+ * returns the build provenance (common/version.hpp).  Failure:
  *
  *   {"ok":false,"error":"<message>"}
  *

@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <ostream>
@@ -16,6 +18,7 @@
 
 #include "common/error.hpp"
 #include "common/version.hpp"
+#include "obs/metrics.hpp"
 #include "serve/protocol.hpp"
 
 namespace snail
@@ -102,6 +105,38 @@ Server::serve()
         }
     };
 
+    // Periodic JSONL metrics dumps ride the poll cadence: each pass
+    // through the accept loop checks whether the interval elapsed, so
+    // no dedicated dumper thread exists to coordinate at shutdown.
+    // Resolution is therefore the 200 ms poll slice — fine for the
+    // multi-second intervals this is for.
+    using clock = std::chrono::steady_clock;
+    const clock::time_point started = clock::now();
+    const bool dump_metrics = _options.metrics_interval_s > 0.0 &&
+                              !_options.metrics_path.empty();
+    clock::time_point next_dump =
+        clock::now() +
+        std::chrono::duration_cast<clock::duration>(
+            std::chrono::duration<double>(_options.metrics_interval_s));
+    const auto maybe_dump = [&]() {
+        if (!dump_metrics || clock::now() < next_dump) {
+            return;
+        }
+        next_dump += std::chrono::duration_cast<clock::duration>(
+            std::chrono::duration<double>(_options.metrics_interval_s));
+        std::ofstream out(_options.metrics_path,
+                          std::ios::app | std::ios::binary);
+        if (out.good()) {
+            JsonValue::Object line;
+            line["uptime_s"] = JsonValue(
+                std::chrono::duration<double>(clock::now() - started)
+                    .count());
+            line["metrics"] =
+                MetricsRegistry::global().snapshot().toJson();
+            out << JsonValue(std::move(line)).dump() << "\n";
+        }
+    };
+
     while (!_stop) {
         if (_options.handle_signals && g_signal_stop != 0) {
             break;
@@ -124,8 +159,10 @@ Server::serve()
         }
         if (ready == 0) {
             reap();
+            maybe_dump();
             continue;
         }
+        maybe_dump();
 
         const int client_fd = ::accept(listen_fd, nullptr, nullptr);
         if (client_fd < 0) {

@@ -37,6 +37,13 @@ struct ServerOptions
     bool handle_signals = true;
     /** Announce lifecycle on this stream; nullptr stays silent. */
     std::ostream *log = nullptr;
+    /**
+     * Every this-many seconds, append one JSONL metrics-registry
+     * snapshot line to `metrics_path` (piggybacks on the accept
+     * loop's poll cadence; no extra thread).  0 disables.
+     */
+    double metrics_interval_s = 0.0;
+    std::string metrics_path; //!< "" = metrics dumps disabled
 };
 
 /** Accept loop around a Service (see file comment). */

@@ -9,6 +9,8 @@
 #include "common/version.hpp"
 #include "explore/engine.hpp"
 #include "explore/report.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/protocol.hpp"
 
 namespace snail
@@ -56,6 +58,15 @@ class Admission
     bool _admitted = true;
 };
 
+/** Mirror an admission rejection into the registry. */
+void
+countRejected(std::size_t jobs)
+{
+    static Counter &rejected = MetricsRegistry::global().counter(
+        "snailqc_serve_jobs_rejected_total");
+    rejected.add(jobs);
+}
+
 /** Retry hint scaled to how much work is already queued. */
 int
 retryAfterMs(std::size_t in_flight)
@@ -72,18 +83,46 @@ Service::Service(const ServiceOptions &options)
     : _options(options),
       _store(options.cache_dir.empty() ? CacheStore::defaultDirectory()
                                        : options.cache_dir,
-             options.cache_max_bytes)
+             options.cache_max_bytes),
+      _started(std::chrono::steady_clock::now())
 {
+    // Touch the pool now so its monitoring gauges exist, and
+    // pre-create the serve series so a `metrics` request on an idle
+    // daemon already exports them (at zero) instead of omitting them.
+    Scheduler::global();
+    MetricsRegistry &registry = MetricsRegistry::global();
+    registry.counter("snailqc_serve_requests_total");
+    registry.counter("snailqc_serve_jobs_completed_total");
+    registry.counter("snailqc_serve_jobs_cached_total");
+    registry.counter("snailqc_serve_jobs_rejected_total");
+    registry.histogram("snailqc_serve_request_us");
+    registry.registerGauge("snailqc_serve_in_flight", [this]() {
+        return static_cast<double>(_in_flight.load());
+    });
+}
+
+Service::~Service()
+{
+    // The gauge callback captures `this`; remove it before the
+    // members it reads go away.
+    MetricsRegistry::global().unregisterGauge("snailqc_serve_in_flight");
 }
 
 std::string
 Service::runJob(const ResolvedJob &job, bool &cached)
 {
+    ScopedSpan span("serve:job", "serve");
+    static Counter &completed = MetricsRegistry::global().counter(
+        "snailqc_serve_jobs_completed_total");
+    static Counter &from_cache = MetricsRegistry::global().counter(
+        "snailqc_serve_jobs_cached_total");
     const CacheKey key = job.cacheKey();
     if (std::optional<std::string> stored = _store.fetch(key)) {
         cached = true;
         _jobs_cached.fetch_add(1);
         _jobs_completed.fetch_add(1);
+        from_cache.add();
+        completed.add();
         return *stored;
     }
     cached = false;
@@ -92,6 +131,7 @@ Service::runJob(const ResolvedJob &job, bool &cached)
     std::string payload = serializeResult(result);
     _store.store(key, payload);
     _jobs_completed.fetch_add(1);
+    completed.add();
     return payload;
 }
 
@@ -101,6 +141,7 @@ Service::handleTranspile(const JsonValue &request)
     const Admission ticket(_in_flight, 1, _options.queue_limit);
     if (!ticket.admitted()) {
         _jobs_rejected.fetch_add(1);
+        countRejected(1);
         return errorResponse("queue full (limit " +
                                  std::to_string(_options.queue_limit) + ")",
                              retryAfterMs(_in_flight.load()));
@@ -128,6 +169,7 @@ Service::handleBatch(const JsonValue &request)
     const Admission ticket(_in_flight, count, _options.queue_limit);
     if (!ticket.admitted()) {
         _jobs_rejected.fetch_add(count);
+        countRejected(count);
         return errorResponse("queue full (" + std::to_string(count) +
                                  " jobs, limit " +
                                  std::to_string(_options.queue_limit) + ")",
@@ -183,6 +225,7 @@ Service::handleSweep(const JsonValue &request)
     const Admission ticket(_in_flight, 1, _options.queue_limit);
     if (!ticket.admitted()) {
         _jobs_rejected.fetch_add(1);
+        countRejected(1);
         return errorResponse("queue full (limit " +
                                  std::to_string(_options.queue_limit) + ")",
                              retryAfterMs(_in_flight.load()));
@@ -209,6 +252,10 @@ JsonValue
 Service::handleStats()
 {
     const CacheStoreStats cache = _store.stats();
+    const double uptime_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      _started)
+            .count();
 
     JsonValue::Object cache_out;
     cache_out["directory"] = JsonValue(_store.directory());
@@ -220,10 +267,15 @@ Service::handleStats()
     cache_out["bytes"] = JsonValue(static_cast<double>(cache.bytes));
     cache_out["max_bytes"] =
         JsonValue(static_cast<double>(cache.max_bytes));
+    // Derived so operators don't do the math; 0 before any lookup.
+    const double lookups =
+        static_cast<double>(cache.hits + cache.misses);
+    cache_out["hit_rate"] = JsonValue(
+        lookups > 0.0 ? static_cast<double>(cache.hits) / lookups : 0.0);
 
+    const std::size_t completed = _jobs_completed.load();
     JsonValue::Object jobs;
-    jobs["completed"] =
-        JsonValue(static_cast<double>(_jobs_completed.load()));
+    jobs["completed"] = JsonValue(static_cast<double>(completed));
     jobs["cached"] = JsonValue(static_cast<double>(_jobs_cached.load()));
     jobs["rejected"] =
         JsonValue(static_cast<double>(_jobs_rejected.load()));
@@ -231,6 +283,9 @@ Service::handleStats()
         JsonValue(static_cast<double>(_in_flight.load()));
     jobs["queue_limit"] =
         JsonValue(static_cast<double>(_options.queue_limit));
+    jobs["jobs_per_s"] = JsonValue(
+        uptime_s > 0.0 ? static_cast<double>(completed) / uptime_s
+                       : 0.0);
 
     JsonValue::Object scheduler;
     scheduler["workers"] =
@@ -244,9 +299,20 @@ Service::handleStats()
 
     JsonValue::Object out = okResponse("stats");
     out["requests"] = JsonValue(static_cast<double>(_requests.load()));
+    out["uptime_s"] = JsonValue(uptime_s);
     out["cache"] = JsonValue(std::move(cache_out));
     out["jobs"] = JsonValue(std::move(jobs));
     out["scheduler"] = JsonValue(std::move(scheduler));
+    return JsonValue(std::move(out));
+}
+
+JsonValue
+Service::handleMetrics()
+{
+    const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+    JsonValue::Object out = okResponse("metrics");
+    out["prometheus"] = JsonValue(snap.toPrometheusText());
+    out["metrics"] = snap.toJson();
     return JsonValue(std::move(out));
 }
 
@@ -266,6 +332,16 @@ JsonValue
 Service::handle(const JsonValue &request)
 {
     _requests.fetch_add(1);
+    static Counter &requests = MetricsRegistry::global().counter(
+        "snailqc_serve_requests_total");
+    static Histogram &request_us = MetricsRegistry::global().histogram(
+        "snailqc_serve_request_us");
+    requests.add();
+    // The whole request lifecycle — admission, fetch-or-compute, and
+    // response assembly — runs inside this span/latency pair; the
+    // nested serve:job and cache:* spans break it down.
+    ScopedSpan span("serve:request", "serve");
+    ScopedLatency latency(request_us);
     try {
         const std::string op = request.at("op").asString();
         if (op == "ping") {
@@ -276,6 +352,9 @@ Service::handle(const JsonValue &request)
         }
         if (op == "stats") {
             return handleStats();
+        }
+        if (op == "metrics") {
+            return handleMetrics();
         }
         if (op == "shutdown") {
             _shutdown.store(true);

@@ -27,6 +27,7 @@
 #define SNAILQC_SERVE_SERVICE_HPP
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <string>
 
@@ -52,6 +53,7 @@ class Service
 {
   public:
     explicit Service(const ServiceOptions &options);
+    ~Service();
 
     /**
      * Execute one request, returning the response object.  Never
@@ -74,6 +76,7 @@ class Service
     JsonValue handleBatch(const JsonValue &request);
     JsonValue handleSweep(const JsonValue &request);
     JsonValue handleStats();
+    JsonValue handleMetrics();
     JsonValue handleVersion();
 
     /**
@@ -84,6 +87,8 @@ class Service
 
     ServiceOptions _options;
     CacheStore _store;
+    /** Construction time; stats derives uptime_s / jobs_per_s. */
+    std::chrono::steady_clock::time_point _started;
     std::atomic<bool> _shutdown{false};
     std::atomic<std::size_t> _in_flight{0};
     std::atomic<std::size_t> _jobs_completed{0};

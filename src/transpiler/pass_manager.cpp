@@ -5,6 +5,8 @@
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "transpiler/passes.hpp"
 
 namespace snail
@@ -26,11 +28,23 @@ runInstrumented(const Pass &pass, PassContext &ctx,
         static_cast<long long>(ctx.circuit.countTwoQubit());
     const auto t0 = std::chrono::steady_clock::now();
 
-    pass.run(ctx);
+    {
+        ScopedSpan span(stat.pass, "pass");
+        pass.run(ctx);
+    }
 
     const auto t1 = std::chrono::steady_clock::now();
     stat.wall_ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+    // The same measurement feeds the process-wide registry, so pass
+    // timing is visible without plumbing TranspileResult around.
+    static Counter &runs =
+        MetricsRegistry::global().counter("snailqc_pass_runs_total");
+    static Histogram &wall =
+        MetricsRegistry::global().histogram("snailqc_pass_wall_us");
+    runs.add();
+    wall.observe(stat.wall_ms * 1000.0);
     stat.swap_delta =
         static_cast<long long>(ctx.circuit.countKind(GateKind::Swap)) -
         swaps_before;

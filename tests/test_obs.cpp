@@ -1,0 +1,508 @@
+/**
+ * @file
+ * Tests for the observability layer: metrics-registry semantics
+ * (sharded counters stay exact under concurrent writers, histogram
+ * bucketing, callback gauges, Prometheus text exposition), tracer
+ * balance (nested spans, the null sink, mid-span install), the serve
+ * stats/metrics ops under concurrent client load, and the headline
+ * contract — sweep and search reports are byte-identical with
+ * tracing on or off, at any thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuits/circuits.hpp"
+#include "explore/engine.hpp"
+#include "explore/report.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "search/driver.hpp"
+#include "serve/service.hpp"
+
+namespace snail
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------------ metrics
+
+TEST(ObsCounter, ExactUnderConcurrentWriters)
+{
+    // More threads than shards, uneven per-thread totals: the sharded
+    // cells must still sum to exactly what was added.
+    MetricsRegistry registry;
+    Counter &counter = registry.counter("writers");
+
+    constexpr int kThreads = 24;
+    std::vector<std::thread> threads;
+    unsigned long long expected = 0;
+    for (int t = 0; t < kThreads; ++t) {
+        const unsigned long long adds = 100 + 13ull * t;
+        expected += adds;
+        threads.emplace_back([&counter, adds]() {
+            for (unsigned long long i = 0; i < adds; ++i) {
+                counter.add();
+            }
+        });
+    }
+    for (std::thread &thread : threads) {
+        thread.join();
+    }
+    EXPECT_EQ(counter.value(), expected);
+}
+
+TEST(ObsRegistry, FindOrCreateReturnsStableReferences)
+{
+    MetricsRegistry registry;
+    Counter &a = registry.counter("same");
+    Counter &b = registry.counter("same");
+    EXPECT_EQ(&a, &b);
+    // Creating unrelated instruments must not move existing ones.
+    for (int i = 0; i < 64; ++i) {
+        registry.counter("other-" + std::to_string(i));
+    }
+    EXPECT_EQ(&registry.counter("same"), &a);
+}
+
+TEST(ObsHistogram, BucketsAreLog2Cumulative)
+{
+    MetricsRegistry registry;
+    Histogram &histogram = registry.histogram("lat");
+
+    histogram.observe(0.5);  // bucket 0 (<= 1 us)
+    histogram.observe(1.0);  // bucket 0 (inclusive bound)
+    histogram.observe(3.0);  // bucket 2 (<= 4 us)
+    histogram.observe(1000); // bucket 10 (<= 1024 us)
+    histogram.observe(-7.0); // clamped to 0 -> bucket 0
+
+    EXPECT_EQ(histogram.count(), 5u);
+    EXPECT_EQ(histogram.cumulativeCount(0), 3u);
+    EXPECT_EQ(histogram.cumulativeCount(1), 3u);
+    EXPECT_EQ(histogram.cumulativeCount(2), 4u);
+    EXPECT_EQ(histogram.cumulativeCount(9), 4u);
+    EXPECT_EQ(histogram.cumulativeCount(10), 5u);
+    EXPECT_EQ(histogram.cumulativeCount(Histogram::kBuckets - 1), 5u);
+    EXPECT_NEAR(histogram.sumUs(), 1004.5, 0.01);
+    EXPECT_DOUBLE_EQ(Histogram::bucketBound(0), 1.0);
+    EXPECT_DOUBLE_EQ(Histogram::bucketBound(10), 1024.0);
+}
+
+TEST(ObsRegistry, SnapshotIsSelfConsistent)
+{
+    MetricsRegistry registry;
+    registry.counter("c").add(41);
+    registry.counter("c").add();
+    registry.gauge("g").set(2.5);
+    registry.registerGauge("cb", []() { return 7.0; });
+    Histogram &histogram = registry.histogram("h");
+    histogram.observe(2.0);
+    histogram.observe(900.0);
+
+    const MetricsSnapshot snap = registry.snapshot();
+
+    ASSERT_EQ(snap.counters.size(), 1u);
+    EXPECT_EQ(snap.counters[0].name, "c");
+    EXPECT_EQ(snap.counters[0].value, 42u);
+
+    // Stored and callback gauges share one sorted list.
+    ASSERT_EQ(snap.gauges.size(), 2u);
+    EXPECT_EQ(snap.gauges[0].name, "cb");
+    EXPECT_DOUBLE_EQ(snap.gauges[0].value, 7.0);
+    EXPECT_EQ(snap.gauges[1].name, "g");
+    EXPECT_DOUBLE_EQ(snap.gauges[1].value, 2.5);
+
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    const MetricsSnapshot::HistogramValue &h = snap.histograms[0];
+    EXPECT_EQ(h.count, 2u);
+    ASSERT_EQ(h.cumulative.size(), Histogram::kBuckets);
+    // Cumulative counts never decrease and end at the total count.
+    for (std::size_t i = 1; i < h.cumulative.size(); ++i) {
+        EXPECT_GE(h.cumulative[i], h.cumulative[i - 1]);
+    }
+    EXPECT_EQ(h.cumulative.back(), h.count);
+
+    registry.unregisterGauge("cb");
+    const MetricsSnapshot after = registry.snapshot();
+    ASSERT_EQ(after.gauges.size(), 1u);
+    EXPECT_EQ(after.gauges[0].name, "g");
+}
+
+TEST(ObsRegistry, PrometheusTextExposition)
+{
+    MetricsRegistry registry;
+    registry.counter("snailqc_test_total").add(3);
+    registry.gauge("snailqc_test_depth").set(1.5);
+    registry.histogram("snailqc_test_us").observe(3.0);
+
+    const std::string text = registry.snapshot().toPrometheusText();
+
+    EXPECT_NE(text.find("# TYPE snailqc_test_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("snailqc_test_total 3"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE snailqc_test_depth gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("snailqc_test_depth 1.5"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE snailqc_test_us histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("snailqc_test_us_bucket{le=\"4\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("snailqc_test_us_bucket{le=\"+Inf\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("snailqc_test_us_count 1"), std::string::npos);
+    EXPECT_NE(text.find("snailqc_test_us_sum "), std::string::npos);
+}
+
+// -------------------------------------------------------------- trace
+
+/** Count occurrences of `needle` in `haystack`. */
+std::size_t
+countOf(const std::string &haystack, const std::string &needle)
+{
+    std::size_t count = 0;
+    for (std::size_t pos = haystack.find(needle);
+         pos != std::string::npos;
+         pos = haystack.find(needle, pos + needle.size())) {
+        ++count;
+    }
+    return count;
+}
+
+TEST(ObsTracer, NullSinkRecordsNothing)
+{
+    ASSERT_EQ(activeTracer(), nullptr);
+    {
+        ScopedSpan span("ignored", "test");
+        ScopedSpan nested("also-ignored", "test");
+    }
+    // Still no tracer, nothing crashed; installing one afterwards
+    // starts from an empty stream.
+    Tracer tracer;
+    EXPECT_EQ(tracer.eventCount(), 0u);
+}
+
+TEST(ObsTracer, NestedSpansBalanceInJson)
+{
+    Tracer tracer;
+    setActiveTracer(&tracer);
+    {
+        ScopedSpan outer("outer", "test");
+        {
+            ScopedSpan inner("inner", "test");
+        }
+        ScopedSpan sibling(std::string("sibling"), "test");
+    }
+    setActiveTracer(nullptr);
+
+    EXPECT_EQ(tracer.eventCount(), 6u);
+    EXPECT_EQ(tracer.droppedCount(), 0u);
+
+    std::ostringstream os;
+    tracer.writeJson(os);
+    const std::string json = os.str();
+
+    EXPECT_EQ(countOf(json, "\"ph\":\"B\""), 3u);
+    EXPECT_EQ(countOf(json, "\"ph\":\"E\""), 3u);
+    EXPECT_EQ(countOf(json, "\"name\":\"outer\""), 2u);
+    EXPECT_NE(json.find("\"name\":\"process_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"thread_name\""), std::string::npos);
+    // Valid JSON end to end (parse throws on malformed output).
+    EXPECT_NO_THROW(JsonValue::parse(json));
+}
+
+TEST(ObsTracer, SpanCapturesTracerAtConstruction)
+{
+    // A tracer installed *inside* an open span must not receive the
+    // span's end (and vice versa): ScopedSpan binds its sink once, so
+    // install/uninstall at any moment leaves every stream balanced.
+    Tracer tracer;
+    {
+        ScopedSpan orphan("pre-install", "test");
+        setActiveTracer(&tracer);
+        {
+            ScopedSpan traced("traced", "test");
+        }
+        setActiveTracer(nullptr);
+    }
+    EXPECT_EQ(tracer.eventCount(), 2u);
+
+    std::ostringstream os;
+    tracer.writeJson(os);
+    EXPECT_EQ(countOf(os.str(), "pre-install"), 0u);
+    EXPECT_EQ(countOf(os.str(), "\"ph\":\"B\""), 1u);
+    EXPECT_EQ(countOf(os.str(), "\"ph\":\"E\""), 1u);
+}
+
+TEST(ObsTracer, ThreadsGetDistinctBalancedStreams)
+{
+    Tracer tracer;
+    setActiveTracer(&tracer);
+    constexpr int kThreads = 4;
+    constexpr int kSpansPerThread = 50;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([]() {
+            for (int i = 0; i < kSpansPerThread; ++i) {
+                ScopedSpan span("work", "test");
+            }
+        });
+    }
+    for (std::thread &thread : threads) {
+        thread.join();
+    }
+    setActiveTracer(nullptr);
+
+    EXPECT_EQ(tracer.eventCount(), 2u * kThreads * kSpansPerThread);
+
+    std::ostringstream os;
+    tracer.writeJson(os);
+    const std::string json = os.str();
+    EXPECT_EQ(countOf(json, "\"ph\":\"B\""),
+              std::size_t(kThreads * kSpansPerThread));
+    EXPECT_EQ(countOf(json, "\"ph\":\"E\""),
+              std::size_t(kThreads * kSpansPerThread));
+    // One thread_name metadata record per participating thread.
+    EXPECT_EQ(countOf(json, "\"name\":\"thread_name\""),
+              std::size_t(kThreads));
+}
+
+// ------------------------------------------- serve stats/metrics ops
+
+JsonValue
+opRequest(const char *op)
+{
+    JsonValue::Object body;
+    body["op"] = JsonValue(op);
+    return JsonValue(std::move(body));
+}
+
+JsonValue
+smallJob(int width)
+{
+    JsonValue::Object circuit;
+    circuit["bench"] = JsonValue("ghz");
+    circuit["width"] = JsonValue(width);
+    JsonValue::Object target;
+    target["name"] = JsonValue("corral11-16-sqiswap");
+    JsonValue::Object body;
+    body["op"] = JsonValue("transpile");
+    body["circuit"] = JsonValue(std::move(circuit));
+    body["target"] = JsonValue(std::move(target));
+    body["pipeline"] = JsonValue("dense,sabre-route,basis=sqiswap");
+    return JsonValue(std::move(body));
+}
+
+TEST(ObsServe, StatsMonotonicUnderConcurrentLoad)
+{
+    const std::string dir = testing::TempDir() + "obs-stats-cache";
+    fs::remove_all(dir);
+    ServiceOptions options;
+    options.cache_dir = dir;
+    Service service(options);
+
+    // Writers hammer transpile while a reader polls stats; every
+    // snapshot must be self-consistent and counters never go back.
+    std::atomic<bool> done{false};
+    std::vector<std::thread> writers;
+    constexpr int kWriters = 3;
+    constexpr int kJobsPerWriter = 6;
+    for (int t = 0; t < kWriters; ++t) {
+        writers.emplace_back([&service, t]() {
+            for (int i = 0; i < kJobsPerWriter; ++i) {
+                service.handle(smallJob(3 + (t + i) % 4));
+            }
+        });
+    }
+
+    unsigned long long last_completed = 0;
+    std::thread reader([&]() {
+        while (!done.load()) {
+            const JsonValue stats = service.handle(opRequest("stats"));
+            ASSERT_TRUE(stats.find("ok")->asBool());
+            const JsonValue &jobs = *stats.find("jobs");
+            const auto completed = static_cast<unsigned long long>(
+                jobs.find("completed")->asNumber());
+            const auto cached = static_cast<unsigned long long>(
+                jobs.find("cached")->asNumber());
+            EXPECT_GE(completed, last_completed);
+            EXPECT_LE(cached, completed);
+            EXPECT_GE(stats.find("uptime_s")->asNumber(), 0.0);
+            last_completed = completed;
+        }
+    });
+
+    for (std::thread &writer : writers) {
+        writer.join();
+    }
+    done.store(true);
+    reader.join();
+
+    const JsonValue final_stats = service.handle(opRequest("stats"));
+    const JsonValue &jobs = *final_stats.find("jobs");
+    EXPECT_EQ(jobs.find("completed")->asNumber(),
+              double(kWriters * kJobsPerWriter));
+    EXPECT_EQ(jobs.find("in_flight")->asNumber(), 0.0);
+    EXPECT_GT(jobs.find("jobs_per_s")->asNumber(), 0.0);
+    // Distinct widths repeat across writers, so the cache saw hits;
+    // hit_rate must be a valid ratio.
+    const double hit_rate =
+        final_stats.find("cache")->find("hit_rate")->asNumber();
+    EXPECT_GE(hit_rate, 0.0);
+    EXPECT_LE(hit_rate, 1.0);
+}
+
+TEST(ObsServe, MetricsOpExportsRegistrySeries)
+{
+    const std::string dir = testing::TempDir() + "obs-metrics-cache";
+    fs::remove_all(dir);
+    ServiceOptions options;
+    options.cache_dir = dir;
+    Service service(options);
+    service.handle(smallJob(4));
+
+    const JsonValue response = service.handle(opRequest("metrics"));
+    ASSERT_TRUE(response.find("ok")->asBool());
+
+    const std::string prom = response.find("prometheus")->asString();
+    // The serve, cache, and scheduler families must all be present
+    // even before traffic touches every series (pre-registration).
+    EXPECT_NE(prom.find("snailqc_serve_requests_total"),
+              std::string::npos);
+    EXPECT_NE(prom.find("snailqc_serve_jobs_completed_total"),
+              std::string::npos);
+    EXPECT_NE(prom.find("snailqc_cache_hits_total"), std::string::npos);
+    EXPECT_NE(prom.find("snailqc_sched_pool_size"), std::string::npos);
+    EXPECT_NE(prom.find("snailqc_sched_queue_depth"),
+              std::string::npos);
+    EXPECT_NE(prom.find("snailqc_pass_runs_total"), std::string::npos);
+
+    const JsonValue &metrics = *response.find("metrics");
+    EXPECT_NE(metrics.find("counters"), nullptr);
+    EXPECT_NE(metrics.find("gauges"), nullptr);
+    EXPECT_NE(metrics.find("histograms"), nullptr);
+
+    // The structured counters agree with the op's own accounting:
+    // at least the one transpile above was counted somewhere.
+    const JsonValue &requests =
+        *metrics.find("counters")->find("snailqc_serve_requests_total");
+    EXPECT_GE(requests.asNumber(), 2.0); // transpile + this metrics op
+}
+
+// ------------------------------------- report byte-identity contract
+
+SweepSpec
+sweepSmokeSpec()
+{
+    SweepSpec spec;
+    spec.name = "obs-smoke";
+    spec.seed = 7;
+    spec.circuits.push_back(CircuitSpec{"ghz", {8}, ""});
+    spec.circuits.push_back(CircuitSpec{"qft", {8}, ""});
+    TargetSpec corral;
+    corral.target = "corral11-16-sqiswap";
+    spec.targets.push_back(std::move(corral));
+    spec.pipelines.push_back("dense,stochastic-route=4");
+    return spec;
+}
+
+/** CSV + JSON reports of one sweep run, concatenated. */
+std::string
+sweepReport(unsigned threads)
+{
+    EngineOptions options;
+    options.threads = threads;
+    const SweepRun run = runSweep(sweepSmokeSpec(), options);
+    std::ostringstream os;
+    writeSweepCsv(os, run);
+    os << "\n---\n";
+    writeSweepJson(os, run);
+    return os.str();
+}
+
+TEST(ObsByteIdentity, SweepReportsIgnoreTracingAndThreadCount)
+{
+    // The headline contract: instrumentation is observational only.
+    // Reports must not change by a byte whether a tracer is installed
+    // or not, at any concurrency.
+    const std::string reference = sweepReport(1);
+
+    for (unsigned threads : {1u, 4u, 16u}) {
+        Tracer tracer;
+        setActiveTracer(&tracer);
+        const std::string traced = sweepReport(threads);
+        setActiveTracer(nullptr);
+        EXPECT_EQ(traced, reference)
+            << "traced sweep report diverged at " << threads
+            << " threads";
+        EXPECT_GT(tracer.eventCount(), 0u);
+
+        const std::string untraced = sweepReport(threads);
+        EXPECT_EQ(untraced, reference)
+            << "untraced sweep report diverged at " << threads
+            << " threads";
+    }
+}
+
+SearchSpec
+searchSmokeSpec()
+{
+    SearchSpec spec;
+    spec.name = "obs-search";
+    spec.seed = 11;
+    CircuitSpec ghz;
+    ghz.bench = "ghz";
+    ghz.widths = {5};
+    spec.workloads = {ghz};
+    spec.pipeline = "dense,sabre-route,elide,basis=sqiswap";
+    spec.space.families = {"corral", "hypercube"};
+    spec.space.bases = {"sqiswap"};
+    spec.space.min_qubits = 5;
+    spec.space.max_qubits = 20;
+    spec.constraints.max_couplers = 12;
+    spec.anneal.iterations = 3;
+    spec.anneal.proposals = 2;
+    spec.anneal.t0 = 4.0;
+    spec.anneal.t1 = 0.5;
+    return spec;
+}
+
+/** Trace + frontier CSV of one search run, concatenated. */
+std::string
+searchReport(unsigned threads)
+{
+    SearchOptions options;
+    options.threads = threads;
+    const SearchRun run = runSearch(searchSmokeSpec(), options);
+    std::ostringstream os;
+    writeSearchTrace(os, run);
+    os << "\n---\n";
+    writeFrontierCsv(os, run);
+    return os.str();
+}
+
+TEST(ObsByteIdentity, SearchReportsIgnoreTracingAndThreadCount)
+{
+    const std::string reference = searchReport(1);
+
+    for (unsigned threads : {1u, 4u, 16u}) {
+        Tracer tracer;
+        setActiveTracer(&tracer);
+        const std::string traced = searchReport(threads);
+        setActiveTracer(nullptr);
+        EXPECT_EQ(traced, reference)
+            << "traced search report diverged at " << threads
+            << " threads";
+        EXPECT_GT(tracer.eventCount(), 0u);
+    }
+}
+
+} // namespace
+} // namespace snail

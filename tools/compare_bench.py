@@ -42,6 +42,7 @@ DETERMINISTIC_COUNTERS = (
     "jobs",
     "candidates",
     "score_checksum",
+    "spans",
 )
 
 

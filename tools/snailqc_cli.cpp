@@ -38,8 +38,8 @@
  *                                    (src/serve/protocol.hpp); --status
  *                                    queries a running daemon instead
  *   client <op> [args]               talk to the daemon: ping, version,
- *                                    stats, shutdown, transpile, batch,
- *                                    request (raw JSON passthrough)
+ *                                    stats, metrics, shutdown, transpile,
+ *                                    batch, request (raw JSON passthrough)
  *   version                          build provenance (also --version)
  *
  * transpile and pipeline accept `--device <file.json|target-name>` in
@@ -69,6 +69,7 @@
 #include <fstream>
 #include <iostream>
 #include <iterator>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -81,6 +82,7 @@
 #include "explore/cache_store.hpp"
 #include "explore/engine.hpp"
 #include "explore/report.hpp"
+#include "obs/trace.hpp"
 #include "search/driver.hpp"
 #include "ir/qasm.hpp"
 #include "ir/qasm_parser.hpp"
@@ -124,19 +126,23 @@ printUsage(std::ostream &os)
         "  sweep <spec.json> [--threads N] [--resume]\n"
         "        [--checkpoint <file.jsonl>] [--csv <file>]\n"
         "        [--json <file>] [--metric <name>] [--verbose]\n"
-        "        [--cache-dir <dir>]   design-space exploration over a\n"
+        "        [--cache-dir <dir>] [--trace-out <file.json>]\n"
+        "                              design-space exploration over a\n"
         "                              circuits x targets x pipelines\n"
         "                              cross-product\n"
         "  search <spec.json> [--threads N] [--budget N] [--resume]\n"
         "         [--checkpoint <file.jsonl>] [--trace <file.jsonl>]\n"
         "         [--csv <file>] [--json <file>] [--verbose]\n"
-        "         [--cache-dir <dir>]  guided co-design search: annealing\n"
+        "         [--cache-dir <dir>] [--trace-out <file.json>]\n"
+        "                              guided co-design search: annealing\n"
         "                              over the parametric topology space\n"
         "                              under hardware-cost constraints\n"
         "  serve [--socket <path>] [--cache-dir <dir>]\n"
         "        [--cache-max-bytes N] [--queue-limit N] [--pool N]\n"
-        "        [--status]            job daemon on a UNIX socket\n"
-        "  client [--socket <path>] <ping|version|stats|shutdown>\n"
+        "        [--metrics-interval <s>] [--metrics-out <file.jsonl>]\n"
+        "        [--trace-out <file.json>]\n"
+        "        [--status [--metrics]] job daemon on a UNIX socket\n"
+        "  client [--socket <path>] <ping|version|stats|metrics|shutdown>\n"
         "  client [--socket <path>] transpile <bench|file.qasm> <width>\n"
         "         <target-name> [pipeline-spec] [seed-hex]\n"
         "  client [--socket <path>] batch <jobs.json|->\n"
@@ -147,7 +153,11 @@ printUsage(std::ostream &os)
         "transpile/pipeline also accept `--device <file.json|target-name>`\n"
         "instead of the <topology>/<basis> positionals, e.g.\n"
         "  snailqc pipeline qft 8 --device dev.json \\\n"
-        "          \"vf2,noise-route,basis=auto,score-fidelity\"\n";
+        "          \"vf2,noise-route,basis=auto,score-fidelity\"\n"
+        "\n"
+        "transpile/pipeline/sweep/search/serve accept `--trace-out\n"
+        "<file.json>`: write a Chrome/Perfetto trace of the run\n"
+        "(docs/observability.md).  Reports stay byte-identical.\n";
 }
 
 int
@@ -251,6 +261,68 @@ cmdTargets(const std::vector<std::string> &args)
         "device file:  snailqc targets --export <target> <file.json>\n";
     return 0;
 }
+
+/**
+ * Extract `<flag> <value>` from an argument list (erasing both
+ * tokens); "" when the flag is absent.  Lets positional commands
+ * (transpile/pipeline) accept --trace-out anywhere on the line.
+ */
+std::string
+takeFlagValue(std::vector<std::string> &args, const std::string &flag)
+{
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] != flag) {
+            continue;
+        }
+        SNAIL_REQUIRE(i + 1 < args.size(), flag << " needs a value");
+        std::string value = args[i + 1];
+        args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                   args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+        return value;
+    }
+    return "";
+}
+
+/**
+ * RAII behind `--trace-out <file.json>`: installs a fresh Tracer as
+ * the process-wide active tracer for the command's duration, then
+ * writes the collected spans as Chrome trace-event JSON (load in
+ * ui.perfetto.dev or chrome://tracing; see docs/observability.md).
+ * An empty path keeps tracing disabled — the null-sink default.
+ */
+class TraceOutput
+{
+  public:
+    explicit TraceOutput(std::string path) : _path(std::move(path))
+    {
+        if (!_path.empty()) {
+            _tracer = std::make_unique<Tracer>();
+            setActiveTracer(_tracer.get());
+        }
+    }
+
+    ~TraceOutput()
+    {
+        if (!_tracer) {
+            return;
+        }
+        setActiveTracer(nullptr);
+        std::ofstream out(_path, std::ios::binary);
+        if (out.good()) {
+            _tracer->writeJson(out);
+            std::cerr << "wrote trace " << _path << "\n";
+        } else {
+            std::cerr << "cannot write trace '" << _path << "'\n";
+        }
+    }
+
+    TraceOutput(const TraceOutput &) = delete;
+    TraceOutput &operator=(const TraceOutput &) = delete;
+
+  private:
+    std::string _path;
+    std::unique_ptr<Tracer> _tracer;
+};
 
 /**
  * Extract `--device <value>` from an argument list (erasing both
@@ -416,6 +488,7 @@ loadCircuitArg(const std::vector<std::string> &args)
 int
 cmdTranspile(std::vector<std::string> args)
 {
+    const TraceOutput trace(takeFlagValue(args, "--trace-out"));
     const std::optional<Target> device = takeDeviceArg(args);
     SNAIL_REQUIRE(args.size() >= (device ? 2u : 4u),
                   "transpile needs <bench> <width> <topology> <basis>, or "
@@ -471,6 +544,7 @@ cmdTranspile(std::vector<std::string> args)
 int
 cmdPipeline(std::vector<std::string> args)
 {
+    const TraceOutput trace(takeFlagValue(args, "--trace-out"));
     const std::optional<Target> device = takeDeviceArg(args);
     SNAIL_REQUIRE(args.size() >= (device ? 3u : 4u),
                   "pipeline needs <bench> <width> <topology> <pass-spec>, "
@@ -522,6 +596,7 @@ cmdSweep(const std::vector<std::string> &args)
     std::string csv_path;
     std::string json_path;
     std::string cache_dir;
+    std::string trace_out;
     std::string metric = "basis_2q_total";
     for (std::size_t i = 1; i < args.size(); ++i) {
         const std::string &arg = args[i];
@@ -552,10 +627,13 @@ cmdSweep(const std::vector<std::string> &args)
             metric = value();
         } else if (arg == "--cache-dir") {
             cache_dir = value();
+        } else if (arg == "--trace-out") {
+            trace_out = value();
         } else {
             SNAIL_THROW("unknown sweep option: " << arg);
         }
     }
+    const TraceOutput trace(trace_out);
     if (engine.resume && engine.checkpoint_path.empty()) {
         engine.checkpoint_path = spec_path + ".checkpoint.jsonl";
     }
@@ -633,6 +711,7 @@ cmdSearch(const std::vector<std::string> &args)
     std::string csv_path;
     std::string json_path;
     std::string cache_dir;
+    std::string trace_out;
     for (std::size_t i = 1; i < args.size(); ++i) {
         const std::string &arg = args[i];
         const auto value = [&]() -> const std::string & {
@@ -667,10 +746,13 @@ cmdSearch(const std::vector<std::string> &args)
             json_path = value();
         } else if (arg == "--cache-dir") {
             cache_dir = value();
+        } else if (arg == "--trace-out") {
+            trace_out = value();
         } else {
             SNAIL_THROW("unknown search option: " << arg);
         }
     }
+    const TraceOutput trace(trace_out);
     if (options.resume && options.checkpoint_path.empty()) {
         options.checkpoint_path = spec_path + ".search-checkpoint.jsonl";
     }
@@ -732,19 +814,27 @@ cmdSearch(const std::vector<std::string> &args)
 
 /**
  * serve [--socket <path>] [--cache-dir <dir>] [--cache-max-bytes N]
- *       [--queue-limit N] [--pool N] [--status]
+ *       [--queue-limit N] [--pool N] [--trace-out <file.json>]
+ *       [--metrics-interval <seconds> [--metrics-out <file.jsonl>]]
+ *       [--status [--metrics]]
  *
  * Runs the job daemon in the foreground until SIGTERM/SIGINT or a
  * client's shutdown request; exits 0 on a clean stop.  --status
- * queries a *running* daemon's stats instead of starting one.
+ * queries a *running* daemon's stats instead of starting one
+ * (--metrics asks for the metrics-registry snapshot instead).
  * --pool fixes the shared scheduler's worker count (default: number
- * of hardware threads, or $SNAILQC_POOL_SIZE).
+ * of hardware threads, or $SNAILQC_POOL_SIZE).  --metrics-interval
+ * appends one registry-snapshot JSONL line per interval to the
+ * --metrics-out file (default snailqc-metrics.jsonl); --trace-out
+ * writes the daemon's span trace at clean shutdown.
  */
 int
 cmdServe(const std::vector<std::string> &args)
 {
     ServerOptions options;
     bool status_only = false;
+    bool status_metrics = false;
+    std::string trace_out;
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string &arg = args[i];
         const auto value = [&]() -> const std::string & {
@@ -776,20 +866,44 @@ cmdServe(const std::vector<std::string> &args)
                 static_cast<unsigned>(number(1)));
         } else if (arg == "--status") {
             status_only = true;
+        } else if (arg == "--metrics") {
+            status_metrics = true;
+        } else if (arg == "--metrics-interval") {
+            const std::string &text = value();
+            char *end = nullptr;
+            const double seconds = std::strtod(text.c_str(), &end);
+            SNAIL_REQUIRE(end && *end == '\0' && !text.empty() &&
+                              seconds > 0.0,
+                          "--metrics-interval needs a positive number "
+                          "of seconds, got '"
+                              << text << "'");
+            options.metrics_interval_s = seconds;
+        } else if (arg == "--metrics-out") {
+            options.metrics_path = value();
+        } else if (arg == "--trace-out") {
+            trace_out = value();
         } else {
             SNAIL_THROW("unknown serve option: " << arg);
         }
     }
+    SNAIL_REQUIRE(status_only || !status_metrics,
+                  "--metrics requires --status (use --metrics-interval "
+                  "for periodic dumps from a running daemon)");
 
     if (status_only) {
         Client client(options.socket_path);
         JsonValue::Object request;
-        request["op"] = JsonValue("stats");
+        request["op"] = JsonValue(status_metrics ? "metrics" : "stats");
         std::cout << client.request(JsonValue(std::move(request))).dump(2)
                   << "\n";
         return 0;
     }
 
+    if (options.metrics_interval_s > 0.0 &&
+        options.metrics_path.empty()) {
+        options.metrics_path = "snailqc-metrics.jsonl";
+    }
+    const TraceOutput trace(trace_out);
     options.log = &std::cerr;
     Server server(options);
     server.serve();
@@ -799,9 +913,9 @@ cmdServe(const std::vector<std::string> &args)
 /**
  * client [--socket <path>] <op> [args]
  *
- * ping/version/stats/shutdown take no arguments.  transpile builds a
- * one-job request from transpile-style positionals.  batch sends a
- * jobs file ({"jobs":[...]} or a bare array; "-" reads stdin).
+ * ping/version/stats/metrics/shutdown take no arguments.  transpile
+ * builds a one-job request from transpile-style positionals.  batch
+ * sends a jobs file ({"jobs":[...]} or a bare array; "-" reads stdin).
  * request passes one raw JSON object through untouched.  Responses
  * print as pretty JSON; a {"ok":false} response exits 1 so shell
  * scripts can branch on failure.
@@ -816,8 +930,8 @@ cmdClient(const std::vector<std::string> &args)
         next += 2;
     }
     SNAIL_REQUIRE(next < args.size(),
-                  "client needs an op (ping, version, stats, shutdown, "
-                  "transpile, batch, request)");
+                  "client needs an op (ping, version, stats, metrics, "
+                  "shutdown, transpile, batch, request)");
     const std::string op = args[next++];
 
     const auto readAll = [](const std::string &path) {
@@ -833,7 +947,7 @@ cmdClient(const std::vector<std::string> &args)
 
     JsonValue request;
     if (op == "ping" || op == "version" || op == "stats" ||
-        op == "shutdown") {
+        op == "metrics" || op == "shutdown") {
         SNAIL_REQUIRE(next == args.size(), op << " takes no arguments");
         JsonValue::Object body;
         body["op"] = JsonValue(op);

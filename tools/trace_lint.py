@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Validate a Chrome-trace-event JSON file written by --trace-out.
+
+Usage:
+    python3 tools/trace_lint.py [--require-cat CAT]... TRACE.json
+
+A trace that Perfetto silently mis-renders is worse than no trace, so
+this lints the contract src/obs/trace.cpp promises:
+
+ 1. the file is well-formed JSON with a "traceEvents" array;
+ 2. every event carries the required fields: "ph", "ts", "pid", "tid"
+    ("name" additionally required on B and M events), with "ts" a
+    number and "tid" an integer;
+ 3. every phase is one we emit — "B", "E", or "M" (metadata);
+ 4. per tid, B and E events balance like parentheses: every E closes
+    an open B, and nothing is left open at the end of the thread's
+    stream (writeJson closes still-open spans, so an unbalanced file
+    means a writer bug, not an interrupted run);
+ 5. per tid, timestamps are non-decreasing (events are written in
+    capture order; time going backwards would garble Perfetto's
+    nesting).
+
+--require-cat CAT (repeatable) additionally demands at least one B
+event with that category — CI uses it to prove a traced sweep really
+recorded pass/sched/cache/explore spans and not an empty shell.
+
+Pure stdlib.  Exit status 0 on a clean trace, 1 on any violation
+(messages on stderr).
+"""
+
+import argparse
+import json
+import sys
+
+ALLOWED_PHASES = ("B", "E", "M")
+
+
+def lint(doc, require_cats):
+    """Return a list of violation strings (empty = clean)."""
+    errors = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ['top-level "traceEvents" is missing or not an array']
+
+    open_stacks = {}  # tid -> list of open span names
+    last_ts = {}  # tid -> last timestamp seen
+    seen_cats = set()
+
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+
+        phase = event.get("ph")
+        if phase not in ALLOWED_PHASES:
+            errors.append(f"{where}: ph={phase!r} not one of B/E/M")
+            continue
+
+        for field in ("ts", "pid", "tid"):
+            if field not in event:
+                errors.append(f"{where}: missing {field!r}")
+        if not isinstance(event.get("ts"), (int, float)):
+            errors.append(f"{where}: ts is not a number")
+            continue
+        if not isinstance(event.get("tid"), int):
+            errors.append(f"{where}: tid is not an integer")
+            continue
+        if phase in ("B", "M") and not isinstance(event.get("name"), str):
+            errors.append(f"{where}: {phase} event without a string name")
+            continue
+
+        tid = event["tid"]
+        ts = event["ts"]
+        if phase == "M":
+            continue  # metadata carries ts=0; skip ordering checks
+
+        if tid in last_ts and ts < last_ts[tid]:
+            errors.append(
+                f"{where}: ts {ts} goes backwards on tid {tid} "
+                f"(previous {last_ts[tid]})"
+            )
+        last_ts[tid] = ts
+
+        stack = open_stacks.setdefault(tid, [])
+        if phase == "B":
+            stack.append(event["name"])
+            seen_cats.add(event.get("cat"))
+        else:  # "E"
+            if not stack:
+                errors.append(f"{where}: E without an open B on tid {tid}")
+            else:
+                stack.pop()
+
+    for tid, stack in sorted(open_stacks.items()):
+        if stack:
+            errors.append(
+                f"tid {tid}: {len(stack)} span(s) left open at end of "
+                f"stream (innermost: {stack[-1]!r})"
+            )
+
+    for cat in require_cats:
+        if cat not in seen_cats:
+            errors.append(
+                f"no B event with cat={cat!r} "
+                f"(categories present: {sorted(c for c in seen_cats if c)})"
+            )
+
+    return errors
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Lint a Chrome-trace JSON file from --trace-out."
+    )
+    parser.add_argument(
+        "--require-cat",
+        action="append",
+        default=[],
+        metavar="CAT",
+        help="require at least one B event with this category (repeatable)",
+    )
+    parser.add_argument("trace", help="trace JSON file to validate")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.trace) as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"{args.trace}: {error}", file=sys.stderr)
+        return 1
+
+    errors = lint(doc, args.require_cat)
+    if errors:
+        for error in errors:
+            print(f"{args.trace}: {error}", file=sys.stderr)
+        return 1
+
+    events = doc["traceEvents"]
+    spans = sum(1 for e in events if e.get("ph") == "B")
+    threads = len({e["tid"] for e in events if e.get("ph") != "M"})
+    print(
+        f"{args.trace}: OK — {len(events)} events, {spans} spans, "
+        f"{threads} thread(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
