@@ -38,6 +38,7 @@
 #include "common/rng.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "topology/distance_oracle.hpp"
 #include "topology/registry.hpp"
 #include "transpiler/delta_scorer.hpp"
 #include "transpiler/pass_registry.hpp"
@@ -342,6 +343,87 @@ BM_ObsDisabledSpan(benchmark::State &state)
     state.counters["spans"] = static_cast<double>(kSpans);
 }
 BENCHMARK(BM_ObsDisabledSpan);
+
+/**
+ * Distance-oracle query latency: the same fixed 4096-pair sample on
+ * the 1024-qubit chiplet lattice answered by the flat table (one array
+ * read) and by the hierarchical portal oracle (portal-pair minimum).
+ * `score_checksum` sums every answered hop count and must be identical
+ * across the two rows — the backends are exact, so only time may
+ * differ.  The gap is the price of the 16x memory compression the
+ * hierarchical oracle buys at kiloqubit scale (see docs/performance.md).
+ */
+void
+distanceOracleQueryBench(benchmark::State &state,
+                         DistanceOraclePolicy policy)
+{
+    CouplingGraph g = namedTopology("chiplet-1024");
+    g.setOraclePolicy(policy);
+    g.ensureDistanceOracle();
+    const DistanceOracle &oracle = g.distanceOracle();
+    const int n = g.numQubits();
+
+    Rng rng(0x0DAC1E);
+    std::vector<std::pair<int, int>> pairs;
+    pairs.reserve(4096);
+    for (int i = 0; i < 4096; ++i) {
+        pairs.emplace_back(
+            static_cast<int>(rng.next() % static_cast<std::uint64_t>(n)),
+            static_cast<int>(rng.next() % static_cast<std::uint64_t>(n)));
+    }
+
+    long total = 0;
+    for (auto _ : state) {
+        total = 0;
+        for (const auto &[a, b] : pairs) {
+            total += oracle.distanceRaw(a, b);
+        }
+        benchmark::DoNotOptimize(total);
+    }
+    state.counters["candidates"] = static_cast<double>(pairs.size());
+    state.counters["score_checksum"] = static_cast<double>(total);
+}
+
+void
+BM_DistanceOracleQueryFlat(benchmark::State &state)
+{
+    distanceOracleQueryBench(state, DistanceOraclePolicy::Flat);
+}
+BENCHMARK(BM_DistanceOracleQueryFlat);
+
+void
+BM_DistanceOracleQueryHier(benchmark::State &state)
+{
+    distanceOracleQueryBench(state, DistanceOraclePolicy::Hierarchical);
+}
+BENCHMARK(BM_DistanceOracleQueryHier);
+
+/**
+ * Hierarchical-oracle construction cost on the named kiloqubit chiplet
+ * lattices (1024 and 4096 qubits): one BFS per portal plus per-cluster
+ * restricted BFS.  `score_checksum` is the built structure's byte size
+ * — deterministic, and the number the flat table's n^2 growth is being
+ * traded against (2 MiB vs 32 MiB at 4096 qubits).
+ */
+void
+BM_DistanceOracleBuild(benchmark::State &state)
+{
+    const CouplingGraph base = namedTopology(
+        state.range(0) == 1024 ? "chiplet-1024" : "chiplet-4096");
+    std::size_t bytes = 0;
+    for (auto _ : state) {
+        CouplingGraph g = base;
+        g.setOraclePolicy(DistanceOraclePolicy::Hierarchical);
+        g.ensureDistanceOracle();
+        bytes = g.distanceOracle().memoryBytes();
+        benchmark::DoNotOptimize(bytes);
+    }
+    state.counters["score_checksum"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_DistanceOracleBuild)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -94,9 +94,9 @@ evaluateJobs(const std::vector<ExploreJob> &jobs, TranspileCache &cache,
                                                  : job.pipeline_spec;
         key.seed = job.seed;
         keys.push_back(std::move(key));
-        // Workers share Target pointers and the lazy distance-table
+        // Workers share Target pointers and the lazy distance-oracle
         // build is not thread-safe; force it serially here.
-        job.target->graph().ensureDistanceTable();
+        job.target->graph().ensureDistanceOracle();
     }
 
     std::vector<PointMetrics> results(jobs.size());

@@ -79,6 +79,16 @@ CouplingGraph modularTreeRoundRobin(int levels);
  */
 CouplingGraph corral(int posts, int stride_a, int stride_b);
 
+/**
+ * rows x cols grid of SNAIL chiplets, `chiplet_qubits` qubits each
+ * coupled all-to-all through the chiplet SNAIL; four port qubits per
+ * chiplet link to the facing ports of grid neighbors.  The kiloqubit
+ * scaling target: declares one distance-oracle cluster per chiplet,
+ * so routing a 4096-qubit instance needs megabytes, not the flat
+ * table's 32 MB (see topology/distance_oracle.hpp).
+ */
+CouplingGraph chipletLattice(int rows, int cols, int chiplet_qubits);
+
 } // namespace snail
 
 #endif // SNAILQC_TOPOLOGY_BUILDERS_HPP

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Chiplet-lattice topology: the kiloqubit scaling target (ROADMAP
+ * "Kiloqubit targets", paper Sec. 7 outlook).
+ *
+ * A rows x cols grid of SNAIL chiplets.  Each chiplet is a module of
+ * `chiplet_qubits` qubits coupled all-to-all through the chiplet SNAIL
+ * (the same idiom as the tree modules and corral posts); four port
+ * qubits per chiplet — local indices 0 (west), 1 (north), 2 (east),
+ * 3 (south) — carry one inter-chiplet coupling each to the facing
+ * port of the neighboring chiplet.  chipletLattice(16, 16, 16) is the
+ * 4096-qubit instance the kiloscale-smoke CI job routes.
+ *
+ * The modular structure is declared as a cluster hint (one cluster
+ * per chiplet), so the Auto oracle policy picks the hierarchical
+ * oracle above the flat-table threshold: 4 portals per chiplet keep
+ * the portal matrix tiny (a few MB where the flat table needs 32 MB
+ * at 4096 qubits) and cross-chiplet queries at ~16 portal pairs.
+ */
+
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "topology/builders.hpp"
+
+namespace snail
+{
+
+CouplingGraph
+chipletLattice(int rows, int cols, int chiplet_qubits)
+{
+    SNAIL_REQUIRE(rows > 0 && cols > 0,
+                  "chiplet lattice needs positive dimensions");
+    SNAIL_REQUIRE(chiplet_qubits >= 4,
+                  "a chiplet needs at least 4 qubits (the ports)");
+    const long long total = static_cast<long long>(rows) * cols *
+                            chiplet_qubits;
+    SNAIL_REQUIRE(total <= CouplingGraph::kMaxTabledQubits,
+                  "chiplet lattice of " << total
+                                        << " qubits exceeds the "
+                                        << CouplingGraph::kMaxTabledQubits
+                                        << "-qubit distance limit");
+
+    std::ostringstream name;
+    name << "chiplet-" << rows << "x" << cols << "x" << chiplet_qubits;
+    CouplingGraph g(static_cast<int>(total), name.str());
+
+    const auto base = [&](int r, int c) {
+        return (r * cols + c) * chiplet_qubits;
+    };
+    // Port local indices: west, north, east, south.
+    constexpr int kWest = 0, kNorth = 1, kEast = 2, kSouth = 3;
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            const int q0 = base(r, c);
+            // Chiplet SNAIL couples every member pairwise.
+            for (int a = 0; a < chiplet_qubits; ++a) {
+                for (int b = a + 1; b < chiplet_qubits; ++b) {
+                    g.addEdge(q0 + a, q0 + b);
+                }
+            }
+            if (c + 1 < cols) {
+                g.addEdge(q0 + kEast, base(r, c + 1) + kWest);
+            }
+            if (r + 1 < rows) {
+                g.addEdge(q0 + kSouth, base(r + 1, c) + kNorth);
+            }
+        }
+    }
+
+    std::vector<int> hint(static_cast<std::size_t>(total));
+    for (int q = 0; q < static_cast<int>(total); ++q) {
+        hint[static_cast<std::size_t>(q)] = q / chiplet_qubits;
+    }
+    g.setClusterHint(std::move(hint));
+    return g;
+}
+
+} // namespace snail

@@ -52,6 +52,18 @@ corral(int posts, int stride_a, int stride_b)
             }
         }
     }
+
+    // Modular structure for the distance oracle: contiguous ring arcs
+    // of 8 posts (both fences of a post share its arc).  Only qubits
+    // whose span crosses an arc boundary become portals, so portal
+    // counts scale with the strides, not the ring size.
+    constexpr int kArcPosts = 8;
+    std::vector<int> hint(static_cast<std::size_t>(n));
+    for (int i = 0; i < posts; ++i) {
+        hint[static_cast<std::size_t>(i)] = i / kArcPosts;
+        hint[static_cast<std::size_t>(posts + i)] = i / kArcPosts;
+    }
+    g.setClusterHint(std::move(hint));
     return g;
 }
 

@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "common/error.hpp"
+#include "topology/distance_oracle.hpp"
 
 namespace snail
 {
@@ -30,8 +31,10 @@ CouplingGraph::addEdge(int a, int b)
     auto &nb = _adjacency[static_cast<std::size_t>(b)];
     nb.insert(std::lower_bound(nb.begin(), nb.end(), a), a);
     // Copy-on-write: drop our reference — co-owners keep the old
-    // table (their graph is unchanged); this one rebuilds on query.
-    _dist.reset();
+    // oracle (their graph is unchanged); this one rebuilds on query.
+    // The cluster hint stays: a partition remains a valid partition
+    // under edge insertion (only portals change, recomputed at build).
+    _oracle.reset();
     _dist_data = nullptr;
 }
 
@@ -84,47 +87,63 @@ CouplingGraph::edges() const
 }
 
 void
-CouplingGraph::buildDistanceTable() const
+CouplingGraph::ensureDistanceOracle() const
 {
-    // Guard before allocating: a hop distance is at most n - 1, so any
-    // graph that fits in kMaxTabledQubits also fits every distance in
-    // uint16 below the kUnreachable sentinel — and any graph whose
-    // diameter could exceed 65534 necessarily trips this check.
-    if (_numQubits > kMaxTabledQubits) {
-        throw DistanceOverflowError(_name, _numQubits, kMaxTabledQubits);
+    if (_oracle == nullptr) {
+        _oracle = buildDistanceOracle(*this, _oraclePolicy);
+        _dist_data = _oracle->flatData();
     }
-    const auto n = static_cast<std::size_t>(_numQubits);
-    auto table = std::make_shared<std::vector<std::uint16_t>>(
-        n * n, kUnreachable);
-    std::vector<int> queue;
-    queue.reserve(n);
-    for (std::size_t src = 0; src < n; ++src) {
-        std::uint16_t *row = table->data() + src * n;
-        row[src] = 0;
-        queue.assign(1, static_cast<int>(src));
-        for (std::size_t head = 0; head < queue.size(); ++head) {
-            const int cur = queue[head];
-            const std::uint16_t next =
-                static_cast<std::uint16_t>(
-                    row[static_cast<std::size_t>(cur)] + 1);
-            for (int nb : _adjacency[static_cast<std::size_t>(cur)]) {
-                if (row[static_cast<std::size_t>(nb)] == kUnreachable) {
-                    row[static_cast<std::size_t>(nb)] = next;
-                    queue.push_back(nb);
-                }
-            }
-        }
+}
+
+const DistanceOracle &
+CouplingGraph::distanceOracle() const
+{
+    ensureDistanceOracle();
+    return *_oracle;
+}
+
+void
+CouplingGraph::setOraclePolicy(DistanceOraclePolicy policy)
+{
+    _oraclePolicy = policy;
+    _oracle.reset();
+    _dist_data = nullptr;
+}
+
+void
+CouplingGraph::setClusterHint(std::vector<int> cluster_of_qubit)
+{
+    SNAIL_REQUIRE(static_cast<int>(cluster_of_qubit.size()) == _numQubits,
+                  "cluster hint covers " << cluster_of_qubit.size()
+                                         << " qubits, graph has "
+                                         << _numQubits);
+    for (int id : cluster_of_qubit) {
+        SNAIL_REQUIRE(id >= 0, "cluster hint ids must be non-negative");
     }
-    _dist = std::move(table);
-    _dist_data = _dist->data();
+    _clusterHint = std::make_shared<const std::vector<int>>(
+        std::move(cluster_of_qubit));
+    // A built hierarchical oracle would be keyed to the old partition.
+    _oracle.reset();
+    _dist_data = nullptr;
+}
+
+int
+CouplingGraph::distanceViaOracle(int a, int b) const
+{
+    ensureDistanceOracle();
+    const int d = _oracle->distanceRaw(a, b);
+    if (d == kUnreachable) {
+        throw DisconnectedError(_name, a, b);
+    }
+    return d;
 }
 
 bool
 CouplingGraph::isConnected() const
 {
-    ensureDistanceTable();
+    ensureDistanceOracle();
     for (int q = 1; q < _numQubits; ++q) {
-        if (_dist_data[static_cast<std::size_t>(q)] == kUnreachable) {
+        if (_oracle->distanceRaw(0, q) == kUnreachable) {
             return false;
         }
     }
@@ -173,8 +192,13 @@ CouplingGraph::shortestPath(int a, int b) const
 {
     SNAIL_REQUIRE(a >= 0 && a < _numQubits && b >= 0 && b < _numQubits,
                   "qubit out of range");
-    // Walk from b back toward a following strictly decreasing distance.
-    std::vector<int> path{a};
+    // Reject unreachable pairs up front with the typed error: the walk
+    // below follows strictly decreasing distance and must never start
+    // on a sentinel pair.
+    const int total = distance(a, b);
+    std::vector<int> path;
+    path.reserve(static_cast<std::size_t>(total) + 1);
+    path.push_back(a);
     int cur = a;
     while (cur != b) {
         const int d = distance(cur, b);

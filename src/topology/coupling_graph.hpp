@@ -6,7 +6,9 @@
  * 2Q gate between the pair.  The graph exposes the structural metrics of
  * the paper's Tables 1 and 2 — diameter, average distance, average
  * connectivity — plus the all-pairs shortest-path distances the layout
- * and routing passes consume.
+ * and routing passes consume, served by a pluggable exact DistanceOracle
+ * (topology/distance_oracle.hpp): the flat uint16 table at paper scale,
+ * a cluster/portal decomposition or landmark BFS at kiloqubit scale.
  */
 
 #ifndef SNAILQC_TOPOLOGY_COUPLING_GRAPH_HPP
@@ -19,6 +21,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "topology/distance_oracle.hpp"
 
 namespace snail
 {
@@ -28,15 +31,15 @@ class CouplingGraph
 {
   public:
     /**
-     * Largest graph the flat distance table can represent: distances
-     * are stored as std::uint16_t with 0xFFFF reserved for
-     * "unreachable", so the longest representable hop distance is
-     * 65534 = kMaxTabledQubits - 1 (a path graph's diameter).
+     * Largest graph any distance oracle can represent: distances are
+     * stored as std::uint16_t with 0xFFFF reserved for "unreachable",
+     * so the longest representable hop distance is 65534 =
+     * kMaxTabledQubits - 1 (a path graph's diameter).
      */
     static constexpr int kMaxTabledQubits = 65535;
 
-    /** Sentinel stored in the distance table for unreachable pairs. */
-    static constexpr std::uint16_t kUnreachable = 0xFFFF;
+    /** Sentinel stored in distance structures for unreachable pairs. */
+    static constexpr std::uint16_t kUnreachable = kDistUnreachable;
 
     /** Edgeless graph over num_qubits qubits. */
     explicit CouplingGraph(int num_qubits, std::string name = "graph");
@@ -64,13 +67,15 @@ class CouplingGraph
     std::vector<std::pair<int, int>> edges() const;
 
     /**
-     * Hop distance between two qubits.
+     * Hop distance between two qubits, served by the active
+     * DistanceOracle (built lazily on the first query).
      *
-     * Backed by a flat row-major std::uint16_t table built once (BFS
-     * per vertex) on the first query, so the router hot loops read one
-     * cache-friendly array instead of chasing a vector-of-vectors.
-     * Bounds-checked; defined in the header so the table read inlines
-     * into the scoring kernels.
+     * When the oracle is the flat table the read is one bounds-checked
+     * array access defined in the header, so it inlines into the
+     * scoring kernels exactly as the pre-oracle code did; the other
+     * oracles answer through one out-of-line virtual call.  Every
+     * oracle is exact, so routed output is bit-identical whichever one
+     * is active.
      *
      * @throws DisconnectedError (common/error.hpp) when no path exists,
      *         carrying the pair and this graph's name.
@@ -82,47 +87,76 @@ class CouplingGraph
     {
         SNAIL_REQUIRE(a >= 0 && a < _numQubits && b >= 0 && b < _numQubits,
                       "qubit out of range");
-        if (_dist_data == nullptr) {
-            buildDistanceTable();
+        if (_dist_data != nullptr) {
+            const std::uint16_t d =
+                _dist_data[static_cast<std::size_t>(a) *
+                               static_cast<std::size_t>(_numQubits) +
+                           static_cast<std::size_t>(b)];
+            if (d == kUnreachable) {
+                throw DisconnectedError(_name, a, b);
+            }
+            return static_cast<int>(d);
         }
-        const std::uint16_t d =
-            _dist_data[static_cast<std::size_t>(a) *
-                           static_cast<std::size_t>(_numQubits) +
-                       static_cast<std::size_t>(b)];
-        if (d == kUnreachable) {
-            throw DisconnectedError(_name, a, b);
-        }
-        return static_cast<int>(d);
+        return distanceViaOracle(a, b);
     }
 
     /**
-     * Force the lazy distance table to exist now.  The table build
+     * Force the lazy distance oracle to exist now.  The oracle build
      * mutates a `mutable` cache and is NOT thread-safe; any code that
      * is about to query distance() from several threads against a
      * shared graph (parallel stochastic trials, sweep workers) must
      * call this once from the owning thread first.  Idempotent.
      * @throws DistanceOverflowError (see distance()).
      */
-    void
-    ensureDistanceTable() const
+    void ensureDistanceOracle() const;
+
+    /**
+     * The active oracle (built now if needed): kind and memory
+     * footprint for stats, benches, and the kiloscale memory audits.
+     */
+    const DistanceOracle &distanceOracle() const;
+
+    /**
+     * How the oracle is chosen (default Auto; see
+     * buildDistanceOracle()).  Setting a policy drops any built
+     * oracle; the SNAILQC_DISTANCE_ORACLE environment variable
+     * overrides whatever is set here.
+     */
+    void setOraclePolicy(DistanceOraclePolicy policy);
+    DistanceOraclePolicy oraclePolicy() const { return _oraclePolicy; }
+
+    /**
+     * Declare this graph's modular structure: cluster_of_qubit[q] is
+     * an arbitrary non-negative cluster id (chiplet index, tree
+     * module, ring arc...).  The HierarchicalOracle is exact for ANY
+     * partition, so the hint only steers memory and query latency —
+     * generators declare their real modules.  Shared (not copied)
+     * across graph copies; survives addEdge() (a partition stays a
+     * valid partition); NOT part of any content hash, so transpile
+     * cache keys and reports are hint-independent.  trimToSize() drops
+     * it (relabeling invalidates the ids).
+     */
+    void setClusterHint(std::vector<int> cluster_of_qubit);
+
+    /** The declared partition, or nullptr when none. */
+    const std::shared_ptr<const std::vector<int>> &
+    clusterHint() const
     {
-        if (_dist_data == nullptr) {
-            buildDistanceTable();
-        }
+        return _clusterHint;
     }
 
     /**
-     * True when this graph currently shares its distance table with
+     * True when this graph currently shares its distance oracle with
      * another CouplingGraph (or Target) instance.  Copies share the
-     * immutable table copy-on-write: copying a graph whose table is
-     * built costs two pointer copies, not the n^2 uint16 buffer, and
-     * the first addEdge() on either copy detaches it.  Diagnostic —
-     * the kiloqubit memory audits assert on it.
+     * immutable oracle copy-on-write: copying a graph whose oracle is
+     * built costs pointer copies, not the distance structure, and the
+     * first addEdge() on either copy detaches it.  Diagnostic — the
+     * kiloqubit memory audits assert on it.
      */
     bool
     sharesDistanceTable() const
     {
-        return _dist != nullptr && _dist.use_count() > 1;
+        return _oracle != nullptr && _oracle.use_count() > 1;
     }
 
     /** True when every qubit can reach every other. */
@@ -137,7 +171,10 @@ class CouplingGraph
     /** Mean degree (paper "AvgC"). */
     double averageDegree() const;
 
-    /** Shortest path between two qubits, inclusive of endpoints. */
+    /**
+     * Shortest path between two qubits, inclusive of endpoints.
+     * @throws DisconnectedError up front when no path exists.
+     */
     std::vector<int> shortestPath(int a, int b) const;
 
     /**
@@ -149,27 +186,30 @@ class CouplingGraph
 
   private:
     /**
-     * Build the flat row-major all-pairs distance table (BFS per
-     * vertex).  Out of line: the inline distance() fast path only pays
-     * for the emptiness check.
+     * Slow path of distance(): build the oracle if needed, query it,
+     * map the sentinel to the typed error.  Out of line: the inline
+     * fast path only pays for the null check.
      */
-    void buildDistanceTable() const;
+    int distanceViaOracle(int a, int b) const;
 
     int _numQubits;
     std::string _name;
     std::vector<std::vector<int>> _adjacency;
+    DistanceOraclePolicy _oraclePolicy = DistanceOraclePolicy::Auto;
+    /** Generator-declared partition, shared across copies (see setter). */
+    std::shared_ptr<const std::vector<int>> _clusterHint;
     /**
-     * Lazy row-major n*n hop-distance table (kUnreachable sentinel),
-     * immutable once built and shared copy-on-write across graph
-     * copies (an 84-qubit table is ~14 KB; a 4096-qubit one is 32 MB
-     * — daemon-resident targets and sweep target expansion copy
-     * graphs freely, so the buffer must not duplicate).  addEdge()
-     * drops the reference instead of mutating, which keeps other
-     * owners' tables valid.  `_dist_data` caches data() so the
-     * inline distance() hot path reads one raw array, exactly as it
-     * did when the vector lived inside the graph.
+     * Lazy distance oracle, immutable once built and shared
+     * copy-on-write across graph copies (an 84-qubit flat table is
+     * ~14 KB; a 4096-qubit one is 32 MB — daemon-resident targets and
+     * sweep target expansion copy graphs freely, so the structure must
+     * not duplicate).  addEdge() drops the reference instead of
+     * mutating, which keeps other owners' oracles valid.  `_dist_data`
+     * caches the flat oracle's raw table (nullptr for the other
+     * kinds) so the inline distance() hot path reads one raw array,
+     * exactly as it did when the vector lived inside the graph.
      */
-    mutable std::shared_ptr<const std::vector<std::uint16_t>> _dist;
+    mutable std::shared_ptr<const DistanceOracle> _oracle;
     mutable const std::uint16_t *_dist_data = nullptr;
 };
 

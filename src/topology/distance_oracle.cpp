@@ -1,0 +1,796 @@
+/**
+ * @file
+ * The three exact distance oracles and the selection policy (see
+ * distance_oracle.hpp for the scheme and the exactness argument).
+ */
+
+#include "topology/distance_oracle.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "topology/coupling_graph.hpp"
+
+namespace snail
+{
+
+namespace
+{
+
+/**
+ * Flattened (CSR) adjacency snapshot.  Oracles keep their own copy so
+ * a shared oracle stays valid however the originating graph is copied
+ * or later mutated (addEdge() drops the graph's reference; co-owners
+ * keep answering from the snapshot their graph still matches).
+ */
+struct CsrAdjacency
+{
+    std::vector<std::int32_t> offsets; //!< n + 1
+    std::vector<std::int32_t> targets; //!< 2 * edges
+
+    explicit CsrAdjacency(const CouplingGraph &graph)
+    {
+        const int n = graph.numQubits();
+        offsets.reserve(static_cast<std::size_t>(n) + 1);
+        offsets.push_back(0);
+        for (int q = 0; q < n; ++q) {
+            const auto &adj = graph.neighbors(q);
+            targets.insert(targets.end(), adj.begin(), adj.end());
+            offsets.push_back(static_cast<std::int32_t>(targets.size()));
+        }
+    }
+
+    int numVertices() const
+    {
+        return static_cast<int>(offsets.size()) - 1;
+    }
+
+    std::size_t
+    bytes() const
+    {
+        return offsets.size() * sizeof(std::int32_t) +
+               targets.size() * sizeof(std::int32_t);
+    }
+};
+
+/** Full-graph BFS from src into `row` (size n, kDistUnreachable-filled). */
+void
+bfsRow(const CsrAdjacency &csr, int src, std::uint16_t *row,
+       std::vector<std::int32_t> &queue)
+{
+    const int n = csr.numVertices();
+    std::fill(row, row + n, kDistUnreachable);
+    row[src] = 0;
+    queue.assign(1, src);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+        const std::int32_t cur = queue[head];
+        const std::uint16_t next =
+            static_cast<std::uint16_t>(row[cur] + 1);
+        for (std::int32_t at = csr.offsets[cur]; at < csr.offsets[cur + 1];
+             ++at) {
+            const std::int32_t nb = csr.targets[at];
+            if (row[nb] == kDistUnreachable) {
+                row[nb] = next;
+                queue.push_back(nb);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FlatTableOracle
+// ---------------------------------------------------------------------------
+
+/** The historical row-major n^2 table (BFS per vertex). */
+class FlatTableOracle final : public DistanceOracle
+{
+  public:
+    explicit FlatTableOracle(const CouplingGraph &graph)
+        : _n(graph.numQubits())
+    {
+        const CsrAdjacency csr(graph);
+        const auto n = static_cast<std::size_t>(_n);
+        _table.assign(n * n, kDistUnreachable);
+        std::vector<std::int32_t> queue;
+        queue.reserve(n);
+        for (int src = 0; src < _n; ++src) {
+            bfsRow(csr, src, _table.data() + static_cast<std::size_t>(src) * n,
+                   queue);
+        }
+    }
+
+    DistanceOracleKind kind() const override
+    {
+        return DistanceOracleKind::Flat;
+    }
+
+    int
+    distanceRaw(int a, int b) const override
+    {
+        return _table[static_cast<std::size_t>(a) *
+                          static_cast<std::size_t>(_n) +
+                      static_cast<std::size_t>(b)];
+    }
+
+    std::size_t
+    memoryBytes() const override
+    {
+        return _table.size() * sizeof(std::uint16_t);
+    }
+
+    const std::uint16_t *flatData() const override { return _table.data(); }
+
+  private:
+    int _n;
+    std::vector<std::uint16_t> _table;
+};
+
+// ---------------------------------------------------------------------------
+// Partitioning
+// ---------------------------------------------------------------------------
+
+/** A vertex partition compacted to dense cluster ids 0..C-1. */
+struct Partition
+{
+    std::vector<std::int32_t> clusterOf; //!< n, dense ids
+    int numClusters = 0;
+};
+
+/** Compact arbitrary non-negative hint ids to 0..C-1 (id-order). */
+Partition
+compactHint(const std::vector<int> &hint)
+{
+    Partition part;
+    part.clusterOf.reserve(hint.size());
+    std::unordered_map<int, std::int32_t> remap;
+    for (int id : hint) {
+        SNAIL_REQUIRE(id >= 0, "cluster hint ids must be non-negative");
+        auto [it, inserted] =
+            remap.emplace(id, static_cast<std::int32_t>(remap.size()));
+        part.clusterOf.push_back(it->second);
+        (void)inserted;
+    }
+    part.numClusters = static_cast<int>(remap.size());
+    return part;
+}
+
+/**
+ * Deterministic BFS-grown partition for graphs without a hint: repeat
+ * "seed at the lowest-id unassigned vertex, grow a BFS blob of up to
+ * `target` vertices over unassigned neighbors".  On modular graphs
+ * blobs track modules; on expanders the blobs have huge boundaries
+ * and the memory estimate rejects the result (landmark fallback).
+ */
+Partition
+growPartition(const CsrAdjacency &csr, int target)
+{
+    const int n = csr.numVertices();
+    Partition part;
+    part.clusterOf.assign(static_cast<std::size_t>(n), -1);
+    std::vector<std::int32_t> queue;
+    for (int seed = 0; seed < n; ++seed) {
+        if (part.clusterOf[static_cast<std::size_t>(seed)] >= 0) {
+            continue;
+        }
+        const std::int32_t cluster = part.numClusters++;
+        part.clusterOf[static_cast<std::size_t>(seed)] = cluster;
+        queue.assign(1, seed);
+        int taken = 1;
+        for (std::size_t head = 0; head < queue.size() && taken < target;
+             ++head) {
+            const std::int32_t cur = queue[head];
+            for (std::int32_t at = csr.offsets[cur];
+                 at < csr.offsets[cur + 1] && taken < target; ++at) {
+                const std::int32_t nb = csr.targets[at];
+                if (part.clusterOf[static_cast<std::size_t>(nb)] < 0) {
+                    part.clusterOf[static_cast<std::size_t>(nb)] = cluster;
+                    queue.push_back(nb);
+                    ++taken;
+                }
+            }
+        }
+    }
+    return part;
+}
+
+// ---------------------------------------------------------------------------
+// HierarchicalOracle
+// ---------------------------------------------------------------------------
+
+/**
+ * Cluster/portal decomposition (header doc has the formula and the
+ * exactness argument).  All arrays are immutable after the
+ * constructor, so queries are lock-free and thread-safe.
+ */
+class HierarchicalOracle final : public DistanceOracle
+{
+  public:
+    HierarchicalOracle(const CouplingGraph &graph, Partition part)
+        : _n(graph.numQubits()), _clusterOf(std::move(part.clusterOf))
+    {
+        const CsrAdjacency csr(graph);
+        const int clusters = part.numClusters;
+        const auto n = static_cast<std::size_t>(_n);
+        const auto num_clusters = static_cast<std::size_t>(clusters);
+
+        // Local index + member lists, in vertex-id order (deterministic).
+        _localIndex.assign(n, 0);
+        _clusterSize.assign(num_clusters, 0);
+        for (std::size_t v = 0; v < n; ++v) {
+            auto &size = _clusterSize[static_cast<std::size_t>(_clusterOf[v])];
+            _localIndex[v] = size;
+            ++size;
+        }
+        std::vector<std::vector<std::int32_t>> members(num_clusters);
+        for (std::size_t c = 0; c < num_clusters; ++c) {
+            members[c].reserve(
+                static_cast<std::size_t>(_clusterSize[c]));
+        }
+        for (std::size_t v = 0; v < n; ++v) {
+            members[static_cast<std::size_t>(_clusterOf[v])].push_back(
+                static_cast<std::int32_t>(v));
+        }
+
+        // Portals: a vertex with an edge leaving its cluster.  Global
+        // portal ids in vertex order; per-cluster lists of global ids.
+        std::vector<std::int32_t> portal_of_vertex(n, -1);
+        std::vector<std::int32_t> portal_vertices;
+        _portalStart.assign(num_clusters + 1, 0);
+        for (std::size_t v = 0; v < n; ++v) {
+            for (std::int32_t at = csr.offsets[v]; at < csr.offsets[v + 1];
+                 ++at) {
+                if (_clusterOf[static_cast<std::size_t>(csr.targets[at])] !=
+                    _clusterOf[v]) {
+                    portal_of_vertex[v] =
+                        static_cast<std::int32_t>(portal_vertices.size());
+                    portal_vertices.push_back(static_cast<std::int32_t>(v));
+                    break;
+                }
+            }
+        }
+        const auto num_portals = portal_vertices.size();
+        for (std::int32_t p : portal_vertices) {
+            ++_portalStart[static_cast<std::size_t>(_clusterOf[p]) + 1];
+        }
+        for (std::size_t c = 0; c < num_clusters; ++c) {
+            _portalStart[c + 1] += _portalStart[c];
+        }
+        // Clusters need not be contiguous vertex ranges (grown
+        // partitions interleave), so a portal's slot within its
+        // cluster's list must be recorded explicitly — it is NOT
+        // `i - _portalStart[c]` in general.
+        _portalIds.assign(num_portals, 0);
+        std::vector<std::int32_t> portal_slot(num_portals, 0);
+        {
+            std::vector<std::int32_t> fill(_portalStart.begin(),
+                                           _portalStart.end() - 1);
+            for (std::size_t i = 0; i < num_portals; ++i) {
+                const auto c = static_cast<std::size_t>(
+                    _clusterOf[static_cast<std::size_t>(portal_vertices[i])]);
+                portal_slot[i] = fill[c] - _portalStart[c];
+                _portalIds[static_cast<std::size_t>(fill[c]++)] =
+                    static_cast<std::int32_t>(i);
+            }
+        }
+        _numPortals = static_cast<std::int32_t>(num_portals);
+
+        // Block offsets: per-cluster local-distance and intra tables.
+        _localBlock.assign(num_clusters + 1, 0);
+        _intraBlock.assign(num_clusters + 1, 0);
+        for (std::size_t c = 0; c < num_clusters; ++c) {
+            const auto size = static_cast<std::int64_t>(_clusterSize[c]);
+            const std::int64_t portals =
+                _portalStart[c + 1] - _portalStart[c];
+            _localBlock[c + 1] = _localBlock[c] + size * portals;
+            _intraBlock[c + 1] = _intraBlock[c] + size * size;
+        }
+        _local.assign(static_cast<std::size_t>(_localBlock.back()),
+                      kDistUnreachable);
+        _intra.assign(static_cast<std::size_t>(_intraBlock.back()),
+                      kDistUnreachable);
+        _pp.assign(num_portals * num_portals, kDistUnreachable);
+
+        // One full-graph BFS per portal fills its portal-portal row and
+        // the own-cluster local distances (full-graph distances both —
+        // that is what the exactness argument needs).
+        std::vector<std::uint16_t> row(n);
+        std::vector<std::int32_t> queue;
+        queue.reserve(n);
+        for (std::size_t i = 0; i < num_portals; ++i) {
+            const std::int32_t src = portal_vertices[i];
+            bfsRow(csr, src, row.data(), queue);
+            std::uint16_t *pp_row = _pp.data() + i * num_portals;
+            for (std::size_t j = 0; j < num_portals; ++j) {
+                pp_row[j] = row[static_cast<std::size_t>(portal_vertices[j])];
+            }
+            const auto c =
+                static_cast<std::size_t>(_clusterOf[static_cast<std::size_t>(src)]);
+            const std::int64_t portals = _portalStart[c + 1] - _portalStart[c];
+            const std::int64_t slot = portal_slot[i];
+            for (const std::int32_t v : members[c]) {
+                _local[static_cast<std::size_t>(
+                    _localBlock[c] +
+                    static_cast<std::int64_t>(
+                        _localIndex[static_cast<std::size_t>(v)]) *
+                        portals +
+                    slot)] = row[static_cast<std::size_t>(v)];
+            }
+        }
+
+        // Per-cluster BFS restricted to the cluster's vertices: the
+        // "path never leaves" arm of the same-cluster minimum.
+        for (std::size_t c = 0; c < num_clusters; ++c) {
+            const auto size = static_cast<std::int64_t>(_clusterSize[c]);
+            std::uint16_t *block =
+                _intra.data() + static_cast<std::size_t>(_intraBlock[c]);
+            for (const std::int32_t src : members[c]) {
+                std::uint16_t *intra_row =
+                    block + static_cast<std::int64_t>(
+                                _localIndex[static_cast<std::size_t>(src)]) *
+                                size;
+                intra_row[_localIndex[static_cast<std::size_t>(src)]] = 0;
+                queue.assign(1, src);
+                for (std::size_t head = 0; head < queue.size(); ++head) {
+                    const std::int32_t cur = queue[head];
+                    const std::uint16_t next = static_cast<std::uint16_t>(
+                        intra_row[_localIndex[static_cast<std::size_t>(cur)]] +
+                        1);
+                    for (std::int32_t at = csr.offsets[cur];
+                         at < csr.offsets[cur + 1]; ++at) {
+                        const std::int32_t nb = csr.targets[at];
+                        if (static_cast<std::size_t>(
+                                _clusterOf[static_cast<std::size_t>(nb)]) !=
+                            c) {
+                            continue;
+                        }
+                        auto &cell =
+                            intra_row[_localIndex[static_cast<std::size_t>(
+                                nb)]];
+                        if (cell == kDistUnreachable) {
+                            cell = next;
+                            queue.push_back(nb);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /**
+     * Structure size for a prospective (graph, partition) pair without
+     * building anything — the Auto policy's accept/reject estimate.
+     */
+    static std::size_t
+    estimateBytes(const CsrAdjacency &csr, const Partition &part)
+    {
+        const auto num_clusters = static_cast<std::size_t>(part.numClusters);
+        std::vector<std::int64_t> size(num_clusters, 0);
+        std::vector<std::int64_t> portals(num_clusters, 0);
+        std::int64_t total_portals = 0;
+        const int n = csr.numVertices();
+        for (int v = 0; v < n; ++v) {
+            const auto c = static_cast<std::size_t>(
+                part.clusterOf[static_cast<std::size_t>(v)]);
+            ++size[c];
+            for (std::int32_t at = csr.offsets[v]; at < csr.offsets[v + 1];
+                 ++at) {
+                if (part.clusterOf[static_cast<std::size_t>(
+                        csr.targets[at])] !=
+                    part.clusterOf[static_cast<std::size_t>(v)]) {
+                    ++portals[c];
+                    ++total_portals;
+                    break;
+                }
+            }
+        }
+        std::int64_t entries = total_portals * total_portals;
+        for (std::size_t c = 0; c < num_clusters; ++c) {
+            entries += size[c] * portals[c] + size[c] * size[c];
+        }
+        return static_cast<std::size_t>(entries) * sizeof(std::uint16_t);
+    }
+
+    DistanceOracleKind kind() const override
+    {
+        return DistanceOracleKind::Hierarchical;
+    }
+
+    int
+    distanceRaw(int a, int b) const override
+    {
+        if (a == b) {
+            return 0;
+        }
+        const auto ca = static_cast<std::size_t>(
+            _clusterOf[static_cast<std::size_t>(a)]);
+        const auto cb = static_cast<std::size_t>(
+            _clusterOf[static_cast<std::size_t>(b)]);
+        int best = std::numeric_limits<int>::max();
+        if (ca == cb) {
+            const std::uint16_t d = _intra[static_cast<std::size_t>(
+                _intraBlock[ca] +
+                static_cast<std::int64_t>(
+                    _localIndex[static_cast<std::size_t>(a)]) *
+                    _clusterSize[ca] +
+                _localIndex[static_cast<std::size_t>(b)])];
+            if (d != kDistUnreachable) {
+                best = d;
+            }
+        }
+        const std::int64_t pa = _portalStart[ca + 1] - _portalStart[ca];
+        const std::int64_t pb = _portalStart[cb + 1] - _portalStart[cb];
+        const std::uint16_t *la =
+            _local.data() +
+            static_cast<std::size_t>(
+                _localBlock[ca] +
+                static_cast<std::int64_t>(
+                    _localIndex[static_cast<std::size_t>(a)]) *
+                    pa);
+        const std::uint16_t *lb =
+            _local.data() +
+            static_cast<std::size_t>(
+                _localBlock[cb] +
+                static_cast<std::int64_t>(
+                    _localIndex[static_cast<std::size_t>(b)]) *
+                    pb);
+        const std::int32_t *ids_a =
+            _portalIds.data() + _portalStart[ca];
+        const std::int32_t *ids_b =
+            _portalIds.data() + _portalStart[cb];
+        for (std::int64_t i = 0; i < pa; ++i) {
+            const std::uint16_t du = la[i];
+            if (du == kDistUnreachable || du >= best) {
+                continue;
+            }
+            const std::uint16_t *pp_row =
+                _pp.data() + static_cast<std::size_t>(ids_a[i]) *
+                                 static_cast<std::size_t>(_numPortals);
+            for (std::int64_t j = 0; j < pb; ++j) {
+                const std::uint16_t dv = lb[j];
+                const std::uint16_t mid =
+                    pp_row[static_cast<std::size_t>(ids_b[j])];
+                if (dv == kDistUnreachable || mid == kDistUnreachable) {
+                    continue;
+                }
+                const int through = static_cast<int>(du) +
+                                    static_cast<int>(mid) +
+                                    static_cast<int>(dv);
+                best = std::min(best, through);
+            }
+        }
+        return best == std::numeric_limits<int>::max() ? kDistUnreachable
+                                                       : best;
+    }
+
+    std::size_t
+    memoryBytes() const override
+    {
+        return (_pp.size() + _local.size() + _intra.size()) *
+                   sizeof(std::uint16_t) +
+               (_clusterOf.size() + _localIndex.size() + _portalIds.size() +
+                _portalStart.size() + _clusterSize.size()) *
+                   sizeof(std::int32_t) +
+               (_localBlock.size() + _intraBlock.size()) *
+                   sizeof(std::int64_t);
+    }
+
+  private:
+    int _n;
+    std::int32_t _numPortals = 0;
+    std::vector<std::int32_t> _clusterOf;   //!< n
+    std::vector<std::int32_t> _localIndex;  //!< n, index within cluster
+    std::vector<std::int32_t> _clusterSize; //!< per cluster
+    std::vector<std::int32_t> _portalStart; //!< per cluster, into _portalIds
+    std::vector<std::int32_t> _portalIds;   //!< global portal ids per cluster
+    std::vector<std::int64_t> _localBlock;  //!< per cluster, into _local
+    std::vector<std::int64_t> _intraBlock;  //!< per cluster, into _intra
+    std::vector<std::uint16_t> _pp;         //!< portal x portal, full graph
+    std::vector<std::uint16_t> _local;      //!< vertex x own-cluster portals
+    std::vector<std::uint16_t> _intra;      //!< cluster-restricted all-pairs
+};
+
+// ---------------------------------------------------------------------------
+// LandmarkOracle
+// ---------------------------------------------------------------------------
+
+/**
+ * Exact per-query bidirectional BFS with memoized rows.  A query runs
+ * two frontiers toward each other (always expanding the smaller one)
+ * and stops once the best meeting distance cannot be beaten; vertices
+ * queried kPromoteAfter times get a full BFS row cached (bounded at
+ * kMaxCachedRows, FIFO eviction), so hot-loop sources degrade to a
+ * row read.  The memo is mutex-protected: correct under parallel
+ * stochastic trials, but contended — the selection policy only picks
+ * this oracle when no decomposition compresses.
+ */
+class LandmarkOracle final : public DistanceOracle
+{
+  public:
+    static constexpr int kPromoteAfter = 4;
+    static constexpr std::size_t kMaxCachedRows = 64;
+
+    explicit LandmarkOracle(const CouplingGraph &graph)
+        : _csr(graph),
+          _queries(static_cast<std::size_t>(graph.numQubits()), 0)
+    {
+    }
+
+    DistanceOracleKind kind() const override
+    {
+        return DistanceOracleKind::Landmark;
+    }
+
+    int
+    distanceRaw(int a, int b) const override
+    {
+        if (a == b) {
+            return 0;
+        }
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (const std::uint16_t *row = cachedRow(a)) {
+            return row[b];
+        }
+        if (const std::uint16_t *row = cachedRow(b)) {
+            return row[a];
+        }
+        if (++_queries[static_cast<std::size_t>(a)] >= kPromoteAfter) {
+            return promote(a)[b];
+        }
+        if (++_queries[static_cast<std::size_t>(b)] >= kPromoteAfter) {
+            return promote(b)[a];
+        }
+        return bidirectional(a, b);
+    }
+
+    std::size_t
+    memoryBytes() const override
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        return _csr.bytes() + _queries.size() * sizeof(std::uint16_t) +
+               _rows.size() * (static_cast<std::size_t>(_csr.numVertices()) *
+                               sizeof(std::uint16_t));
+    }
+
+  private:
+    const std::uint16_t *
+    cachedRow(int v) const
+    {
+        const auto it = _rows.find(v);
+        return it == _rows.end() ? nullptr : it->second.data();
+    }
+
+    /** Compute and cache v's full BFS row (evict FIFO at capacity). */
+    const std::uint16_t *
+    promote(int v) const
+    {
+        auto it = _rows.find(v);
+        if (it == _rows.end()) {
+            if (_rows.size() >= kMaxCachedRows) {
+                _rows.erase(static_cast<int>(_cacheOrder.front()));
+                _cacheOrder.erase(_cacheOrder.begin());
+            }
+            std::vector<std::uint16_t> row(
+                static_cast<std::size_t>(_csr.numVertices()));
+            std::vector<std::int32_t> queue;
+            bfsRow(_csr, v, row.data(), queue);
+            it = _rows.emplace(v, std::move(row)).first;
+            _cacheOrder.push_back(v);
+        }
+        return it->second.data();
+    }
+
+    /**
+     * Alternating-frontier bidirectional BFS.  After expanding side A
+     * to radius ra and side B to rb, any path of length <= ra + rb has
+     * a vertex settled by both sides, so once the best meeting sum is
+     * <= ra + rb it is the exact distance.
+     */
+    int
+    bidirectional(int a, int b) const
+    {
+        const auto n = static_cast<std::size_t>(_csr.numVertices());
+        if (_dist[0].size() != n) {
+            _dist[0].assign(n, kDistUnreachable);
+            _dist[1].assign(n, kDistUnreachable);
+            _stamp.assign(n, 0);
+            _version = 0;
+        }
+        ++_version;
+        const auto touch = [&](std::size_t v) {
+            if (_stamp[v] != _version) {
+                _stamp[v] = _version;
+                _dist[0][v] = kDistUnreachable;
+                _dist[1][v] = kDistUnreachable;
+            }
+        };
+        touch(static_cast<std::size_t>(a));
+        touch(static_cast<std::size_t>(b));
+        _dist[0][static_cast<std::size_t>(a)] = 0;
+        _dist[1][static_cast<std::size_t>(b)] = 0;
+        _frontier[0].assign(1, a);
+        _frontier[1].assign(1, b);
+        int radius[2] = {0, 0};
+        int best = std::numeric_limits<int>::max();
+        while (!_frontier[0].empty() && !_frontier[1].empty()) {
+            if (best <= radius[0] + radius[1]) {
+                return best;
+            }
+            const int side =
+                _frontier[0].size() <= _frontier[1].size() ? 0 : 1;
+            const int other = 1 - side;
+            _next.clear();
+            const std::uint16_t depth =
+                static_cast<std::uint16_t>(radius[side] + 1);
+            for (const std::int32_t cur : _frontier[side]) {
+                for (std::int32_t at = _csr.offsets[cur];
+                     at < _csr.offsets[cur + 1]; ++at) {
+                    const auto nb = static_cast<std::size_t>(_csr.targets[at]);
+                    touch(nb);
+                    if (_dist[side][nb] != kDistUnreachable) {
+                        continue;
+                    }
+                    _dist[side][nb] = depth;
+                    _next.push_back(static_cast<std::int32_t>(nb));
+                    if (_dist[other][nb] != kDistUnreachable) {
+                        best = std::min(best,
+                                        static_cast<int>(depth) +
+                                            static_cast<int>(_dist[other][nb]));
+                    }
+                }
+            }
+            _frontier[side].swap(_next);
+            radius[side] = depth;
+        }
+        return best == std::numeric_limits<int>::max() ? kDistUnreachable
+                                                       : best;
+    }
+
+    CsrAdjacency _csr;
+    mutable std::mutex _mutex;
+    mutable std::vector<std::uint16_t> _queries; //!< promotion counters
+    mutable std::unordered_map<int, std::vector<std::uint16_t>> _rows;
+    mutable std::vector<int> _cacheOrder; //!< FIFO eviction order
+    // Scratch for bidirectional(), reused across queries (guarded by
+    // _mutex): version-stamped distance arrays avoid an O(n) clear.
+    mutable std::vector<std::uint16_t> _dist[2];
+    mutable std::vector<std::uint32_t> _stamp;
+    mutable std::uint32_t _version = 0;
+    mutable std::vector<std::int32_t> _frontier[2];
+    mutable std::vector<std::int32_t> _next;
+};
+
+/** SNAILQC_DISTANCE_ORACLE, or the passed policy when unset/auto. */
+DistanceOraclePolicy
+applyEnvOverride(DistanceOraclePolicy policy)
+{
+    const char *env = std::getenv("SNAILQC_DISTANCE_ORACLE");
+    if (env == nullptr || *env == '\0') {
+        return policy;
+    }
+    const std::string value(env);
+    if (value == "auto") {
+        return policy;
+    }
+    if (value == "flat") {
+        return DistanceOraclePolicy::Flat;
+    }
+    if (value == "hier" || value == "hierarchical") {
+        return DistanceOraclePolicy::Hierarchical;
+    }
+    if (value == "landmark") {
+        return DistanceOraclePolicy::Landmark;
+    }
+    SNAIL_THROW("SNAILQC_DISTANCE_ORACLE='"
+                << value << "' is not one of auto|flat|hier|landmark");
+}
+
+/** Auto-partition target blob size: modules are small; blobs track them. */
+int
+autoPartitionTarget(int num_qubits)
+{
+    int root = 1;
+    while ((root + 1) * (root + 1) <= num_qubits) {
+        ++root;
+    }
+    return std::max(16, root);
+}
+
+} // namespace
+
+const char *
+toString(DistanceOracleKind kind)
+{
+    switch (kind) {
+    case DistanceOracleKind::Flat:
+        return "flat";
+    case DistanceOracleKind::Hierarchical:
+        return "hierarchical";
+    case DistanceOracleKind::Landmark:
+        return "landmark";
+    }
+    return "unknown";
+}
+
+const char *
+toString(DistanceOraclePolicy policy)
+{
+    switch (policy) {
+    case DistanceOraclePolicy::Auto:
+        return "auto";
+    case DistanceOraclePolicy::Flat:
+        return "flat";
+    case DistanceOraclePolicy::Hierarchical:
+        return "hierarchical";
+    case DistanceOraclePolicy::Landmark:
+        return "landmark";
+    }
+    return "unknown";
+}
+
+std::shared_ptr<const DistanceOracle>
+buildDistanceOracle(const CouplingGraph &graph, DistanceOraclePolicy policy)
+{
+    // The historical guard, now oracle-independent: every oracle keeps
+    // distances as uint16, and a hop distance is at most n - 1.
+    if (graph.numQubits() > CouplingGraph::kMaxTabledQubits) {
+        throw DistanceOverflowError(graph.name(), graph.numQubits(),
+                                    CouplingGraph::kMaxTabledQubits);
+    }
+    policy = applyEnvOverride(policy);
+
+    std::shared_ptr<const DistanceOracle> oracle;
+    switch (policy) {
+    case DistanceOraclePolicy::Flat:
+        oracle = std::make_shared<FlatTableOracle>(graph);
+        break;
+    case DistanceOraclePolicy::Hierarchical: {
+        Partition part =
+            graph.clusterHint()
+                ? compactHint(*graph.clusterHint())
+                : growPartition(CsrAdjacency(graph),
+                                autoPartitionTarget(graph.numQubits()));
+        oracle =
+            std::make_shared<HierarchicalOracle>(graph, std::move(part));
+        break;
+    }
+    case DistanceOraclePolicy::Landmark:
+        oracle = std::make_shared<LandmarkOracle>(graph);
+        break;
+    case DistanceOraclePolicy::Auto: {
+        if (graph.numQubits() <= kFlatOracleMaxQubits) {
+            oracle = std::make_shared<FlatTableOracle>(graph);
+            break;
+        }
+        if (graph.clusterHint()) {
+            // Generators declare real modular structure; trust it.
+            oracle = std::make_shared<HierarchicalOracle>(
+                graph, compactHint(*graph.clusterHint()));
+            break;
+        }
+        const CsrAdjacency csr(graph);
+        Partition part =
+            growPartition(csr, autoPartitionTarget(graph.numQubits()));
+        if (HierarchicalOracle::estimateBytes(csr, part) <=
+            flatTableBytes(graph.numQubits()) / 4) {
+            oracle = std::make_shared<HierarchicalOracle>(graph,
+                                                          std::move(part));
+        } else {
+            // No decomposition compresses (expander-like graph).
+            oracle = std::make_shared<LandmarkOracle>(graph);
+        }
+        break;
+    }
+    }
+    SNAIL_ASSERT(oracle != nullptr, "oracle selection fell through");
+    MetricsRegistry::global()
+        .gauge("snailqc_distance_oracle_bytes")
+        .set(static_cast<double>(oracle->memoryBytes()));
+    return oracle;
+}
+
+} // namespace snail

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Pluggable hop-distance oracles for CouplingGraph (ROADMAP "Kiloqubit
+ * targets").
+ *
+ * The flat all-pairs uint16 table is perfect at paper scale (an
+ * 84-qubit table is ~14 KB) and hopeless at chiplet scale (a
+ * 4096-qubit table is 32 MB; 16384 qubits would be 512 MB).  The
+ * paper's modular SNAIL architectures are explicitly built from small
+ * densely-coupled modules with sparse inter-module links, so their
+ * distance structure compresses: store exact distances *between module
+ * boundary qubits* plus each qubit's distances to its own module's
+ * boundary, and reconstruct any pair on demand.
+ *
+ * Three oracles, all EXACT (bit-identical routed output is the
+ * contract — the fingerprint matrix and compare_bench counters gate
+ * it):
+ *
+ *  - FlatTableOracle: the historical row-major n^2 table, default
+ *    below kFlatOracleMaxQubits.  CouplingGraph keeps an inline
+ *    raw-pointer fast path to it so router hot loops are unchanged.
+ *  - HierarchicalOracle: cluster/portal decomposition.  For ANY
+ *    partition of the vertices into clusters, let P(c) be cluster c's
+ *    portals (vertices with an edge leaving c).  Then for u, v in
+ *    different clusters
+ *
+ *        d(u,v) = min over b in P(cl(u)), b' in P(cl(v)) of
+ *                 d(u,b) + d(b,b') + d(b',v)
+ *
+ *    with every term a full-graph distance, and for u, v in the same
+ *    cluster the same minimum additionally compared against the
+ *    BFS distance restricted to the cluster.  This is exact for any
+ *    partition (a shortest path that leaves a cluster crosses a
+ *    portal of that cluster; prefixes/suffixes of shortest paths are
+ *    shortest paths), so the partition only affects memory and query
+ *    latency, never results.  Stored: the portal-portal matrix, each
+ *    vertex's distances to its own cluster's portals, and per-cluster
+ *    restricted tables — a few MB where the flat table needs tens.
+ *  - LandmarkOracle: fallback when no useful modular decomposition
+ *    exists (hypercubes: every vertex is a boundary vertex).  Exact
+ *    per-query bidirectional BFS with memoized frontiers: full BFS
+ *    rows are cached for frequently-queried sources (bounded cache),
+ *    so repeated hot-loop queries amortize to row lookups.  Queries
+ *    mutate the memo under a mutex — safe but contended from parallel
+ *    stochastic trials; prefer declared clusters where possible.
+ *
+ * Generators declare their modular structure via
+ * CouplingGraph::setClusterHint() (chiplet lattices: the chiplet;
+ * trees: the module; corrals: ring arcs; grids: tiles), and
+ * buildDistanceOracle() picks per the policy below.  The environment
+ * variable SNAILQC_DISTANCE_ORACLE=auto|flat|hier|landmark overrides
+ * every policy — CI's kiloscale-smoke uses it to prove the flat table
+ * busts the RSS cap the hierarchical oracle fits under.
+ */
+
+#ifndef SNAILQC_TOPOLOGY_DISTANCE_ORACLE_HPP
+#define SNAILQC_TOPOLOGY_DISTANCE_ORACLE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace snail
+{
+
+class CouplingGraph;
+
+/** Sentinel for "no path" in every oracle's raw-distance answers. */
+constexpr std::uint16_t kDistUnreachable = 0xFFFF;
+
+/**
+ * Largest graph whose Auto policy resolves to the flat table: a
+ * 1024-qubit table is 2 MB — cheap — and everything the paper tables
+ * study (<= 84 qubits) stays on the historical fast path.
+ */
+constexpr int kFlatOracleMaxQubits = 1024;
+
+/** What a built oracle is. */
+enum class DistanceOracleKind : int
+{
+    Flat,
+    Hierarchical,
+    Landmark,
+};
+
+/** What the caller asked for (Auto resolves per graph structure). */
+enum class DistanceOraclePolicy : int
+{
+    Auto,
+    Flat,
+    Hierarchical,
+    Landmark,
+};
+
+const char *toString(DistanceOracleKind kind);
+const char *toString(DistanceOraclePolicy policy);
+
+/** Bytes of the flat n^2 uint16 table for an n-qubit graph. */
+constexpr std::size_t
+flatTableBytes(int num_qubits)
+{
+    return static_cast<std::size_t>(num_qubits) *
+           static_cast<std::size_t>(num_qubits) * sizeof(std::uint16_t);
+}
+
+/**
+ * Exact hop-distance oracle over a fixed graph snapshot.  Instances
+ * are immutable from the caller's view and shared copy-on-write
+ * across CouplingGraph copies; CouplingGraph::addEdge() drops its
+ * reference instead of mutating (co-owners keep consistent answers).
+ */
+class DistanceOracle
+{
+  public:
+    virtual ~DistanceOracle() = default;
+
+    virtual DistanceOracleKind kind() const = 0;
+
+    /**
+     * Hop distance, or kDistUnreachable when no path exists.  Never
+     * throws on disconnection — CouplingGraph::distance() owns the
+     * typed DisconnectedError contract.  Thread-safe after build
+     * (LandmarkOracle serializes its memo internally).
+     */
+    virtual int distanceRaw(int a, int b) const = 0;
+
+    /**
+     * Bytes of distance structure held right now (the flat table, the
+     * portal matrices, or the landmark adjacency + memoized rows).
+     * Exported as the snailqc_distance_oracle_bytes gauge and printed
+     * by `snailqc targets --stats`.
+     */
+    virtual std::size_t memoryBytes() const = 0;
+
+    /**
+     * Raw pointer to the row-major n^2 table when this oracle is
+     * flat, nullptr otherwise.  CouplingGraph caches it so the inline
+     * distance() fast path stays one bounds-checked array read.
+     */
+    virtual const std::uint16_t *flatData() const { return nullptr; }
+};
+
+/**
+ * Build the oracle for `graph` under `policy` (after applying the
+ * SNAILQC_DISTANCE_ORACLE override).  Auto resolves to: flat at or
+ * below kFlatOracleMaxQubits; hierarchical when the graph declares a
+ * cluster hint, or when an auto-grown partition compresses to under a
+ * quarter of the flat table; landmark otherwise.  Also refreshes the
+ * snailqc_distance_oracle_bytes gauge.
+ *
+ * @throws DistanceOverflowError for graphs above
+ *         CouplingGraph::kMaxTabledQubits — every oracle stores
+ *         distances as uint16, so the historical guard is
+ *         oracle-independent.
+ * @throws SnailError for an unparseable SNAILQC_DISTANCE_ORACLE value.
+ */
+std::shared_ptr<const DistanceOracle>
+buildDistanceOracle(const CouplingGraph &graph, DistanceOraclePolicy policy);
+
+} // namespace snail
+
+#endif // SNAILQC_TOPOLOGY_DISTANCE_ORACLE_HPP

@@ -69,6 +69,12 @@ registry()
              return corral(a[0], a[1], a[2]);
          },
          "SNAIL fence-post ring with two qubit fences"},
+        {"chiplet-lattice",
+         {{"rows", 1, 16}, {"cols", 1, 16}, {"chiplet_qubits", 4, 32}},
+         [](const std::vector<int> &a) {
+             return chipletLattice(a[0], a[1], a[2]);
+         },
+         "grid of all-to-all SNAIL chiplets with 4 port qubits each"},
     };
     return generators;
 }

@@ -22,6 +22,28 @@ gridIndex(int r, int c, int cols)
     return r * cols + c;
 }
 
+/**
+ * Declare 16x16 grid tiles as distance-oracle clusters.  Lattices are
+ * not modular hardware, but tiles still compress their distance
+ * structure: only the tile perimeter is a portal, so a kiloqubit grid
+ * stores portal matrices instead of the flat n^2 table.
+ */
+void
+declareTileClusters(CouplingGraph &g, int rows, int cols)
+{
+    constexpr int kTile = 16;
+    const int tiles_per_row = (cols + kTile - 1) / kTile;
+    std::vector<int> hint(static_cast<std::size_t>(rows) *
+                          static_cast<std::size_t>(cols));
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            hint[static_cast<std::size_t>(gridIndex(r, c, cols))] =
+                (r / kTile) * tiles_per_row + c / kTile;
+        }
+    }
+    g.setClusterHint(std::move(hint));
+}
+
 } // namespace
 
 CouplingGraph
@@ -41,6 +63,7 @@ squareLattice(int rows, int cols)
             }
         }
     }
+    declareTileClusters(g, rows, cols);
     return g;
 }
 
@@ -86,6 +109,7 @@ hexLattice(int rows, int cols)
             }
         }
     }
+    declareTileClusters(g, rows, cols);
     return g;
 }
 
@@ -119,12 +143,22 @@ heavyHexLattice(int rows, int cols)
     std::ostringstream name;
     name << "heavy-hex-" << rows << "x" << cols;
     CouplingGraph g(n_total, name.str());
+    std::vector<int> hint(static_cast<std::size_t>(n_total));
+    const auto &skeleton_hint = *hex.clusterHint();
+    for (int v = 0; v < n_vertices; ++v) {
+        hint[static_cast<std::size_t>(v)] =
+            skeleton_hint[static_cast<std::size_t>(v)];
+    }
     int next = n_vertices;
     for (const auto &[a, b] : skeleton_edges) {
         g.addEdge(a, next);
         g.addEdge(next, b);
+        // The inserted "heavy" qubit joins one endpoint's tile.
+        hint[static_cast<std::size_t>(next)] =
+            skeleton_hint[static_cast<std::size_t>(a)];
         ++next;
     }
+    g.setClusterHint(std::move(hint));
     return g;
 }
 

@@ -96,6 +96,20 @@ namedTopology(const std::string &name)
         return g;
     }
 
+    // --- Kiloqubit scaling instances (ROADMAP "Kiloqubit targets") ---
+    // Not part of the paper tables; named here so the CLI, the
+    // kiloscale-smoke CI job, and the benches can route them by name.
+    if (name == "chiplet-1024") {
+        CouplingGraph g = chipletLattice(8, 8, 16);
+        g.setName(name);
+        return g;
+    }
+    if (name == "chiplet-4096") {
+        CouplingGraph g = chipletLattice(16, 16, 16);
+        g.setName(name);
+        return g;
+    }
+
     SNAIL_THROW("unknown topology name: " << name);
 }
 

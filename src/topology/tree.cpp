@@ -42,6 +42,30 @@ totalNodes(int levels)
     return levelStart(levels + 1);
 }
 
+/**
+ * Declare the tree's modular structure for the distance oracle:
+ * cluster 0 is the router quartet, and every level-2 node heads one
+ * cluster holding its whole subtree.  Subtree roots are the only
+ * vertices with standard-tree edges leaving the cluster (round-robin
+ * uplinks add the level-3 nodes), so the portal sets stay a handful
+ * per cluster however deep the tree grows.
+ */
+void
+declareSubtreeClusters(CouplingGraph &g, int levels)
+{
+    std::vector<int> hint(static_cast<std::size_t>(totalNodes(levels)), 0);
+    for (int l = 2; l <= levels; ++l) {
+        const int start = levelStart(l);
+        const int count = 1 << (2 * l);
+        for (int i = 0; i < count; ++i) {
+            // The level-2 ancestor's offset within its level.
+            const int ancestor = i / (1 << (2 * (l - 2)));
+            hint[static_cast<std::size_t>(start + i)] = 1 + ancestor;
+        }
+    }
+    g.setClusterHint(std::move(hint));
+}
+
 } // namespace
 
 CouplingGraph
@@ -78,6 +102,7 @@ modularTree(int levels)
             }
         }
     }
+    declareSubtreeClusters(g, levels);
     return g;
 }
 
@@ -122,6 +147,7 @@ modularTreeRoundRobin(int levels)
             }
         }
     }
+    declareSubtreeClusters(g, levels);
     return g;
 }
 

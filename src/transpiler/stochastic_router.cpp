@@ -105,9 +105,10 @@ StochasticSwapRouter::route(const Circuit &circuit,
                             const Layout &initial, Rng &rng) const
 {
     SNAIL_REQUIRE(initial.isComplete(), "routing needs a complete layout");
-    // Trials may query distance() concurrently; the lazy table build
-    // is not thread-safe, so force it from this thread first.
-    graph.ensureDistanceTable();
+    // Trials may query distance() concurrently; the lazy oracle build
+    // is not thread-safe, so force it from this thread first.  (The
+    // landmark oracle additionally serializes its memo internally.)
+    graph.ensureDistanceOracle();
     Circuit out(graph.numQubits(), circuit.name() + "-routed");
     out.reserve(circuit.size());
     Layout layout = initial;

@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Unit tests for the pluggable DistanceOracle layer.
+ *
+ * The oracle refactor's core promise is *exactness*: whichever backend
+ * (flat table, hierarchical portal decomposition, landmark BFS) answers
+ * a distance query, the hop count must equal a fresh reference BFS on
+ * the same graph — and therefore any router built on distances produces
+ * bit-identical output under every backend.  These tests cross-check
+ * every registered generator family at small and kilo-qubit scale,
+ * exercise the Auto selection policy and its env-var override, and pin
+ * the error/COW/cluster-hint plumbing semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <queue>
+#include <vector>
+
+#include "circuits/registry.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "target/target.hpp"
+#include "topology/builders.hpp"
+#include "topology/distance_oracle.hpp"
+#include "topology/registry.hpp"
+#include "transpiler/layout.hpp"
+#include "transpiler/routing.hpp"
+#include "weyl/basis_counts.hpp"
+
+namespace snail
+{
+namespace
+{
+
+/** Independent reference BFS, deliberately not sharing oracle code. */
+std::vector<int>
+referenceBfs(const CouplingGraph &g, int src)
+{
+    std::vector<int> dist(static_cast<std::size_t>(g.numQubits()), -1);
+    std::queue<int> queue;
+    dist[static_cast<std::size_t>(src)] = 0;
+    queue.push(src);
+    while (!queue.empty()) {
+        const int u = queue.front();
+        queue.pop();
+        for (const int v : g.neighbors(u)) {
+            if (dist[static_cast<std::size_t>(v)] < 0) {
+                dist[static_cast<std::size_t>(v)] =
+                    dist[static_cast<std::size_t>(u)] + 1;
+                queue.push(v);
+            }
+        }
+    }
+    return dist;
+}
+
+/**
+ * Cross-check a forced oracle policy against reference BFS on a sample
+ * of source rows (all rows when the graph is small).
+ */
+void
+expectOracleExact(const CouplingGraph &base, DistanceOraclePolicy policy,
+                  int max_sources = 24)
+{
+    CouplingGraph g = base;
+    g.setOraclePolicy(policy);
+    g.ensureDistanceOracle();
+    const DistanceOracle &oracle = g.distanceOracle();
+
+    const int n = g.numQubits();
+    Rng rng(0xD157);
+    std::vector<int> sources;
+    if (n <= max_sources) {
+        for (int q = 0; q < n; ++q) {
+            sources.push_back(q);
+        }
+    } else {
+        for (int i = 0; i < max_sources; ++i) {
+            sources.push_back(static_cast<int>(rng.intRange(0, n - 1)));
+        }
+    }
+    for (const int src : sources) {
+        const std::vector<int> ref = referenceBfs(base, src);
+        // Sample targets too on large graphs: full rows on kiloqubit
+        // instances would make the landmark cross-check quadratic.
+        const int stride = n > 512 ? 17 : 1;
+        for (int dst = 0; dst < n; dst += stride) {
+            const int expected = ref[static_cast<std::size_t>(dst)];
+            const std::uint16_t raw = oracle.distanceRaw(src, dst);
+            if (expected < 0) {
+                EXPECT_EQ(raw, kDistUnreachable)
+                    << base.name() << " " << toString(oracle.kind())
+                    << " src=" << src << " dst=" << dst;
+            } else {
+                EXPECT_EQ(static_cast<int>(raw), expected)
+                    << base.name() << " " << toString(oracle.kind())
+                    << " src=" << src << " dst=" << dst;
+            }
+        }
+    }
+}
+
+/** All three backends against BFS on one graph. */
+void
+expectAllBackendsExact(const CouplingGraph &g)
+{
+    expectOracleExact(g, DistanceOraclePolicy::Flat);
+    expectOracleExact(g, DistanceOraclePolicy::Hierarchical);
+    expectOracleExact(g, DistanceOraclePolicy::Landmark);
+}
+
+TEST(DistanceOracle, ExactOnEveryGeneratorFamilySmall)
+{
+    expectAllBackendsExact(squareLattice(5, 7));
+    expectAllBackendsExact(latticeWithAltDiagonals(6, 6));
+    expectAllBackendsExact(hexLattice(4, 8));
+    expectAllBackendsExact(heavyHexLattice(3, 5));
+    expectAllBackendsExact(hypercube(5));
+    expectAllBackendsExact(incompleteHypercube(23));
+    expectAllBackendsExact(modularTree(2));
+    expectAllBackendsExact(modularTree(3));
+    expectAllBackendsExact(modularTreeRoundRobin(3));
+    expectAllBackendsExact(corral(11, 1, 2));
+    expectAllBackendsExact(chipletLattice(2, 3, 8));
+}
+
+TEST(DistanceOracle, ExactAtKiloScale)
+{
+    // Kiloqubit instances: hierarchical (and landmark, where cheap)
+    // must agree with reference BFS on sampled rows.
+    expectOracleExact(chipletLattice(8, 8, 16),
+                      DistanceOraclePolicy::Hierarchical, 8);
+    expectOracleExact(chipletLattice(8, 8, 16),
+                      DistanceOraclePolicy::Landmark, 4);
+    expectOracleExact(squareLattice(32, 32),
+                      DistanceOraclePolicy::Hierarchical, 8);
+    expectOracleExact(hexLattice(32, 32),
+                      DistanceOraclePolicy::Hierarchical, 8);
+    expectOracleExact(heavyHexLattice(16, 16),
+                      DistanceOraclePolicy::Hierarchical, 8);
+    expectOracleExact(modularTree(5), DistanceOraclePolicy::Hierarchical,
+                      8);
+    expectOracleExact(incompleteHypercube(1500),
+                      DistanceOraclePolicy::Landmark, 4);
+}
+
+TEST(DistanceOracle, ExactOnAdversarialRandomGraphs)
+{
+    // Non-modular random graphs have no useful cluster structure; the
+    // grown partition must still answer exactly (exactness holds for
+    // *any* partition), and so must the landmark fallback.
+    Rng rng(0xBAD5EED);
+    for (int trial = 0; trial < 4; ++trial) {
+        const int n = 40 + trial * 17;
+        CouplingGraph g(n, "random-" + std::to_string(trial));
+        // Random spanning chain plus random chords.
+        for (int q = 1; q < n; ++q) {
+            g.addEdge(static_cast<int>(rng.intRange(0, q - 1)), q);
+        }
+        for (int extra = 0; extra < n; ++extra) {
+            const int a = static_cast<int>(rng.intRange(0, n - 1));
+            const int b = static_cast<int>(rng.intRange(0, n - 1));
+            if (a != b && !g.hasEdge(a, b)) {
+                g.addEdge(a, b);
+            }
+        }
+        expectAllBackendsExact(g);
+    }
+}
+
+TEST(DistanceOracle, AutoPolicySelectsByScaleAndStructure)
+{
+    // Small graphs keep the flat table regardless of hints.
+    CouplingGraph small = namedTopology("tree-84");
+    small.ensureDistanceOracle();
+    EXPECT_EQ(small.distanceOracle().kind(), DistanceOracleKind::Flat);
+
+    // Kiloqubit modular hardware gets the hierarchical oracle, and the
+    // compression gate guarantees at least 4x under the flat table.
+    CouplingGraph chiplets = namedTopology("chiplet-4096");
+    chiplets.ensureDistanceOracle();
+    EXPECT_EQ(chiplets.distanceOracle().kind(),
+              DistanceOracleKind::Hierarchical);
+    EXPECT_LT(chiplets.distanceOracle().memoryBytes(),
+              flatTableBytes(chiplets.numQubits()) / 4);
+
+    // Kiloqubit hypercubes are expander-like: every vertex borders
+    // another cluster, the portal estimate blows past the gate, and
+    // Auto falls back to the landmark oracle.
+    CouplingGraph cube = incompleteHypercube(2048);
+    cube.ensureDistanceOracle();
+    EXPECT_EQ(cube.distanceOracle().kind(), DistanceOracleKind::Landmark);
+    EXPECT_LT(cube.distanceOracle().memoryBytes(),
+              flatTableBytes(cube.numQubits()));
+}
+
+TEST(DistanceOracle, EnvVarOverridesAutoPolicy)
+{
+    ::setenv("SNAILQC_DISTANCE_ORACLE", "hier", 1);
+    CouplingGraph g = squareLattice(4, 4);
+    g.ensureDistanceOracle();
+    EXPECT_EQ(g.distanceOracle().kind(), DistanceOracleKind::Hierarchical);
+
+    ::setenv("SNAILQC_DISTANCE_ORACLE", "landmark", 1);
+    CouplingGraph h = squareLattice(4, 4);
+    h.ensureDistanceOracle();
+    EXPECT_EQ(h.distanceOracle().kind(), DistanceOracleKind::Landmark);
+
+    ::setenv("SNAILQC_DISTANCE_ORACLE", "bogus", 1);
+    CouplingGraph bad = squareLattice(4, 4);
+    EXPECT_THROW(bad.ensureDistanceOracle(), SnailError);
+
+    ::unsetenv("SNAILQC_DISTANCE_ORACLE");
+    CouplingGraph back = squareLattice(4, 4);
+    back.ensureDistanceOracle();
+    EXPECT_EQ(back.distanceOracle().kind(), DistanceOracleKind::Flat);
+}
+
+TEST(DistanceOracle, DisconnectedThrowsTypedErrorUnderEveryBackend)
+{
+    for (const DistanceOraclePolicy policy :
+         {DistanceOraclePolicy::Flat, DistanceOraclePolicy::Hierarchical,
+          DistanceOraclePolicy::Landmark}) {
+        CouplingGraph g(6, "split");
+        g.addEdge(0, 1);
+        g.addEdge(1, 2);
+        g.addEdge(3, 4);
+        g.addEdge(4, 5);
+        g.setOraclePolicy(policy);
+        try {
+            g.distance(0, 5);
+            FAIL() << "expected DisconnectedError under policy "
+                   << static_cast<int>(policy);
+        } catch (const DisconnectedError &e) {
+            EXPECT_EQ(e.graphName(), "split");
+        }
+        // shortestPath must throw the same typed error *up front*, not
+        // partway through a walk.
+        EXPECT_THROW(g.shortestPath(2, 3), DisconnectedError);
+        // Reachable pairs still answer.
+        EXPECT_EQ(g.distance(0, 2), 2);
+        EXPECT_EQ(g.shortestPath(3, 5).size(), 3u);
+    }
+}
+
+TEST(DistanceOracle, OverflowGuardHoldsForEveryPolicy)
+{
+    // The uint16 encoding caps every backend, not just the flat table:
+    // a graph that cannot be distance-encoded is rejected before any
+    // build work regardless of the requested oracle.
+    for (const DistanceOraclePolicy policy :
+         {DistanceOraclePolicy::Hierarchical,
+          DistanceOraclePolicy::Landmark}) {
+        CouplingGraph big(70000, "too-big");
+        big.addEdge(0, 1);
+        big.setOraclePolicy(policy);
+        EXPECT_THROW(big.distance(0, 1), DistanceOverflowError);
+    }
+}
+
+TEST(DistanceOracle, ClusterHintPlumbing)
+{
+    CouplingGraph g = chipletLattice(2, 2, 8);
+    ASSERT_NE(g.clusterHint(), nullptr);
+    EXPECT_EQ(g.clusterHint()->size(), static_cast<std::size_t>(32));
+
+    // Copies share the hint vector (COW, no deep copy).
+    CouplingGraph copy = g;
+    EXPECT_EQ(copy.clusterHint(), g.clusterHint());
+
+    // addEdge keeps the hint (the partition stays valid) but drops the
+    // built oracle so distances rebuild against the new adjacency.
+    g.ensureDistanceOracle();
+    g.addEdge(0, 31);
+    EXPECT_NE(g.clusterHint(), nullptr);
+    g.ensureDistanceOracle();
+    EXPECT_EQ(g.distance(0, 31), 1);
+
+    // trimToSize yields a smaller graph whose stale hint is dropped.
+    CouplingGraph trimmed = chipletLattice(2, 2, 8).trimToSize(24);
+    EXPECT_EQ(trimmed.clusterHint(), nullptr);
+
+    // Hints must cover every qubit and be non-negative.
+    CouplingGraph bad(4, "bad-hint");
+    EXPECT_THROW(bad.setClusterHint({0, 1}), SnailError);
+    EXPECT_THROW(bad.setClusterHint({0, -1, 1, 1}), SnailError);
+}
+
+TEST(DistanceOracle, CopiesShareTheOracleCopyOnWrite)
+{
+    CouplingGraph g = squareLattice(4, 4);
+    g.ensureDistanceOracle();
+    EXPECT_FALSE(g.sharesDistanceTable());
+    CouplingGraph copy = g;
+    EXPECT_TRUE(g.sharesDistanceTable());
+    EXPECT_TRUE(copy.sharesDistanceTable());
+    // Mutation detaches only the mutated copy.
+    copy.addEdge(0, 15);
+    EXPECT_FALSE(g.sharesDistanceTable());
+    EXPECT_EQ(g.distance(0, 15), 6);
+    EXPECT_EQ(copy.distance(0, 15), 1);
+}
+
+TEST(DistanceOracle, RoutedOutputBitIdenticalAcrossBackends)
+{
+    // The acceptance bar for the whole refactor: routers consult
+    // distances only through the oracle, so forcing different backends
+    // must leave the routed instruction stream bit-identical.
+    const CouplingGraph base = namedTopology("tree-84");
+    const Circuit circuit = makeBenchmark("qv", 20);
+
+    const auto routeUnder = [&](DistanceOraclePolicy policy,
+                                Router &router) {
+        CouplingGraph g = base;
+        g.setOraclePolicy(policy);
+        Rng rng(7);
+        const Layout initial = trivialLayout(circuit, g);
+        return router.route(circuit, g, initial, rng);
+    };
+
+    BasicRouter basic;
+    StochasticSwapRouter stochastic(8, 1);
+    SabreRouter sabre;
+    LookaheadRouter lookahead(2, 4, 12);
+    Router *routers[] = {&basic, &stochastic, &sabre, &lookahead};
+    for (Router *router : routers) {
+        const RoutingResult flat =
+            routeUnder(DistanceOraclePolicy::Flat, *router);
+        const RoutingResult hier =
+            routeUnder(DistanceOraclePolicy::Hierarchical, *router);
+        const RoutingResult landmark =
+            routeUnder(DistanceOraclePolicy::Landmark, *router);
+        EXPECT_EQ(flat.circuit.contentHash(), hier.circuit.contentHash());
+        EXPECT_EQ(flat.circuit.contentHash(),
+                  landmark.circuit.contentHash());
+        EXPECT_EQ(flat.swaps_added, hier.swaps_added);
+        EXPECT_EQ(flat.swaps_added, landmark.swaps_added);
+    }
+}
+
+TEST(DistanceOracle, HintDoesNotPerturbTargetContentHash)
+{
+    // Cluster hints are advisory accelerator metadata; two targets over
+    // the same couplings must hash identically no matter which hint (if
+    // any) was declared, or transpile caches would miss across versions.
+    CouplingGraph chiplet_hint = chipletLattice(2, 2, 8);
+    CouplingGraph trivial_hint = chiplet_hint;
+    trivial_hint.setClusterHint(
+        std::vector<int>(static_cast<std::size_t>(32), 0));
+    const BasisSpec basis = parseBasisSpec("sqiswap");
+    const Target a = Target::uniform(chiplet_hint, basis);
+    const Target b = Target::uniform(trivial_hint, basis);
+    EXPECT_EQ(a.contentHash(), b.contentHash());
+}
+
+} // namespace
+} // namespace snail

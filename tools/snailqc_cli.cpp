@@ -6,7 +6,10 @@
  *   topologies                       list registered topologies + metrics
  *   targets [--export <name> <f>]    list built-in Targets (Table-1-style
  *                                    properties + calibration); --export
- *                                    writes one as a JSON device file
+ *                                    writes one as a JSON device file;
+ *                                    --stats <name|device.json> prints
+ *                                    the distance-oracle audit (kind,
+ *                                    bytes vs the flat table)
  *   passes                           list registered transpiler passes
  *                                    (also: --list-passes anywhere)
  *   coords <gate> [params...]        Weyl coordinates and basis counts
@@ -109,7 +112,10 @@ printUsage(std::ostream &os)
         "commands:\n"
         "  topologies                  list registered topologies\n"
         "  targets [--export <target-name> <file.json>]\n"
-        "                              list built-in device targets\n"
+        "          [--stats <name|device.json>]\n"
+        "                              list built-in device targets;\n"
+        "                              --stats audits one device's\n"
+        "                              distance oracle\n"
         "  passes                      list transpiler passes\n"
         "                              (also: --list-passes)\n"
         "  coords <gate> [params...]   (cx, cz, swap, iswap, sqiswap,\n"
@@ -224,9 +230,57 @@ cmdTopologies()
     return 0;
 }
 
+/**
+ * `targets --stats <name|device.json>`: the distance-oracle audit for
+ * one device — qubit count, the oracle kind the Auto policy picks,
+ * and the bytes its distance structure needs next to the flat n^2
+ * table, so kiloqubit feasibility is a one-liner to check.  Accepts a
+ * topology name, a built-in target name, or a JSON device file.
+ */
+int
+cmdTargetStats(const std::string &what)
+{
+    std::optional<CouplingGraph> graph;
+    if (what.size() > 5 && what.substr(what.size() - 5) == ".json") {
+        graph = loadTargetFile(what).graph();
+    } else {
+        try {
+            graph = namedTopology(what);
+        } catch (const SnailError &) {
+            graph = namedTarget(what).graph();
+        }
+    }
+    // Building the oracle also refreshes snailqc_distance_oracle_bytes.
+    const DistanceOracle &oracle = graph->distanceOracle();
+    std::string clusters = "none";
+    if (const auto &hint = graph->clusterHint()) {
+        int count = 0;
+        for (int id : *hint) {
+            count = std::max(count, id + 1);
+        }
+        clusters = std::to_string(count) + " clusters";
+    }
+    TableWriter table({"property", "value"});
+    table.addRow({"name", graph->name()});
+    table.addRow({"qubits", std::to_string(graph->numQubits())});
+    table.addRow({"edges", std::to_string(graph->edgeCount())});
+    table.addRow({"cluster hint", clusters});
+    table.addRow({"distance oracle", toString(oracle.kind())});
+    table.addRow({"oracle bytes", std::to_string(oracle.memoryBytes())});
+    table.addRow({"flat table bytes",
+                  std::to_string(flatTableBytes(graph->numQubits()))});
+    table.print(std::cout);
+    return 0;
+}
+
 int
 cmdTargets(const std::vector<std::string> &args)
 {
+    if (!args.empty() && args[0] == "--stats") {
+        SNAIL_REQUIRE(args.size() >= 2,
+                      "targets --stats needs <name|device.json>");
+        return cmdTargetStats(args[1]);
+    }
     if (!args.empty() && args[0] == "--export") {
         SNAIL_REQUIRE(args.size() >= 3,
                       "targets --export needs <target-name> <file.json>");
