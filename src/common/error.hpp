@@ -173,6 +173,108 @@ class RoutingError : public SnailError
 };
 
 /**
+ * The same sweep point recorded twice with conflicting metrics in one
+ * JSONL checkpoint — the signature of two workers accidentally sharing
+ * a checkpoint path (or a file corrupted by concurrent writers).
+ * Thrown by loadCheckpoint and by sweep-merge; carries the offending
+ * point's content key (hex, as rendered in the checkpoint line) and
+ * the file it was found in.  Byte-identical repeats of a line are
+ * tolerated: determinism makes the benign two-workers-computed-the-
+ * same-point race produce exactly equal records.
+ */
+class DuplicatePointError : public SnailError
+{
+  public:
+    DuplicatePointError(std::string point_key, std::string path,
+                        const std::string &why)
+        : SnailError("point " + point_key + " appears more than once in "
+                     "checkpoint '" + path + "' (" + why + ")"),
+          _pointKey(std::move(point_key)), _path(std::move(path))
+    {
+    }
+
+    const std::string &pointKey() const { return _pointKey; }
+    const std::string &path() const { return _path; }
+
+  private:
+    std::string _pointKey;
+    std::string _path;
+};
+
+/**
+ * A sharded-sweep merge whose shard files do not cover the spec's
+ * expansion: at least one expanded point appears in no shard
+ * checkpoint.  Thrown by mergeSweepShards; carries the first missing
+ * point's label (circuit/width/target/pipeline) and the total number
+ * missing, so a fleet operator knows which shard run to re-drive.
+ */
+class ShardCoverageError : public SnailError
+{
+  public:
+    ShardCoverageError(std::string point_label, std::size_t missing,
+                       std::size_t total)
+        : SnailError("shard merge is missing " + std::to_string(missing) +
+                     " of " + std::to_string(total) +
+                     " sweep points; first missing: " + point_label),
+          _pointLabel(std::move(point_label)), _missing(missing)
+    {
+    }
+
+    const std::string &pointLabel() const { return _pointLabel; }
+    std::size_t missingCount() const { return _missing; }
+
+  private:
+    std::string _pointLabel;
+    std::size_t _missing;
+};
+
+/**
+ * A shard checkpoint record that belongs to no point of the spec being
+ * merged — a checkpoint from a different spec (or stdlib seed
+ * derivation) mixed into the shard set.  Thrown by mergeSweepShards;
+ * carries the foreign record's content key and the file it came from.
+ */
+class ForeignPointError : public SnailError
+{
+  public:
+    ForeignPointError(std::string point_key, std::string path)
+        : SnailError("checkpoint '" + path + "' holds point " + point_key +
+                     " which is not in the sweep's expansion — a shard "
+                     "from a different spec?"),
+          _pointKey(std::move(point_key)), _path(std::move(path))
+    {
+    }
+
+    const std::string &pointKey() const { return _pointKey; }
+    const std::string &path() const { return _path; }
+
+  private:
+    std::string _pointKey;
+    std::string _path;
+};
+
+/**
+ * A shard checkpoint whose header disagrees with the run it is being
+ * used for: different point-set fingerprint (another spec), different
+ * shard count, or the wrong shard index.  Thrown when resuming a
+ * sharded sweep onto a mismatched checkpoint and when merging one.
+ */
+class ShardHeaderError : public SnailError
+{
+  public:
+    ShardHeaderError(std::string path, const std::string &why)
+        : SnailError("shard checkpoint '" + path + "': " + why),
+          _path(std::move(path))
+    {
+    }
+
+    const std::string &path() const { return _path; }
+
+  private:
+    std::string _path;
+};
+
+/**
  * A malformed or out-of-range pass argument in a pipeline spec (e.g.
  * "optimize=abc" or "stochastic-route=0").  Thrown by the registry's
  * argument parsers; carries the pass name and the offending text so

@@ -1,5 +1,7 @@
 #include "explore/checkpoint.hpp"
 
+#include <map>
+
 #include "common/error.hpp"
 #include "common/hash.hpp"
 
@@ -14,6 +16,8 @@ parseHex64(const std::string &text)
 {
     return std::stoull(text, nullptr, 16);
 }
+
+} // namespace
 
 JsonValue
 cacheKeyToJson(const CacheKey &key)
@@ -37,7 +41,13 @@ cacheKeyFromJson(const JsonValue &json)
     return key;
 }
 
-} // namespace
+JsonValue
+checkpointLineToJson(const CacheKey &key, const PointMetrics &metrics)
+{
+    JsonValue line = cacheKeyToJson(key);
+    line.object()["metrics"] = pointMetricsToJson(metrics);
+    return line;
+}
 
 JsonValue
 pointMetricsToJson(const PointMetrics &point)
@@ -90,6 +100,7 @@ CheckpointWriter::CheckpointWriter(const std::string &path, bool append)
     if (append) {
         std::ifstream existing(path, std::ios::binary | std::ios::ate);
         if (existing.good() && existing.tellg() > 0) {
+            _had_content = true;
             existing.seekg(-1, std::ios::end);
             needs_newline = existing.get() != '\n';
         }
@@ -105,12 +116,14 @@ CheckpointWriter::CheckpointWriter(const std::string &path, bool append)
 void
 CheckpointWriter::append(const CacheKey &key, const PointMetrics &metrics)
 {
-    JsonValue line = cacheKeyToJson(key);
-    line.object()["metrics"] = pointMetricsToJson(metrics);
-    const std::string text = line.dump();
+    appendRaw(checkpointLineToJson(key, metrics).dump());
+}
 
+void
+CheckpointWriter::appendRaw(const std::string &line)
+{
     std::lock_guard<std::mutex> lock(_mutex);
-    _out << text << '\n';
+    _out << line << '\n';
     _out.flush();
     SNAIL_REQUIRE(_out.good(),
                   "write to checkpoint '" << _path << "' failed");
@@ -126,22 +139,50 @@ loadCheckpoint(const std::string &path, TranspileCache &cache,
     }
     std::size_t restored = 0;
     std::string line;
+    // Duplicate-point guard: a key recorded twice with *different*
+    // metrics means two writers shared this path (or the file was
+    // corrupted) — silently keeping the last record would let one
+    // writer's results shadow the other's, so that is a typed error.
+    // Byte-identical repeats are the benign race of two workers
+    // computing the same deterministic point; they restore once.
+    std::map<CacheKey, std::string> seen;
     while (std::getline(in, line)) {
         if (line.empty()) {
             continue;
         }
+        CacheKey key;
+        std::string metrics_text;
+        PointMetrics metrics;
         try {
             const JsonValue json = JsonValue::parse(line);
-            CacheKey key = cacheKeyFromJson(json);
-            cache.insert(key, pointMetricsFromJson(json.at("metrics")));
-            if (keys != nullptr) {
-                keys->push_back(std::move(key));
+            if (json.isObject() && json.find("sweep_shard") != nullptr) {
+                continue; // shard header (explore/shard.hpp), not a point
             }
-            ++restored;
+            key = cacheKeyFromJson(json);
+            const JsonValue &metrics_json = json.at("metrics");
+            metrics = pointMetricsFromJson(metrics_json);
+            metrics_text = metrics_json.dump();
         } catch (const std::exception &) {
             // Torn line from a killed run — skip it; the point will
             // simply be recomputed.
+            continue;
         }
+        const auto it = seen.find(key);
+        if (it != seen.end()) {
+            if (it->second != metrics_text) {
+                throw DuplicatePointError(
+                    cacheKeyToJson(key).dump(), path,
+                    "conflicting metrics — two runs sharing one "
+                    "checkpoint path?");
+            }
+            continue; // identical repeat: already restored
+        }
+        seen.emplace(key, std::move(metrics_text));
+        cache.insert(key, metrics);
+        if (keys != nullptr) {
+            keys->push_back(std::move(key));
+        }
+        ++restored;
     }
     return restored;
 }

@@ -46,6 +46,20 @@ JsonValue pointMetricsToJson(const PointMetrics &metrics);
 /** Inverse of pointMetricsToJson. */
 PointMetrics pointMetricsFromJson(const JsonValue &json);
 
+/** The content key as rendered in a checkpoint line (hex fields). */
+JsonValue cacheKeyToJson(const CacheKey &key);
+
+/** Inverse of cacheKeyToJson. @throws on missing/garbled fields. */
+CacheKey cacheKeyFromJson(const JsonValue &json);
+
+/**
+ * One complete checkpoint line (key + "metrics"), the unit shared by
+ * CheckpointWriter, loadCheckpoint, and the sharded-sweep merge
+ * (explore/shard.hpp) — sweep-merge fuses exactly these records.
+ */
+JsonValue checkpointLineToJson(const CacheKey &key,
+                               const PointMetrics &metrics);
+
 /** @} */
 
 /**
@@ -62,21 +76,42 @@ class CheckpointWriter
     /** Write one completed point and flush. */
     void append(const CacheKey &key, const PointMetrics &metrics);
 
+    /**
+     * Write one pre-rendered line (no trailing newline) and flush —
+     * the shard-header escape hatch (explore/shard.hpp), kept out of
+     * the typed append() so ordinary point records stay schema-bound.
+     */
+    void appendRaw(const std::string &line);
+
+    /**
+     * True when the file already held bytes at open (append mode
+     * only): a resumed run, whose header — if any — is already on
+     * disk and must not be written again.
+     */
+    bool hadContent() const { return _had_content; }
+
     const std::string &path() const { return _path; }
 
   private:
     std::string _path;
     std::mutex _mutex;
     std::ofstream _out;
+    bool _had_content = false;
 };
 
 /**
  * Load a checkpoint file into the cache; returns the number of points
  * restored.  A missing file restores nothing (first run of a --resume
  * invocation); malformed lines — e.g. the torn last line of a killed
- * run — are skipped.  When `keys` is non-null every restored key is
- * also appended to it, so callers that own their checkpointing (the
- * search driver) know which points are already on disk.
+ * run — are skipped, as are shard-header lines (explore/shard.hpp).
+ * When `keys` is non-null every restored key is also appended to it,
+ * so callers that own their checkpointing (the search driver) know
+ * which points are already on disk.
+ *
+ * @throws DuplicatePointError when one key appears twice with
+ *         conflicting metrics — two runs sharing a checkpoint path;
+ *         byte-identical repeats (the benign race of two workers
+ *         computing the same deterministic point) restore once.
  */
 std::size_t loadCheckpoint(const std::string &path, TranspileCache &cache,
                            std::vector<CacheKey> *keys = nullptr);

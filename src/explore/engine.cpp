@@ -8,9 +8,11 @@
 #include <unordered_map>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 #include "common/json.hpp"
 #include "common/thread_pool.hpp"
 #include "explore/checkpoint.hpp"
+#include "explore/shard.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "transpiler/pass_registry.hpp"
@@ -74,6 +76,12 @@ evaluateJobs(const std::vector<ExploreJob> &jobs, TranspileCache &cache,
     if (!options.checkpoint_path.empty()) {
         checkpoint = std::make_unique<CheckpointWriter>(
             options.checkpoint_path, options.resume);
+        // Shard header (or any caller-supplied prologue): first line
+        // of a fresh file; a resumed file already carries its own.
+        if (!options.checkpoint_header.empty() &&
+            !checkpoint->hadContent()) {
+            checkpoint->appendRaw(options.checkpoint_header);
+        }
     }
 
     // Keys are precomputed serially: hashing is cheap next to a
@@ -241,6 +249,72 @@ runSweep(const SweepSpec &spec, const EngineOptions &options)
                   "sweep '" << spec.name
                             << "' expands to no points (every width "
                                "exceeds its targets?)");
+    run.keys = sweepPointKeys(run.points, circuits, targets);
+    run.total_points = run.points.size();
+    run.point_set_hash = pointSetHash(run.keys);
+    run.shard_index = options.shard_index;
+    run.shard_count = options.shard_count;
+
+    EngineOptions engine_options = options;
+    if (options.shard_count > 1) {
+        SNAIL_REQUIRE(options.shard_index < options.shard_count,
+                      "shard index " << options.shard_index
+                                     << " out of range for "
+                                     << options.shard_count << " shards");
+        // Keep only this shard's slice of the expansion.  The shard
+        // function sees content only, so the slice is identical no
+        // matter how the spec's entries are ordered or which host
+        // evaluates it (shard.hpp).
+        std::vector<SweepPoint> mine;
+        std::vector<CacheKey> mine_keys;
+        for (std::size_t i = 0; i < run.points.size(); ++i) {
+            if (shardOf(run.keys[i], options.shard_count) ==
+                options.shard_index) {
+                mine.push_back(std::move(run.points[i]));
+                mine_keys.push_back(std::move(run.keys[i]));
+            }
+        }
+        run.points = std::move(mine);
+        run.keys = std::move(mine_keys);
+        MetricsRegistry::global()
+            .counter("snailqc_sweep_shard_points_total")
+            .add(run.points.size());
+
+        ShardHeader header;
+        header.shard.index = options.shard_index;
+        header.shard.count = options.shard_count;
+        header.spec_name = spec.name;
+        header.point_set_hash = run.point_set_hash;
+        header.total_points = run.total_points;
+        engine_options.checkpoint_header =
+            shardHeaderToJson(header).dump();
+
+        // Resuming onto some other shard's (or sweep's) checkpoint
+        // would silently re-route its points through the cache; fail
+        // loudly instead.
+        if (options.resume && !options.checkpoint_path.empty()) {
+            if (const auto existing =
+                    readShardHeader(options.checkpoint_path)) {
+                if (existing->shard.index != options.shard_index ||
+                    existing->shard.count != options.shard_count ||
+                    existing->point_set_hash != run.point_set_hash) {
+                    throw ShardHeaderError(
+                        options.checkpoint_path,
+                        "holds shard " +
+                            std::to_string(existing->shard.index) + "/" +
+                            std::to_string(existing->shard.count) +
+                            " of spec '" + existing->spec_name +
+                            "' (point set " +
+                            hex64(existing->point_set_hash) +
+                            "); this run is shard " +
+                            std::to_string(options.shard_index) + "/" +
+                            std::to_string(options.shard_count) +
+                            " of '" + spec.name + "' (point set " +
+                            hex64(run.point_set_hash) + ")");
+                }
+            }
+        }
+    }
 
     std::vector<ExploreJob> jobs;
     jobs.reserve(run.points.size());
@@ -260,7 +334,7 @@ runSweep(const SweepSpec &spec, const EngineOptions &options)
     }
 
     TranspileCache cache;
-    run.metrics = evaluateJobs(jobs, cache, options, &run.stats);
+    run.metrics = evaluateJobs(jobs, cache, engine_options, &run.stats);
     run.cache_hits = cache.hits();
     run.cache_misses = cache.misses();
     return run;

@@ -70,6 +70,24 @@ struct EngineOptions
      * caller owns the store; `snailqc sweep --cache-dir` wires one).
      */
     CacheStore *cache_store = nullptr;
+    /**
+     * Shard slice honored by runSweep (`sweep --shard i/N`,
+     * explore/shard.hpp): with shard_count > 1 only the points whose
+     * content hash maps to shard_index are evaluated, and the
+     * checkpoint is tagged with a shard header.  The default 0/1 runs
+     * the whole sweep.  evaluateJobs ignores these — callers passing
+     * raw job lists own their own partitioning.
+     */
+    unsigned shard_index = 0;
+    unsigned shard_count = 1;
+    /**
+     * Pre-rendered JSONL line written as the first line of a *fresh*
+     * checkpoint (or one resumed from an empty/missing file); ""
+     * writes nothing.  runSweep uses it for the shard header — it is
+     * an engine option so evaluateJobs, which owns the writer, places
+     * it before any point record.
+     */
+    std::string checkpoint_header;
 };
 
 /** What the evaluation did, for reporting. */
@@ -111,9 +129,19 @@ struct SweepRun
     SweepSpec spec;
     std::vector<SweepPoint> points;
     std::vector<PointMetrics> metrics; //!< parallel to `points`
+    /** Content addresses, parallel to `points` (explore/shard.hpp). */
+    std::vector<CacheKey> keys;
     EvaluationStats stats;
     std::size_t cache_hits = 0;
     std::size_t cache_misses = 0;
+    /** @name Shard provenance (defaults describe a whole-sweep run). */
+    /** @{ */
+    /** Order-independent fingerprint of the FULL expansion. */
+    unsigned long long point_set_hash = 0;
+    std::size_t total_points = 0; //!< full expansion size, pre-filter
+    unsigned shard_index = 0;
+    unsigned shard_count = 1;
+    /** @} */
 };
 
 /**

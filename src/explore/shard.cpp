@@ -1,0 +1,342 @@
+#include "explore/shard.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "explore/checkpoint.hpp"
+#include "obs/metrics.hpp"
+
+namespace fs = std::filesystem;
+
+namespace snail
+{
+
+namespace
+{
+
+/** Human-facing point name for coverage errors. */
+std::string
+pointLabel(const SweepPoint &point)
+{
+    return point.circuit_label + " w" + std::to_string(point.width) +
+           " on " + point.target_label + " [" + point.pipeline + "]";
+}
+
+} // namespace
+
+ShardSlice
+parseShardSlice(const std::string &text)
+{
+    const std::size_t slash = text.find('/');
+    SNAIL_REQUIRE(slash != std::string::npos && slash > 0 &&
+                      slash + 1 < text.size(),
+                  "--shard needs the form i/N (0-based, e.g. 0/3), got '"
+                      << text << "'");
+    const auto number = [&](const std::string &part) {
+        SNAIL_REQUIRE(!part.empty() &&
+                          part.find_first_not_of("0123456789") ==
+                              std::string::npos,
+                      "--shard needs the form i/N with non-negative "
+                      "integers, got '"
+                          << text << "'");
+        return static_cast<unsigned>(std::stoul(part));
+    };
+    ShardSlice slice;
+    slice.index = number(text.substr(0, slash));
+    slice.count = number(text.substr(slash + 1));
+    SNAIL_REQUIRE(slice.count >= 1,
+                  "--shard count must be >= 1, got '" << text << "'");
+    SNAIL_REQUIRE(slice.index < slice.count,
+                  "--shard index must be in [0, " << slice.count
+                      << "), got '" << text << "'");
+    return slice;
+}
+
+unsigned long long
+pointContentHash(const CacheKey &key)
+{
+    return ContentHasher()
+        .u64(key.circuit_hash)
+        .u64(key.target_hash)
+        .str(key.pipeline)
+        .u64(key.seed)
+        .value();
+}
+
+unsigned
+shardOf(const CacheKey &key, unsigned shard_count)
+{
+    SNAIL_REQUIRE(shard_count >= 1, "shard count must be >= 1");
+    return static_cast<unsigned>(pointContentHash(key) % shard_count);
+}
+
+unsigned long long
+pointSetHash(const std::vector<CacheKey> &keys)
+{
+    unsigned long long sum = 0;
+    for (const CacheKey &key : keys) {
+        sum += pointContentHash(key); // wrapping: order-independent
+    }
+    return sum;
+}
+
+std::vector<CacheKey>
+sweepPointKeys(const std::vector<SweepPoint> &points,
+               const std::vector<CircuitInstance> &circuits,
+               const std::vector<Target> &targets)
+{
+    // Hash each circuit/target once, not once per point: a QV
+    // instance's content hash walks every Haar matrix.
+    std::vector<unsigned long long> circuit_hashes(circuits.size());
+    for (std::size_t i = 0; i < circuits.size(); ++i) {
+        circuit_hashes[i] = circuits[i].circuit.contentHash();
+    }
+    std::vector<unsigned long long> target_hashes(targets.size());
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+        target_hashes[i] = targets[i].contentHash();
+    }
+    std::vector<CacheKey> keys;
+    keys.reserve(points.size());
+    for (const SweepPoint &point : points) {
+        CacheKey key;
+        key.circuit_hash = circuit_hashes[point.circuit_index];
+        key.target_hash = target_hashes[point.target_index];
+        key.pipeline = point.pipeline;
+        key.seed = point.seed;
+        keys.push_back(std::move(key));
+    }
+    return keys;
+}
+
+JsonValue
+shardHeaderToJson(const ShardHeader &header)
+{
+    JsonValue::Object body;
+    body["index"] = JsonValue(static_cast<double>(header.shard.index));
+    body["count"] = JsonValue(static_cast<double>(header.shard.count));
+    body["spec"] = JsonValue(header.spec_name);
+    body["point_set"] = JsonValue(hex64(header.point_set_hash));
+    body["points"] =
+        JsonValue(static_cast<double>(header.total_points));
+    JsonValue::Object root;
+    root["sweep_shard"] = JsonValue(std::move(body));
+    return JsonValue(std::move(root));
+}
+
+std::optional<ShardHeader>
+shardHeaderFromLine(const std::string &line)
+{
+    try {
+        const JsonValue json = JsonValue::parse(line);
+        const JsonValue *body =
+            json.isObject() ? json.find("sweep_shard") : nullptr;
+        if (body == nullptr) {
+            return std::nullopt;
+        }
+        ShardHeader header;
+        header.shard.index =
+            static_cast<unsigned>(body->at("index").asNumber());
+        header.shard.count =
+            static_cast<unsigned>(body->at("count").asNumber());
+        header.spec_name = body->at("spec").asString();
+        header.point_set_hash =
+            std::stoull(body->at("point_set").asString(), nullptr, 16);
+        header.total_points = static_cast<std::size_t>(
+            body->at("points").asNumber());
+        return header;
+    } catch (const std::exception &) {
+        return std::nullopt; // torn or non-header line
+    }
+}
+
+std::optional<ShardHeader>
+readShardHeader(const std::string &path)
+{
+    std::ifstream in(path);
+    std::string first;
+    if (!in.good() || !std::getline(in, first)) {
+        return std::nullopt;
+    }
+    return shardHeaderFromLine(first);
+}
+
+std::vector<std::string>
+expandShardFiles(const std::vector<std::string> &paths)
+{
+    std::vector<std::string> files;
+    for (const std::string &path : paths) {
+        std::error_code ec;
+        if (fs::is_directory(path, ec)) {
+            std::vector<std::string> found;
+            for (const fs::directory_entry &entry :
+                 fs::directory_iterator(path)) {
+                if (entry.is_regular_file() &&
+                    entry.path().extension() == ".jsonl") {
+                    found.push_back(entry.path().string());
+                }
+            }
+            SNAIL_REQUIRE(!found.empty(),
+                          "no .jsonl shard checkpoints in directory '"
+                              << path << "'");
+            std::sort(found.begin(), found.end());
+            files.insert(files.end(), found.begin(), found.end());
+        } else {
+            SNAIL_REQUIRE(fs::exists(path, ec),
+                          "shard checkpoint '" << path
+                                               << "' does not exist");
+            files.push_back(path);
+        }
+    }
+    SNAIL_REQUIRE(!files.empty(), "sweep-merge needs at least one shard "
+                                  "checkpoint (--shards)");
+    return files;
+}
+
+SweepRun
+mergeSweepShards(const SweepSpec &spec,
+                 const std::vector<std::string> &shard_files,
+                 ShardMergeStats *stats)
+{
+    SweepRun run;
+    run.spec = spec;
+
+    // Re-expand locally — the merge's source of truth for what "every
+    // point exactly once" means (mirrors runSweep's expansion).
+    const std::vector<Target> targets = expandTargets(spec);
+    int max_width = 0;
+    for (const Target &target : targets) {
+        max_width = std::max(max_width, target.numQubits());
+    }
+    const std::vector<CircuitInstance> circuits =
+        expandCircuits(spec, max_width);
+    run.points = expandSweepPoints(spec, circuits, targets);
+    SNAIL_REQUIRE(!run.points.empty(),
+                  "sweep '" << spec.name
+                            << "' expands to no points (every width "
+                               "exceeds its targets?)");
+    run.keys = sweepPointKeys(run.points, circuits, targets);
+    run.total_points = run.points.size();
+    run.point_set_hash = pointSetHash(run.keys);
+
+    std::set<CacheKey> expected(run.keys.begin(), run.keys.end());
+
+    ShardMergeStats local;
+    local.shard_files = shard_files.size();
+    /** Fused records: key -> (metrics, metrics dump, source file). */
+    struct Fused
+    {
+        PointMetrics metrics;
+        std::string metrics_text;
+        std::string file;
+    };
+    std::map<CacheKey, Fused> fused;
+
+    for (const std::string &file : shard_files) {
+        std::ifstream in(file);
+        SNAIL_REQUIRE(in.good(),
+                      "cannot read shard checkpoint '" << file << "'");
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.empty()) {
+                continue;
+            }
+            if (const auto header = shardHeaderFromLine(line)) {
+                // Spec identity: the fingerprint is order-independent,
+                // so a permuted-but-equal spec file still merges.
+                if (header->point_set_hash != run.point_set_hash) {
+                    throw ShardHeaderError(
+                        file, "recorded for spec '" + header->spec_name +
+                                  "' with point set " +
+                                  hex64(header->point_set_hash) +
+                                  ", but this merge expands '" +
+                                  spec.name + "' to point set " +
+                                  hex64(run.point_set_hash) +
+                                  " — a shard from a different sweep");
+                }
+                ++local.headers;
+                continue;
+            }
+            CacheKey key;
+            Fused record;
+            try {
+                const JsonValue json = JsonValue::parse(line);
+                key = cacheKeyFromJson(json);
+                const JsonValue &metrics_json = json.at("metrics");
+                record.metrics = pointMetricsFromJson(metrics_json);
+                record.metrics_text = metrics_json.dump();
+            } catch (const std::exception &) {
+                continue; // torn tail of a killed shard
+            }
+            record.file = file;
+            if (expected.find(key) == expected.end()) {
+                throw ForeignPointError(cacheKeyToJson(key).dump(), file);
+            }
+            const auto it = fused.find(key);
+            if (it != fused.end()) {
+                if (it->second.file != file) {
+                    throw DuplicatePointError(
+                        cacheKeyToJson(key).dump(), file,
+                        "also recorded in '" + it->second.file +
+                            "' — overlapping shard runs?");
+                }
+                if (it->second.metrics_text != record.metrics_text) {
+                    throw DuplicatePointError(
+                        cacheKeyToJson(key).dump(), file,
+                        "conflicting metrics — two runs sharing one "
+                        "checkpoint path?");
+                }
+                continue; // identical same-file repeat: benign race
+            }
+            fused.emplace(std::move(key), std::move(record));
+            ++local.records;
+        }
+    }
+
+    if (fused.size() < expected.size()) {
+        std::size_t missing = 0;
+        std::string first_missing;
+        std::set<CacheKey> reported;
+        for (std::size_t i = 0; i < run.points.size(); ++i) {
+            if (fused.find(run.keys[i]) != fused.end() ||
+                !reported.insert(run.keys[i]).second) {
+                continue;
+            }
+            if (missing == 0) {
+                first_missing = pointLabel(run.points[i]);
+            }
+            ++missing;
+        }
+        throw ShardCoverageError(first_missing, missing,
+                                 expected.size());
+    }
+
+    run.metrics.reserve(run.points.size());
+    for (const CacheKey &key : run.keys) {
+        run.metrics.push_back(fused.at(key).metrics);
+    }
+    // The merge restored everything from checkpoints; the summary's
+    // accounting line reports it the same way a full --resume does.
+    run.stats.restored = local.records;
+    run.stats.from_cache = run.points.size();
+    run.cache_hits = run.points.size();
+
+    MetricsRegistry &registry = MetricsRegistry::global();
+    registry.gauge("snailqc_sweep_merge_shard_files")
+        .set(static_cast<double>(local.shard_files));
+    registry.gauge("snailqc_sweep_merge_points")
+        .set(static_cast<double>(fused.size()));
+    registry.gauge("snailqc_sweep_merge_headers")
+        .set(static_cast<double>(local.headers));
+
+    if (stats != nullptr) {
+        *stats = local;
+    }
+    return run;
+}
+
+} // namespace snail

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Distributed sweep sharding: split one logical sweep across N worker
+ * processes and fuse their checkpoints back into one run.
+ *
+ * The explore engine made every sweep point order- and location-
+ * independent (deterministic per-point seeds, content-addressed
+ * cache), so distribution — in the spirit of Graphite spreading one
+ * simulation across processes and hosts — reduces to a pure
+ * partitioning problem.  A point's shard is a function of its content
+ * key alone:
+ *
+ *   shard(point) = FNV-1a(circuit_hash, target_hash, pipeline, seed)
+ *                  mod shard_count
+ *
+ * so the partition is stable under spec-entry reordering, independent
+ * of thread count, and identical on every host (the FNV construction
+ * is fixed; the only caveat is the seed derivation's std::hash, which
+ * pins a partition to one stdlib exactly as it pins checkpoint keys —
+ * engine.hpp).
+ *
+ * A sharded run (`snailqc sweep <spec> --shard i/N`) evaluates only
+ * its own points and streams them to a shard-tagged JSONL checkpoint:
+ * an ordinary engine checkpoint whose first line is a header record
+ *
+ *   {"sweep_shard":{"index":i,"count":N,"spec":"<name>",
+ *                   "point_set":"0x<hex>","points":<total>}}
+ *
+ * where point_set is an order-independent fingerprint of the FULL
+ * expansion (the wrapping sum of every point's content hash), i.e. a
+ * spec-identity check that survives spec-entry permutations.
+ *
+ * `snailqc sweep-merge <spec> --shards <files>` re-expands the spec
+ * locally, fuses the shard checkpoints, and validates exactly-once
+ * coverage: a point in no shard is a ShardCoverageError, a point in
+ * two shards (or twice with different metrics) a DuplicatePointError,
+ * a record outside the expansion a ForeignPointError, and a header
+ * from another spec a ShardHeaderError — each naming the offending
+ * point or file.  A validated merge rebuilds the SweepRun, whose
+ * CSV/JSON reports are byte-identical to a single-process run's
+ * (metric doubles round-trip exactly through the checkpoint; the
+ * reporters are deterministic functions of points + metrics).
+ */
+
+#ifndef SNAILQC_EXPLORE_SHARD_HPP
+#define SNAILQC_EXPLORE_SHARD_HPP
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "explore/engine.hpp"
+
+namespace snail
+{
+
+/** Which slice of the point set a worker owns: index in [0, count). */
+struct ShardSlice
+{
+    unsigned index = 0;
+    unsigned count = 1;
+};
+
+/**
+ * Parse a "--shard i/N" argument (0-based index).
+ * @throws SnailError on malformed text, N < 1, or index >= N.
+ */
+ShardSlice parseShardSlice(const std::string &text);
+
+/** Content hash of one point: the shard function's domain. */
+unsigned long long pointContentHash(const CacheKey &key);
+
+/** The shard owning `key` under an N-way partition. */
+unsigned shardOf(const CacheKey &key, unsigned shard_count);
+
+/**
+ * Order-independent fingerprint of a point set (wrapping sum of the
+ * per-point content hashes — a sum, not an XOR, so duplicated points
+ * do not cancel out).  Two expansions of one spec — however its
+ * entries are permuted — agree; any content difference disagrees.
+ */
+unsigned long long pointSetHash(const std::vector<CacheKey> &keys);
+
+/**
+ * Content keys for expanded sweep points, in expansion order: the
+ * exact keys evaluateJobs derives, factored out so sharding and merge
+ * validation address points identically to the engine.
+ */
+std::vector<CacheKey>
+sweepPointKeys(const std::vector<SweepPoint> &points,
+               const std::vector<CircuitInstance> &circuits,
+               const std::vector<Target> &targets);
+
+/** The shard-checkpoint header record (see file comment). */
+struct ShardHeader
+{
+    ShardSlice shard;
+    std::string spec_name;
+    unsigned long long point_set_hash = 0; //!< of the FULL expansion
+    std::size_t total_points = 0;          //!< full expansion size
+};
+
+/** The header as its JSONL line value. */
+JsonValue shardHeaderToJson(const ShardHeader &header);
+
+/** Parse one JSONL line; nullopt when it is not a header record. */
+std::optional<ShardHeader> shardHeaderFromLine(const std::string &line);
+
+/**
+ * The first-line header of a checkpoint file, if the file exists and
+ * starts with one (plain engine checkpoints and torn files yield
+ * nullopt — headerless checkpoints stay mergeable and resumable).
+ */
+std::optional<ShardHeader> readShardHeader(const std::string &path);
+
+/**
+ * Expand a mixed list of checkpoint files and directories into the
+ * shard-file list: directories contribute every *.jsonl inside them
+ * (lexicographically sorted); files are taken as given.
+ * @throws SnailError for a missing path or a directory holding no
+ *         .jsonl checkpoints.
+ */
+std::vector<std::string>
+expandShardFiles(const std::vector<std::string> &paths);
+
+/** Merge accounting, for the CLI's summary line. */
+struct ShardMergeStats
+{
+    std::size_t shard_files = 0; //!< checkpoints fused
+    std::size_t records = 0;     //!< point records restored
+    std::size_t headers = 0;     //!< shard headers seen (and validated)
+};
+
+/**
+ * Fuse shard checkpoints into the run a single process would have
+ * produced: re-expand `spec`, validate every expanded point is
+ * covered exactly once, and return the reconstructed SweepRun (its
+ * CSV/JSON reports are byte-identical to an uninterrupted
+ * single-process run's).  Torn trailing lines are skipped exactly as
+ * on --resume, so a killed-and-resumed shard merges cleanly; a killed
+ * and *not* resumed shard surfaces as missing points.
+ *
+ * @throws ShardHeaderError    a header from a different spec
+ * @throws ForeignPointError   a record outside the expansion
+ * @throws DuplicatePointError a point in two shard files, or twice
+ *                             with conflicting metrics in one file
+ * @throws ShardCoverageError  an expanded point in no shard file
+ */
+SweepRun mergeSweepShards(const SweepSpec &spec,
+                          const std::vector<std::string> &shard_files,
+                          ShardMergeStats *stats = nullptr);
+
+} // namespace snail
+
+#endif // SNAILQC_EXPLORE_SHARD_HPP

@@ -20,6 +20,8 @@
  *   {"op":"transpile", <job>}
  *   {"op":"batch","jobs":[<job>, ...]}
  *   {"op":"sweep","spec":<sweep-spec object>}
+ *   {"op":"sweep_shard","spec":<sweep-spec object>,
+ *    "shard":{"index":i,"count":N}}
  *
  * where <job> is
  *
@@ -33,7 +35,13 @@
  *   {"ok":true, "op":"<echo>", ...op-specific fields...}
  *
  * transpile returns {"cached":bool,"result":<result object>}; batch
- * returns {"results":[...],"cache_hits":N,"jobs":N}; stats returns
+ * returns {"results":[...],"cache_hits":N,"jobs":N}; sweep_shard
+ * evaluates one content-addressed slice of a sweep (explore/shard.hpp)
+ * and returns {"header":<shard header>,"records":[<checkpoint
+ * line>...], "points":N,"total_points":M,"point_set":"0x<hex>",...} —
+ * exactly a `sweep --shard` checkpoint's contents, so a client can
+ * write header+records as .jsonl lines and feed `snailqc sweep-merge`
+ * (docs/distributed.md); stats returns
  * the cache / scheduler / job counters plus uptime_s and the derived
  * jobs_per_s / cache hit_rate; metrics returns the process-wide
  * registry snapshot as {"prometheus":"<text exposition>",

@@ -7,8 +7,11 @@
 #include "common/scheduler.hpp"
 #include "common/thread_pool.hpp"
 #include "common/version.hpp"
+#include "common/hash.hpp"
+#include "explore/checkpoint.hpp"
 #include "explore/engine.hpp"
 #include "explore/report.hpp"
+#include "explore/shard.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/protocol.hpp"
@@ -249,6 +252,69 @@ Service::handleSweep(const JsonValue &request)
 }
 
 JsonValue
+Service::handleSweepShard(const JsonValue &request)
+{
+    const SweepSpec spec = sweepSpecFromJson(request.at("spec"));
+    const JsonValue &shard_json = request.at("shard");
+    ShardSlice slice;
+    slice.index =
+        static_cast<unsigned>(shard_json.at("index").asNumber());
+    slice.count =
+        static_cast<unsigned>(shard_json.at("count").asNumber());
+    SNAIL_REQUIRE(slice.count >= 1 && slice.index < slice.count,
+                  "sweep_shard: shard index " << slice.index
+                      << " out of range for " << slice.count
+                      << " shards");
+
+    // Same one-slot accounting as a whole sweep (handleSweep).
+    const Admission ticket(_in_flight, 1, _options.queue_limit);
+    if (!ticket.admitted()) {
+        _jobs_rejected.fetch_add(1);
+        countRejected(1);
+        return errorResponse("queue full (limit " +
+                                 std::to_string(_options.queue_limit) + ")",
+                             retryAfterMs(_in_flight.load()));
+    }
+
+    EngineOptions engine;
+    engine.threads = _options.batch_threads;
+    engine.cache_store = &_store;
+    engine.shard_index = slice.index;
+    engine.shard_count = slice.count;
+    const SweepRun run = runSweep(spec, engine);
+
+    // The response carries exactly what a `sweep --shard` checkpoint
+    // would hold — header plus one record per point — so a client can
+    // write it to a .jsonl file and hand it to `sweep-merge`.
+    ShardHeader header;
+    header.shard = slice;
+    header.spec_name = spec.name;
+    header.point_set_hash = run.point_set_hash;
+    header.total_points = run.total_points;
+
+    JsonValue::Array records;
+    records.reserve(run.points.size());
+    for (std::size_t i = 0; i < run.keys.size(); ++i) {
+        records.push_back(
+            checkpointLineToJson(run.keys[i], run.metrics[i]));
+    }
+
+    JsonValue::Object out = okResponse("sweep_shard");
+    out["shard_index"] = JsonValue(static_cast<double>(slice.index));
+    out["shard_count"] = JsonValue(static_cast<double>(slice.count));
+    out["points"] = JsonValue(static_cast<double>(run.points.size()));
+    out["total_points"] =
+        JsonValue(static_cast<double>(run.total_points));
+    out["point_set"] = JsonValue(hex64(run.point_set_hash));
+    out["computed"] = JsonValue(static_cast<double>(run.stats.computed));
+    out["from_store"] =
+        JsonValue(static_cast<double>(run.stats.from_store));
+    out["header"] = shardHeaderToJson(header);
+    out["records"] = JsonValue(std::move(records));
+    return JsonValue(std::move(out));
+}
+
+JsonValue
 Service::handleStats()
 {
     const CacheStoreStats cache = _store.stats();
@@ -368,6 +434,9 @@ Service::handle(const JsonValue &request)
         }
         if (op == "sweep") {
             return handleSweep(request);
+        }
+        if (op == "sweep_shard") {
+            return handleSweepShard(request);
         }
         return errorResponse("unknown op '" + op + "'");
     } catch (const std::exception &error) {

@@ -75,6 +75,7 @@ class Service
     JsonValue handleTranspile(const JsonValue &request);
     JsonValue handleBatch(const JsonValue &request);
     JsonValue handleSweep(const JsonValue &request);
+    JsonValue handleSweepShard(const JsonValue &request);
     JsonValue handleStats();
     JsonValue handleMetrics();
     JsonValue handleVersion();

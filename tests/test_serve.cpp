@@ -12,14 +12,20 @@
 
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include <unistd.h>
 
 #include "common/error.hpp"
 #include "common/version.hpp"
+#include "explore/engine.hpp"
+#include "explore/report.hpp"
+#include "explore/shard.hpp"
 #include "serve/client.hpp"
 #include "serve/job.hpp"
 #include "serve/server.hpp"
@@ -300,6 +306,73 @@ TEST(ServeDaemon, SocketRoundTripAndShutdownOp)
     daemon.join(); // serve() returns on the shutdown op
     EXPECT_FALSE(fs::exists(socket_path))
         << "clean shutdown must unlink the socket";
+}
+
+TEST(ServeService, SweepShardOpReturnsMergeableSlices)
+{
+    SweepSpec spec;
+    spec.name = "serve-shard";
+    spec.seed = 5;
+    spec.circuits.push_back(CircuitSpec{"ghz", {6}, ""});
+    spec.circuits.push_back(CircuitSpec{"qft", {6}, ""});
+    TargetSpec target;
+    target.target = "corral11-16-sqiswap";
+    spec.targets.push_back(std::move(target));
+    spec.pipelines.push_back("dense,stochastic-route=4");
+
+    ServiceOptions options;
+    options.cache_dir = freshDir("serve_shard");
+    Service service(options);
+
+    const auto shardRequest = [&](unsigned index, unsigned count) {
+        JsonValue::Object shard;
+        shard["index"] = JsonValue(static_cast<double>(index));
+        shard["count"] = JsonValue(static_cast<double>(count));
+        JsonValue::Object body;
+        body["op"] = JsonValue("sweep_shard");
+        body["spec"] = sweepSpecToJson(spec);
+        body["shard"] = JsonValue(std::move(shard));
+        return service.handle(JsonValue(std::move(body)));
+    };
+
+    const JsonValue r0 = shardRequest(0, 2);
+    const JsonValue r1 = shardRequest(1, 2);
+    ASSERT_TRUE(isOk(r0));
+    ASSERT_TRUE(isOk(r1));
+    EXPECT_EQ(r0.at("point_set").asString(),
+              r1.at("point_set").asString());
+    EXPECT_EQ(static_cast<std::size_t>(
+                  r0.at("points").asNumber() + r1.at("points").asNumber()),
+              static_cast<std::size_t>(r0.at("total_points").asNumber()));
+    EXPECT_EQ(r0.at("records").asArray().size(),
+              static_cast<std::size_t>(r0.at("points").asNumber()));
+
+    // Writing each response's header + records as JSONL reproduces a
+    // `sweep --shard` checkpoint; the merge must accept the pair and
+    // reproduce a direct run's report byte for byte.
+    std::vector<std::string> files;
+    for (const JsonValue *response : {&r0, &r1}) {
+        const std::string path =
+            testing::TempDir() + "serve_shard_" +
+            std::to_string(files.size()) + ".jsonl";
+        std::ofstream out(path, std::ios::trunc);
+        out << response->at("header").dump() << '\n';
+        for (const JsonValue &record :
+             response->at("records").asArray()) {
+            out << record.dump() << '\n';
+        }
+        files.push_back(path);
+    }
+    const SweepRun merged = mergeSweepShards(spec, files);
+    const SweepRun direct = runSweep(spec, EngineOptions{});
+    std::ostringstream merged_csv, direct_csv;
+    writeSweepCsv(merged_csv, merged);
+    writeSweepCsv(direct_csv, direct);
+    EXPECT_EQ(merged_csv.str(), direct_csv.str());
+
+    // Slice validation happens before any work is admitted.
+    const JsonValue bad = shardRequest(5, 2);
+    EXPECT_FALSE(isOk(bad));
 }
 
 } // namespace

@@ -1,0 +1,551 @@
+/**
+ * @file
+ * Adversarial tests for distributed sweep sharding (explore/shard.hpp):
+ * the shard-function partition property over randomized specs (seeded,
+ * replayable via SNAILQC_TEST_SEED), kill/resume fault injection on a
+ * shard checkpoint, exactly-once merge validation with typed errors
+ * (missing / duplicated / foreign / wrong-spec points), the
+ * loadCheckpoint duplicate-point regression, and cross-configuration
+ * byte-identity: a merged N-shard run's reports equal a single-process
+ * run's, byte for byte, for mixed thread counts, warm persistent
+ * caches, and the full paper-fig13 spec at N = 2 and 7.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <random>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "explore/cache_store.hpp"
+#include "explore/checkpoint.hpp"
+#include "explore/engine.hpp"
+#include "explore/report.hpp"
+#include "explore/shard.hpp"
+
+namespace snail
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** The cheap 3-circuit x 2-target spec most shard tests sweep. */
+SweepSpec
+shardSpec()
+{
+    SweepSpec spec;
+    spec.name = "test-shard";
+    spec.seed = 11;
+    spec.circuits.push_back(CircuitSpec{"ghz", {8}, ""});
+    spec.circuits.push_back(CircuitSpec{"qft", {8}, ""});
+    spec.circuits.push_back(CircuitSpec{"qaoa", {8}, ""});
+    TargetSpec square;
+    square.topology = "square-16";
+    square.basis = "cx";
+    spec.targets.push_back(std::move(square));
+    TargetSpec corral;
+    corral.target = "corral11-16-sqiswap";
+    spec.targets.push_back(std::move(corral));
+    spec.pipelines.push_back("dense,stochastic-route=6");
+    return spec;
+}
+
+std::string
+csvOf(const SweepRun &run)
+{
+    std::ostringstream os;
+    writeSweepCsv(os, run);
+    return os.str();
+}
+
+std::string
+jsonOf(const SweepRun &run)
+{
+    std::ostringstream os;
+    writeSweepJson(os, run);
+    return os.str();
+}
+
+/** Fresh per-test scratch path under the gtest tmpdir. */
+std::string
+scratch(const std::string &name)
+{
+    const std::string path = testing::TempDir() + name;
+    fs::remove_all(path);
+    return path;
+}
+
+std::vector<std::string>
+readLines(const std::string &path)
+{
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+        lines.push_back(line);
+    }
+    return lines;
+}
+
+/**
+ * Simulate a kill mid-write: keep the first `keep` lines plus half of
+ * the next one (the torn tail every checkpoint consumer must skip).
+ */
+void
+truncateMidLine(const std::string &path, std::size_t keep)
+{
+    const std::vector<std::string> lines = readLines(path);
+    ASSERT_GT(lines.size(), keep);
+    std::ofstream out(path, std::ios::trunc);
+    for (std::size_t i = 0; i < keep; ++i) {
+        out << lines[i] << '\n';
+    }
+    out << lines[keep].substr(0, lines[keep].size() / 2);
+}
+
+/** Evaluate one shard of `spec` into a fresh checkpoint file. */
+SweepRun
+runShard(const SweepSpec &spec, unsigned index, unsigned count,
+         const std::string &checkpoint, unsigned threads = 0,
+         CacheStore *store = nullptr, bool resume = false)
+{
+    EngineOptions options;
+    options.shard_index = index;
+    options.shard_count = count;
+    options.checkpoint_path = checkpoint;
+    options.threads = threads;
+    options.cache_store = store;
+    options.resume = resume;
+    return runSweep(spec, options);
+}
+
+TEST(Shard, ParseShardSliceValidatesShape)
+{
+    const ShardSlice ok = parseShardSlice("2/7");
+    EXPECT_EQ(ok.index, 2u);
+    EXPECT_EQ(ok.count, 7u);
+    EXPECT_EQ(parseShardSlice("0/1").count, 1u);
+
+    for (const std::string bad : {"", "3", "/3", "3/", "3/3", "4/3",
+                                  "a/3", "1/b", "-1/3", "1/0", "1//2"}) {
+        EXPECT_THROW(parseShardSlice(bad), SnailError) << "'" << bad << "'";
+    }
+}
+
+TEST(Shard, PointSetHashIsOrderIndependentNotDuplicateBlind)
+{
+    std::vector<CacheKey> keys = {CacheKey{1, 2, "dense", 3},
+                                  CacheKey{4, 5, "vf2", 6},
+                                  CacheKey{7, 8, "dense", 9}};
+    const unsigned long long forward = pointSetHash(keys);
+    std::reverse(keys.begin(), keys.end());
+    EXPECT_EQ(pointSetHash(keys), forward);
+
+    // A sum, not an XOR: a duplicated point must NOT cancel out.
+    keys.push_back(keys.front());
+    EXPECT_NE(pointSetHash(keys), forward);
+    // Content sensitivity.
+    keys.pop_back();
+    keys[0].seed ^= 1;
+    EXPECT_NE(pointSetHash(keys), forward);
+}
+
+TEST(Shard, HeaderRoundTripsAndNonHeadersAreIgnored)
+{
+    ShardHeader header;
+    header.shard.index = 3;
+    header.shard.count = 8;
+    header.spec_name = "paper-fig13";
+    header.point_set_hash = 0xdeadbeefULL;
+    header.total_points = 252;
+
+    const std::string line = shardHeaderToJson(header).dump();
+    const auto back = shardHeaderFromLine(line);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->shard.index, 3u);
+    EXPECT_EQ(back->shard.count, 8u);
+    EXPECT_EQ(back->spec_name, "paper-fig13");
+    EXPECT_EQ(back->point_set_hash, 0xdeadbeefULL);
+    EXPECT_EQ(back->total_points, 252u);
+
+    EXPECT_FALSE(shardHeaderFromLine("{\"circuit\":\"0x1\"}").has_value());
+    EXPECT_FALSE(shardHeaderFromLine("{\"sweep_sh").has_value());
+    EXPECT_FALSE(readShardHeader("/no/such/checkpoint.jsonl").has_value());
+}
+
+/**
+ * The partition property, on randomized specs: for every N in 1..16
+ * the shard function splits the expansion into disjoint, covering
+ * slices, and the split is stable under spec-entry permutation.  The
+ * RNG seed is logged (and injectable via SNAILQC_TEST_SEED) so any
+ * failure replays exactly.
+ */
+TEST(Shard, PartitionPropertyOnRandomSpecs)
+{
+    unsigned long long seed;
+    if (const char *env = std::getenv("SNAILQC_TEST_SEED")) {
+        seed = std::stoull(env);
+    } else {
+        seed = std::random_device{}();
+    }
+    std::cerr << "[shard-property] SNAILQC_TEST_SEED=" << seed << "\n";
+    std::mt19937_64 rng(seed);
+
+    const std::vector<std::string> bench_pool = {
+        "ghz", "qft", "qaoa", "bv", "wstate", "adder", "tim"};
+    const std::vector<std::string> target_pool = {
+        "heavy-hex-20-cx", "square-16-syc", "tree-20-sqiswap",
+        "hypercube-16-sqiswap", "corral11-16-sqiswap"};
+    const std::vector<std::string> pipeline_pool = {
+        "dense,basic-route", "dense,stochastic-route=4",
+        "vf2,sabre-route", "dense,lookahead-route"};
+    const std::vector<int> width_pool = {4, 5, 6, 7, 8};
+
+    // Distinct picks so the expansion itself holds no duplicate
+    // points (a spec bug the merge would rightly reject).
+    const auto pick = [&](std::vector<std::string> pool, std::size_t n) {
+        std::shuffle(pool.begin(), pool.end(), rng);
+        pool.resize(n);
+        return pool;
+    };
+
+    for (int round = 0; round < 6; ++round) {
+        SCOPED_TRACE("round " + std::to_string(round) + ", seed " +
+                     std::to_string(seed));
+        SweepSpec spec;
+        spec.name = "property-" + std::to_string(round);
+        spec.seed = rng();
+        std::vector<int> widths = width_pool;
+        std::shuffle(widths.begin(), widths.end(), rng);
+        widths.resize(1 + rng() % 3);
+        for (const std::string &bench :
+             pick(bench_pool, 1 + rng() % 3)) {
+            spec.circuits.push_back(CircuitSpec{bench, widths, ""});
+        }
+        for (const std::string &name :
+             pick(target_pool, 1 + rng() % 3)) {
+            TargetSpec target;
+            target.target = name;
+            spec.targets.push_back(std::move(target));
+        }
+        spec.pipelines = pick(pipeline_pool, 1 + rng() % 2);
+
+        const auto targets = expandTargets(spec);
+        const auto circuits = expandCircuits(spec);
+        const auto points = expandSweepPoints(spec, circuits, targets);
+        ASSERT_FALSE(points.empty());
+        const auto keys = sweepPointKeys(points, circuits, targets);
+
+        const std::set<CacheKey> unique(keys.begin(), keys.end());
+        ASSERT_EQ(unique.size(), keys.size())
+            << "random spec expanded duplicate points";
+
+        for (unsigned n = 1; n <= 16; ++n) {
+            std::vector<std::set<CacheKey>> slices(n);
+            for (const CacheKey &key : keys) {
+                const unsigned shard = shardOf(key, n);
+                ASSERT_LT(shard, n);
+                // Disjoint: no key lands in a slice twice (and, being
+                // a function of content, never in two slices).
+                EXPECT_TRUE(slices[shard].insert(key).second);
+            }
+            // Covering: slice sizes sum back to the expansion.
+            std::size_t total = 0;
+            for (const auto &slice : slices) {
+                total += slice.size();
+            }
+            EXPECT_EQ(total, keys.size()) << "N=" << n;
+        }
+
+        // Permuting the spec's entry order must not move any point to
+        // a different shard, nor change the spec fingerprint.
+        SweepSpec shuffled = spec;
+        std::shuffle(shuffled.circuits.begin(), shuffled.circuits.end(),
+                     rng);
+        std::shuffle(shuffled.targets.begin(), shuffled.targets.end(),
+                     rng);
+        std::shuffle(shuffled.pipelines.begin(), shuffled.pipelines.end(),
+                     rng);
+        const auto targets2 = expandTargets(shuffled);
+        const auto circuits2 = expandCircuits(shuffled);
+        const auto points2 =
+            expandSweepPoints(shuffled, circuits2, targets2);
+        const auto keys2 = sweepPointKeys(points2, circuits2, targets2);
+
+        EXPECT_EQ(pointSetHash(keys2), pointSetHash(keys));
+        EXPECT_EQ(std::set<CacheKey>(keys2.begin(), keys2.end()), unique);
+        std::map<CacheKey, unsigned> assignment;
+        for (const CacheKey &key : keys) {
+            assignment.emplace(key, shardOf(key, 7));
+        }
+        for (const CacheKey &key : keys2) {
+            const auto it = assignment.find(key);
+            ASSERT_NE(it, assignment.end());
+            EXPECT_EQ(shardOf(key, 7), it->second);
+        }
+    }
+}
+
+TEST(Shard, ShardedRunsMergeByteIdenticalAcrossConfigs)
+{
+    const SweepSpec spec = shardSpec();
+    EngineOptions serial;
+    serial.threads = 1;
+    const SweepRun reference = runSweep(spec, serial);
+    const std::string ref_csv = csvOf(reference);
+    const std::string ref_json = jsonOf(reference);
+
+    // Two shards, deliberately different thread counts per shard.
+    const std::string s0 = scratch("shard_cfg_0.jsonl");
+    const std::string s1 = scratch("shard_cfg_1.jsonl");
+    const SweepRun half0 = runShard(spec, 0, 2, s0, 1);
+    const SweepRun half1 = runShard(spec, 1, 2, s1, 4);
+    EXPECT_EQ(half0.points.size() + half1.points.size(),
+              reference.points.size());
+    EXPECT_EQ(half0.point_set_hash, half1.point_set_hash);
+
+    ShardMergeStats stats;
+    const SweepRun merged2 = mergeSweepShards(spec, {s0, s1}, &stats);
+    EXPECT_EQ(stats.shard_files, 2u);
+    EXPECT_EQ(stats.headers, 2u);
+    EXPECT_EQ(stats.records, reference.points.size());
+    EXPECT_EQ(csvOf(merged2), ref_csv);
+    EXPECT_EQ(jsonOf(merged2), ref_json);
+
+    // Seven shards, one of them warm from a persistent store (the
+    // cross-host picture: that worker reuses another machine's work).
+    const std::string store_dir = scratch("shard_cfg_store");
+    CacheStore store(store_dir);
+    std::vector<std::string> files;
+    for (unsigned i = 0; i < 7; ++i) {
+        const std::string path =
+            scratch("shard_cfg7_" + std::to_string(i) + ".jsonl");
+        const SweepRun part = runShard(spec, i, 7, path, 0,
+                                       i == 3 ? &store : nullptr);
+        EXPECT_EQ(part.shard_index, i);
+        EXPECT_EQ(part.shard_count, 7u);
+        files.push_back(path);
+    }
+    // Re-run shard 3 fresh: now fully warm, and its checkpoint must
+    // come out the same.
+    const std::string warm = scratch("shard_cfg7_warm.jsonl");
+    const SweepRun rewarmed = runShard(spec, 3, 7, warm, 0, &store);
+    EXPECT_EQ(rewarmed.stats.computed, 0u);
+    EXPECT_EQ(rewarmed.stats.from_store, rewarmed.points.size());
+    files[3] = warm;
+
+    const SweepRun merged7 = mergeSweepShards(spec, files);
+    EXPECT_EQ(csvOf(merged7), ref_csv);
+    EXPECT_EQ(jsonOf(merged7), ref_json);
+}
+
+TEST(Shard, KilledShardResumesAndMergesByteIdentical)
+{
+    const SweepSpec spec = shardSpec();
+    const SweepRun reference = runSweep(spec, EngineOptions{});
+
+    const std::string s0 = scratch("shard_kill_0.jsonl");
+    const std::string s1 = scratch("shard_kill_1.jsonl");
+    runShard(spec, 0, 2, s0);
+    const SweepRun full1 = runShard(spec, 1, 2, s1);
+    ASSERT_GE(full1.points.size(), 2u);
+
+    // Kill shard 1 mid-stream: header + one record survive, the next
+    // record is torn.  An unrepaired merge must name the gap...
+    truncateMidLine(s1, 2);
+    try {
+        mergeSweepShards(spec, {s0, s1});
+        FAIL() << "expected ShardCoverageError";
+    } catch (const ShardCoverageError &error) {
+        EXPECT_EQ(error.missingCount(), full1.points.size() - 1);
+        EXPECT_FALSE(error.pointLabel().empty());
+        EXPECT_NE(std::string(error.what()).find(error.pointLabel()),
+                  std::string::npos);
+    }
+
+    // ...and a --resume rerun completes the shard: restored the one
+    // intact record, recomputed the rest, reports byte-identical.
+    const SweepRun resumed = runShard(spec, 1, 2, s1, 0, nullptr, true);
+    EXPECT_EQ(resumed.stats.restored, 1u);
+    EXPECT_EQ(resumed.stats.computed, full1.points.size() - 1);
+
+    const SweepRun merged = mergeSweepShards(spec, {s0, s1});
+    EXPECT_EQ(csvOf(merged), csvOf(reference));
+    EXPECT_EQ(jsonOf(merged), jsonOf(reference));
+}
+
+TEST(Shard, MergeRejectsDuplicateForeignAndWrongSpecPoints)
+{
+    const SweepSpec spec = shardSpec();
+    const std::string s0 = scratch("shard_err_0.jsonl");
+    const std::string s1 = scratch("shard_err_1.jsonl");
+    runShard(spec, 0, 2, s0);
+    runShard(spec, 1, 2, s1);
+
+    // A point present in two shard files violates disjointness even
+    // with identical metrics — overlapping runs are a deployment bug.
+    const std::string dup = scratch("shard_err_dup.jsonl");
+    fs::copy_file(s1, dup);
+    try {
+        mergeSweepShards(spec, {s0, s1, dup});
+        FAIL() << "expected DuplicatePointError";
+    } catch (const DuplicatePointError &error) {
+        EXPECT_EQ(error.path(), dup);
+        EXPECT_FALSE(error.pointKey().empty());
+        EXPECT_NE(std::string(error.what()).find(s1), std::string::npos);
+    }
+
+    // A shard of a *different* sweep announces itself via its header.
+    SweepSpec other = spec;
+    other.name = "test-shard-other";
+    other.seed = 12; // different seeds => disjoint point content
+    const std::string alien = scratch("shard_err_alien.jsonl");
+    runShard(other, 0, 2, alien);
+    try {
+        mergeSweepShards(spec, {s0, s1, alien});
+        FAIL() << "expected ShardHeaderError";
+    } catch (const ShardHeaderError &error) {
+        EXPECT_NE(std::string(error.what()).find(alien),
+                  std::string::npos);
+        EXPECT_NE(std::string(error.what()).find("test-shard-other"),
+                  std::string::npos);
+    }
+
+    // Headerless foreign records (a plain checkpoint from another
+    // sweep) fall back to the per-point guard.
+    const std::string plain = scratch("shard_err_plain.jsonl");
+    EngineOptions headerless;
+    headerless.checkpoint_path = plain;
+    runSweep(other, headerless);
+    EXPECT_THROW(mergeSweepShards(spec, {s0, s1, plain}),
+                 ForeignPointError);
+
+    // Merging an incomplete shard set is a coverage error...
+    EXPECT_THROW(mergeSweepShards(spec, {s0}), ShardCoverageError);
+    // ...but a full single-process checkpoint alone covers everything.
+    const std::string whole = scratch("shard_err_whole.jsonl");
+    EngineOptions whole_options;
+    whole_options.checkpoint_path = whole;
+    const SweepRun reference = runSweep(spec, whole_options);
+    const SweepRun merged = mergeSweepShards(spec, {whole});
+    EXPECT_EQ(csvOf(merged), csvOf(reference));
+}
+
+TEST(Shard, ResumeRefusesForeignShardCheckpoint)
+{
+    const SweepSpec spec = shardSpec();
+    const std::string path = scratch("shard_resume_mismatch.jsonl");
+    runShard(spec, 0, 2, path);
+    // Same file, different slice: resuming would launder shard 0's
+    // points into shard 1's results.
+    EXPECT_THROW(runShard(spec, 1, 2, path, 0, nullptr, true),
+                 ShardHeaderError);
+    // The matching slice resumes cleanly and computes nothing.
+    const SweepRun again = runShard(spec, 0, 2, path, 0, nullptr, true);
+    EXPECT_EQ(again.stats.computed, 0u);
+}
+
+TEST(Checkpoint, DuplicatePointsConflictingMetricsAreTyped)
+{
+    const SweepSpec spec = shardSpec();
+    const std::string path = scratch("ckpt_dup.jsonl");
+    EngineOptions options;
+    options.checkpoint_path = path;
+    const SweepRun run = runSweep(spec, options);
+
+    // A byte-identical repeated record is the benign two-workers race:
+    // restore once, no error (regression: the old loader silently kept
+    // the *last* record, masking real conflicts).
+    std::vector<std::string> lines = readLines(path);
+    ASSERT_EQ(lines.size(), run.points.size());
+    {
+        std::ofstream out(path, std::ios::app);
+        out << lines[1] << '\n';
+    }
+    TranspileCache benign;
+    EXPECT_EQ(loadCheckpoint(path, benign), run.points.size());
+
+    // The same key with different metrics is a real conflict.
+    const std::string tampered = scratch("ckpt_dup_conflict.jsonl");
+    {
+        std::ofstream out(tampered, std::ios::trunc);
+        for (const std::string &line : lines) {
+            out << line << '\n';
+        }
+        JsonValue forged = JsonValue::parse(lines[1]);
+        JsonValue::Object object = forged.asObject();
+        JsonValue::Object metrics =
+            object.at("metrics").asObject();
+        metrics["swaps_total"] = JsonValue(
+            metrics.at("swaps_total").asNumber() + 1);
+        object["metrics"] = JsonValue(std::move(metrics));
+        out << JsonValue(std::move(object)).dump() << '\n';
+    }
+    TranspileCache conflicted;
+    try {
+        loadCheckpoint(tampered, conflicted);
+        FAIL() << "expected DuplicatePointError";
+    } catch (const DuplicatePointError &error) {
+        EXPECT_EQ(error.path(), tampered);
+        EXPECT_FALSE(error.pointKey().empty());
+    }
+}
+
+/**
+ * The acceptance bar (ROADMAP): sharding the full paper-fig13 spec
+ * N ∈ {2, 7} ways and merging reproduces the single-process reports
+ * byte for byte — including after one shard is killed and resumed.
+ * All runs share one persistent store so the 252-point spec costs one
+ * cold evaluation total.
+ */
+TEST(Shard, PaperFig13ShardedMergeIsByteIdentical)
+{
+    const SweepSpec spec = loadSweepSpecFile(
+        std::string(SNAILQC_SOURCE_DIR) +
+        "/examples/sweeps/paper-fig13.json");
+    const std::string store_dir = scratch("fig13_store");
+    CacheStore store(store_dir);
+
+    EngineOptions cold;
+    cold.cache_store = &store;
+    const SweepRun reference = runSweep(spec, cold);
+    ASSERT_EQ(reference.points.size(), 252u);
+    const std::string ref_csv = csvOf(reference);
+    const std::string ref_json = jsonOf(reference);
+
+    for (unsigned n : {2u, 7u}) {
+        std::vector<std::string> files;
+        for (unsigned i = 0; i < n; ++i) {
+            const std::string path =
+                scratch("fig13_" + std::to_string(n) + "_" +
+                        std::to_string(i) + ".jsonl");
+            runShard(spec, i, n, path, 0, &store);
+            files.push_back(path);
+        }
+        // Kill shard n-1 mid-stream and resume it.
+        truncateMidLine(files[n - 1], 5);
+        EXPECT_THROW(mergeSweepShards(spec, files), ShardCoverageError)
+            << "N=" << n;
+        runShard(spec, n - 1, n, files[n - 1], 0, &store, true);
+
+        ShardMergeStats stats;
+        const SweepRun merged = mergeSweepShards(spec, files, &stats);
+        EXPECT_EQ(stats.records, 252u) << "N=" << n;
+        EXPECT_EQ(merged.total_points, 252u) << "N=" << n;
+        EXPECT_EQ(csvOf(merged), ref_csv) << "N=" << n;
+        EXPECT_EQ(jsonOf(merged), ref_json) << "N=" << n;
+    }
+}
+
+} // namespace
+} // namespace snail

@@ -28,7 +28,16 @@
  *                                    transpile cache, checkpoint/resume,
  *                                    Pareto + winner analysis, and
  *                                    CSV/JSON reporters; --cache-dir
- *                                    adds a persistent on-disk store
+ *                                    adds a persistent on-disk store;
+ *                                    --shard i/N runs one slice of the
+ *                                    point set for distributed sweeps
+ *   sweep-merge <spec.json> --shards <dir|file>... [options]
+ *                                    fuse the shard checkpoints of a
+ *                                    distributed sweep, validate
+ *                                    exactly-once coverage, and emit
+ *                                    reports byte-identical to a
+ *                                    single-process run
+ *                                    (docs/distributed.md)
  *   search <spec.json> [options]     guided co-design search: annealing
  *                                    (or steepest descent) over the
  *                                    parametric topology space under a
@@ -79,12 +88,14 @@
 
 #include "circuits/registry.hpp"
 #include "common/error.hpp"
+#include "common/hash.hpp"
 #include "common/scheduler.hpp"
 #include "common/table.hpp"
 #include "common/version.hpp"
 #include "explore/cache_store.hpp"
 #include "explore/engine.hpp"
 #include "explore/report.hpp"
+#include "explore/shard.hpp"
 #include "obs/trace.hpp"
 #include "search/driver.hpp"
 #include "ir/qasm.hpp"
@@ -133,9 +144,17 @@ printUsage(std::ostream &os)
         "        [--checkpoint <file.jsonl>] [--csv <file>]\n"
         "        [--json <file>] [--metric <name>] [--verbose]\n"
         "        [--cache-dir <dir>] [--trace-out <file.json>]\n"
-        "                              design-space exploration over a\n"
+        "        [--shard i/N]         design-space exploration over a\n"
         "                              circuits x targets x pipelines\n"
-        "                              cross-product\n"
+        "                              cross-product; --shard evaluates\n"
+        "                              one content-addressed slice\n"
+        "                              (needs --checkpoint)\n"
+        "  sweep-merge <spec.json> --shards <dir|file.jsonl>...\n"
+        "        [--csv <file>] [--json <file>] [--metric <name>]\n"
+        "                              fuse shard checkpoints into the\n"
+        "                              single-process reports, validating\n"
+        "                              exactly-once point coverage\n"
+        "                              (docs/distributed.md)\n"
         "  search <spec.json> [--threads N] [--budget N] [--resume]\n"
         "         [--checkpoint <file.jsonl>] [--trace <file.jsonl>]\n"
         "         [--csv <file>] [--json <file>] [--verbose]\n"
@@ -634,11 +653,14 @@ cmdPipeline(std::vector<std::string> args)
  *
  *   snailqc sweep <spec.json> [--threads N] [--resume]
  *          [--checkpoint <file.jsonl>] [--csv <file>] [--json <file>]
- *          [--metric <name>] [--verbose]
+ *          [--metric <name>] [--verbose] [--shard i/N]
  *
  * --resume without --checkpoint defaults the checkpoint path to
  * "<spec.json>.checkpoint.jsonl".  --csv/--json accept "-" for stdout
- * (suppressing the summary tables).
+ * (suppressing the summary tables).  --shard i/N evaluates only the
+ * points content-hashed to shard i of N (explore/shard.hpp) and
+ * requires --checkpoint — the shard-tagged checkpoint is how the
+ * slice's results reach `sweep-merge`.
  */
 int
 cmdSweep(const std::vector<std::string> &args)
@@ -683,6 +705,10 @@ cmdSweep(const std::vector<std::string> &args)
             cache_dir = value();
         } else if (arg == "--trace-out") {
             trace_out = value();
+        } else if (arg == "--shard") {
+            const ShardSlice slice = parseShardSlice(value());
+            engine.shard_index = slice.index;
+            engine.shard_count = slice.count;
         } else {
             SNAIL_THROW("unknown sweep option: " << arg);
         }
@@ -691,6 +717,10 @@ cmdSweep(const std::vector<std::string> &args)
     if (engine.resume && engine.checkpoint_path.empty()) {
         engine.checkpoint_path = spec_path + ".checkpoint.jsonl";
     }
+    SNAIL_REQUIRE(engine.shard_count == 1 ||
+                      !engine.checkpoint_path.empty(),
+                  "--shard needs --checkpoint (or --resume): the "
+                  "shard-tagged checkpoint is what sweep-merge fuses");
     SNAIL_REQUIRE(csv_path != "-" || json_path != "-",
                   "only one report can stream to stdout ('-')");
     // Catch a typo'd metric before the sweep runs, not after.
@@ -710,6 +740,12 @@ cmdSweep(const std::vector<std::string> &args)
         std::cerr << "persistent cache: " << run.stats.from_store
                   << " points served from " << store->directory() << "\n";
     }
+    if (run.shard_count > 1) {
+        std::cerr << "shard " << run.shard_index << "/"
+                  << run.shard_count << ": " << run.points.size()
+                  << " of " << run.total_points << " points (point set "
+                  << hex64(run.point_set_hash) << ")\n";
+    }
 
     bool summary_to_stdout = true;
     const auto writeReport = [&](const std::string &path, auto writer) {
@@ -723,6 +759,102 @@ cmdSweep(const std::vector<std::string> &args)
                       "cannot write report '" << path << "'");
         writer(out);
         // stderr: stdout may be carrying the other report via "-".
+        std::cerr << "wrote " << path << "\n";
+    };
+    if (!csv_path.empty()) {
+        writeReport(csv_path, [&](std::ostream &os) {
+            writeSweepCsv(os, run);
+        });
+    }
+    if (!json_path.empty()) {
+        writeReport(json_path, [&](std::ostream &os) {
+            writeSweepJson(os, run);
+        });
+    }
+    if (summary_to_stdout) {
+        printSweepSummary(std::cout, run, metric);
+    }
+    return 0;
+}
+
+/**
+ * Fuse a distributed sweep's shard checkpoints back into one run.
+ *
+ *   snailqc sweep-merge <spec.json> --shards <dir|file.jsonl>...
+ *          [--csv <file>] [--json <file>] [--metric <name>]
+ *
+ * --shards takes any mix of checkpoint files and directories (a
+ * directory contributes every *.jsonl inside it); everything after it
+ * that is not another flag is a shard path.  The merge validates that
+ * the checkpoints cover the spec's expansion exactly once — missing,
+ * duplicated, foreign, or wrong-spec points are typed errors naming
+ * the offender — and the CSV/JSON reports are byte-identical to a
+ * single-process `snailqc sweep` of the same spec.
+ */
+int
+cmdSweepMerge(const std::vector<std::string> &args)
+{
+    SNAIL_REQUIRE(!args.empty(),
+                  "sweep-merge needs <spec.json> --shards <dir|file>...");
+    const std::string spec_path = args[0];
+
+    std::vector<std::string> shard_paths;
+    std::string csv_path;
+    std::string json_path;
+    std::string metric = "basis_2q_total";
+    bool in_shards = false;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        const auto value = [&]() -> const std::string & {
+            SNAIL_REQUIRE(i + 1 < args.size(), arg << " needs a value");
+            return args[++i];
+        };
+        if (arg == "--shards") {
+            in_shards = true;
+        } else if (arg == "--csv") {
+            csv_path = value();
+            in_shards = false;
+        } else if (arg == "--json") {
+            json_path = value();
+            in_shards = false;
+        } else if (arg == "--metric") {
+            metric = value();
+            in_shards = false;
+        } else if (in_shards && (arg.empty() || arg[0] != '-')) {
+            shard_paths.push_back(arg);
+        } else {
+            SNAIL_THROW("unknown sweep-merge option: " << arg);
+        }
+    }
+    SNAIL_REQUIRE(!shard_paths.empty(),
+                  "sweep-merge needs --shards <dir|file.jsonl>...");
+    SNAIL_REQUIRE(csv_path != "-" || json_path != "-",
+                  "only one report can stream to stdout ('-')");
+    pointHasMetric(PointMetrics{}, metric);
+
+    const SweepSpec spec = loadSweepSpecFile(spec_path);
+    const std::vector<std::string> shard_files =
+        expandShardFiles(shard_paths);
+
+    ShardMergeStats stats;
+    const SweepRun run = mergeSweepShards(spec, shard_files, &stats);
+    std::cerr << "merged " << stats.shard_files << " shard checkpoint"
+              << (stats.shard_files == 1 ? "" : "s") << " ("
+              << stats.headers << " headers, " << stats.records
+              << " records) covering " << run.points.size()
+              << " points\n";
+
+    bool summary_to_stdout = true;
+    const auto writeReport = [&](const std::string &path, auto writer) {
+        if (path == "-") {
+            writer(std::cout);
+            summary_to_stdout = false;
+            return;
+        }
+        std::ofstream out(path);
+        SNAIL_REQUIRE(out.good(),
+                      "cannot write report '" << path << "'");
+        writer(out);
         std::cerr << "wrote " << path << "\n";
     };
     if (!csv_path.empty()) {
@@ -1125,6 +1257,9 @@ main(int argc, char **argv)
         }
         if (command == "sweep") {
             return cmdSweep(args);
+        }
+        if (command == "sweep-merge") {
+            return cmdSweepMerge(args);
         }
         if (command == "search") {
             return cmdSearch(args);
